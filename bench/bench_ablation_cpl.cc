@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation (Eq. 1): the two CPL terms — instruction-count disparity
+ * (Algorithm 2) and stall accumulation (Algorithm 3) — individually
+ * vs combined, measured as gCAWS speedup over RR and CPL accuracy.
+ */
+
+#include "harness.hh"
+
+using namespace cawa;
+
+int
+main()
+{
+    struct Variant
+    {
+        const char *name;
+        bool inst;
+        bool stall;
+    };
+    const Variant variants[] = {
+        {"inst-only", true, false},
+        {"stall-only", false, true},
+        {"combined", true, true},
+    };
+
+    Table t({"benchmark", "variant", "speedup-vs-rr", "cpl-accuracy%"});
+    for (const auto &name : sensitiveWorkloadNames()) {
+        const SimReport rr =
+            bench::run(name, bench::schedulerConfig(SchedulerKind::Lrr));
+        for (const auto &v : variants) {
+            GpuConfig cfg = bench::schedulerConfig(SchedulerKind::Gcaws);
+            cfg.cplUseInstTerm = v.inst;
+            cfg.cplUseStallTerm = v.stall;
+            const SimReport r = bench::run(name, cfg);
+            t.row()
+                .cell(name)
+                .cell(v.name)
+                .cell(r.ipc() / rr.ipc(), 3)
+                .cell(100.0 * r.cplAccuracy(), 1);
+        }
+    }
+    bench::emit(t, "Ablation: CPL Eq.(1) terms (instruction disparity "
+                   "vs stall cycles vs combined)");
+    return 0;
+}

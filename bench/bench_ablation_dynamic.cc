@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Ablation: static 8/16 CACP partition vs the dynamic UCP-style
+ * partition tuning extension (Section 3.3 suggests integrating a
+ * design similar to utility-based cache partitioning to size the
+ * critical partition at runtime).
+ */
+
+#include "harness.hh"
+
+using namespace cawa;
+
+int
+main()
+{
+    Table t({"benchmark", "static-8/16", "dynamic", "delta%"});
+    for (const auto &name : sensitiveWorkloadNames()) {
+        const SimReport rr =
+            bench::run(name, bench::schedulerConfig(SchedulerKind::Lrr));
+        GpuConfig stat = bench::cawaConfig();
+        GpuConfig dyn = bench::cawaConfig();
+        dyn.cacp.dynamicPartition = true;
+        const double s = bench::run(name, stat).ipc() / rr.ipc();
+        const double d = bench::run(name, dyn).ipc() / rr.ipc();
+        t.row()
+            .cell(name)
+            .cell(s, 3)
+            .cell(d, 3)
+            .cell(100.0 * (d / s - 1.0), 1);
+    }
+    bench::emit(t, "Ablation: static vs dynamic CACP partition");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ablation (Section 3.3): sensitivity of CACP to the number of L1D
+ * ways reserved for critical cache blocks. The paper's sensitivity
+ * analysis selected 8 of 16 ways; this bench sweeps the partition
+ * size under the full CAWA configuration on cache-sensitive
+ * workloads.
+ */
+
+#include <cmath>
+
+#include "harness.hh"
+
+using namespace cawa;
+
+int
+main()
+{
+    const int way_options[] = {0, 2, 4, 6, 8, 10, 12, 16};
+    const char *apps[] = {"kmeans", "bfs", "b+tree", "strcltr_small"};
+
+    Table t({"critical-ways", "kmeans", "bfs", "b+tree",
+             "strcltr_small", "geomean"});
+    for (int ways : way_options) {
+        t.row().cell(ways);
+        double prod = 1.0;
+        for (const char *name : apps) {
+            const SimReport rr = bench::run(
+                name, bench::schedulerConfig(SchedulerKind::Lrr));
+            GpuConfig cfg = bench::cawaConfig();
+            cfg.cacp.criticalWays = ways;
+            const SimReport r = bench::run(name, cfg);
+            const double speedup = r.ipc() / rr.ipc();
+            t.cell(speedup, 3);
+            prod *= speedup;
+        }
+        t.cell(std::pow(prod, 1.0 / std::size(apps)), 3);
+    }
+    bench::emit(t, "Ablation: CACP critical-way partition sweep "
+                   "(paper: 8/16 best overall)");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation (Section 3.3): the CCBP/SHiP signature construction. The
+ * paper forms signatures from the instruction PC xor-ed with the
+ * memory address region; this bench sweeps the region granularity
+ * (including effectively PC-only via a huge shift) under full CAWA.
+ */
+
+#include <cmath>
+
+#include "harness.hh"
+
+using namespace cawa;
+
+int
+main()
+{
+    struct Variant
+    {
+        const char *name;
+        int shift;
+    };
+    const Variant variants[] = {
+        {"pc-only (region>>40)", 40},
+        {"line-region (>>7)", 7},
+        {"512B-region (>>9)", 9},
+        {"2KB-region (>>11)", 11},
+        {"8KB-region (>>13)", 13},
+    };
+    const char *apps[] = {"kmeans", "bfs", "b+tree"};
+
+    Table t({"signature", "kmeans", "bfs", "b+tree", "geomean"});
+    for (const auto &v : variants) {
+        t.row().cell(v.name);
+        double prod = 1.0;
+        for (const char *name : apps) {
+            const SimReport rr = bench::run(
+                name, bench::schedulerConfig(SchedulerKind::Lrr));
+            GpuConfig cfg = bench::cawaConfig();
+            cfg.cacp.regionShift = v.shift;
+            const SimReport r = bench::run(name, cfg);
+            const double speedup = r.ipc() / rr.ipc();
+            t.cell(speedup, 3);
+            prod *= speedup;
+        }
+        t.cell(std::pow(prod, 1.0 / std::size(apps)), 3);
+    }
+    bench::emit(t, "Ablation: CCBP/SHiP signature address-region "
+                   "granularity (paper: PC xor address region)");
+    return 0;
+}

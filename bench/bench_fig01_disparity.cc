@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 1: warp execution-time disparity per application under the
+ * baseline RR scheduler — the highest (slowest-fastest)/fastest gap
+ * across thread blocks, plus the average. The paper reports an
+ * average around 45% with srad_1 the highest (~70%).
+ */
+
+#include "harness.hh"
+
+using namespace cawa;
+
+int
+main()
+{
+    Table t({"benchmark", "max-disparity%", "avg-disparity%",
+             "paper-note"});
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &name : allWorkloadNames()) {
+        const SimReport r =
+            bench::run(name, bench::schedulerConfig(SchedulerKind::Lrr));
+        std::string note;
+        if (name == "srad_1")
+            note = "paper: highest (~70%)";
+        if (name == "bfs")
+            note = "paper Fig 2(a): ~20-40% per block";
+        t.row()
+            .cell(name)
+            .cell(100.0 * r.maxDisparity(), 1)
+            .cell(100.0 * r.avgDisparity(), 1)
+            .cell(note);
+        sum += r.maxDisparity();
+        n++;
+    }
+    t.row().cell("average").cell(100.0 * sum / n, 1).cell("")
+        .cell("paper: ~45%");
+    bench::emit(t, "Fig 1: warp execution time disparity (RR)");
+    return 0;
+}

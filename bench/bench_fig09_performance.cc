@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 9: IPC of the 2-level, GTO and CAWA (gCAWS + CACP)
+ * configurations normalized to the baseline RR scheduler, for all
+ * twelve benchmarks plus the Sens-class and overall averages.
+ *
+ * Paper shape: CAWA best on the Sens class (avg ~+23%, kmeans up to
+ * 3.13x), GTO second (~+16%), 2-level roughly neutral-to-negative
+ * (~-2%); Non-sens applications are largely insensitive.
+ */
+
+#include "harness.hh"
+
+using namespace cawa;
+
+int
+main()
+{
+    Table t({"benchmark", "class", "rr-ipc", "2lvl", "gto", "cawa",
+             "paper-note"});
+    double sens_sum[3] = {};
+    int sens_n = 0;
+    double all_sum[3] = {};
+    int all_n = 0;
+
+    for (const auto &name : allWorkloadNames()) {
+        const bool sens = makeWorkload(name)->sensitive();
+        const SimReport rr =
+            bench::run(name, bench::schedulerConfig(SchedulerKind::Lrr));
+        const SimReport lvl = bench::run(
+            name, bench::schedulerConfig(SchedulerKind::TwoLevel));
+        const SimReport gto =
+            bench::run(name, bench::schedulerConfig(SchedulerKind::Gto));
+        const SimReport cawa = bench::run(name, bench::cawaConfig());
+
+        const double s2 = lvl.ipc() / rr.ipc();
+        const double sg = gto.ipc() / rr.ipc();
+        const double sc = cawa.ipc() / rr.ipc();
+        t.row()
+            .cell(name)
+            .cell(sens ? "Sens" : "Non-sens")
+            .cell(rr.ipc(), 3)
+            .cell(s2, 3)
+            .cell(sg, 3)
+            .cell(sc, 3)
+            .cell(name == "kmeans" ? "paper: CAWA 3.13x" : "");
+        if (sens) {
+            sens_sum[0] += s2;
+            sens_sum[1] += sg;
+            sens_sum[2] += sc;
+            sens_n++;
+        }
+        all_sum[0] += s2;
+        all_sum[1] += sg;
+        all_sum[2] += sc;
+        all_n++;
+    }
+    t.row()
+        .cell("avg(Sens)")
+        .cell("")
+        .cell("")
+        .cell(sens_sum[0] / sens_n, 3)
+        .cell(sens_sum[1] / sens_n, 3)
+        .cell(sens_sum[2] / sens_n, 3)
+        .cell("paper: 0.98 / 1.16 / 1.23");
+    t.row()
+        .cell("avg(all)")
+        .cell("")
+        .cell("")
+        .cell(all_sum[0] / all_n, 3)
+        .cell(all_sum[1] / all_n, 3)
+        .cell(all_sum[2] / all_n, 3)
+        .cell("paper: CAWA ~1.092 overall");
+    bench::emit(t, "Fig 9: performance normalized to RR");
+    return 0;
+}

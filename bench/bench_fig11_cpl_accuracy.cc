@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 11: CPL warp-criticality prediction accuracy — how often the
+ * actually-critical (last-finishing) warp of a block was classified
+ * "slow" (criticality above half its block's warps) at the periodic
+ * sampling points. Paper: average ~73%; needle is 100% because its
+ * blocks hold a single warp.
+ */
+
+#include "harness.hh"
+
+using namespace cawa;
+
+int
+main()
+{
+    Table t({"benchmark", "cpl-accuracy%", "paper-note"});
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &name : sensitiveWorkloadNames()) {
+        const SimReport r = bench::run(
+            name, bench::schedulerConfig(SchedulerKind::Gcaws));
+        const double acc = r.cplAccuracy();
+        t.row()
+            .cell(name)
+            .cell(100.0 * acc, 1)
+            .cell(name == "needle"
+                      ? "paper: 100% (single-warp blocks)"
+                      : "");
+        sum += acc;
+        n++;
+    }
+    t.row().cell("average").cell(100.0 * sum / n, 1)
+        .cell("paper: ~73%");
+    bench::emit(t, "Fig 11: CPL criticality prediction accuracy");
+    return 0;
+}

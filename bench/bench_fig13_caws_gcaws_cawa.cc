@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 13: speedup over the RR baseline for CAWS (oracle warp
+ * criticality from a profiling pass), CAWA_gCAWS (runtime CPL,
+ * scheduler only) and full CAWA (gCAWS + CACP).
+ *
+ * Paper shape: the oracle CAWS wins on small kernels (bfs, b+tree,
+ * needle) where CPL's training time is relatively expensive; gCAWS
+ * and CAWA win on large kernels (heartwall, srad_1) and on kmeans
+ * (gCAWS's greedy active-warp throttling); CAWA adds ~5% over gCAWS
+ * on average, with slight degradations on b+tree and strcltr_small
+ * from their inter-warp locality.
+ */
+
+#include "harness.hh"
+
+using namespace cawa;
+
+int
+main()
+{
+    Table t({"benchmark", "caws(oracle)", "gcaws", "cawa"});
+    double sums[3] = {};
+    int n = 0;
+    for (const auto &name : sensitiveWorkloadNames()) {
+        const SimReport rr =
+            bench::run(name, bench::schedulerConfig(SchedulerKind::Lrr));
+        const SimReport caws = bench::run(
+            name, bench::schedulerConfig(SchedulerKind::CawsOracle));
+        const SimReport gcaws = bench::run(
+            name, bench::schedulerConfig(SchedulerKind::Gcaws));
+        const SimReport cawa = bench::run(name, bench::cawaConfig());
+        const double vals[3] = {caws.ipc() / rr.ipc(),
+                                gcaws.ipc() / rr.ipc(),
+                                cawa.ipc() / rr.ipc()};
+        t.row().cell(name).cell(vals[0], 3).cell(vals[1], 3)
+            .cell(vals[2], 3);
+        for (int i = 0; i < 3; ++i)
+            sums[i] += vals[i];
+        n++;
+    }
+    t.row()
+        .cell("average")
+        .cell(sums[0] / n, 3)
+        .cell(sums[1] / n, 3)
+        .cell(sums[2] / n, 3);
+    bench::emit(t, "Fig 13: CAWS(oracle) vs gCAWS vs CAWA, normalized "
+                   "to RR (paper: CAWA ~ gCAWS + 5%)");
+    return 0;
+}

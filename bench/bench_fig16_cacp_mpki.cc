@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 16: L1D MPKI when CACP (driven by CPL's criticality
+ * classification) is attached to criticality-oblivious schedulers —
+ * RR, GTO and 2-level — compared with the same schedulers on the
+ * baseline cache, plus the coordinated CAWA configuration.
+ */
+
+#include "harness.hh"
+
+using namespace cawa;
+
+int
+main()
+{
+    Table t({"benchmark", "rr", "rr+cacp", "gto", "gto+cacp", "2lvl",
+             "2lvl+cacp", "cawa"});
+    for (const auto &name : sensitiveWorkloadNames()) {
+        auto mpki =[&](SchedulerKind s, CachePolicyKind c) {
+            GpuConfig cfg = bench::schedulerConfig(s);
+            cfg.l1Policy = c;
+            return bench::run(name, cfg).mpki();
+        };
+        t.row()
+            .cell(name)
+            .cell(mpki(SchedulerKind::Lrr, CachePolicyKind::Lru), 2)
+            .cell(mpki(SchedulerKind::Lrr, CachePolicyKind::Cacp), 2)
+            .cell(mpki(SchedulerKind::Gto, CachePolicyKind::Lru), 2)
+            .cell(mpki(SchedulerKind::Gto, CachePolicyKind::Cacp), 2)
+            .cell(mpki(SchedulerKind::TwoLevel, CachePolicyKind::Lru),
+                  2)
+            .cell(mpki(SchedulerKind::TwoLevel, CachePolicyKind::Cacp),
+                  2)
+            .cell(bench::run(name, bench::cawaConfig()).mpki(), 2);
+    }
+    bench::emit(t, "Fig 16: L1D MPKI with CACP under different warp "
+                   "schedulers");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 17: IPC when CACP is attached to the RR, GTO and 2-level
+ * schedulers, normalized to each scheduler WITHOUT CACP. Paper:
+ * adding CACP to the state-of-the-art schedulers yields +2% to
+ * +16.5%, while the coordinated CAWA remains best overall.
+ */
+
+#include "harness.hh"
+
+using namespace cawa;
+
+int
+main()
+{
+    Table t({"benchmark", "rr+cacp", "gto+cacp", "2lvl+cacp",
+             "cawa-vs-rr"});
+    double sums[3] = {};
+    int n = 0;
+    for (const auto &name : sensitiveWorkloadNames()) {
+        auto ipc = [&](SchedulerKind s, CachePolicyKind c) {
+            GpuConfig cfg = bench::schedulerConfig(s);
+            cfg.l1Policy = c;
+            return bench::run(name, cfg).ipc();
+        };
+        const double rr = ipc(SchedulerKind::Lrr, CachePolicyKind::Lru);
+        const double gto = ipc(SchedulerKind::Gto, CachePolicyKind::Lru);
+        const double lvl =
+            ipc(SchedulerKind::TwoLevel, CachePolicyKind::Lru);
+        const double vals[3] = {
+            ipc(SchedulerKind::Lrr, CachePolicyKind::Cacp) / rr,
+            ipc(SchedulerKind::Gto, CachePolicyKind::Cacp) / gto,
+            ipc(SchedulerKind::TwoLevel, CachePolicyKind::Cacp) / lvl,
+        };
+        t.row()
+            .cell(name)
+            .cell(vals[0], 3)
+            .cell(vals[1], 3)
+            .cell(vals[2], 3)
+            .cell(bench::run(name, bench::cawaConfig()).ipc() / rr, 3);
+        for (int i = 0; i < 3; ++i)
+            sums[i] += vals[i];
+        n++;
+    }
+    t.row()
+        .cell("average")
+        .cell(sums[0] / n, 3)
+        .cell(sums[1] / n, 3)
+        .cell(sums[2] / n, 3)
+        .cell("paper: +2%..+16.5%");
+    bench::emit(t, "Fig 17: IPC gain from adding CACP to existing "
+                   "schedulers (normalized per scheduler)");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator itself:
+ * end-to-end simulation throughput (cycles/second) and the hot
+ * primitives (cache probe path, CPL classification, coalescer).
+ * These guard against performance regressions in the simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cawa/criticality.hh"
+#include "mem/coalescer.hh"
+#include "mem/replacement.hh"
+#include "sim/gpu.hh"
+#include "workloads/registry.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+void
+BM_SimulateQuickstart(benchmark::State &state)
+{
+    const auto sched = static_cast<SchedulerKind>(state.range(0));
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        GpuConfig cfg = GpuConfig::fermiGtx480();
+        cfg.numSms = 4;
+        cfg.scheduler = sched;
+        auto wl = makeWorkload("pathfinder");
+        MemoryImage mem;
+        WorkloadParams params;
+        params.scale = 0.2;
+        const KernelInfo kernel = wl->build(mem, params);
+        const SimReport r = runKernel(cfg, mem, kernel);
+        cycles += r.cycles;
+        benchmark::DoNotOptimize(r.instructions);
+    }
+    state.counters["sim-cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void
+BM_CachePolicyFillEvict(benchmark::State &state)
+{
+    TagArray tags(8, 16, 128);
+    CacpPolicy policy(CacpConfig{});
+    AccessInfo info;
+    Addr addr = 0;
+    for (auto _ : state) {
+        info.addr = addr;
+        addr += 128;
+        const auto set = tags.setIndex(info.addr);
+        const int way = policy.selectVictim(tags, set, info);
+        auto &line = tags.line(set, way);
+        if (line.valid)
+            policy.onEvict(tags, set, way);
+        line.valid = true;
+        line.tag = tags.tagOf(info.addr);
+        policy.onFill(tags, set, way, info);
+        benchmark::DoNotOptimize(way);
+    }
+}
+
+void
+BM_CplClassification(benchmark::State &state)
+{
+    CriticalityPredictor cpl(48, 0.125);
+    for (int s = 0; s < 48; ++s) {
+        cpl.reset(s, 0, s / 16);
+        cpl.onIssue(s, 10 + s);
+    }
+    int slot = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cpl.isCriticalWarp(slot));
+        slot = (slot + 1) % 48;
+    }
+}
+
+void
+BM_Coalescer(benchmark::State &state)
+{
+    Coalescer c(128);
+    std::vector<Addr> addrs;
+    for (int lane = 0; lane < 32; ++lane)
+        addrs.push_back(0x1000 + 64ull * lane);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.coalesce(addrs));
+}
+
+BENCHMARK(BM_SimulateQuickstart)
+    ->Arg(static_cast<int>(SchedulerKind::Lrr))
+    ->Arg(static_cast<int>(SchedulerKind::Gcaws))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CachePolicyFillEvict);
+BENCHMARK(BM_CplClassification);
+BENCHMARK(BM_Coalescer);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table 1: the simulated GPU configuration. Prints this simulator's
+ * defaults next to the paper's GPGPU-sim GTX480 parameters.
+ */
+
+#include "harness.hh"
+
+using namespace cawa;
+
+int
+main()
+{
+    const GpuConfig cfg = GpuConfig::fermiGtx480();
+    std::cout << "== Table 1: simulator configuration ==\n"
+              << cfg.describe() << "\n";
+
+    Table t({"parameter", "paper", "this-simulator"});
+    t.row().cell("Num. of SMs").cell("15").cell(cfg.numSms);
+    t.row().cell("Max warps per SM").cell("48").cell(cfg.maxWarpsPerSm);
+    t.row().cell("Max blocks per SM").cell("8").cell(cfg.maxBlocksPerSm);
+    t.row().cell("Schedulers per SM").cell("2")
+        .cell(cfg.numSchedulersPerSm);
+    t.row().cell("Registers per SM").cell("32768").cell(cfg.regFileSize);
+    t.row().cell("Shared memory (KB)").cell("48")
+        .cell(cfg.sharedMemBytes / 1024);
+    t.row().cell("L1D size (KB)").cell("16")
+        .cell(cfg.l1d.sets * cfg.l1d.ways * cfg.l1d.lineBytes / 1024);
+    t.row().cell("L1D sets/ways").cell("8/16")
+        .cell(std::to_string(cfg.l1d.sets) + "/" +
+              std::to_string(cfg.l1d.ways));
+    t.row().cell("L2 size (KB)").cell("768")
+        .cell(static_cast<std::uint64_t>(cfg.l2.banks) *
+              cfg.l2.setsPerBank * cfg.l2.ways * cfg.l2.lineBytes /
+              1024);
+    t.row().cell("L2 sets/ways/banks").cell("64/16/6")
+        .cell(std::to_string(cfg.l2.setsPerBank) + "/" +
+              std::to_string(cfg.l2.ways) + "/" +
+              std::to_string(cfg.l2.banks));
+    t.row().cell("Min L2 latency").cell("120")
+        .cell(2 * cfg.icntLatency + cfg.l2.latency);
+    t.row().cell("Min DRAM latency").cell("220")
+        .cell(2 * cfg.icntLatency + cfg.dramLatency + 1);
+    t.row().cell("Warp size").cell("32").cell(cfg.warpSize);
+    bench::emit(t, "Table 1 reproduction");
+    return 0;
+}

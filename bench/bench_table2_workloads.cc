@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Table 2: the benchmark inventory with Sens/Non-sens classes, plus
+ * this reproduction's launch geometry at the current bench scale.
+ */
+
+#include "harness.hh"
+
+using namespace cawa;
+
+int
+main()
+{
+    Table t({"benchmark", "paper-data-set", "category", "grid",
+             "block", "program-size", "smem(B)"});
+    for (const auto &name : allWorkloadNames()) {
+        auto wl = makeWorkload(name);
+        MemoryImage mem;
+        const KernelInfo kernel = wl->build(mem, bench::benchParams());
+        t.row()
+            .cell(name)
+            .cell(wl->dataSet())
+            .cell(wl->sensitive() ? "Sens" : "Non-sens")
+            .cell(kernel.gridDim)
+            .cell(kernel.blockDim)
+            .cell(static_cast<std::uint64_t>(kernel.program.size()))
+            .cell(kernel.smemPerBlock);
+    }
+    bench::emit(t, "Table 2: GPGPU benchmarks (scale " +
+                       std::to_string(bench::benchScale()) + ")");
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure benchmark binaries.
+ *
+ * Every binary reproduces one table or figure of the paper: it runs
+ * the required workload/configuration matrix, prints an aligned text
+ * table (with the paper's reported values alongside where the paper
+ * gives them) and a CSV block for plotting. Problem scale can be
+ * adjusted with the CAWA_BENCH_SCALE environment variable
+ * (default 0.5; the paper-shape observations hold from ~0.25 up).
+ */
+
+#ifndef CAWA_BENCH_HARNESS_HH
+#define CAWA_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/functional.hh"
+#include "sim/gpu.hh"
+#include "sim/oracle.hh"
+#include "workloads/registry.hh"
+
+namespace cawa::bench
+{
+
+inline double
+benchScale()
+{
+    if (const char *env = std::getenv("CAWA_BENCH_SCALE"))
+        return std::atof(env);
+    return 0.5;
+}
+
+inline WorkloadParams
+benchParams()
+{
+    WorkloadParams params;
+    params.scale = benchScale();
+    return params;
+}
+
+/** The evaluated CAWA configuration: gCAWS + CACP. */
+inline GpuConfig
+cawaConfig()
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.scheduler = SchedulerKind::Gcaws;
+    cfg.l1Policy = CachePolicyKind::Cacp;
+    return cfg;
+}
+
+inline GpuConfig
+schedulerConfig(SchedulerKind kind)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.scheduler = kind;
+    return cfg;
+}
+
+/** Cache key covering every config field the benches vary. */
+inline std::string
+runKey(const std::string &workload, const GpuConfig &cfg,
+       const WorkloadParams &params)
+{
+    std::ostringstream oss;
+    oss << workload << '|' << schedulerKindName(cfg.scheduler) << '|'
+        << cachePolicyKindName(cfg.l1Policy) << '|'
+        << cfg.cacp.criticalWays << '|' << cfg.cacp.regionShift << '|'
+        << cfg.cacp.dynamicPartition << '|' << cfg.criticalFraction
+        << '|' << cfg.cplQuantShift << '|' << cfg.cplUseInstTerm
+        << cfg.cplUseStallTerm << '|' << cfg.numSms << '|'
+        << cfg.l1d.sets << 'x' << cfg.l1d.ways << '|'
+        << cfg.traceBlockId << '|' << params.seed << '|'
+        << params.scale << '|' << params.bfsBalanced;
+    return oss.str();
+}
+
+/**
+ * Run one workload under @p cfg (CAWS oracle configs run the
+ * profiling pass automatically) and verify the results; exits with
+ * an error on functional mismatch so a broken simulator cannot
+ * silently produce plausible-looking numbers. Identical
+ * (workload, config, params) runs within one binary are memoized.
+ */
+inline SimReport
+run(const std::string &workload, const GpuConfig &cfg,
+    WorkloadParams params = benchParams())
+{
+    static std::map<std::string, SimReport> memo;
+    const std::string key = runKey(workload, cfg, params);
+    if (auto it = memo.find(key); it != memo.end())
+        return it->second;
+    auto wl = makeWorkload(workload);
+    MemoryImage mem;
+    const KernelInfo kernel = wl->build(mem, params);
+
+    SimReport report;
+    if (cfg.scheduler == SchedulerKind::CawsOracle) {
+        auto profile_wl = makeWorkload(workload);
+        MemoryImage profile_mem;
+        profile_wl->build(profile_mem, params);
+        report = runWithCawsOracle(cfg, mem, profile_mem, kernel);
+    } else {
+        report = runKernel(cfg, mem, kernel);
+    }
+    if (report.timedOut) {
+        std::fprintf(stderr, "ERROR: %s timed out\n", workload.c_str());
+        std::exit(1);
+    }
+    if (!wl->verify(mem)) {
+        std::fprintf(stderr, "ERROR: %s failed verification under %s\n",
+                     workload.c_str(), report.schedulerName.c_str());
+        std::exit(1);
+    }
+    memo.emplace(key, report);
+    return report;
+}
+
+/** Print the table and its CSV twin. */
+inline void
+emit(const Table &table, const std::string &title)
+{
+    table.print(std::cout, title);
+    std::cout << "-- csv --\n";
+    table.printCsv(std::cout);
+    std::cout << std::endl;
+}
+
+} // namespace cawa::bench
+
+#endif // CAWA_BENCH_HARNESS_HH

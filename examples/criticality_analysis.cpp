@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Example: dissect the CPL criticality predictor on one thread block.
+ * Prints the per-warp ground truth (execution time, instructions,
+ * stall breakdown) next to the final criticality counter and the
+ * fraction of samples in which CPL called the warp slow, then the
+ * criticality rank of the actually-critical warp over time (the Fig
+ * 12 view).
+ *
+ * Usage: criticality_analysis [workload] [scale] [blockId]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/gpu.hh"
+#include "workloads/registry.hh"
+
+using namespace cawa;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "bfs";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+    const std::int64_t block_id = argc > 3 ? std::atol(argv[3]) : 0;
+
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.traceBlockId = block_id;
+    cfg.traceSampleInterval = 128;
+
+    auto wl = makeWorkload(name);
+    MemoryImage mem;
+    WorkloadParams params;
+    params.scale = scale;
+    const KernelInfo kernel = wl->build(mem, params);
+    const SimReport report = runKernel(cfg, mem, kernel);
+
+    const BlockRecord *block = nullptr;
+    for (const auto &b : report.blocks)
+        if (b.id == static_cast<BlockId>(block_id))
+            block = &b;
+    if (!block) {
+        std::fprintf(stderr, "block %lld not found\n",
+                     static_cast<long long>(block_id));
+        return 1;
+    }
+
+    Table table({"warp", "exec-cycles", "instr", "mem-stall",
+                 "sched-wait", "slow-frac%"});
+    for (const auto &w : block->warps) {
+        table.row()
+            .cell(w.warpInBlock)
+            .cell(w.execTime())
+            .cell(w.instructions)
+            .cell(w.memStallCycles)
+            .cell(w.schedWaitCycles)
+            .cell(block->cplSamples
+                      ? 100.0 * w.slowSamples / block->cplSamples
+                      : 0.0,
+                  1);
+    }
+    table.print(std::cout, name + " block " + std::to_string(block_id) +
+                               " per-warp ground truth vs CPL");
+
+    const int critical = block->criticalWarp();
+    std::printf("critical warp: %d (exec %llu cycles), "
+                "cplAccuracy(all blocks) = %.1f%%\n\n",
+                critical,
+                static_cast<unsigned long long>(
+                    block->warps[critical].execTime()),
+                100.0 * report.cplAccuracy());
+
+    std::printf("rank of critical warp over time "
+                "(0 = lowest priority, %zu = highest):\n",
+                block->warps.size() - 1);
+    for (const auto &sample : report.trace) {
+        if (sample.criticality.size() <= static_cast<std::size_t>(
+                critical))
+            continue;
+        int rank = 0;
+        for (std::size_t w = 0; w < sample.criticality.size(); ++w)
+            if (sample.criticality[w] <
+                sample.criticality[critical])
+                rank++;
+        std::printf("  cycle %-8llu rank %2d  crit %lld\n",
+                    static_cast<unsigned long long>(sample.cycle), rank,
+                    static_cast<long long>(
+                        sample.criticality[critical]));
+    }
+    return 0;
+}

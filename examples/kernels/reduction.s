@@ -1,0 +1,39 @@
+; Block-wide tree reduction through shared memory, demonstrating
+; bar.sync and divergence in assembly. Each block sums the 256 values
+; IN[block*256 .. +255] into OUT[block].
+;   IN  at 0x100000, OUT at 0x300000
+; Launch with --block 256 (requires smem >= 1KB; the driver's default
+; kernel config reserves none, so this listing doubles as assembler
+; documentation; run_workload sets no smem, so use small grids).
+    s2r  r1, %tid            ; t
+    s2r  r2, %gtid
+    shl  r3, r2, 2
+    ld.global r4, [r3 + 0x100000]
+    shl  r5, r1, 2
+    st.shared [r5], r4       ; sh[t] = IN[gtid]
+    bar
+    mov  r6, 128             ; stride
+loop:
+    setp.le p0, r6, 0
+    @p0 bra done, done
+    setp.ge p1, r1, r6       ; threads >= stride idle
+    @p1 bra skip, skip
+    add  r7, r1, r6          ; partner = t + stride
+    shl  r8, r7, 2
+    ld.shared r9, [r8]
+    ld.shared r10, [r5]
+    add  r10, r10, r9
+    st.shared [r5], r10
+skip:
+    bar
+    shr  r6, r6, 1
+    bra  loop
+done:
+    setp.ne p2, r1, 0        ; only thread 0 writes the result
+    @p2 bra out, out
+    ld.shared r11, [r5]
+    s2r  r12, %ctaid
+    shl  r12, r12, 2
+    st.global [r12 + 0x300000], r11
+out:
+    exit

@@ -1,0 +1,11 @@
+; saxpy-style kernel for the run_workload --asm driver:
+;   OUT[i] = IN[i] * 3 + i
+; Arrays: IN at 0x100000, OUT at 0x200000 (zero-initialized input
+; image means OUT[i] = i when run standalone).
+    s2r  r1, %gtid
+    shl  r2, r1, 2
+    ld.global r3, [r2 + 0x100000]
+    mul  r3, r3, 3
+    add  r3, r3, r1
+    st.global [r2 + 0x200000], r3
+    exit

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Example: a command-line driver for the simulator — run any Table 2
+ * workload (or a kernel assembled from a .s file) under any
+ * scheduler / cache-policy combination and print the full report.
+ *
+ * Usage:
+ *   run_workload [options]
+ *     --workload NAME     Table 2 benchmark (default bfs); use
+ *                         --list to enumerate
+ *     --asm FILE          run an assembled kernel instead (grid/block
+ *                         via --grid/--block)
+ *     --scheduler KIND    rr | gto | 2lvl | caws | gcaws
+ *     --cache KIND        lru | srrip | ship | cacp
+ *     --scale F           workload problem-size multiplier
+ *     --sms N             number of SMs
+ *     --critical-ways N   CACP partition size
+ *     --dynamic-partition enable UCP-style partition adaptation
+ *     --seed N            input generation seed
+ *     --grid N --block N  geometry for --asm kernels
+ *     --smem BYTES        shared memory per block for --asm kernels
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "isa/assembler.hh"
+#include "sim/gpu.hh"
+#include "sim/oracle.hh"
+#include "workloads/registry.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+SchedulerKind
+parseScheduler(const std::string &s)
+{
+    if (s == "rr")
+        return SchedulerKind::Lrr;
+    if (s == "gto")
+        return SchedulerKind::Gto;
+    if (s == "2lvl")
+        return SchedulerKind::TwoLevel;
+    if (s == "caws")
+        return SchedulerKind::CawsOracle;
+    if (s == "gcaws")
+        return SchedulerKind::Gcaws;
+    std::fprintf(stderr, "unknown scheduler '%s'\n", s.c_str());
+    std::exit(1);
+}
+
+CachePolicyKind
+parseCache(const std::string &s)
+{
+    if (s == "lru")
+        return CachePolicyKind::Lru;
+    if (s == "srrip")
+        return CachePolicyKind::Srrip;
+    if (s == "ship")
+        return CachePolicyKind::Ship;
+    if (s == "cacp")
+        return CachePolicyKind::Cacp;
+    std::fprintf(stderr, "unknown cache policy '%s'\n", s.c_str());
+    std::exit(1);
+}
+
+void
+printReport(const SimReport &r)
+{
+    std::printf("kernel      %s\n", r.kernelName.c_str());
+    std::printf("scheduler   %s\n", r.schedulerName.c_str());
+    std::printf("l1-policy   %s\n", r.cachePolicyName.c_str());
+    std::printf("cycles      %llu%s\n",
+                static_cast<unsigned long long>(r.cycles),
+                r.timedOut ? "  (TIMED OUT)" : "");
+    std::printf("instructions %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("ipc         %.4f\n", r.ipc());
+    std::printf("l1 accesses %llu  hit-rate %.2f%%  mpki %.2f\n",
+                static_cast<unsigned long long>(r.l1.accesses),
+                100.0 * r.l1.hitRate(), r.mpki());
+    std::printf("l1 critical-warp hit-rate %.2f%%\n",
+                100.0 * r.l1.criticalHitRate());
+    std::printf("l2 accesses %llu  hit-rate %.2f%%\n",
+                static_cast<unsigned long long>(r.l2.accesses),
+                100.0 * r.l2.hitRate());
+    std::printf("dram reads %llu  writes %llu\n",
+                static_cast<unsigned long long>(r.dramReads),
+                static_cast<unsigned long long>(r.dramWrites));
+    std::printf("blocks      %zu\n", r.blocks.size());
+    std::printf("disparity   avg %.1f%%  max %.1f%%\n",
+                100.0 * r.avgDisparity(), 100.0 * r.maxDisparity());
+    std::printf("cpl-accuracy %.1f%%\n", 100.0 * r.cplAccuracy());
+    std::printf("mem-stall    %.1f%% of warp time\n",
+                100.0 * r.memStallFraction());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "bfs";
+    std::string asm_file;
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    WorkloadParams params;
+    params.scale = 0.5;
+    int grid = 8;
+    int block = 256;
+    int smem = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--asm") {
+            asm_file = next();
+        } else if (arg == "--scheduler") {
+            cfg.scheduler = parseScheduler(next());
+        } else if (arg == "--cache") {
+            cfg.l1Policy = parseCache(next());
+        } else if (arg == "--scale") {
+            params.scale = std::atof(next().c_str());
+        } else if (arg == "--sms") {
+            cfg.numSms = std::atoi(next().c_str());
+        } else if (arg == "--critical-ways") {
+            cfg.cacp.criticalWays = std::atoi(next().c_str());
+        } else if (arg == "--dynamic-partition") {
+            cfg.cacp.dynamicPartition = true;
+        } else if (arg == "--seed") {
+            params.seed = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--grid") {
+            grid = std::atoi(next().c_str());
+        } else if (arg == "--block") {
+            block = std::atoi(next().c_str());
+        } else if (arg == "--smem") {
+            smem = std::atoi(next().c_str());
+        } else if (arg == "--list") {
+            for (const auto &name : allWorkloadNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return 1;
+        }
+    }
+
+    MemoryImage mem;
+    SimReport report;
+
+    if (!asm_file.empty()) {
+        std::ifstream in(asm_file);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", asm_file.c_str());
+            return 1;
+        }
+        std::ostringstream src;
+        src << in.rdbuf();
+        const AssembleResult asm_result = assemble(src.str());
+        if (!asm_result.ok()) {
+            std::fprintf(stderr, "%s: %s\n", asm_file.c_str(),
+                         asm_result.error.c_str());
+            return 1;
+        }
+        KernelInfo kernel;
+        kernel.name = asm_file;
+        kernel.program = asm_result.program;
+        kernel.gridDim = grid;
+        kernel.blockDim = block;
+        kernel.smemPerBlock = smem;
+        report = runKernel(cfg, mem, kernel);
+        printReport(report);
+        return 0;
+    }
+
+    auto wl = makeWorkload(workload);
+    const KernelInfo kernel = wl->build(mem, params);
+    if (cfg.scheduler == SchedulerKind::CawsOracle) {
+        auto wl2 = makeWorkload(workload);
+        MemoryImage profile_mem;
+        wl2->build(profile_mem, params);
+        report = runWithCawsOracle(cfg, mem, profile_mem, kernel);
+    } else {
+        report = runKernel(cfg, mem, kernel);
+    }
+    printReport(report);
+    std::printf("verification %s\n",
+                wl->verify(mem) ? "PASSED" : "FAILED");
+    return wl->verify(mem) ? 0 : 1;
+}

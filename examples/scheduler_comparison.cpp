@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Example: compare the five warp schedulers (RR, GTO, two-level,
+ * CAWS-oracle, gCAWS) on any Table 2 workload and print IPC, L1
+ * behaviour and warp-disparity statistics.
+ *
+ * Usage: scheduler_comparison [workload] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/gpu.hh"
+#include "sim/oracle.hh"
+#include "workloads/registry.hh"
+
+using namespace cawa;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "bfs";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+    WorkloadParams params;
+    params.scale = scale;
+
+    Table table({"scheduler", "cycles", "ipc", "speedup", "l1-hit%",
+                 "mpki", "disp-avg%", "cpl-acc%"});
+
+    double base_ipc = 0.0;
+    for (SchedulerKind sched :
+         {SchedulerKind::Lrr, SchedulerKind::Gto, SchedulerKind::TwoLevel,
+          SchedulerKind::CawsOracle, SchedulerKind::Gcaws}) {
+        GpuConfig cfg = GpuConfig::fermiGtx480();
+        cfg.scheduler = sched;
+
+        auto wl = makeWorkload(name);
+        MemoryImage mem;
+        const KernelInfo kernel = wl->build(mem, params);
+
+        SimReport report;
+        if (sched == SchedulerKind::CawsOracle) {
+            auto wl2 = makeWorkload(name);
+            MemoryImage profile_mem;
+            wl2->build(profile_mem, params);
+            report = runWithCawsOracle(cfg, mem, profile_mem, kernel);
+        } else {
+            report = runKernel(cfg, mem, kernel);
+        }
+        if (!wl->verify(mem)) {
+            std::fprintf(stderr, "verification FAILED for %s\n",
+                         report.schedulerName.c_str());
+            return 1;
+        }
+        if (sched == SchedulerKind::Lrr)
+            base_ipc = report.ipc();
+
+        table.row()
+            .cell(report.schedulerName)
+            .cell(report.cycles)
+            .cell(report.ipc())
+            .cell(report.ipc() / base_ipc)
+            .cell(100.0 * report.l1.hitRate(), 1)
+            .cell(report.mpki(), 2)
+            .cell(100.0 * report.avgDisparity(), 1)
+            .cell(100.0 * report.cplAccuracy(), 1);
+    }
+    table.print(std::cout, "scheduler comparison: " + name +
+                               " (scale " + std::to_string(scale) + ")");
+    return 0;
+}

@@ -1,0 +1,57 @@
+#include "cawa/ccbp.hh"
+
+#include <bit>
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+CacheSignature
+makeSignature(std::uint32_t pc, Addr addr, int region_shift)
+{
+    const auto pc_bits = static_cast<CacheSignature>(pc & 0xff);
+    const auto region_bits =
+        static_cast<CacheSignature>((addr >> region_shift) & 0xff);
+    return pc_bits ^ region_bits;
+}
+
+CcbpTable::CcbpTable(int entries, int threshold, int initial)
+    : table_(entries, static_cast<std::uint8_t>(initial)),
+      threshold_(threshold)
+{
+    sim_assert(entries > 0 && std::has_single_bit(
+        static_cast<unsigned>(entries)));
+    sim_assert(threshold >= 0 && threshold <= 3);
+    sim_assert(initial >= 0 && initial <= 3);
+}
+
+bool
+CcbpTable::predictCritical(CacheSignature sig) const
+{
+    return table_[index(sig)] >= threshold_;
+}
+
+void
+CcbpTable::increment(CacheSignature sig)
+{
+    auto &ctr = table_[index(sig)];
+    if (ctr < 3)
+        ctr++;
+}
+
+void
+CcbpTable::decrement(CacheSignature sig)
+{
+    auto &ctr = table_[index(sig)];
+    if (ctr > 0)
+        ctr--;
+}
+
+std::uint8_t
+CcbpTable::counter(CacheSignature sig) const
+{
+    return table_[index(sig)];
+}
+
+} // namespace cawa

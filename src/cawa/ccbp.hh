@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Critical Cache Block Predictor (CCBP), Section 3.3 / Algorithm 4.
+ *
+ * An array of 2-bit saturating counters indexed by a signature formed
+ * from the low bits of the memory instruction's PC xor-ed with the low
+ * bits of the accessed line's address region. A counter at or above
+ * the threshold predicts that the incoming line will be reused by a
+ * critical warp, steering it into the critical L1D partition.
+ */
+
+#ifndef CAWA_CAWA_CCBP_HH
+#define CAWA_CAWA_CCBP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cawa
+{
+
+/** Signature used by both CCBP and SHiP tables. */
+using CacheSignature = std::uint16_t;
+
+/**
+ * Form the 8-bit PC xor address-region signature. @p region_shift
+ * selects the address-region granularity (the paper uses "memory
+ * address regions"; we default to cache-line granularity, i.e. the
+ * low 8 bits of the line address).
+ */
+CacheSignature makeSignature(std::uint32_t pc, Addr addr,
+                             int region_shift);
+
+/**
+ * Table of 2-bit saturating counters with a criticality threshold.
+ */
+class CcbpTable
+{
+  public:
+    /**
+     * @param entries table size (signatures are masked to it)
+     * @param threshold counter value at/above which a line is
+     *        predicted critical
+     * @param initial initial counter value
+     */
+    explicit CcbpTable(int entries = 256, int threshold = 2,
+                       int initial = 1);
+
+    bool predictCritical(CacheSignature sig) const;
+    void increment(CacheSignature sig);
+    void decrement(CacheSignature sig);
+    std::uint8_t counter(CacheSignature sig) const;
+
+    int entries() const { return static_cast<int>(table_.size()); }
+
+  private:
+    std::size_t index(CacheSignature sig) const
+    {
+        return sig & (table_.size() - 1);
+    }
+
+    std::vector<std::uint8_t> table_;
+    int threshold_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_CAWA_CCBP_HH

@@ -1,0 +1,202 @@
+#include "cawa/criticality.hh"
+
+#include <algorithm>
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+CriticalityPredictor::CriticalityPredictor(int num_slots,
+                                           double critical_fraction)
+    : slots_(num_slots), criticalFraction_(critical_fraction)
+{
+    sim_assert(num_slots > 0);
+    sim_assert(critical_fraction > 0.0 && critical_fraction <= 1.0);
+}
+
+void
+CriticalityPredictor::reset(WarpSlot slot, Cycle now,
+                            std::uint32_t block_tag)
+{
+    auto &st = slots_.at(slot);
+    if (st.active) {
+        // Slot is being rebound: retire its contribution to the old
+        // block's aggregate.
+        auto it = blockAggs_.find(st.blockTag);
+        if (it != blockAggs_.end()) {
+            it->second.sum -= st.pathInst;
+            if (--it->second.count == 0)
+                blockAggs_.erase(it);
+        }
+    }
+    st = SlotState{};
+    st.active = true;
+    st.blockTag = block_tag;
+    st.startCycle = now;
+    st.lastIssue = now;
+    auto &agg = blockAggs_[block_tag];
+    agg.count++;
+}
+
+void
+CriticalityPredictor::deactivate(WarpSlot slot)
+{
+    // The warp finished: its counters freeze but it stays ranked in
+    // its block until the block retires, so still-running laggards
+    // correctly classify as slow against their finished peers.
+    slots_.at(slot).finished = true;
+}
+
+void
+CriticalityPredictor::onIssue(WarpSlot slot, Cycle now)
+{
+    auto &st = slots_.at(slot);
+    sim_assert(st.active);
+    // Algorithm 3: the stall time between two consecutive issues.
+    if (now > st.lastIssue)
+        st.nStall += now - st.lastIssue - 1;
+    st.lastIssue = now;
+    st.issued++;
+    // Commit balancing: each committed instruction pays back one unit
+    // of the inferred instruction-count disparity. The cumulative
+    // path length (pathInst = issued + nInst) is unchanged by an
+    // issue, so the block aggregate needs no update here.
+    st.nInst -= 1;
+}
+
+std::int64_t
+CriticalityPredictor::branchDelta(std::uint32_t curr_pc,
+                                  std::uint32_t target_pc,
+                                  std::uint32_t reconv_pc, bool taken,
+                                  bool diverged)
+{
+    if (target_pc > curr_pc) {
+        // Forward branch: an if/else-style split that reconverges at
+        // reconv_pc. The fall-through path holds (target - curr - 1)
+        // instructions, the taken path (reconv - target).
+        const auto fall_len =
+            static_cast<std::int64_t>(target_pc) - curr_pc - 1;
+        const auto taken_len = reconv_pc >= target_pc
+            ? static_cast<std::int64_t>(reconv_pc) - target_pc : 0;
+        if (diverged)
+            return fall_len + taken_len;
+        return taken ? taken_len : fall_len;
+    }
+    // Backward branch: a loop back-edge. Taking it means another
+    // iteration of (curr - target + 1) instructions is coming.
+    const auto body_len =
+        static_cast<std::int64_t>(curr_pc) - target_pc + 1;
+    if (diverged || taken)
+        return body_len;
+    return 0;
+}
+
+void
+CriticalityPredictor::onBranch(WarpSlot slot, std::uint32_t curr_pc,
+                               std::uint32_t target_pc,
+                               std::uint32_t reconv_pc, bool taken,
+                               bool diverged)
+{
+    auto &st = slots_.at(slot);
+    sim_assert(st.active);
+    const std::int64_t delta =
+        branchDelta(curr_pc, target_pc, reconv_pc, taken, diverged);
+    st.nInst += delta;
+    st.pathInst += delta;
+    blockAggs_[st.blockTag].sum += delta;
+}
+
+void
+CriticalityPredictor::releaseBarrier(WarpSlot slot, Cycle now)
+{
+    auto &st = slots_.at(slot);
+    if (st.active && now > st.lastIssue)
+        st.lastIssue = now;
+}
+
+double
+CriticalityPredictor::cpiAvg(const SlotState &st) const
+{
+    if (st.issued == 0)
+        return 1.0;
+    const double elapsed =
+        static_cast<double>(st.lastIssue - st.startCycle) + 1.0;
+    const double cpi = elapsed / static_cast<double>(st.issued);
+    return std::clamp(cpi, 1.0, 64.0);
+}
+
+std::int64_t
+CriticalityPredictor::criticality(WarpSlot slot) const
+{
+    const auto &st = slots_.at(slot);
+    if (!st.active)
+        return 0;
+    // Finished warps return their frozen value (no further issues or
+    // stalls ever accrue).
+    std::int64_t value = 0;
+    if (useInstTerm_) {
+        // Eq. (1)'s instruction term: the instructions this warp has
+        // been charged for (inferred basic-block sizes at branches,
+        // Algorithm 2) but not yet committed, converted to cycles by
+        // the warp's average CPI -- an estimate of the extra time the
+        // warp still needs for path-length disparity (e.g. a diverged
+        // warp owes both sides of the branch).
+        value += static_cast<std::int64_t>(
+            static_cast<double>(st.nInst) * cpiAvg(st));
+    }
+    if (useStallTerm_)
+        value += static_cast<std::int64_t>(st.nStall);
+    return value;
+}
+
+bool
+CriticalityPredictor::isCriticalWarp(WarpSlot slot) const
+{
+    const auto &st = slots_.at(slot);
+    if (!st.active || st.finished)
+        return false;
+    // Rank the warp among the active warps of its own thread block:
+    // it is critical when it falls in the top criticalFraction_.
+    const std::int64_t mine = criticality(slot);
+    int peers = 0;
+    int above = 0;
+    for (int s = 0; s < static_cast<int>(slots_.size()); ++s) {
+        const auto &other = slots_[s];
+        if (!other.active || other.blockTag != st.blockTag)
+            continue;
+        peers++;
+        if (criticality(s) > mine)
+            above++;
+    }
+    sim_assert(peers >= 1);
+    const int allowed = std::max(
+        1, static_cast<int>(criticalFraction_ * peers));
+    return above < allowed;
+}
+
+std::int64_t
+CriticalityPredictor::priority(WarpSlot slot) const
+{
+    const auto &st = slots_.at(slot);
+    if (!st.active)
+        return 0;
+    const double cpi = cpiAvg(st);
+    const auto insts = static_cast<std::int64_t>(
+        static_cast<double>(criticality(slot)) / cpi);
+    return insts >> quantShift_;
+}
+
+std::int64_t
+CriticalityPredictor::instDisparity(WarpSlot slot) const
+{
+    return slots_.at(slot).nInst;
+}
+
+std::uint64_t
+CriticalityPredictor::stallCycles(WarpSlot slot) const
+{
+    return slots_.at(slot).nStall;
+}
+
+} // namespace cawa

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Warp criticality prediction (the paper's CPL, Section 3.1).
+ *
+ * Each warp slot owns a criticality counter combining (1) dynamic
+ * instruction-count disparity inferred from branch outcomes and (2)
+ * stall cycles between consecutive issues, per the paper's Eq. (1):
+ *
+ *     nCriticality = nInst * CPI_avg + nStall
+ *
+ * The counter is consumed by the gCAWS scheduler (priority) and by the
+ * CACP cache policy (IsCriticalWarp) through the read-only
+ * CriticalityInfo interface, which is also implemented by the oracle
+ * used for the CAWS baseline.
+ */
+
+#ifndef CAWA_CAWA_CRITICALITY_HH
+#define CAWA_CAWA_CRITICALITY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cawa
+{
+
+/**
+ * Read-only view of per-warp-slot criticality used by schedulers,
+ * the cache prioritization policy, and the statistics package.
+ */
+class CriticalityInfo
+{
+  public:
+    virtual ~CriticalityInfo() = default;
+
+    /** Criticality value of a warp slot (higher = more critical). */
+    virtual std::int64_t criticality(WarpSlot slot) const = 0;
+
+    /**
+     * Whether the warp ranks within the critical fraction of its
+     * thread block (used by CACP's IsCriticalWarp, Algorithm 4).
+     */
+    virtual bool isCriticalWarp(WarpSlot slot) const = 0;
+};
+
+/**
+ * The runtime criticality prediction logic (CPL).
+ *
+ * The owning SM drives the predictor: reset() when a warp slot is
+ * (re)bound to a block, onIssue() at every instruction issue,
+ * onBranch() when a branch resolves, releaseBarrier() when a barrier
+ * opens (so barrier wait is not charged as stall), deactivate() when
+ * the warp finishes.
+ */
+class CriticalityPredictor : public CriticalityInfo
+{
+  public:
+    /**
+     * @param num_slots warp slots in the SM
+     * @param critical_fraction top fraction of a block's warps
+     *        classified critical for cache prioritization
+     */
+    CriticalityPredictor(int num_slots, double critical_fraction);
+
+    /** Bind slot to a block (block_tag groups slots of one block). */
+    void reset(WarpSlot slot, Cycle now, std::uint32_t block_tag);
+
+    /** Warp finished; it no longer participates in ranking. */
+    void deactivate(WarpSlot slot);
+
+    /**
+     * An instruction issued from @p slot at @p now. Decrements the
+     * instruction-disparity term (commit balancing) and accrues the
+     * stall cycles since the previous issue (Algorithm 3).
+     */
+    void onIssue(WarpSlot slot, Cycle now);
+
+    /**
+     * A branch at @p curr_pc resolved. @p diverged means both paths
+     * execute; otherwise @p taken selects the path. The inferred
+     * basic-block sizes between branch, target and reconvergence
+     * update the instruction-disparity term (Algorithm 2).
+     */
+    void onBranch(WarpSlot slot, std::uint32_t curr_pc,
+                  std::uint32_t target_pc, std::uint32_t reconv_pc,
+                  bool taken, bool diverged);
+
+    /** Barrier released at @p now; wait time is not a CPL stall. */
+    void releaseBarrier(WarpSlot slot, Cycle now);
+
+    std::int64_t criticality(WarpSlot slot) const override;
+    bool isCriticalWarp(WarpSlot slot) const override;
+
+    /** Expose the instruction-disparity term (tests, ablations). */
+    std::int64_t instDisparity(WarpSlot slot) const;
+
+    /** Expose the accumulated stall term (tests, ablations). */
+    std::uint64_t stallCycles(WarpSlot slot) const;
+
+    /** Ablation knobs: disable one of Eq. (1)'s terms. */
+    void setUseInstTerm(bool v) { useInstTerm_ = v; }
+    void setUseStallTerm(bool v) { useStallTerm_ = v; }
+
+    /**
+     * Quantization of the scheduling priority: priority() compares
+     * criticality in 2^shift-cycle buckets, so warps whose progress
+     * differs by less than a bucket fall back to the scheduler's
+     * oldest-first tie-break (hardware would compare truncated
+     * counters). criticality() itself stays full resolution.
+     */
+    void setQuantShift(int shift) { quantShift_ = shift; }
+
+    /**
+     * Coarse-grained criticality used as scheduling priority. The
+     * cycle-valued counter is first normalized by the warp's average
+     * CPI into instruction-equivalent units (so the bucket size is
+     * workload-independent), then truncated to 2^shift buckets.
+     */
+    std::int64_t priority(WarpSlot slot) const;
+
+    /**
+     * Estimated inferred extra instructions for a resolved branch;
+     * exposed for unit testing of the Algorithm 2 inference rule.
+     */
+    static std::int64_t branchDelta(std::uint32_t curr_pc,
+                                    std::uint32_t target_pc,
+                                    std::uint32_t reconv_pc, bool taken,
+                                    bool diverged);
+
+  private:
+    struct SlotState
+    {
+        bool active = false;    ///< bound to a live block
+        bool finished = false;  ///< warp exited; counters frozen
+        std::uint32_t blockTag = 0;
+        std::int64_t nInst = 0;     ///< anticipated-minus-committed
+        std::int64_t pathInst = 0;  ///< issued + nInst (see .cc)
+        std::uint64_t nStall = 0;
+        std::uint64_t issued = 0;
+        Cycle startCycle = 0;
+        Cycle lastIssue = 0;
+    };
+
+    /** Per-block running sum of pathInst, for the relative term. */
+    struct BlockAgg
+    {
+        std::int64_t sum = 0;
+        int count = 0;
+    };
+
+    double cpiAvg(const SlotState &st) const;
+
+    std::vector<SlotState> slots_;
+    std::unordered_map<std::uint32_t, BlockAgg> blockAggs_;
+    double criticalFraction_;
+    int quantShift_ = 0;
+    bool useInstTerm_ = true;
+    bool useStallTerm_ = true;
+};
+
+} // namespace cawa
+
+#endif // CAWA_CAWA_CRITICALITY_HH

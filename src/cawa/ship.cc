@@ -1,0 +1,52 @@
+#include "cawa/ship.hh"
+
+#include <bit>
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+ShipTable::ShipTable(int entries, int initial)
+    : table_(entries, static_cast<std::uint8_t>(initial))
+{
+    sim_assert(entries > 0 && std::has_single_bit(
+        static_cast<unsigned>(entries)));
+    sim_assert(initial >= 0 && initial <= 3);
+}
+
+bool
+ShipTable::predictReuse(CacheSignature sig) const
+{
+    return table_[index(sig)] > 0;
+}
+
+std::uint8_t
+ShipTable::insertionRrpv(CacheSignature sig) const
+{
+    return predictReuse(sig) ? 2 : 3;
+}
+
+void
+ShipTable::increment(CacheSignature sig)
+{
+    auto &ctr = table_[index(sig)];
+    if (ctr < 3)
+        ctr++;
+}
+
+void
+ShipTable::decrement(CacheSignature sig)
+{
+    auto &ctr = table_[index(sig)];
+    if (ctr > 0)
+        ctr--;
+}
+
+std::uint8_t
+ShipTable::counter(CacheSignature sig) const
+{
+    return table_[index(sig)];
+}
+
+} // namespace cawa

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Modified Signature-based Hit Predictor (SHiP), Section 3.3.
+ *
+ * Learns, per signature, whether lines are re-referenced at all; the
+ * prediction selects the RRIP insertion position (RRPV 2 "long" for
+ * predicted-reused signatures vs RRPV 3 "distant" otherwise), exactly
+ * as the paper's modified SHiP guides CACP insertions.
+ */
+
+#ifndef CAWA_CAWA_SHIP_HH
+#define CAWA_CAWA_SHIP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cawa/ccbp.hh"
+
+namespace cawa
+{
+
+class ShipTable
+{
+  public:
+    explicit ShipTable(int entries = 256, int initial = 1);
+
+    /** True if lines with this signature are expected to be reused. */
+    bool predictReuse(CacheSignature sig) const;
+
+    /** RRIP insertion value: 2 (long) if reuse predicted, else 3. */
+    std::uint8_t insertionRrpv(CacheSignature sig) const;
+
+    /** A line with this signature received a hit. */
+    void increment(CacheSignature sig);
+
+    /** A line with this signature was evicted without any reuse. */
+    void decrement(CacheSignature sig);
+
+    std::uint8_t counter(CacheSignature sig) const;
+
+    int entries() const { return static_cast<int>(table_.size()); }
+
+  private:
+    std::size_t index(CacheSignature sig) const
+    {
+        return sig & (table_.size() - 1);
+    }
+
+    std::vector<std::uint8_t> table_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_CAWA_SHIP_HH

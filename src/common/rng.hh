@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * All stochastic choices in the simulator and the workload generators go
+ * through this class so that a given seed always reproduces the exact
+ * same simulation, cycle for cycle.
+ */
+
+#ifndef CAWA_COMMON_RNG_HH
+#define CAWA_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace cawa
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * algorithm), seeded via splitmix64.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /**
+     * Sample from a bounded discrete Pareto-like (power law)
+     * distribution over [1, max]; smaller alpha => heavier tail.
+     * Used by workload generators to create imbalanced task sizes.
+     */
+    std::uint64_t nextPareto(double alpha, std::uint64_t max);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace cawa
+
+#endif // CAWA_COMMON_RNG_HH

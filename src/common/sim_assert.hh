@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Invariant checking helpers, in the spirit of gem5's panic()/fatal().
+ *
+ * sim_assert() guards internal invariants (a failure is a simulator
+ * bug); sim_fatal() reports unusable user configuration. Both print a
+ * message with source location and abort/exit respectively.
+ */
+
+#ifndef CAWA_COMMON_SIM_ASSERT_HH
+#define CAWA_COMMON_SIM_ASSERT_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cawa
+{
+
+[[noreturn]] inline void
+panicAt(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalAt(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+} // namespace cawa
+
+/** Abort if an internal invariant does not hold (simulator bug). */
+#define sim_assert(cond)                                                    \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::cawa::panicAt(__FILE__, __LINE__,                             \
+                            "assertion failed: " #cond);                    \
+    } while (0)
+
+/** Abort with a message; for unreachable internal states. */
+#define sim_panic(msg) ::cawa::panicAt(__FILE__, __LINE__, (msg))
+
+/** Exit with a message; for invalid user-supplied configuration. */
+#define sim_fatal(msg) ::cawa::fatalAt(__FILE__, __LINE__, (msg))
+
+#endif // CAWA_COMMON_SIM_ASSERT_HH

@@ -1,0 +1,99 @@
+#include "common/table.hh"
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    sim_assert(!rows_.empty());
+    sim_assert(rows_.back().size() < headers_.size());
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return cell(oss.str());
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    os << "== " << title << " ==\n";
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c];
+            if (c + 1 < cells.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    os << "\n";
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace cawa

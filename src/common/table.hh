@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Aligned text-table and CSV emission used by the benchmark harness to
+ * print the paper's tables and figure series.
+ */
+
+#ifndef CAWA_COMMON_TABLE_HH
+#define CAWA_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cawa
+{
+
+/**
+ * A simple column-aligned table. Rows are built cell by cell; print()
+ * pads each column to its widest cell. printCsv() emits the same data
+ * as comma-separated values for downstream plotting.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+
+    /** Append a formatted floating-point cell. */
+    Table &cell(double value, int precision = 3);
+
+    /** Append an integer cell. */
+    Table &cell(std::uint64_t value);
+    Table &cell(int value);
+
+    /** Emit as an aligned text table with a title line. */
+    void print(std::ostream &os, const std::string &title) const;
+
+    /** Emit as CSV (headers + rows). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_COMMON_TABLE_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef CAWA_COMMON_TYPES_HH
+#define CAWA_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace cawa
+{
+
+/** Simulation time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated global address space. */
+using Addr = std::uint64_t;
+
+/** Value held by one architectural register of one thread. */
+using RegValue = std::uint64_t;
+
+/** Index of a warp slot inside one SM's warp pool. */
+using WarpSlot = int;
+
+/** Globally unique id of a thread block within one kernel launch. */
+using BlockId = std::uint32_t;
+
+/** Sentinel for "no cycle scheduled". */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/** Sentinel for "no warp selected". */
+inline constexpr WarpSlot kNoWarp = -1;
+
+} // namespace cawa
+
+#endif // CAWA_COMMON_TYPES_HH

@@ -1,0 +1,487 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program_builder.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+/** One parsed operand: a register, predicate, immediate, memory
+ *  reference or bare identifier (label / special register). */
+struct Operand
+{
+    enum class Kind { Reg, Pred, Imm, Mem, Ident };
+    Kind kind;
+    Reg reg = 0;
+    PredReg pred = 0;
+    std::int64_t imm = 0;
+    Reg memBase = 0;        ///< Mem: base register
+    std::int64_t memOff = 0;///< Mem: byte offset
+    std::string ident;
+};
+
+struct ParsedLine
+{
+    std::string label;          ///< label defined on this line
+    std::string mnemonic;
+    bool predUsed = false;
+    bool predNegate = false;
+    PredReg psrc = 0;
+    std::vector<Operand> operands;
+};
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        b++;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        e--;
+    return s.substr(b, e - b);
+}
+
+std::string
+stripComment(const std::string &line)
+{
+    const auto pos = line.find_first_of(";#");
+    return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+bool
+parseInt(const std::string &tok, std::int64_t &out)
+{
+    if (tok.empty())
+        return false;
+    std::size_t idx = 0;
+    try {
+        out = std::stoll(tok, &idx, 0);
+    } catch (...) {
+        return false;
+    }
+    return idx == tok.size();
+}
+
+bool
+parseReg(const std::string &tok, Reg &out)
+{
+    if (tok.size() < 2 || tok[0] != 'r')
+        return false;
+    std::int64_t n = 0;
+    if (!parseInt(tok.substr(1), n) || n < 0 || n >= kNumRegs)
+        return false;
+    out = static_cast<Reg>(n);
+    return true;
+}
+
+bool
+parsePred(const std::string &tok, PredReg &out)
+{
+    if (tok.size() < 2 || tok[0] != 'p')
+        return false;
+    std::int64_t n = 0;
+    if (!parseInt(tok.substr(1), n) || n < 0 || n >= kNumPredRegs)
+        return false;
+    out = static_cast<PredReg>(n);
+    return true;
+}
+
+std::optional<Operand>
+parseOperand(const std::string &raw)
+{
+    const std::string tok = trim(raw);
+    if (tok.empty())
+        return std::nullopt;
+    Operand op;
+    if (tok.front() == '[') {
+        if (tok.back() != ']')
+            return std::nullopt;
+        // [rN] or [rN + imm] or [rN - imm]
+        const std::string inner = trim(tok.substr(1, tok.size() - 2));
+        op.kind = Operand::Kind::Mem;
+        const auto plus = inner.find_first_of("+-");
+        std::string base = trim(
+            plus == std::string::npos ? inner : inner.substr(0, plus));
+        if (!parseReg(base, op.memBase))
+            return std::nullopt;
+        if (plus != std::string::npos) {
+            std::string off = trim(inner.substr(plus + 1));
+            if (!parseInt(off, op.memOff))
+                return std::nullopt;
+            if (inner[plus] == '-')
+                op.memOff = -op.memOff;
+        }
+        return op;
+    }
+    if (parseReg(tok, op.reg)) {
+        op.kind = Operand::Kind::Reg;
+        return op;
+    }
+    if (parsePred(tok, op.pred)) {
+        op.kind = Operand::Kind::Pred;
+        return op;
+    }
+    if (parseInt(tok, op.imm)) {
+        op.kind = Operand::Kind::Imm;
+        return op;
+    }
+    op.kind = Operand::Kind::Ident;
+    op.ident = tok;
+    return op;
+}
+
+std::optional<SpecialReg>
+parseSpecial(const std::string &name)
+{
+    static const std::unordered_map<std::string, SpecialReg> map = {
+        {"%tid", SpecialReg::TidX},
+        {"%ctaid", SpecialReg::CtaIdX},
+        {"%ntid", SpecialReg::NTidX},
+        {"%nctaid", SpecialReg::NCtaIdX},
+        {"%lane", SpecialReg::LaneId},
+        {"%warpid", SpecialReg::WarpIdInBlock},
+        {"%gtid", SpecialReg::GlobalTid},
+    };
+    auto it = map.find(name);
+    if (it == map.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<CmpOp>
+parseCmpSuffix(const std::string &suffix)
+{
+    static const std::unordered_map<std::string, CmpOp> map = {
+        {"eq", CmpOp::Eq}, {"ne", CmpOp::Ne}, {"lt", CmpOp::Lt},
+        {"le", CmpOp::Le}, {"gt", CmpOp::Gt}, {"ge", CmpOp::Ge},
+    };
+    auto it = map.find(suffix);
+    if (it == map.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+parseLine(const std::string &raw, ParsedLine &out, std::string &err)
+{
+    std::string line = trim(stripComment(raw));
+    out = ParsedLine{};
+    if (line.empty())
+        return true;
+
+    // Label definition.
+    const auto colon = line.find(':');
+    if (colon != std::string::npos) {
+        out.label = trim(line.substr(0, colon));
+        if (out.label.empty() ||
+            out.label.find(' ') != std::string::npos) {
+            err = "bad label";
+            return false;
+        }
+        line = trim(line.substr(colon + 1));
+        if (line.empty())
+            return true;
+    }
+
+    // Predicate guard (@p0 / @!p1).
+    if (line.front() == '@') {
+        std::size_t i = 1;
+        if (i < line.size() && line[i] == '!') {
+            out.predNegate = true;
+            i++;
+        }
+        const auto space = line.find(' ', i);
+        if (space == std::string::npos) {
+            err = "guard without instruction";
+            return false;
+        }
+        if (!parsePred(line.substr(i, space - i), out.psrc)) {
+            err = "bad guard predicate";
+            return false;
+        }
+        out.predUsed = true;
+        line = trim(line.substr(space));
+    }
+
+    // Mnemonic + comma-separated operands.
+    const auto space = line.find_first_of(" \t");
+    out.mnemonic = space == std::string::npos ? line
+                                              : line.substr(0, space);
+    if (space != std::string::npos) {
+        std::string rest = trim(line.substr(space));
+        std::size_t start = 0;
+        while (start <= rest.size() && !rest.empty()) {
+            // Split on commas outside brackets.
+            int depth = 0;
+            std::size_t i = start;
+            for (; i < rest.size(); ++i) {
+                if (rest[i] == '[')
+                    depth++;
+                else if (rest[i] == ']')
+                    depth--;
+                else if (rest[i] == ',' && depth == 0)
+                    break;
+            }
+            const auto piece = rest.substr(start, i - start);
+            auto op = parseOperand(piece);
+            if (!op) {
+                err = "bad operand '" + trim(piece) + "'";
+                return false;
+            }
+            out.operands.push_back(*op);
+            if (i >= rest.size())
+                break;
+            start = i + 1;
+        }
+    }
+    return true;
+}
+
+struct Expect
+{
+    bool reg(const Operand &op) const
+    {
+        return op.kind == Operand::Kind::Reg;
+    }
+    bool imm(const Operand &op) const
+    {
+        return op.kind == Operand::Kind::Imm;
+    }
+    bool pred(const Operand &op) const
+    {
+        return op.kind == Operand::Kind::Pred;
+    }
+    bool mem(const Operand &op) const
+    {
+        return op.kind == Operand::Kind::Mem;
+    }
+    bool ident(const Operand &op) const
+    {
+        return op.kind == Operand::Kind::Ident;
+    }
+};
+
+} // namespace
+
+AssembleResult
+assemble(const std::string &source)
+{
+    AssembleResult result;
+    ProgramBuilder b;
+    Expect is;
+    std::vector<std::string> defined_labels;
+    std::vector<std::pair<int, std::string>> referenced_labels;
+
+    std::istringstream iss(source);
+    std::string raw;
+    int line_no = 0;
+    auto fail = [&](const std::string &msg) {
+        result.error = "line " + std::to_string(line_no) + ": " + msg;
+        return result;
+    };
+
+    while (std::getline(iss, raw)) {
+        line_no++;
+        ParsedLine pl;
+        std::string err;
+        if (!parseLine(raw, pl, err))
+            return fail(err);
+        if (!pl.label.empty()) {
+            for (const auto &l : defined_labels)
+                if (l == pl.label)
+                    return fail("duplicate label '" + pl.label + "'");
+            defined_labels.push_back(pl.label);
+            b.label(pl.label);
+        }
+        if (pl.mnemonic.empty())
+            continue;
+
+        const auto &ops = pl.operands;
+        const std::string &m = pl.mnemonic;
+
+        if (pl.predUsed && m != "bra")
+            return fail("only bra may be predicated");
+
+        auto bin_or_imm = [&](auto reg_emit, auto imm_emit) -> bool {
+            if (ops.size() != 3 || !is.reg(ops[0]) || !is.reg(ops[1]))
+                return false;
+            if (is.reg(ops[2])) {
+                reg_emit(ops[0].reg, ops[1].reg, ops[2].reg);
+                return true;
+            }
+            if (is.imm(ops[2])) {
+                imm_emit(ops[0].reg, ops[1].reg, ops[2].imm);
+                return true;
+            }
+            return false;
+        };
+        auto bin_only = [&](auto reg_emit) -> bool {
+            if (ops.size() != 3 || !is.reg(ops[0]) || !is.reg(ops[1]) ||
+                !is.reg(ops[2]))
+                return false;
+            reg_emit(ops[0].reg, ops[1].reg, ops[2].reg);
+            return true;
+        };
+        auto imm_only = [&](auto imm_emit) -> bool {
+            if (ops.size() != 3 || !is.reg(ops[0]) || !is.reg(ops[1]) ||
+                !is.imm(ops[2]))
+                return false;
+            imm_emit(ops[0].reg, ops[1].reg, ops[2].imm);
+            return true;
+        };
+
+        bool ok = true;
+        if (m == "nop" && ops.empty()) {
+            b.nop();
+        } else if (m == "add") {
+            ok = bin_or_imm([&](Reg d, Reg a, Reg c) { b.add(d, a, c); },
+                            [&](Reg d, Reg a, std::int64_t i) {
+                                b.addImm(d, a, i);
+                            });
+        } else if (m == "sub") {
+            ok = bin_only([&](Reg d, Reg a, Reg c) { b.sub(d, a, c); });
+        } else if (m == "mul") {
+            ok = bin_or_imm([&](Reg d, Reg a, Reg c) { b.mul(d, a, c); },
+                            [&](Reg d, Reg a, std::int64_t i) {
+                                b.mulImm(d, a, i);
+                            });
+        } else if (m == "mad") {
+            ok = ops.size() == 4 && is.reg(ops[0]) && is.reg(ops[1]) &&
+                 is.reg(ops[2]) && is.reg(ops[3]);
+            if (ok)
+                b.mad(ops[0].reg, ops[1].reg, ops[2].reg, ops[3].reg);
+        } else if (m == "min") {
+            ok = bin_only([&](Reg d, Reg a, Reg c) { b.min(d, a, c); });
+        } else if (m == "max") {
+            ok = bin_only([&](Reg d, Reg a, Reg c) { b.max(d, a, c); });
+        } else if (m == "and") {
+            ok = bin_only([&](Reg d, Reg a, Reg c) { b.and_(d, a, c); });
+        } else if (m == "or") {
+            ok = bin_only([&](Reg d, Reg a, Reg c) { b.or_(d, a, c); });
+        } else if (m == "xor") {
+            ok = bin_only([&](Reg d, Reg a, Reg c) { b.xor_(d, a, c); });
+        } else if (m == "shl") {
+            ok = imm_only([&](Reg d, Reg a, std::int64_t i) {
+                b.shlImm(d, a, i);
+            });
+        } else if (m == "shr") {
+            ok = imm_only([&](Reg d, Reg a, std::int64_t i) {
+                b.shrImm(d, a, i);
+            });
+        } else if (m == "mov") {
+            if (ops.size() == 2 && is.reg(ops[0]) && is.reg(ops[1])) {
+                b.mov(ops[0].reg, ops[1].reg);
+            } else if (ops.size() == 2 && is.reg(ops[0]) &&
+                       is.imm(ops[1])) {
+                b.movImm(ops[0].reg, ops[1].imm);
+            } else {
+                ok = false;
+            }
+        } else if (m == "sfu") {
+            ok = ops.size() == 2 && is.reg(ops[0]) && is.reg(ops[1]);
+            if (ok)
+                b.sfu(ops[0].reg, ops[1].reg);
+        } else if (m == "s2r") {
+            ok = ops.size() == 2 && is.reg(ops[0]) && is.ident(ops[1]);
+            if (ok) {
+                const auto sreg = parseSpecial(ops[1].ident);
+                if (!sreg)
+                    return fail("unknown special register '" +
+                                ops[1].ident + "'");
+                b.s2r(ops[0].reg, *sreg);
+            }
+        } else if (m == "selp") {
+            ok = ops.size() == 4 && is.reg(ops[0]) && is.pred(ops[1]) &&
+                 is.reg(ops[2]) && is.reg(ops[3]);
+            if (ok)
+                b.selp(ops[0].reg, ops[1].pred, ops[2].reg,
+                       ops[3].reg);
+        } else if (m.rfind("setp.", 0) == 0) {
+            const auto cmp = parseCmpSuffix(m.substr(5));
+            if (!cmp)
+                return fail("unknown compare '" + m + "'");
+            if (ops.size() == 3 && is.pred(ops[0]) && is.reg(ops[1]) &&
+                is.reg(ops[2])) {
+                b.setp(ops[0].pred, *cmp, ops[1].reg, ops[2].reg);
+            } else if (ops.size() == 3 && is.pred(ops[0]) &&
+                       is.reg(ops[1]) && is.imm(ops[2])) {
+                b.setpImm(ops[0].pred, *cmp, ops[1].reg, ops[2].imm);
+            } else {
+                ok = false;
+            }
+        } else if (m == "ld.global" || m == "ld.shared") {
+            ok = ops.size() == 2 && is.reg(ops[0]) && is.mem(ops[1]);
+            if (ok) {
+                if (m == "ld.global")
+                    b.ldGlobal(ops[0].reg, ops[1].memBase,
+                               ops[1].memOff);
+                else
+                    b.ldShared(ops[0].reg, ops[1].memBase,
+                               ops[1].memOff);
+            }
+        } else if (m == "st.global" || m == "st.shared") {
+            ok = ops.size() == 2 && is.mem(ops[0]) && is.reg(ops[1]);
+            if (ok) {
+                if (m == "st.global")
+                    b.stGlobal(ops[0].memBase, ops[1].reg,
+                               ops[0].memOff);
+                else
+                    b.stShared(ops[0].memBase, ops[1].reg,
+                               ops[0].memOff);
+            }
+        } else if (m == "bra") {
+            if (pl.predUsed) {
+                ok = ops.size() == 2 && is.ident(ops[0]) &&
+                     is.ident(ops[1]);
+                if (ok) {
+                    if (pl.predNegate)
+                        b.braIfNot(ops[0].ident, pl.psrc,
+                                   ops[1].ident);
+                    else
+                        b.braIf(ops[0].ident, pl.psrc, ops[1].ident);
+                }
+            } else {
+                ok = ops.size() == 1 && is.ident(ops[0]);
+                if (ok)
+                    b.bra(ops[0].ident);
+            }
+            for (const auto &op : ops)
+                if (is.ident(op))
+                    referenced_labels.emplace_back(line_no, op.ident);
+        } else if (m == "bar" && ops.empty()) {
+            b.bar();
+        } else if (m == "exit" && ops.empty()) {
+            b.exit();
+        } else {
+            return fail("unknown instruction '" + m + "'");
+        }
+        if (!ok)
+            return fail("bad operands for '" + m + "'");
+    }
+
+    for (const auto &[ref_line, label] : referenced_labels) {
+        bool found = false;
+        for (const auto &l : defined_labels)
+            found = found || l == label;
+        if (!found) {
+            line_no = ref_line;
+            return fail("undefined label '" + label + "'");
+        }
+    }
+    std::string build_error;
+    result.program = b.tryBuild(build_error);
+    if (!build_error.empty())
+        result.error = build_error;
+    return result;
+}
+
+} // namespace cawa

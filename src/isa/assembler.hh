@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Text assembler for the mini ISA: parse a human-readable listing
+ * into a Program, mirroring the ProgramBuilder API. Lets kernels be
+ * written as .s files instead of C++ builder calls.
+ *
+ * Syntax (one instruction per line; ';' or '#' start a comment):
+ *
+ *   entry:                        ; label
+ *       s2r   r1, %gtid           ; special regs: %tid %ctaid %ntid
+ *                                 ;   %nctaid %lane %warpid %gtid
+ *       mov   r2, 5               ; immediate form auto-selected
+ *       add   r3, r1, r2          ; reg-reg
+ *       add   r3, r3, 12          ; reg-imm (AddImm)
+ *       shl   r4, r1, 2
+ *       ld.global  r5, [r4 + 0x1000]
+ *       st.global  [r4 + 0x2000], r5
+ *       ld.shared  r6, [r4]
+ *       setp.lt p0, r5, r6        ; cmp suffix: eq ne lt le gt ge
+ *       @p0 bra target, reconv    ; predicated branch + reconv label
+ *       @!p1 bra target, reconv   ; negated predicate
+ *       bra somewhere             ; unconditional
+ *       bar
+ *       exit
+ *
+ * Register operands are r0..r31, predicates p0..p7; immediates are
+ * decimal or 0x-hex, optionally negative.
+ */
+
+#ifndef CAWA_ISA_ASSEMBLER_HH
+#define CAWA_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace cawa
+{
+
+/** Result of assembling a listing. */
+struct AssembleResult
+{
+    Program program;
+    /** Empty on success; else "line N: message". */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Assemble a full listing (multi-line string). */
+AssembleResult assemble(const std::string &source);
+
+} // namespace cawa
+
+#endif // CAWA_ISA_ASSEMBLER_HH

@@ -1,0 +1,158 @@
+#include "isa/instruction.hh"
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+FuncUnit
+Instruction::funcUnit() const
+{
+    switch (op) {
+      case Opcode::Sfu:
+        return FuncUnit::Sfu;
+      case Opcode::LdGlobal:
+      case Opcode::StGlobal:
+      case Opcode::LdShared:
+      case Opcode::StShared:
+        return FuncUnit::Mem;
+      case Opcode::Bra:
+      case Opcode::Bar:
+      case Opcode::Exit:
+        return FuncUnit::Control;
+      default:
+        return FuncUnit::Alu;
+    }
+}
+
+bool
+Instruction::isMem() const
+{
+    return funcUnit() == FuncUnit::Mem;
+}
+
+bool
+Instruction::isLoad() const
+{
+    return op == Opcode::LdGlobal || op == Opcode::LdShared;
+}
+
+bool
+Instruction::writesReg() const
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Setp:
+      case Opcode::SetpImm:
+      case Opcode::StGlobal:
+      case Opcode::StShared:
+      case Opcode::Bra:
+      case Opcode::Bar:
+      case Opcode::Exit:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+Instruction::isGlobal() const
+{
+    return op == Opcode::LdGlobal || op == Opcode::StGlobal;
+}
+
+bool
+evalCmp(CmpOp op, RegValue a, RegValue b)
+{
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    switch (op) {
+      case CmpOp::Eq: return sa == sb;
+      case CmpOp::Ne: return sa != sb;
+      case CmpOp::Lt: return sa < sb;
+      case CmpOp::Le: return sa <= sb;
+      case CmpOp::Gt: return sa > sb;
+      case CmpOp::Ge: return sa >= sb;
+    }
+    sim_panic("bad CmpOp");
+}
+
+RegValue
+evalAlu(Opcode op, RegValue a, RegValue b, RegValue c, std::int64_t imm)
+{
+    const auto ui = static_cast<RegValue>(imm);
+    switch (op) {
+      case Opcode::Add: return a + b;
+      case Opcode::AddImm: return a + ui;
+      case Opcode::Sub: return a - b;
+      case Opcode::Mul: return a * b;
+      case Opcode::MulImm: return a * ui;
+      case Opcode::Mad: return a * b + c;
+      case Opcode::Min:
+        return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b)
+            ? a : b;
+      case Opcode::Max:
+        return static_cast<std::int64_t>(a) > static_cast<std::int64_t>(b)
+            ? a : b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Shl: return a << (b & 63);
+      case Opcode::Shr: return a >> (b & 63);
+      case Opcode::ShlImm: return a << (ui & 63);
+      case Opcode::ShrImm: return a >> (ui & 63);
+      case Opcode::Mov: return a;
+      case Opcode::MovImm: return ui;
+      case Opcode::Sfu:
+        // A cheap bijective mixer standing in for a transcendental:
+        // deterministic, value-dependent, and register-width preserving.
+        {
+            RegValue x = a + 0x9e3779b97f4a7c15ULL;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+            return x ^ (x >> 31);
+        }
+      default:
+        sim_panic("evalAlu: non-ALU opcode");
+    }
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::AddImm: return "add.imm";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::MulImm: return "mul.imm";
+      case Opcode::Mad: return "mad";
+      case Opcode::Min: return "min";
+      case Opcode::Max: return "max";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::ShlImm: return "shl.imm";
+      case Opcode::ShrImm: return "shr.imm";
+      case Opcode::Mov: return "mov";
+      case Opcode::MovImm: return "mov.imm";
+      case Opcode::Setp: return "setp";
+      case Opcode::SetpImm: return "setp.imm";
+      case Opcode::Selp: return "selp";
+      case Opcode::S2R: return "s2r";
+      case Opcode::Sfu: return "sfu";
+      case Opcode::LdGlobal: return "ld.global";
+      case Opcode::StGlobal: return "st.global";
+      case Opcode::LdShared: return "ld.shared";
+      case Opcode::StShared: return "st.shared";
+      case Opcode::Bra: return "bra";
+      case Opcode::Bar: return "bar.sync";
+      case Opcode::Exit: return "exit";
+    }
+    return "?";
+}
+
+} // namespace cawa

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The mini PTX-like instruction set interpreted by the SIMT core.
+ *
+ * The ISA is deliberately small but fully functional: real register
+ * values flow through it, so per-thread control flow and memory
+ * addresses are computed, not scripted. Values are 64-bit integers;
+ * memory accesses move 4-byte words (zero-extended on load).
+ */
+
+#ifndef CAWA_ISA_INSTRUCTION_HH
+#define CAWA_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace cawa
+{
+
+/** Architectural general-purpose register index (0..31). */
+using Reg = std::uint8_t;
+
+/** Predicate register index (0..7). */
+using PredReg = std::uint8_t;
+
+inline constexpr int kNumRegs = 32;
+inline constexpr int kNumPredRegs = 8;
+
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    // Integer ALU, 64-bit two's-complement semantics.
+    Add,        ///< dst = src0 + src1
+    AddImm,     ///< dst = src0 + imm
+    Sub,        ///< dst = src0 - src1
+    Mul,        ///< dst = src0 * src1
+    MulImm,     ///< dst = src0 * imm
+    Mad,        ///< dst = src0 * src1 + src2
+    Min,        ///< dst = min(src0, src1), signed
+    Max,        ///< dst = max(src0, src1), signed
+    And,        ///< dst = src0 & src1
+    Or,         ///< dst = src0 | src1
+    Xor,        ///< dst = src0 ^ src1
+    Shl,        ///< dst = src0 << (src1 & 63)
+    Shr,        ///< dst = src0 >> (src1 & 63), logical
+    ShlImm,     ///< dst = src0 << (imm & 63)
+    ShrImm,     ///< dst = src0 >> (imm & 63), logical
+    Mov,        ///< dst = src0
+    MovImm,     ///< dst = imm
+    Setp,       ///< pdst = cmp(src0, src1), signed compare
+    SetpImm,    ///< pdst = cmp(src0, imm)
+    Selp,       ///< dst = psrc ? src0 : src1
+    S2R,        ///< dst = special register
+    Sfu,        ///< dst = rotmix(src0); long-latency SFU placeholder
+    // Memory. Addresses are per-thread byte addresses.
+    LdGlobal,   ///< dst = global[src0 + imm]
+    StGlobal,   ///< global[src0 + imm] = src1
+    LdShared,   ///< dst = shared[src0 + imm]
+    StShared,   ///< shared[src0 + imm] = src1
+    // Control.
+    Bra,        ///< (@[!]psrc) branch to target; reconverge at reconv
+    Bar,        ///< barrier.sync across the thread block
+    Exit,       ///< thread block warp terminates
+};
+
+/** Comparison operators for Setp, signed 64-bit semantics. */
+enum class CmpOp : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/** Special (read-only) registers exposed through S2R. */
+enum class SpecialReg : std::uint8_t
+{
+    TidX,           ///< thread index within the block
+    CtaIdX,         ///< block index within the grid
+    NTidX,          ///< threads per block
+    NCtaIdX,        ///< blocks in the grid
+    LaneId,         ///< lane within the warp
+    WarpIdInBlock,  ///< warp index within the block
+    GlobalTid,      ///< ctaid * ntid + tid
+};
+
+/** Functional-unit class used by the timing model. */
+enum class FuncUnit : std::uint8_t { Alu, Sfu, Mem, Control };
+
+/**
+ * One decoded instruction. All fields are populated by the
+ * ProgramBuilder; the SM core never mutates instructions.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    Reg dst = 0;
+    Reg src0 = 0;
+    Reg src1 = 0;
+    Reg src2 = 0;
+    std::int64_t imm = 0;
+    CmpOp cmp = CmpOp::Eq;
+    PredReg pdst = 0;
+    PredReg psrc = 0;
+    bool predUsed = false;      ///< Bra: condition register is consulted
+    bool predNegate = false;    ///< Bra: branch on !psrc
+    std::uint32_t target = 0;   ///< Bra: taken-path PC
+    std::uint32_t reconv = 0;   ///< Bra: immediate post-dominator PC
+
+    /** Functional unit this opcode issues to. */
+    FuncUnit funcUnit() const;
+
+    /** True for LdGlobal/StGlobal/LdShared/StShared. */
+    bool isMem() const;
+
+    /** True for loads (global or shared). */
+    bool isLoad() const;
+
+    /** True if the instruction writes a general-purpose register. */
+    bool writesReg() const;
+
+    /** True if the instruction accesses the global address space. */
+    bool isGlobal() const;
+};
+
+/** Evaluate a comparison with signed 64-bit semantics. */
+bool evalCmp(CmpOp op, RegValue a, RegValue b);
+
+/** Evaluate a two/three-operand ALU opcode. */
+RegValue evalAlu(Opcode op, RegValue a, RegValue b, RegValue c,
+                 std::int64_t imm);
+
+/** Human-readable opcode mnemonic. */
+std::string opcodeName(Opcode op);
+
+} // namespace cawa
+
+#endif // CAWA_ISA_INSTRUCTION_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Kernel launch descriptor: a program plus its grid/block geometry
+ * and per-thread resource usage (used for SM occupancy limits).
+ */
+
+#ifndef CAWA_ISA_KERNEL_HH
+#define CAWA_ISA_KERNEL_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace cawa
+{
+
+struct KernelInfo
+{
+    std::string name;
+    Program program;
+    int gridDim = 1;        ///< thread blocks in the grid
+    int blockDim = 32;      ///< threads per block
+    int regsPerThread = 16; ///< occupancy: register file footprint
+    int smemPerBlock = 0;   ///< occupancy: shared memory footprint
+
+    int
+    warpsPerBlock(int warp_size) const
+    {
+        return (blockDim + warp_size - 1) / warp_size;
+    }
+
+    int totalThreads() const { return gridDim * blockDim; }
+};
+
+} // namespace cawa
+
+#endif // CAWA_ISA_KERNEL_HH

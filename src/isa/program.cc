@@ -1,0 +1,71 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+Program::Program(std::vector<Instruction> code)
+    : code_(std::move(code))
+{
+}
+
+const Instruction &
+Program::at(std::uint32_t pc) const
+{
+    sim_assert(pc < code_.size());
+    return code_[pc];
+}
+
+std::string
+Program::validate() const
+{
+    if (code_.empty())
+        return "program is empty";
+    if (code_.back().op != Opcode::Exit)
+        return "program does not end in exit";
+    for (std::uint32_t pc = 0; pc < code_.size(); ++pc) {
+        const Instruction &inst = code_[pc];
+        if (inst.op == Opcode::Bra) {
+            if (inst.target >= code_.size())
+                return "branch target out of range at pc " +
+                       std::to_string(pc);
+            if (inst.reconv > code_.size())
+                return "reconvergence point out of range at pc " +
+                       std::to_string(pc);
+            const bool backward = inst.target <= pc;
+            if (!backward && inst.reconv <= pc)
+                return "forward branch reconverges before branch at pc " +
+                       std::to_string(pc);
+        }
+        if (inst.writesReg() && inst.dst >= kNumRegs)
+            return "register index out of range at pc " +
+                   std::to_string(pc);
+    }
+    return "";
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream oss;
+    for (std::uint32_t pc = 0; pc < code_.size(); ++pc) {
+        const Instruction &inst = code_[pc];
+        oss << pc << ":\t" << opcodeName(inst.op);
+        if (inst.op == Opcode::Bra) {
+            if (inst.predUsed)
+                oss << (inst.predNegate ? " @!p" : " @p")
+                    << int{inst.psrc};
+            oss << " -> " << inst.target << " (reconv " << inst.reconv
+                << ")";
+        } else if (inst.writesReg()) {
+            oss << " r" << int{inst.dst};
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace cawa

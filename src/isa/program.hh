@@ -1,0 +1,53 @@
+/**
+ * @file
+ * A validated kernel program: the unit of code a warp executes.
+ */
+
+#ifndef CAWA_ISA_PROGRAM_HH
+#define CAWA_ISA_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace cawa
+{
+
+/**
+ * An immutable sequence of instructions with control-flow metadata.
+ * Construct through ProgramBuilder, which patches labels and runs
+ * validate().
+ */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::vector<Instruction> code);
+
+    const Instruction &at(std::uint32_t pc) const;
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(code_.size());
+    }
+    bool empty() const { return code_.empty(); }
+
+    /**
+     * Check structural invariants: non-empty, ends in Exit, branch
+     * targets and reconvergence points in range, reconvergence point
+     * of a forward branch not before the branch.
+     *
+     * @return empty string if valid, else a description of the defect.
+     */
+    std::string validate() const;
+
+    /** Multi-line disassembly listing. */
+    std::string disassemble() const;
+
+  private:
+    std::vector<Instruction> code_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_ISA_PROGRAM_HH

@@ -1,0 +1,313 @@
+#include "isa/program_builder.hh"
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    sim_assert(!labels_.contains(name));
+    labels_[name] = pc();
+    return *this;
+}
+
+Instruction &
+ProgramBuilder::emit(Opcode op)
+{
+    Instruction inst;
+    inst.op = op;
+    code_.push_back(inst);
+    return code_.back();
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    emit(Opcode::Nop);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::add(Reg dst, Reg a, Reg b)
+{
+    auto &i = emit(Opcode::Add);
+    i.dst = dst; i.src0 = a; i.src1 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::addImm(Reg dst, Reg a, std::int64_t imm)
+{
+    auto &i = emit(Opcode::AddImm);
+    i.dst = dst; i.src0 = a; i.imm = imm;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::sub(Reg dst, Reg a, Reg b)
+{
+    auto &i = emit(Opcode::Sub);
+    i.dst = dst; i.src0 = a; i.src1 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::mul(Reg dst, Reg a, Reg b)
+{
+    auto &i = emit(Opcode::Mul);
+    i.dst = dst; i.src0 = a; i.src1 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::mulImm(Reg dst, Reg a, std::int64_t imm)
+{
+    auto &i = emit(Opcode::MulImm);
+    i.dst = dst; i.src0 = a; i.imm = imm;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::mad(Reg dst, Reg a, Reg b, Reg c)
+{
+    auto &i = emit(Opcode::Mad);
+    i.dst = dst; i.src0 = a; i.src1 = b; i.src2 = c;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::min(Reg dst, Reg a, Reg b)
+{
+    auto &i = emit(Opcode::Min);
+    i.dst = dst; i.src0 = a; i.src1 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::max(Reg dst, Reg a, Reg b)
+{
+    auto &i = emit(Opcode::Max);
+    i.dst = dst; i.src0 = a; i.src1 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::and_(Reg dst, Reg a, Reg b)
+{
+    auto &i = emit(Opcode::And);
+    i.dst = dst; i.src0 = a; i.src1 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::or_(Reg dst, Reg a, Reg b)
+{
+    auto &i = emit(Opcode::Or);
+    i.dst = dst; i.src0 = a; i.src1 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::xor_(Reg dst, Reg a, Reg b)
+{
+    auto &i = emit(Opcode::Xor);
+    i.dst = dst; i.src0 = a; i.src1 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::shlImm(Reg dst, Reg a, std::int64_t imm)
+{
+    auto &i = emit(Opcode::ShlImm);
+    i.dst = dst; i.src0 = a; i.imm = imm;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::shrImm(Reg dst, Reg a, std::int64_t imm)
+{
+    auto &i = emit(Opcode::ShrImm);
+    i.dst = dst; i.src0 = a; i.imm = imm;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::mov(Reg dst, Reg src)
+{
+    auto &i = emit(Opcode::Mov);
+    i.dst = dst; i.src0 = src;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::movImm(Reg dst, std::int64_t imm)
+{
+    auto &i = emit(Opcode::MovImm);
+    i.dst = dst; i.imm = imm;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::setp(PredReg pdst, CmpOp cmp, Reg a, Reg b)
+{
+    auto &i = emit(Opcode::Setp);
+    i.pdst = pdst; i.cmp = cmp; i.src0 = a; i.src1 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::setpImm(PredReg pdst, CmpOp cmp, Reg a, std::int64_t imm)
+{
+    auto &i = emit(Opcode::SetpImm);
+    i.pdst = pdst; i.cmp = cmp; i.src0 = a; i.imm = imm;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::selp(Reg dst, PredReg psrc, Reg a, Reg b)
+{
+    auto &i = emit(Opcode::Selp);
+    i.dst = dst; i.psrc = psrc; i.src0 = a; i.src1 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::s2r(Reg dst, SpecialReg sreg)
+{
+    auto &i = emit(Opcode::S2R);
+    i.dst = dst;
+    i.imm = static_cast<std::int64_t>(sreg);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::sfu(Reg dst, Reg a)
+{
+    auto &i = emit(Opcode::Sfu);
+    i.dst = dst; i.src0 = a;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::ldGlobal(Reg dst, Reg addr, std::int64_t offset)
+{
+    auto &i = emit(Opcode::LdGlobal);
+    i.dst = dst; i.src0 = addr; i.imm = offset;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::stGlobal(Reg addr, Reg value, std::int64_t offset)
+{
+    auto &i = emit(Opcode::StGlobal);
+    i.src0 = addr; i.src1 = value; i.imm = offset;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::ldShared(Reg dst, Reg addr, std::int64_t offset)
+{
+    auto &i = emit(Opcode::LdShared);
+    i.dst = dst; i.src0 = addr; i.imm = offset;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::stShared(Reg addr, Reg value, std::int64_t offset)
+{
+    auto &i = emit(Opcode::StShared);
+    i.src0 = addr; i.src1 = value; i.imm = offset;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::bra(const std::string &target)
+{
+    emit(Opcode::Bra);
+    fixups_.push_back({pc() - 1, target, ""});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::braIf(const std::string &target, PredReg pred,
+                      const std::string &reconv)
+{
+    auto &i = emit(Opcode::Bra);
+    i.predUsed = true;
+    i.psrc = pred;
+    fixups_.push_back({pc() - 1, target, reconv});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::braIfNot(const std::string &target, PredReg pred,
+                         const std::string &reconv)
+{
+    auto &i = emit(Opcode::Bra);
+    i.predUsed = true;
+    i.predNegate = true;
+    i.psrc = pred;
+    fixups_.push_back({pc() - 1, target, reconv});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::bar()
+{
+    emit(Opcode::Bar);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::exit()
+{
+    emit(Opcode::Exit);
+    return *this;
+}
+
+Program
+ProgramBuilder::tryBuild(std::string &error)
+{
+    error.clear();
+    for (const auto &fix : fixups_) {
+        auto target_it = labels_.find(fix.target);
+        if (target_it == labels_.end()) {
+            error = "undefined branch target label '" + fix.target +
+                    "'";
+            return Program{};
+        }
+        code_[fix.pc].target = target_it->second;
+        if (!fix.reconv.empty()) {
+            auto reconv_it = labels_.find(fix.reconv);
+            if (reconv_it == labels_.end()) {
+                error = "undefined reconvergence label '" +
+                        fix.reconv + "'";
+                return Program{};
+            }
+            code_[fix.pc].reconv = reconv_it->second;
+        } else {
+            // Unconditional branch never splits the warp; record the
+            // target itself so validate() stays happy.
+            code_[fix.pc].reconv = target_it->second;
+        }
+    }
+    Program prog(std::move(code_));
+    error = prog.validate();
+    if (!error.empty())
+        return Program{};
+    return prog;
+}
+
+Program
+ProgramBuilder::build()
+{
+    std::string error;
+    Program prog = tryBuild(error);
+    if (!error.empty())
+        sim_panic(error.c_str());
+    return prog;
+}
+
+} // namespace cawa

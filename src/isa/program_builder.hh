@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fluent builder for kernel programs, with label patching.
+ *
+ * Branches name their target and reconvergence points by label; build()
+ * resolves labels, fills in PCs, and validates the result. Typical use:
+ *
+ * @code
+ *   ProgramBuilder b;
+ *   b.s2r(1, SpecialReg::GlobalTid);
+ *   b.movImm(2, 0);
+ *   b.label("loop");
+ *   b.addImm(2, 2, 1);
+ *   b.setpImm(0, CmpOp::Lt, 2, 10);
+ *   b.braIf("loop", 0, "done");
+ *   b.label("done");
+ *   b.exit();
+ *   Program p = b.build();
+ * @endcode
+ */
+
+#ifndef CAWA_ISA_PROGRAM_BUILDER_HH
+#define CAWA_ISA_PROGRAM_BUILDER_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace cawa
+{
+
+class ProgramBuilder
+{
+  public:
+    /** Bind a label to the next emitted instruction's PC. */
+    ProgramBuilder &label(const std::string &name);
+
+    // ALU emitters.
+    ProgramBuilder &nop();
+    ProgramBuilder &add(Reg dst, Reg a, Reg b);
+    ProgramBuilder &addImm(Reg dst, Reg a, std::int64_t imm);
+    ProgramBuilder &sub(Reg dst, Reg a, Reg b);
+    ProgramBuilder &mul(Reg dst, Reg a, Reg b);
+    ProgramBuilder &mulImm(Reg dst, Reg a, std::int64_t imm);
+    ProgramBuilder &mad(Reg dst, Reg a, Reg b, Reg c);
+    ProgramBuilder &min(Reg dst, Reg a, Reg b);
+    ProgramBuilder &max(Reg dst, Reg a, Reg b);
+    ProgramBuilder &and_(Reg dst, Reg a, Reg b);
+    ProgramBuilder &or_(Reg dst, Reg a, Reg b);
+    ProgramBuilder &xor_(Reg dst, Reg a, Reg b);
+    ProgramBuilder &shlImm(Reg dst, Reg a, std::int64_t imm);
+    ProgramBuilder &shrImm(Reg dst, Reg a, std::int64_t imm);
+    ProgramBuilder &mov(Reg dst, Reg src);
+    ProgramBuilder &movImm(Reg dst, std::int64_t imm);
+    ProgramBuilder &setp(PredReg pdst, CmpOp cmp, Reg a, Reg b);
+    ProgramBuilder &setpImm(PredReg pdst, CmpOp cmp, Reg a,
+                            std::int64_t imm);
+    ProgramBuilder &selp(Reg dst, PredReg psrc, Reg a, Reg b);
+    ProgramBuilder &s2r(Reg dst, SpecialReg sreg);
+    ProgramBuilder &sfu(Reg dst, Reg a);
+
+    // Memory emitters; address = reg[addr] + offset (bytes).
+    ProgramBuilder &ldGlobal(Reg dst, Reg addr, std::int64_t offset = 0);
+    ProgramBuilder &stGlobal(Reg addr, Reg value,
+                             std::int64_t offset = 0);
+    ProgramBuilder &ldShared(Reg dst, Reg addr, std::int64_t offset = 0);
+    ProgramBuilder &stShared(Reg addr, Reg value,
+                             std::int64_t offset = 0);
+
+    // Control emitters.
+    /** Unconditional branch; reconvergence is irrelevant (no split). */
+    ProgramBuilder &bra(const std::string &target);
+    /** Branch if pred is true; reconverge at @p reconv. */
+    ProgramBuilder &braIf(const std::string &target, PredReg pred,
+                          const std::string &reconv);
+    /** Branch if pred is false; reconverge at @p reconv. */
+    ProgramBuilder &braIfNot(const std::string &target, PredReg pred,
+                             const std::string &reconv);
+    ProgramBuilder &bar();
+    ProgramBuilder &exit();
+
+    /** Number of instructions emitted so far. */
+    std::uint32_t pc() const
+    {
+        return static_cast<std::uint32_t>(code_.size());
+    }
+
+    /**
+     * Resolve labels and validate. Panics (simulator-author bug) on
+     * undefined labels or validation failure.
+     */
+    Program build();
+
+    /**
+     * Resolve labels and validate, reporting failures instead of
+     * panicking (for user-supplied sources, e.g. the assembler).
+     * On failure @p error is set and an empty Program returned.
+     */
+    Program tryBuild(std::string &error);
+
+  private:
+    struct Fixup
+    {
+        std::uint32_t pc;
+        std::string target;
+        std::string reconv; // empty for unconditional branches
+    };
+
+    Instruction &emit(Opcode op);
+
+    std::vector<Instruction> code_;
+    std::unordered_map<std::string, std::uint32_t> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_ISA_PROGRAM_BUILDER_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cache statistics: aggregate hit/miss counters, criticality-class
+ * breakdowns, reuse-distance histogram, zero-reuse eviction counts and
+ * per-PC reuse classification. These feed Figures 3, 8, 10, 14, 15
+ * and 16 of the paper.
+ */
+
+#ifndef CAWA_MEM_CACHE_STATS_HH
+#define CAWA_MEM_CACHE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "common/types.hh"
+
+namespace cawa
+{
+
+struct PcReuseStats
+{
+    std::uint64_t fills = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t zeroReuseEvictions = 0;
+    std::uint64_t reusedEvictions = 0;
+};
+
+struct CacheStats
+{
+    // Aggregate demand traffic.
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t mshrMerges = 0;
+    std::uint64_t mshrRejects = 0;
+    std::uint64_t evictions = 0;
+
+    // Breakdown by whether the requesting warp was classified critical
+    // at access time (Fig 14).
+    std::uint64_t criticalAccesses = 0;
+    std::uint64_t criticalHits = 0;
+    std::uint64_t nonCriticalAccesses = 0;
+    std::uint64_t nonCriticalHits = 0;
+
+    // Zero-reuse eviction accounting (Fig 15): lines evicted without
+    // any hit, split by whether a critical warp filled them.
+    std::uint64_t zeroReuseEvictions = 0;
+    std::uint64_t zeroReuseCriticalEvictions = 0;
+    std::uint64_t criticalFills = 0;
+
+    /**
+     * Reuse-distance histogram (Fig 3): distance measured in accesses
+     * to the same set between consecutive touches of a line. Buckets:
+     * [0]=1-4, [1]=5-8, [2]=9-16, [3]=17-32, [4]=>32. Lines evicted
+     * with no reuse at all land in zeroReuse*Evictions instead.
+     */
+    std::array<std::uint64_t, 5> reuseDistanceHist{};
+    std::array<std::uint64_t, 5> criticalReuseDistanceHist{};
+
+    /** Per-fill-PC reuse behaviour (Fig 8). */
+    std::map<std::uint32_t, PcReuseStats> perPc;
+
+    double hitRate() const
+    {
+        return accesses ? static_cast<double>(hits) / accesses : 0.0;
+    }
+
+    double criticalHitRate() const
+    {
+        return criticalAccesses
+            ? static_cast<double>(criticalHits) / criticalAccesses : 0.0;
+    }
+
+    /** Misses per kilo-instruction given the committed count. */
+    double mpki(std::uint64_t instructions) const
+    {
+        return instructions
+            ? 1000.0 * static_cast<double>(misses) / instructions : 0.0;
+    }
+
+    static int
+    distanceBucket(std::uint64_t distance)
+    {
+        if (distance <= 4)
+            return 0;
+        if (distance <= 8)
+            return 1;
+        if (distance <= 16)
+            return 2;
+        if (distance <= 32)
+            return 3;
+        return 4;
+    }
+
+    void merge(const CacheStats &other);
+};
+
+inline void
+CacheStats::merge(const CacheStats &other)
+{
+    accesses += other.accesses;
+    hits += other.hits;
+    misses += other.misses;
+    mshrMerges += other.mshrMerges;
+    mshrRejects += other.mshrRejects;
+    evictions += other.evictions;
+    criticalAccesses += other.criticalAccesses;
+    criticalHits += other.criticalHits;
+    nonCriticalAccesses += other.nonCriticalAccesses;
+    nonCriticalHits += other.nonCriticalHits;
+    zeroReuseEvictions += other.zeroReuseEvictions;
+    zeroReuseCriticalEvictions += other.zeroReuseCriticalEvictions;
+    criticalFills += other.criticalFills;
+    for (std::size_t i = 0; i < reuseDistanceHist.size(); ++i) {
+        reuseDistanceHist[i] += other.reuseDistanceHist[i];
+        criticalReuseDistanceHist[i] += other.criticalReuseDistanceHist[i];
+    }
+    for (const auto &[pc, st] : other.perPc) {
+        auto &mine = perPc[pc];
+        mine.fills += st.fills;
+        mine.hits += st.hits;
+        mine.zeroReuseEvictions += st.zeroReuseEvictions;
+        mine.reusedEvictions += st.reusedEvictions;
+    }
+}
+
+} // namespace cawa
+
+#endif // CAWA_MEM_CACHE_STATS_HH

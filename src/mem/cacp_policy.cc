@@ -1,0 +1,115 @@
+#include "mem/cacp_policy.hh"
+
+#include <algorithm>
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+CacpPolicy::CacpPolicy(const CacpConfig &cfg)
+    : cfg_(cfg),
+      ccbp_(cfg.tableEntries, cfg.ccbpThreshold, cfg.ccbpInitial),
+      ship_(cfg.tableEntries),
+      criticalWays_(cfg.criticalWays)
+{
+    sim_assert(cfg.criticalWays >= 0);
+    sim_assert(cfg.minWays >= 0);
+}
+
+void
+CacpPolicy::adaptPartition(int total_ways)
+{
+    // Grow the partition whose per-way hit density is higher. Epoch
+    // length is measured in fills so the policy needs no clock.
+    const int lo = std::min(cfg_.minWays, total_ways / 2);
+    const int hi = total_ways - lo;
+    const double crit_density = criticalWays_ > 0
+        ? static_cast<double>(critHits_) / criticalWays_ : 0.0;
+    const double nc_ways = total_ways - criticalWays_;
+    const double nc_density = nc_ways > 0
+        ? static_cast<double>(nonCritHits_) / nc_ways : 0.0;
+    if (crit_density > nc_density && criticalWays_ < hi)
+        criticalWays_++;
+    else if (nc_density > crit_density && criticalWays_ > lo)
+        criticalWays_--;
+    critHits_ = 0;
+    nonCritHits_ = 0;
+    epochFills_ = 0;
+}
+
+int
+CacpPolicy::selectVictim(TagArray &tags, std::uint32_t set,
+                         const AccessInfo &info)
+{
+    sim_assert(criticalWays_ <= tags.ways());
+    const CacheSignature sig =
+        makeSignature(info.pc, info.addr, cfg_.regionShift);
+    const bool critical = ccbp_.predictCritical(sig);
+    // Degenerate partitions (0 or all ways critical) fall back to a
+    // whole-set scan so the policy stays usable during sweeps.
+    int begin = critical ? 0 : criticalWays_;
+    int end = critical ? criticalWays_ : tags.ways();
+    if (begin >= end) {
+        begin = 0;
+        end = tags.ways();
+    }
+    return SrripPolicy::rripVictim(tags, set, begin, end);
+}
+
+void
+CacpPolicy::onFill(TagArray &tags, std::uint32_t set, int way,
+                   const AccessInfo &info)
+{
+    auto &l = tags.line(set, way);
+    l.signature = makeSignature(info.pc, info.addr, cfg_.regionShift);
+    l.inCriticalPartition = criticalWays_ > 0 && inCriticalWays(way);
+    l.cReuse = false;
+    l.ncReuse = false;
+    // The modified SHiP guides the insertion position (RRPV 2 vs 3),
+    // with the deterministic recovery probe (see replacement.hh).
+    l.rrpv = shipInsertionWithProbe(ship_, l.signature, fills_);
+    if (cfg_.dynamicPartition &&
+        ++epochFills_ >= cfg_.adaptEpochFills)
+        adaptPartition(tags.ways());
+}
+
+void
+CacpPolicy::onHit(TagArray &tags, std::uint32_t set, int way,
+                  const AccessInfo &info)
+{
+    auto &l = tags.line(set, way);
+    // Promotion position: most-recent re-reference prediction.
+    l.rrpv = 0;
+    if (cfg_.dynamicPartition) {
+        if (way < criticalWays_)
+            critHits_++;
+        else
+            nonCritHits_++;
+    }
+    if (info.criticalWarp) {
+        // Correct (or newly learned) critical reuse: train CCBP up.
+        l.cReuse = true;
+        ccbp_.increment(l.signature);
+        ship_.increment(l.signature);
+    } else {
+        l.ncReuse = true;
+        ship_.increment(l.signature);
+    }
+}
+
+void
+CacpPolicy::onEvict(TagArray &tags, std::uint32_t set, int way)
+{
+    const auto &l = tags.line(set, way);
+    if (!l.cReuse && l.ncReuse && l.inCriticalPartition) {
+        // The line lived in the critical partition but was only ever
+        // reused by non-critical warps: mispredicted as critical.
+        ccbp_.decrement(l.signature);
+    } else if (!l.cReuse && !l.ncReuse) {
+        // No reuse from this signature at all.
+        ship_.decrement(l.signature);
+    }
+}
+
+} // namespace cawa

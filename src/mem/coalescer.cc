@@ -1,0 +1,31 @@
+#include "mem/coalescer.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+Coalescer::Coalescer(int line_bytes)
+    : lineBytes_(line_bytes)
+{
+    sim_assert(line_bytes > 0 && std::has_single_bit(
+        static_cast<unsigned>(line_bytes)));
+}
+
+std::vector<Addr>
+Coalescer::coalesce(const std::vector<Addr> &lane_addrs) const
+{
+    std::vector<Addr> lines;
+    lines.reserve(lane_addrs.size());
+    const Addr mask = ~static_cast<Addr>(lineBytes_ - 1);
+    for (Addr a : lane_addrs)
+        lines.push_back(a & mask);
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return lines;
+}
+
+} // namespace cawa

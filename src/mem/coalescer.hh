@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Memory access coalescing: collapse the per-lane byte addresses of a
+ * warp memory instruction into the minimal set of cache-line-sized
+ * transactions, as Fermi's LD/ST unit does.
+ */
+
+#ifndef CAWA_MEM_COALESCER_HH
+#define CAWA_MEM_COALESCER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cawa
+{
+
+class Coalescer
+{
+  public:
+    explicit Coalescer(int line_bytes);
+
+    /**
+     * Coalesce the active lanes' addresses into unique line-aligned
+     * transaction addresses, in ascending order.
+     */
+    std::vector<Addr> coalesce(const std::vector<Addr> &lane_addrs) const;
+
+    int lineBytes() const { return lineBytes_; }
+
+  private:
+    int lineBytes_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_MEM_COALESCER_HH

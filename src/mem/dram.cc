@@ -1,0 +1,50 @@
+#include "mem/dram.hh"
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+DramModel::DramModel(Cycle latency, int service_interval)
+    : latency_(latency), serviceInterval_(service_interval)
+{
+    sim_assert(service_interval >= 1);
+}
+
+void
+DramModel::push(const MemMsg &msg, Cycle now)
+{
+    (void)now;
+    requests_.push_back(msg);
+    if (msg.isStore)
+        writes++;
+    else
+        reads++;
+}
+
+void
+DramModel::tick(Cycle now)
+{
+    // Start at most one request per service interval. Writes consume
+    // bandwidth but produce no response.
+    while (!requests_.empty() && nextFree_ <= now) {
+        const MemMsg msg = requests_.front();
+        requests_.pop_front();
+        nextFree_ = now + serviceInterval_;
+        if (!msg.isStore)
+            responses_.push_back({now + latency_, msg});
+    }
+}
+
+std::vector<MemMsg>
+DramModel::popResponses(Cycle now)
+{
+    std::vector<MemMsg> out;
+    while (!responses_.empty() && responses_.front().ready <= now) {
+        out.push_back(responses_.front().msg);
+        responses_.pop_front();
+    }
+    return out;
+}
+
+} // namespace cawa

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * DRAM model: a FIFO of line transactions served at a bounded rate
+ * (one request per service interval) with a fixed access latency.
+ * Captures bandwidth contention without modeling banks/rows.
+ */
+
+#ifndef CAWA_MEM_DRAM_HH
+#define CAWA_MEM_DRAM_HH
+
+#include <deque>
+#include <vector>
+
+#include "mem/mem_msg.hh"
+
+namespace cawa
+{
+
+class DramModel
+{
+  public:
+    /**
+     * @param latency access latency from service start to response
+     * @param service_interval cycles between request service starts
+     */
+    DramModel(Cycle latency, int service_interval);
+
+    void push(const MemMsg &msg, Cycle now);
+
+    /** Advance the service pipeline; call once per cycle. */
+    void tick(Cycle now);
+
+    /** Responses (reads only) whose latency has elapsed. */
+    std::vector<MemMsg> popResponses(Cycle now);
+
+    bool idle() const { return requests_.empty() && responses_.empty(); }
+
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+  private:
+    struct InFlight
+    {
+        Cycle ready;
+        MemMsg msg;
+    };
+
+    Cycle latency_;
+    int serviceInterval_;
+    Cycle nextFree_ = 0;
+    std::deque<MemMsg> requests_;
+    std::deque<InFlight> responses_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_MEM_DRAM_HH

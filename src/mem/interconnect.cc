@@ -1,0 +1,52 @@
+#include "mem/interconnect.hh"
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+Interconnect::Interconnect(Cycle latency, int width)
+    : latency_(latency), width_(width)
+{
+    sim_assert(width > 0);
+}
+
+void
+Interconnect::pushToL2(const MemMsg &msg, Cycle now)
+{
+    toL2_.push_back({now + latency_, msg});
+    messagesToL2++;
+}
+
+void
+Interconnect::pushToSm(const MemMsg &msg, Cycle now)
+{
+    toSm_.push_back({now + latency_, msg});
+    messagesToSm++;
+}
+
+std::vector<MemMsg>
+Interconnect::pop(std::deque<InFlight> &queue, Cycle now)
+{
+    std::vector<MemMsg> out;
+    while (!queue.empty() && queue.front().ready <= now &&
+           static_cast<int>(out.size()) < width_) {
+        out.push_back(queue.front().msg);
+        queue.pop_front();
+    }
+    return out;
+}
+
+std::vector<MemMsg>
+Interconnect::popToL2(Cycle now)
+{
+    return pop(toL2_, now);
+}
+
+std::vector<MemMsg>
+Interconnect::popToSm(Cycle now)
+{
+    return pop(toSm_, now);
+}
+
+} // namespace cawa

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * SM <-> L2 interconnection network: a fixed-latency crossbar with a
+ * bounded per-cycle throughput in each direction. Contention for the
+ * width is one of the paper's sources of memory-subsystem delay.
+ */
+
+#ifndef CAWA_MEM_INTERCONNECT_HH
+#define CAWA_MEM_INTERCONNECT_HH
+
+#include <deque>
+#include <vector>
+
+#include "mem/mem_msg.hh"
+
+namespace cawa
+{
+
+class Interconnect
+{
+  public:
+    /**
+     * @param latency one-way traversal latency in cycles
+     * @param width messages delivered per cycle per direction
+     */
+    Interconnect(Cycle latency, int width);
+
+    void pushToL2(const MemMsg &msg, Cycle now);
+    void pushToSm(const MemMsg &msg, Cycle now);
+
+    /** Deliver up to width messages whose latency elapsed. */
+    std::vector<MemMsg> popToL2(Cycle now);
+    std::vector<MemMsg> popToSm(Cycle now);
+
+    bool idle() const { return toL2_.empty() && toSm_.empty(); }
+
+    std::uint64_t messagesToL2 = 0;
+    std::uint64_t messagesToSm = 0;
+
+  private:
+    struct InFlight
+    {
+        Cycle ready;
+        MemMsg msg;
+    };
+
+    std::vector<MemMsg> pop(std::deque<InFlight> &queue, Cycle now);
+
+    Cycle latency_;
+    int width_;
+    std::deque<InFlight> toL2_;
+    std::deque<InFlight> toSm_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_MEM_INTERCONNECT_HH

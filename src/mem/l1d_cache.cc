@@ -1,0 +1,176 @@
+#include "mem/l1d_cache.hh"
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+L1DCache::L1DCache(const L1DConfig &cfg, int sm_id,
+                   std::unique_ptr<ReplacementPolicy> policy)
+    : cfg_(cfg), smId_(sm_id),
+      tags_(cfg.sets, cfg.ways, cfg.lineBytes),
+      policy_(std::move(policy)), numMshrs_(cfg.numMshrs)
+{
+    sim_assert(policy_ != nullptr);
+}
+
+void
+L1DCache::recordAccessStats(const AccessInfo &info, bool hit)
+{
+    stats_.accesses++;
+    if (hit)
+        stats_.hits++;
+    else
+        stats_.misses++;
+    if (info.criticalWarp) {
+        stats_.criticalAccesses++;
+        if (hit)
+            stats_.criticalHits++;
+    } else {
+        stats_.nonCriticalAccesses++;
+        if (hit)
+            stats_.nonCriticalHits++;
+    }
+}
+
+L1DCache::Result
+L1DCache::access(const AccessInfo &info, Cycle now, std::uint64_t token)
+{
+    const Addr line_addr =
+        info.addr & ~static_cast<Addr>(cfg_.lineBytes - 1);
+    const std::uint32_t set = tags_.setIndex(line_addr);
+    const int way = tags_.probe(line_addr);
+
+    if (way >= 0) {
+        recordAccessStats(info, true);
+        const std::uint64_t seq = tags_.bumpSetSeq(set);
+        auto &line = tags_.line(set, way);
+        const std::uint64_t distance = seq - line.lastTouchSeq;
+        const int bucket = CacheStats::distanceBucket(distance);
+        stats_.reuseDistanceHist[bucket]++;
+        if (line.fillByCritical)
+            stats_.criticalReuseDistanceHist[bucket]++;
+        line.lastTouchSeq = seq;
+        line.reuseCount++;
+        stats_.perPc[line.fillPc].hits++;
+        policy_->onHit(tags_, set, way, info);
+        if (info.isStore) {
+            // Write-through: the store still travels to L2/DRAM.
+            outgoing_.push_back({line_addr, smId_, true, info.pc});
+        } else {
+            completed_.push_back({now + cfg_.hitLatency, token, false});
+        }
+        return Result::Hit;
+    }
+
+    if (info.isStore) {
+        // No-write-allocate: miss goes straight out, no MSHR needed.
+        recordAccessStats(info, false);
+        tags_.bumpSetSeq(set);
+        outgoing_.push_back({line_addr, smId_, true, info.pc});
+        return Result::Miss;
+    }
+
+    auto it = mshrs_.find(line_addr);
+    if (it != mshrs_.end()) {
+        if (static_cast<int>(it->second.tokens.size()) >=
+            cfg_.mshrTargets) {
+            stats_.mshrRejects++;
+            return Result::RejectMshrFull;
+        }
+        recordAccessStats(info, false);
+        tags_.bumpSetSeq(set);
+        stats_.mshrMerges++;
+        it->second.tokens.push_back(token);
+        return Result::Miss;
+    }
+
+    if (static_cast<int>(mshrs_.size()) >= numMshrs_) {
+        stats_.mshrRejects++;
+        return Result::RejectMshrFull;
+    }
+
+    recordAccessStats(info, false);
+    tags_.bumpSetSeq(set);
+    Mshr entry;
+    entry.primary = info;
+    entry.primary.addr = line_addr;
+    entry.tokens.push_back(token);
+    mshrs_.emplace(line_addr, std::move(entry));
+    outgoing_.push_back({line_addr, smId_, false, info.pc});
+    return Result::Miss;
+}
+
+MemMsg
+L1DCache::popOutgoing()
+{
+    sim_assert(!outgoing_.empty());
+    MemMsg msg = outgoing_.front();
+    outgoing_.pop_front();
+    return msg;
+}
+
+void
+L1DCache::fill(Addr line_addr, Cycle now)
+{
+    auto it = mshrs_.find(line_addr);
+    sim_assert(it != mshrs_.end());
+    const Mshr &entry = it->second;
+
+    const std::uint32_t set = tags_.setIndex(line_addr);
+    if (tags_.probe(line_addr) < 0) {
+        const int victim =
+            policy_->selectVictim(tags_, set, entry.primary);
+        auto &line = tags_.line(set, victim);
+        if (line.valid) {
+            stats_.evictions++;
+            auto &pc_stats = stats_.perPc[line.fillPc];
+            if (line.reuseCount == 0) {
+                stats_.zeroReuseEvictions++;
+                if (line.fillByCritical)
+                    stats_.zeroReuseCriticalEvictions++;
+                pc_stats.zeroReuseEvictions++;
+            } else {
+                pc_stats.reusedEvictions++;
+            }
+            policy_->onEvict(tags_, set, victim);
+        }
+        line.valid = true;
+        line.tag = tags_.tagOf(line_addr);
+        line.reuseCount = 0;
+        line.fillPc = entry.primary.pc;
+        line.fillByCritical = entry.primary.criticalWarp;
+        line.lastTouchSeq = tags_.setSeq(set);
+        if (entry.primary.criticalWarp)
+            stats_.criticalFills++;
+        stats_.perPc[entry.primary.pc].fills++;
+        policy_->onFill(tags_, set, victim, entry.primary);
+    }
+
+    for (std::uint64_t token : entry.tokens)
+        completed_.push_back({now + 1, token, true});
+    mshrs_.erase(it);
+}
+
+void
+L1DCache::drainCompleted(Cycle now, std::vector<Completion> &out)
+{
+    // Hit completions are ready-ordered, but fill completions are
+    // interleaved; scan the queue.
+    for (auto it = completed_.begin(); it != completed_.end();) {
+        if (it->ready <= now) {
+            out.push_back({it->token, it->wasMiss});
+            it = completed_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+bool
+L1DCache::idle() const
+{
+    return mshrs_.empty() && completed_.empty() && outgoing_.empty();
+}
+
+} // namespace cawa

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Per-SM L1 data cache: set-associative tag array with pluggable
+ * replacement policy (LRU / SRRIP / SHiP / CACP), MSHR file with
+ * same-line merging, hit-latency pipeline and a miss queue toward the
+ * interconnect. Write-through, no-write-allocate (Fermi-style global
+ * stores).
+ */
+
+#ifndef CAWA_MEM_L1D_CACHE_HH
+#define CAWA_MEM_L1D_CACHE_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache_stats.hh"
+#include "mem/mem_msg.hh"
+#include "mem/replacement.hh"
+#include "mem/tag_array.hh"
+
+namespace cawa
+{
+
+struct L1DConfig
+{
+    int sets = 8;
+    int ways = 16;
+    int lineBytes = 128;
+    Cycle hitLatency = 28;
+    int numMshrs = 32;
+    int mshrTargets = 8;    ///< max merged requests per MSHR entry
+};
+
+class L1DCache
+{
+  public:
+    enum class Result { Hit, Miss, RejectMshrFull };
+
+    /** A completed load transaction, identified by the SM's token. */
+    struct Completion
+    {
+        std::uint64_t token;
+        bool wasMiss;
+    };
+
+    L1DCache(const L1DConfig &cfg, int sm_id,
+             std::unique_ptr<ReplacementPolicy> policy);
+
+    /**
+     * Probe for one line transaction. Loads carry a token that is
+     * reported back through drainCompleted() when data is available;
+     * stores complete immediately (write-through) and use no token.
+     * RejectMshrFull means the SM must retry the transaction later.
+     */
+    Result access(const AccessInfo &info, Cycle now, std::uint64_t token);
+
+    /** Collect load tokens whose data became available. */
+    void drainCompleted(Cycle now, std::vector<Completion> &out);
+
+    /** Miss/write-through traffic to push into the interconnect. */
+    bool hasOutgoing() const { return !outgoing_.empty(); }
+    MemMsg popOutgoing();
+
+    /** A fill response for @p line_addr arrived from the L2 side. */
+    void fill(Addr line_addr, Cycle now);
+
+    /** True when no MSHR or queued traffic remains. */
+    bool idle() const;
+
+    const CacheStats &stats() const { return stats_; }
+    CacheStats &stats() { return stats_; }
+    const TagArray &tags() const { return tags_; }
+    ReplacementPolicy &policy() { return *policy_; }
+
+    int freeMshrs() const
+    {
+        return numMshrs_ - static_cast<int>(mshrs_.size());
+    }
+
+  private:
+    struct Mshr
+    {
+        AccessInfo primary;     ///< the access that allocated the entry
+        std::vector<std::uint64_t> tokens;
+    };
+
+    struct Pending
+    {
+        Cycle ready;
+        std::uint64_t token;
+        bool wasMiss;
+    };
+
+    void recordAccessStats(const AccessInfo &info, bool hit);
+
+    L1DConfig cfg_;
+    int smId_;
+    TagArray tags_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::unordered_map<Addr, Mshr> mshrs_;
+    std::deque<Pending> completed_;
+    std::deque<MemMsg> outgoing_;
+    int numMshrs_;
+    CacheStats stats_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_MEM_L1D_CACHE_HH

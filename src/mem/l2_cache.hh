@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unified, banked L2 cache shared by all SMs. Each bank owns a slice
+ * of the tag array, an input queue serviced at one request per cycle,
+ * and an MSHR file merging same-line read misses. Read hits respond
+ * after the L2 latency; misses go to DRAM. Write-through stores probe
+ * the tags (promotion on hit) and are forwarded to DRAM without
+ * allocation or response.
+ */
+
+#ifndef CAWA_MEM_L2_CACHE_HH
+#define CAWA_MEM_L2_CACHE_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache_stats.hh"
+#include "mem/dram.hh"
+#include "mem/mem_msg.hh"
+#include "mem/replacement.hh"
+#include "mem/tag_array.hh"
+
+namespace cawa
+{
+
+struct L2Config
+{
+    int banks = 6;
+    int setsPerBank = 64;
+    int ways = 16;
+    int lineBytes = 128;
+    Cycle latency = 20;         ///< service-to-response latency
+    int mshrsPerBank = 32;
+};
+
+class L2Cache
+{
+  public:
+    explicit L2Cache(const L2Config &cfg);
+
+    /** Enqueue a request arriving from the interconnect. */
+    void pushRequest(const MemMsg &msg, Cycle now);
+
+    /** Service bank queues and DRAM responses; once per cycle. */
+    void tick(Cycle now, DramModel &dram);
+
+    /** Accept a DRAM read response: fill and wake waiting requests. */
+    void handleDramResponse(const MemMsg &msg, Cycle now);
+
+    /** Read responses ready to return toward the SMs. */
+    std::vector<MemMsg> popResponses(Cycle now);
+
+    bool idle() const;
+
+    const CacheStats &stats() const { return stats_; }
+
+    int bankOf(Addr line_addr) const;
+
+  private:
+    struct Bank
+    {
+        std::unique_ptr<TagArray> tags;
+        std::unique_ptr<ReplacementPolicy> policy;
+        std::deque<MemMsg> inQueue;
+        // Line addr -> requests waiting on the DRAM fill.
+        std::unordered_map<Addr, std::vector<MemMsg>> mshrs;
+    };
+
+    struct PendingResponse
+    {
+        Cycle ready;
+        MemMsg msg;
+    };
+
+    void service(Bank &bank, const MemMsg &msg, Cycle now,
+                 DramModel &dram);
+
+    L2Config cfg_;
+    std::vector<Bank> banks_;
+    std::deque<PendingResponse> responses_;
+    CacheStats stats_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_MEM_L2_CACHE_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The message unit that travels between L1, interconnect, L2 and DRAM:
+ * one cache-line-sized read or write-through transaction.
+ */
+
+#ifndef CAWA_MEM_MEM_MSG_HH
+#define CAWA_MEM_MEM_MSG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace cawa
+{
+
+struct MemMsg
+{
+    Addr lineAddr = 0;
+    int smId = 0;
+    bool isStore = false;
+    std::uint32_t pc = 0;
+};
+
+} // namespace cawa
+
+#endif // CAWA_MEM_MEM_MSG_HH

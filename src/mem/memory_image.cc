@@ -1,0 +1,65 @@
+#include "mem/memory_image.hh"
+
+namespace cawa
+{
+
+const std::vector<std::uint8_t> *
+MemoryImage::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint8_t> &
+MemoryImage::touchPage(Addr addr)
+{
+    auto &page = pages_[addr / kPageBytes];
+    if (page.empty())
+        page.resize(kPageBytes, 0);
+    return page;
+}
+
+std::uint8_t
+MemoryImage::read8(Addr addr) const
+{
+    const auto *page = findPage(addr);
+    return page ? (*page)[addr % kPageBytes] : 0;
+}
+
+void
+MemoryImage::write8(Addr addr, std::uint8_t value)
+{
+    touchPage(addr)[addr % kPageBytes] = value;
+}
+
+std::uint32_t
+MemoryImage::read32(Addr addr) const
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | read8(addr + i);
+    return v;
+}
+
+void
+MemoryImage::write32(Addr addr, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        write8(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+std::uint64_t
+MemoryImage::read64(Addr addr) const
+{
+    return static_cast<std::uint64_t>(read32(addr)) |
+           (static_cast<std::uint64_t>(read32(addr + 4)) << 32);
+}
+
+void
+MemoryImage::write64(Addr addr, std::uint64_t value)
+{
+    write32(addr, static_cast<std::uint32_t>(value));
+    write32(addr + 4, static_cast<std::uint32_t>(value >> 32));
+}
+
+} // namespace cawa

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sparse byte-addressable functional memory for the simulated GPU's
+ * global address space.
+ *
+ * The simulator is functional-first: data values live here and are
+ * read/written when an instruction issues; the timing caches track
+ * tags only. This keeps functional correctness independent of the
+ * timing model, as in GPGPU-Sim.
+ */
+
+#ifndef CAWA_MEM_MEMORY_IMAGE_HH
+#define CAWA_MEM_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cawa
+{
+
+class MemoryImage
+{
+  public:
+    static constexpr Addr kPageBytes = 4096;
+
+    std::uint8_t read8(Addr addr) const;
+    void write8(Addr addr, std::uint8_t value);
+
+    std::uint32_t read32(Addr addr) const;
+    void write32(Addr addr, std::uint32_t value);
+
+    std::uint64_t read64(Addr addr) const;
+    void write64(Addr addr, std::uint64_t value);
+
+    /** Number of allocated (touched) pages; for tests. */
+    std::size_t numPages() const { return pages_.size(); }
+
+  private:
+    const std::vector<std::uint8_t> *findPage(Addr addr) const;
+    std::vector<std::uint8_t> &touchPage(Addr addr);
+
+    std::unordered_map<Addr, std::vector<std::uint8_t>> pages_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_MEM_MEMORY_IMAGE_HH

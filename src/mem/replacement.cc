@@ -1,0 +1,158 @@
+#include "mem/replacement.hh"
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+// LruPolicy
+
+int
+LruPolicy::selectVictim(TagArray &tags, std::uint32_t set,
+                        const AccessInfo &info)
+{
+    (void)info;
+    int victim = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (int w = 0; w < tags.ways(); ++w) {
+        const CacheLine &l = tags.line(set, w);
+        if (!l.valid)
+            return w;
+        if (l.lruStamp < oldest) {
+            oldest = l.lruStamp;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+LruPolicy::onFill(TagArray &tags, std::uint32_t set, int way,
+                  const AccessInfo &info)
+{
+    (void)info;
+    tags.line(set, way).lruStamp = ++stamp_;
+}
+
+void
+LruPolicy::onHit(TagArray &tags, std::uint32_t set, int way,
+                 const AccessInfo &info)
+{
+    (void)info;
+    tags.line(set, way).lruStamp = ++stamp_;
+}
+
+void
+LruPolicy::onEvict(TagArray &tags, std::uint32_t set, int way)
+{
+    (void)tags;
+    (void)set;
+    (void)way;
+}
+
+// SrripPolicy
+
+int
+SrripPolicy::rripVictim(TagArray &tags, std::uint32_t set, int begin,
+                        int end)
+{
+    sim_assert(begin >= 0 && end <= tags.ways() && begin < end);
+    for (int w = begin; w < end; ++w)
+        if (!tags.line(set, w).valid)
+            return w;
+    for (;;) {
+        for (int w = begin; w < end; ++w)
+            if (tags.line(set, w).rrpv >= 3)
+                return w;
+        for (int w = begin; w < end; ++w) {
+            auto &l = tags.line(set, w);
+            if (l.rrpv < 3)
+                l.rrpv++;
+        }
+    }
+}
+
+int
+SrripPolicy::selectVictim(TagArray &tags, std::uint32_t set,
+                          const AccessInfo &info)
+{
+    (void)info;
+    return rripVictim(tags, set, 0, tags.ways());
+}
+
+void
+SrripPolicy::onFill(TagArray &tags, std::uint32_t set, int way,
+                    const AccessInfo &info)
+{
+    (void)info;
+    tags.line(set, way).rrpv = 2;
+}
+
+void
+SrripPolicy::onHit(TagArray &tags, std::uint32_t set, int way,
+                   const AccessInfo &info)
+{
+    (void)info;
+    tags.line(set, way).rrpv = 0;
+}
+
+void
+SrripPolicy::onEvict(TagArray &tags, std::uint32_t set, int way)
+{
+    (void)tags;
+    (void)set;
+    (void)way;
+}
+
+// ShipPolicy
+
+ShipPolicy::ShipPolicy(int table_entries, int region_shift)
+    : ship_(table_entries), regionShift_(region_shift)
+{
+}
+
+int
+ShipPolicy::selectVictim(TagArray &tags, std::uint32_t set,
+                         const AccessInfo &info)
+{
+    (void)info;
+    return SrripPolicy::rripVictim(tags, set, 0, tags.ways());
+}
+
+std::uint8_t
+shipInsertionWithProbe(const ShipTable &ship, CacheSignature sig,
+                       std::uint64_t &fill_counter)
+{
+    if (ship.predictReuse(sig))
+        return 2;
+    return (fill_counter++ % 16 == 0) ? 2 : 3;
+}
+
+void
+ShipPolicy::onFill(TagArray &tags, std::uint32_t set, int way,
+                   const AccessInfo &info)
+{
+    auto &l = tags.line(set, way);
+    l.signature = makeSignature(info.pc, info.addr, regionShift_);
+    l.rrpv = shipInsertionWithProbe(ship_, l.signature, fills_);
+}
+
+void
+ShipPolicy::onHit(TagArray &tags, std::uint32_t set, int way,
+                  const AccessInfo &info)
+{
+    (void)info;
+    auto &l = tags.line(set, way);
+    l.rrpv = 0;
+    ship_.increment(l.signature);
+}
+
+void
+ShipPolicy::onEvict(TagArray &tags, std::uint32_t set, int way)
+{
+    const auto &l = tags.line(set, way);
+    if (l.reuseCount == 0)
+        ship_.decrement(l.signature);
+}
+
+} // namespace cawa

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Cache replacement / insertion policies: the policy interface plus
+ * LRU, SRRIP and SHiP implementations. The CACP policy (the paper's
+ * contribution) lives in cacp_policy.hh and implements the same
+ * interface, keeping the timing caches policy-agnostic.
+ */
+
+#ifndef CAWA_MEM_REPLACEMENT_HH
+#define CAWA_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cawa/ship.hh"
+#include "mem/tag_array.hh"
+
+namespace cawa
+{
+
+/** Per-access context handed to the policy hooks. */
+struct AccessInfo
+{
+    Addr addr = 0;
+    std::uint32_t pc = 0;
+    WarpSlot warp = kNoWarp;
+    bool criticalWarp = false;  ///< CPL classification at access time
+    bool isStore = false;
+};
+
+/**
+ * Victim selection and replacement-state maintenance for one cache.
+ * Hooks are invoked by the cache model; the policy never sets line
+ * validity or tags — only replacement/training state.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /**
+     * Choose the way to fill for a miss in @p set. Invalid ways must
+     * be preferred. Always returns a valid way index.
+     */
+    virtual int selectVictim(TagArray &tags, std::uint32_t set,
+                             const AccessInfo &info) = 0;
+
+    /** A new line was installed in (set, way). */
+    virtual void onFill(TagArray &tags, std::uint32_t set, int way,
+                        const AccessInfo &info) = 0;
+
+    /** The line in (set, way) received a demand hit. */
+    virtual void onHit(TagArray &tags, std::uint32_t set, int way,
+                       const AccessInfo &info) = 0;
+
+    /** The valid line in (set, way) is about to be evicted. */
+    virtual void onEvict(TagArray &tags, std::uint32_t set, int way) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Classic least-recently-used. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    int selectVictim(TagArray &tags, std::uint32_t set,
+                     const AccessInfo &info) override;
+    void onFill(TagArray &tags, std::uint32_t set, int way,
+                const AccessInfo &info) override;
+    void onHit(TagArray &tags, std::uint32_t set, int way,
+               const AccessInfo &info) override;
+    void onEvict(TagArray &tags, std::uint32_t set, int way) override;
+    std::string name() const override { return "lru"; }
+
+  private:
+    std::uint64_t stamp_ = 0;
+};
+
+/**
+ * Static RRIP (Jaleel et al., ISCA'10): 2-bit RRPV, insert at 2,
+ * promote to 0 on hit, evict the first RRPV==3 line (aging all lines
+ * when none found).
+ */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    int selectVictim(TagArray &tags, std::uint32_t set,
+                     const AccessInfo &info) override;
+    void onFill(TagArray &tags, std::uint32_t set, int way,
+                const AccessInfo &info) override;
+    void onHit(TagArray &tags, std::uint32_t set, int way,
+               const AccessInfo &info) override;
+    void onEvict(TagArray &tags, std::uint32_t set, int way) override;
+    std::string name() const override { return "srrip"; }
+
+    /**
+     * Shared RRIP victim scan over ways [begin, end): prefer invalid,
+     * else age until an RRPV==3 line appears.
+     */
+    static int rripVictim(TagArray &tags, std::uint32_t set, int begin,
+                          int end);
+};
+
+/** SHiP (Wu et al., MICRO'11): SRRIP + signature-trained insertion. */
+class ShipPolicy : public ReplacementPolicy
+{
+  public:
+    ShipPolicy(int table_entries, int region_shift);
+
+    int selectVictim(TagArray &tags, std::uint32_t set,
+                     const AccessInfo &info) override;
+    void onFill(TagArray &tags, std::uint32_t set, int way,
+                const AccessInfo &info) override;
+    void onHit(TagArray &tags, std::uint32_t set, int way,
+               const AccessInfo &info) override;
+    void onEvict(TagArray &tags, std::uint32_t set, int way) override;
+    std::string name() const override { return "ship"; }
+
+    const ShipTable &table() const { return ship_; }
+
+  private:
+    ShipTable ship_;
+    int regionShift_;
+    std::uint64_t fills_ = 0;
+};
+
+/**
+ * SHiP insertion with a deterministic probe: signatures whose counter
+ * has decayed to zero insert at distant RRPV, except every 16th such
+ * fill which inserts at long RRPV. Without the probe a thrashing
+ * phase drives counters to zero permanently (distant insertion means
+ * the line is evicted before its first reuse, so nothing ever
+ * increments the counter again); the probe lets genuinely-reused
+ * signatures recover. Shared by ShipPolicy and CacpPolicy.
+ */
+std::uint8_t shipInsertionWithProbe(const ShipTable &ship,
+                                    CacheSignature sig,
+                                    std::uint64_t &fill_counter);
+
+} // namespace cawa
+
+#endif // CAWA_MEM_REPLACEMENT_HH

@@ -1,0 +1,88 @@
+#include "mem/tag_array.hh"
+
+#include <bit>
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+TagArray::TagArray(int sets, int ways, int line_bytes)
+    : sets_(sets), ways_(ways), lineBytes_(line_bytes),
+      setShift_(std::countr_zero(static_cast<unsigned>(line_bytes))),
+      lines_(static_cast<std::size_t>(sets) * ways),
+      setSeq_(sets, 0)
+{
+    sim_assert(sets > 0 && std::has_single_bit(
+        static_cast<unsigned>(sets)));
+    sim_assert(ways > 0);
+    sim_assert(line_bytes > 0 && std::has_single_bit(
+        static_cast<unsigned>(line_bytes)));
+}
+
+std::uint32_t
+TagArray::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr >> setShift_) & (sets_ - 1));
+}
+
+Addr
+TagArray::tagOf(Addr addr) const
+{
+    return addr >> setShift_;
+}
+
+int
+TagArray::probe(Addr addr) const
+{
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (int w = 0; w < ways_; ++w) {
+        const CacheLine &l = line(set, w);
+        if (l.valid && l.tag == tag)
+            return w;
+    }
+    return -1;
+}
+
+CacheLine &
+TagArray::line(std::uint32_t set, int way)
+{
+    sim_assert(set < static_cast<std::uint32_t>(sets_));
+    sim_assert(way >= 0 && way < ways_);
+    return lines_[static_cast<std::size_t>(set) * ways_ + way];
+}
+
+const CacheLine &
+TagArray::line(std::uint32_t set, int way) const
+{
+    sim_assert(set < static_cast<std::uint32_t>(sets_));
+    sim_assert(way >= 0 && way < ways_);
+    return lines_[static_cast<std::size_t>(set) * ways_ + way];
+}
+
+std::uint64_t
+TagArray::bumpSetSeq(std::uint32_t set)
+{
+    sim_assert(set < static_cast<std::uint32_t>(sets_));
+    return ++setSeq_[set];
+}
+
+std::uint64_t
+TagArray::setSeq(std::uint32_t set) const
+{
+    sim_assert(set < static_cast<std::uint32_t>(sets_));
+    return setSeq_[set];
+}
+
+int
+TagArray::validCount(std::uint32_t set) const
+{
+    int n = 0;
+    for (int w = 0; w < ways_; ++w)
+        if (line(set, w).valid)
+            n++;
+    return n;
+}
+
+} // namespace cawa

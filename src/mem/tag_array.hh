@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Set-associative tag array shared by all cache models. Data values
+ * are not stored (functional data lives in MemoryImage); lines carry
+ * the replacement and CACP training state.
+ */
+
+#ifndef CAWA_MEM_TAG_ARRAY_HH
+#define CAWA_MEM_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cawa/ccbp.hh"
+#include "common/types.hh"
+
+namespace cawa
+{
+
+struct CacheLine
+{
+    bool valid = false;
+    Addr tag = 0;
+
+    // Replacement state.
+    std::uint8_t rrpv = 3;          ///< RRIP re-reference value
+    std::uint64_t lruStamp = 0;     ///< LRU recency stamp
+
+    // CACP / SHiP training state (Algorithm 4).
+    CacheSignature signature = 0;
+    bool cReuse = false;            ///< hit by a critical warp
+    bool ncReuse = false;           ///< hit by a non-critical warp
+    bool inCriticalPartition = false;
+
+    // Statistics bookkeeping.
+    std::uint32_t fillPc = 0;
+    bool fillByCritical = false;
+    std::uint64_t lastTouchSeq = 0; ///< set access seq of last touch
+    std::uint32_t reuseCount = 0;
+};
+
+class TagArray
+{
+  public:
+    TagArray(int sets, int ways, int line_bytes);
+
+    int sets() const { return sets_; }
+    int ways() const { return ways_; }
+    int lineBytes() const { return lineBytes_; }
+    int sizeBytes() const { return sets_ * ways_ * lineBytes_; }
+
+    std::uint32_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    /** Find the way holding @p addr, or -1. */
+    int probe(Addr addr) const;
+
+    CacheLine &line(std::uint32_t set, int way);
+    const CacheLine &line(std::uint32_t set, int way) const;
+
+    /** Per-set access sequence counter (for reuse distance). */
+    std::uint64_t bumpSetSeq(std::uint32_t set);
+    std::uint64_t setSeq(std::uint32_t set) const;
+
+    /** Count valid lines in a set (tests/invariants). */
+    int validCount(std::uint32_t set) const;
+
+  private:
+    int sets_;
+    int ways_;
+    int lineBytes_;
+    int setShift_;
+    std::vector<CacheLine> lines_;
+    std::vector<std::uint64_t> setSeq_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_MEM_TAG_ARRAY_HH

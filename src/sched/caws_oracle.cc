@@ -1,0 +1,23 @@
+#include "sched/caws_oracle.hh"
+
+namespace cawa
+{
+
+WarpSlot
+CawsOracleScheduler::pick(const std::vector<WarpSlot> &ready,
+                          const SchedCtx &ctx)
+{
+    if (ready.empty())
+        return kNoWarp;
+    WarpSlot best = ready.front();
+    for (WarpSlot s : ready) {
+        if (ctx.priority[s] > ctx.priority[best] ||
+            (ctx.priority[s] == ctx.priority[best] &&
+             ctx.age[s] < ctx.age[best])) {
+            best = s;
+        }
+    }
+    return best;
+}
+
+} // namespace cawa

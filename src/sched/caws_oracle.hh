@@ -1,0 +1,26 @@
+/**
+ * @file
+ * CAWS (Lee & Wu, PACT'14) with oracle criticality: always issue the
+ * ready warp whose oracle-profiled execution time (the SchedCtx
+ * priority) is largest, breaking ties oldest-first. Non-greedy.
+ */
+
+#ifndef CAWA_SCHED_CAWS_ORACLE_HH
+#define CAWA_SCHED_CAWS_ORACLE_HH
+
+#include "sched/scheduler.hh"
+
+namespace cawa
+{
+
+class CawsOracleScheduler : public WarpScheduler
+{
+  public:
+    WarpSlot pick(const std::vector<WarpSlot> &ready,
+                  const SchedCtx &ctx) override;
+    std::string name() const override { return "caws"; }
+};
+
+} // namespace cawa
+
+#endif // CAWA_SCHED_CAWS_ORACLE_HH

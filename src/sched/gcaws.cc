@@ -1,0 +1,42 @@
+#include "sched/gcaws.hh"
+
+namespace cawa
+{
+
+WarpSlot
+GcawsScheduler::pick(const std::vector<WarpSlot> &ready,
+                     const SchedCtx &ctx)
+{
+    if (ready.empty())
+        return kNoWarp;
+    // Greedy: the previously selected warp keeps its time slice while
+    // it still has an issuable instruction.
+    for (WarpSlot s : ready)
+        if (s == current_)
+            return s;
+    // Otherwise pick by criticality, oldest-first on ties (GTO rule).
+    WarpSlot best = ready.front();
+    for (WarpSlot s : ready) {
+        if (ctx.priority[s] > ctx.priority[best] ||
+            (ctx.priority[s] == ctx.priority[best] &&
+             ctx.age[s] < ctx.age[best])) {
+            best = s;
+        }
+    }
+    return best;
+}
+
+void
+GcawsScheduler::notifyIssued(WarpSlot slot)
+{
+    current_ = slot;
+}
+
+void
+GcawsScheduler::notifyDeactivated(WarpSlot slot)
+{
+    if (current_ == slot)
+        current_ = kNoWarp;
+}
+
+} // namespace cawa

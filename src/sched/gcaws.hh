@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Greedy Criticality-Aware Warp Scheduler (gCAWS, Section 3.2).
+ *
+ * Selects the ready warp with the highest CPL criticality (ties
+ * broken oldest-first, GTO-style) and then greedily keeps issuing
+ * from that warp until it has no further issuable instruction. The
+ * critical warp thus receives both a higher scheduling priority and a
+ * larger time slice.
+ */
+
+#ifndef CAWA_SCHED_GCAWS_HH
+#define CAWA_SCHED_GCAWS_HH
+
+#include "sched/scheduler.hh"
+
+namespace cawa
+{
+
+class GcawsScheduler : public WarpScheduler
+{
+  public:
+    WarpSlot pick(const std::vector<WarpSlot> &ready,
+                  const SchedCtx &ctx) override;
+    void notifyIssued(WarpSlot slot) override;
+    void notifyDeactivated(WarpSlot slot) override;
+    std::string name() const override { return "gcaws"; }
+
+  private:
+    WarpSlot current_ = kNoWarp;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SCHED_GCAWS_HH

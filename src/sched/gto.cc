@@ -1,0 +1,36 @@
+#include "sched/gto.hh"
+
+namespace cawa
+{
+
+WarpSlot
+GtoScheduler::pick(const std::vector<WarpSlot> &ready, const SchedCtx &ctx)
+{
+    if (ready.empty())
+        return kNoWarp;
+    // Greedy: stick with the current warp while it remains ready.
+    for (WarpSlot s : ready)
+        if (s == current_)
+            return s;
+    // Then-oldest: smallest dispatch age.
+    WarpSlot best = ready.front();
+    for (WarpSlot s : ready)
+        if (ctx.age[s] < ctx.age[best])
+            best = s;
+    return best;
+}
+
+void
+GtoScheduler::notifyIssued(WarpSlot slot)
+{
+    current_ = slot;
+}
+
+void
+GtoScheduler::notifyDeactivated(WarpSlot slot)
+{
+    if (current_ == slot)
+        current_ = kNoWarp;
+}
+
+} // namespace cawa

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Greedy-then-oldest scheduler (Rogers et al., MICRO'12): keep issuing
+ * from the current warp while it stays ready; on a stall switch to the
+ * oldest ready warp.
+ */
+
+#ifndef CAWA_SCHED_GTO_HH
+#define CAWA_SCHED_GTO_HH
+
+#include "sched/scheduler.hh"
+
+namespace cawa
+{
+
+class GtoScheduler : public WarpScheduler
+{
+  public:
+    WarpSlot pick(const std::vector<WarpSlot> &ready,
+                  const SchedCtx &ctx) override;
+    void notifyIssued(WarpSlot slot) override;
+    void notifyDeactivated(WarpSlot slot) override;
+    std::string name() const override { return "gto"; }
+
+  private:
+    WarpSlot current_ = kNoWarp;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SCHED_GTO_HH

@@ -1,0 +1,31 @@
+#include "sched/lrr.hh"
+
+namespace cawa
+{
+
+LrrScheduler::LrrScheduler(int num_slots)
+    : numSlots_(num_slots)
+{
+}
+
+WarpSlot
+LrrScheduler::pick(const std::vector<WarpSlot> &ready, const SchedCtx &ctx)
+{
+    (void)ctx;
+    if (ready.empty())
+        return kNoWarp;
+    // First ready slot strictly after the last issued one (wrapping):
+    // ready is sorted ascending.
+    for (WarpSlot s : ready)
+        if (s > last_)
+            return s;
+    return ready.front();
+}
+
+void
+LrrScheduler::notifyIssued(WarpSlot slot)
+{
+    last_ = slot;
+}
+
+} // namespace cawa

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Loose round-robin scheduler: the baseline "RR" policy of the paper.
+ * Picks the first ready warp after the last issued one, wrapping.
+ */
+
+#ifndef CAWA_SCHED_LRR_HH
+#define CAWA_SCHED_LRR_HH
+
+#include "sched/scheduler.hh"
+
+namespace cawa
+{
+
+class LrrScheduler : public WarpScheduler
+{
+  public:
+    explicit LrrScheduler(int num_slots);
+
+    WarpSlot pick(const std::vector<WarpSlot> &ready,
+                  const SchedCtx &ctx) override;
+    void notifyIssued(WarpSlot slot) override;
+    std::string name() const override { return "rr"; }
+
+  private:
+    int numSlots_;
+    WarpSlot last_ = kNoWarp;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SCHED_LRR_HH

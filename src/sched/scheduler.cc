@@ -1,0 +1,46 @@
+#include "sched/scheduler.hh"
+
+#include "common/sim_assert.hh"
+#include "sched/caws_oracle.hh"
+#include "sched/gcaws.hh"
+#include "sched/gto.hh"
+#include "sched/lrr.hh"
+#include "sched/two_level.hh"
+
+namespace cawa
+{
+
+std::string
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Lrr: return "rr";
+      case SchedulerKind::Gto: return "gto";
+      case SchedulerKind::TwoLevel: return "2lvl";
+      case SchedulerKind::CawsOracle: return "caws";
+      case SchedulerKind::Gcaws: return "gcaws";
+    }
+    return "?";
+}
+
+std::unique_ptr<WarpScheduler>
+createScheduler(SchedulerKind kind, int num_slots)
+{
+    sim_assert(num_slots > 0);
+    switch (kind) {
+      case SchedulerKind::Lrr:
+        return std::make_unique<LrrScheduler>(num_slots);
+      case SchedulerKind::Gto:
+        return std::make_unique<GtoScheduler>();
+      case SchedulerKind::TwoLevel:
+        // The canonical fetch-group size is 8 warps per scheduler.
+        return std::make_unique<TwoLevelScheduler>(num_slots, 8);
+      case SchedulerKind::CawsOracle:
+        return std::make_unique<CawsOracleScheduler>();
+      case SchedulerKind::Gcaws:
+        return std::make_unique<GcawsScheduler>();
+    }
+    sim_panic("unknown scheduler kind");
+}
+
+} // namespace cawa

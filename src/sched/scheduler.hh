@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Warp scheduler policy interface and factory.
+ *
+ * Each SM instantiates one scheduler object per hardware scheduler
+ * (two on Fermi), each managing an interleaved subset of the warp
+ * slots. Every cycle the SM computes the set of *ready* warps (no
+ * scoreboard/structural hazard, not at a barrier, not finished) for a
+ * scheduler and asks it to pick one; the policy is pure selection.
+ */
+
+#ifndef CAWA_SCHED_SCHEDULER_HH
+#define CAWA_SCHED_SCHEDULER_HH
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cawa
+{
+
+enum class SchedulerKind
+{
+    Lrr,        ///< loose round-robin (the paper's baseline "RR")
+    Gto,        ///< greedy-then-oldest (Rogers et al.)
+    TwoLevel,   ///< two-level active/pending sets (Narasiman et al.)
+    CawsOracle, ///< CAWS with oracle criticality (Lee & Wu, PACT'14)
+    Gcaws,      ///< greedy criticality-aware warp scheduler (this paper)
+};
+
+std::string schedulerKindName(SchedulerKind kind);
+
+/** Per-cycle, SM-wide context handed to pick(). Indexed by slot. */
+struct SchedCtx
+{
+    /** Dispatch age; smaller = older warp (GTO tie-break order). */
+    std::span<const std::uint64_t> age;
+
+    /**
+     * Scheduling priority; CPL criticality for gCAWS, oracle warp
+     * execution time for CAWS, ignored by criticality-oblivious
+     * policies.
+     */
+    std::span<const std::int64_t> priority;
+};
+
+class WarpScheduler
+{
+  public:
+    virtual ~WarpScheduler() = default;
+
+    /**
+     * Select one warp among @p ready (ascending slot ids, all
+     * issuable this cycle), or kNoWarp when @p ready is empty.
+     */
+    virtual WarpSlot pick(const std::vector<WarpSlot> &ready,
+                          const SchedCtx &ctx) = 0;
+
+    /** The SM issued an instruction from @p slot. */
+    virtual void notifyIssued(WarpSlot slot) { (void)slot; }
+
+    /** @p slot blocked on a long-latency (L1-miss) load. */
+    virtual void notifyLongStall(WarpSlot slot) { (void)slot; }
+
+    /** A warp was bound to @p slot. */
+    virtual void notifyActivated(WarpSlot slot) { (void)slot; }
+
+    /** The warp in @p slot finished or was unbound. */
+    virtual void notifyDeactivated(WarpSlot slot) { (void)slot; }
+
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Create a scheduler instance.
+ *
+ * @param kind policy
+ * @param num_slots warp slots in the SM (upper bound on slot ids)
+ */
+std::unique_ptr<WarpScheduler> createScheduler(SchedulerKind kind,
+                                               int num_slots);
+
+} // namespace cawa
+
+#endif // CAWA_SCHED_SCHEDULER_HH

@@ -1,0 +1,119 @@
+#include "sched/two_level.hh"
+
+#include <algorithm>
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+TwoLevelScheduler::TwoLevelScheduler(int num_slots, int active_size)
+    : activeSize_(active_size)
+{
+    (void)num_slots;
+    sim_assert(active_size > 0);
+}
+
+bool
+TwoLevelScheduler::isActive(WarpSlot slot) const
+{
+    return std::find(active_.begin(), active_.end(), slot) !=
+           active_.end();
+}
+
+void
+TwoLevelScheduler::promoteFromPending()
+{
+    while (static_cast<int>(active_.size()) < activeSize_ &&
+           !pending_.empty()) {
+        active_.push_back(pending_.front());
+        pending_.pop_front();
+    }
+}
+
+void
+TwoLevelScheduler::removeEverywhere(WarpSlot slot)
+{
+    active_.erase(std::remove(active_.begin(), active_.end(), slot),
+                  active_.end());
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), slot),
+                   pending_.end());
+}
+
+WarpSlot
+TwoLevelScheduler::pick(const std::vector<WarpSlot> &ready,
+                        const SchedCtx &ctx)
+{
+    (void)ctx;
+    if (ready.empty())
+        return kNoWarp;
+
+    // Round-robin among the ready warps of the active set.
+    WarpSlot wrap = kNoWarp;
+    for (WarpSlot s : ready) {
+        if (!isActive(s))
+            continue;
+        if (s > last_)
+            return s;
+        if (wrap == kNoWarp)
+            wrap = s;
+    }
+    if (wrap != kNoWarp)
+        return wrap;
+
+    // No active warp is ready (e.g. all waiting at a barrier for a
+    // pending peer): promote the first ready pending warp, demoting
+    // nothing -- the active warps are stalled anyway. This keeps the
+    // policy deadlock-free.
+    for (WarpSlot s : ready) {
+        auto it = std::find(pending_.begin(), pending_.end(), s);
+        if (it != pending_.end()) {
+            pending_.erase(it);
+            if (static_cast<int>(active_.size()) >= activeSize_) {
+                // Demote the oldest active (front) to make room.
+                pending_.push_back(active_.front());
+                active_.erase(active_.begin());
+            }
+            active_.push_back(s);
+            return s;
+        }
+    }
+    return kNoWarp;
+}
+
+void
+TwoLevelScheduler::notifyIssued(WarpSlot slot)
+{
+    last_ = slot;
+}
+
+void
+TwoLevelScheduler::notifyLongStall(WarpSlot slot)
+{
+    auto it = std::find(active_.begin(), active_.end(), slot);
+    if (it == active_.end())
+        return;
+    active_.erase(it);
+    pending_.push_back(slot);
+    promoteFromPending();
+}
+
+void
+TwoLevelScheduler::notifyActivated(WarpSlot slot)
+{
+    if (static_cast<int>(active_.size()) < activeSize_)
+        active_.push_back(slot);
+    else
+        pending_.push_back(slot);
+}
+
+void
+TwoLevelScheduler::notifyDeactivated(WarpSlot slot)
+{
+    removeEverywhere(slot);
+    promoteFromPending();
+    if (last_ == slot)
+        last_ = kNoWarp;
+}
+
+} // namespace cawa

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Two-level warp scheduler (Narasiman et al., MICRO'11): warps are
+ * split into a small active set scheduled round-robin and a pending
+ * set. A warp that blocks on a long-latency memory operation is
+ * demoted to pending and a pending warp is promoted, so the active
+ * set's warps tend not to stall together.
+ */
+
+#ifndef CAWA_SCHED_TWO_LEVEL_HH
+#define CAWA_SCHED_TWO_LEVEL_HH
+
+#include <deque>
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace cawa
+{
+
+class TwoLevelScheduler : public WarpScheduler
+{
+  public:
+    /**
+     * @param num_slots SM warp-slot count
+     * @param active_size capacity of the active set
+     */
+    TwoLevelScheduler(int num_slots, int active_size);
+
+    WarpSlot pick(const std::vector<WarpSlot> &ready,
+                  const SchedCtx &ctx) override;
+    void notifyIssued(WarpSlot slot) override;
+    void notifyLongStall(WarpSlot slot) override;
+    void notifyActivated(WarpSlot slot) override;
+    void notifyDeactivated(WarpSlot slot) override;
+    std::string name() const override { return "2lvl"; }
+
+    bool isActive(WarpSlot slot) const;
+    int activeCount() const
+    {
+        return static_cast<int>(active_.size());
+    }
+
+  private:
+    void promoteFromPending();
+    void removeEverywhere(WarpSlot slot);
+
+    int activeSize_;
+    std::vector<WarpSlot> active_;
+    std::deque<WarpSlot> pending_;
+    WarpSlot last_ = kNoWarp;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SCHED_TWO_LEVEL_HH

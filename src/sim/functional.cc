@@ -1,0 +1,170 @@
+#include "sim/functional.hh"
+
+#include <array>
+#include <vector>
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+struct ThreadState
+{
+    std::uint32_t pc = 0;
+    std::array<RegValue, kNumRegs> regs{};
+    std::array<bool, kNumPredRegs> preds{};
+    bool done = false;
+    bool atBarrier = false;
+    std::uint64_t steps = 0;
+};
+
+/** Execute one instruction for one thread; returns false at a bar. */
+void
+step(ThreadState &t, const KernelInfo &kernel, int block, int tid,
+     MemoryImage &mem, std::vector<std::uint8_t> &shared)
+{
+    const Instruction &inst = kernel.program.at(t.pc);
+    t.steps++;
+    switch (inst.op) {
+      case Opcode::Nop:
+        t.pc++;
+        break;
+      case Opcode::Setp:
+        t.preds[inst.pdst] =
+            evalCmp(inst.cmp, t.regs[inst.src0], t.regs[inst.src1]);
+        t.pc++;
+        break;
+      case Opcode::SetpImm:
+        t.preds[inst.pdst] = evalCmp(inst.cmp, t.regs[inst.src0],
+                                     static_cast<RegValue>(inst.imm));
+        t.pc++;
+        break;
+      case Opcode::Selp:
+        t.regs[inst.dst] = t.preds[inst.psrc] ? t.regs[inst.src0]
+                                              : t.regs[inst.src1];
+        t.pc++;
+        break;
+      case Opcode::S2R: {
+        const auto sreg = static_cast<SpecialReg>(inst.imm);
+        RegValue v = 0;
+        switch (sreg) {
+          case SpecialReg::TidX: v = tid; break;
+          case SpecialReg::CtaIdX: v = block; break;
+          case SpecialReg::NTidX: v = kernel.blockDim; break;
+          case SpecialReg::NCtaIdX: v = kernel.gridDim; break;
+          case SpecialReg::LaneId: v = tid % 32; break;
+          case SpecialReg::WarpIdInBlock: v = tid / 32; break;
+          case SpecialReg::GlobalTid:
+            v = static_cast<RegValue>(block) * kernel.blockDim + tid;
+            break;
+        }
+        t.regs[inst.dst] = v;
+        t.pc++;
+        break;
+      }
+      case Opcode::LdGlobal: {
+        const Addr addr =
+            t.regs[inst.src0] + static_cast<RegValue>(inst.imm);
+        t.regs[inst.dst] = mem.read32(addr);
+        t.pc++;
+        break;
+      }
+      case Opcode::StGlobal: {
+        const Addr addr =
+            t.regs[inst.src0] + static_cast<RegValue>(inst.imm);
+        mem.write32(addr,
+                    static_cast<std::uint32_t>(t.regs[inst.src1]));
+        t.pc++;
+        break;
+      }
+      case Opcode::LdShared: {
+        const Addr addr =
+            t.regs[inst.src0] + static_cast<RegValue>(inst.imm);
+        sim_assert(addr + 4 <= shared.size());
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = (v << 8) | shared[addr + i];
+        t.regs[inst.dst] = v;
+        t.pc++;
+        break;
+      }
+      case Opcode::StShared: {
+        const Addr addr =
+            t.regs[inst.src0] + static_cast<RegValue>(inst.imm);
+        sim_assert(addr + 4 <= shared.size());
+        const auto v = static_cast<std::uint32_t>(t.regs[inst.src1]);
+        for (int i = 0; i < 4; ++i)
+            shared[addr + i] = static_cast<std::uint8_t>(v >> (8 * i));
+        t.pc++;
+        break;
+      }
+      case Opcode::Bra: {
+        bool p = !inst.predUsed || t.preds[inst.psrc];
+        if (inst.predUsed && inst.predNegate)
+            p = !t.preds[inst.psrc];
+        t.pc = p ? inst.target : t.pc + 1;
+        break;
+      }
+      case Opcode::Bar:
+        t.atBarrier = true;
+        t.pc++;
+        break;
+      case Opcode::Exit:
+        t.done = true;
+        break;
+      default:
+        t.regs[inst.dst] =
+            evalAlu(inst.op, t.regs[inst.src0], t.regs[inst.src1],
+                    t.regs[inst.src2], inst.imm);
+        t.pc++;
+        break;
+    }
+}
+
+} // namespace
+
+void
+runFunctional(const KernelInfo &kernel, MemoryImage &mem,
+              std::uint64_t max_steps)
+{
+    sim_assert(kernel.program.validate().empty());
+    for (int block = 0; block < kernel.gridDim; ++block) {
+        std::vector<ThreadState> threads(kernel.blockDim);
+        std::vector<std::uint8_t> shared(
+            std::max(kernel.smemPerBlock, 4), 0);
+        for (;;) {
+            bool progressed = false;
+            bool all_done = true;
+            for (int tid = 0; tid < kernel.blockDim; ++tid) {
+                ThreadState &t = threads[tid];
+                if (t.done || t.atBarrier)
+                    continue;
+                all_done = false;
+                step(t, kernel, block, tid, mem, shared);
+                sim_assert(t.steps <= max_steps);
+                progressed = true;
+            }
+            if (all_done) {
+                // Either everyone is done, or a barrier phase ended.
+                bool any_waiting = false;
+                for (auto &t : threads)
+                    any_waiting = any_waiting || t.atBarrier;
+                if (!any_waiting)
+                    break; // block complete
+                // Release the barrier: every non-done thread must be
+                // waiting at it (structured kernels guarantee this).
+                for (auto &t : threads) {
+                    sim_assert(t.done || t.atBarrier);
+                    t.atBarrier = false;
+                }
+                progressed = true;
+            }
+            sim_assert(progressed);
+        }
+    }
+}
+
+} // namespace cawa

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Functional (timing-free) reference interpreter for kernel programs.
+ *
+ * Executes every thread of every block scalar-style, interleaving
+ * threads one instruction at a time with bar.sync acting as a phase
+ * barrier. For race-free kernels (each thread writes only its own
+ * cells between barriers) this produces the architecturally-defined
+ * result, which workloads use as the verification reference and the
+ * property tests use to cross-check the SIMT pipeline.
+ */
+
+#ifndef CAWA_SIM_FUNCTIONAL_HH
+#define CAWA_SIM_FUNCTIONAL_HH
+
+#include "isa/kernel.hh"
+#include "mem/memory_image.hh"
+
+namespace cawa
+{
+
+/**
+ * Run @p kernel functionally over @p mem (blocks sequential, threads
+ * interleaved). Panics on deadlock (a barrier no thread can reach) or
+ * on a thread exceeding @p max_steps instructions.
+ */
+void runFunctional(const KernelInfo &kernel, MemoryImage &mem,
+                   std::uint64_t max_steps = 10'000'000);
+
+} // namespace cawa
+
+#endif // CAWA_SIM_FUNCTIONAL_HH

@@ -1,0 +1,114 @@
+#include "sim/gpu.hh"
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+Gpu::Gpu(const GpuConfig &cfg, MemoryImage &mem,
+         const OracleTable *oracle)
+    : cfg_(cfg), mem_(mem), oracle_(oracle)
+{
+    sim_assert(cfg.numSms > 0);
+}
+
+void
+Gpu::tick(Cycle now, std::vector<std::unique_ptr<SmCore>> &sms,
+          Interconnect &icnt, L2Cache &l2, DramModel &dram,
+          BlockDispatcher &dispatcher)
+{
+    dispatcher.dispatch(sms, now);
+
+    for (auto &sm : sms)
+        sm->tick(now);
+
+    // Miss/write-through traffic out of the L1s.
+    for (auto &sm : sms)
+        while (sm->hasOutgoing())
+            icnt.pushToL2(sm->popOutgoing(), now);
+
+    for (const MemMsg &msg : icnt.popToL2(now))
+        l2.pushRequest(msg, now);
+
+    l2.tick(now, dram);
+    dram.tick(now);
+
+    for (const MemMsg &msg : dram.popResponses(now))
+        l2.handleDramResponse(msg, now);
+
+    for (const MemMsg &msg : l2.popResponses(now))
+        icnt.pushToSm(msg, now);
+
+    for (const MemMsg &msg : icnt.popToSm(now)) {
+        sim_assert(msg.smId >= 0 &&
+                   msg.smId < static_cast<int>(sms.size()));
+        sms[msg.smId]->fillResponse(msg.lineAddr, now);
+    }
+}
+
+SimReport
+Gpu::run(const KernelInfo &kernel)
+{
+    sim_assert(kernel.program.validate().empty());
+    sim_assert(kernel.warpsPerBlock(cfg_.warpSize) <= cfg_.maxWarpsPerSm);
+    sim_assert(kernel.blockDim * kernel.regsPerThread <=
+               cfg_.regFileSize);
+    sim_assert(kernel.smemPerBlock <= cfg_.sharedMemBytes);
+
+    std::vector<std::unique_ptr<SmCore>> sms;
+    for (int i = 0; i < cfg_.numSms; ++i)
+        sms.push_back(std::make_unique<SmCore>(cfg_, i, mem_, kernel,
+                                               oracle_));
+    Interconnect icnt(cfg_.icntLatency, cfg_.icntWidth);
+    L2Cache l2(cfg_.l2);
+    DramModel dram(cfg_.dramLatency, cfg_.dramServiceInterval);
+    BlockDispatcher dispatcher(kernel.gridDim);
+
+    SimReport report;
+    report.kernelName = kernel.name;
+    report.schedulerName = schedulerKindName(cfg_.scheduler);
+    report.cachePolicyName = cachePolicyKindName(cfg_.l1Policy);
+
+    Cycle now = 0;
+    for (;;) {
+        tick(now, sms, icnt, l2, dram, dispatcher);
+        now++;
+
+        if (now >= cfg_.maxCycles) {
+            report.timedOut = true;
+            break;
+        }
+        if (!dispatcher.allDispatched())
+            continue;
+        bool busy = !icnt.idle() || !l2.idle() || !dram.idle();
+        for (const auto &sm : sms)
+            busy = busy || sm->busy();
+        if (!busy)
+            break;
+    }
+
+    report.cycles = now;
+    for (auto &sm : sms) {
+        report.instructions += sm->issuedInstructions();
+        report.l1.merge(sm->l1Stats());
+        for (auto &rec : sm->takeRetiredBlocks())
+            report.blocks.push_back(std::move(rec));
+        for (const auto &sample : sm->traceSamples())
+            report.trace.push_back(sample);
+    }
+    report.l2 = l2.stats();
+    report.dramReads = dram.reads;
+    report.dramWrites = dram.writes;
+    report.icntMessages = icnt.messagesToL2 + icnt.messagesToSm;
+    return report;
+}
+
+SimReport
+runKernel(const GpuConfig &cfg, MemoryImage &mem,
+          const KernelInfo &kernel, const OracleTable *oracle)
+{
+    Gpu gpu(cfg, mem, oracle);
+    return gpu.run(kernel);
+}
+
+} // namespace cawa

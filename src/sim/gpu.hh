@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Top-level GPU: owns the SM cores, interconnect, L2, DRAM and the
+ * block dispatcher, and runs a kernel launch to completion.
+ */
+
+#ifndef CAWA_SIM_GPU_HH
+#define CAWA_SIM_GPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "isa/kernel.hh"
+#include "mem/dram.hh"
+#include "mem/interconnect.hh"
+#include "mem/l2_cache.hh"
+#include "mem/memory_image.hh"
+#include "sim/gpu_config.hh"
+#include "sim/report.hh"
+#include "sm/dispatcher.hh"
+#include "sm/records.hh"
+#include "sm/sm_core.hh"
+
+namespace cawa
+{
+
+class Gpu
+{
+  public:
+    /**
+     * @param mem global memory image, pre-loaded with kernel inputs;
+     *        results are written back into it
+     * @param oracle optional CAWS oracle profile (kept alive by the
+     *        caller for the duration of run())
+     */
+    Gpu(const GpuConfig &cfg, MemoryImage &mem,
+        const OracleTable *oracle = nullptr);
+
+    /** Execute @p kernel to completion and return the report. */
+    SimReport run(const KernelInfo &kernel);
+
+  private:
+    void tick(Cycle now, std::vector<std::unique_ptr<SmCore>> &sms,
+              Interconnect &icnt, L2Cache &l2, DramModel &dram,
+              BlockDispatcher &dispatcher);
+
+    GpuConfig cfg_;
+    MemoryImage &mem_;
+    const OracleTable *oracle_;
+};
+
+/** Convenience: build + run in one call. */
+SimReport runKernel(const GpuConfig &cfg, MemoryImage &mem,
+                    const KernelInfo &kernel,
+                    const OracleTable *oracle = nullptr);
+
+} // namespace cawa
+
+#endif // CAWA_SIM_GPU_HH

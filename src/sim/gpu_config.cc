@@ -1,0 +1,58 @@
+#include "sim/gpu_config.hh"
+
+#include <sstream>
+
+namespace cawa
+{
+
+std::string
+cachePolicyKindName(CachePolicyKind kind)
+{
+    switch (kind) {
+      case CachePolicyKind::Lru: return "lru";
+      case CachePolicyKind::Srrip: return "srrip";
+      case CachePolicyKind::Ship: return "ship";
+      case CachePolicyKind::Cacp: return "cacp";
+    }
+    return "?";
+}
+
+std::string
+GpuConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << "Architecture              modeled-after NVIDIA Fermi GTX480\n"
+        << "Num. of SMs               " << numSms << "\n"
+        << "Max. # of Warps per SM    " << maxWarpsPerSm << "\n"
+        << "Max. # of Blocks per SM   " << maxBlocksPerSm << "\n"
+        << "# of Schedulers per SM    " << numSchedulersPerSm << "\n"
+        << "# of Registers per SM     " << regFileSize << "\n"
+        << "Shared Memory             " << sharedMemBytes / 1024
+        << "KB\n"
+        << "L1 Data Cache             "
+        << l1d.sets * l1d.ways * l1d.lineBytes / 1024 << "KB per SM ("
+        << l1d.sets << "-sets/" << l1d.ways << "-ways/"
+        << l1d.lineBytes << "B lines)\n"
+        << "L2 Cache                  "
+        << static_cast<long>(l2.banks) * l2.setsPerBank * l2.ways *
+               l2.lineBytes / 1024
+        << "KB unified (" << l2.setsPerBank << "-sets/" << l2.ways
+        << "-ways/" << l2.banks << "-banks)\n"
+        << "Min. L2 Access Latency    " << 2 * icntLatency + l2.latency
+        << " cycles\n"
+        << "Min. DRAM Access Latency  "
+        << 2 * icntLatency + dramLatency + 1 << " cycles\n"
+        << "Warp Size (SIMD Width)    " << warpSize << " threads\n"
+        << "Warp Scheduler            " << schedulerKindName(scheduler)
+        << "\n"
+        << "L1D Policy                " << cachePolicyKindName(l1Policy)
+        << "\n";
+    if (l1Policy == CachePolicyKind::Cacp) {
+        oss << "CACP critical ways        " << cacp.criticalWays << "/"
+            << l1d.ways << "\n"
+            << "CCBP/SHiP entries         " << cacp.tableEntries << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace cawa

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Full simulator configuration. Defaults model the paper's Table 1
+ * (NVIDIA Fermi GTX480 as configured in GPGPU-sim 3.2.0, with the
+ * per-SM L1D as 8 sets x 16 ways x 128 B = 16 KB).
+ */
+
+#ifndef CAWA_SIM_GPU_CONFIG_HH
+#define CAWA_SIM_GPU_CONFIG_HH
+
+#include <string>
+
+#include "mem/cacp_policy.hh"
+#include "mem/l1d_cache.hh"
+#include "mem/l2_cache.hh"
+#include "sched/scheduler.hh"
+
+namespace cawa
+{
+
+enum class CachePolicyKind { Lru, Srrip, Ship, Cacp };
+
+std::string cachePolicyKindName(CachePolicyKind kind);
+
+struct GpuConfig
+{
+    // SM organization (Table 1).
+    int numSms = 15;
+    int maxWarpsPerSm = 48;
+    int maxBlocksPerSm = 8;
+    int numSchedulersPerSm = 2;
+    int warpSize = 32;
+    int regFileSize = 32768;        ///< registers per SM
+    int sharedMemBytes = 48 * 1024; ///< shared memory per SM
+
+    // Execution latencies.
+    Cycle aluLatency = 4;
+    Cycle sfuLatency = 16;
+    Cycle sharedMemLatency = 24;
+
+    // L1 data cache (16KB: 8 sets / 16 ways / 128B lines).
+    L1DConfig l1d;
+    int l1PortsPerCycle = 1;    ///< transactions the L1 accepts/cycle
+    int ldstQueueSize = 64;
+
+    // Interconnect, L2 (768KB: 6 banks x 64 sets x 16 ways x 128B)
+    // and DRAM. One-way icnt latency + L2 service = 120-cycle minimum
+    // L2 round trip; + DRAM latency = ~220-cycle minimum DRAM trip.
+    L2Config l2;
+    Cycle icntLatency = 50;
+    int icntWidth = 8;
+    Cycle dramLatency = 120;
+    int dramServiceInterval = 2;
+
+    // Policy selection.
+    SchedulerKind scheduler = SchedulerKind::Lrr;
+    CachePolicyKind l1Policy = CachePolicyKind::Lru;
+    CacpConfig cacp;
+
+    // CPL configuration.
+    double criticalFraction = 0.125;///< top fraction => critical warp
+    int cplQuantShift = 5;          ///< priority bucket = 2^shift instructions
+    bool cplUseInstTerm = true;
+    bool cplUseStallTerm = true;
+    Cycle cplSampleInterval = 512;  ///< accuracy sampling period
+
+    // Tracing (Fig 12).
+    std::int64_t traceBlockId = -1; ///< record criticality trace
+    Cycle traceSampleInterval = 64;
+
+    // Safety valve.
+    std::uint64_t maxCycles = 100'000'000;
+
+    /** Paper Table 1 configuration (these defaults). */
+    static GpuConfig fermiGtx480() { return GpuConfig{}; }
+
+    /** Multi-line human-readable description (bench_table1). */
+    std::string describe() const;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SIM_GPU_CONFIG_HH

@@ -1,0 +1,34 @@
+#include "sim/oracle.hh"
+
+namespace cawa
+{
+
+OracleTable
+buildOracle(const SimReport &profile)
+{
+    OracleTable table;
+    for (const auto &block : profile.blocks) {
+        auto &values = table.values[block.id];
+        values.resize(block.warps.size());
+        for (std::size_t w = 0; w < block.warps.size(); ++w)
+            values[w] =
+                static_cast<std::int64_t>(block.warps[w].execTime());
+    }
+    return table;
+}
+
+SimReport
+runWithCawsOracle(const GpuConfig &cfg, MemoryImage &mem,
+                  MemoryImage &profile_mem, const KernelInfo &kernel)
+{
+    GpuConfig profile_cfg = cfg;
+    profile_cfg.scheduler = SchedulerKind::Lrr;
+    const SimReport profile = runKernel(profile_cfg, profile_mem, kernel);
+    const OracleTable oracle = buildOracle(profile);
+
+    GpuConfig caws_cfg = cfg;
+    caws_cfg.scheduler = SchedulerKind::CawsOracle;
+    return runKernel(caws_cfg, mem, kernel, &oracle);
+}
+
+} // namespace cawa

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Oracle criticality for the CAWS baseline (Lee & Wu, PACT'14): a
+ * profiling pass records each warp's execution time; a second run
+ * feeds those times to the CAWS scheduler as static priorities.
+ */
+
+#ifndef CAWA_SIM_ORACLE_HH
+#define CAWA_SIM_ORACLE_HH
+
+#include "sim/gpu.hh"
+#include "sm/records.hh"
+
+namespace cawa
+{
+
+/** Extract the per-warp execution-time oracle from a profiling run. */
+OracleTable buildOracle(const SimReport &profile);
+
+/**
+ * Convenience two-pass runner: profile under the baseline RR
+ * scheduler on @p profile_mem, then run with the CAWS oracle
+ * scheduler using @p cfg (whose scheduler field is overridden to
+ * CawsOracle) on @p mem.
+ */
+SimReport runWithCawsOracle(const GpuConfig &cfg, MemoryImage &mem,
+                            MemoryImage &profile_mem,
+                            const KernelInfo &kernel);
+
+} // namespace cawa
+
+#endif // CAWA_SIM_ORACLE_HH

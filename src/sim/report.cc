@@ -1,0 +1,95 @@
+#include "sim/report.hh"
+
+namespace cawa
+{
+
+double
+SimReport::avgDisparity() const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &b : blocks) {
+        if (b.warps.size() < 2)
+            continue;
+        sum += b.disparity();
+        n++;
+    }
+    return n ? sum / n : 0.0;
+}
+
+double
+SimReport::maxDisparity() const
+{
+    double best = 0.0;
+    for (const auto &b : blocks)
+        best = std::max(best, b.disparity());
+    return best;
+}
+
+double
+SimReport::cplAccuracy() const
+{
+    std::uint64_t hits = 0;
+    std::uint64_t samples = 0;
+    for (const auto &b : blocks) {
+        if (b.cplSamples == 0 || b.warps.empty())
+            continue;
+        // Single-warp blocks: the critical warp is trivially
+        // identified (the paper notes needle's 100% accuracy for
+        // this reason) -- sampling skipped them, so count them as
+        // fully correct with one sample's weight.
+        if (b.warps.size() == 1) {
+            hits += 1;
+            samples += 1;
+            continue;
+        }
+        const int crit = b.criticalWarp();
+        hits += b.warps[crit].slowSamples;
+        samples += b.cplSamples;
+    }
+    // Blocks that never got sampled but are single-warp still count.
+    for (const auto &b : blocks) {
+        if (b.cplSamples == 0 && b.warps.size() == 1) {
+            hits += 1;
+            samples += 1;
+        }
+    }
+    return samples
+        ? static_cast<double>(hits) / static_cast<double>(samples) : 0.0;
+}
+
+double
+SimReport::memStallFraction() const
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &b : blocks) {
+        for (const auto &w : b.warps) {
+            const Cycle t = w.execTime();
+            if (t == 0)
+                continue;
+            sum += static_cast<double>(w.memStallCycles) / t;
+            n++;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+double
+SimReport::schedWaitFraction() const
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &b : blocks) {
+        for (const auto &w : b.warps) {
+            const Cycle t = w.execTime();
+            if (t == 0)
+                continue;
+            sum += static_cast<double>(w.schedWaitCycles) / t;
+            n++;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+} // namespace cawa

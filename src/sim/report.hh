@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Simulation result report: aggregate counters plus the per-block and
+ * trace records, with the derived metrics the paper's figures use
+ * (IPC, MPKI, warp disparity, CPL accuracy, critical hit rates).
+ */
+
+#ifndef CAWA_SIM_REPORT_HH
+#define CAWA_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/cache_stats.hh"
+#include "sm/records.hh"
+
+namespace cawa
+{
+
+struct SimReport
+{
+    std::string kernelName;
+    std::string schedulerName;
+    std::string cachePolicyName;
+
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    CacheStats l1;          ///< merged over all SMs
+    CacheStats l2;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t icntMessages = 0;
+
+    std::vector<BlockRecord> blocks;
+    std::vector<TraceSample> trace;
+
+    bool timedOut = false;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+
+    double mpki() const { return l1.mpki(instructions); }
+
+    /** Mean over blocks of (slowest-fastest)/fastest warp time. */
+    double avgDisparity() const;
+
+    /** Largest per-block disparity in the run (Fig 1's metric). */
+    double maxDisparity() const;
+
+    /**
+     * CPL prediction accuracy (Fig 11): over all sampled blocks, the
+     * frequency with which the actually-critical warp was classified
+     * slow, weighted by sample count.
+     */
+    double cplAccuracy() const;
+
+    /** Mean fraction of warp time spent blocked on memory. */
+    double memStallFraction() const;
+
+    /** Mean fraction of warp time spent ready-but-not-scheduled. */
+    double schedWaitFraction() const;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SIM_REPORT_HH

@@ -1,0 +1,41 @@
+#include "sm/barrier.hh"
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+void
+BarrierState::reset(int expected)
+{
+    sim_assert(expected >= 0);
+    expected_ = expected;
+    arrived_ = 0;
+}
+
+bool
+BarrierState::arrive()
+{
+    sim_assert(expected_ > 0);
+    arrived_++;
+    sim_assert(arrived_ <= expected_);
+    if (arrived_ == expected_) {
+        arrived_ = 0;
+        return true;
+    }
+    return false;
+}
+
+bool
+BarrierState::reduceExpected()
+{
+    sim_assert(expected_ > 0);
+    expected_--;
+    if (expected_ > 0 && arrived_ == expected_) {
+        arrived_ = 0;
+        return true;
+    }
+    return false;
+}
+
+} // namespace cawa

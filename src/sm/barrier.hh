@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Thread-block barrier bookkeeping (bar.sync). Tracks how many of the
+ * block's still-running warps have arrived; releases when all have.
+ * Warps that exit reduce the expected count (a structured kernel
+ * never exits while peers wait, but the state machine stays safe).
+ */
+
+#ifndef CAWA_SM_BARRIER_HH
+#define CAWA_SM_BARRIER_HH
+
+namespace cawa
+{
+
+class BarrierState
+{
+  public:
+    /** Initialize for a block with @p expected participating warps. */
+    void reset(int expected);
+
+    /**
+     * A warp arrived at the barrier.
+     * @return true if this arrival releases the barrier.
+     */
+    bool arrive();
+
+    /**
+     * A participating warp exited the kernel.
+     * @return true if the removal releases waiting warps.
+     */
+    bool reduceExpected();
+
+    int arrived() const { return arrived_; }
+    int expected() const { return expected_; }
+
+  private:
+    int expected_ = 0;
+    int arrived_ = 0;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SM_BARRIER_HH

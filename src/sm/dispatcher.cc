@@ -1,0 +1,33 @@
+#include "sm/dispatcher.hh"
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+BlockDispatcher::BlockDispatcher(int grid_dim)
+    : gridDim_(grid_dim)
+{
+    sim_assert(grid_dim > 0);
+}
+
+int
+BlockDispatcher::dispatch(std::vector<std::unique_ptr<SmCore>> &sms,
+                          Cycle now)
+{
+    int placed = 0;
+    const std::size_t n = sms.size();
+    // Visit SMs round-robin starting after the last one served; each
+    // SM receives at most one block per cycle.
+    for (std::size_t i = 0; i < n && !allDispatched(); ++i) {
+        const std::size_t sm = (lastSm_ + 1 + i) % n;
+        if (sms[sm]->canAcceptBlock()) {
+            sms[sm]->acceptBlock(next_++, now);
+            lastSm_ = sm;
+            placed++;
+        }
+    }
+    return placed;
+}
+
+} // namespace cawa

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Grid-level thread-block dispatcher: hands out block ids to SMs in
+ * round-robin order as their occupancy limits allow, one block per SM
+ * per cycle (GPGPU-sim's GigaThread-engine approximation).
+ */
+
+#ifndef CAWA_SM_DISPATCHER_HH
+#define CAWA_SM_DISPATCHER_HH
+
+#include <memory>
+#include <vector>
+
+#include "sm/sm_core.hh"
+
+namespace cawa
+{
+
+class BlockDispatcher
+{
+  public:
+    explicit BlockDispatcher(int grid_dim);
+
+    /** Try to place pending blocks; returns how many were placed. */
+    int dispatch(std::vector<std::unique_ptr<SmCore>> &sms, Cycle now);
+
+    bool
+    allDispatched() const
+    {
+        return next_ >= static_cast<BlockId>(gridDim_);
+    }
+    BlockId nextBlock() const { return next_; }
+
+  private:
+    int gridDim_;
+    BlockId next_ = 0;
+    std::size_t lastSm_ = 0;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SM_DISPATCHER_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Result records produced by the SM cores and consumed by the report
+ * and benchmark layers: per-warp and per-block execution summaries,
+ * criticality trace samples, and the oracle criticality table used by
+ * the CAWS baseline.
+ */
+
+#ifndef CAWA_SM_RECORDS_HH
+#define CAWA_SM_RECORDS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cawa
+{
+
+/** Final per-warp summary (one entry per warp of a retired block). */
+struct WarpRecord
+{
+    int warpInBlock = 0;
+    Cycle startCycle = 0;
+    Cycle endCycle = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memStallCycles = 0;
+    std::uint64_t aluStallCycles = 0;
+    std::uint64_t structStallCycles = 0;
+    std::uint64_t schedWaitCycles = 0;
+    std::uint64_t barrierCycles = 0;
+    std::uint64_t finishedWaitCycles = 0;
+    /** Samples in which CPL classified this warp as slow (Fig 11). */
+    std::uint64_t slowSamples = 0;
+
+    Cycle execTime() const { return endCycle - startCycle; }
+};
+
+/** Summary of one retired thread block. */
+struct BlockRecord
+{
+    BlockId id = 0;
+    int smId = 0;
+    Cycle startCycle = 0;
+    Cycle endCycle = 0;
+    std::uint64_t cplSamples = 0;
+    std::vector<WarpRecord> warps;
+
+    /** Index (warp-in-block) of the actual critical (slowest) warp. */
+    int
+    criticalWarp() const
+    {
+        int best = 0;
+        for (std::size_t w = 1; w < warps.size(); ++w)
+            if (warps[w].endCycle > warps[best].endCycle)
+                best = static_cast<int>(w);
+        return best;
+    }
+
+    /**
+     * Warp execution-time disparity: (slowest - fastest) / fastest
+     * (Figures 1 and 2's metric). Zero for single-warp blocks.
+     */
+    double
+    disparity() const
+    {
+        if (warps.size() < 2)
+            return 0.0;
+        Cycle fastest = warps[0].execTime();
+        Cycle slowest = warps[0].execTime();
+        for (const auto &w : warps) {
+            fastest = std::min(fastest, w.execTime());
+            slowest = std::max(slowest, w.execTime());
+        }
+        if (fastest == 0)
+            return 0.0;
+        return static_cast<double>(slowest - fastest) /
+               static_cast<double>(fastest);
+    }
+};
+
+/** Fig 12 trace: per-sample criticality of one block's warps. */
+struct TraceSample
+{
+    Cycle cycle = 0;
+    std::vector<std::int64_t> criticality; ///< by warp-in-block
+};
+
+/**
+ * Oracle criticality for the CAWS baseline: per block, the profiled
+ * execution time of each warp from an earlier run.
+ */
+struct OracleTable
+{
+    std::unordered_map<BlockId, std::vector<std::int64_t>> values;
+
+    std::int64_t
+    lookup(BlockId block, int warp_in_block) const
+    {
+        auto it = values.find(block);
+        if (it == values.end() ||
+            warp_in_block >= static_cast<int>(it->second.size()))
+            return 0;
+        return it->second[warp_in_block];
+    }
+};
+
+} // namespace cawa
+
+#endif // CAWA_SM_RECORDS_HH

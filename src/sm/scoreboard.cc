@@ -1,0 +1,92 @@
+#include "sm/scoreboard.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+std::uint32_t
+bit(Reg r)
+{
+    return std::uint32_t{1} << r;
+}
+
+} // namespace
+
+std::uint32_t
+regsRead(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::MovImm:
+      case Opcode::S2R:
+      case Opcode::Bar:
+      case Opcode::Exit:
+        return 0;
+      case Opcode::AddImm:
+      case Opcode::MulImm:
+      case Opcode::ShlImm:
+      case Opcode::ShrImm:
+      case Opcode::Mov:
+      case Opcode::Sfu:
+      case Opcode::SetpImm:
+      case Opcode::LdGlobal:
+      case Opcode::LdShared:
+        return bit(inst.src0);
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Min:
+      case Opcode::Max:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Setp:
+      case Opcode::Selp:
+      case Opcode::StGlobal:
+      case Opcode::StShared:
+        return bit(inst.src0) | bit(inst.src1);
+      case Opcode::Mad:
+        return bit(inst.src0) | bit(inst.src1) | bit(inst.src2);
+      case Opcode::Bra:
+        return 0;
+    }
+    return 0;
+}
+
+std::uint32_t
+regsWritten(const Instruction &inst)
+{
+    return inst.writesReg() ? bit(inst.dst) : 0;
+}
+
+std::uint8_t
+predsRead(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Selp:
+        return static_cast<std::uint8_t>(1u << inst.psrc);
+      case Opcode::Bra:
+        return inst.predUsed
+            ? static_cast<std::uint8_t>(1u << inst.psrc) : 0;
+      default:
+        return 0;
+    }
+}
+
+std::uint8_t
+predsWritten(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Setp:
+      case Opcode::SetpImm:
+        return static_cast<std::uint8_t>(1u << inst.pdst);
+      default:
+        return 0;
+    }
+}
+
+} // namespace cawa

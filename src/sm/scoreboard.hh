@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dependency masks for the per-warp scoreboard: which general and
+ * predicate registers an instruction reads and writes. The SM blocks
+ * issue while any of these overlap a warp's pending sets (in-order
+ * issue with RAW/WAW interlocks; loads release their destination when
+ * the memory system responds).
+ */
+
+#ifndef CAWA_SM_SCOREBOARD_HH
+#define CAWA_SM_SCOREBOARD_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace cawa
+{
+
+/** Bitmask of general registers read by @p inst. */
+std::uint32_t regsRead(const Instruction &inst);
+
+/** Bitmask of general registers written by @p inst. */
+std::uint32_t regsWritten(const Instruction &inst);
+
+/** Bitmask of predicate registers read by @p inst. */
+std::uint8_t predsRead(const Instruction &inst);
+
+/** Bitmask of predicate registers written by @p inst. */
+std::uint8_t predsWritten(const Instruction &inst);
+
+/** Per-warp pending-register state. */
+struct Scoreboard
+{
+    std::uint32_t pendingRegs = 0;
+    std::uint32_t pendingMemRegs = 0; ///< subset owed to loads
+    std::uint8_t pendingPreds = 0;
+
+    void clear()
+    {
+        pendingRegs = 0;
+        pendingMemRegs = 0;
+        pendingPreds = 0;
+    }
+
+    bool
+    canIssue(const Instruction &inst) const
+    {
+        const std::uint32_t regs = regsRead(inst) | regsWritten(inst);
+        const std::uint8_t preds = predsRead(inst) | predsWritten(inst);
+        return (regs & pendingRegs) == 0 && (preds & pendingPreds) == 0;
+    }
+
+    /** Whether the block on @p inst is due to an outstanding load. */
+    bool
+    blockedByMemory(const Instruction &inst) const
+    {
+        const std::uint32_t regs = regsRead(inst) | regsWritten(inst);
+        return (regs & pendingMemRegs) != 0;
+    }
+
+    bool clean() const
+    {
+        return pendingRegs == 0 && pendingPreds == 0;
+    }
+};
+
+} // namespace cawa
+
+#endif // CAWA_SM_SCOREBOARD_HH

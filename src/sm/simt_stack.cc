@@ -1,0 +1,88 @@
+#include "sm/simt_stack.hh"
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+void
+SimtStack::reset(std::uint32_t start_pc, LaneMask active)
+{
+    sim_assert(active != 0);
+    entries_.clear();
+    entries_.push_back({kNoReconv, start_pc, active});
+}
+
+std::uint32_t
+SimtStack::pc() const
+{
+    sim_assert(!entries_.empty());
+    return entries_.back().pc;
+}
+
+LaneMask
+SimtStack::activeMask() const
+{
+    sim_assert(!entries_.empty());
+    return entries_.back().mask;
+}
+
+void
+SimtStack::popReconverged()
+{
+    while (entries_.size() > 1 &&
+           entries_.back().pc == entries_.back().reconvPc) {
+        entries_.pop_back();
+    }
+}
+
+void
+SimtStack::advance(std::uint32_t next_pc)
+{
+    sim_assert(!entries_.empty());
+    entries_.back().pc = next_pc;
+    popReconverged();
+}
+
+bool
+SimtStack::branch(std::uint32_t curr_pc, std::uint32_t target,
+                  std::uint32_t reconv, LaneMask taken_mask)
+{
+    sim_assert(!entries_.empty());
+    Entry &top = entries_.back();
+    sim_assert(top.pc == curr_pc);
+    const LaneMask active = top.mask;
+    sim_assert((taken_mask & ~active) == 0);
+    const LaneMask fall_mask = active & ~taken_mask;
+    const std::uint32_t fall_pc = curr_pc + 1;
+
+    if (taken_mask == 0) {
+        advance(fall_pc);
+        return false;
+    }
+    if (fall_mask == 0) {
+        advance(target);
+        return false;
+    }
+
+    // Divergence. The top entry becomes the reconvergence holder for
+    // the union mask; compress it away when its parent already waits
+    // at the same PC with a superset mask (loop back-edges would
+    // otherwise grow the stack once per iteration).
+    top.pc = reconv;
+    if (entries_.size() > 1 &&
+        entries_[entries_.size() - 2].pc == reconv) {
+        entries_.pop_back();
+    }
+    // Execute the taken path first; push fall-through below it.
+    // A side already at the reconvergence point needs no entry: its
+    // threads simply wait in the reconvergence holder.
+    if (fall_pc != reconv)
+        entries_.push_back({reconv, fall_pc, fall_mask});
+    if (target != reconv)
+        entries_.push_back({reconv, target, taken_mask});
+    popReconverged();
+    return true;
+}
+
+} // namespace cawa

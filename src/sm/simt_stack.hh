@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-warp SIMT reconvergence stack (immediate post-dominator style).
+ *
+ * The top entry supplies the warp's current PC and active mask. A
+ * divergent branch retargets the top entry to the reconvergence PC
+ * (it keeps the union mask) and pushes one entry per executed path;
+ * an entry whose PC reaches its reconvergence point pops. Entries
+ * whose threads are already at the reconvergence point are never
+ * pushed, and entries made redundant by an equal-PC parent are
+ * compressed away, so stack depth is bounded by control-flow nesting
+ * rather than loop trip count.
+ */
+
+#ifndef CAWA_SM_SIMT_STACK_HH
+#define CAWA_SM_SIMT_STACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cawa
+{
+
+/** 32-lane active mask (warp size <= 32 in this model). */
+using LaneMask = std::uint32_t;
+
+class SimtStack
+{
+  public:
+    /** Sentinel: the bottom entry never reconverges. */
+    static constexpr std::uint32_t kNoReconv = ~std::uint32_t{0};
+
+    /** Reinitialize for a fresh warp at @p start_pc. */
+    void reset(std::uint32_t start_pc, LaneMask active);
+
+    std::uint32_t pc() const;
+    LaneMask activeMask() const;
+    int depth() const { return static_cast<int>(entries_.size()); }
+
+    /**
+     * Non-branch control flow: move the warp to @p next_pc, popping
+     * reconverged entries.
+     */
+    void advance(std::uint32_t next_pc);
+
+    /**
+     * A branch at @p curr_pc resolved with @p taken_mask (subset of
+     * the active mask) taking the branch to @p target; the rest fall
+     * through to curr_pc+1; diverged paths reconverge at @p reconv.
+     *
+     * @return true if the warp diverged (both paths non-empty).
+     */
+    bool branch(std::uint32_t curr_pc, std::uint32_t target,
+                std::uint32_t reconv, LaneMask taken_mask);
+
+  private:
+    struct Entry
+    {
+        std::uint32_t reconvPc;
+        std::uint32_t pc;
+        LaneMask mask;
+    };
+
+    void popReconverged();
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SM_SIMT_STACK_HH

@@ -1,0 +1,536 @@
+#include "sm/sm_core.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/sim_assert.hh"
+#include "mem/cacp_policy.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+std::unique_ptr<ReplacementPolicy>
+makeL1Policy(const GpuConfig &cfg)
+{
+    switch (cfg.l1Policy) {
+      case CachePolicyKind::Lru:
+        return std::make_unique<LruPolicy>();
+      case CachePolicyKind::Srrip:
+        return std::make_unique<SrripPolicy>();
+      case CachePolicyKind::Ship:
+        return std::make_unique<ShipPolicy>(cfg.cacp.tableEntries,
+                                            cfg.cacp.regionShift);
+      case CachePolicyKind::Cacp:
+        return std::make_unique<CacpPolicy>(cfg.cacp);
+    }
+    sim_panic("unknown cache policy kind");
+}
+
+} // namespace
+
+SmCore::SmCore(const GpuConfig &cfg, int sm_id, MemoryImage &global,
+               const KernelInfo &kernel, const OracleTable *oracle)
+    : cfg_(cfg), smId_(sm_id), global_(global), kernel_(kernel),
+      oracle_(oracle),
+      slotBlock_(cfg.maxWarpsPerSm, -1),
+      blocks_(cfg.maxBlocksPerSm),
+      coalescer_(cfg.l1d.lineBytes),
+      age_(cfg.maxWarpsPerSm, 0),
+      priority_(cfg.maxWarpsPerSm, 0),
+      oraclePriority_(cfg.maxWarpsPerSm, 0),
+      issuedThisCycle_(cfg.maxWarpsPerSm, false)
+{
+    warps_.reserve(cfg.maxWarpsPerSm);
+    for (int i = 0; i < cfg.maxWarpsPerSm; ++i)
+        warps_.emplace_back(cfg.warpSize);
+    for (int i = 0; i < cfg.numSchedulersPerSm; ++i)
+        schedulers_.push_back(
+            createScheduler(cfg.scheduler, cfg.maxWarpsPerSm));
+    cpl_ = std::make_unique<CriticalityPredictor>(cfg.maxWarpsPerSm,
+                                                  cfg.criticalFraction);
+    cpl_->setUseInstTerm(cfg.cplUseInstTerm);
+    cpl_->setUseStallTerm(cfg.cplUseStallTerm);
+    cpl_->setQuantShift(cfg.cplQuantShift);
+    l1_ = std::make_unique<L1DCache>(cfg.l1d, sm_id, makeL1Policy(cfg));
+}
+
+SmCore::BlockState &
+SmCore::blockOf(WarpSlot slot)
+{
+    const int idx = slotBlock_[slot];
+    sim_assert(idx >= 0);
+    return blocks_[idx];
+}
+
+WarpScheduler &
+SmCore::schedulerOf(WarpSlot slot)
+{
+    return *schedulers_[slot % cfg_.numSchedulersPerSm];
+}
+
+bool
+SmCore::canAcceptBlock() const
+{
+    if (residentBlocks_ >= cfg_.maxBlocksPerSm)
+        return false;
+    const int warps_needed = kernel_.warpsPerBlock(cfg_.warpSize);
+    int free_slots = 0;
+    for (const auto &w : warps_)
+        if (w.state() == WarpState::Inactive)
+            free_slots++;
+    if (free_slots < warps_needed)
+        return false;
+    if (regsUsed_ + kernel_.blockDim * kernel_.regsPerThread >
+        cfg_.regFileSize)
+        return false;
+    if (smemUsed_ + kernel_.smemPerBlock > cfg_.sharedMemBytes)
+        return false;
+    return true;
+}
+
+void
+SmCore::acceptBlock(BlockId id, Cycle now)
+{
+    sim_assert(canAcceptBlock());
+    int block_idx = -1;
+    for (int i = 0; i < static_cast<int>(blocks_.size()); ++i) {
+        if (!blocks_[i].valid) {
+            block_idx = i;
+            break;
+        }
+    }
+    sim_assert(block_idx >= 0);
+    BlockState &block = blocks_[block_idx];
+    block = BlockState{};
+    block.valid = true;
+    block.id = id;
+    block.start = now;
+    block.sharedMem.assign(
+        static_cast<std::size_t>(std::max(kernel_.smemPerBlock, 4)), 0);
+
+    const int warps_needed = kernel_.warpsPerBlock(cfg_.warpSize);
+    block.barrier.reset(warps_needed);
+    block.runningWarps = warps_needed;
+    block.slowSamples.assign(warps_needed, 0);
+
+    int assigned = 0;
+    for (int slot = 0;
+         slot < cfg_.maxWarpsPerSm && assigned < warps_needed; ++slot) {
+        if (warps_[slot].state() != WarpState::Inactive)
+            continue;
+        int active_threads = cfg_.warpSize;
+        if (assigned == warps_needed - 1) {
+            const int rem = kernel_.blockDim % cfg_.warpSize;
+            if (rem != 0)
+                active_threads = rem;
+        }
+        warps_[slot].activate(&kernel_.program, id, assigned,
+                              active_threads, now, dispatchSeq_++);
+        slotBlock_[slot] = block_idx;
+        block.slots.push_back(slot);
+        cpl_->reset(slot, now, id);
+        oraclePriority_[slot] =
+            oracle_ ? oracle_->lookup(id, assigned) : 0;
+        schedulerOf(slot).notifyActivated(slot);
+        assigned++;
+    }
+    sim_assert(assigned == warps_needed);
+    residentBlocks_++;
+    regsUsed_ += kernel_.blockDim * kernel_.regsPerThread;
+    smemUsed_ += kernel_.smemPerBlock;
+}
+
+void
+SmCore::drainL1(Cycle now)
+{
+    completionScratch_.clear();
+    l1_->drainCompleted(now, completionScratch_);
+    for (const auto &c : completionScratch_) {
+        auto it = tokens_.find(c.token);
+        sim_assert(it != tokens_.end());
+        Token &tok = it->second;
+        tok.remaining--;
+        sim_assert(tok.remaining >= 0);
+        if (tok.remaining == 0) {
+            Warp &warp = warps_[tok.slot];
+            warp.scoreboard.pendingRegs &= ~tok.dstRegMask;
+            warp.scoreboard.pendingMemRegs &= ~tok.dstRegMask;
+            warp.outstandingLoads--;
+            sim_assert(warp.outstandingLoads >= 0);
+            tokens_.erase(it);
+        }
+    }
+}
+
+void
+SmCore::drainWritebacks(Cycle now)
+{
+    while (!wbQueue_.empty() && wbQueue_.top().ready <= now) {
+        const WbEvent ev = wbQueue_.top();
+        wbQueue_.pop();
+        Warp &warp = warps_[ev.slot];
+        warp.scoreboard.pendingRegs &= ~ev.regMask;
+        warp.scoreboard.pendingPreds &= ~ev.predMask;
+    }
+}
+
+void
+SmCore::serviceLdstQueue(Cycle now)
+{
+    for (int port = 0; port < cfg_.l1PortsPerCycle; ++port) {
+        if (ldstQueue_.empty())
+            break;
+        Transaction &tx = ldstQueue_.front();
+        // Evaluate the criticality classification at access time.
+        tx.info.criticalWarp = cpl_->isCriticalWarp(tx.info.warp);
+        const auto result = l1_->access(tx.info, now, tx.token);
+        if (result == L1DCache::Result::RejectMshrFull)
+            break; // head-of-line retry next cycle
+        if (result == L1DCache::Result::Miss && tx.token != 0) {
+            auto it = tokens_.find(tx.token);
+            sim_assert(it != tokens_.end());
+            if (!it->second.stallNotified) {
+                it->second.stallNotified = true;
+                schedulerOf(it->second.slot)
+                    .notifyLongStall(it->second.slot);
+            }
+        }
+        ldstQueue_.pop_front();
+    }
+}
+
+void
+SmCore::refreshSchedArrays()
+{
+    for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
+        const Warp &warp = warps_[slot];
+        if (warp.state() == WarpState::Inactive) {
+            priority_[slot] = 0;
+            continue;
+        }
+        age_[slot] = warp.dispatchAge();
+        priority_[slot] = oracle_ ? oraclePriority_[slot]
+                                  : cpl_->priority(slot);
+    }
+}
+
+bool
+SmCore::isReady(WarpSlot slot) const
+{
+    const Warp &warp = warps_[slot];
+    if (warp.state() != WarpState::Running)
+        return false;
+    const Instruction &inst = warp.nextInstruction();
+    if (!warp.scoreboard.canIssue(inst))
+        return false;
+    if (inst.isGlobal() &&
+        static_cast<int>(ldstQueue_.size()) >= cfg_.ldstQueueSize)
+        return false;
+    if (inst.op == Opcode::Exit &&
+        (!warp.scoreboard.clean() || warp.outstandingLoads > 0))
+        return false;
+    return true;
+}
+
+void
+SmCore::schedule(Cycle now)
+{
+    std::vector<WarpSlot> ready;
+    for (int k = 0; k < cfg_.numSchedulersPerSm; ++k) {
+        ready.clear();
+        for (int slot = k; slot < cfg_.maxWarpsPerSm;
+             slot += cfg_.numSchedulersPerSm) {
+            if (isReady(slot))
+                ready.push_back(slot);
+        }
+        SchedCtx ctx{age_, priority_};
+        const WarpSlot pick = schedulers_[k]->pick(ready, ctx);
+        if (pick == kNoWarp)
+            continue;
+        sim_assert(std::find(ready.begin(), ready.end(), pick) !=
+                   ready.end());
+        issue(pick, now);
+        schedulers_[k]->notifyIssued(pick);
+    }
+}
+
+void
+SmCore::issue(WarpSlot slot, Cycle now)
+{
+    Warp &warp = warps_[slot];
+    BlockState &block = blockOf(slot);
+
+    ExecContext ctx;
+    ctx.global = &global_;
+    ctx.shared = &block.sharedMem;
+    ctx.blockDim = kernel_.blockDim;
+    ctx.gridDim = kernel_.gridDim;
+    ctx.blockIdX = static_cast<int>(block.id);
+
+    const ExecResult res = warp.executeNext(ctx);
+    const Instruction &inst = *res.inst;
+
+    cpl_->onIssue(slot, now);
+    if (res.isBranch) {
+        cpl_->onBranch(slot, res.pc, inst.target, inst.reconv,
+                       res.branchTaken, res.branchDiverged);
+    }
+
+    warp.timings.instructions++;
+    warp.lastIssueCycle = now;
+    issued_++;
+    issuedThisCycle_[slot] = true;
+
+    const std::uint32_t reg_mask = regsWritten(inst);
+    const std::uint8_t pred_mask = predsWritten(inst);
+
+    switch (inst.funcUnit()) {
+      case FuncUnit::Alu:
+        if (reg_mask || pred_mask) {
+            warp.scoreboard.pendingRegs |= reg_mask;
+            warp.scoreboard.pendingPreds |= pred_mask;
+            wbQueue_.push(
+                {now + cfg_.aluLatency, slot, reg_mask, pred_mask});
+        }
+        break;
+
+      case FuncUnit::Sfu:
+        warp.scoreboard.pendingRegs |= reg_mask;
+        wbQueue_.push({now + cfg_.sfuLatency, slot, reg_mask, 0});
+        break;
+
+      case FuncUnit::Mem:
+        if (inst.isGlobal()) {
+            const std::vector<Addr> lines =
+                coalescer_.coalesce(res.laneAddrs);
+            std::uint64_t token = 0;
+            if (inst.isLoad()) {
+                token = nextToken_++;
+                Token tok;
+                tok.slot = slot;
+                tok.dstRegMask = reg_mask;
+                tok.remaining = static_cast<int>(lines.size());
+                tokens_.emplace(token, tok);
+                warp.scoreboard.pendingRegs |= reg_mask;
+                warp.scoreboard.pendingMemRegs |= reg_mask;
+                warp.outstandingLoads++;
+            }
+            for (Addr line : lines) {
+                Transaction tx;
+                tx.info.addr = line;
+                tx.info.pc = res.pc;
+                tx.info.warp = slot;
+                tx.info.isStore = !inst.isLoad();
+                tx.token = token;
+                ldstQueue_.push_back(tx);
+            }
+        } else if (inst.isLoad()) {
+            // Shared-memory load: fixed latency writeback.
+            warp.scoreboard.pendingRegs |= reg_mask;
+            wbQueue_.push(
+                {now + cfg_.sharedMemLatency, slot, reg_mask, 0});
+        }
+        // Shared-memory stores complete at issue.
+        break;
+
+      case FuncUnit::Control:
+        if (res.atBarrier) {
+            if (block.barrier.arrive())
+                releaseBarrier(block, now);
+        } else if (res.exited) {
+            finishWarp(slot, now);
+        }
+        break;
+    }
+}
+
+void
+SmCore::releaseBarrier(BlockState &block, Cycle now)
+{
+    for (WarpSlot s : block.slots) {
+        Warp &w = warps_[s];
+        if (w.state() == WarpState::AtBarrier) {
+            w.setState(WarpState::Running);
+            cpl_->releaseBarrier(s, now);
+        }
+    }
+}
+
+void
+SmCore::finishWarp(WarpSlot slot, Cycle now)
+{
+    Warp &warp = warps_[slot];
+    BlockState &block = blockOf(slot);
+    warp.timings.endCycle = now;
+    cpl_->deactivate(slot);
+    schedulerOf(slot).notifyDeactivated(slot);
+    block.runningWarps--;
+    sim_assert(block.runningWarps >= 0);
+    if (block.runningWarps > 0) {
+        if (block.barrier.reduceExpected())
+            releaseBarrier(block, now);
+    } else {
+        retireBlock(block, now);
+    }
+}
+
+void
+SmCore::retireBlock(BlockState &block, Cycle now)
+{
+    BlockRecord rec;
+    rec.id = block.id;
+    rec.smId = smId_;
+    rec.startCycle = block.start;
+    rec.endCycle = now;
+    rec.cplSamples = block.samples;
+    for (std::size_t i = 0; i < block.slots.size(); ++i) {
+        const WarpSlot slot = block.slots[i];
+        Warp &warp = warps_[slot];
+        WarpRecord wr;
+        wr.warpInBlock = static_cast<int>(i);
+        wr.startCycle = warp.timings.startCycle;
+        wr.endCycle = warp.timings.endCycle;
+        wr.instructions = warp.timings.instructions;
+        wr.memStallCycles = warp.timings.memStallCycles;
+        wr.aluStallCycles = warp.timings.aluStallCycles;
+        wr.structStallCycles = warp.timings.structStallCycles;
+        wr.schedWaitCycles = warp.timings.schedWaitCycles;
+        wr.barrierCycles = warp.timings.barrierCycles;
+        wr.finishedWaitCycles = warp.timings.finishedWaitCycles;
+        wr.slowSamples = block.slowSamples[i];
+        rec.warps.push_back(wr);
+        warp.deactivate();
+        slotBlock_[slot] = -1;
+    }
+    retired_.push_back(std::move(rec));
+    residentBlocks_--;
+    regsUsed_ -= kernel_.blockDim * kernel_.regsPerThread;
+    smemUsed_ -= kernel_.smemPerBlock;
+    block.valid = false;
+}
+
+void
+SmCore::accountStalls(Cycle now)
+{
+    (void)now;
+    for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
+        Warp &warp = warps_[slot];
+        if (warp.state() == WarpState::Inactive ||
+            issuedThisCycle_[slot])
+            continue;
+        switch (warp.state()) {
+          case WarpState::Finished:
+            warp.timings.finishedWaitCycles++;
+            break;
+          case WarpState::AtBarrier:
+            warp.timings.barrierCycles++;
+            break;
+          case WarpState::Running: {
+            const Instruction &inst = warp.nextInstruction();
+            if (!warp.scoreboard.canIssue(inst)) {
+                if (warp.scoreboard.blockedByMemory(inst))
+                    warp.timings.memStallCycles++;
+                else
+                    warp.timings.aluStallCycles++;
+            } else if (inst.isGlobal() &&
+                       static_cast<int>(ldstQueue_.size()) >=
+                           cfg_.ldstQueueSize) {
+                warp.timings.structStallCycles++;
+            } else if (inst.op == Opcode::Exit &&
+                       (!warp.scoreboard.clean() ||
+                        warp.outstandingLoads > 0)) {
+                warp.timings.memStallCycles++;
+            } else {
+                warp.timings.schedWaitCycles++;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+void
+SmCore::sampleCpl(Cycle now)
+{
+    if (cfg_.cplSampleInterval == 0 ||
+        now % cfg_.cplSampleInterval != 0)
+        return;
+    for (auto &block : blocks_) {
+        if (!block.valid)
+            continue;
+        // Rank every warp of the block -- finished warps participate
+        // with frozen counters (the paper's "larger than 50% of warps
+        // in a thread-block" rule).
+        std::vector<std::pair<int, std::int64_t>> crit;
+        for (std::size_t i = 0; i < block.slots.size(); ++i) {
+            crit.emplace_back(static_cast<int>(i),
+                              cpl_->criticality(block.slots[i]));
+        }
+        if (crit.size() < 2)
+            continue;
+        block.samples++;
+        // A warp is "slow" when its criticality exceeds that of at
+        // least half of its active peers (the paper's 50% rule).
+        for (const auto &[warp_idx, value] : crit) {
+            int below = 0;
+            for (const auto &[other_idx, other] : crit)
+                if (other_idx != warp_idx && value > other)
+                    below++;
+            if (2 * below >= static_cast<int>(crit.size()) - 1)
+                block.slowSamples[warp_idx]++;
+        }
+    }
+}
+
+void
+SmCore::sampleTrace(Cycle now)
+{
+    if (cfg_.traceBlockId < 0 ||
+        now % cfg_.traceSampleInterval != 0)
+        return;
+    for (const auto &block : blocks_) {
+        if (!block.valid ||
+            block.id != static_cast<BlockId>(cfg_.traceBlockId))
+            continue;
+        TraceSample sample;
+        sample.cycle = now;
+        for (WarpSlot s : block.slots)
+            sample.criticality.push_back(cpl_->criticality(s));
+        trace_.push_back(std::move(sample));
+    }
+}
+
+void
+SmCore::tick(Cycle now)
+{
+    std::fill(issuedThisCycle_.begin(), issuedThisCycle_.end(), false);
+    drainL1(now);
+    drainWritebacks(now);
+    serviceLdstQueue(now);
+    refreshSchedArrays();
+    schedule(now);
+    accountStalls(now);
+    sampleCpl(now);
+    sampleTrace(now);
+}
+
+bool
+SmCore::busy() const
+{
+    if (residentBlocks_ > 0)
+        return true;
+    return !l1_->idle() || !tokens_.empty() || !ldstQueue_.empty();
+}
+
+std::vector<BlockRecord>
+SmCore::takeRetiredBlocks()
+{
+    return std::exchange(retired_, {});
+}
+
+} // namespace cawa

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Streaming multiprocessor timing model.
+ *
+ * Per cycle, each of the SM's hardware schedulers considers its
+ * interleaved subset of warp slots, computes the ready set (no
+ * scoreboard or structural hazard, not at a barrier, not finished)
+ * and asks its scheduling policy to pick one warp; the selected
+ * warp's next instruction executes functionally at issue while the
+ * timing side tracks result latencies (ALU/SFU writeback queue, LD/ST
+ * unit with coalescer, L1D with MSHRs). The SM also hosts the
+ * criticality predictor (CPL), feeding both the gCAWS scheduler and
+ * the CACP cache policy, and produces the per-warp/per-block records
+ * the evaluation figures are built from.
+ */
+
+#ifndef CAWA_SM_SM_CORE_HH
+#define CAWA_SM_SM_CORE_HH
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "cawa/criticality.hh"
+#include "isa/kernel.hh"
+#include "mem/coalescer.hh"
+#include "mem/l1d_cache.hh"
+#include "sched/scheduler.hh"
+#include "sim/gpu_config.hh"
+#include "sm/barrier.hh"
+#include "sm/records.hh"
+#include "sm/warp.hh"
+
+namespace cawa
+{
+
+class SmCore
+{
+  public:
+    /**
+     * @param oracle optional CAWS oracle table (scheduler priorities
+     *        become profiled warp execution times); may be null
+     */
+    SmCore(const GpuConfig &cfg, int sm_id, MemoryImage &global,
+           const KernelInfo &kernel, const OracleTable *oracle);
+
+    /** Occupancy check for one more block of the kernel. */
+    bool canAcceptBlock() const;
+
+    /** Bind block @p id to this SM. */
+    void acceptBlock(BlockId id, Cycle now);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    // Memory-side interface (driven by the Gpu top level).
+    bool hasOutgoing() const { return l1_->hasOutgoing(); }
+    MemMsg popOutgoing() { return l1_->popOutgoing(); }
+    void fillResponse(Addr line_addr, Cycle now)
+    {
+        l1_->fill(line_addr, now);
+    }
+
+    /** True while any block is resident or memory work is pending. */
+    bool busy() const;
+
+    /** Retired blocks since the last call (moves them out). */
+    std::vector<BlockRecord> takeRetiredBlocks();
+
+    std::uint64_t issuedInstructions() const { return issued_; }
+    const CacheStats &l1Stats() const { return l1_->stats(); }
+    const CriticalityPredictor &cpl() const { return *cpl_; }
+    const std::vector<TraceSample> &traceSamples() const
+    {
+        return trace_;
+    }
+
+    int residentBlocks() const { return residentBlocks_; }
+
+  private:
+    struct BlockState
+    {
+        bool valid = false;
+        BlockId id = 0;
+        Cycle start = 0;
+        std::vector<WarpSlot> slots;
+        std::vector<std::uint8_t> sharedMem;
+        BarrierState barrier;
+        int runningWarps = 0;
+        std::uint64_t samples = 0;
+        std::vector<std::uint64_t> slowSamples; ///< by warp-in-block
+    };
+
+    struct Token
+    {
+        WarpSlot slot = kNoWarp;
+        std::uint32_t dstRegMask = 0;
+        int remaining = 0;
+        bool stallNotified = false;
+    };
+
+    struct Transaction
+    {
+        AccessInfo info;
+        std::uint64_t token = 0; ///< 0 for stores
+    };
+
+    struct WbEvent
+    {
+        Cycle ready;
+        WarpSlot slot;
+        std::uint32_t regMask;
+        std::uint8_t predMask;
+
+        bool operator>(const WbEvent &o) const { return ready > o.ready; }
+    };
+
+    void drainL1(Cycle now);
+    void drainWritebacks(Cycle now);
+    void serviceLdstQueue(Cycle now);
+    void refreshSchedArrays();
+    void schedule(Cycle now);
+    bool isReady(WarpSlot slot) const;
+    void issue(WarpSlot slot, Cycle now);
+    void finishWarp(WarpSlot slot, Cycle now);
+    void retireBlock(BlockState &block, Cycle now);
+    void releaseBarrier(BlockState &block, Cycle now);
+    void accountStalls(Cycle now);
+    void sampleCpl(Cycle now);
+    void sampleTrace(Cycle now);
+    BlockState &blockOf(WarpSlot slot);
+    WarpScheduler &schedulerOf(WarpSlot slot);
+
+    const GpuConfig &cfg_;
+    int smId_;
+    MemoryImage &global_;
+    const KernelInfo &kernel_;
+    const OracleTable *oracle_;
+
+    std::vector<Warp> warps_;
+    std::vector<int> slotBlock_;       ///< slot -> block-state index
+    std::vector<BlockState> blocks_;
+    std::vector<std::unique_ptr<WarpScheduler>> schedulers_;
+    std::unique_ptr<CriticalityPredictor> cpl_;
+    std::unique_ptr<L1DCache> l1_;
+    Coalescer coalescer_;
+
+    // Scheduling context arrays (slot-indexed).
+    std::vector<std::uint64_t> age_;
+    std::vector<std::int64_t> priority_;
+    std::vector<std::int64_t> oraclePriority_;
+    std::vector<bool> issuedThisCycle_;
+
+    std::priority_queue<WbEvent, std::vector<WbEvent>,
+                        std::greater<WbEvent>> wbQueue_;
+    std::deque<Transaction> ldstQueue_;
+    std::unordered_map<std::uint64_t, Token> tokens_;
+    std::uint64_t nextToken_ = 1;
+    std::uint64_t dispatchSeq_ = 0;
+
+    int residentBlocks_ = 0;
+    int regsUsed_ = 0;
+    int smemUsed_ = 0;
+    std::uint64_t issued_ = 0;
+
+    std::vector<BlockRecord> retired_;
+    std::vector<TraceSample> trace_;
+    std::vector<L1DCache::Completion> completionScratch_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SM_SM_CORE_HH

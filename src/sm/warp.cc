@@ -1,0 +1,224 @@
+#include "sm/warp.hh"
+
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+Warp::Warp(int warp_size)
+    : warpSize_(warp_size), regs_(warp_size), preds_(warp_size)
+{
+    sim_assert(warp_size > 0 && warp_size <= 32);
+}
+
+void
+Warp::activate(const Program *program, BlockId block, int warp_in_block,
+               int active_threads, Cycle now, std::uint64_t dispatch_age)
+{
+    sim_assert(program && !program->empty());
+    sim_assert(active_threads > 0 && active_threads <= warpSize_);
+    program_ = program;
+    state_ = WarpState::Running;
+    blockId_ = block;
+    warpInBlock_ = warp_in_block;
+    baseTid_ = warp_in_block * warpSize_;
+    dispatchAge_ = dispatch_age;
+    const LaneMask mask = active_threads == 32
+        ? ~LaneMask{0} : ((LaneMask{1} << active_threads) - 1);
+    stack_.reset(0, mask);
+    for (auto &lane_regs : regs_)
+        lane_regs.fill(0);
+    for (auto &lane_preds : preds_)
+        lane_preds.fill(false);
+    scoreboard.clear();
+    timings = WarpTimings{};
+    timings.startCycle = now;
+    lastIssueCycle = now;
+    outstandingLoads = 0;
+}
+
+void
+Warp::deactivate()
+{
+    state_ = WarpState::Inactive;
+    program_ = nullptr;
+}
+
+const Instruction &
+Warp::nextInstruction() const
+{
+    sim_assert(program_ != nullptr);
+    return program_->at(stack_.pc());
+}
+
+RegValue
+Warp::specialValue(SpecialReg sreg, int lane, const ExecContext &ctx) const
+{
+    const int tid = baseTid_ + lane;
+    switch (sreg) {
+      case SpecialReg::TidX:
+        return static_cast<RegValue>(tid);
+      case SpecialReg::CtaIdX:
+        return static_cast<RegValue>(ctx.blockIdX);
+      case SpecialReg::NTidX:
+        return static_cast<RegValue>(ctx.blockDim);
+      case SpecialReg::NCtaIdX:
+        return static_cast<RegValue>(ctx.gridDim);
+      case SpecialReg::LaneId:
+        return static_cast<RegValue>(lane);
+      case SpecialReg::WarpIdInBlock:
+        return static_cast<RegValue>(warpInBlock_);
+      case SpecialReg::GlobalTid:
+        return static_cast<RegValue>(ctx.blockIdX) * ctx.blockDim + tid;
+    }
+    sim_panic("bad special register");
+}
+
+ExecResult
+Warp::executeNext(ExecContext &ctx)
+{
+    sim_assert(state_ == WarpState::Running);
+    ExecResult res;
+    const std::uint32_t pc = stack_.pc();
+    const Instruction &inst = program_->at(pc);
+    const LaneMask active = stack_.activeMask();
+    res.inst = &inst;
+    res.pc = pc;
+
+    auto for_each_lane = [&](auto &&fn) {
+        for (int lane = 0; lane < warpSize_; ++lane)
+            if (active & (LaneMask{1} << lane))
+                fn(lane);
+    };
+
+    switch (inst.op) {
+      case Opcode::Nop:
+        stack_.advance(pc + 1);
+        break;
+
+      case Opcode::Setp:
+        for_each_lane([&](int lane) {
+            preds_[lane][inst.pdst] = evalCmp(
+                inst.cmp, regs_[lane][inst.src0], regs_[lane][inst.src1]);
+        });
+        stack_.advance(pc + 1);
+        break;
+
+      case Opcode::SetpImm:
+        for_each_lane([&](int lane) {
+            preds_[lane][inst.pdst] = evalCmp(
+                inst.cmp, regs_[lane][inst.src0],
+                static_cast<RegValue>(inst.imm));
+        });
+        stack_.advance(pc + 1);
+        break;
+
+      case Opcode::Selp:
+        for_each_lane([&](int lane) {
+            regs_[lane][inst.dst] = preds_[lane][inst.psrc]
+                ? regs_[lane][inst.src0] : regs_[lane][inst.src1];
+        });
+        stack_.advance(pc + 1);
+        break;
+
+      case Opcode::S2R:
+        for_each_lane([&](int lane) {
+            regs_[lane][inst.dst] = specialValue(
+                static_cast<SpecialReg>(inst.imm), lane, ctx);
+        });
+        stack_.advance(pc + 1);
+        break;
+
+      case Opcode::LdGlobal:
+        sim_assert(ctx.global != nullptr);
+        for_each_lane([&](int lane) {
+            const Addr addr = regs_[lane][inst.src0] +
+                static_cast<RegValue>(inst.imm);
+            regs_[lane][inst.dst] = ctx.global->read32(addr);
+            res.laneAddrs.push_back(addr);
+        });
+        stack_.advance(pc + 1);
+        break;
+
+      case Opcode::StGlobal:
+        sim_assert(ctx.global != nullptr);
+        for_each_lane([&](int lane) {
+            const Addr addr = regs_[lane][inst.src0] +
+                static_cast<RegValue>(inst.imm);
+            ctx.global->write32(addr, static_cast<std::uint32_t>(
+                regs_[lane][inst.src1]));
+            res.laneAddrs.push_back(addr);
+        });
+        stack_.advance(pc + 1);
+        break;
+
+      case Opcode::LdShared:
+        sim_assert(ctx.shared != nullptr);
+        for_each_lane([&](int lane) {
+            const Addr addr = regs_[lane][inst.src0] +
+                static_cast<RegValue>(inst.imm);
+            sim_assert(addr + 4 <= ctx.shared->size());
+            std::uint32_t v = 0;
+            for (int i = 3; i >= 0; --i)
+                v = (v << 8) | (*ctx.shared)[addr + i];
+            regs_[lane][inst.dst] = v;
+        });
+        stack_.advance(pc + 1);
+        break;
+
+      case Opcode::StShared:
+        sim_assert(ctx.shared != nullptr);
+        for_each_lane([&](int lane) {
+            const Addr addr = regs_[lane][inst.src0] +
+                static_cast<RegValue>(inst.imm);
+            sim_assert(addr + 4 <= ctx.shared->size());
+            const auto v = static_cast<std::uint32_t>(
+                regs_[lane][inst.src1]);
+            for (int i = 0; i < 4; ++i)
+                (*ctx.shared)[addr + i] =
+                    static_cast<std::uint8_t>(v >> (8 * i));
+        });
+        stack_.advance(pc + 1);
+        break;
+
+      case Opcode::Bra: {
+        res.isBranch = true;
+        LaneMask taken = 0;
+        for_each_lane([&](int lane) {
+            bool p = !inst.predUsed || preds_[lane][inst.psrc];
+            if (inst.predUsed && inst.predNegate)
+                p = !preds_[lane][inst.psrc];
+            if (p)
+                taken |= LaneMask{1} << lane;
+        });
+        res.branchTaken = taken != 0;
+        res.branchDiverged =
+            stack_.branch(pc, inst.target, inst.reconv, taken);
+        break;
+      }
+
+      case Opcode::Bar:
+        res.atBarrier = true;
+        state_ = WarpState::AtBarrier;
+        stack_.advance(pc + 1);
+        break;
+
+      case Opcode::Exit:
+        res.exited = true;
+        state_ = WarpState::Finished;
+        break;
+
+      default:
+        // Plain ALU/SFU opcodes.
+        for_each_lane([&](int lane) {
+            regs_[lane][inst.dst] = evalAlu(
+                inst.op, regs_[lane][inst.src0], regs_[lane][inst.src1],
+                regs_[lane][inst.src2], inst.imm);
+        });
+        stack_.advance(pc + 1);
+        break;
+    }
+    return res;
+}
+
+} // namespace cawa

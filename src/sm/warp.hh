@@ -1,0 +1,129 @@
+/**
+ * @file
+ * One warp slot: architectural state (per-lane registers and
+ * predicates, SIMT stack), the functional executor, the scoreboard
+ * and the per-assignment statistics record.
+ */
+
+#ifndef CAWA_SM_WARP_HH
+#define CAWA_SM_WARP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/kernel.hh"
+#include "mem/memory_image.hh"
+#include "sm/scoreboard.hh"
+#include "sm/simt_stack.hh"
+
+namespace cawa
+{
+
+enum class WarpState : std::uint8_t
+{
+    Inactive,
+    Running,
+    AtBarrier,
+    Finished,
+};
+
+/** Stall/progress accounting for one warp's lifetime in a block. */
+struct WarpTimings
+{
+    Cycle startCycle = 0;
+    Cycle endCycle = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memStallCycles = 0;   ///< blocked on load data
+    std::uint64_t aluStallCycles = 0;   ///< blocked on ALU/SFU results
+    std::uint64_t structStallCycles = 0;///< LD/ST queue or MSHR full
+    std::uint64_t schedWaitCycles = 0;  ///< ready but not selected
+    std::uint64_t barrierCycles = 0;
+    std::uint64_t finishedWaitCycles = 0;///< done, waiting for block
+};
+
+/** Everything the functional executor needs besides the warp. */
+struct ExecContext
+{
+    MemoryImage *global = nullptr;
+    std::vector<std::uint8_t> *shared = nullptr;
+    int blockDim = 0;
+    int gridDim = 0;
+    int blockIdX = 0;
+};
+
+/** Outcome of functionally executing one instruction. */
+struct ExecResult
+{
+    const Instruction *inst = nullptr;
+    std::uint32_t pc = 0;
+    /** Per-active-lane byte addresses for global memory ops. */
+    std::vector<Addr> laneAddrs;
+    // Branch outcome (op == Bra).
+    bool isBranch = false;
+    bool branchTaken = false;   ///< any lane took the branch
+    bool branchDiverged = false;
+    bool exited = false;
+    bool atBarrier = false;
+};
+
+class Warp
+{
+  public:
+    explicit Warp(int warp_size);
+
+    /** Bind this slot to warp @p warp_in_block of block @p block. */
+    void activate(const Program *program, BlockId block,
+                  int warp_in_block, int active_threads, Cycle now,
+                  std::uint64_t dispatch_age);
+
+    void deactivate();
+
+    /**
+     * Functionally execute the next instruction for all active lanes
+     * and update the SIMT stack / warp state. The caller (SM core)
+     * handles all timing.
+     */
+    ExecResult executeNext(ExecContext &ctx);
+
+    /** The instruction the warp would issue next. */
+    const Instruction &nextInstruction() const;
+
+    WarpState state() const { return state_; }
+    void setState(WarpState s) { state_ = s; }
+
+    BlockId blockId() const { return blockId_; }
+    int warpInBlock() const { return warpInBlock_; }
+    std::uint64_t dispatchAge() const { return dispatchAge_; }
+    int warpSize() const { return warpSize_; }
+
+    const SimtStack &stack() const { return stack_; }
+
+    RegValue reg(int lane, Reg r) const { return regs_[lane][r]; }
+    void setReg(int lane, Reg r, RegValue v) { regs_[lane][r] = v; }
+    bool pred(int lane, PredReg p) const { return preds_[lane][p]; }
+
+    Scoreboard scoreboard;
+    WarpTimings timings;
+    Cycle lastIssueCycle = 0;
+    int outstandingLoads = 0;
+
+  private:
+    RegValue specialValue(SpecialReg sreg, int lane,
+                          const ExecContext &ctx) const;
+
+    int warpSize_;
+    const Program *program_ = nullptr;
+    WarpState state_ = WarpState::Inactive;
+    BlockId blockId_ = 0;
+    int warpInBlock_ = 0;
+    int baseTid_ = 0;
+    std::uint64_t dispatchAge_ = 0;
+    SimtStack stack_;
+    std::vector<std::array<RegValue, kNumRegs>> regs_;
+    std::vector<std::array<bool, kNumPredRegs>> preds_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SM_WARP_HH

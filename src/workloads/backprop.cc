@@ -1,0 +1,79 @@
+/**
+ * @file
+ * backprop — feed-forward layer evaluation (fully unrolled).
+ *
+ * Thread t computes activation(sum_i IN[i] * W[i*n + t]): the weight
+ * loads are perfectly coalesced streaming with no reuse, the input
+ * loads are warp-wide broadcasts, and there is not a single branch in
+ * the kernel — the canonical balanced Non-sens workload.
+ */
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "workloads/benchmarks.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+constexpr Addr kIn = 0x01000000;
+constexpr Addr kW = 0x02000000;
+constexpr Addr kOut = 0x03000000;
+
+constexpr int kInputs = 16;
+
+Program
+buildProgram(int n)
+{
+    // r1=tid r2=acc r3=in r4=w r5=addr
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.movImm(2, 0);
+    for (int i = 0; i < kInputs; ++i) {
+        b.movImm(5, 4ll * i);
+        b.ldGlobal(3, 5, kIn);                 // broadcast IN[i]
+        b.shlImm(5, 1, 2);
+        b.ldGlobal(4, 5, kW + 4ll * i * n);    // W[i*n + tid]
+        b.mad(2, 3, 4, 2);
+    }
+    b.sfu(2, 2); // activation
+    b.shlImm(5, 1, 2);
+    b.stGlobal(5, 2, kOut);
+    b.exit();
+    return b.build();
+}
+
+} // namespace
+
+KernelInfo
+BackpropWorkload::doBuild(MemoryImage &mem, const WorkloadParams &params,
+                          std::vector<MemRange> &outputs) const
+{
+    const int block_dim = 256;
+    const int grid = std::max(1, static_cast<int>(24 * params.scale));
+    const int n = block_dim * grid;
+
+    Rng rng(params.seed * 472882027 + 7);
+    for (int i = 0; i < kInputs; ++i) {
+        mem.write32(kIn + 4ull * i,
+                    static_cast<std::uint32_t>(rng.nextBounded(256)));
+        for (int t = 0; t < n; ++t)
+            mem.write32(kW + 4ull * (static_cast<Addr>(i) * n + t),
+                        static_cast<std::uint32_t>(rng.nextBounded(256)));
+    }
+
+    outputs.push_back({kOut, 4ull * n});
+
+    KernelInfo kernel;
+    kernel.name = "backprop";
+    kernel.program = buildProgram(n);
+    kernel.gridDim = grid;
+    kernel.blockDim = block_dim;
+    kernel.regsPerThread = 16;
+    kernel.smemPerBlock = 0;
+    return kernel;
+}
+
+} // namespace cawa

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The twelve benchmark workloads of Table 2. See each .cc for the
+ * kernel design and the paper behaviour it reproduces.
+ */
+
+#ifndef CAWA_WORKLOADS_BENCHMARKS_HH
+#define CAWA_WORKLOADS_BENCHMARKS_HH
+
+#include "workloads/workload.hh"
+
+namespace cawa
+{
+
+/**
+ * bfs — frontier expansion over an irregular graph. Imbalanced
+ * per-node degree (power-law) plus a visited/not-visited branch per
+ * neighbor: the paper's running example of workload imbalance and
+ * diverging branch behaviour (Sections 2.2.1-2.2.2, Figures 2-4, 8,
+ * 12). WorkloadParams::bfsBalanced selects the balanced-tree input
+ * of Fig 2(b).
+ */
+class BfsWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "bfs"; }
+    bool sensitive() const override { return true; }
+    std::string dataSet() const override { return "65536 nodes"; }
+
+  protected:
+    KernelInfo doBuild(MemoryImage &mem, const WorkloadParams &params,
+                       std::vector<MemRange> &outputs) const override;
+};
+
+/**
+ * kmeans — nearest-centroid assignment. Per-warp feature working set
+ * (dim cache lines) re-read once per centroid: thrashes the 16KB L1
+ * when many warps are active; schedulers that shrink the active warp
+ * set (GTO/gCAWS) and CACP's retention recover the reuse (the
+ * paper's 3.13x headline case).
+ */
+class KmeansWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "kmeans"; }
+    bool sensitive() const override { return true; }
+    std::string dataSet() const override { return "494020 nodes"; }
+
+  protected:
+    KernelInfo doBuild(MemoryImage &mem, const WorkloadParams &params,
+                       std::vector<MemRange> &outputs) const override;
+};
+
+/**
+ * b+tree — parallel key lookups over a 4-level 16-ary search tree.
+ * Upper levels have strong inter-warp reuse (the paper's reason CAWA
+ * slightly degrades b+tree); leaf accesses are irregular; the
+ * within-node scan loop has data-dependent trip counts.
+ */
+class BtreeWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "b+tree"; }
+    bool sensitive() const override { return true; }
+    std::string dataSet() const override { return "1 million nodes"; }
+
+  protected:
+    KernelInfo doBuild(MemoryImage &mem, const WorkloadParams &params,
+                       std::vector<MemRange> &outputs) const override;
+};
+
+/**
+ * heartwall — large-kernel windowed image correlation with a
+ * data-dependent refinement loop (region-dependent workload
+ * imbalance). The big static program makes CPL training relatively
+ * cheap compared to the oracle-profiled CAWS (Fig 13's discussion).
+ */
+class HeartwallWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "heartwall"; }
+    bool sensitive() const override { return true; }
+    std::string dataSet() const override
+    {
+        return "656x744 grey scale AVI";
+    }
+
+  protected:
+    KernelInfo doBuild(MemoryImage &mem, const WorkloadParams &params,
+                       std::vector<MemRange> &outputs) const override;
+};
+
+/**
+ * needle — Needleman-Wunsch wavefront over a shared-memory tile, one
+ * warp per block and a barrier per anti-diagonal: the low-warp-level-
+ * parallelism application for which CPL accuracy is trivially 100%
+ * (Fig 11 footnote).
+ */
+class NeedleWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "needle"; }
+    bool sensitive() const override { return true; }
+    std::string dataSet() const override { return "1024x1024 nodes"; }
+
+  protected:
+    KernelInfo doBuild(MemoryImage &mem, const WorkloadParams &params,
+                       std::vector<MemRange> &outputs) const override;
+};
+
+/**
+ * srad_1 — 2D diffusion stencil with boundary branches and a
+ * region-biased data-dependent refinement loop: the highest warp
+ * execution-time disparity of the suite (Fig 1's ~70%).
+ */
+class SradWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "srad_1"; }
+    bool sensitive() const override { return true; }
+    std::string dataSet() const override { return "502x458 nodes"; }
+
+  protected:
+    KernelInfo doBuild(MemoryImage &mem, const WorkloadParams &params,
+                       std::vector<MemRange> &outputs) const override;
+};
+
+/**
+ * streamcluster — point-to-median distance evaluation. The "small"
+ * configuration (32-dim) is cache sensitive; "mid" (64-dim) streams
+ * a working set far beyond the L1 and is classified Non-sens
+ * (Table 2). High inter-warp spatial locality on the shared median
+ * array (the paper's reason CACP slightly hurts strcltr_small).
+ */
+class StreamclusterWorkload : public Workload
+{
+  public:
+    explicit StreamclusterWorkload(bool mid) : mid_(mid) {}
+
+    std::string name() const override
+    {
+        return mid_ ? "strcltr_mid" : "strcltr_small";
+    }
+    bool sensitive() const override { return !mid_; }
+    std::string dataSet() const override
+    {
+        return mid_ ? "64x8192 nodes" : "32x4096 nodes";
+    }
+
+  protected:
+    KernelInfo doBuild(MemoryImage &mem, const WorkloadParams &params,
+                       std::vector<MemRange> &outputs) const override;
+
+  private:
+    bool mid_;
+};
+
+/**
+ * backprop — feed-forward layer evaluation: perfectly balanced,
+ * coalesced streaming weights plus broadcast activations (Non-sens).
+ */
+class BackpropWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "backprop"; }
+    bool sensitive() const override { return false; }
+    std::string dataSet() const override { return "65536 nodes"; }
+
+  protected:
+    KernelInfo doBuild(MemoryImage &mem, const WorkloadParams &params,
+                       std::vector<MemRange> &outputs) const override;
+};
+
+/**
+ * particle — particle-filter likelihood evaluation: uniform per-
+ * particle work over broadcast observations (Non-sens).
+ */
+class ParticleWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "particle"; }
+    bool sensitive() const override { return false; }
+    std::string dataSet() const override { return "128x128x10 nodes"; }
+
+  protected:
+    KernelInfo doBuild(MemoryImage &mem, const WorkloadParams &params,
+                       std::vector<MemRange> &outputs) const override;
+};
+
+/**
+ * pathfinder — dynamic-programming row sweep through shared memory
+ * with two barriers per row: regular and balanced (Non-sens).
+ */
+class PathfinderWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "pathfinder"; }
+    bool sensitive() const override { return false; }
+    std::string dataSet() const override { return "100000 nodes"; }
+
+  protected:
+    KernelInfo doBuild(MemoryImage &mem, const WorkloadParams &params,
+                       std::vector<MemRange> &outputs) const override;
+};
+
+/**
+ * tpacf — angular correlation histogramming: broadcast data points,
+ * a branch ladder for binning whose outcomes are uniformly
+ * distributed across warps (balanced divergence, Non-sens).
+ */
+class TpacfWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "tpacf"; }
+    bool sensitive() const override { return false; }
+    std::string dataSet() const override { return "487x100 nodes"; }
+
+  protected:
+    KernelInfo doBuild(MemoryImage &mem, const WorkloadParams &params,
+                       std::vector<MemRange> &outputs) const override;
+};
+
+} // namespace cawa
+
+#endif // CAWA_WORKLOADS_BENCHMARKS_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * bfs — one frontier-expansion step over a CSR graph.
+ *
+ * Thread i owns node i and walks its adjacency list. Each neighbor is
+ * checked against a visited flag: unvisited neighbors take the
+ * "child" path (an extra cost load and counter update), visited ones
+ * the "non-child" path — Algorithm 1 of the paper. The default input
+ * draws node degrees from a bounded power law (workload imbalance);
+ * WorkloadParams::bfsBalanced gives every node the same degree so
+ * only the branch-divergence effect remains (Fig 2(b)).
+ *
+ * Per-thread pseudo-code:
+ *   off  = OFF[i]; end = OFF[i+1]
+ *   while (off < end):
+ *     e = EDG[off]
+ *     if (VIS[e] == 0): sum += COSTN[e]; nchild++
+ *     else:             nnon++
+ *     off++
+ *   NCH[i] = nchild; NNON[i] = nnon; SUM[i] = sum
+ *
+ * Unlike real bfs, visited flags are read-only (the benign update
+ * race of the original would make verification order-dependent); the
+ * memory access pattern and control flow are unchanged.
+ */
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "workloads/benchmarks.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+constexpr Addr kOff = 0x01000000;
+constexpr Addr kEdg = 0x02000000;
+constexpr Addr kVis = 0x03000000;
+constexpr Addr kCostN = 0x04000000;
+constexpr Addr kNch = 0x05000000;
+constexpr Addr kNnon = 0x06000000;
+constexpr Addr kSum = 0x07000000;
+
+Program
+buildProgram()
+{
+    // r1=tid r2=addr r3=off r4=end r5=nchild r6=nnon r7=sum
+    // r8..r12 scratch
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.shlImm(2, 1, 2);
+    b.ldGlobal(3, 2, kOff);        // off = OFF[tid]
+    b.ldGlobal(4, 2, kOff + 4);    // end = OFF[tid+1]
+    b.movImm(5, 0);
+    b.movImm(6, 0);
+    b.movImm(7, 0);
+
+    b.label("loop");
+    b.setp(0, CmpOp::Ge, 3, 4);    // off >= end?
+    b.braIf("done", 0, "done");
+    b.shlImm(8, 3, 2);
+    b.ldGlobal(9, 8, kEdg);        // e = EDG[off]
+    b.shlImm(10, 9, 2);
+    b.ldGlobal(11, 10, kVis);      // v = VIS[e]
+    b.setpImm(1, CmpOp::Ne, 11, 0);
+    b.braIf("nonchild", 1, "endif");
+    // Child path: update the frontier cost estimate -- the real bfs
+    // relaxation plus some per-edge arithmetic (hash-mix the cost to
+    // model the cost-update work), so the taken/not-taken paths have
+    // clearly different lengths (the Fig 6 / Fig 2(b) effect).
+    b.ldGlobal(12, 10, kCostN);
+    b.sfu(12, 12);
+    b.shrImm(12, 12, 48);
+    b.add(7, 7, 12);
+    b.mulImm(7, 7, 3);
+    b.addImm(7, 7, 1);
+    b.addImm(5, 5, 1);
+    b.bra("endif");
+    b.label("nonchild");
+    b.addImm(6, 6, 1);
+    b.label("endif");
+    b.addImm(3, 3, 1);
+    b.bra("loop");
+
+    b.label("done");
+    b.stGlobal(2, 5, kNch);
+    b.stGlobal(2, 6, kNnon);
+    b.stGlobal(2, 7, kSum);
+    b.exit();
+    return b.build();
+}
+
+} // namespace
+
+KernelInfo
+BfsWorkload::doBuild(MemoryImage &mem, const WorkloadParams &params,
+                     std::vector<MemRange> &outputs) const
+{
+    const int block_dim = 512; // 16 warps, as in the Fig 12 block
+    const int grid = std::max(1, static_cast<int>(48 * params.scale));
+    const int n = block_dim * grid;
+
+    Rng rng(params.seed * 7919 + 17);
+
+    // Degrees. The imbalanced (default) input draws a per-warp base
+    // degree with a heavy-ish tail plus small per-lane noise: warp
+    // execution times spread smoothly (the sorted per-warp curve of
+    // Fig 2(a)) and the critical warp is distinctly the heaviest.
+    // The balanced input (Fig 2(b)) gives every node the same degree,
+    // leaving only the visited/not-visited branch divergence.
+    std::vector<std::uint32_t> degree(n);
+    std::uint32_t warp_base = 8;
+    for (int i = 0; i < n; ++i) {
+        if (i % 32 == 0)
+            warp_base = 4 + static_cast<std::uint32_t>(
+                rng.nextPareto(1.6, 28));
+        degree[i] = params.bfsBalanced
+            ? 8
+            : warp_base + static_cast<std::uint32_t>(
+                rng.nextBounded(4));
+    }
+
+    std::uint32_t off = 0;
+    for (int i = 0; i < n; ++i) {
+        mem.write32(kOff + 4ull * i, off);
+        off += degree[i];
+    }
+    mem.write32(kOff + 4ull * n, off);
+
+    // Edges mirror a frontier expansion over a community-structured
+    // graph: the d-th neighbours of a warp's nodes live together in
+    // one 64-node region chosen per (warp, d) -- consecutive nodes'
+    // adjacency lists overlap heavily in real CSR graphs. Since
+    // visited flags are uniform per region (below), a warp's
+    // visited-check branch is *uniform* on most steps: warps execute
+    // either the child or the non-child path, not both, which is
+    // what spreads the per-warp dynamic instruction counts in
+    // Fig 2(b). Lanes with extra neighbours (imbalanced input) fall
+    // back to random regions, adding divergence and scatter.
+    const std::uint32_t regions =
+        static_cast<std::uint32_t>(n / 64);
+    auto mix = [](std::uint64_t x) {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    };
+    std::uint32_t emitted = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::uint32_t warp = static_cast<std::uint32_t>(i) / 32;
+        const std::uint32_t lane = static_cast<std::uint32_t>(i) % 32;
+        for (std::uint32_t d = 0; d < degree[i]; ++d) {
+            std::uint32_t target;
+            if (d < 8 || params.bfsBalanced) {
+                const auto region = static_cast<std::uint32_t>(
+                    mix(params.seed * 1315423911ull + warp * 131 + d) %
+                    regions);
+                target = region * 64 + lane * 2 + (d & 1);
+            } else {
+                target =
+                    static_cast<std::uint32_t>(rng.nextBounded(n));
+            }
+            mem.write32(kEdg + 4ull * emitted, target);
+            emitted++;
+        }
+    }
+    // Visited flags are uniform per 64-node region (a frontier
+    // sweeps whole communities together); combined with the
+    // region-targeted adjacency above, most visited-check branches
+    // are warp-uniform.
+    std::uint32_t region_visited = 0;
+    for (int i = 0; i < n; ++i) {
+        if (i % 64 == 0)
+            region_visited =
+                static_cast<std::uint32_t>(rng.nextBounded(2));
+        mem.write32(kVis + 4ull * i, region_visited);
+        mem.write32(kCostN + 4ull * i,
+                    static_cast<std::uint32_t>(rng.nextBounded(256)));
+    }
+
+    outputs.push_back({kNch, 4ull * n});
+    outputs.push_back({kNnon, 4ull * n});
+    outputs.push_back({kSum, 4ull * n});
+
+    KernelInfo kernel;
+    kernel.name = "bfs";
+    kernel.program = buildProgram();
+    kernel.gridDim = grid;
+    kernel.blockDim = block_dim;
+    kernel.regsPerThread = 16;
+    kernel.smemPerBlock = 0;
+    return kernel;
+}
+
+} // namespace cawa

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * heartwall — windowed image correlation with data-dependent
+ * refinement: the suite's "large kernel" (the 16 window rows are
+ * fully unrolled into a long straight-line body).
+ *
+ * Thread t samples the frame at (row = t/W' stride 8, col = t mod W'),
+ * accumulates a 16x4 window of multiply-adds, then runs a refinement
+ * loop whose trip count comes from a per-row table plus one
+ * data-dependent bit: warps on different rows get different amounts
+ * of work (inter-warp imbalance) while lanes within a warp mostly
+ * agree (mild divergence) — heartwall's Sens profile.
+ */
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "workloads/benchmarks.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+constexpr Addr kFrame = 0x01000000;
+constexpr Addr kRext = 0x02000000;
+constexpr Addr kOut = 0x03000000;
+
+constexpr int kWidth = 512;      ///< padded frame width (words)
+constexpr int kWinRows = 16;
+constexpr int kWinCols = 4;
+
+Program
+buildProgram()
+{
+    // r1=gid r2=px r3=py r4=acc r5=addr r6=val r7=extra r8=mask
+    // r9=scratch
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.movImm(8, 255);
+    b.and_(2, 1, 8);               // px = gid & 255
+    b.shrImm(3, 1, 8);             // py = gid >> 8
+
+    b.movImm(4, 0);
+    // Unrolled window: rows at vertical stride 8, two samples per
+    // row, each followed by the correlation arithmetic (the "large
+    // kernel" body dominated by computation).
+    for (int wy = 0; wy < kWinRows; ++wy) {
+        for (int wx = 0; wx < 2; ++wx) {
+            // addr = ((py*2 + wy) * W + px + wx*8) * 4
+            b.mulImm(5, 3, 2 * kWidth * 4);
+            b.shlImm(9, 2, 2);
+            b.add(5, 5, 9);
+            b.ldGlobal(6, 5,
+                       kFrame + 4ll * (wy * kWidth + wx * 8));
+            b.mulImm(9, 6, 3 + wx);     // template coefficient
+            b.mad(4, 6, 9, 4);          // correlation accumulate
+            b.shrImm(9, 4, 7);          // running normalization
+            b.sub(4, 4, 9);
+            b.addImm(9, 6, -128);       // mean-removed term
+            b.mad(4, 9, 9, 4);
+        }
+        if (wy % 4 == 3)
+            b.sfu(4, 4);
+    }
+
+    // extra = REXT[py] + (acc & 1)
+    b.shlImm(5, 3, 2);
+    b.ldGlobal(7, 5, kRext);
+    b.movImm(8, 1);
+    b.and_(9, 4, 8);
+    b.add(7, 7, 9);
+
+    b.label("refine");
+    b.setpImm(0, CmpOp::Le, 7, 0);
+    b.braIf("refdone", 0, "refdone");
+    b.mulImm(5, 3, 2 * kWidth * 4);
+    b.shlImm(9, 2, 2);
+    b.add(5, 5, 9);
+    b.ldGlobal(6, 5, kFrame);
+    b.sfu(6, 6);
+    b.add(4, 4, 6);
+    b.addImm(7, 7, -1);
+    b.bra("refine");
+    b.label("refdone");
+
+    b.shlImm(5, 1, 2);
+    b.stGlobal(5, 4, kOut);
+    b.exit();
+    return b.build();
+}
+
+} // namespace
+
+KernelInfo
+HeartwallWorkload::doBuild(MemoryImage &mem, const WorkloadParams &params,
+                           std::vector<MemRange> &outputs) const
+{
+    const int block_dim = 256;
+    const int grid = std::max(1, static_cast<int>(48 * params.scale));
+    const int n = block_dim * grid;
+    const int rows = n / 256;      // sample rows (gid >> 8)
+
+    Rng rng(params.seed * 15485863 + 11);
+
+    // Frame: enough rows for the deepest window access.
+    const int frame_rows = rows * 2 + kWinRows + 1;
+    for (int r = 0; r < frame_rows; ++r)
+        for (int c = 0; c < kWidth; ++c)
+            mem.write32(kFrame + 4ull * (static_cast<Addr>(r) * kWidth +
+                                         c),
+                        static_cast<std::uint32_t>(rng.nextBounded(256)));
+
+    // Per-row refinement depth: 0..12, differing across warp rows.
+    for (int r = 0; r < rows + 1; ++r)
+        mem.write32(kRext + 4ull * r,
+                    static_cast<std::uint32_t>(rng.nextBounded(13)));
+
+    outputs.push_back({kOut, 4ull * n});
+
+    KernelInfo kernel;
+    kernel.name = "heartwall";
+    kernel.program = buildProgram();
+    kernel.gridDim = grid;
+    kernel.blockDim = block_dim;
+    kernel.regsPerThread = 16;
+    kernel.smemPerBlock = 0;
+    return kernel;
+}
+
+} // namespace cawa

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * needle — Needleman-Wunsch wavefront over a shared-memory tile.
+ *
+ * One 32-thread warp per block processes a 32x32 tile anti-diagonal
+ * by anti-diagonal with a bar.sync between diagonals (63 barriers per
+ * block). Thread t computes cell (i=t, j=d-t) when j is in range, so
+ * the warp diverges at the wavefront edges. All scores are offset by
+ * +10000 to stay positive (shared memory holds 32-bit values that
+ * load zero-extended). The single warp per block is why the paper's
+ * Fig 11 reports a trivially-perfect CPL accuracy for needle.
+ */
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "workloads/benchmarks.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+constexpr int kBs = 32;              ///< tile edge
+constexpr int kShPitch = kBs + 1;    ///< shared tile pitch (words)
+constexpr int kBias = 10000;
+constexpr int kPenalty = 1;
+
+constexpr Addr kRef = 0x01000000;
+constexpr Addr kOut = 0x02000000;
+
+Program
+buildProgram()
+{
+    // r1=t r2=cta r3=base(bytes) r4=d r5=j r6=addr r7=scratch
+    // r8=shaddr r9=score r10=diag r11=up r12=left r13=jj
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::TidX);
+    b.s2r(2, SpecialReg::CtaIdX);
+    b.mulImm(3, 2, kBs * kBs * 4);
+
+    // Boundary init: sh[0][t+1] and sh[t+1][0] = bias - (t+1);
+    // thread 0 also writes sh[0][0] = bias.
+    b.addImm(7, 1, 1);              // t+1
+    b.movImm(9, kBias);
+    b.sub(9, 9, 7);                 // bias - (t+1)
+    b.shlImm(6, 7, 2);              // (t+1)*4 => sh[0][t+1]
+    b.stShared(6, 9, 0);
+    b.mulImm(6, 7, kShPitch * 4);   // (t+1)*pitch*4 => sh[t+1][0]
+    b.stShared(6, 9, 0);
+    b.setpImm(0, CmpOp::Ne, 1, 0);
+    b.braIf("init_done", 0, "init_done");
+    b.movImm(9, kBias);
+    b.movImm(6, 0);
+    b.stShared(6, 9, 0);            // sh[0][0]
+    b.label("init_done");
+    b.bar();
+
+    b.movImm(4, 0);
+    b.label("diag");
+    b.sub(5, 4, 1);                 // j = d - t (signed)
+    b.setpImm(0, CmpOp::Ge, 5, 0);
+    b.braIfNot("skip", 0, "skip");
+    b.setpImm(0, CmpOp::Lt, 5, kBs);
+    b.braIfNot("skip", 0, "skip");
+    // ref score REF[base + (i*32 + j)*4]
+    b.shlImm(6, 1, 7);              // i*32*4
+    b.shlImm(7, 5, 2);
+    b.add(6, 6, 7);
+    b.add(6, 6, 3);
+    b.ldGlobal(9, 6, kRef);
+    // shared base for sh[i][j]
+    b.mulImm(8, 1, kShPitch * 4);
+    b.shlImm(7, 5, 2);
+    b.add(8, 8, 7);
+    b.ldShared(10, 8, 0);                       // sh[i][j]
+    b.ldShared(11, 8, 4);                       // sh[i][j+1]
+    b.ldShared(12, 8, kShPitch * 4);            // sh[i+1][j]
+    b.add(10, 10, 9);
+    b.addImm(11, 11, -kPenalty);
+    b.addImm(12, 12, -kPenalty);
+    b.max(10, 10, 11);
+    b.max(10, 10, 12);
+    b.stShared(8, 10, kShPitch * 4 + 4);        // sh[i+1][j+1]
+    b.label("skip");
+    b.bar();
+    b.addImm(4, 4, 1);
+    b.setpImm(0, CmpOp::Lt, 4, 2 * kBs - 1);
+    b.braIf("diag", 0, "diag_done");
+    b.label("diag_done");
+
+    // Write the tile back: row t, all 32 columns.
+    b.movImm(13, 0);
+    b.label("wb");
+    b.addImm(7, 1, 1);
+    b.mulImm(8, 7, kShPitch * 4);
+    b.shlImm(6, 13, 2);
+    b.add(8, 8, 6);
+    b.ldShared(9, 8, 4);            // sh[t+1][jj+1]
+    b.shlImm(6, 1, 7);              // (t*32 + jj)*4
+    b.shlImm(7, 13, 2);
+    b.add(6, 6, 7);
+    b.add(6, 6, 3);
+    b.stGlobal(6, 9, kOut);
+    b.addImm(13, 13, 1);
+    b.setpImm(0, CmpOp::Lt, 13, kBs);
+    b.braIf("wb", 0, "wb_done");
+    b.label("wb_done");
+    b.exit();
+    return b.build();
+}
+
+} // namespace
+
+KernelInfo
+NeedleWorkload::doBuild(MemoryImage &mem, const WorkloadParams &params,
+                        std::vector<MemRange> &outputs) const
+{
+    const int grid = std::max(1, static_cast<int>(90 * params.scale));
+
+    Rng rng(params.seed * 32452843 + 23);
+    for (int blk = 0; blk < grid; ++blk)
+        for (int c = 0; c < kBs * kBs; ++c)
+            mem.write32(kRef + 4ull * (static_cast<Addr>(blk) * kBs *
+                                           kBs +
+                                       c),
+                        static_cast<std::uint32_t>(rng.nextBounded(16)));
+
+    outputs.push_back(
+        {kOut, 4ull * static_cast<std::uint64_t>(grid) * kBs * kBs});
+
+    KernelInfo kernel;
+    kernel.name = "needle";
+    kernel.program = buildProgram();
+    kernel.gridDim = grid;
+    kernel.blockDim = kBs;          // one warp per block
+    kernel.regsPerThread = 16;
+    kernel.smemPerBlock = kShPitch * kShPitch * 4;
+    return kernel;
+}
+
+} // namespace cawa

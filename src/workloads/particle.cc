@@ -1,0 +1,82 @@
+/**
+ * @file
+ * particle — particle-filter likelihood evaluation.
+ *
+ * Thread t owns one particle: its state evolves through an unrolled
+ * chain of SFU steps while the likelihood accumulates squared
+ * differences against broadcast observations. Uniform per-particle
+ * work, no data-dependent control flow: a balanced, moderately
+ * compute-bound Non-sens workload.
+ */
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "workloads/benchmarks.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+constexpr Addr kPx = 0x01000000;
+constexpr Addr kObs = 0x02000000;
+constexpr Addr kWt = 0x03000000;
+
+constexpr int kObservations = 10;
+
+Program
+buildProgram()
+{
+    // r1=tid r2=state r3=weight r4=obs r5=addr r6=diff
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.shlImm(5, 1, 2);
+    b.ldGlobal(2, 5, kPx);
+    b.movImm(3, 0);
+    for (int o = 0; o < kObservations; ++o) {
+        b.movImm(5, 4ll * o);
+        b.ldGlobal(4, 5, kObs);    // broadcast OBS[o]
+        b.sub(6, 2, 4);
+        b.mad(3, 6, 6, 3);
+        b.sfu(2, 2);               // evolve the particle state
+        b.movImm(5, 0xffff);
+        b.and_(2, 2, 5);
+    }
+    b.shlImm(5, 1, 2);
+    b.stGlobal(5, 3, kWt);
+    b.exit();
+    return b.build();
+}
+
+} // namespace
+
+KernelInfo
+ParticleWorkload::doBuild(MemoryImage &mem, const WorkloadParams &params,
+                          std::vector<MemRange> &outputs) const
+{
+    const int block_dim = 256;
+    const int grid = std::max(1, static_cast<int>(48 * params.scale));
+    const int n = block_dim * grid;
+
+    Rng rng(params.seed * 15487469 + 13);
+    for (int t = 0; t < n; ++t)
+        mem.write32(kPx + 4ull * t,
+                    static_cast<std::uint32_t>(rng.nextBounded(0x10000)));
+    for (int o = 0; o < kObservations; ++o)
+        mem.write32(kObs + 4ull * o,
+                    static_cast<std::uint32_t>(rng.nextBounded(0x10000)));
+
+    outputs.push_back({kWt, 4ull * n});
+
+    KernelInfo kernel;
+    kernel.name = "particle";
+    kernel.program = buildProgram();
+    kernel.gridDim = grid;
+    kernel.blockDim = block_dim;
+    kernel.regsPerThread = 16;
+    kernel.smemPerBlock = 0;
+    return kernel;
+}
+
+} // namespace cawa

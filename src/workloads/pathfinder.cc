@@ -1,0 +1,128 @@
+/**
+ * @file
+ * pathfinder — dynamic-programming row sweep.
+ *
+ * Each 256-thread block owns a 256-column strip. The running row
+ * lives in shared memory, double-buffered; every row costs one
+ * barrier. Neighbour indices are clamped branch-free with min/max,
+ * so the kernel is perfectly regular: Table 2's Non-sens profile
+ * with a barrier-heavy rhythm.
+ *
+ *   cur[t] = DATA[r][gid] + min(prev[t-1], prev[t], prev[t+1])
+ */
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "workloads/benchmarks.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+constexpr Addr kRow0 = 0x01000000;
+constexpr Addr kData = 0x02000000;
+constexpr Addr kOut = 0x03000000;
+
+constexpr int kRows = 16;
+constexpr int kBlockDim = 256;
+constexpr int kBufBytes = kBlockDim * 4;
+
+Program
+buildProgram(int n)
+{
+    // r1=t r2=gid r3=r r4=prevOff r5=curOff r6=idx r7=lv r8=mv r9=rv
+    // r10=min r11=data/addr r12=const r13=scratch
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::TidX);
+    b.s2r(2, SpecialReg::GlobalTid);
+
+    // prev[t] = ROW0[gid]
+    b.shlImm(11, 2, 2);
+    b.ldGlobal(7, 11, kRow0);
+    b.shlImm(6, 1, 2);
+    b.stShared(6, 7, 0);
+    b.bar();
+
+    b.movImm(3, 0);
+    b.label("rowloop");
+    // prevOff = (r & 1) * kBufBytes; curOff = kBufBytes - prevOff
+    b.movImm(12, 1);
+    b.and_(4, 3, 12);
+    b.mulImm(4, 4, kBufBytes);
+    b.movImm(5, kBufBytes);
+    b.sub(5, 5, 4);
+    // Clamped neighbour reads from the previous row.
+    b.addImm(6, 1, -1);
+    b.movImm(12, 0);
+    b.max(6, 6, 12);
+    b.shlImm(6, 6, 2);
+    b.add(6, 6, 4);
+    b.ldShared(7, 6, 0);           // left
+    b.shlImm(6, 1, 2);
+    b.add(6, 6, 4);
+    b.ldShared(8, 6, 0);           // mid
+    b.addImm(6, 1, 1);
+    b.movImm(12, kBlockDim - 1);
+    b.min(6, 6, 12);
+    b.shlImm(6, 6, 2);
+    b.add(6, 6, 4);
+    b.ldShared(9, 6, 0);           // right
+    b.min(10, 7, 8);
+    b.min(10, 10, 9);
+    // data = DATA[r*n + gid]
+    b.mulImm(11, 3, n);
+    b.add(11, 11, 2);
+    b.shlImm(11, 11, 2);
+    b.ldGlobal(13, 11, kData);
+    b.add(10, 10, 13);
+    b.shlImm(6, 1, 2);
+    b.add(6, 6, 5);
+    b.stShared(6, 10, 0);
+    b.bar();
+    b.addImm(3, 3, 1);
+    b.setpImm(0, CmpOp::Lt, 3, kRows);
+    b.braIf("rowloop", 0, "rowdone");
+    b.label("rowdone");
+
+    // kRows is even, so the final row sits in buffer 0.
+    b.shlImm(6, 1, 2);
+    b.ldShared(10, 6, 0);
+    b.shlImm(11, 2, 2);
+    b.stGlobal(11, 10, kOut);
+    b.exit();
+    return b.build();
+}
+
+} // namespace
+
+KernelInfo
+PathfinderWorkload::doBuild(MemoryImage &mem, const WorkloadParams &params,
+                            std::vector<MemRange> &outputs) const
+{
+    const int grid = std::max(1, static_cast<int>(48 * params.scale));
+    const int n = kBlockDim * grid;
+
+    Rng rng(params.seed * 314606869 + 29);
+    for (int i = 0; i < n; ++i)
+        mem.write32(kRow0 + 4ull * i,
+                    static_cast<std::uint32_t>(rng.nextBounded(64)));
+    for (int r = 0; r < kRows; ++r)
+        for (int i = 0; i < n; ++i)
+            mem.write32(kData + 4ull * (static_cast<Addr>(r) * n + i),
+                        static_cast<std::uint32_t>(rng.nextBounded(64)));
+
+    outputs.push_back({kOut, 4ull * n});
+
+    KernelInfo kernel;
+    kernel.name = "pathfinder";
+    kernel.program = buildProgram(n);
+    kernel.gridDim = grid;
+    kernel.blockDim = kBlockDim;
+    kernel.regsPerThread = 16;
+    kernel.smemPerBlock = 2 * kBufBytes;
+    return kernel;
+}
+
+} // namespace cawa

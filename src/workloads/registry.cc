@@ -1,0 +1,58 @@
+#include "workloads/registry.hh"
+
+#include "common/sim_assert.hh"
+#include "workloads/benchmarks.hh"
+
+namespace cawa
+{
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    return {
+        "bfs", "b+tree", "heartwall", "kmeans", "needle", "srad_1",
+        "strcltr_small",
+        "backprop", "particle", "pathfinder", "strcltr_mid", "tpacf",
+    };
+}
+
+std::vector<std::string>
+sensitiveWorkloadNames()
+{
+    return {
+        "bfs", "b+tree", "heartwall", "kmeans", "needle", "srad_1",
+        "strcltr_small",
+    };
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "bfs")
+        return std::make_unique<BfsWorkload>();
+    if (name == "b+tree")
+        return std::make_unique<BtreeWorkload>();
+    if (name == "heartwall")
+        return std::make_unique<HeartwallWorkload>();
+    if (name == "kmeans")
+        return std::make_unique<KmeansWorkload>();
+    if (name == "needle")
+        return std::make_unique<NeedleWorkload>();
+    if (name == "srad_1")
+        return std::make_unique<SradWorkload>();
+    if (name == "strcltr_small")
+        return std::make_unique<StreamclusterWorkload>(false);
+    if (name == "strcltr_mid")
+        return std::make_unique<StreamclusterWorkload>(true);
+    if (name == "backprop")
+        return std::make_unique<BackpropWorkload>();
+    if (name == "particle")
+        return std::make_unique<ParticleWorkload>();
+    if (name == "pathfinder")
+        return std::make_unique<PathfinderWorkload>();
+    if (name == "tpacf")
+        return std::make_unique<TpacfWorkload>();
+    sim_panic("unknown workload name");
+}
+
+} // namespace cawa

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Workload registry: construct benchmarks by name and enumerate the
+ * Table 2 suite in the paper's order.
+ */
+
+#ifndef CAWA_WORKLOADS_REGISTRY_HH
+#define CAWA_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace cawa
+{
+
+/** The Table 2 suite in order (Sens first, then Non-sens). */
+std::vector<std::string> allWorkloadNames();
+
+/** The cache/scheduler-sensitive subset (Table 2 "Sens"). */
+std::vector<std::string> sensitiveWorkloadNames();
+
+/** Construct a workload by its Table 2 name; panics on a bad name. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+} // namespace cawa
+
+#endif // CAWA_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * srad_1 — 2D diffusion stencil with data-dependent refinement.
+ *
+ * Each thread updates one pixel from its four clamped neighbours
+ * (branch-free via selp), then runs a refinement loop of
+ * `(self >> 4) + (self & 1)` iterations of a serial SFU chain. Pixel
+ * values are biased per 32-pixel segment, so each *warp* draws a
+ * different refinement depth (0..12) while its lanes mostly agree:
+ * strong intra-block warp imbalance — srad_1 shows the largest
+ * execution-time disparity in Fig 1 (~70%).
+ */
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "workloads/benchmarks.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+constexpr Addr kImg = 0x01000000;
+constexpr Addr kOut = 0x02000000;
+
+constexpr int kCols = 256;
+
+Program
+buildProgram(int n)
+{
+    // r1=gid r2=row r3=col r4=self r5/r6=idx scratch r7=N r8=S r9=W
+    // r10=E r11=acc r12=extra r13=tmp r14=const
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.shrImm(2, 1, 8);             // row
+    b.movImm(14, kCols - 1);
+    b.and_(3, 1, 14);              // col
+
+    b.shlImm(5, 1, 2);
+    b.ldGlobal(4, 5, kImg);        // self
+
+    // North: idx = row>0 ? gid-256 : gid
+    b.setpImm(0, CmpOp::Gt, 2, 0);
+    b.addImm(6, 1, -kCols);
+    b.selp(6, 0, 6, 1);
+    b.shlImm(6, 6, 2);
+    b.ldGlobal(7, 6, kImg);
+    // South: idx = row<rows-1 ? gid+256 : gid
+    b.setpImm(0, CmpOp::Lt, 2, n / kCols - 1);
+    b.addImm(6, 1, kCols);
+    b.selp(6, 0, 6, 1);
+    b.shlImm(6, 6, 2);
+    b.ldGlobal(8, 6, kImg);
+    // West: col>0 ? gid-1 : gid
+    b.setpImm(0, CmpOp::Gt, 3, 0);
+    b.addImm(6, 1, -1);
+    b.selp(6, 0, 6, 1);
+    b.shlImm(6, 6, 2);
+    b.ldGlobal(9, 6, kImg);
+    // East: col<cols-1 ? gid+1 : gid
+    b.setpImm(0, CmpOp::Lt, 3, kCols - 1);
+    b.addImm(6, 1, 1);
+    b.selp(6, 0, 6, 1);
+    b.shlImm(6, 6, 2);
+    b.ldGlobal(10, 6, kImg);
+
+    // Directional derivatives and diffusion coefficient stand-in.
+    b.sub(7, 7, 4);
+    b.sub(8, 8, 4);
+    b.sub(9, 9, 4);
+    b.sub(10, 10, 4);
+    b.movImm(11, 0);
+    b.mad(11, 7, 7, 11);
+    b.mad(11, 8, 8, 11);
+    b.mad(11, 9, 9, 11);
+    b.mad(11, 10, 10, 11);
+    b.sfu(11, 11);
+    b.movImm(14, 0xffff);
+    b.and_(11, 11, 14);
+    b.add(11, 11, 4);
+
+    // Refinement: extra = (self >> 4) + (self & 1).
+    b.shrImm(12, 4, 4);
+    b.movImm(14, 1);
+    b.and_(13, 4, 14);
+    b.add(12, 12, 13);
+    b.label("refine");
+    b.setpImm(0, CmpOp::Le, 12, 0);
+    b.braIf("refdone", 0, "refdone");
+    b.sfu(11, 11);                 // serial SFU chain
+    b.sfu(11, 11);
+    b.add(11, 11, 4);
+    b.addImm(12, 12, -1);
+    b.bra("refine");
+    b.label("refdone");
+
+    b.shlImm(5, 1, 2);
+    b.stGlobal(5, 11, kOut);
+    b.exit();
+    return b.build();
+}
+
+} // namespace
+
+KernelInfo
+SradWorkload::doBuild(MemoryImage &mem, const WorkloadParams &params,
+                      std::vector<MemRange> &outputs) const
+{
+    const int block_dim = 256; // one image row per block
+    const int grid = std::max(1, static_cast<int>(56 * params.scale));
+    const int n = block_dim * grid;
+
+    Rng rng(params.seed * 86028121 + 31);
+    // Per-32-pixel-segment bias 0..12 drives per-warp refinement
+    // depth; low bits add intra-warp noise.
+    std::uint32_t bias = 0;
+    for (int i = 0; i < n; ++i) {
+        if (i % 32 == 0)
+            bias = static_cast<std::uint32_t>(rng.nextBounded(13));
+        mem.write32(kImg + 4ull * i,
+                    bias * 16 +
+                        static_cast<std::uint32_t>(rng.nextBounded(16)));
+    }
+
+    outputs.push_back({kOut, 4ull * n});
+
+    KernelInfo kernel;
+    kernel.name = "srad_1";
+    kernel.program = buildProgram(n);
+    kernel.gridDim = grid;
+    kernel.blockDim = block_dim;
+    kernel.regsPerThread = 16;
+    kernel.smemPerBlock = 0;
+    return kernel;
+}
+
+} // namespace cawa

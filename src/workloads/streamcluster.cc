@@ -1,0 +1,143 @@
+/**
+ * @file
+ * streamcluster — weighted point-to-median distance evaluation.
+ *
+ * Points are point-major rows (as in the original benchmark): each
+ * warp re-touches its row lines on every dimension and median
+ * iteration; the candidate
+ * median coordinates and weights are broadcast loads shared by every
+ * warp (the inter-warp spatial locality the paper cites when CACP
+ * slightly hurts strcltr_small). The "small" data set (32
+ * dimensions) has a per-warp working set that greedy scheduling can
+ * keep resident; "mid" (64 dimensions, twice the points) streams far
+ * past the L1 and lands in the Non-sens class of Table 2.
+ */
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "workloads/benchmarks.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+constexpr Addr kPts = 0x01000000;
+constexpr Addr kCtr = 0x04000000;
+constexpr Addr kWgt = 0x05000000;
+constexpr Addr kOut = 0x06000000;
+constexpr Addr kDist = 0x07000000;
+
+constexpr int kCenters = 8;
+
+Program
+buildProgram(int dim, int n, bool shifting)
+{
+    // r1=tid r2=c r3=best r4=bestc r5=dist r6=d r7..r11 scratch
+    // r12=n-1 mask (shifting variant; n is a power of two)
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.movImm(2, 0);
+    b.movImm(3, 0x7fffffffffffll);
+    b.movImm(4, 0);
+    b.movImm(12, n - 1);
+
+    b.label("cloop");
+    b.movImm(5, 0);
+    b.movImm(6, 0);
+    b.label("dloop");
+    // Point row: the "small" set re-reads the thread's own row per
+    // median (cache-sensitive reuse); the "mid" gain phase evaluates
+    // a shifting slice per candidate, so its rows stream with no
+    // cross-median reuse (Table 2's Non-sens class).
+    if (shifting) {
+        // mid: a fresh slice per (median, dimension) access -- pure
+        // streaming, nothing to retain.
+        b.mulImm(7, 2, dim);
+        b.add(7, 7, 6);            // c*dim + d
+        b.mulImm(7, 7, 997);
+        b.add(7, 7, 1);
+        b.and_(7, 7, 12);          // index & (n-1)
+        b.mulImm(7, 7, dim);
+    } else {
+        // small: a per-median slice; the thread's rows are re-read
+        // across the dimension loop but change with each median.
+        b.mulImm(7, 2, 997);       // c*997
+        b.add(7, 7, 1);
+        b.and_(7, 7, 12);          // (tid + c*997) & (n-1)
+        b.mulImm(7, 7, dim);
+    }
+    b.add(7, 7, 6);
+    b.shlImm(7, 7, 2);
+    b.ldGlobal(8, 7, kPts);
+    b.mulImm(9, 2, dim);
+    b.add(9, 9, 6);
+    b.shlImm(9, 9, 2);
+    b.ldGlobal(10, 9, kCtr);
+    b.sub(11, 8, 10);
+    b.mad(5, 11, 11, 5);
+    b.addImm(6, 6, 1);
+    b.setpImm(0, CmpOp::Lt, 6, dim);
+    b.braIf("dloop", 0, "dexit");
+    b.label("dexit");
+    // Weighted cost = dist * WGT[c].
+    b.shlImm(9, 2, 2);
+    b.ldGlobal(10, 9, kWgt);
+    b.mul(5, 5, 10);
+    b.setp(1, CmpOp::Lt, 5, 3);
+    b.selp(3, 1, 5, 3);
+    b.selp(4, 1, 2, 4);
+    b.addImm(2, 2, 1);
+    b.setpImm(0, CmpOp::Lt, 2, kCenters);
+    b.braIf("cloop", 0, "cexit");
+    b.label("cexit");
+
+    b.shlImm(7, 1, 2);
+    b.stGlobal(7, 4, kOut);
+    b.stGlobal(7, 3, kDist);
+    b.exit();
+    return b.build();
+}
+
+} // namespace
+
+KernelInfo
+StreamclusterWorkload::doBuild(MemoryImage &mem,
+                               const WorkloadParams &params,
+                               std::vector<MemRange> &outputs) const
+{
+    const int block_dim = 256;
+    const int dim = mid_ ? 64 : 32;
+    const int base_grid = mid_ ? 64 : 48;
+    const int grid =
+        std::max(1, static_cast<int>(base_grid * params.scale));
+    const int n = block_dim * grid;
+
+    Rng rng(params.seed * 179424673 + (mid_ ? 101 : 41));
+    for (int i = 0; i < n; ++i)
+        for (int d = 0; d < dim; ++d)
+            mem.write32(kPts + 4ull * (static_cast<Addr>(i) * dim + d),
+                        static_cast<std::uint32_t>(rng.nextBounded(128)));
+    for (int c = 0; c < kCenters; ++c) {
+        for (int d = 0; d < dim; ++d)
+            mem.write32(kCtr + 4ull * (c * dim + d),
+                        static_cast<std::uint32_t>(rng.nextBounded(128)));
+        mem.write32(kWgt + 4ull * c,
+                    1 + static_cast<std::uint32_t>(rng.nextBounded(7)));
+    }
+
+    outputs.push_back({kOut, 4ull * n});
+    outputs.push_back({kDist, 4ull * n});
+
+    KernelInfo kernel;
+    kernel.name = mid_ ? "strcltr_mid" : "strcltr_small";
+    kernel.program = buildProgram(dim, n, mid_);
+    kernel.gridDim = grid;
+    kernel.blockDim = block_dim;
+    kernel.regsPerThread = 16;
+    kernel.smemPerBlock = 0;
+    return kernel;
+}
+
+} // namespace cawa

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * tpacf — angular-correlation histogramming.
+ *
+ * Thread t holds one 3-component point and accumulates a 4-bin
+ * histogram of dot products against a broadcast data set, binned by
+ * a 3-branch ladder. Dot products are uniformly distributed, so the
+ * ladder's divergence is statistically identical in every warp —
+ * divergent but balanced, hence Non-sens.
+ */
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "workloads/benchmarks.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+constexpr Addr kPx = 0x01000000;
+constexpr Addr kPy = 0x02000000;
+constexpr Addr kPz = 0x03000000;
+constexpr Addr kDx = 0x04000000;
+constexpr Addr kDy = 0x05000000;
+constexpr Addr kDz = 0x06000000;
+constexpr Addr kHist = 0x07000000; ///< 4 bins per thread
+
+constexpr int kPoints = 48;
+constexpr std::int64_t kCoordMax = 256;
+// Bin thresholds for dot in [0, 3*255^2].
+constexpr std::int64_t kT1 = 30000;
+constexpr std::int64_t kT2 = 50000;
+constexpr std::int64_t kT3 = 80000;
+
+Program
+buildProgram()
+{
+    // r1=tid r2=px r3=py r4=pz r5=dx/addr r6=dy r7=dz r8=dot
+    // r9-r12=h0..h3 r13=j r14=scratch
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.shlImm(14, 1, 2);
+    b.ldGlobal(2, 14, kPx);
+    b.ldGlobal(3, 14, kPy);
+    b.ldGlobal(4, 14, kPz);
+    b.movImm(9, 0);
+    b.movImm(10, 0);
+    b.movImm(11, 0);
+    b.movImm(12, 0);
+    b.movImm(13, 0);
+
+    b.label("jloop");
+    b.shlImm(14, 13, 2);
+    b.ldGlobal(5, 14, kDx);
+    b.ldGlobal(6, 14, kDy);
+    b.ldGlobal(7, 14, kDz);
+    b.mul(8, 2, 5);
+    b.mad(8, 3, 6, 8);
+    b.mad(8, 4, 7, 8);
+    // Bin ladder.
+    b.setpImm(0, CmpOp::Lt, 8, kT1);
+    b.braIf("bin0", 0, "binend");
+    b.setpImm(0, CmpOp::Lt, 8, kT2);
+    b.braIf("bin1", 0, "binend");
+    b.setpImm(0, CmpOp::Lt, 8, kT3);
+    b.braIf("bin2", 0, "binend");
+    b.addImm(12, 12, 1);
+    b.bra("binend");
+    b.label("bin2");
+    b.addImm(11, 11, 1);
+    b.bra("binend");
+    b.label("bin1");
+    b.addImm(10, 10, 1);
+    b.bra("binend");
+    b.label("bin0");
+    b.addImm(9, 9, 1);
+    b.label("binend");
+    b.addImm(13, 13, 1);
+    b.setpImm(0, CmpOp::Lt, 13, kPoints);
+    b.braIf("jloop", 0, "jdone");
+    b.label("jdone");
+
+    b.shlImm(14, 1, 4);            // 4 bins x 4 bytes per thread
+    b.stGlobal(14, 9, kHist);
+    b.stGlobal(14, 10, kHist + 4);
+    b.stGlobal(14, 11, kHist + 8);
+    b.stGlobal(14, 12, kHist + 12);
+    b.exit();
+    return b.build();
+}
+
+} // namespace
+
+KernelInfo
+TpacfWorkload::doBuild(MemoryImage &mem, const WorkloadParams &params,
+                       std::vector<MemRange> &outputs) const
+{
+    const int block_dim = 256;
+    const int grid = std::max(1, static_cast<int>(36 * params.scale));
+    const int n = block_dim * grid;
+
+    Rng rng(params.seed * 961748941 + 37);
+    for (int t = 0; t < n; ++t) {
+        mem.write32(kPx + 4ull * t, static_cast<std::uint32_t>(
+            rng.nextBounded(kCoordMax)));
+        mem.write32(kPy + 4ull * t, static_cast<std::uint32_t>(
+            rng.nextBounded(kCoordMax)));
+        mem.write32(kPz + 4ull * t, static_cast<std::uint32_t>(
+            rng.nextBounded(kCoordMax)));
+    }
+    for (int j = 0; j < kPoints; ++j) {
+        mem.write32(kDx + 4ull * j, static_cast<std::uint32_t>(
+            rng.nextBounded(kCoordMax)));
+        mem.write32(kDy + 4ull * j, static_cast<std::uint32_t>(
+            rng.nextBounded(kCoordMax)));
+        mem.write32(kDz + 4ull * j, static_cast<std::uint32_t>(
+            rng.nextBounded(kCoordMax)));
+    }
+
+    outputs.push_back({kHist, 16ull * n});
+
+    KernelInfo kernel;
+    kernel.name = "tpacf";
+    kernel.program = buildProgram();
+    kernel.gridDim = grid;
+    kernel.blockDim = block_dim;
+    kernel.regsPerThread = 16;
+    kernel.smemPerBlock = 0;
+    return kernel;
+}
+
+} // namespace cawa

@@ -1,0 +1,38 @@
+#include "workloads/workload.hh"
+
+#include "common/sim_assert.hh"
+#include "sim/functional.hh"
+
+namespace cawa
+{
+
+KernelInfo
+Workload::build(MemoryImage &mem, const WorkloadParams &params)
+{
+    params_ = params;
+    outputs_.clear();
+    KernelInfo kernel = doBuild(mem, params, outputs_);
+    sim_assert(kernel.program.validate().empty());
+    sim_assert(!outputs_.empty());
+    built_ = true;
+    return kernel;
+}
+
+bool
+Workload::verify(const MemoryImage &sim_mem) const
+{
+    sim_assert(built_);
+    MemoryImage ref;
+    std::vector<MemRange> ranges;
+    const KernelInfo kernel = doBuild(ref, params_, ranges);
+    runFunctional(kernel, ref);
+    for (const MemRange &range : ranges) {
+        for (std::uint64_t b = 0; b < range.bytes; ++b) {
+            if (ref.read8(range.base + b) != sim_mem.read8(range.base + b))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cawa

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Workload framework: each workload builds a kernel (program + launch
+ * geometry) and loads its input data into the global memory image,
+ * deterministically from a seed. Verification re-builds the inputs
+ * into a fresh image, runs the timing-free functional interpreter and
+ * compares the declared output ranges — so the SIMT pipeline is
+ * checked against an architecturally-defined reference.
+ *
+ * The twelve concrete workloads model the behavioural properties the
+ * paper attributes to its Rodinia/Parboil benchmarks (Table 2):
+ * workload imbalance, branch divergence, memory contention, barrier
+ * patterns and kernel size — not the original CUDA source.
+ */
+
+#ifndef CAWA_WORKLOADS_WORKLOAD_HH
+#define CAWA_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+#include "mem/memory_image.hh"
+
+namespace cawa
+{
+
+struct WorkloadParams
+{
+    std::uint64_t seed = 1;
+    /** Problem-size multiplier (1.0 = the default laptop scale). */
+    double scale = 1.0;
+    /** bfs only: balanced input (uniform degree), Fig 2(b). */
+    bool bfsBalanced = false;
+};
+
+/** A byte range of the global image containing kernel output. */
+struct MemRange
+{
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Table 2 category: true = Sens, false = Non-sens. */
+    virtual bool sensitive() const = 0;
+
+    /** Table 2 "Data Set" column (at scale 1.0). */
+    virtual std::string dataSet() const = 0;
+
+    /**
+     * Build the kernel and write its inputs into @p mem. Remembers
+     * the parameters and output ranges for later verify().
+     */
+    KernelInfo build(MemoryImage &mem, const WorkloadParams &params);
+
+    /**
+     * Check @p sim_mem (the image after a simulated run) against the
+     * functional reference. Requires a prior build().
+     */
+    bool verify(const MemoryImage &sim_mem) const;
+
+    const std::vector<MemRange> &outputs() const { return outputs_; }
+
+  protected:
+    /**
+     * Workload-specific construction. Must be deterministic in
+     * (params) and must not depend on @p mem's prior content.
+     */
+    virtual KernelInfo doBuild(MemoryImage &mem,
+                               const WorkloadParams &params,
+                               std::vector<MemRange> &outputs) const = 0;
+
+  private:
+    WorkloadParams params_;
+    std::vector<MemRange> outputs_;
+    bool built_ = false;
+};
+
+} // namespace cawa
+
+#endif // CAWA_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Assembler tests: round-trip against the ProgramBuilder, every
+ * operand form, error reporting, and functional equivalence of an
+ * assembled kernel with its builder-constructed twin.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/program_builder.hh"
+#include "sim/functional.hh"
+
+namespace cawa
+{
+namespace
+{
+
+TEST(Assembler, EmptyAndCommentsOnlyFails)
+{
+    // A program must end in exit; an empty listing is invalid.
+    const auto r = assemble("; nothing here\n\n# nor here\n");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Assembler, MinimalProgram)
+{
+    const auto r = assemble("exit\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program.size(), 1u);
+    EXPECT_EQ(r.program.at(0).op, Opcode::Exit);
+}
+
+TEST(Assembler, AluForms)
+{
+    const auto r = assemble(R"(
+        mov r1, 5
+        mov r2, r1
+        add r3, r1, r2
+        add r3, r3, -7
+        mul r4, r3, r1
+        mul r4, r4, 0x10
+        mad r5, r1, r2, r3
+        sub r6, r5, r4
+        min r7, r5, r6
+        max r7, r7, r1
+        and r8, r7, r1
+        or  r8, r8, r2
+        xor r8, r8, r3
+        shl r9, r8, 3
+        shr r9, r9, 1
+        sfu r10, r9
+        exit
+    )");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program.at(0).op, Opcode::MovImm);
+    EXPECT_EQ(r.program.at(1).op, Opcode::Mov);
+    EXPECT_EQ(r.program.at(2).op, Opcode::Add);
+    EXPECT_EQ(r.program.at(3).op, Opcode::AddImm);
+    EXPECT_EQ(r.program.at(3).imm, -7);
+    EXPECT_EQ(r.program.at(5).op, Opcode::MulImm);
+    EXPECT_EQ(r.program.at(5).imm, 16);
+    EXPECT_EQ(r.program.at(6).op, Opcode::Mad);
+    EXPECT_EQ(r.program.at(13).op, Opcode::ShlImm);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    const auto r = assemble(R"(
+        s2r r1, %gtid
+        shl r2, r1, 2
+        ld.global r3, [r2 + 0x1000]
+        ld.global r4, [r2]
+        ld.shared r5, [r2 - 4]
+        st.shared [r2], r5
+        st.global [r2 + 0x2000], r3
+        exit
+    )");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program.at(2).op, Opcode::LdGlobal);
+    EXPECT_EQ(r.program.at(2).imm, 0x1000);
+    EXPECT_EQ(r.program.at(3).imm, 0);
+    EXPECT_EQ(r.program.at(4).imm, -4);
+    EXPECT_EQ(r.program.at(5).op, Opcode::StShared);
+    EXPECT_EQ(r.program.at(6).op, Opcode::StGlobal);
+    EXPECT_EQ(r.program.at(6).src1, 3);
+}
+
+TEST(Assembler, BranchesAndPredicates)
+{
+    const auto r = assemble(R"(
+    top:
+        setp.lt p0, r1, r2
+        @p0 bra body, join
+        @!p1 bra top, join
+        bra join
+    body:
+        nop
+    join:
+        exit
+    )");
+    ASSERT_TRUE(r.ok()) << r.error;
+    const Instruction &b0 = r.program.at(1);
+    EXPECT_TRUE(b0.predUsed);
+    EXPECT_FALSE(b0.predNegate);
+    EXPECT_EQ(b0.target, 4u);   // body
+    EXPECT_EQ(b0.reconv, 5u);   // join
+    const Instruction &b1 = r.program.at(2);
+    EXPECT_TRUE(b1.predNegate);
+    EXPECT_EQ(b1.psrc, 1);
+    EXPECT_EQ(b1.target, 0u);   // top (backward)
+    const Instruction &b2 = r.program.at(3);
+    EXPECT_FALSE(b2.predUsed);
+}
+
+TEST(Assembler, SpecialRegisters)
+{
+    const auto r = assemble(R"(
+        s2r r1, %tid
+        s2r r2, %ctaid
+        s2r r3, %ntid
+        s2r r4, %nctaid
+        s2r r5, %lane
+        s2r r6, %warpid
+        s2r r7, %gtid
+        exit
+    )");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(static_cast<SpecialReg>(r.program.at(0).imm),
+              SpecialReg::TidX);
+    EXPECT_EQ(static_cast<SpecialReg>(r.program.at(6).imm),
+              SpecialReg::GlobalTid);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    {
+        const auto r = assemble("mov r1, 5\nfrobnicate r1\nexit\n");
+        ASSERT_FALSE(r.ok());
+        EXPECT_NE(r.error.find("line 2"), std::string::npos);
+        EXPECT_NE(r.error.find("frobnicate"), std::string::npos);
+    }
+    {
+        const auto r = assemble("add r1, r2\nexit\n");
+        ASSERT_FALSE(r.ok());
+        EXPECT_NE(r.error.find("line 1"), std::string::npos);
+    }
+    {
+        const auto r = assemble("bra nowhere\nexit\n");
+        ASSERT_FALSE(r.ok());
+        EXPECT_NE(r.error.find("nowhere"), std::string::npos);
+    }
+    {
+        const auto r = assemble("s2r r1, %bogus\nexit\n");
+        ASSERT_FALSE(r.ok());
+        EXPECT_NE(r.error.find("%bogus"), std::string::npos);
+    }
+    {
+        const auto r = assemble("mov r99, 1\nexit\n");
+        ASSERT_FALSE(r.ok());
+    }
+    {
+        const auto r = assemble("a: nop\na: exit\n");
+        ASSERT_FALSE(r.ok());
+        EXPECT_NE(r.error.find("duplicate"), std::string::npos);
+    }
+    {
+        // Only bra may be predicated.
+        const auto r = assemble("@p0 add r1, r1, r2\nexit\n");
+        ASSERT_FALSE(r.ok());
+    }
+}
+
+TEST(Assembler, EquivalentToBuilderProgram)
+{
+    // The same data-dependent loop, written both ways, must produce
+    // identical functional results.
+    const auto assembled = assemble(R"(
+        s2r r1, %gtid
+        mov r5, 7
+        and r2, r1, r5
+        mov r3, 0
+    loop:
+        setp.le p0, r2, 0
+        @p0 bra done, done
+        add r3, r3, r2
+        add r2, r2, -1
+        bra loop
+    done:
+        shl r4, r1, 2
+        st.global [r4 + 0x2000], r3
+        exit
+    )");
+    ASSERT_TRUE(assembled.ok()) << assembled.error;
+
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.movImm(5, 7);
+    b.and_(2, 1, 5);
+    b.movImm(3, 0);
+    b.label("loop");
+    b.setpImm(0, CmpOp::Le, 2, 0);
+    b.braIf("done", 0, "done");
+    b.add(3, 3, 2);
+    b.addImm(2, 2, -1);
+    b.bra("loop");
+    b.label("done");
+    b.shlImm(4, 1, 2);
+    b.stGlobal(4, 3, 0x2000);
+    b.exit();
+
+    KernelInfo ka;
+    ka.program = assembled.program;
+    ka.gridDim = 2;
+    ka.blockDim = 64;
+    KernelInfo kb = ka;
+    kb.program = b.build();
+
+    MemoryImage ma;
+    MemoryImage mb;
+    runFunctional(ka, ma);
+    runFunctional(kb, mb);
+    for (int t = 0; t < 128; ++t)
+        ASSERT_EQ(ma.read32(0x2000 + 4ull * t),
+                  mb.read32(0x2000 + 4ull * t));
+}
+
+TEST(Assembler, SetpVariants)
+{
+    const auto r = assemble(R"(
+        setp.eq p0, r1, r2
+        setp.ne p1, r1, 42
+        setp.ge p2, r1, r2
+        exit
+    )");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program.at(0).op, Opcode::Setp);
+    EXPECT_EQ(r.program.at(0).cmp, CmpOp::Eq);
+    EXPECT_EQ(r.program.at(1).op, Opcode::SetpImm);
+    EXPECT_EQ(r.program.at(1).imm, 42);
+    EXPECT_EQ(r.program.at(2).cmp, CmpOp::Ge);
+}
+
+} // namespace
+} // namespace cawa

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * CACP unit tests: CCBP/SHiP table transitions, partition-respecting
+ * victim selection, and the Algorithm 4 training rules (critical hit
+ * increments, misprediction rollback on eviction, zero-reuse SHiP
+ * decrement).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cacp_policy.hh"
+
+namespace cawa
+{
+namespace
+{
+
+CacpConfig
+smallConfig()
+{
+    CacpConfig cfg;
+    cfg.criticalWays = 2;
+    cfg.tableEntries = 256;
+    cfg.ccbpThreshold = 2;
+    cfg.ccbpInitial = 1;
+    cfg.regionShift = 7;
+    return cfg;
+}
+
+AccessInfo
+mkAccess(Addr addr, bool critical, std::uint32_t pc = 0)
+{
+    AccessInfo info;
+    info.addr = addr;
+    info.pc = pc;
+    info.criticalWarp = critical;
+    return info;
+}
+
+int
+fill(TagArray &t, CacpPolicy &p, const AccessInfo &info)
+{
+    const auto set = t.setIndex(info.addr);
+    const int way = p.selectVictim(t, set, info);
+    auto &line = t.line(set, way);
+    if (line.valid)
+        p.onEvict(t, set, way);
+    line.valid = true;
+    line.tag = t.tagOf(info.addr);
+    line.reuseCount = 0;
+    p.onFill(t, set, way, info);
+    return way;
+}
+
+TEST(CcbpTable, SaturatingCounters)
+{
+    CcbpTable t(256, 2, 1);
+    const CacheSignature sig = 42;
+    EXPECT_EQ(t.counter(sig), 1);
+    EXPECT_FALSE(t.predictCritical(sig));
+    t.increment(sig);
+    EXPECT_TRUE(t.predictCritical(sig));
+    t.increment(sig);
+    t.increment(sig);
+    t.increment(sig);
+    EXPECT_EQ(t.counter(sig), 3); // saturates at 3
+    for (int i = 0; i < 6; ++i)
+        t.decrement(sig);
+    EXPECT_EQ(t.counter(sig), 0); // saturates at 0
+    EXPECT_FALSE(t.predictCritical(sig));
+}
+
+TEST(CcbpTable, SignatureMasking)
+{
+    CcbpTable t(256, 2, 1);
+    t.increment(7);
+    // Signature 7+256 aliases to the same entry.
+    EXPECT_EQ(t.counter(static_cast<CacheSignature>(7 + 256)),
+              t.counter(7));
+}
+
+TEST(ShipTable, InsertionRrpvFollowsPrediction)
+{
+    ShipTable t(256);
+    const CacheSignature sig = 9;
+    EXPECT_EQ(t.insertionRrpv(sig), 2);
+    t.decrement(sig);
+    EXPECT_EQ(t.insertionRrpv(sig), 3);
+    t.increment(sig);
+    EXPECT_EQ(t.insertionRrpv(sig), 2);
+}
+
+TEST(CacpPolicy, UntrainedLinesGoToNonCriticalPartition)
+{
+    TagArray tags(1, 4, 128);
+    CacpPolicy p(smallConfig()); // ways 0-1 critical, 2-3 non-crit
+    const int way = fill(tags, p, mkAccess(0, false));
+    EXPECT_GE(way, 2);
+    EXPECT_FALSE(tags.line(0, way).inCriticalPartition);
+}
+
+TEST(CacpPolicy, TrainedSignaturesGoToCriticalPartition)
+{
+    TagArray tags(1, 4, 128);
+    CacpPolicy p(smallConfig());
+    const AccessInfo acc = mkAccess(0, true);
+    // Train: fill, then hit by a critical warp (CCBP 1 -> 2).
+    const int way = fill(tags, p, acc);
+    tags.line(0, way).reuseCount = 1;
+    p.onHit(tags, 0, way, acc);
+    EXPECT_TRUE(p.ccbp().predictCritical(tags.line(0, way).signature));
+    // Same signature now fills into the critical partition.
+    const int way2 = fill(tags, p, mkAccess(128 * 256, true));
+    // (different address, same low region bits xor pc -> check via
+    // partition flag rather than signature equality)
+    if (p.ccbp().predictCritical(tags.line(0, way2).signature))
+        EXPECT_LT(way2, 2);
+}
+
+TEST(CacpPolicy, CriticalHitSetsFlagsAndTrainsBoth)
+{
+    TagArray tags(1, 4, 128);
+    CacpPolicy p(smallConfig());
+    const AccessInfo acc = mkAccess(0, true);
+    const int way = fill(tags, p, acc);
+    auto &line = tags.line(0, way);
+    const auto ccbp_before = p.ccbp().counter(line.signature);
+    const auto ship_before = p.ship().counter(line.signature);
+    line.reuseCount = 1;
+    p.onHit(tags, 0, way, acc);
+    EXPECT_TRUE(line.cReuse);
+    EXPECT_FALSE(line.ncReuse);
+    EXPECT_EQ(line.rrpv, 0);
+    EXPECT_EQ(p.ccbp().counter(line.signature), ccbp_before + 1);
+    EXPECT_EQ(p.ship().counter(line.signature), ship_before + 1);
+}
+
+TEST(CacpPolicy, NonCriticalHitTrainsShipOnly)
+{
+    TagArray tags(1, 4, 128);
+    CacpPolicy p(smallConfig());
+    const int way = fill(tags, p, mkAccess(0, false));
+    auto &line = tags.line(0, way);
+    const auto ccbp_before = p.ccbp().counter(line.signature);
+    line.reuseCount = 1;
+    p.onHit(tags, 0, way, mkAccess(0, false));
+    EXPECT_FALSE(line.cReuse);
+    EXPECT_TRUE(line.ncReuse);
+    EXPECT_EQ(p.ccbp().counter(line.signature), ccbp_before);
+}
+
+TEST(CacpPolicy, MispredictionRollbackOnEviction)
+{
+    // A line that lived in the critical partition but was only
+    // reused by non-critical warps decrements CCBP (Algorithm 4's
+    // EVICTLINE first case).
+    TagArray tags(1, 4, 128);
+    CacpPolicy p(smallConfig());
+    const int way = fill(tags, p, mkAccess(0, false));
+    auto &line = tags.line(0, way);
+    line.inCriticalPartition = true; // place it in the critical part
+    p.ccbp().counter(line.signature);
+    const auto sig = line.signature;
+    // Bump the counter so the decrement is observable.
+    CacpPolicy &ref = p;
+    (void)ref;
+    line.reuseCount = 1;
+    p.onHit(tags, 0, way, mkAccess(0, false)); // nc reuse
+    const auto before = p.ccbp().counter(sig);
+    p.onEvict(tags, 0, way);
+    EXPECT_EQ(p.ccbp().counter(sig), before - 1);
+}
+
+TEST(CacpPolicy, ZeroReuseEvictionDecrementsShip)
+{
+    TagArray tags(1, 4, 128);
+    CacpPolicy p(smallConfig());
+    const int way = fill(tags, p, mkAccess(0, false));
+    const auto sig = tags.line(0, way).signature;
+    const auto before = p.ship().counter(sig);
+    p.onEvict(tags, 0, way); // no reuse at all
+    EXPECT_EQ(p.ship().counter(sig), before - 1);
+}
+
+TEST(CacpPolicy, CriticalReuseEvictionDoesNotRollBack)
+{
+    TagArray tags(1, 4, 128);
+    CacpPolicy p(smallConfig());
+    const AccessInfo acc = mkAccess(0, true);
+    const int way = fill(tags, p, acc);
+    auto &line = tags.line(0, way);
+    line.reuseCount = 1;
+    p.onHit(tags, 0, way, acc);
+    const auto ccbp = p.ccbp().counter(line.signature);
+    const auto ship = p.ship().counter(line.signature);
+    p.onEvict(tags, 0, way);
+    EXPECT_EQ(p.ccbp().counter(line.signature), ccbp);
+    EXPECT_EQ(p.ship().counter(line.signature), ship);
+}
+
+TEST(CacpPolicy, DegeneratePartitionsFallBackToWholeSet)
+{
+    TagArray tags(1, 4, 128);
+    CacpConfig cfg = smallConfig();
+    cfg.criticalWays = 0;
+    CacpPolicy p(cfg);
+    // All fills must still find victims across the whole set.
+    for (int i = 0; i < 8; ++i)
+        fill(tags, p, mkAccess(128ull * 256 * i, false));
+    EXPECT_EQ(tags.validCount(0), 4);
+
+    TagArray tags2(1, 4, 128);
+    cfg.criticalWays = 4;
+    CacpPolicy p2(cfg);
+    for (int i = 0; i < 8; ++i)
+        fill(tags2, p2, mkAccess(128ull * 256 * i, false));
+    EXPECT_EQ(tags2.validCount(0), 4);
+}
+
+TEST(CacpPolicy, PartitionOccupancyInvariant)
+{
+    // Property: lines whose partition flag says critical always sit
+    // in ways [0, criticalWays).
+    TagArray tags(4, 8, 128);
+    CacpConfig cfg = smallConfig();
+    cfg.criticalWays = 3;
+    CacpPolicy p(cfg);
+    // Train some signatures critical by hitting with critical warps.
+    for (int i = 0; i < 200; ++i) {
+        const Addr addr = 128ull * (i * 13 % 512);
+        const bool critical = i % 3 == 0;
+        const auto set = tags.setIndex(addr);
+        const int hit_way = tags.probe(addr);
+        if (hit_way >= 0) {
+            tags.line(set, hit_way).reuseCount++;
+            p.onHit(tags, set, hit_way, mkAccess(addr, critical));
+        } else {
+            fill(tags, p, mkAccess(addr, critical));
+        }
+    }
+    for (std::uint32_t set = 0; set < 4; ++set) {
+        for (int way = 0; way < 8; ++way) {
+            const auto &line = tags.line(set, way);
+            if (line.valid && line.inCriticalPartition)
+                EXPECT_LT(way, cfg.criticalWays);
+        }
+    }
+}
+
+} // namespace
+} // namespace cawa

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the common utilities: deterministic RNG and the
+ * table printer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+
+namespace cawa
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(11);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.nextBounded(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(13);
+    bool lo = false;
+    bool hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        lo = lo || v == -3;
+        hi = hi || v == 3;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ParetoBounded)
+{
+    Rng rng(19);
+    std::uint64_t max_seen = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.nextPareto(1.2, 40);
+        ASSERT_GE(v, 1u);
+        ASSERT_LE(v, 40u);
+        max_seen = std::max(max_seen, v);
+    }
+    // A heavy tail should actually reach large values.
+    EXPECT_GE(max_seen, 30u);
+}
+
+TEST(Rng, ParetoIsSkewedLow)
+{
+    Rng rng(23);
+    int small = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        if (rng.nextPareto(1.5, 40) <= 4)
+            small++;
+    EXPECT_GT(small, n / 2);
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(std::uint64_t{42});
+    t.row().cell("b").cell(3.14159, 2);
+    std::ostringstream oss;
+    t.print(oss, "demo");
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t({"a", "b"});
+    t.row().cell(1).cell(2);
+    t.row().cell(3).cell(4);
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n3,4\n");
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+} // namespace
+} // namespace cawa

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * CPL unit tests: branch-delta inference (Algorithm 2), stall
+ * accounting at issue (Algorithm 3), Eq. (1) composition, frozen
+ * finished warps, block-scoped critical classification and the
+ * priority quantization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cawa/criticality.hh"
+
+namespace cawa
+{
+namespace
+{
+
+TEST(BranchDelta, ForwardIfElse)
+{
+    // bra at 4 -> target 10, reconv 12: fall path 5..9 (5 instrs),
+    // taken path 10..11 (2 instrs).
+    EXPECT_EQ(CriticalityPredictor::branchDelta(4, 10, 12, true, false),
+              2);
+    EXPECT_EQ(CriticalityPredictor::branchDelta(4, 10, 12, false, false),
+              5);
+    // Divergence pays for both sides (the Fig 6 m+n case).
+    EXPECT_EQ(CriticalityPredictor::branchDelta(4, 10, 12, true, true),
+              7);
+}
+
+TEST(BranchDelta, BranchToReconvergence)
+{
+    // if-without-else: taken path is empty.
+    EXPECT_EQ(CriticalityPredictor::branchDelta(4, 12, 12, true, false),
+              0);
+    EXPECT_EQ(CriticalityPredictor::branchDelta(4, 12, 12, false, false),
+              7);
+}
+
+TEST(BranchDelta, BackwardLoopEdge)
+{
+    // bra at 9 -> target 3: body length 7.
+    EXPECT_EQ(CriticalityPredictor::branchDelta(9, 3, 10, true, false),
+              7);
+    EXPECT_EQ(CriticalityPredictor::branchDelta(9, 3, 10, false, false),
+              0);
+    EXPECT_EQ(CriticalityPredictor::branchDelta(9, 3, 10, true, true),
+              7);
+}
+
+TEST(Cpl, StallAccruesAtIssue)
+{
+    CriticalityPredictor cpl(4, 0.25);
+    cpl.reset(0, 100, 1);
+    cpl.onIssue(0, 101);  // gap 0
+    EXPECT_EQ(cpl.stallCycles(0), 0u);
+    cpl.onIssue(0, 102);  // back-to-back
+    EXPECT_EQ(cpl.stallCycles(0), 0u);
+    cpl.onIssue(0, 150);  // 47 idle cycles between issues
+    EXPECT_EQ(cpl.stallCycles(0), 47u);
+}
+
+TEST(Cpl, CommitBalancesBranchDelta)
+{
+    CriticalityPredictor cpl(4, 0.25);
+    cpl.reset(0, 0, 1);
+    cpl.onBranch(0, 4, 10, 12, true, true); // +7
+    EXPECT_EQ(cpl.instDisparity(0), 7);
+    for (int i = 0; i < 7; ++i)
+        cpl.onIssue(0, 10 + i);
+    EXPECT_EQ(cpl.instDisparity(0), 0);
+}
+
+TEST(Cpl, CriticalityCombinesTermsPerEq1)
+{
+    CriticalityPredictor cpl(4, 0.25);
+    cpl.reset(0, 0, 1);
+    cpl.onIssue(0, 50);                      // stall 49
+    cpl.onBranch(0, 4, 10, 12, true, true);  // +7 pending
+    // criticality = nInst * CPI + nStall; both terms positive.
+    const auto full = cpl.criticality(0);
+    EXPECT_GT(full, 49);
+
+    cpl.setUseInstTerm(false);
+    EXPECT_EQ(cpl.criticality(0), 49);
+    cpl.setUseInstTerm(true);
+    cpl.setUseStallTerm(false);
+    EXPECT_EQ(cpl.criticality(0), full - 49);
+}
+
+TEST(Cpl, BarrierReleaseIsNotStall)
+{
+    CriticalityPredictor cpl(4, 0.25);
+    cpl.reset(0, 0, 1);
+    cpl.onIssue(0, 1);
+    cpl.releaseBarrier(0, 500);
+    cpl.onIssue(0, 501);
+    EXPECT_EQ(cpl.stallCycles(0), 0u);
+}
+
+TEST(Cpl, FinishedWarpFreezes)
+{
+    CriticalityPredictor cpl(4, 0.25);
+    cpl.reset(0, 0, 1);
+    cpl.onIssue(0, 100);
+    const auto frozen = cpl.criticality(0);
+    cpl.deactivate(0);
+    EXPECT_EQ(cpl.criticality(0), frozen);
+    // Finished warps are never classified critical for the cache.
+    EXPECT_FALSE(cpl.isCriticalWarp(0));
+}
+
+TEST(Cpl, IsCriticalRanksWithinBlock)
+{
+    CriticalityPredictor cpl(8, 0.25);
+    // Block 1 on slots 0-3, block 2 on slots 4-7.
+    for (int s = 0; s < 4; ++s)
+        cpl.reset(s, 0, 1);
+    for (int s = 4; s < 8; ++s)
+        cpl.reset(s, 0, 2);
+    // Slot 2 stalls massively: top of block 1.
+    cpl.onIssue(2, 1000);
+    cpl.onIssue(0, 10);
+    cpl.onIssue(1, 20);
+    cpl.onIssue(3, 30);
+    EXPECT_TRUE(cpl.isCriticalWarp(2));
+    EXPECT_FALSE(cpl.isCriticalWarp(0));
+    // Block 2 is independent: its top warp is critical even though
+    // its counter is smaller than block 1's top.
+    cpl.onIssue(5, 200);
+    EXPECT_TRUE(cpl.isCriticalWarp(5));
+}
+
+TEST(Cpl, CriticalFractionWidensSelection)
+{
+    CriticalityPredictor strict(8, 0.125);
+    CriticalityPredictor loose(8, 0.5);
+    for (int s = 0; s < 8; ++s) {
+        strict.reset(s, 0, 1);
+        loose.reset(s, 0, 1);
+        strict.onIssue(s, 10 * (s + 1));
+        loose.onIssue(s, 10 * (s + 1));
+    }
+    int strict_n = 0;
+    int loose_n = 0;
+    for (int s = 0; s < 8; ++s) {
+        strict_n += strict.isCriticalWarp(s);
+        loose_n += loose.isCriticalWarp(s);
+    }
+    EXPECT_LT(strict_n, loose_n);
+    EXPECT_GE(strict_n, 1);
+}
+
+TEST(Cpl, PriorityQuantization)
+{
+    // priority() converts the cycle-valued counter to instruction
+    // units (divide by CPI) and truncates to 2^shift buckets, so
+    // small progress differences compare equal and fall back to the
+    // age tie-break.
+    CriticalityPredictor cpl(4, 0.25);
+    cpl.setQuantShift(4);
+    cpl.reset(0, 0, 1);
+    cpl.reset(1, 0, 1);
+    cpl.onIssue(0, 100);   // stall 99
+    cpl.onIssue(1, 900);   // stall 899
+    EXPECT_EQ(cpl.priority(0), cpl.priority(1));
+    EXPECT_NE(cpl.criticality(0), cpl.criticality(1));
+    cpl.onIssue(1, 5000);  // far behind now
+    EXPECT_GT(cpl.priority(1), cpl.priority(0));
+}
+
+TEST(Cpl, ResetClearsState)
+{
+    CriticalityPredictor cpl(4, 0.25);
+    cpl.reset(0, 0, 1);
+    cpl.onIssue(0, 500);
+    cpl.onBranch(0, 4, 10, 12, true, true);
+    cpl.reset(0, 1000, 2);
+    EXPECT_EQ(cpl.criticality(0), 0);
+    EXPECT_EQ(cpl.stallCycles(0), 0u);
+    EXPECT_EQ(cpl.instDisparity(0), 0);
+}
+
+TEST(Cpl, CriticalityNeverNegativeFromStallsAlone)
+{
+    CriticalityPredictor cpl(2, 0.5);
+    cpl.setUseInstTerm(false);
+    cpl.reset(0, 0, 1);
+    for (Cycle t = 1; t < 100; t += 7)
+        cpl.onIssue(0, t);
+    EXPECT_GE(cpl.criticality(0), 0);
+}
+
+} // namespace
+} // namespace cawa

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Dynamic CACP partition tuning tests (the UCP-style extension):
+ * epoch-driven adaptation toward the denser partition, bounds
+ * clamping, and end-to-end behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cacp_policy.hh"
+#include "sim/gpu.hh"
+#include "workloads/registry.hh"
+
+namespace cawa
+{
+namespace
+{
+
+CacpConfig
+dynConfig()
+{
+    CacpConfig cfg;
+    cfg.criticalWays = 8;
+    cfg.dynamicPartition = true;
+    cfg.adaptEpochFills = 8;
+    cfg.minWays = 2;
+    cfg.regionShift = 7;
+    return cfg;
+}
+
+AccessInfo
+mkAccess(Addr addr, bool critical)
+{
+    AccessInfo info;
+    info.addr = addr;
+    info.criticalWarp = critical;
+    return info;
+}
+
+void
+fill(TagArray &t, CacpPolicy &p, Addr addr)
+{
+    const auto info = mkAccess(addr, false);
+    const auto set = t.setIndex(addr);
+    const int way = p.selectVictim(t, set, info);
+    auto &line = t.line(set, way);
+    if (line.valid)
+        p.onEvict(t, set, way);
+    line.valid = true;
+    line.tag = t.tagOf(addr);
+    p.onFill(t, set, way, info);
+}
+
+TEST(DynamicPartition, StartsAtConfiguredSize)
+{
+    CacpPolicy p(dynConfig());
+    EXPECT_EQ(p.criticalWays(), 8);
+}
+
+TEST(DynamicPartition, GrowsTowardCriticalOnCriticalHits)
+{
+    TagArray tags(1, 16, 128);
+    CacpPolicy p(dynConfig());
+    // Hits land exclusively in critical ways (< 8).
+    fill(tags, p, 0); // way 8+ (untrained -> non-critical part), but
+                      // hits are attributed by way index; hit way 0:
+    tags.line(0, 0).valid = true;
+    tags.line(0, 0).tag = tags.tagOf(0x10000);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+        for (int i = 0; i < 4; ++i)
+            p.onHit(tags, 0, 0, mkAccess(0x10000, true));
+        // Trigger an epoch boundary via fills.
+        for (int i = 0; i < 8; ++i)
+            fill(tags, p, 128ull * 256 * (epoch * 8 + i + 1));
+    }
+    EXPECT_GT(p.criticalWays(), 8);
+}
+
+TEST(DynamicPartition, ShrinksTowardNonCriticalOnNonCriticalHits)
+{
+    TagArray tags(1, 16, 128);
+    CacpPolicy p(dynConfig());
+    tags.line(0, 15).valid = true;
+    tags.line(0, 15).tag = tags.tagOf(0x20000);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+        for (int i = 0; i < 4; ++i)
+            p.onHit(tags, 0, 15, mkAccess(0x20000, false));
+        for (int i = 0; i < 8; ++i)
+            fill(tags, p, 128ull * 256 * (epoch * 8 + i + 1));
+    }
+    EXPECT_LT(p.criticalWays(), 8);
+}
+
+TEST(DynamicPartition, ClampsAtMinWays)
+{
+    TagArray tags(1, 16, 128);
+    CacpConfig cfg = dynConfig();
+    cfg.minWays = 3;
+    CacpPolicy p(cfg);
+    tags.line(0, 15).valid = true;
+    tags.line(0, 15).tag = tags.tagOf(0x20000);
+    for (int epoch = 0; epoch < 30; ++epoch) {
+        for (int i = 0; i < 4; ++i)
+            p.onHit(tags, 0, 15, mkAccess(0x20000, false));
+        for (int i = 0; i < 8; ++i)
+            fill(tags, p, 128ull * 256 * (epoch * 8 + i + 1));
+    }
+    EXPECT_GE(p.criticalWays(), 3);
+
+    // And in the other direction.
+    CacpPolicy q(cfg);
+    tags.line(0, 0).valid = true;
+    tags.line(0, 0).tag = tags.tagOf(0x30000);
+    for (int epoch = 0; epoch < 30; ++epoch) {
+        for (int i = 0; i < 4; ++i)
+            q.onHit(tags, 0, 0, mkAccess(0x30000, true));
+        for (int i = 0; i < 8; ++i)
+            fill(tags, q, 128ull * 256 * (epoch * 8 + i + 1));
+    }
+    EXPECT_LE(q.criticalWays(), 13);
+}
+
+TEST(DynamicPartition, StaticConfigNeverMoves)
+{
+    TagArray tags(1, 16, 128);
+    CacpConfig cfg = dynConfig();
+    cfg.dynamicPartition = false;
+    CacpPolicy p(cfg);
+    for (int i = 0; i < 100; ++i)
+        fill(tags, p, 128ull * 256 * i);
+    EXPECT_EQ(p.criticalWays(), 8);
+}
+
+TEST(DynamicPartition, EndToEndRunsAndVerifies)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.numSms = 4;
+    cfg.scheduler = SchedulerKind::Gcaws;
+    cfg.l1Policy = CachePolicyKind::Cacp;
+    cfg.cacp.dynamicPartition = true;
+    auto wl = makeWorkload("kmeans");
+    MemoryImage mem;
+    WorkloadParams params;
+    params.scale = 0.2;
+    const KernelInfo kernel = wl->build(mem, params);
+    const SimReport report = runKernel(cfg, mem, kernel);
+    EXPECT_FALSE(report.timedOut);
+    EXPECT_TRUE(wl->verify(mem));
+}
+
+} // namespace
+} // namespace cawa

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * End-to-end integration: every workload runs to completion on the
+ * timing simulator under every scheduler and cache policy of
+ * interest, and the resulting memory image matches the functional
+ * reference. Also checks simulator-level invariants (block count,
+ * determinism) and the paper's headline behavioural regressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu.hh"
+#include "sim/oracle.hh"
+#include "workloads/registry.hh"
+
+namespace cawa
+{
+namespace
+{
+
+GpuConfig
+testConfig()
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.numSms = 4;        // keep test runtime small
+    cfg.maxCycles = 20'000'000;
+    return cfg;
+}
+
+WorkloadParams
+testParams()
+{
+    WorkloadParams params;
+    params.scale = 0.2;
+    return params;
+}
+
+struct RunCase
+{
+    std::string workload;
+    SchedulerKind sched;
+    CachePolicyKind cache;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<RunCase> &info)
+{
+    std::string s = info.param.workload + "_" +
+                    schedulerKindName(info.param.sched) + "_" +
+                    cachePolicyKindName(info.param.cache);
+    for (char &c : s)
+        if (c == '+' || c == '-')
+            c = 'p';
+    return s;
+}
+
+class RunMatrixTest : public ::testing::TestWithParam<RunCase>
+{
+};
+
+TEST_P(RunMatrixTest, RunsAndVerifies)
+{
+    const RunCase &rc = GetParam();
+    GpuConfig cfg = testConfig();
+    cfg.scheduler = rc.sched;
+    cfg.l1Policy = rc.cache;
+
+    auto wl = makeWorkload(rc.workload);
+    MemoryImage mem;
+    const KernelInfo kernel = wl->build(mem, testParams());
+    const SimReport report = runKernel(cfg, mem, kernel);
+
+    EXPECT_FALSE(report.timedOut);
+    EXPECT_EQ(report.blocks.size(),
+              static_cast<std::size_t>(kernel.gridDim));
+    EXPECT_GT(report.instructions, 0u);
+    EXPECT_GT(report.cycles, 0u);
+    EXPECT_TRUE(wl->verify(mem))
+        << rc.workload << " produced wrong results under "
+        << schedulerKindName(rc.sched);
+
+    // Every block's warps all finished inside the block's lifetime.
+    for (const auto &b : report.blocks) {
+        for (const auto &w : b.warps) {
+            EXPECT_GE(w.endCycle, w.startCycle);
+            EXPECT_LE(w.endCycle, b.endCycle);
+            EXPECT_GT(w.instructions, 0u);
+        }
+    }
+}
+
+std::vector<RunCase>
+makeMatrix()
+{
+    std::vector<RunCase> cases;
+    // All workloads under the baseline and under full CAWA.
+    for (const auto &name : allWorkloadNames()) {
+        cases.push_back({name, SchedulerKind::Lrr,
+                         CachePolicyKind::Lru});
+        cases.push_back({name, SchedulerKind::Gcaws,
+                         CachePolicyKind::Cacp});
+    }
+    // Scheduler sweep on a divergent and a memory-bound workload.
+    for (SchedulerKind sched :
+         {SchedulerKind::Gto, SchedulerKind::TwoLevel,
+          SchedulerKind::Gcaws}) {
+        cases.push_back({"bfs", sched, CachePolicyKind::Lru});
+        cases.push_back({"kmeans", sched, CachePolicyKind::Lru});
+    }
+    // Cache-policy sweep under a fixed scheduler.
+    for (CachePolicyKind cache :
+         {CachePolicyKind::Srrip, CachePolicyKind::Ship,
+          CachePolicyKind::Cacp}) {
+        cases.push_back({"kmeans", SchedulerKind::Gto, cache});
+        cases.push_back({"bfs", SchedulerKind::Lrr, cache});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, RunMatrixTest,
+                         ::testing::ValuesIn(makeMatrix()), caseName);
+
+TEST(Integration, DeterministicReplay)
+{
+    for (int rep = 0; rep < 2; ++rep) {
+        static Cycle first_cycles = 0;
+        static std::uint64_t first_instr = 0;
+        GpuConfig cfg = testConfig();
+        cfg.scheduler = SchedulerKind::Gcaws;
+        cfg.l1Policy = CachePolicyKind::Cacp;
+        auto wl = makeWorkload("bfs");
+        MemoryImage mem;
+        const KernelInfo kernel = wl->build(mem, testParams());
+        const SimReport report = runKernel(cfg, mem, kernel);
+        if (rep == 0) {
+            first_cycles = report.cycles;
+            first_instr = report.instructions;
+        } else {
+            EXPECT_EQ(report.cycles, first_cycles);
+            EXPECT_EQ(report.instructions, first_instr);
+        }
+    }
+}
+
+TEST(Integration, CawsOracleTwoPass)
+{
+    GpuConfig cfg = testConfig();
+    auto wl = makeWorkload("bfs");
+    MemoryImage mem;
+    MemoryImage profile_mem;
+    const KernelInfo kernel = wl->build(mem, testParams());
+    auto wl2 = makeWorkload("bfs");
+    wl2->build(profile_mem, testParams());
+
+    const SimReport report =
+        runWithCawsOracle(cfg, mem, profile_mem, kernel);
+    EXPECT_FALSE(report.timedOut);
+    EXPECT_EQ(report.schedulerName, "caws");
+    EXPECT_TRUE(wl->verify(mem));
+}
+
+TEST(Integration, GcawsKeepsDisparityBoundedOnKmeans)
+{
+    // Criticality-aware scheduling must not blow up the execution
+    // time spread the way a purely greedy-oldest policy can: gCAWS's
+    // disparity stays within a modest factor of the fair baseline
+    // while GTO's is unconstrained.
+    GpuConfig base = testConfig();
+    base.scheduler = SchedulerKind::Lrr;
+    GpuConfig cawa = testConfig();
+    cawa.scheduler = SchedulerKind::Gcaws;
+
+    auto wl1 = makeWorkload("kmeans");
+    auto wl2 = makeWorkload("kmeans");
+    MemoryImage m1;
+    MemoryImage m2;
+    WorkloadParams params;
+    params.scale = 0.3;
+    const KernelInfo k1 = wl1->build(m1, params);
+    const KernelInfo k2 = wl2->build(m2, params);
+
+    const SimReport rr = runKernel(base, m1, k1);
+    const SimReport gc = runKernel(cawa, m2, k2);
+    EXPECT_LT(gc.avgDisparity(), 2.0 * rr.avgDisparity() + 0.5);
+}
+
+TEST(Integration, CawaSpeedsUpKmeans)
+{
+    GpuConfig base = testConfig();
+    base.scheduler = SchedulerKind::Lrr;
+    base.l1Policy = CachePolicyKind::Lru;
+    GpuConfig cawa = testConfig();
+    cawa.scheduler = SchedulerKind::Gcaws;
+    cawa.l1Policy = CachePolicyKind::Cacp;
+
+    auto wl1 = makeWorkload("kmeans");
+    auto wl2 = makeWorkload("kmeans");
+    MemoryImage m1;
+    MemoryImage m2;
+    WorkloadParams params;
+    params.scale = 0.3;
+    const KernelInfo k1 = wl1->build(m1, params);
+    const KernelInfo k2 = wl2->build(m2, params);
+
+    const SimReport rr = runKernel(base, m1, k1);
+    const SimReport cw = runKernel(cawa, m2, k2);
+    EXPECT_GT(cw.ipc(), rr.ipc());
+}
+
+} // namespace
+} // namespace cawa

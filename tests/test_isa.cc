@@ -1,0 +1,201 @@
+/**
+ * @file
+ * ISA unit tests: ALU/compare semantics, instruction classification,
+ * the program builder's label patching, and program validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.hh"
+
+namespace cawa
+{
+namespace
+{
+
+TEST(EvalAlu, IntegerOps)
+{
+    EXPECT_EQ(evalAlu(Opcode::Add, 3, 4, 0, 0), 7u);
+    EXPECT_EQ(evalAlu(Opcode::AddImm, 3, 0, 0, 10), 13u);
+    EXPECT_EQ(evalAlu(Opcode::Sub, 3, 4, 0, 0),
+              static_cast<RegValue>(-1));
+    EXPECT_EQ(evalAlu(Opcode::Mul, 3, 4, 0, 0), 12u);
+    EXPECT_EQ(evalAlu(Opcode::MulImm, 3, 0, 0, 5), 15u);
+    EXPECT_EQ(evalAlu(Opcode::Mad, 3, 4, 5, 0), 17u);
+    EXPECT_EQ(evalAlu(Opcode::And, 0b1100, 0b1010, 0, 0), 0b1000u);
+    EXPECT_EQ(evalAlu(Opcode::Or, 0b1100, 0b1010, 0, 0), 0b1110u);
+    EXPECT_EQ(evalAlu(Opcode::Xor, 0b1100, 0b1010, 0, 0), 0b0110u);
+    EXPECT_EQ(evalAlu(Opcode::Shl, 1, 4, 0, 0), 16u);
+    EXPECT_EQ(evalAlu(Opcode::Shr, 16, 2, 0, 0), 4u);
+    EXPECT_EQ(evalAlu(Opcode::ShlImm, 1, 0, 0, 3), 8u);
+    EXPECT_EQ(evalAlu(Opcode::ShrImm, 8, 0, 0, 3), 1u);
+    EXPECT_EQ(evalAlu(Opcode::Mov, 99, 0, 0, 0), 99u);
+    EXPECT_EQ(evalAlu(Opcode::MovImm, 0, 0, 0, -1),
+              ~RegValue{0});
+}
+
+TEST(EvalAlu, MinMaxAreSigned)
+{
+    const RegValue neg1 = static_cast<RegValue>(-1);
+    EXPECT_EQ(evalAlu(Opcode::Min, neg1, 1, 0, 0), neg1);
+    EXPECT_EQ(evalAlu(Opcode::Max, neg1, 1, 0, 0), 1u);
+}
+
+TEST(EvalAlu, SfuIsDeterministicBijectiveMix)
+{
+    const RegValue a = evalAlu(Opcode::Sfu, 42, 0, 0, 0);
+    const RegValue b = evalAlu(Opcode::Sfu, 42, 0, 0, 0);
+    const RegValue c = evalAlu(Opcode::Sfu, 43, 0, 0, 0);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(EvalCmp, SignedSemantics)
+{
+    const RegValue neg = static_cast<RegValue>(-5);
+    EXPECT_TRUE(evalCmp(CmpOp::Lt, neg, 3));
+    EXPECT_FALSE(evalCmp(CmpOp::Gt, neg, 3));
+    EXPECT_TRUE(evalCmp(CmpOp::Le, 3, 3));
+    EXPECT_TRUE(evalCmp(CmpOp::Ge, 3, 3));
+    EXPECT_TRUE(evalCmp(CmpOp::Eq, 7, 7));
+    EXPECT_TRUE(evalCmp(CmpOp::Ne, 7, 8));
+}
+
+TEST(Instruction, Classification)
+{
+    Instruction ld;
+    ld.op = Opcode::LdGlobal;
+    EXPECT_TRUE(ld.isMem());
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_TRUE(ld.isGlobal());
+    EXPECT_TRUE(ld.writesReg());
+    EXPECT_EQ(ld.funcUnit(), FuncUnit::Mem);
+
+    Instruction st;
+    st.op = Opcode::StShared;
+    EXPECT_TRUE(st.isMem());
+    EXPECT_FALSE(st.isLoad());
+    EXPECT_FALSE(st.isGlobal());
+    EXPECT_FALSE(st.writesReg());
+
+    Instruction bra;
+    bra.op = Opcode::Bra;
+    EXPECT_EQ(bra.funcUnit(), FuncUnit::Control);
+    EXPECT_FALSE(bra.writesReg());
+
+    Instruction sfu;
+    sfu.op = Opcode::Sfu;
+    EXPECT_EQ(sfu.funcUnit(), FuncUnit::Sfu);
+
+    Instruction setp;
+    setp.op = Opcode::Setp;
+    EXPECT_FALSE(setp.writesReg());
+    EXPECT_EQ(setp.funcUnit(), FuncUnit::Alu);
+}
+
+TEST(ProgramBuilder, PatchesForwardAndBackwardLabels)
+{
+    ProgramBuilder b;
+    b.movImm(1, 3);
+    b.label("loop");                 // pc 1
+    b.addImm(1, 1, -1);
+    b.setpImm(0, CmpOp::Gt, 1, 0);
+    b.braIf("loop", 0, "out");       // pc 3
+    b.label("out");
+    b.exit();
+    const Program p = b.build();
+    ASSERT_EQ(p.size(), 5u);
+    EXPECT_EQ(p.at(3).op, Opcode::Bra);
+    EXPECT_EQ(p.at(3).target, 1u);
+    EXPECT_EQ(p.at(3).reconv, 4u);
+    EXPECT_TRUE(p.at(3).predUsed);
+}
+
+TEST(ProgramBuilder, UnconditionalBranchHasNoPredicate)
+{
+    ProgramBuilder b;
+    b.bra("end");
+    b.nop();
+    b.label("end");
+    b.exit();
+    const Program p = b.build();
+    EXPECT_FALSE(p.at(0).predUsed);
+    EXPECT_EQ(p.at(0).target, 2u);
+}
+
+TEST(ProgramBuilder, NegatedPredicate)
+{
+    ProgramBuilder b;
+    b.setpImm(2, CmpOp::Eq, 1, 0);
+    b.braIfNot("end", 2, "end");
+    b.nop();
+    b.label("end");
+    b.exit();
+    const Program p = b.build();
+    EXPECT_TRUE(p.at(1).predUsed);
+    EXPECT_TRUE(p.at(1).predNegate);
+    EXPECT_EQ(p.at(1).psrc, 2);
+}
+
+TEST(Program, ValidateRejectsDefects)
+{
+    // Empty program.
+    EXPECT_NE(Program(std::vector<Instruction>{}).validate(), "");
+
+    // Missing exit.
+    {
+        Instruction nop;
+        nop.op = Opcode::Nop;
+        EXPECT_NE(Program({nop}).validate(), "");
+    }
+
+    // Branch target out of range.
+    {
+        Instruction bra;
+        bra.op = Opcode::Bra;
+        bra.target = 99;
+        bra.reconv = 1;
+        Instruction ex;
+        ex.op = Opcode::Exit;
+        EXPECT_NE(Program({bra, ex}).validate(), "");
+    }
+
+    // Forward branch reconverging before the branch.
+    {
+        Instruction nop;
+        nop.op = Opcode::Nop;
+        Instruction bra;
+        bra.op = Opcode::Bra;
+        bra.target = 3;
+        bra.reconv = 0;
+        Instruction ex;
+        ex.op = Opcode::Exit;
+        EXPECT_NE(Program({nop, bra, nop, ex}).validate(), "");
+    }
+}
+
+TEST(Program, ValidProgramPassesAndDisassembles)
+{
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.ldGlobal(2, 1, 0x1000);
+    b.stGlobal(1, 2, 0x2000);
+    b.exit();
+    const Program p = b.build();
+    EXPECT_EQ(p.validate(), "");
+    const std::string dis = p.disassemble();
+    EXPECT_NE(dis.find("ld.global"), std::string::npos);
+    EXPECT_NE(dis.find("st.global"), std::string::npos);
+    EXPECT_NE(dis.find("exit"), std::string::npos);
+}
+
+TEST(Program, OpcodeNamesAreUnique)
+{
+    // Spot check a few names used by the disassembler.
+    EXPECT_EQ(opcodeName(Opcode::Add), "add");
+    EXPECT_EQ(opcodeName(Opcode::Bar), "bar.sync");
+    EXPECT_NE(opcodeName(Opcode::Shl), opcodeName(Opcode::ShlImm));
+}
+
+} // namespace
+} // namespace cawa

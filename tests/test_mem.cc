@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Memory substrate unit tests: memory image, coalescer, tag array,
+ * and the LRU/SRRIP/SHiP replacement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/coalescer.hh"
+#include "mem/memory_image.hh"
+#include "mem/replacement.hh"
+#include "mem/tag_array.hh"
+
+namespace cawa
+{
+namespace
+{
+
+TEST(MemoryImage, ZeroInitialized)
+{
+    MemoryImage mem;
+    EXPECT_EQ(mem.read32(0x1234), 0u);
+    EXPECT_EQ(mem.read8(0), 0u);
+    EXPECT_EQ(mem.numPages(), 0u);
+}
+
+TEST(MemoryImage, ReadWriteRoundTrip)
+{
+    MemoryImage mem;
+    mem.write32(0x1000, 0xdeadbeef);
+    EXPECT_EQ(mem.read32(0x1000), 0xdeadbeefu);
+    EXPECT_EQ(mem.read8(0x1000), 0xefu);
+    EXPECT_EQ(mem.read8(0x1003), 0xdeu);
+    mem.write64(0x2000, 0x0123456789abcdefull);
+    EXPECT_EQ(mem.read64(0x2000), 0x0123456789abcdefull);
+    EXPECT_EQ(mem.read32(0x2004), 0x01234567u);
+}
+
+TEST(MemoryImage, CrossPageAccess)
+{
+    MemoryImage mem;
+    const Addr addr = MemoryImage::kPageBytes - 2;
+    mem.write32(addr, 0xa1b2c3d4);
+    EXPECT_EQ(mem.read32(addr), 0xa1b2c3d4u);
+    EXPECT_EQ(mem.numPages(), 2u);
+}
+
+TEST(Coalescer, SingleLineForCoalescedWarp)
+{
+    Coalescer c(128);
+    std::vector<Addr> addrs;
+    for (int lane = 0; lane < 32; ++lane)
+        addrs.push_back(0x1000 + 4 * lane);
+    const auto lines = c.coalesce(addrs);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], 0x1000u);
+}
+
+TEST(Coalescer, StraddlingTwoLines)
+{
+    Coalescer c(128);
+    std::vector<Addr> addrs;
+    for (int lane = 0; lane < 32; ++lane)
+        addrs.push_back(0x1040 + 4 * lane);
+    const auto lines = c.coalesce(addrs);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], 0x1000u);
+    EXPECT_EQ(lines[1], 0x1080u);
+}
+
+TEST(Coalescer, FullyScattered)
+{
+    Coalescer c(128);
+    std::vector<Addr> addrs;
+    for (int lane = 0; lane < 32; ++lane)
+        addrs.push_back(0x10000 + 256ull * lane);
+    EXPECT_EQ(c.coalesce(addrs).size(), 32u);
+}
+
+TEST(Coalescer, DuplicatesCollapse)
+{
+    Coalescer c(128);
+    const std::vector<Addr> addrs(32, 0x5000);
+    EXPECT_EQ(c.coalesce(addrs).size(), 1u);
+}
+
+TEST(TagArray, Geometry)
+{
+    TagArray t(8, 16, 128);
+    EXPECT_EQ(t.sizeBytes(), 16 * 1024);
+    // Consecutive lines land in consecutive sets.
+    EXPECT_EQ(t.setIndex(0), 0u);
+    EXPECT_EQ(t.setIndex(128), 1u);
+    EXPECT_EQ(t.setIndex(128 * 8), 0u);
+    // Offsets within a line share a set and tag.
+    EXPECT_EQ(t.setIndex(130), t.setIndex(128));
+    EXPECT_EQ(t.tagOf(130), t.tagOf(128));
+    EXPECT_NE(t.tagOf(128), t.tagOf(128 + 128 * 8));
+}
+
+TEST(TagArray, ProbeFindsInstalledLine)
+{
+    TagArray t(8, 4, 128);
+    EXPECT_EQ(t.probe(0x1000), -1);
+    auto &line = t.line(t.setIndex(0x1000), 2);
+    line.valid = true;
+    line.tag = t.tagOf(0x1000);
+    EXPECT_EQ(t.probe(0x1000), 2);
+    EXPECT_EQ(t.probe(0x1000 + 128 * 8), -1); // same set, other tag
+    EXPECT_EQ(t.validCount(t.setIndex(0x1000)), 1);
+}
+
+AccessInfo
+mkAccess(Addr addr, std::uint32_t pc = 0)
+{
+    AccessInfo info;
+    info.addr = addr;
+    info.pc = pc;
+    return info;
+}
+
+void
+install(TagArray &t, ReplacementPolicy &p, Addr addr)
+{
+    const auto set = t.setIndex(addr);
+    const int way = p.selectVictim(t, set, mkAccess(addr));
+    auto &line = t.line(set, way);
+    if (line.valid)
+        p.onEvict(t, set, way);
+    line.valid = true;
+    line.tag = t.tagOf(addr);
+    line.reuseCount = 0;
+    p.onFill(t, set, way, mkAccess(addr));
+}
+
+TEST(LruPolicy, EvictsLeastRecentlyUsed)
+{
+    TagArray t(1, 4, 128);
+    LruPolicy p;
+    for (int i = 0; i < 4; ++i)
+        install(t, p, 128ull * i);
+    // Touch line 0 so line 1 becomes LRU.
+    p.onHit(t, 0, t.probe(0), mkAccess(0));
+    install(t, p, 128ull * 10);
+    EXPECT_EQ(t.probe(128ull * 1), -1);   // evicted
+    EXPECT_NE(t.probe(0), -1);            // retained
+    EXPECT_NE(t.probe(128ull * 10), -1);
+}
+
+TEST(LruPolicy, PrefersInvalidWays)
+{
+    TagArray t(1, 4, 128);
+    LruPolicy p;
+    install(t, p, 0);
+    const int victim = p.selectVictim(t, 0, mkAccess(128));
+    EXPECT_FALSE(t.line(0, victim).valid);
+}
+
+TEST(SrripPolicy, InsertsAtLongAndPromotesOnHit)
+{
+    TagArray t(1, 4, 128);
+    SrripPolicy p;
+    install(t, p, 0);
+    EXPECT_EQ(t.line(0, t.probe(0)).rrpv, 2);
+    p.onHit(t, 0, t.probe(0), mkAccess(0));
+    EXPECT_EQ(t.line(0, t.probe(0)).rrpv, 0);
+}
+
+TEST(SrripPolicy, AgesUntilDistantVictimFound)
+{
+    TagArray t(1, 2, 128);
+    SrripPolicy p;
+    install(t, p, 0);
+    install(t, p, 128);
+    p.onHit(t, 0, t.probe(0), mkAccess(0)); // rrpv 0
+    // Victim selection must age and pick the rrpv==2 line (way of
+    // addr 128), not the freshly promoted one.
+    const int victim = p.selectVictim(t, 0, mkAccess(256));
+    EXPECT_EQ(victim, t.probe(128));
+}
+
+TEST(ShipPolicy, LearnsZeroReuseSignatures)
+{
+    TagArray t(1, 2, 128);
+    ShipPolicy p(256, 7);
+    const Addr a = 0x0; // all accesses share pc=0 -> same signature
+    // Fill and evict without reuse twice: counter 1 -> 0.
+    install(t, p, a);
+    install(t, p, a + 128);
+    install(t, p, a + 256);       // evicts an unreused line
+    install(t, p, a + 384);       // evicts another unreused line
+    // The evicted lines' signatures are now predicted dead.
+    EXPECT_FALSE(p.table().predictReuse(makeSignature(0, a, 7)));
+}
+
+TEST(ShipPolicy, HitsTrainTowardReuse)
+{
+    TagArray t(1, 4, 128);
+    ShipPolicy p(256, 7);
+    install(t, p, 0);
+    auto &line = t.line(0, t.probe(0));
+    line.reuseCount = 1;
+    p.onHit(t, 0, t.probe(0), mkAccess(0));
+    EXPECT_TRUE(p.table().predictReuse(line.signature));
+    EXPECT_EQ(line.rrpv, 0);
+}
+
+TEST(ShipInsertionProbe, RecoversDeadSignatures)
+{
+    ShipTable table(256);
+    const CacheSignature sig = 5;
+    table.decrement(sig); // counter 1 -> 0: predicted dead
+    ASSERT_FALSE(table.predictReuse(sig));
+    std::uint64_t fills = 0;
+    int long_inserts = 0;
+    for (int i = 0; i < 64; ++i)
+        if (shipInsertionWithProbe(table, sig, fills) == 2)
+            long_inserts++;
+    // Exactly every 16th dead-signature fill probes at long RRPV.
+    EXPECT_EQ(long_inserts, 4);
+}
+
+TEST(Signature, CombinesPcAndRegion)
+{
+    EXPECT_EQ(makeSignature(0, 0, 7), 0);
+    EXPECT_EQ(makeSignature(0x12, 0, 7), 0x12);
+    EXPECT_EQ(makeSignature(0, 0x80, 7), 0x1);
+    EXPECT_EQ(makeSignature(0x12, 0x80, 7), 0x12 ^ 0x1);
+    // Region granularity follows the shift.
+    EXPECT_EQ(makeSignature(0, 0x800, 11), 0x1);
+    EXPECT_NE(makeSignature(7, 0x100, 7), makeSignature(7, 0x200, 7));
+}
+
+} // namespace
+} // namespace cawa

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Timing-side memory tests: L1D hit/miss flow, MSHR merging and
+ * rejection, write-through stores, fills and eviction statistics;
+ * interconnect latency/width; DRAM bandwidth; L2 bank mapping,
+ * hit/miss latency floors and MSHR merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "mem/interconnect.hh"
+#include "mem/l1d_cache.hh"
+#include "mem/l2_cache.hh"
+
+namespace cawa
+{
+namespace
+{
+
+L1DConfig
+smallL1()
+{
+    L1DConfig cfg;
+    cfg.sets = 4;
+    cfg.ways = 2;
+    cfg.lineBytes = 128;
+    cfg.hitLatency = 10;
+    cfg.numMshrs = 2;
+    cfg.mshrTargets = 2;
+    return cfg;
+}
+
+AccessInfo
+load(Addr addr)
+{
+    AccessInfo info;
+    info.addr = addr;
+    return info;
+}
+
+AccessInfo
+store(Addr addr)
+{
+    AccessInfo info;
+    info.addr = addr;
+    info.isStore = true;
+    return info;
+}
+
+TEST(L1D, MissAllocatesMshrAndSendsRequest)
+{
+    L1DCache l1(smallL1(), 0, std::make_unique<LruPolicy>());
+    EXPECT_EQ(l1.access(load(0x1000), 0, 1), L1DCache::Result::Miss);
+    ASSERT_TRUE(l1.hasOutgoing());
+    const MemMsg msg = l1.popOutgoing();
+    EXPECT_EQ(msg.lineAddr, 0x1000u);
+    EXPECT_FALSE(msg.isStore);
+    EXPECT_EQ(l1.freeMshrs(), 1);
+}
+
+TEST(L1D, SameLineMissesMerge)
+{
+    L1DCache l1(smallL1(), 0, std::make_unique<LruPolicy>());
+    EXPECT_EQ(l1.access(load(0x1000), 0, 1), L1DCache::Result::Miss);
+    EXPECT_EQ(l1.access(load(0x1010), 1, 2), L1DCache::Result::Miss);
+    // One outgoing request only.
+    l1.popOutgoing();
+    EXPECT_FALSE(l1.hasOutgoing());
+    EXPECT_EQ(l1.stats().mshrMerges, 1u);
+    // Fill completes both tokens.
+    l1.fill(0x1000, 50);
+    std::vector<L1DCache::Completion> done;
+    l1.drainCompleted(51, done);
+    ASSERT_EQ(done.size(), 2u);
+}
+
+TEST(L1D, MshrTargetLimitRejects)
+{
+    L1DCache l1(smallL1(), 0, std::make_unique<LruPolicy>());
+    EXPECT_EQ(l1.access(load(0x1000), 0, 1), L1DCache::Result::Miss);
+    EXPECT_EQ(l1.access(load(0x1000), 0, 2), L1DCache::Result::Miss);
+    EXPECT_EQ(l1.access(load(0x1000), 0, 3),
+              L1DCache::Result::RejectMshrFull);
+}
+
+TEST(L1D, MshrCapacityRejects)
+{
+    L1DCache l1(smallL1(), 0, std::make_unique<LruPolicy>());
+    EXPECT_EQ(l1.access(load(0x1000), 0, 1), L1DCache::Result::Miss);
+    EXPECT_EQ(l1.access(load(0x2000), 0, 2), L1DCache::Result::Miss);
+    EXPECT_EQ(l1.access(load(0x3000), 0, 3),
+              L1DCache::Result::RejectMshrFull);
+    EXPECT_EQ(l1.stats().mshrRejects, 1u);
+}
+
+TEST(L1D, HitAfterFillWithLatency)
+{
+    L1DCache l1(smallL1(), 0, std::make_unique<LruPolicy>());
+    l1.access(load(0x1000), 0, 1);
+    l1.popOutgoing();
+    l1.fill(0x1000, 100);
+    std::vector<L1DCache::Completion> done;
+    l1.drainCompleted(101, done);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_TRUE(done[0].wasMiss);
+
+    // Subsequent access hits and completes after hitLatency.
+    EXPECT_EQ(l1.access(load(0x1000), 200, 2), L1DCache::Result::Hit);
+    done.clear();
+    l1.drainCompleted(205, done);
+    EXPECT_TRUE(done.empty()); // not yet: latency 10
+    l1.drainCompleted(210, done);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_FALSE(done[0].wasMiss);
+}
+
+TEST(L1D, StoresWriteThroughWithoutAllocation)
+{
+    L1DCache l1(smallL1(), 0, std::make_unique<LruPolicy>());
+    EXPECT_EQ(l1.access(store(0x1000), 0, 0), L1DCache::Result::Miss);
+    ASSERT_TRUE(l1.hasOutgoing());
+    EXPECT_TRUE(l1.popOutgoing().isStore);
+    // No MSHR allocated, no line installed.
+    EXPECT_EQ(l1.freeMshrs(), 2);
+    EXPECT_EQ(l1.tags().probe(0x1000), -1);
+}
+
+TEST(L1D, StoreHitStaysCachedAndForwards)
+{
+    L1DCache l1(smallL1(), 0, std::make_unique<LruPolicy>());
+    l1.access(load(0x1000), 0, 1);
+    l1.popOutgoing();
+    l1.fill(0x1000, 10);
+    EXPECT_EQ(l1.access(store(0x1008), 20, 0), L1DCache::Result::Hit);
+    ASSERT_TRUE(l1.hasOutgoing());
+    EXPECT_TRUE(l1.popOutgoing().isStore);
+}
+
+TEST(L1D, EvictionStatsTrackZeroReuse)
+{
+    L1DCache l1(smallL1(), 0, std::make_unique<LruPolicy>());
+    // Fill both ways of set 0 (4 sets x 128B: stride 512).
+    auto fill_line = [&](Addr a, std::uint64_t tok) {
+        l1.access(load(a), 0, tok);
+        l1.popOutgoing();
+        l1.fill(a, 1);
+    };
+    fill_line(0x0000, 1);
+    fill_line(0x0200, 2);
+    // Third line in the same set evicts an unreused one.
+    fill_line(0x0400, 3);
+    EXPECT_EQ(l1.stats().evictions, 1u);
+    EXPECT_EQ(l1.stats().zeroReuseEvictions, 1u);
+}
+
+TEST(Interconnect, LatencyAndWidthRespected)
+{
+    Interconnect icnt(10, 2);
+    for (int i = 0; i < 5; ++i)
+        icnt.pushToL2({static_cast<Addr>(0x100 * i), 0, false, 0}, 0);
+    EXPECT_TRUE(icnt.popToL2(9).empty());
+    // The width caps each pop; the GPU top level calls pop once per
+    // cycle, so width messages drain per cycle.
+    EXPECT_EQ(icnt.popToL2(10).size(), 2u);
+    EXPECT_EQ(icnt.popToL2(11).size(), 2u);
+    EXPECT_EQ(icnt.popToL2(12).size(), 1u);
+    EXPECT_TRUE(icnt.idle());
+    EXPECT_EQ(icnt.messagesToL2, 5u);
+}
+
+TEST(Dram, BandwidthLimitsServiceRate)
+{
+    DramModel dram(100, 4);
+    for (int i = 0; i < 3; ++i)
+        dram.push({static_cast<Addr>(0x80 * i), 0, false, 0}, 0);
+    // Requests are serviced one per 4 cycles.
+    dram.tick(0);
+    dram.tick(1);
+    dram.tick(2);
+    dram.tick(3);
+    dram.tick(4);
+    dram.tick(8);
+    EXPECT_TRUE(dram.popResponses(99).empty());
+    EXPECT_EQ(dram.popResponses(100).size(), 1u);
+    EXPECT_EQ(dram.popResponses(104).size(), 1u);
+    EXPECT_EQ(dram.popResponses(108).size(), 1u);
+    EXPECT_EQ(dram.reads, 3u);
+}
+
+TEST(Dram, WritesConsumeBandwidthWithoutResponse)
+{
+    DramModel dram(100, 2);
+    dram.push({0x0, 0, true, 0}, 0);
+    dram.push({0x80, 0, false, 0}, 0);
+    dram.tick(0); // serves the write
+    dram.tick(2); // serves the read
+    EXPECT_EQ(dram.popResponses(200).size(), 1u);
+    EXPECT_EQ(dram.writes, 1u);
+}
+
+TEST(L2, BankMappingCoversAllBanks)
+{
+    L2Config cfg;
+    L2Cache l2(cfg);
+    std::vector<bool> seen(cfg.banks, false);
+    for (int i = 0; i < cfg.banks; ++i)
+        seen[l2.bankOf(static_cast<Addr>(i) * cfg.lineBytes)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(L2, MissGoesToDramThenHitIsFaster)
+{
+    L2Config cfg;
+    cfg.latency = 20;
+    L2Cache l2(cfg);
+    DramModel dram(100, 1);
+
+    const MemMsg req{0x1000, 3, false, 7};
+    l2.pushRequest(req, 0);
+    l2.tick(0, dram);
+    EXPECT_EQ(dram.reads, 1u); // missed to DRAM
+    dram.tick(0);
+    for (const auto &msg : dram.popResponses(100))
+        l2.handleDramResponse(msg, 100);
+    const auto resp = l2.popResponses(101);
+    ASSERT_EQ(resp.size(), 1u);
+    EXPECT_EQ(resp[0].smId, 3);
+    EXPECT_EQ(resp[0].lineAddr, 0x1000u);
+
+    // Second access: L2 hit, no extra DRAM read, latency 20.
+    l2.pushRequest(req, 200);
+    l2.tick(200, dram);
+    EXPECT_EQ(dram.reads, 1u);
+    EXPECT_TRUE(l2.popResponses(219).empty());
+    EXPECT_EQ(l2.popResponses(220).size(), 1u);
+    EXPECT_EQ(l2.stats().hits, 1u);
+}
+
+TEST(L2, SameLineMissesMergeAcrossSms)
+{
+    L2Config cfg;
+    L2Cache l2(cfg);
+    DramModel dram(100, 1);
+    l2.pushRequest({0x1000, 0, false, 0}, 0);
+    l2.pushRequest({0x1000, 1, false, 0}, 0);
+    l2.tick(0, dram);
+    l2.tick(1, dram);
+    EXPECT_EQ(dram.reads, 1u); // merged
+    dram.tick(1);
+    for (const auto &msg : dram.popResponses(101))
+        l2.handleDramResponse(msg, 101);
+    const auto resp = l2.popResponses(102);
+    EXPECT_EQ(resp.size(), 2u); // both SMs answered
+}
+
+TEST(L2, StoresForwardToDramNoAllocate)
+{
+    L2Config cfg;
+    L2Cache l2(cfg);
+    DramModel dram(100, 1);
+    l2.pushRequest({0x2000, 0, true, 0}, 0);
+    l2.tick(0, dram);
+    EXPECT_EQ(dram.writes, 1u);
+    EXPECT_TRUE(l2.popResponses(1000).empty());
+}
+
+} // namespace
+} // namespace cawa

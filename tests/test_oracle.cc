@@ -1,0 +1,90 @@
+/**
+ * @file
+ * CAWS oracle tests: building the table from a profile, lookups on
+ * missing entries, and the two-pass runner's config handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/oracle.hh"
+#include "workloads/registry.hh"
+
+namespace cawa
+{
+namespace
+{
+
+TEST(Oracle, BuildFromProfile)
+{
+    SimReport profile;
+    BlockRecord b0;
+    b0.id = 0;
+    WarpRecord w0;
+    w0.startCycle = 10;
+    w0.endCycle = 110;
+    WarpRecord w1;
+    w1.startCycle = 10;
+    w1.endCycle = 60;
+    b0.warps = {w0, w1};
+    profile.blocks.push_back(b0);
+    BlockRecord b3;
+    b3.id = 3;
+    WarpRecord w3;
+    w3.startCycle = 0;
+    w3.endCycle = 42;
+    b3.warps = {w3};
+    profile.blocks.push_back(b3);
+
+    const OracleTable table = buildOracle(profile);
+    EXPECT_EQ(table.lookup(0, 0), 100);
+    EXPECT_EQ(table.lookup(0, 1), 50);
+    EXPECT_EQ(table.lookup(3, 0), 42);
+    // Missing entries return neutral priority.
+    EXPECT_EQ(table.lookup(0, 7), 0);
+    EXPECT_EQ(table.lookup(99, 0), 0);
+}
+
+TEST(Oracle, TwoPassPreservesRequestedCacheConfig)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.numSms = 2;
+    cfg.l1Policy = CachePolicyKind::Cacp;
+    auto wl = makeWorkload("pathfinder");
+    auto wl2 = makeWorkload("pathfinder");
+    MemoryImage mem;
+    MemoryImage profile_mem;
+    WorkloadParams params;
+    params.scale = 0.1;
+    const KernelInfo kernel = wl->build(mem, params);
+    wl2->build(profile_mem, params);
+
+    const SimReport r = runWithCawsOracle(cfg, mem, profile_mem, kernel);
+    EXPECT_EQ(r.schedulerName, "caws");
+    EXPECT_EQ(r.cachePolicyName, "cacp");
+    EXPECT_TRUE(wl->verify(mem));
+}
+
+TEST(Oracle, OracleProfileIsDeterministic)
+{
+    auto make = []() {
+        GpuConfig cfg = GpuConfig::fermiGtx480();
+        cfg.numSms = 2;
+        auto wl = makeWorkload("tpacf");
+        MemoryImage mem;
+        WorkloadParams params;
+        params.scale = 0.1;
+        const KernelInfo kernel = wl->build(mem, params);
+        return buildOracle(runKernel(cfg, mem, kernel));
+    };
+    const OracleTable a = make();
+    const OracleTable b = make();
+    ASSERT_EQ(a.values.size(), b.values.size());
+    for (const auto &[block, vals] : a.values) {
+        auto it = b.values.find(block);
+        ASSERT_NE(it, b.values.end());
+        EXPECT_EQ(vals, it->second);
+    }
+}
+
+} // namespace
+} // namespace cawa

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Warp scheduler policy tests: each policy's selection rule (LRR
+ * rotation, GTO greed + oldest, two-level demotion/promotion, CAWS
+ * priority, gCAWS greed + criticality), plus the property that every
+ * policy only ever picks from the ready set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sched/caws_oracle.hh"
+#include "sched/gcaws.hh"
+#include "sched/gto.hh"
+#include "sched/lrr.hh"
+#include "sched/scheduler.hh"
+#include "sched/two_level.hh"
+
+namespace cawa
+{
+namespace
+{
+
+constexpr int kSlots = 16;
+
+struct Arrays
+{
+    std::vector<std::uint64_t> age;
+    std::vector<std::int64_t> priority;
+
+    Arrays() : age(kSlots), priority(kSlots)
+    {
+        for (int i = 0; i < kSlots; ++i)
+            age[i] = i; // slot id == dispatch order by default
+    }
+
+    SchedCtx ctx() const { return SchedCtx{age, priority}; }
+};
+
+TEST(Factory, CreatesEveryKind)
+{
+    for (SchedulerKind kind :
+         {SchedulerKind::Lrr, SchedulerKind::Gto, SchedulerKind::TwoLevel,
+          SchedulerKind::CawsOracle, SchedulerKind::Gcaws}) {
+        auto s = createScheduler(kind, kSlots);
+        ASSERT_NE(s, nullptr);
+        EXPECT_EQ(s->name(), schedulerKindName(kind));
+    }
+}
+
+TEST(Lrr, RotatesThroughReadyWarps)
+{
+    LrrScheduler s(kSlots);
+    Arrays a;
+    const std::vector<WarpSlot> ready{1, 4, 9};
+    WarpSlot pick = s.pick(ready, a.ctx());
+    EXPECT_EQ(pick, 1);
+    s.notifyIssued(pick);
+    pick = s.pick(ready, a.ctx());
+    EXPECT_EQ(pick, 4);
+    s.notifyIssued(pick);
+    pick = s.pick(ready, a.ctx());
+    EXPECT_EQ(pick, 9);
+    s.notifyIssued(pick);
+    pick = s.pick(ready, a.ctx());
+    EXPECT_EQ(pick, 1); // wraps
+}
+
+TEST(Lrr, EmptyReadyReturnsNoWarp)
+{
+    LrrScheduler s(kSlots);
+    Arrays a;
+    EXPECT_EQ(s.pick({}, a.ctx()), kNoWarp);
+}
+
+TEST(Gto, GreedyThenOldest)
+{
+    GtoScheduler s;
+    Arrays a;
+    a.age = {5, 3, 8, 1};
+    a.age.resize(kSlots, 99);
+    // First pick with no current warp: the oldest ready (slot 3,
+    // age 1).
+    WarpSlot pick = s.pick({0, 1, 2, 3}, a.ctx());
+    EXPECT_EQ(pick, 3);
+    s.notifyIssued(pick);
+    // Greedy: stays on 3 while it remains ready.
+    EXPECT_EQ(s.pick({0, 1, 3}, a.ctx()), 3);
+    // 3 stalls: falls back to the oldest remaining (slot 1, age 3).
+    EXPECT_EQ(s.pick({0, 1, 2}, a.ctx()), 1);
+}
+
+TEST(Gto, DeactivationClearsGreedyTarget)
+{
+    GtoScheduler s;
+    Arrays a;
+    s.notifyIssued(2);
+    s.notifyDeactivated(2);
+    a.age = {7, 2};
+    a.age.resize(kSlots, 99);
+    EXPECT_EQ(s.pick({0, 1}, a.ctx()), 1);
+}
+
+TEST(TwoLevel, RoundRobinWithinActiveSet)
+{
+    TwoLevelScheduler s(kSlots, 2);
+    Arrays a;
+    for (WarpSlot w : {0, 1, 2, 3})
+        s.notifyActivated(w);
+    EXPECT_EQ(s.activeCount(), 2);
+    EXPECT_TRUE(s.isActive(0));
+    EXPECT_TRUE(s.isActive(1));
+    EXPECT_FALSE(s.isActive(2));
+    // Only active warps are picked even when pending ones are ready.
+    const std::vector<WarpSlot> ready{0, 1, 2, 3};
+    WarpSlot pick = s.pick(ready, a.ctx());
+    EXPECT_TRUE(pick == 0 || pick == 1);
+    s.notifyIssued(pick);
+    const WarpSlot next = s.pick(ready, a.ctx());
+    EXPECT_NE(next, pick);
+    EXPECT_TRUE(s.isActive(next));
+}
+
+TEST(TwoLevel, LongStallDemotesAndPromotes)
+{
+    TwoLevelScheduler s(kSlots, 2);
+    Arrays a;
+    for (WarpSlot w : {0, 1, 2})
+        s.notifyActivated(w);
+    s.notifyLongStall(0);
+    EXPECT_FALSE(s.isActive(0));
+    EXPECT_TRUE(s.isActive(2)); // promoted from pending
+    EXPECT_EQ(s.activeCount(), 2);
+}
+
+TEST(TwoLevel, DeadlockFreeWhenActiveSetStalls)
+{
+    TwoLevelScheduler s(kSlots, 2);
+    Arrays a;
+    for (WarpSlot w : {0, 1, 2, 3})
+        s.notifyActivated(w);
+    // Only a pending warp is ready: it must still get picked.
+    EXPECT_EQ(s.pick({3}, a.ctx()), 3);
+    EXPECT_TRUE(s.isActive(3));
+}
+
+TEST(TwoLevel, DeactivationRemovesEverywhere)
+{
+    TwoLevelScheduler s(kSlots, 2);
+    Arrays a;
+    for (WarpSlot w : {0, 1, 2})
+        s.notifyActivated(w);
+    s.notifyDeactivated(0);
+    EXPECT_FALSE(s.isActive(0));
+    EXPECT_TRUE(s.isActive(2)); // pending warp promoted
+}
+
+TEST(CawsOracle, PicksHighestPriority)
+{
+    CawsOracleScheduler s;
+    Arrays a;
+    a.priority = {10, 50, 30};
+    a.priority.resize(kSlots, 0);
+    EXPECT_EQ(s.pick({0, 1, 2}, a.ctx()), 1);
+    // Not greedy: keeps picking by priority even after issuing.
+    s.notifyIssued(1);
+    a.priority[2] = 99;
+    EXPECT_EQ(s.pick({0, 1, 2}, a.ctx()), 2);
+}
+
+TEST(CawsOracle, TieBreaksOldest)
+{
+    CawsOracleScheduler s;
+    Arrays a;
+    a.priority = {7, 7, 7};
+    a.priority.resize(kSlots, 0);
+    a.age = {3, 1, 2};
+    a.age.resize(kSlots, 99);
+    EXPECT_EQ(s.pick({0, 1, 2}, a.ctx()), 1);
+}
+
+TEST(Gcaws, GreedyOnCurrentThenCriticality)
+{
+    GcawsScheduler s;
+    Arrays a;
+    a.priority = {10, 50, 30};
+    a.priority.resize(kSlots, 0);
+    // Selection by criticality.
+    WarpSlot pick = s.pick({0, 1, 2}, a.ctx());
+    EXPECT_EQ(pick, 1);
+    s.notifyIssued(pick);
+    // Greedy: holds the current warp even when another becomes more
+    // critical.
+    a.priority[2] = 99;
+    EXPECT_EQ(s.pick({0, 1, 2}, a.ctx()), 1);
+    // Current warp stalls: switch to the most critical ready warp.
+    EXPECT_EQ(s.pick({0, 2}, a.ctx()), 2);
+}
+
+TEST(Gcaws, TieBreaksOldestLikeGto)
+{
+    GcawsScheduler s;
+    Arrays a;
+    a.priority = {5, 5, 5, 5};
+    a.priority.resize(kSlots, 0);
+    a.age = {4, 2, 9, 7};
+    a.age.resize(kSlots, 99);
+    EXPECT_EQ(s.pick({0, 1, 2, 3}, a.ctx()), 1);
+}
+
+class SchedulerPropertyTest
+    : public ::testing::TestWithParam<SchedulerKind>
+{
+};
+
+TEST_P(SchedulerPropertyTest, AlwaysPicksFromReadySet)
+{
+    auto s = createScheduler(GetParam(), kSlots);
+    Arrays a;
+    Rng rng(99);
+    for (int slot = 0; slot < kSlots; ++slot)
+        s->notifyActivated(slot);
+    for (int step = 0; step < 2000; ++step) {
+        std::vector<WarpSlot> ready;
+        for (int slot = 0; slot < kSlots; ++slot) {
+            a.priority[slot] =
+                static_cast<std::int64_t>(rng.nextBounded(1000));
+            if (rng.nextBounded(3) != 0)
+                ready.push_back(slot);
+        }
+        const WarpSlot pick = s->pick(ready, a.ctx());
+        if (ready.empty()) {
+            ASSERT_EQ(pick, kNoWarp);
+            continue;
+        }
+        ASSERT_NE(std::find(ready.begin(), ready.end(), pick),
+                  ready.end());
+        s->notifyIssued(pick);
+        if (rng.nextBounded(8) == 0)
+            s->notifyLongStall(pick);
+        if (rng.nextBounded(50) == 0) {
+            s->notifyDeactivated(pick);
+            s->notifyActivated(pick);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SchedulerPropertyTest,
+    ::testing::Values(SchedulerKind::Lrr, SchedulerKind::Gto,
+                      SchedulerKind::TwoLevel, SchedulerKind::CawsOracle,
+                      SchedulerKind::Gcaws),
+    [](const ::testing::TestParamInfo<SchedulerKind> &info) {
+        std::string n = schedulerKindName(info.param);
+        for (char &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace cawa

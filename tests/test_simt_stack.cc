@@ -1,0 +1,165 @@
+/**
+ * @file
+ * SIMT reconvergence stack tests: uniform branches, if/else
+ * divergence, nested divergence, loop back-edges (including the
+ * depth-compression that keeps loop stacks bounded) and reconvergence
+ * pops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/simt_stack.hh"
+
+namespace cawa
+{
+namespace
+{
+
+constexpr LaneMask kFull = 0xffffffffu;
+
+TEST(SimtStack, ResetState)
+{
+    SimtStack s;
+    s.reset(5, 0xff);
+    EXPECT_EQ(s.pc(), 5u);
+    EXPECT_EQ(s.activeMask(), 0xffu);
+    EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, AdvanceMovesPc)
+{
+    SimtStack s;
+    s.reset(0, kFull);
+    s.advance(1);
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, UniformTakenBranch)
+{
+    SimtStack s;
+    s.reset(4, kFull);
+    EXPECT_FALSE(s.branch(4, 10, 12, kFull));
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.depth(), 1);
+    EXPECT_EQ(s.activeMask(), kFull);
+}
+
+TEST(SimtStack, UniformNotTakenBranch)
+{
+    SimtStack s;
+    s.reset(4, kFull);
+    EXPECT_FALSE(s.branch(4, 10, 12, 0));
+    EXPECT_EQ(s.pc(), 5u);
+    EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, IfElseDivergenceAndReconvergence)
+{
+    // pc4: @p bra 10 (reconv 12); fall path 5..9 ends with bra 12,
+    // taken path 10..11 falls into 12.
+    SimtStack s;
+    s.reset(4, 0xff);
+    const LaneMask taken = 0x0f;
+    EXPECT_TRUE(s.branch(4, 10, 12, taken));
+    // Taken path executes first.
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.activeMask(), taken);
+    EXPECT_EQ(s.depth(), 3);
+    s.advance(11);
+    s.advance(12); // reaches reconv -> pop to fall path
+    EXPECT_EQ(s.pc(), 5u);
+    EXPECT_EQ(s.activeMask(), 0xf0u);
+    // Fall path branches (uniformly) to the reconvergence point.
+    EXPECT_FALSE(s.branch(5, 12, 12, 0xf0));
+    EXPECT_EQ(s.pc(), 12u);
+    EXPECT_EQ(s.activeMask(), 0xffu);
+    EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, BranchToReconvergenceSkipsPush)
+{
+    // if-without-else: taken lanes jump straight to the reconvergence
+    // point, so only the fall-through side needs an entry.
+    SimtStack s;
+    s.reset(4, 0xff);
+    EXPECT_TRUE(s.branch(4, 12, 12, 0x0f));
+    EXPECT_EQ(s.depth(), 2);
+    EXPECT_EQ(s.pc(), 5u);          // fall path runs
+    EXPECT_EQ(s.activeMask(), 0xf0u);
+    s.advance(12);                  // fall path reaches reconv
+    EXPECT_EQ(s.depth(), 1);
+    EXPECT_EQ(s.activeMask(), 0xffu);
+    EXPECT_EQ(s.pc(), 12u);
+}
+
+TEST(SimtStack, LoopDivergenceBoundedDepth)
+{
+    // loop: body at 1..3, backward branch at 3 -> 1, reconv (exit) 4.
+    SimtStack s;
+    s.reset(1, 0xff);
+    LaneMask continuing = 0xff;
+    int max_depth = 0;
+    // Each iteration one more lane leaves the loop.
+    for (int iter = 0; iter < 8; ++iter) {
+        s.advance(2);
+        s.advance(3);
+        continuing = static_cast<LaneMask>(continuing << 1) & 0xff;
+        s.branch(3, 1, 4, continuing);
+        max_depth = std::max(max_depth, s.depth());
+        if (continuing == 0)
+            break;
+        EXPECT_EQ(s.pc(), 1u);
+        EXPECT_EQ(s.activeMask(), continuing);
+    }
+    // Depth must not grow with iteration count.
+    EXPECT_LE(max_depth, 2);
+    EXPECT_EQ(s.pc(), 4u);
+    EXPECT_EQ(s.activeMask(), 0xffu);
+    EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, NestedDivergence)
+{
+    // Outer branch at 0 (target 10, reconv 20), inner branch on the
+    // taken path at 10 (target 15, reconv 18).
+    SimtStack s;
+    s.reset(0, 0xffff);
+    s.branch(0, 10, 20, 0x00ff);
+    EXPECT_EQ(s.pc(), 10u);
+    s.branch(10, 15, 18, 0x000f);
+    EXPECT_EQ(s.pc(), 15u);
+    EXPECT_EQ(s.activeMask(), 0x000fu);
+    // Inner taken side reconverges.
+    s.advance(18);
+    EXPECT_EQ(s.pc(), 11u);
+    EXPECT_EQ(s.activeMask(), 0x00f0u);
+    s.advance(18);
+    // Inner reconverged: both inner sides merged at 18.
+    EXPECT_EQ(s.pc(), 18u);
+    EXPECT_EQ(s.activeMask(), 0x00ffu);
+    s.advance(20);
+    // Outer taken side reconverged: fall side (1) runs.
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask(), 0xff00u);
+    s.advance(20);
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.activeMask(), 0xffffu);
+    EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, PartialWarpMask)
+{
+    SimtStack s;
+    s.reset(0, 0x7); // 3 active lanes
+    s.branch(0, 5, 8, 0x1);
+    EXPECT_EQ(s.activeMask(), 0x1u);
+    s.advance(8);
+    EXPECT_EQ(s.activeMask(), 0x6u);
+    EXPECT_EQ(s.pc(), 1u);
+    s.advance(8);
+    EXPECT_EQ(s.activeMask(), 0x7u);
+}
+
+} // namespace
+} // namespace cawa

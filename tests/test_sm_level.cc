@@ -1,0 +1,231 @@
+/**
+ * @file
+ * SM-level behaviour tests driven through the Gpu top level:
+ * occupancy limits (warps / blocks / registers / shared memory),
+ * block dispatch and retirement, stall accounting consistency, and
+ * report metric derivations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.hh"
+#include "sim/gpu.hh"
+
+namespace cawa
+{
+namespace
+{
+
+Program
+trivialProgram()
+{
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.shlImm(2, 1, 2);
+    b.mulImm(3, 1, 3);
+    b.stGlobal(2, 3, 0x1000);
+    b.exit();
+    return b.build();
+}
+
+Program
+spinProgram(int iterations)
+{
+    ProgramBuilder b;
+    b.movImm(1, iterations);
+    b.label("loop");
+    b.setpImm(0, CmpOp::Le, 1, 0);
+    b.braIf("done", 0, "done");
+    b.addImm(1, 1, -1);
+    b.bra("loop");
+    b.label("done");
+    b.s2r(2, SpecialReg::GlobalTid);
+    b.shlImm(2, 2, 2);
+    b.movImm(3, 1);
+    b.stGlobal(2, 3, 0x1000);
+    b.exit();
+    return b.build();
+}
+
+KernelInfo
+kernel(Program p, int grid, int block, int regs = 16, int smem = 0)
+{
+    KernelInfo k;
+    k.name = "t";
+    k.program = std::move(p);
+    k.gridDim = grid;
+    k.blockDim = block;
+    k.regsPerThread = regs;
+    k.smemPerBlock = smem;
+    return k;
+}
+
+GpuConfig
+oneSm()
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.numSms = 1;
+    return cfg;
+}
+
+TEST(SmLevel, AllBlocksRetire)
+{
+    MemoryImage mem;
+    const SimReport r = runKernel(oneSm(), mem, kernel(trivialProgram(),
+                                                       20, 128));
+    EXPECT_EQ(r.blocks.size(), 20u);
+    for (int t = 0; t < 20 * 128; ++t)
+        EXPECT_EQ(mem.read32(0x1000 + 4ull * t),
+                  static_cast<std::uint32_t>(3 * t));
+}
+
+TEST(SmLevel, WarpSlotLimitThrottlesConcurrency)
+{
+    // 512-thread blocks = 16 warps; 48 slots => at most 3 resident.
+    // With a long spin the first wave's blocks all retire before the
+    // second wave starts, visible as start-cycle clustering.
+    MemoryImage mem;
+    const SimReport r =
+        runKernel(oneSm(), mem, kernel(spinProgram(50), 6, 512));
+    ASSERT_EQ(r.blocks.size(), 6u);
+    std::vector<Cycle> starts;
+    for (const auto &b : r.blocks)
+        starts.push_back(b.startCycle);
+    std::sort(starts.begin(), starts.end());
+    // First three start immediately (dispatch ramps one per cycle).
+    EXPECT_LE(starts[2], 3u);
+    // The fourth can only start after some block retired.
+    EXPECT_GT(starts[3], 50u);
+}
+
+TEST(SmLevel, RegisterFileLimitsOccupancy)
+{
+    // 256 threads x 64 regs = 16384 regs per block; the 32768-entry
+    // register file holds only 2 such blocks.
+    GpuConfig cfg = oneSm();
+    MemoryImage mem;
+    const SimReport r = runKernel(
+        cfg, mem, kernel(spinProgram(50), 4, 256, /*regs=*/64));
+    std::vector<Cycle> starts;
+    for (const auto &b : r.blocks)
+        starts.push_back(b.startCycle);
+    std::sort(starts.begin(), starts.end());
+    EXPECT_LE(starts[1], 2u);
+    EXPECT_GT(starts[2], 50u);
+}
+
+TEST(SmLevel, SharedMemoryLimitsOccupancy)
+{
+    // 20KB of shared memory per block: only 2 blocks fit in 48KB.
+    GpuConfig cfg = oneSm();
+    MemoryImage mem;
+    const SimReport r = runKernel(
+        cfg, mem,
+        kernel(spinProgram(50), 4, 64, 16, /*smem=*/20 * 1024));
+    std::vector<Cycle> starts;
+    for (const auto &b : r.blocks)
+        starts.push_back(b.startCycle);
+    std::sort(starts.begin(), starts.end());
+    EXPECT_GT(starts[2], 50u);
+}
+
+TEST(SmLevel, BlocksSpreadAcrossSms)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.numSms = 4;
+    MemoryImage mem;
+    const SimReport r =
+        runKernel(cfg, mem, kernel(trivialProgram(), 8, 128));
+    std::vector<int> per_sm(4, 0);
+    for (const auto &b : r.blocks)
+        per_sm[b.smId]++;
+    for (int n : per_sm)
+        EXPECT_EQ(n, 2);
+}
+
+TEST(SmLevel, StallAccountingCoversWarpLifetime)
+{
+    // instructions + all stall categories must equal each warp's
+    // execution time (every cycle is classified exactly once).
+    GpuConfig cfg = oneSm();
+    MemoryImage mem;
+    auto wlk = kernel(spinProgram(30), 4, 256);
+    const SimReport r = runKernel(cfg, mem, wlk);
+    for (const auto &b : r.blocks) {
+        for (const auto &w : b.warps) {
+            const std::uint64_t accounted =
+                w.instructions + w.memStallCycles + w.aluStallCycles +
+                w.structStallCycles + w.schedWaitCycles +
+                w.barrierCycles + w.finishedWaitCycles;
+            // Finished warps keep waiting until block retirement, so
+            // account against the block's end.
+            const std::uint64_t lifetime =
+                b.endCycle - w.startCycle;
+            EXPECT_LE(accounted, lifetime + 1);
+            EXPECT_GE(accounted + 2, lifetime);
+        }
+    }
+}
+
+TEST(SmLevel, IpcNeverExceedsIssueWidth)
+{
+    GpuConfig cfg = oneSm();
+    MemoryImage mem;
+    const SimReport r =
+        runKernel(cfg, mem, kernel(trivialProgram(), 40, 256));
+    // One SM with two schedulers can issue at most 2 instr/cycle.
+    EXPECT_LE(r.ipc(), 2.0 * cfg.numSms);
+    EXPECT_GT(r.ipc(), 0.0);
+}
+
+TEST(SmLevel, ReportDerivedMetrics)
+{
+    SimReport r;
+    r.cycles = 1000;
+    r.instructions = 2500;
+    r.l1.accesses = 100;
+    r.l1.hits = 60;
+    r.l1.misses = 40;
+    EXPECT_DOUBLE_EQ(r.ipc(), 2.5);
+    EXPECT_DOUBLE_EQ(r.mpki(), 16.0);
+
+    BlockRecord block;
+    block.startCycle = 0;
+    block.endCycle = 100;
+    WarpRecord w0;
+    w0.startCycle = 0;
+    w0.endCycle = 50;
+    WarpRecord w1;
+    w1.startCycle = 0;
+    w1.endCycle = 100;
+    block.warps = {w0, w1};
+    r.blocks.push_back(block);
+    EXPECT_EQ(r.blocks[0].criticalWarp(), 1);
+    EXPECT_DOUBLE_EQ(r.blocks[0].disparity(), 1.0);
+    EXPECT_DOUBLE_EQ(r.maxDisparity(), 1.0);
+}
+
+TEST(SmLevel, MaxCyclesGuardFires)
+{
+    GpuConfig cfg = oneSm();
+    cfg.maxCycles = 100; // way too few
+    MemoryImage mem;
+    const SimReport r =
+        runKernel(cfg, mem, kernel(spinProgram(100000), 1, 256));
+    EXPECT_TRUE(r.timedOut);
+    EXPECT_EQ(r.cycles, 100u);
+}
+
+TEST(SmLevel, ConfigDescribeMentionsKeyParameters)
+{
+    const GpuConfig cfg = GpuConfig::fermiGtx480();
+    const std::string d = cfg.describe();
+    EXPECT_NE(d.find("15"), std::string::npos);   // SMs
+    EXPECT_NE(d.find("16KB"), std::string::npos); // L1D
+    EXPECT_NE(d.find("768KB"), std::string::npos);
+    EXPECT_NE(d.find("120"), std::string::npos);  // L2 latency floor
+    EXPECT_NE(d.find("32"), std::string::npos);   // warp size
+}
+
+} // namespace
+} // namespace cawa

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Warp functional-execution tests: per-opcode semantics through the
+ * SIMT pipeline (special registers, predicates, memory, divergence),
+ * barrier/exit state transitions, and the scoreboard dependency
+ * masks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.hh"
+#include "sm/barrier.hh"
+#include "sm/warp.hh"
+
+namespace cawa
+{
+namespace
+{
+
+struct WarpFixture
+{
+    MemoryImage mem;
+    std::vector<std::uint8_t> shared = std::vector<std::uint8_t>(1024);
+    Warp warp{32};
+    Program program;
+
+    ExecContext
+    ctx()
+    {
+        ExecContext c;
+        c.global = &mem;
+        c.shared = &shared;
+        c.blockDim = 64;
+        c.gridDim = 4;
+        c.blockIdX = 2;
+        return c;
+    }
+
+    void
+    start(Program p, int active = 32)
+    {
+        program = std::move(p);
+        warp.activate(&program, 2, 1, active, 0, 0);
+    }
+};
+
+TEST(Warp, SpecialRegisters)
+{
+    WarpFixture f;
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::TidX);
+    b.s2r(2, SpecialReg::CtaIdX);
+    b.s2r(3, SpecialReg::NTidX);
+    b.s2r(4, SpecialReg::LaneId);
+    b.s2r(5, SpecialReg::WarpIdInBlock);
+    b.s2r(6, SpecialReg::GlobalTid);
+    b.exit();
+    f.start(b.build());
+    auto c = f.ctx();
+    for (int i = 0; i < 6; ++i)
+        f.warp.executeNext(c);
+    // Warp 1 of block 2, blockDim 64: lane 5 -> tid 37, gtid 165.
+    EXPECT_EQ(f.warp.reg(5, 1), 37u);
+    EXPECT_EQ(f.warp.reg(5, 2), 2u);
+    EXPECT_EQ(f.warp.reg(5, 3), 64u);
+    EXPECT_EQ(f.warp.reg(5, 4), 5u);
+    EXPECT_EQ(f.warp.reg(5, 5), 1u);
+    EXPECT_EQ(f.warp.reg(5, 6), 2u * 64 + 37);
+}
+
+TEST(Warp, GlobalLoadStoreRoundTrip)
+{
+    WarpFixture f;
+    for (int lane = 0; lane < 32; ++lane)
+        f.mem.write32(0x1000 + 4ull * lane, 100 + lane);
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::LaneId);
+    b.shlImm(1, 1, 2);
+    b.ldGlobal(2, 1, 0x1000);
+    b.addImm(2, 2, 1);
+    b.stGlobal(1, 2, 0x2000);
+    b.exit();
+    f.start(b.build());
+    auto c = f.ctx();
+    for (int i = 0; i < 5; ++i) {
+        const ExecResult r = f.warp.executeNext(c);
+        if (r.inst->isGlobal())
+            EXPECT_EQ(r.laneAddrs.size(), 32u);
+    }
+    for (int lane = 0; lane < 32; ++lane)
+        EXPECT_EQ(f.mem.read32(0x2000 + 4ull * lane),
+                  static_cast<std::uint32_t>(101 + lane));
+}
+
+TEST(Warp, SharedMemoryRoundTrip)
+{
+    WarpFixture f;
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::LaneId);
+    b.shlImm(2, 1, 2);
+    b.mulImm(3, 1, 7);
+    b.stShared(2, 3, 0);
+    b.ldShared(4, 2, 0);
+    b.exit();
+    f.start(b.build());
+    auto c = f.ctx();
+    for (int i = 0; i < 5; ++i)
+        f.warp.executeNext(c);
+    EXPECT_EQ(f.warp.reg(9, 4), 63u);
+}
+
+TEST(Warp, DivergentBranchExecutesBothPaths)
+{
+    WarpFixture f;
+    // if (lane < 16) r2 = 1 else r2 = 2
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::LaneId);
+    b.setpImm(0, CmpOp::Ge, 1, 16);
+    b.braIf("else", 0, "endif");
+    b.movImm(2, 1);
+    b.bra("endif");
+    b.label("else");
+    b.movImm(2, 2);
+    b.label("endif");
+    b.exit();
+    f.start(b.build());
+    auto c = f.ctx();
+    ExecResult r;
+    int steps = 0;
+    do {
+        r = f.warp.executeNext(c);
+        if (r.isBranch && r.inst->predUsed)
+            EXPECT_TRUE(r.branchDiverged);
+        steps++;
+        ASSERT_LT(steps, 20);
+    } while (!r.exited);
+    for (int lane = 0; lane < 32; ++lane)
+        EXPECT_EQ(f.warp.reg(lane, 2), lane < 16 ? 1u : 2u);
+    EXPECT_EQ(f.warp.state(), WarpState::Finished);
+}
+
+TEST(Warp, PartialWarpOnlyActiveLanesExecute)
+{
+    WarpFixture f;
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::LaneId);
+    b.shlImm(2, 1, 2);
+    b.movImm(3, 7);
+    b.stGlobal(2, 3, 0x3000);
+    b.exit();
+    f.start(b.build(), /*active=*/10);
+    auto c = f.ctx();
+    ExecResult r;
+    do {
+        r = f.warp.executeNext(c);
+        if (r.inst->isGlobal())
+            EXPECT_EQ(r.laneAddrs.size(), 10u);
+    } while (!r.exited);
+    EXPECT_EQ(f.mem.read32(0x3000 + 4 * 9), 7u);
+    EXPECT_EQ(f.mem.read32(0x3000 + 4 * 10), 0u);
+}
+
+TEST(Warp, BarrierSetsStateAndResumes)
+{
+    WarpFixture f;
+    ProgramBuilder b;
+    b.movImm(1, 5);
+    b.bar();
+    b.addImm(1, 1, 1);
+    b.exit();
+    f.start(b.build());
+    auto c = f.ctx();
+    f.warp.executeNext(c);
+    const ExecResult r = f.warp.executeNext(c);
+    EXPECT_TRUE(r.atBarrier);
+    EXPECT_EQ(f.warp.state(), WarpState::AtBarrier);
+    f.warp.setState(WarpState::Running);
+    f.warp.executeNext(c);
+    EXPECT_EQ(f.warp.reg(0, 1), 6u);
+}
+
+TEST(Warp, SelpUsesPredicatePerLane)
+{
+    WarpFixture f;
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::LaneId);
+    b.setpImm(0, CmpOp::Lt, 1, 8);
+    b.movImm(2, 100);
+    b.movImm(3, 200);
+    b.selp(4, 0, 2, 3);
+    b.exit();
+    f.start(b.build());
+    auto c = f.ctx();
+    for (int i = 0; i < 5; ++i)
+        f.warp.executeNext(c);
+    EXPECT_EQ(f.warp.reg(3, 4), 100u);
+    EXPECT_EQ(f.warp.reg(20, 4), 200u);
+}
+
+TEST(Scoreboard, DependencyMasks)
+{
+    Instruction add;
+    add.op = Opcode::Add;
+    add.dst = 3;
+    add.src0 = 1;
+    add.src1 = 2;
+    EXPECT_EQ(regsRead(add), 0b110u);
+    EXPECT_EQ(regsWritten(add), 0b1000u);
+
+    Instruction mad;
+    mad.op = Opcode::Mad;
+    mad.dst = 0;
+    mad.src0 = 1;
+    mad.src1 = 2;
+    mad.src2 = 3;
+    EXPECT_EQ(regsRead(mad), 0b1110u);
+
+    Instruction setp;
+    setp.op = Opcode::Setp;
+    setp.pdst = 2;
+    setp.src0 = 4;
+    setp.src1 = 5;
+    EXPECT_EQ(predsWritten(setp), 0b100u);
+    EXPECT_EQ(regsRead(setp), 0b110000u);
+
+    Instruction bra;
+    bra.op = Opcode::Bra;
+    bra.predUsed = true;
+    bra.psrc = 1;
+    EXPECT_EQ(predsRead(bra), 0b10u);
+    Instruction ubra;
+    ubra.op = Opcode::Bra;
+    EXPECT_EQ(predsRead(ubra), 0u);
+
+    Instruction st;
+    st.op = Opcode::StGlobal;
+    st.src0 = 6;
+    st.src1 = 7;
+    EXPECT_EQ(regsRead(st), 0b11000000u);
+    EXPECT_EQ(regsWritten(st), 0u);
+}
+
+TEST(Scoreboard, BlocksOnPendingRegs)
+{
+    Scoreboard sb;
+    Instruction add;
+    add.op = Opcode::Add;
+    add.dst = 3;
+    add.src0 = 1;
+    add.src1 = 2;
+    EXPECT_TRUE(sb.canIssue(add));
+    sb.pendingRegs = 1u << 2; // src1 pending
+    EXPECT_FALSE(sb.canIssue(add));
+    sb.pendingRegs = 1u << 3; // WAW on dst
+    EXPECT_FALSE(sb.canIssue(add));
+    sb.pendingRegs = 1u << 5;
+    EXPECT_TRUE(sb.canIssue(add));
+    sb.pendingMemRegs = 1u << 2;
+    sb.pendingRegs |= sb.pendingMemRegs;
+    EXPECT_TRUE(sb.blockedByMemory(add));
+}
+
+TEST(Barrier, ArriveAndRelease)
+{
+    BarrierState bar;
+    bar.reset(3);
+    EXPECT_FALSE(bar.arrive());
+    EXPECT_FALSE(bar.arrive());
+    EXPECT_TRUE(bar.arrive());
+    EXPECT_EQ(bar.arrived(), 0); // reset for the next phase
+    // A warp exiting can release the rest.
+    EXPECT_FALSE(bar.arrive());
+    EXPECT_FALSE(bar.arrive());
+    EXPECT_TRUE(bar.reduceExpected());
+    EXPECT_EQ(bar.expected(), 2);
+}
+
+} // namespace
+} // namespace cawa

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Structural tests for the workload kernels themselves: opcode
+ * composition (the properties each benchmark is supposed to have),
+ * geometry/occupancy sanity, and input-shape checks (bfs degree
+ * distributions, b+tree search-tree ordering).
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu_config.hh"
+#include "workloads/registry.hh"
+
+namespace cawa
+{
+namespace
+{
+
+std::map<Opcode, int>
+histogram(const Program &p)
+{
+    std::map<Opcode, int> h;
+    for (std::uint32_t pc = 0; pc < p.size(); ++pc)
+        h[p.at(pc).op]++;
+    return h;
+}
+
+KernelInfo
+build(const std::string &name, MemoryImage &mem, double scale = 0.25)
+{
+    auto wl = makeWorkload(name);
+    WorkloadParams params;
+    params.scale = scale;
+    return wl->build(mem, params);
+}
+
+TEST(WorkloadPrograms, BfsHasDivergentBranchAndLoop)
+{
+    MemoryImage mem;
+    const KernelInfo k = build("bfs", mem);
+    const auto h = histogram(k.program);
+    EXPECT_GE(h.at(Opcode::Bra), 4); // loop + exit branch + if/else
+    EXPECT_GE(h.at(Opcode::LdGlobal), 4);
+    EXPECT_GE(h.at(Opcode::StGlobal), 3);
+    // 16 warps per block, matching the Fig 12 experiment.
+    EXPECT_EQ(k.blockDim, 512);
+}
+
+TEST(WorkloadPrograms, BfsDegreesRespectBalancedKnob)
+{
+    MemoryImage imb;
+    MemoryImage bal;
+    auto w1 = makeWorkload("bfs");
+    auto w2 = makeWorkload("bfs");
+    WorkloadParams p1;
+    p1.scale = 0.25;
+    WorkloadParams p2 = p1;
+    p2.bfsBalanced = true;
+    const KernelInfo k1 = w1->build(imb, p1);
+    w2->build(bal, p2);
+    const int n = k1.totalThreads();
+    constexpr Addr kOff = 0x01000000;
+    std::uint32_t min_deg = ~0u;
+    std::uint32_t max_deg = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::uint32_t deg_i = imb.read32(kOff + 4ull * (i + 1)) -
+                                    imb.read32(kOff + 4ull * i);
+        min_deg = std::min(min_deg, deg_i);
+        max_deg = std::max(max_deg, deg_i);
+        const std::uint32_t deg_b = bal.read32(kOff + 4ull * (i + 1)) -
+                                    bal.read32(kOff + 4ull * i);
+        ASSERT_EQ(deg_b, 8u); // balanced input: uniform degree
+    }
+    EXPECT_LT(min_deg, 8u);
+    EXPECT_GT(max_deg, 20u); // heavy tail present
+}
+
+TEST(WorkloadPrograms, BtreeKeysFormSearchTree)
+{
+    MemoryImage mem;
+    build("b+tree", mem);
+    // Root node boundaries must be increasing and cover the domain.
+    constexpr Addr kRoot = 0x01000000;
+    std::uint32_t prev = 0;
+    for (int j = 0; j < 16; ++j) {
+        const std::uint32_t key = mem.read32(kRoot + 4ull * j);
+        EXPECT_GT(key, prev);
+        prev = key;
+    }
+    EXPECT_EQ(prev, 1u << 20); // last boundary = domain size
+}
+
+TEST(WorkloadPrograms, KmeansIsBranchUniform)
+{
+    // kmeans must have loops but no data-divergent if/else: its Sens
+    // quality is purely cache-driven (selp handles the min update).
+    MemoryImage mem;
+    const KernelInfo k = build("kmeans", mem);
+    const auto h = histogram(k.program);
+    EXPECT_EQ(h.at(Opcode::Bra), 2); // two loop back-edges only
+    EXPECT_GE(h.at(Opcode::Selp), 2);
+}
+
+TEST(WorkloadPrograms, NeedleUsesBarriersAndShared)
+{
+    MemoryImage mem;
+    const KernelInfo k = build("needle", mem);
+    const auto h = histogram(k.program);
+    EXPECT_GE(h.at(Opcode::Bar), 2);
+    EXPECT_GE(h.at(Opcode::LdShared), 3);
+    EXPECT_GE(h.at(Opcode::StShared), 3);
+    EXPECT_EQ(k.blockDim, 32); // single warp per block
+    EXPECT_GT(k.smemPerBlock, 0);
+}
+
+TEST(WorkloadPrograms, HeartwallHasLargeStaticProgram)
+{
+    MemoryImage mem;
+    const KernelInfo k = build("heartwall", mem);
+    // "Large kernel": the biggest static program in the suite.
+    for (const auto &other :
+         {"bfs", "kmeans", "needle", "pathfinder", "tpacf"}) {
+        MemoryImage m2;
+        EXPECT_GT(k.program.size(), build(other, m2).program.size())
+            << other;
+    }
+    EXPECT_GT(k.program.size(), 150u);
+}
+
+TEST(WorkloadPrograms, BackpropHasNoBranches)
+{
+    MemoryImage mem;
+    const KernelInfo k = build("backprop", mem);
+    const auto h = histogram(k.program);
+    EXPECT_EQ(h.count(Opcode::Bra), 0u);
+    EXPECT_EQ(h.count(Opcode::Bar), 0u);
+}
+
+TEST(WorkloadPrograms, PathfinderBarriersPerRow)
+{
+    MemoryImage mem;
+    const KernelInfo k = build("pathfinder", mem);
+    const auto h = histogram(k.program);
+    EXPECT_GE(h.at(Opcode::Bar), 2);
+    EXPECT_GT(k.smemPerBlock, 0);
+}
+
+TEST(WorkloadPrograms, OccupancyFitsFermiLimits)
+{
+    const GpuConfig cfg = GpuConfig::fermiGtx480();
+    for (const auto &name : allWorkloadNames()) {
+        MemoryImage mem;
+        const KernelInfo k = build(name, mem);
+        EXPECT_LE(k.warpsPerBlock(cfg.warpSize), cfg.maxWarpsPerSm)
+            << name;
+        EXPECT_LE(k.blockDim * k.regsPerThread, cfg.regFileSize)
+            << name;
+        EXPECT_LE(k.smemPerBlock, cfg.sharedMemBytes) << name;
+        // At least two blocks must fit per SM (tail hygiene).
+        EXPECT_LE(2 * k.warpsPerBlock(cfg.warpSize), cfg.maxWarpsPerSm)
+            << name;
+    }
+}
+
+TEST(WorkloadPrograms, SeedChangesInputsNotStructure)
+{
+    for (const auto &name : {"bfs", "kmeans", "srad_1"}) {
+        auto w1 = makeWorkload(name);
+        auto w2 = makeWorkload(name);
+        MemoryImage m1;
+        MemoryImage m2;
+        WorkloadParams p1;
+        p1.scale = 0.25;
+        p1.seed = 1;
+        WorkloadParams p2 = p1;
+        p2.seed = 99;
+        const KernelInfo k1 = w1->build(m1, p1);
+        const KernelInfo k2 = w2->build(m2, p2);
+        EXPECT_EQ(k1.program.size(), k2.program.size());
+        EXPECT_EQ(k1.gridDim, k2.gridDim);
+        // Inputs differ somewhere.
+        bool differs = false;
+        for (Addr a = 0x01000000; a < 0x01000400 && !differs; a += 4)
+            differs = m1.read32(a) != m2.read32(a);
+        EXPECT_TRUE(differs) << name;
+    }
+}
+
+} // namespace
+} // namespace cawa

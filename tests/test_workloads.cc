@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Workload construction tests: every Table 2 benchmark builds a valid
+ * program, is deterministic in its seed, scales, and its functional
+ * reference terminates and produces nonzero output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/functional.hh"
+#include "workloads/registry.hh"
+
+namespace cawa
+{
+namespace
+{
+
+class WorkloadTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadTest, BuildsValidProgram)
+{
+    auto wl = makeWorkload(GetParam());
+    MemoryImage mem;
+    WorkloadParams params;
+    const KernelInfo kernel = wl->build(mem, params);
+    EXPECT_EQ(kernel.program.validate(), "");
+    EXPECT_GT(kernel.gridDim, 0);
+    EXPECT_GT(kernel.blockDim, 0);
+    EXPECT_LE(kernel.regsPerThread, kNumRegs);
+    EXPECT_FALSE(wl->outputs().empty());
+}
+
+TEST_P(WorkloadTest, MetadataMatchesRegistry)
+{
+    auto wl = makeWorkload(GetParam());
+    EXPECT_EQ(wl->name(), GetParam());
+    EXPECT_FALSE(wl->dataSet().empty());
+}
+
+TEST_P(WorkloadTest, DeterministicBuild)
+{
+    auto wl1 = makeWorkload(GetParam());
+    auto wl2 = makeWorkload(GetParam());
+    MemoryImage m1;
+    MemoryImage m2;
+    WorkloadParams params;
+    params.seed = 42;
+    wl1->build(m1, params);
+    wl2->build(m2, params);
+    // Compare the output of the functional reference on both images.
+    for (const auto &range : wl1->outputs()) {
+        for (std::uint64_t b = 0; b < range.bytes; b += 4) {
+            ASSERT_EQ(m1.read32(range.base + b),
+                      m2.read32(range.base + b));
+        }
+    }
+}
+
+TEST_P(WorkloadTest, FunctionalReferenceTerminates)
+{
+    auto wl = makeWorkload(GetParam());
+    MemoryImage mem;
+    WorkloadParams params;
+    params.scale = 0.25;
+    const KernelInfo kernel = wl->build(mem, params);
+    runFunctional(kernel, mem);
+    // The reference output should not be all zeros.
+    bool any_nonzero = false;
+    for (const auto &range : wl->outputs())
+        for (std::uint64_t b = 0; b < range.bytes && !any_nonzero;
+             b += 4)
+            any_nonzero = mem.read32(range.base + b) != 0;
+    EXPECT_TRUE(any_nonzero);
+}
+
+TEST_P(WorkloadTest, ScaleChangesGrid)
+{
+    auto small = makeWorkload(GetParam());
+    auto large = makeWorkload(GetParam());
+    MemoryImage m1;
+    MemoryImage m2;
+    WorkloadParams p_small;
+    p_small.scale = 0.25;
+    WorkloadParams p_large;
+    p_large.scale = 1.0;
+    const KernelInfo k_small = small->build(m1, p_small);
+    const KernelInfo k_large = large->build(m2, p_large);
+    EXPECT_LT(k_small.gridDim, k_large.gridDim);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadTest,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '+')
+                c = 'p';
+        return name;
+    });
+
+TEST(Registry, NamesAreComplete)
+{
+    EXPECT_EQ(allWorkloadNames().size(), 12u);
+    EXPECT_EQ(sensitiveWorkloadNames().size(), 7u);
+    for (const auto &name : allWorkloadNames()) {
+        auto wl = makeWorkload(name);
+        ASSERT_NE(wl, nullptr);
+    }
+}
+
+TEST(Registry, SensitivityClassesMatchTable2)
+{
+    for (const auto &name : sensitiveWorkloadNames())
+        EXPECT_TRUE(makeWorkload(name)->sensitive()) << name;
+    EXPECT_FALSE(makeWorkload("backprop")->sensitive());
+    EXPECT_FALSE(makeWorkload("particle")->sensitive());
+    EXPECT_FALSE(makeWorkload("pathfinder")->sensitive());
+    EXPECT_FALSE(makeWorkload("strcltr_mid")->sensitive());
+    EXPECT_FALSE(makeWorkload("tpacf")->sensitive());
+}
+
+} // namespace
+} // namespace cawa
