@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cpl.dir/bench_ablation_cpl.cc.o"
+  "CMakeFiles/bench_ablation_cpl.dir/bench_ablation_cpl.cc.o.d"
+  "bench_ablation_cpl"
+  "bench_ablation_cpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_signature.dir/bench_ablation_signature.cc.o"
+  "CMakeFiles/bench_ablation_signature.dir/bench_ablation_signature.cc.o.d"
+  "bench_ablation_signature"
+  "bench_ablation_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

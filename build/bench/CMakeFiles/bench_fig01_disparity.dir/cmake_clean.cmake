@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_disparity.dir/bench_fig01_disparity.cc.o"
+  "CMakeFiles/bench_fig01_disparity.dir/bench_fig01_disparity.cc.o.d"
+  "bench_fig01_disparity"
+  "bench_fig01_disparity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_disparity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

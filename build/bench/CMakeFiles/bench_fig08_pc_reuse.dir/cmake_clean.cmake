@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_pc_reuse.dir/bench_fig08_pc_reuse.cc.o"
+  "CMakeFiles/bench_fig08_pc_reuse.dir/bench_fig08_pc_reuse.cc.o.d"
+  "bench_fig08_pc_reuse"
+  "bench_fig08_pc_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_pc_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

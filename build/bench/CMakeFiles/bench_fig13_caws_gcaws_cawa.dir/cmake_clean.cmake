@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_caws_gcaws_cawa.dir/bench_fig13_caws_gcaws_cawa.cc.o"
+  "CMakeFiles/bench_fig13_caws_gcaws_cawa.dir/bench_fig13_caws_gcaws_cawa.cc.o.d"
+  "bench_fig13_caws_gcaws_cawa"
+  "bench_fig13_caws_gcaws_cawa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_caws_gcaws_cawa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_crit_hitrate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig17_cacp_ipc.
+# This may be replaced when dependencies are built.

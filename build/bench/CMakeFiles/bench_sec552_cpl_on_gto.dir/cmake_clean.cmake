@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec552_cpl_on_gto.dir/bench_sec552_cpl_on_gto.cc.o"
+  "CMakeFiles/bench_sec552_cpl_on_gto.dir/bench_sec552_cpl_on_gto.cc.o.d"
+  "bench_sec552_cpl_on_gto"
+  "bench_sec552_cpl_on_gto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec552_cpl_on_gto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

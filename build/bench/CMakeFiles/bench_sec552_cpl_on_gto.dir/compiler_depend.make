@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec552_cpl_on_gto.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cawa/ccbp.cc" "src/CMakeFiles/cawa_cawa.dir/cawa/ccbp.cc.o" "gcc" "src/CMakeFiles/cawa_cawa.dir/cawa/ccbp.cc.o.d"
+  "/root/repo/src/cawa/criticality.cc" "src/CMakeFiles/cawa_cawa.dir/cawa/criticality.cc.o" "gcc" "src/CMakeFiles/cawa_cawa.dir/cawa/criticality.cc.o.d"
+  "/root/repo/src/cawa/ship.cc" "src/CMakeFiles/cawa_cawa.dir/cawa/ship.cc.o" "gcc" "src/CMakeFiles/cawa_cawa.dir/cawa/ship.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cawa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

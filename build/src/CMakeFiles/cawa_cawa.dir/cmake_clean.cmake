@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cawa_cawa.dir/cawa/ccbp.cc.o"
+  "CMakeFiles/cawa_cawa.dir/cawa/ccbp.cc.o.d"
+  "CMakeFiles/cawa_cawa.dir/cawa/criticality.cc.o"
+  "CMakeFiles/cawa_cawa.dir/cawa/criticality.cc.o.d"
+  "CMakeFiles/cawa_cawa.dir/cawa/ship.cc.o"
+  "CMakeFiles/cawa_cawa.dir/cawa/ship.cc.o.d"
+  "libcawa_cawa.a"
+  "libcawa_cawa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cawa_cawa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

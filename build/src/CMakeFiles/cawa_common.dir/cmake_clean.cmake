@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cawa_common.dir/common/rng.cc.o"
+  "CMakeFiles/cawa_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/cawa_common.dir/common/table.cc.o"
+  "CMakeFiles/cawa_common.dir/common/table.cc.o.d"
+  "libcawa_common.a"
+  "libcawa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cawa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cawa_isa.dir/isa/assembler.cc.o"
+  "CMakeFiles/cawa_isa.dir/isa/assembler.cc.o.d"
+  "CMakeFiles/cawa_isa.dir/isa/instruction.cc.o"
+  "CMakeFiles/cawa_isa.dir/isa/instruction.cc.o.d"
+  "CMakeFiles/cawa_isa.dir/isa/program.cc.o"
+  "CMakeFiles/cawa_isa.dir/isa/program.cc.o.d"
+  "CMakeFiles/cawa_isa.dir/isa/program_builder.cc.o"
+  "CMakeFiles/cawa_isa.dir/isa/program_builder.cc.o.d"
+  "libcawa_isa.a"
+  "libcawa_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cawa_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cacp_policy.cc" "src/CMakeFiles/cawa_mem.dir/mem/cacp_policy.cc.o" "gcc" "src/CMakeFiles/cawa_mem.dir/mem/cacp_policy.cc.o.d"
+  "/root/repo/src/mem/coalescer.cc" "src/CMakeFiles/cawa_mem.dir/mem/coalescer.cc.o" "gcc" "src/CMakeFiles/cawa_mem.dir/mem/coalescer.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/cawa_mem.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/cawa_mem.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/interconnect.cc" "src/CMakeFiles/cawa_mem.dir/mem/interconnect.cc.o" "gcc" "src/CMakeFiles/cawa_mem.dir/mem/interconnect.cc.o.d"
+  "/root/repo/src/mem/l1d_cache.cc" "src/CMakeFiles/cawa_mem.dir/mem/l1d_cache.cc.o" "gcc" "src/CMakeFiles/cawa_mem.dir/mem/l1d_cache.cc.o.d"
+  "/root/repo/src/mem/l2_cache.cc" "src/CMakeFiles/cawa_mem.dir/mem/l2_cache.cc.o" "gcc" "src/CMakeFiles/cawa_mem.dir/mem/l2_cache.cc.o.d"
+  "/root/repo/src/mem/memory_image.cc" "src/CMakeFiles/cawa_mem.dir/mem/memory_image.cc.o" "gcc" "src/CMakeFiles/cawa_mem.dir/mem/memory_image.cc.o.d"
+  "/root/repo/src/mem/replacement.cc" "src/CMakeFiles/cawa_mem.dir/mem/replacement.cc.o" "gcc" "src/CMakeFiles/cawa_mem.dir/mem/replacement.cc.o.d"
+  "/root/repo/src/mem/tag_array.cc" "src/CMakeFiles/cawa_mem.dir/mem/tag_array.cc.o" "gcc" "src/CMakeFiles/cawa_mem.dir/mem/tag_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cawa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_cawa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

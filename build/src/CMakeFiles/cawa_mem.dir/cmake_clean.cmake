@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cawa_mem.dir/mem/cacp_policy.cc.o"
+  "CMakeFiles/cawa_mem.dir/mem/cacp_policy.cc.o.d"
+  "CMakeFiles/cawa_mem.dir/mem/coalescer.cc.o"
+  "CMakeFiles/cawa_mem.dir/mem/coalescer.cc.o.d"
+  "CMakeFiles/cawa_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/cawa_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/cawa_mem.dir/mem/interconnect.cc.o"
+  "CMakeFiles/cawa_mem.dir/mem/interconnect.cc.o.d"
+  "CMakeFiles/cawa_mem.dir/mem/l1d_cache.cc.o"
+  "CMakeFiles/cawa_mem.dir/mem/l1d_cache.cc.o.d"
+  "CMakeFiles/cawa_mem.dir/mem/l2_cache.cc.o"
+  "CMakeFiles/cawa_mem.dir/mem/l2_cache.cc.o.d"
+  "CMakeFiles/cawa_mem.dir/mem/memory_image.cc.o"
+  "CMakeFiles/cawa_mem.dir/mem/memory_image.cc.o.d"
+  "CMakeFiles/cawa_mem.dir/mem/replacement.cc.o"
+  "CMakeFiles/cawa_mem.dir/mem/replacement.cc.o.d"
+  "CMakeFiles/cawa_mem.dir/mem/tag_array.cc.o"
+  "CMakeFiles/cawa_mem.dir/mem/tag_array.cc.o.d"
+  "libcawa_mem.a"
+  "libcawa_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cawa_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/caws_oracle.cc" "src/CMakeFiles/cawa_sched.dir/sched/caws_oracle.cc.o" "gcc" "src/CMakeFiles/cawa_sched.dir/sched/caws_oracle.cc.o.d"
+  "/root/repo/src/sched/gcaws.cc" "src/CMakeFiles/cawa_sched.dir/sched/gcaws.cc.o" "gcc" "src/CMakeFiles/cawa_sched.dir/sched/gcaws.cc.o.d"
+  "/root/repo/src/sched/gto.cc" "src/CMakeFiles/cawa_sched.dir/sched/gto.cc.o" "gcc" "src/CMakeFiles/cawa_sched.dir/sched/gto.cc.o.d"
+  "/root/repo/src/sched/lrr.cc" "src/CMakeFiles/cawa_sched.dir/sched/lrr.cc.o" "gcc" "src/CMakeFiles/cawa_sched.dir/sched/lrr.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/cawa_sched.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/cawa_sched.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/two_level.cc" "src/CMakeFiles/cawa_sched.dir/sched/two_level.cc.o" "gcc" "src/CMakeFiles/cawa_sched.dir/sched/two_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cawa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cawa_sched.dir/sched/caws_oracle.cc.o"
+  "CMakeFiles/cawa_sched.dir/sched/caws_oracle.cc.o.d"
+  "CMakeFiles/cawa_sched.dir/sched/gcaws.cc.o"
+  "CMakeFiles/cawa_sched.dir/sched/gcaws.cc.o.d"
+  "CMakeFiles/cawa_sched.dir/sched/gto.cc.o"
+  "CMakeFiles/cawa_sched.dir/sched/gto.cc.o.d"
+  "CMakeFiles/cawa_sched.dir/sched/lrr.cc.o"
+  "CMakeFiles/cawa_sched.dir/sched/lrr.cc.o.d"
+  "CMakeFiles/cawa_sched.dir/sched/scheduler.cc.o"
+  "CMakeFiles/cawa_sched.dir/sched/scheduler.cc.o.d"
+  "CMakeFiles/cawa_sched.dir/sched/two_level.cc.o"
+  "CMakeFiles/cawa_sched.dir/sched/two_level.cc.o.d"
+  "libcawa_sched.a"
+  "libcawa_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cawa_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcawa_sched.a"
+)

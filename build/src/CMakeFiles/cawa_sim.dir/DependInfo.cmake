@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/functional.cc" "src/CMakeFiles/cawa_sim.dir/sim/functional.cc.o" "gcc" "src/CMakeFiles/cawa_sim.dir/sim/functional.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/CMakeFiles/cawa_sim.dir/sim/gpu.cc.o" "gcc" "src/CMakeFiles/cawa_sim.dir/sim/gpu.cc.o.d"
+  "/root/repo/src/sim/gpu_config.cc" "src/CMakeFiles/cawa_sim.dir/sim/gpu_config.cc.o" "gcc" "src/CMakeFiles/cawa_sim.dir/sim/gpu_config.cc.o.d"
+  "/root/repo/src/sim/oracle.cc" "src/CMakeFiles/cawa_sim.dir/sim/oracle.cc.o" "gcc" "src/CMakeFiles/cawa_sim.dir/sim/oracle.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/cawa_sim.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/cawa_sim.dir/sim/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cawa_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_cawa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

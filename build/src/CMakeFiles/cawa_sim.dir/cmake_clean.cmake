@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cawa_sim.dir/sim/functional.cc.o"
+  "CMakeFiles/cawa_sim.dir/sim/functional.cc.o.d"
+  "CMakeFiles/cawa_sim.dir/sim/gpu.cc.o"
+  "CMakeFiles/cawa_sim.dir/sim/gpu.cc.o.d"
+  "CMakeFiles/cawa_sim.dir/sim/gpu_config.cc.o"
+  "CMakeFiles/cawa_sim.dir/sim/gpu_config.cc.o.d"
+  "CMakeFiles/cawa_sim.dir/sim/oracle.cc.o"
+  "CMakeFiles/cawa_sim.dir/sim/oracle.cc.o.d"
+  "CMakeFiles/cawa_sim.dir/sim/report.cc.o"
+  "CMakeFiles/cawa_sim.dir/sim/report.cc.o.d"
+  "libcawa_sim.a"
+  "libcawa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cawa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

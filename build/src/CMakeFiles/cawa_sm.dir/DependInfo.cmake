@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sm/barrier.cc" "src/CMakeFiles/cawa_sm.dir/sm/barrier.cc.o" "gcc" "src/CMakeFiles/cawa_sm.dir/sm/barrier.cc.o.d"
+  "/root/repo/src/sm/dispatcher.cc" "src/CMakeFiles/cawa_sm.dir/sm/dispatcher.cc.o" "gcc" "src/CMakeFiles/cawa_sm.dir/sm/dispatcher.cc.o.d"
+  "/root/repo/src/sm/scoreboard.cc" "src/CMakeFiles/cawa_sm.dir/sm/scoreboard.cc.o" "gcc" "src/CMakeFiles/cawa_sm.dir/sm/scoreboard.cc.o.d"
+  "/root/repo/src/sm/simt_stack.cc" "src/CMakeFiles/cawa_sm.dir/sm/simt_stack.cc.o" "gcc" "src/CMakeFiles/cawa_sm.dir/sm/simt_stack.cc.o.d"
+  "/root/repo/src/sm/sm_core.cc" "src/CMakeFiles/cawa_sm.dir/sm/sm_core.cc.o" "gcc" "src/CMakeFiles/cawa_sm.dir/sm/sm_core.cc.o.d"
+  "/root/repo/src/sm/warp.cc" "src/CMakeFiles/cawa_sm.dir/sm/warp.cc.o" "gcc" "src/CMakeFiles/cawa_sm.dir/sm/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cawa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_cawa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

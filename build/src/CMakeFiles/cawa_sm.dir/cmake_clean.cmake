@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cawa_sm.dir/sm/barrier.cc.o"
+  "CMakeFiles/cawa_sm.dir/sm/barrier.cc.o.d"
+  "CMakeFiles/cawa_sm.dir/sm/dispatcher.cc.o"
+  "CMakeFiles/cawa_sm.dir/sm/dispatcher.cc.o.d"
+  "CMakeFiles/cawa_sm.dir/sm/scoreboard.cc.o"
+  "CMakeFiles/cawa_sm.dir/sm/scoreboard.cc.o.d"
+  "CMakeFiles/cawa_sm.dir/sm/simt_stack.cc.o"
+  "CMakeFiles/cawa_sm.dir/sm/simt_stack.cc.o.d"
+  "CMakeFiles/cawa_sm.dir/sm/sm_core.cc.o"
+  "CMakeFiles/cawa_sm.dir/sm/sm_core.cc.o.d"
+  "CMakeFiles/cawa_sm.dir/sm/warp.cc.o"
+  "CMakeFiles/cawa_sm.dir/sm/warp.cc.o.d"
+  "libcawa_sm.a"
+  "libcawa_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cawa_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

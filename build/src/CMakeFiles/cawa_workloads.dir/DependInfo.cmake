@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backprop.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/backprop.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/backprop.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/bfs.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/bfs.cc.o.d"
+  "/root/repo/src/workloads/btree.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/btree.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/btree.cc.o.d"
+  "/root/repo/src/workloads/heartwall.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/heartwall.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/heartwall.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/kmeans.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/kmeans.cc.o.d"
+  "/root/repo/src/workloads/needle.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/needle.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/needle.cc.o.d"
+  "/root/repo/src/workloads/particle.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/particle.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/particle.cc.o.d"
+  "/root/repo/src/workloads/pathfinder.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/pathfinder.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/pathfinder.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/srad.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/srad.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/srad.cc.o.d"
+  "/root/repo/src/workloads/streamcluster.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/streamcluster.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/streamcluster.cc.o.d"
+  "/root/repo/src/workloads/tpacf.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/tpacf.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/tpacf.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cawa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_cawa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cawa_workloads.dir/workloads/backprop.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/backprop.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/bfs.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/bfs.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/btree.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/btree.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/heartwall.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/heartwall.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/kmeans.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/kmeans.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/needle.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/needle.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/particle.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/particle.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/pathfinder.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/pathfinder.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/registry.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/registry.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/srad.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/srad.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/streamcluster.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/streamcluster.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/tpacf.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/tpacf.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/workload.cc.o.d"
+  "libcawa_workloads.a"
+  "libcawa_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cawa_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

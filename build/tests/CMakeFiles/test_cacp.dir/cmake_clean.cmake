@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cacp.dir/test_cacp.cc.o"
+  "CMakeFiles/test_cacp.dir/test_cacp.cc.o.d"
+  "test_cacp"
+  "test_cacp.pdb"
+  "test_cacp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cacp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

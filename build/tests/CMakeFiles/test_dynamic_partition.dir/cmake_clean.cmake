@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_partition.dir/test_dynamic_partition.cc.o"
+  "CMakeFiles/test_dynamic_partition.dir/test_dynamic_partition.cc.o.d"
+  "test_dynamic_partition"
+  "test_dynamic_partition.pdb"
+  "test_dynamic_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sm_level.dir/test_sm_level.cc.o"
+  "CMakeFiles/test_sm_level.dir/test_sm_level.cc.o.d"
+  "test_sm_level"
+  "test_sm_level.pdb"
+  "test_sm_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sm_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

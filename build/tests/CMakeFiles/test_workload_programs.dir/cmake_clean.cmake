@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_programs.dir/test_workload_programs.cc.o"
+  "CMakeFiles/test_workload_programs.dir/test_workload_programs.cc.o.d"
+  "test_workload_programs"
+  "test_workload_programs.pdb"
+  "test_workload_programs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

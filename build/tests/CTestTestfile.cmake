@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_cacp[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_criticality[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_functional[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_random_programs[1]_include.cmake")
+include("/root/repo/build/tests/test_schedulers[1]_include.cmake")
+include("/root/repo/build/tests/test_simt_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_sm_level[1]_include.cmake")
+include("/root/repo/build/tests/test_warp[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_programs[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
