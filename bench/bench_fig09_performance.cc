@@ -16,6 +16,13 @@ using namespace cawa;
 int
 main()
 {
+    bench::prefetch(bench::matrix(
+        allWorkloadNames(),
+        {bench::schedulerConfig(SchedulerKind::Lrr),
+         bench::schedulerConfig(SchedulerKind::TwoLevel),
+         bench::schedulerConfig(SchedulerKind::Gto),
+         bench::cawaConfig()}));
+
     Table t({"benchmark", "class", "rr-ipc", "2lvl", "gto", "cawa",
              "paper-note"});
     double sens_sum[3] = {};

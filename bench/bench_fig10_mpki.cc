@@ -14,6 +14,13 @@ using namespace cawa;
 int
 main()
 {
+    bench::prefetch(bench::matrix(
+        allWorkloadNames(),
+        {bench::schedulerConfig(SchedulerKind::Lrr),
+         bench::schedulerConfig(SchedulerKind::TwoLevel),
+         bench::schedulerConfig(SchedulerKind::Gto),
+         bench::cawaConfig()}));
+
     Table t({"benchmark", "rr", "2lvl", "gto", "cawa", "cawa-vs-rr%"});
     for (const auto &name : allWorkloadNames()) {
         const SimReport rr =

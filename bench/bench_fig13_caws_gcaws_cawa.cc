@@ -19,6 +19,13 @@ using namespace cawa;
 int
 main()
 {
+    bench::prefetch(bench::matrix(
+        sensitiveWorkloadNames(),
+        {bench::schedulerConfig(SchedulerKind::Lrr),
+         bench::schedulerConfig(SchedulerKind::CawsOracle),
+         bench::schedulerConfig(SchedulerKind::Gcaws),
+         bench::cawaConfig()}));
+
     Table t({"benchmark", "caws(oracle)", "gcaws", "cawa"});
     double sums[3] = {};
     int n = 0;

@@ -13,6 +13,19 @@ using namespace cawa;
 int
 main()
 {
+    std::vector<GpuConfig> cfgs;
+    for (SchedulerKind s : {SchedulerKind::Lrr, SchedulerKind::Gto,
+                            SchedulerKind::TwoLevel}) {
+        for (CachePolicyKind c :
+             {CachePolicyKind::Lru, CachePolicyKind::Cacp}) {
+            GpuConfig cfg = bench::schedulerConfig(s);
+            cfg.l1Policy = c;
+            cfgs.push_back(cfg);
+        }
+    }
+    cfgs.push_back(bench::cawaConfig());
+    bench::prefetch(bench::matrix(sensitiveWorkloadNames(), cfgs));
+
     Table t({"benchmark", "rr+cacp", "gto+cacp", "2lvl+cacp",
              "cawa-vs-rr"});
     double sums[3] = {};

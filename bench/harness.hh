@@ -8,33 +8,74 @@
  * gives them) and a CSV block for plotting. Problem scale can be
  * adjusted with the CAWA_BENCH_SCALE environment variable
  * (default 0.5; the paper-shape observations hold from ~0.25 up).
+ *
+ * Matrix-heavy binaries prefetch() their full run matrix through the
+ * parallel sweep engine before emitting any table; worker count comes
+ * from CAWA_BENCH_THREADS (default: all cores). Results are
+ * bit-identical at any thread count.
  */
 
 #ifndef CAWA_BENCH_HARNESS_HH
 #define CAWA_BENCH_HARNESS_HH
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.hh"
 #include "sim/functional.hh"
 #include "sim/gpu.hh"
 #include "sim/oracle.hh"
+#include "sim/sweep.hh"
 #include "workloads/registry.hh"
+#include "workloads/sweep_jobs.hh"
 
 namespace cawa::bench
 {
 
+/**
+ * Validated CAWA_BENCH_SCALE parse: the whole string must be a
+ * finite value > 0, otherwise fall back to @p fallback with a
+ * warning (std::atof would silently turn garbage into 0.0 and
+ * degenerate every workload).
+ */
+inline double
+parseBenchScale(const char *text, double fallback = 0.5)
+{
+    if (!text || !*text)
+        return fallback;
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(value) || value <= 0.0) {
+        std::fprintf(stderr,
+                     "warning: ignoring invalid CAWA_BENCH_SCALE '%s' "
+                     "(want a finite value > 0); using %g\n",
+                     text, fallback);
+        return fallback;
+    }
+    return value;
+}
+
 inline double
 benchScale()
 {
-    if (const char *env = std::getenv("CAWA_BENCH_SCALE"))
-        return std::atof(env);
-    return 0.5;
+    return parseBenchScale(std::getenv("CAWA_BENCH_SCALE"));
+}
+
+/** Sweep worker count; 0 lets the engine use all cores. */
+inline int
+benchThreads()
+{
+    return sweepThreadsFromEnv();
 }
 
 inline WorkloadParams
@@ -81,45 +122,101 @@ runKey(const std::string &workload, const GpuConfig &cfg,
     return oss.str();
 }
 
+/** Per-binary memo shared by prefetch() and run(). */
+inline std::map<std::string, SimReport> &
+runMemo()
+{
+    static std::map<std::string, SimReport> memo;
+    return memo;
+}
+
+[[noreturn]] inline void
+failJob(const std::string &workload, const SweepResult &res)
+{
+    if (!res.error.empty())
+        std::fprintf(stderr, "ERROR: %s failed: %s\n", workload.c_str(),
+                     res.error.c_str());
+    else if (res.report.timedOut)
+        std::fprintf(stderr, "ERROR: %s timed out\n", workload.c_str());
+    else
+        std::fprintf(stderr, "ERROR: %s failed verification under %s\n",
+                     workload.c_str(),
+                     res.report.schedulerName.c_str());
+    std::exit(1);
+}
+
+/**
+ * Run the whole (workload, config) matrix through the sweep engine
+ * on CAWA_BENCH_THREADS workers and fill the memo, so subsequent
+ * run() calls are lookups. Verification failures and timeouts abort
+ * the binary, exactly like serial run().
+ */
+inline void
+prefetch(const std::vector<std::pair<std::string, GpuConfig>> &runs,
+         WorkloadParams params = benchParams())
+{
+    auto &memo = runMemo();
+    std::vector<WorkloadJobSpec> specs;
+    std::vector<std::string> keys;
+    for (const auto &[workload, cfg] : runs) {
+        const std::string key = runKey(workload, cfg, params);
+        if (memo.count(key))
+            continue;
+        bool queued = false;
+        for (const auto &seen : keys)
+            queued = queued || seen == key;
+        if (queued)
+            continue;
+        specs.push_back({workload, cfg, params});
+        keys.push_back(key);
+    }
+    if (specs.empty())
+        return;
+
+    const SweepEngine engine(benchThreads());
+    const auto results = engine.run(makeWorkloadJobs(specs));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok())
+            failJob(specs[i].workload, results[i]);
+        memo.emplace(keys[i], results[i].report);
+    }
+}
+
+/** Cross product helper for prefetch(): every name under every cfg. */
+inline std::vector<std::pair<std::string, GpuConfig>>
+matrix(const std::vector<std::string> &names,
+       const std::vector<GpuConfig> &cfgs)
+{
+    std::vector<std::pair<std::string, GpuConfig>> runs;
+    runs.reserve(names.size() * cfgs.size());
+    for (const auto &name : names)
+        for (const auto &cfg : cfgs)
+            runs.emplace_back(name, cfg);
+    return runs;
+}
+
 /**
  * Run one workload under @p cfg (CAWS oracle configs run the
  * profiling pass automatically) and verify the results; exits with
  * an error on functional mismatch so a broken simulator cannot
  * silently produce plausible-looking numbers. Identical
- * (workload, config, params) runs within one binary are memoized.
+ * (workload, config, params) runs within one binary are memoized,
+ * and prefetch() fills the same memo in parallel.
  */
 inline SimReport
 run(const std::string &workload, const GpuConfig &cfg,
     WorkloadParams params = benchParams())
 {
-    static std::map<std::string, SimReport> memo;
+    auto &memo = runMemo();
     const std::string key = runKey(workload, cfg, params);
     if (auto it = memo.find(key); it != memo.end())
         return it->second;
-    auto wl = makeWorkload(workload);
-    MemoryImage mem;
-    const KernelInfo kernel = wl->build(mem, params);
-
-    SimReport report;
-    if (cfg.scheduler == SchedulerKind::CawsOracle) {
-        auto profile_wl = makeWorkload(workload);
-        MemoryImage profile_mem;
-        profile_wl->build(profile_mem, params);
-        report = runWithCawsOracle(cfg, mem, profile_mem, kernel);
-    } else {
-        report = runKernel(cfg, mem, kernel);
-    }
-    if (report.timedOut) {
-        std::fprintf(stderr, "ERROR: %s timed out\n", workload.c_str());
-        std::exit(1);
-    }
-    if (!wl->verify(mem)) {
-        std::fprintf(stderr, "ERROR: %s failed verification under %s\n",
-                     workload.c_str(), report.schedulerName.c_str());
-        std::exit(1);
-    }
-    memo.emplace(key, report);
-    return report;
+    const SweepResult res =
+        runSweepJob(makeWorkloadJob({workload, cfg, params}));
+    if (!res.ok())
+        failJob(workload, res);
+    memo.emplace(key, res.report);
+    return res.report;
 }
 
 /** Print the table and its CSV twin. */

@@ -91,6 +91,11 @@ bench/CMakeFiles/bench_ablation_partition.dir/bench_ablation_partition.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/bench/harness.hh \
+ /usr/include/c++/12/cerrno /usr/include/errno.h \
+ /usr/include/x86_64-linux-gnu/bits/errno.h /usr/include/linux/errno.h \
+ /usr/include/x86_64-linux-gnu/asm/errno.h \
+ /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
+ /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/cstdio /usr/include/stdio.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
  /usr/include/x86_64-linux-gnu/bits/types/__fpos_t.h \
@@ -156,11 +161,7 @@ bench/CMakeFiles/bench_ablation_partition.dir/bench_ablation_partition.cc.o: \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/bits/string_view.tcc \
- /usr/include/c++/12/ext/string_conversions.h /usr/include/c++/12/cerrno \
- /usr/include/errno.h /usr/include/x86_64-linux-gnu/bits/errno.h \
- /usr/include/linux/errno.h /usr/include/x86_64-linux-gnu/asm/errno.h \
- /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
- /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
+ /usr/include/c++/12/ext/string_conversions.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
  /usr/include/c++/12/bits/locale_classes.tcc \
@@ -185,15 +186,16 @@ bench/CMakeFiles/bench_ablation_partition.dir/bench_ablation_partition.cc.o: \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/table.hh \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/functional.hh \
- /root/repo/src/isa/kernel.hh /root/repo/src/isa/program.hh \
- /root/repo/src/isa/instruction.hh /root/repo/src/common/types.hh \
- /root/repo/src/mem/memory_image.hh /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/table.hh \
+ /root/repo/src/sim/functional.hh /root/repo/src/isa/kernel.hh \
+ /root/repo/src/isa/program.hh /root/repo/src/isa/instruction.hh \
+ /root/repo/src/common/types.hh /root/repo/src/mem/memory_image.hh \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sim/gpu.hh \
@@ -257,5 +259,8 @@ bench/CMakeFiles/bench_ablation_partition.dir/bench_ablation_partition.cc.o: \
  /root/repo/src/cawa/criticality.hh /root/repo/src/mem/coalescer.hh \
  /root/repo/src/sm/barrier.hh /root/repo/src/sm/warp.hh \
  /root/repo/src/sm/scoreboard.hh /root/repo/src/sm/simt_stack.hh \
- /root/repo/src/sim/oracle.hh /root/repo/src/workloads/registry.hh \
- /root/repo/src/workloads/workload.hh
+ /root/repo/src/sim/oracle.hh /root/repo/src/sim/sweep.hh \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/workloads/registry.hh \
+ /root/repo/src/workloads/workload.hh \
+ /root/repo/src/workloads/sweep_jobs.hh

@@ -13,6 +13,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/gpu_config.cc" "src/CMakeFiles/cawa_sim.dir/sim/gpu_config.cc.o" "gcc" "src/CMakeFiles/cawa_sim.dir/sim/gpu_config.cc.o.d"
   "/root/repo/src/sim/oracle.cc" "src/CMakeFiles/cawa_sim.dir/sim/oracle.cc.o" "gcc" "src/CMakeFiles/cawa_sim.dir/sim/oracle.cc.o.d"
   "/root/repo/src/sim/report.cc" "src/CMakeFiles/cawa_sim.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/cawa_sim.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/report_json.cc" "src/CMakeFiles/cawa_sim.dir/sim/report_json.cc.o" "gcc" "src/CMakeFiles/cawa_sim.dir/sim/report_json.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/CMakeFiles/cawa_sim.dir/sim/sweep.cc.o" "gcc" "src/CMakeFiles/cawa_sim.dir/sim/sweep.cc.o.d"
   )
 
 # Targets to which this target links.

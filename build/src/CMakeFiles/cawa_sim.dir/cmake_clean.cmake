@@ -9,6 +9,10 @@ file(REMOVE_RECURSE
   "CMakeFiles/cawa_sim.dir/sim/oracle.cc.o.d"
   "CMakeFiles/cawa_sim.dir/sim/report.cc.o"
   "CMakeFiles/cawa_sim.dir/sim/report.cc.o.d"
+  "CMakeFiles/cawa_sim.dir/sim/report_json.cc.o"
+  "CMakeFiles/cawa_sim.dir/sim/report_json.cc.o.d"
+  "CMakeFiles/cawa_sim.dir/sim/sweep.cc.o"
+  "CMakeFiles/cawa_sim.dir/sim/sweep.cc.o.d"
   "libcawa_sim.a"
   "libcawa_sim.pdb"
 )

@@ -19,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/registry.cc.o.d"
   "/root/repo/src/workloads/srad.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/srad.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/srad.cc.o.d"
   "/root/repo/src/workloads/streamcluster.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/streamcluster.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/streamcluster.cc.o.d"
+  "/root/repo/src/workloads/sweep_jobs.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/sweep_jobs.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/sweep_jobs.cc.o.d"
   "/root/repo/src/workloads/tpacf.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/tpacf.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/tpacf.cc.o.d"
   "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/cawa_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/cawa_workloads.dir/workloads/workload.cc.o.d"
   )

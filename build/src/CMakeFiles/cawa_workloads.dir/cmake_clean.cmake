@@ -21,6 +21,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cawa_workloads.dir/workloads/srad.cc.o.d"
   "CMakeFiles/cawa_workloads.dir/workloads/streamcluster.cc.o"
   "CMakeFiles/cawa_workloads.dir/workloads/streamcluster.cc.o.d"
+  "CMakeFiles/cawa_workloads.dir/workloads/sweep_jobs.cc.o"
+  "CMakeFiles/cawa_workloads.dir/workloads/sweep_jobs.cc.o.d"
   "CMakeFiles/cawa_workloads.dir/workloads/tpacf.cc.o"
   "CMakeFiles/cawa_workloads.dir/workloads/tpacf.cc.o.d"
   "CMakeFiles/cawa_workloads.dir/workloads/workload.cc.o"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cawa_sweep.dir/cawa_sweep.cc.o"
+  "CMakeFiles/cawa_sweep.dir/cawa_sweep.cc.o.d"
+  "cawa_sweep"
+  "cawa_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cawa_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_stats.dir/test_golden_stats.cc.o"
+  "CMakeFiles/test_golden_stats.dir/test_golden_stats.cc.o.d"
+  "test_golden_stats"
+  "test_golden_stats.pdb"
+  "test_golden_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness_scale.dir/test_harness_scale.cc.o"
+  "CMakeFiles/test_harness_scale.dir/test_harness_scale.cc.o.d"
+  "test_harness_scale"
+  "test_harness_scale.pdb"
+  "test_harness_scale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_report_json.cc" "tests/CMakeFiles/test_report_json.dir/test_report_json.cc.o" "gcc" "tests/CMakeFiles/test_report_json.dir/test_report_json.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cawa_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_cawa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cawa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_json.dir/test_report_json.cc.o"
+  "CMakeFiles/test_report_json.dir/test_report_json.cc.o.d"
+  "test_report_json"
+  "test_report_json.pdb"
+  "test_report_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_determinism.dir/test_sweep_determinism.cc.o"
+  "CMakeFiles/test_sweep_determinism.dir/test_sweep_determinism.cc.o.d"
+  "test_sweep_determinism"
+  "test_sweep_determinism.pdb"
+  "test_sweep_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

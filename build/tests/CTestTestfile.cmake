@@ -11,6 +11,8 @@ include("/root/repo/build/tests/test_common[1]_include.cmake")
 include("/root/repo/build/tests/test_criticality[1]_include.cmake")
 include("/root/repo/build/tests/test_dynamic_partition[1]_include.cmake")
 include("/root/repo/build/tests/test_functional[1]_include.cmake")
+include("/root/repo/build/tests/test_golden_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_harness_scale[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_isa[1]_include.cmake")
 include("/root/repo/build/tests/test_mem[1]_include.cmake")
@@ -18,9 +20,11 @@ include("/root/repo/build/tests/test_mem_timing[1]_include.cmake")
 include("/root/repo/build/tests/test_oracle[1]_include.cmake")
 include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
 include("/root/repo/build/tests/test_random_programs[1]_include.cmake")
+include("/root/repo/build/tests/test_report_json[1]_include.cmake")
 include("/root/repo/build/tests/test_schedulers[1]_include.cmake")
 include("/root/repo/build/tests/test_simt_stack[1]_include.cmake")
 include("/root/repo/build/tests/test_sm_level[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep_determinism[1]_include.cmake")
 include("/root/repo/build/tests/test_warp[1]_include.cmake")
 include("/root/repo/build/tests/test_workload_programs[1]_include.cmake")
 include("/root/repo/build/tests/test_workloads[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[GoldenStats.MatchesCheckedInBaseline]=]  /root/repo/build/tests/test_golden_stats [==[--gtest_filter=GoldenStats.MatchesCheckedInBaseline]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GoldenStats.MatchesCheckedInBaseline]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_golden_stats_TESTS GoldenStats.MatchesCheckedInBaseline)

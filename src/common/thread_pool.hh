@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Small fixed-size worker pool used by the sweep engine and the
+ * benchmark harness. Tasks are arbitrary callables; submit() returns
+ * a std::future so callers can collect results in submission order
+ * (and re-raise exceptions) regardless of completion order.
+ */
+
+#ifndef CAWA_COMMON_THREAD_POOL_HH
+#define CAWA_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cawa
+{
+
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; <= 0 means defaultThreadCount(). */
+    explicit ThreadPool(int threads = 0)
+    {
+        if (threads <= 0)
+            threads = defaultThreadCount();
+        workers_.reserve(threads);
+        for (int i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto &worker : workers_)
+            worker.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Enqueue @p fn; the future delivers its result (or rethrows the
+     * exception it raised) to the caller.
+     */
+    template <typename F>
+    std::future<std::invoke_result_t<F>>
+    submit(F fn)
+    {
+        using Result = std::invoke_result_t<F>;
+        auto task =
+            std::make_shared<std::packaged_task<Result()>>(std::move(fn));
+        std::future<Result> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+    /** Hardware concurrency, falling back to 1 when unknown. */
+    static int
+    defaultThreadCount()
+    {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? static_cast<int>(hw) : 1;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (queue_.empty())
+                    return; // stopping and drained
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(i) for every i in [0, n) on @p pool and wait for all of
+ * them. Exceptions propagate to the caller (the first in index
+ * order).
+ */
+template <typename F>
+inline void
+parallelFor(ThreadPool &pool, std::size_t n, F fn)
+{
+    std::vector<std::future<void>> pending;
+    pending.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pending.push_back(pool.submit([fn, i] { fn(i); }));
+    for (auto &f : pending)
+        f.get();
+}
+
+} // namespace cawa
+
+#endif // CAWA_COMMON_THREAD_POOL_HH

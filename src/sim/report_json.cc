@@ -1,0 +1,710 @@
+#include "sim/report_json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cawa
+{
+
+namespace
+{
+
+/**
+ * Streaming writer with a fixed, deterministic layout: 2-space
+ * indentation in pretty mode, no whitespace otherwise, keys emitted
+ * in call order.
+ */
+class Writer
+{
+  public:
+    explicit Writer(bool pretty) : pretty_(pretty) {}
+
+    void beginObject() { open('{'); }
+    void endObject() { close('}'); }
+    void beginArray() { open('['); }
+    void endArray() { close(']'); }
+
+    void
+    key(const std::string &k)
+    {
+        element();
+        appendString(k);
+        out_ += pretty_ ? ": " : ":";
+        pending_key_ = true;
+    }
+
+    void value(std::uint64_t v) { element(); out_ += std::to_string(v); }
+    void value(std::int64_t v) { element(); out_ += std::to_string(v); }
+
+    void
+    value(double v)
+    {
+        element();
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out_ += buf;
+    }
+
+    void
+    value(bool v)
+    {
+        element();
+        out_ += v ? "true" : "false";
+    }
+
+    void
+    value(const std::string &v)
+    {
+        element();
+        appendString(v);
+    }
+
+    std::string take() { return std::move(out_); }
+
+  private:
+    void
+    element()
+    {
+        if (pending_key_) {
+            pending_key_ = false;
+            return;
+        }
+        if (!first_.empty()) {
+            if (!first_.back())
+                out_ += ',';
+            first_.back() = false;
+        }
+        newlineIndent(first_.size());
+    }
+
+    void
+    open(char c)
+    {
+        element();
+        out_ += c;
+        first_.push_back(true);
+    }
+
+    void
+    close(char c)
+    {
+        const bool was_empty = first_.back();
+        first_.pop_back();
+        if (!was_empty)
+            newlineIndent(first_.size());
+        out_ += c;
+    }
+
+    void
+    newlineIndent(std::size_t depth)
+    {
+        if (!pretty_ || depth == 0)
+            return;
+        out_ += '\n';
+        out_.append(2 * depth, ' ');
+    }
+
+    void
+    appendString(const std::string &s)
+    {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': out_ += "\\\""; break;
+              case '\\': out_ += "\\\\"; break;
+              case '\n': out_ += "\\n"; break;
+              case '\r': out_ += "\\r"; break;
+              case '\t': out_ += "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    bool pretty_;
+    bool pending_key_ = false;
+    std::string out_;
+    std::vector<bool> first_; ///< per open container: no element yet
+};
+
+void
+writeCacheStats(Writer &w, const CacheStats &s)
+{
+    w.beginObject();
+    w.key("accesses"); w.value(s.accesses);
+    w.key("hits"); w.value(s.hits);
+    w.key("misses"); w.value(s.misses);
+    w.key("mshrMerges"); w.value(s.mshrMerges);
+    w.key("mshrRejects"); w.value(s.mshrRejects);
+    w.key("evictions"); w.value(s.evictions);
+    w.key("criticalAccesses"); w.value(s.criticalAccesses);
+    w.key("criticalHits"); w.value(s.criticalHits);
+    w.key("nonCriticalAccesses"); w.value(s.nonCriticalAccesses);
+    w.key("nonCriticalHits"); w.value(s.nonCriticalHits);
+    w.key("zeroReuseEvictions"); w.value(s.zeroReuseEvictions);
+    w.key("zeroReuseCriticalEvictions");
+    w.value(s.zeroReuseCriticalEvictions);
+    w.key("criticalFills"); w.value(s.criticalFills);
+    w.key("reuseDistanceHist");
+    w.beginArray();
+    for (std::uint64_t v : s.reuseDistanceHist)
+        w.value(v);
+    w.endArray();
+    w.key("criticalReuseDistanceHist");
+    w.beginArray();
+    for (std::uint64_t v : s.criticalReuseDistanceHist)
+        w.value(v);
+    w.endArray();
+    w.key("perPc");
+    w.beginObject();
+    for (const auto &[pc, st] : s.perPc) {
+        w.key(std::to_string(pc));
+        w.beginObject();
+        w.key("fills"); w.value(st.fills);
+        w.key("hits"); w.value(st.hits);
+        w.key("zeroReuseEvictions"); w.value(st.zeroReuseEvictions);
+        w.key("reusedEvictions"); w.value(st.reusedEvictions);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+void
+writeWarpRecord(Writer &w, const WarpRecord &r)
+{
+    w.beginObject();
+    w.key("warpInBlock"); w.value(static_cast<std::int64_t>(r.warpInBlock));
+    w.key("startCycle"); w.value(r.startCycle);
+    w.key("endCycle"); w.value(r.endCycle);
+    w.key("instructions"); w.value(r.instructions);
+    w.key("memStallCycles"); w.value(r.memStallCycles);
+    w.key("aluStallCycles"); w.value(r.aluStallCycles);
+    w.key("structStallCycles"); w.value(r.structStallCycles);
+    w.key("schedWaitCycles"); w.value(r.schedWaitCycles);
+    w.key("barrierCycles"); w.value(r.barrierCycles);
+    w.key("finishedWaitCycles"); w.value(r.finishedWaitCycles);
+    w.key("slowSamples"); w.value(r.slowSamples);
+    w.endObject();
+}
+
+void
+writeBlockRecord(Writer &w, const BlockRecord &b)
+{
+    w.beginObject();
+    w.key("id"); w.value(static_cast<std::uint64_t>(b.id));
+    w.key("smId"); w.value(static_cast<std::int64_t>(b.smId));
+    w.key("startCycle"); w.value(b.startCycle);
+    w.key("endCycle"); w.value(b.endCycle);
+    w.key("cplSamples"); w.value(b.cplSamples);
+    w.key("warps");
+    w.beginArray();
+    for (const auto &warp : b.warps)
+        writeWarpRecord(w, warp);
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeReport(Writer &w, const SimReport &r, const JsonWriteOptions &opt)
+{
+    w.beginObject();
+    w.key("schema"); w.value(std::string("cawa-simreport-v1"));
+    w.key("kernel"); w.value(r.kernelName);
+    w.key("scheduler"); w.value(r.schedulerName);
+    w.key("cachePolicy"); w.value(r.cachePolicyName);
+    w.key("timedOut"); w.value(r.timedOut);
+    w.key("cycles"); w.value(r.cycles);
+    w.key("instructions"); w.value(r.instructions);
+    w.key("dramReads"); w.value(r.dramReads);
+    w.key("dramWrites"); w.value(r.dramWrites);
+    w.key("icntMessages"); w.value(r.icntMessages);
+    w.key("l1");
+    writeCacheStats(w, r.l1);
+    w.key("l2");
+    writeCacheStats(w, r.l2);
+    if (opt.includeDerived) {
+        w.key("derived");
+        w.beginObject();
+        w.key("ipc"); w.value(r.ipc());
+        w.key("l1Mpki"); w.value(r.mpki());
+        w.key("l1HitRate"); w.value(r.l1.hitRate());
+        w.key("l2HitRate"); w.value(r.l2.hitRate());
+        w.key("avgDisparity"); w.value(r.avgDisparity());
+        w.key("maxDisparity"); w.value(r.maxDisparity());
+        w.key("cplAccuracy"); w.value(r.cplAccuracy());
+        w.key("memStallFraction"); w.value(r.memStallFraction());
+        w.key("schedWaitFraction"); w.value(r.schedWaitFraction());
+        w.endObject();
+    }
+    if (opt.includeBlocks) {
+        w.key("blocks");
+        w.beginArray();
+        for (const auto &block : r.blocks)
+            writeBlockRecord(w, block);
+        w.endArray();
+    }
+    if (opt.includeTrace) {
+        w.key("trace");
+        w.beginArray();
+        for (const auto &sample : r.trace) {
+            w.beginObject();
+            w.key("cycle"); w.value(sample.cycle);
+            w.key("criticality");
+            w.beginArray();
+            for (std::int64_t c : sample.criticality)
+                w.value(c);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+toJson(const CacheStats &stats, const JsonWriteOptions &opt)
+{
+    Writer w(opt.pretty);
+    writeCacheStats(w, stats);
+    return w.take();
+}
+
+std::string
+toJson(const SimReport &report, const JsonWriteOptions &opt)
+{
+    Writer w(opt.pretty);
+    writeReport(w, report, opt);
+    return w.take();
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        throw std::runtime_error("json: not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind_ != Kind::Number)
+        throw std::runtime_error("json: not a number");
+    return std::strtod(scalar_.c_str(), nullptr);
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (kind_ != Kind::Number)
+        throw std::runtime_error("json: not a number");
+    return std::strtoull(scalar_.c_str(), nullptr, 10);
+}
+
+std::int64_t
+JsonValue::asI64() const
+{
+    if (kind_ != Kind::Number)
+        throw std::runtime_error("json: not a number");
+    return std::strtoll(scalar_.c_str(), nullptr, 10);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        throw std::runtime_error("json: not a string");
+    return scalar_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array)
+        throw std::runtime_error("json: not an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        throw std::runtime_error("json: not an object");
+    return members_;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return false;
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return true;
+    return false;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    for (const auto &[k, v] : members()) {
+        if (k == key)
+            return v;
+    }
+    throw std::runtime_error("json: missing key '" + key + "'");
+}
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("json parse error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't': case 'f': return parseBool();
+          case 'n': return parseNull();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Object;
+        expect('{');
+        skipWs();
+        if (consumeIf('}'))
+            return v;
+        for (;;) {
+            skipWs();
+            JsonValue key = parseString();
+            skipWs();
+            expect(':');
+            v.members_.emplace_back(key.scalar_, parseValue());
+            skipWs();
+            if (consumeIf('}'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Array;
+        expect('[');
+        skipWs();
+        if (consumeIf(']'))
+            return v;
+        for (;;) {
+            v.items_.push_back(parseValue());
+            skipWs();
+            if (consumeIf(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::String;
+        expect('"');
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("unterminated escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': v.scalar_ += '"'; break;
+                  case '\\': v.scalar_ += '\\'; break;
+                  case '/': v.scalar_ += '/'; break;
+                  case 'n': v.scalar_ += '\n'; break;
+                  case 'r': v.scalar_ += '\r'; break;
+                  case 't': v.scalar_ += '\t'; break;
+                  case 'b': v.scalar_ += '\b'; break;
+                  case 'f': v.scalar_ += '\f'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        fail("bad \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            code |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code |= h - 'A' + 10;
+                        else
+                            fail("bad \\u escape");
+                    }
+                    // The writer only emits \u00xx control codes;
+                    // clamp anything wider to one byte.
+                    v.scalar_ += static_cast<char>(code & 0xff);
+                    break;
+                  }
+                  default: fail("bad escape");
+                }
+            } else {
+                v.scalar_ += c;
+            }
+        }
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.bool_ = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v.bool_ = false;
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            fail("bad literal");
+        pos_ += 4;
+        return JsonValue{};
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Number;
+        const std::size_t start = pos_;
+        if (consumeIf('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("bad number");
+        v.scalar_ = text_.substr(start, pos_ - start);
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+CacheStats
+cacheStatsFromJson(const JsonValue &v)
+{
+    CacheStats s;
+    s.accesses = v.at("accesses").asU64();
+    s.hits = v.at("hits").asU64();
+    s.misses = v.at("misses").asU64();
+    s.mshrMerges = v.at("mshrMerges").asU64();
+    s.mshrRejects = v.at("mshrRejects").asU64();
+    s.evictions = v.at("evictions").asU64();
+    s.criticalAccesses = v.at("criticalAccesses").asU64();
+    s.criticalHits = v.at("criticalHits").asU64();
+    s.nonCriticalAccesses = v.at("nonCriticalAccesses").asU64();
+    s.nonCriticalHits = v.at("nonCriticalHits").asU64();
+    s.zeroReuseEvictions = v.at("zeroReuseEvictions").asU64();
+    s.zeroReuseCriticalEvictions =
+        v.at("zeroReuseCriticalEvictions").asU64();
+    s.criticalFills = v.at("criticalFills").asU64();
+    const auto &hist = v.at("reuseDistanceHist").items();
+    const auto &crit_hist = v.at("criticalReuseDistanceHist").items();
+    if (hist.size() != s.reuseDistanceHist.size() ||
+        crit_hist.size() != s.criticalReuseDistanceHist.size())
+        throw std::runtime_error("json: bad reuse histogram size");
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+        s.reuseDistanceHist[i] = hist[i].asU64();
+        s.criticalReuseDistanceHist[i] = crit_hist[i].asU64();
+    }
+    for (const auto &[pc_text, st] : v.at("perPc").members()) {
+        PcReuseStats pc_stats;
+        pc_stats.fills = st.at("fills").asU64();
+        pc_stats.hits = st.at("hits").asU64();
+        pc_stats.zeroReuseEvictions = st.at("zeroReuseEvictions").asU64();
+        pc_stats.reusedEvictions = st.at("reusedEvictions").asU64();
+        s.perPc[static_cast<std::uint32_t>(
+            std::strtoul(pc_text.c_str(), nullptr, 10))] = pc_stats;
+    }
+    return s;
+}
+
+namespace
+{
+
+WarpRecord
+warpFromJson(const JsonValue &v)
+{
+    WarpRecord r;
+    r.warpInBlock = static_cast<int>(v.at("warpInBlock").asI64());
+    r.startCycle = v.at("startCycle").asU64();
+    r.endCycle = v.at("endCycle").asU64();
+    r.instructions = v.at("instructions").asU64();
+    r.memStallCycles = v.at("memStallCycles").asU64();
+    r.aluStallCycles = v.at("aluStallCycles").asU64();
+    r.structStallCycles = v.at("structStallCycles").asU64();
+    r.schedWaitCycles = v.at("schedWaitCycles").asU64();
+    r.barrierCycles = v.at("barrierCycles").asU64();
+    r.finishedWaitCycles = v.at("finishedWaitCycles").asU64();
+    r.slowSamples = v.at("slowSamples").asU64();
+    return r;
+}
+
+BlockRecord
+blockFromJson(const JsonValue &v)
+{
+    BlockRecord b;
+    b.id = static_cast<BlockId>(v.at("id").asU64());
+    b.smId = static_cast<int>(v.at("smId").asI64());
+    b.startCycle = v.at("startCycle").asU64();
+    b.endCycle = v.at("endCycle").asU64();
+    b.cplSamples = v.at("cplSamples").asU64();
+    for (const auto &warp : v.at("warps").items())
+        b.warps.push_back(warpFromJson(warp));
+    return b;
+}
+
+} // namespace
+
+SimReport
+reportFromJson(const JsonValue &v)
+{
+    if (v.at("schema").asString() != "cawa-simreport-v1")
+        throw std::runtime_error("json: unknown report schema");
+    SimReport r;
+    r.kernelName = v.at("kernel").asString();
+    r.schedulerName = v.at("scheduler").asString();
+    r.cachePolicyName = v.at("cachePolicy").asString();
+    r.timedOut = v.at("timedOut").asBool();
+    r.cycles = v.at("cycles").asU64();
+    r.instructions = v.at("instructions").asU64();
+    r.dramReads = v.at("dramReads").asU64();
+    r.dramWrites = v.at("dramWrites").asU64();
+    r.icntMessages = v.at("icntMessages").asU64();
+    r.l1 = cacheStatsFromJson(v.at("l1"));
+    r.l2 = cacheStatsFromJson(v.at("l2"));
+    if (v.has("blocks")) {
+        for (const auto &block : v.at("blocks").items())
+            r.blocks.push_back(blockFromJson(block));
+    }
+    if (v.has("trace")) {
+        for (const auto &sample : v.at("trace").items()) {
+            TraceSample s;
+            s.cycle = sample.at("cycle").asU64();
+            for (const auto &c : sample.at("criticality").items())
+                s.criticality.push_back(c.asI64());
+            r.trace.push_back(s);
+        }
+    }
+    return r;
+}
+
+SimReport
+reportFromJson(const std::string &text)
+{
+    return reportFromJson(parseJson(text));
+}
+
+} // namespace cawa

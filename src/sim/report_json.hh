@@ -1,0 +1,89 @@
+/**
+ * @file
+ * JSON export of simulation reports (schema "cawa-simreport-v1") and
+ * a minimal JSON reader to load them back, used by the cawa_sweep
+ * CLI, the golden-stats regression baseline and the determinism
+ * tests.
+ *
+ * The writer is deterministic: a given SimReport always serializes to
+ * the same byte string (fixed key order, integers verbatim, doubles
+ * with round-trippable precision), so byte comparison of two exports
+ * is a valid equality test for two reports.
+ */
+
+#ifndef CAWA_SIM_REPORT_JSON_HH
+#define CAWA_SIM_REPORT_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mem/cache_stats.hh"
+#include "sim/report.hh"
+
+namespace cawa
+{
+
+struct JsonWriteOptions
+{
+    bool includeBlocks = true;   ///< per-block / per-warp records
+    bool includeTrace = true;    ///< Fig 12 criticality trace
+    bool includeDerived = true;  ///< ipc/mpki/disparity doubles
+    bool pretty = true;          ///< indentation; false => one line
+};
+
+/** Serialize @p stats alone (the same object the report embeds). */
+std::string toJson(const CacheStats &stats,
+                   const JsonWriteOptions &opt = {});
+
+/** Serialize a full report as one JSON document. */
+std::string toJson(const SimReport &report,
+                   const JsonWriteOptions &opt = {});
+
+/**
+ * Parsed JSON value. Objects preserve member order; numbers keep
+ * their source text so unsigned 64-bit counters survive exactly.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+
+    bool asBool() const;
+    double asDouble() const;
+    std::uint64_t asU64() const;
+    std::int64_t asI64() const;
+    const std::string &asString() const;
+
+    const std::vector<JsonValue> &items() const;
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    bool has(const std::string &key) const;
+    /** Object member lookup; throws std::runtime_error when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::string scalar_; ///< number text or string payload
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Parse one JSON document; throws std::runtime_error on bad input. */
+JsonValue parseJson(const std::string &text);
+
+/** Rebuild the stats/report serialized by toJson(). */
+CacheStats cacheStatsFromJson(const JsonValue &v);
+SimReport reportFromJson(const JsonValue &v);
+SimReport reportFromJson(const std::string &text);
+
+} // namespace cawa
+
+#endif // CAWA_SIM_REPORT_JSON_HH

@@ -1,0 +1,95 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <future>
+
+#include "common/sim_assert.hh"
+#include "common/thread_pool.hh"
+#include "sim/gpu.hh"
+#include "sim/oracle.hh"
+
+namespace cawa
+{
+
+SweepResult
+runSweepJob(const SweepJob &job)
+{
+    sim_assert(static_cast<bool>(job.build));
+    SweepResult result;
+    try {
+        MemoryImage mem;
+        const KernelInfo kernel = job.build(mem);
+        if (job.cfg.scheduler == SchedulerKind::CawsOracle) {
+            MemoryImage profile_mem;
+            const auto &builder =
+                job.buildProfile ? job.buildProfile : job.build;
+            builder(profile_mem);
+            result.report =
+                runWithCawsOracle(job.cfg, mem, profile_mem, kernel);
+        } else {
+            result.report = runKernel(job.cfg, mem, kernel);
+        }
+        if (job.verify && !result.report.timedOut)
+            result.verified = job.verify(mem);
+    } catch (const std::exception &e) {
+        result.error = e.what();
+    } catch (...) {
+        result.error = "unknown exception";
+    }
+    return result;
+}
+
+SweepEngine::SweepEngine(int threads)
+    : threads_(threads > 0 ? threads : ThreadPool::defaultThreadCount())
+{
+}
+
+std::vector<SweepResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs) const
+{
+    std::vector<SweepResult> results;
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(threads_, jobs.size()));
+    if (workers <= 1) {
+        results.reserve(jobs.size());
+        for (const auto &job : jobs)
+            results.push_back(runSweepJob(job));
+        return results;
+    }
+
+    ThreadPool pool(workers);
+    std::vector<std::future<SweepResult>> pending;
+    pending.reserve(jobs.size());
+    for (const auto &job : jobs)
+        pending.push_back(pool.submit([&job] { return runSweepJob(job); }));
+    results.reserve(jobs.size());
+    for (auto &f : pending)
+        results.push_back(f.get());
+    return results;
+}
+
+int
+sweepThreadsFromEnv()
+{
+    const char *text = std::getenv("CAWA_BENCH_THREADS");
+    if (!text || !*text)
+        return 0;
+    char *end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || value < 1 ||
+        value > 4096) {
+        std::fprintf(stderr,
+                     "warning: ignoring invalid CAWA_BENCH_THREADS '%s' "
+                     "(want an integer in [1, 4096])\n",
+                     text);
+        return 0;
+    }
+    return static_cast<int>(value);
+}
+
+} // namespace cawa

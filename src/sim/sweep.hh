@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Parallel sweep engine: runs a list of independent simulation jobs
+ * (one Gpu instance each) on a fixed-size worker pool and returns the
+ * reports in submission order regardless of completion order.
+ *
+ * Every job owns its MemoryImage and Gpu, and the simulator keeps no
+ * global mutable state, so a sweep is bit-identical at any thread
+ * count: the report stream for a given job list is a pure function of
+ * the jobs (including their seeds).
+ */
+
+#ifndef CAWA_SIM_SWEEP_HH
+#define CAWA_SIM_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+#include "mem/memory_image.hh"
+#include "sim/gpu_config.hh"
+#include "sim/report.hh"
+
+namespace cawa
+{
+
+/**
+ * One cell of a sweep matrix. build() must be deterministic and
+ * self-contained (it may not touch state shared with other jobs): it
+ * writes the kernel inputs into the fresh image it is handed and
+ * returns the launch descriptor. CawsOracle configs additionally run
+ * a profiling pass on a second image built by buildProfile (or
+ * build when unset). verify, when present, checks the post-run image
+ * against the workload's functional reference.
+ */
+struct SweepJob
+{
+    std::string name; ///< label used in reports and output file names
+    GpuConfig cfg;
+    std::function<KernelInfo(MemoryImage &)> build;
+    std::function<KernelInfo(MemoryImage &)> buildProfile;
+    std::function<bool(const MemoryImage &)> verify;
+};
+
+struct SweepResult
+{
+    SimReport report;
+    bool verified = true;  ///< false when the job's verify() failed
+    std::string error;     ///< non-empty when the job threw
+
+    bool ok() const { return error.empty() && verified && !report.timedOut; }
+};
+
+/** Execute one job in the calling thread. */
+SweepResult runSweepJob(const SweepJob &job);
+
+class SweepEngine
+{
+  public:
+    /** @param threads worker count; <= 0 means hardware concurrency. */
+    explicit SweepEngine(int threads = 0);
+
+    int threads() const { return threads_; }
+
+    /**
+     * Run every job and return results indexed like @p jobs. Jobs
+     * execute concurrently on min(threads, jobs.size()) workers; a
+     * single-thread engine (or a single job) runs inline.
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs) const;
+
+  private:
+    int threads_;
+};
+
+/**
+ * Worker count requested via CAWA_BENCH_THREADS: 0 when the variable
+ * is unset or invalid (let the engine pick its default), otherwise
+ * the validated positive value. Warns on stderr for garbage input.
+ */
+int sweepThreadsFromEnv();
+
+} // namespace cawa
+
+#endif // CAWA_SIM_SWEEP_HH

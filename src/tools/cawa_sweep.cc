@@ -1,0 +1,280 @@
+/**
+ * @file
+ * cawa_sweep: run a workload x scheduler x cache-policy matrix on the
+ * parallel sweep engine and emit one JSON document per job
+ * (schema "cawa-simreport-v1") for plotting and regression baselines.
+ *
+ * Examples:
+ *   cawa_sweep --workloads sens --schedulers rr,gto,gcaws \
+ *              --policies lru,cacp --scale 0.25 --out sweep/
+ *   CAWA_BENCH_THREADS=8 cawa_sweep --workloads bfs --compact
+ *
+ * Without --out, documents are printed to stdout one per line
+ * (compact), in job order. Exit status is non-zero when any job
+ * times out, fails functional verification, or throws.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/report_json.hh"
+#include "sim/sweep.hh"
+#include "workloads/registry.hh"
+#include "workloads/sweep_jobs.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> workloads;
+    std::vector<SchedulerKind> schedulers{SchedulerKind::Gcaws};
+    std::vector<CachePolicyKind> policies{CachePolicyKind::Cacp};
+    double scale = 0.5;
+    std::uint64_t seed = 1;
+    int threads = 0; ///< 0 = CAWA_BENCH_THREADS or hardware default
+    std::string outDir;
+    bool listOnly = false;
+    bool compact = false;
+    bool includeBlocks = true;
+    bool includeTrace = true;
+};
+
+[[noreturn]] void
+usage(int status)
+{
+    std::fprintf(
+        status ? stderr : stdout,
+        "usage: cawa_sweep [options]\n"
+        "  --workloads LIST   comma list of Table 2 names, or 'all'\n"
+        "                     / 'sens' (default: all)\n"
+        "  --schedulers LIST  rr,gto,2lvl,caws,gcaws (default: gcaws)\n"
+        "  --policies LIST    lru,srrip,ship,cacp (default: cacp)\n"
+        "  --scale S          problem scale (default 0.5)\n"
+        "  --seed N           workload input seed (default 1)\n"
+        "  --threads N        worker threads (default:\n"
+        "                     CAWA_BENCH_THREADS, else all cores)\n"
+        "  --out DIR          write DIR/<job>.json instead of stdout\n"
+        "  --compact          single-line JSON (stdout default)\n"
+        "  --no-blocks        omit per-block/per-warp records\n"
+        "  --no-trace         omit the criticality trace\n"
+        "  --list             print job names and exit\n"
+        "  --help             this text\n");
+    std::exit(status);
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+SchedulerKind
+parseScheduler(const std::string &name)
+{
+    for (SchedulerKind kind :
+         {SchedulerKind::Lrr, SchedulerKind::Gto, SchedulerKind::TwoLevel,
+          SchedulerKind::CawsOracle, SchedulerKind::Gcaws})
+        if (name == schedulerKindName(kind))
+            return kind;
+    std::fprintf(stderr, "cawa_sweep: unknown scheduler '%s'\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+CachePolicyKind
+parsePolicy(const std::string &name)
+{
+    for (CachePolicyKind kind :
+         {CachePolicyKind::Lru, CachePolicyKind::Srrip,
+          CachePolicyKind::Ship, CachePolicyKind::Cacp})
+        if (name == cachePolicyKindName(kind))
+            return kind;
+    std::fprintf(stderr, "cawa_sweep: unknown cache policy '%s'\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+double
+parsePositiveDouble(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || !(v > 0.0)) {
+        std::fprintf(stderr, "cawa_sweep: bad %s '%s'\n", what,
+                     text.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    auto next = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "cawa_sweep: %s needs a value\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workloads") {
+            const std::string list = next(i);
+            if (list == "all")
+                opt.workloads = allWorkloadNames();
+            else if (list == "sens")
+                opt.workloads = sensitiveWorkloadNames();
+            else
+                opt.workloads = splitList(list);
+        } else if (arg == "--schedulers") {
+            opt.schedulers.clear();
+            for (const auto &name : splitList(next(i)))
+                opt.schedulers.push_back(parseScheduler(name));
+        } else if (arg == "--policies") {
+            opt.policies.clear();
+            for (const auto &name : splitList(next(i)))
+                opt.policies.push_back(parsePolicy(name));
+        } else if (arg == "--scale") {
+            opt.scale = parsePositiveDouble(next(i), "scale");
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(i).c_str(), nullptr, 10);
+        } else if (arg == "--threads") {
+            opt.threads = static_cast<int>(
+                parsePositiveDouble(next(i), "thread count"));
+        } else if (arg == "--out") {
+            opt.outDir = next(i);
+        } else if (arg == "--compact") {
+            opt.compact = true;
+        } else if (arg == "--no-blocks") {
+            opt.includeBlocks = false;
+        } else if (arg == "--no-trace") {
+            opt.includeTrace = false;
+        } else if (arg == "--list") {
+            opt.listOnly = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "cawa_sweep: unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (opt.workloads.empty())
+        opt.workloads = allWorkloadNames();
+    if (opt.schedulers.empty() || opt.policies.empty())
+        usage(2);
+    const auto known = allWorkloadNames();
+    for (const auto &name : opt.workloads) {
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+            std::fprintf(stderr, "cawa_sweep: unknown workload '%s'"
+                         " (try --workloads all)\n", name.c_str());
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    std::vector<WorkloadJobSpec> specs;
+    for (const auto &workload : opt.workloads) {
+        for (SchedulerKind sched : opt.schedulers) {
+            for (CachePolicyKind policy : opt.policies) {
+                WorkloadJobSpec spec;
+                spec.workload = workload;
+                spec.cfg = GpuConfig::fermiGtx480();
+                spec.cfg.scheduler = sched;
+                spec.cfg.l1Policy = policy;
+                spec.params.seed = opt.seed;
+                spec.params.scale = opt.scale;
+                specs.push_back(spec);
+            }
+        }
+    }
+
+    if (opt.listOnly) {
+        for (const auto &spec : specs)
+            std::cout << workloadJobName(spec) << "\n";
+        return 0;
+    }
+
+    int threads = opt.threads;
+    if (threads <= 0)
+        threads = sweepThreadsFromEnv();
+    SweepEngine engine(threads);
+    std::fprintf(stderr, "cawa_sweep: %zu jobs on %d threads\n",
+                 specs.size(), engine.threads());
+
+    const auto results = engine.run(makeWorkloadJobs(specs));
+
+    JsonWriteOptions json_opt;
+    json_opt.includeBlocks = opt.includeBlocks;
+    json_opt.includeTrace = opt.includeTrace;
+    json_opt.pretty = !opt.compact && !opt.outDir.empty();
+
+    if (!opt.outDir.empty())
+        std::filesystem::create_directories(opt.outDir);
+
+    int failures = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SweepResult &res = results[i];
+        const std::string name = workloadJobName(specs[i]);
+        if (!res.error.empty()) {
+            std::fprintf(stderr, "cawa_sweep: %s FAILED: %s\n",
+                         name.c_str(), res.error.c_str());
+            ++failures;
+            continue;
+        }
+        if (res.report.timedOut) {
+            std::fprintf(stderr, "cawa_sweep: %s TIMED OUT\n",
+                         name.c_str());
+            ++failures;
+        } else if (!res.verified) {
+            std::fprintf(stderr,
+                         "cawa_sweep: %s FAILED VERIFICATION\n",
+                         name.c_str());
+            ++failures;
+        }
+        const std::string doc = toJson(res.report, json_opt);
+        if (opt.outDir.empty()) {
+            std::cout << doc << "\n";
+        } else {
+            const std::filesystem::path path =
+                std::filesystem::path(opt.outDir) / (name + ".json");
+            std::ofstream out(path);
+            out << doc << "\n";
+            if (!out) {
+                std::fprintf(stderr, "cawa_sweep: cannot write %s\n",
+                             path.c_str());
+                ++failures;
+            }
+        }
+    }
+    return failures ? 1 : 0;
+}

@@ -1,0 +1,63 @@
+#include "workloads/sweep_jobs.hh"
+
+#include <memory>
+#include <sstream>
+
+#include "workloads/registry.hh"
+
+namespace cawa
+{
+
+std::string
+workloadJobName(const WorkloadJobSpec &spec)
+{
+    std::ostringstream oss;
+    oss << spec.workload << '.' << schedulerKindName(spec.cfg.scheduler)
+        << '.' << cachePolicyKindName(spec.cfg.l1Policy) << ".seed"
+        << spec.params.seed << ".scale" << spec.params.scale;
+    if (spec.params.bfsBalanced)
+        oss << ".balanced";
+    return oss.str();
+}
+
+SweepJob
+makeWorkloadJob(const WorkloadJobSpec &spec)
+{
+    SweepJob job;
+    job.name = workloadJobName(spec);
+    job.cfg = spec.cfg;
+
+    // The workload built for the timing run is kept alive in this
+    // shared holder so verify() can compare against the reference it
+    // remembered; a job executes on exactly one worker, so the holder
+    // is never accessed concurrently.
+    auto holder = std::make_shared<std::unique_ptr<Workload>>();
+    const std::string name = spec.workload;
+    const WorkloadParams params = spec.params;
+
+    job.build = [holder, name, params](MemoryImage &mem) {
+        *holder = makeWorkload(name);
+        return (*holder)->build(mem, params);
+    };
+    // The CAWS-oracle profiling pass needs identical inputs in a
+    // scratch image, built by a throwaway workload instance.
+    job.buildProfile = [name, params](MemoryImage &mem) {
+        return makeWorkload(name)->build(mem, params);
+    };
+    job.verify = [holder](const MemoryImage &mem) {
+        return *holder && (*holder)->verify(mem);
+    };
+    return job;
+}
+
+std::vector<SweepJob>
+makeWorkloadJobs(const std::vector<WorkloadJobSpec> &specs)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(specs.size());
+    for (const auto &spec : specs)
+        jobs.push_back(makeWorkloadJob(spec));
+    return jobs;
+}
+
+} // namespace cawa

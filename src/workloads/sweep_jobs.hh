@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Adapter between the workload registry and the sweep engine: turns
+ * (workload name, GpuConfig, WorkloadParams) specs into SweepJobs
+ * whose build/verify callbacks construct the workload on the worker
+ * thread and check the simulated image against the functional
+ * reference.
+ */
+
+#ifndef CAWA_WORKLOADS_SWEEP_JOBS_HH
+#define CAWA_WORKLOADS_SWEEP_JOBS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+#include "workloads/workload.hh"
+
+namespace cawa
+{
+
+struct WorkloadJobSpec
+{
+    std::string workload;
+    GpuConfig cfg;
+    WorkloadParams params;
+};
+
+/** Stable label, e.g. "bfs.gcaws.cacp.seed1.scale0.5". */
+std::string workloadJobName(const WorkloadJobSpec &spec);
+
+/**
+ * Build a self-contained job for @p spec. The workload object is
+ * created inside the job's build callback (each job re-creates its
+ * own), so jobs from one spec list can run on any threads in any
+ * order with bit-identical results.
+ */
+SweepJob makeWorkloadJob(const WorkloadJobSpec &spec);
+
+std::vector<SweepJob>
+makeWorkloadJobs(const std::vector<WorkloadJobSpec> &specs);
+
+} // namespace cawa
+
+#endif // CAWA_WORKLOADS_SWEEP_JOBS_HH

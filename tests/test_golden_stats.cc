@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Golden-stats regression test: tiny-scale bfs and pathfinder runs
+ * under GTO(+LRU) and gCAWS+CACP are compared field-by-field, with
+ * exact integer equality, against a checked-in JSON baseline
+ * (tests/golden/golden_stats.json). A scheduler or cache refactor
+ * that shifts any counter fails loudly instead of silently bending
+ * the paper's figures.
+ *
+ * To regenerate the baseline after an *intentional* behaviour change:
+ *   CAWA_UPDATE_GOLDEN=1 ./test_golden_stats
+ * and commit the rewritten file.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/report_json.hh"
+#include "sim/sweep.hh"
+#include "workloads/sweep_jobs.hh"
+
+using namespace cawa;
+
+#ifndef CAWA_GOLDEN_DIR
+#error "build must define CAWA_GOLDEN_DIR"
+#endif
+
+namespace
+{
+
+std::string
+goldenPath()
+{
+    return std::string(CAWA_GOLDEN_DIR) + "/golden_stats.json";
+}
+
+std::vector<WorkloadJobSpec>
+goldenSpecs()
+{
+    WorkloadParams params;
+    params.scale = 0.15; // tiny but non-degenerate; fixed, env-free
+    params.seed = 1;
+
+    GpuConfig gto = GpuConfig::fermiGtx480();
+    gto.scheduler = SchedulerKind::Gto;
+    gto.l1Policy = CachePolicyKind::Lru;
+
+    GpuConfig cawa = GpuConfig::fermiGtx480();
+    cawa.scheduler = SchedulerKind::Gcaws;
+    cawa.l1Policy = CachePolicyKind::Cacp;
+
+    std::vector<WorkloadJobSpec> specs;
+    for (const char *workload : {"bfs", "pathfinder"}) {
+        specs.push_back({workload, gto, params});
+        specs.push_back({workload, cawa, params});
+    }
+    return specs;
+}
+
+/** The per-job counters pinned by the baseline. */
+struct GoldenEntry
+{
+    std::string job;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t icntMessages = 0;
+    std::uint64_t blocks = 0;
+};
+
+GoldenEntry
+entryFromReport(const std::string &job, const SimReport &r)
+{
+    return {job,
+            r.cycles,
+            r.instructions,
+            r.l1.accesses,
+            r.l1.hits,
+            r.l1.misses,
+            r.l2.accesses,
+            r.l2.hits,
+            r.l2.misses,
+            r.dramReads,
+            r.dramWrites,
+            r.icntMessages,
+            r.blocks.size()};
+}
+
+std::string
+serialize(const std::vector<GoldenEntry> &entries)
+{
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"cawa-golden-stats-v1\",\n"
+        << "  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const GoldenEntry &e = entries[i];
+        out << "    {\"job\": \"" << e.job << "\""
+            << ", \"cycles\": " << e.cycles
+            << ", \"instructions\": " << e.instructions
+            << ", \"l1Accesses\": " << e.l1Accesses
+            << ", \"l1Hits\": " << e.l1Hits
+            << ", \"l1Misses\": " << e.l1Misses
+            << ", \"l2Accesses\": " << e.l2Accesses
+            << ", \"l2Hits\": " << e.l2Hits
+            << ", \"l2Misses\": " << e.l2Misses
+            << ", \"dramReads\": " << e.dramReads
+            << ", \"dramWrites\": " << e.dramWrites
+            << ", \"icntMessages\": " << e.icntMessages
+            << ", \"blocks\": " << e.blocks << "}"
+            << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+std::vector<GoldenEntry>
+currentEntries()
+{
+    const auto specs = goldenSpecs();
+    const SweepEngine engine(0); // thread count must not matter
+    const auto results = engine.run(makeWorkloadJobs(specs));
+    std::vector<GoldenEntry> entries;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_TRUE(results[i].ok()) << results[i].error;
+        entries.push_back(entryFromReport(workloadJobName(specs[i]),
+                                          results[i].report));
+    }
+    return entries;
+}
+
+} // namespace
+
+TEST(GoldenStats, MatchesCheckedInBaseline)
+{
+    const std::vector<GoldenEntry> entries = currentEntries();
+
+    if (std::getenv("CAWA_UPDATE_GOLDEN")) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << serialize(entries);
+        GTEST_SKIP() << "baseline regenerated at " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "missing baseline " << goldenPath()
+                    << " (run with CAWA_UPDATE_GOLDEN=1 to create)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    const JsonValue golden = parseJson(buf.str());
+    ASSERT_EQ(golden.at("schema").asString(), "cawa-golden-stats-v1");
+    const auto &baseline = golden.at("entries").items();
+    ASSERT_EQ(baseline.size(), entries.size());
+
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const GoldenEntry &now = entries[i];
+        const JsonValue &want = baseline[i];
+        SCOPED_TRACE(now.job);
+        EXPECT_EQ(want.at("job").asString(), now.job);
+        EXPECT_EQ(want.at("cycles").asU64(), now.cycles);
+        EXPECT_EQ(want.at("instructions").asU64(), now.instructions);
+        EXPECT_EQ(want.at("l1Accesses").asU64(), now.l1Accesses);
+        EXPECT_EQ(want.at("l1Hits").asU64(), now.l1Hits);
+        EXPECT_EQ(want.at("l1Misses").asU64(), now.l1Misses);
+        EXPECT_EQ(want.at("l2Accesses").asU64(), now.l2Accesses);
+        EXPECT_EQ(want.at("l2Hits").asU64(), now.l2Hits);
+        EXPECT_EQ(want.at("l2Misses").asU64(), now.l2Misses);
+        EXPECT_EQ(want.at("dramReads").asU64(), now.dramReads);
+        EXPECT_EQ(want.at("dramWrites").asU64(), now.dramWrites);
+        EXPECT_EQ(want.at("icntMessages").asU64(), now.icntMessages);
+        EXPECT_EQ(want.at("blocks").asU64(), now.blocks);
+    }
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the benchmark harness environment parsing:
+ * CAWA_BENCH_SCALE must reject garbage (std::atof used to yield 0.0
+ * silently, degenerating every workload) and CAWA_BENCH_THREADS must
+ * reject non-positive or non-numeric worker counts.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+
+using namespace cawa;
+
+TEST(BenchScale, ValidValuesParse)
+{
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale("0.75"), 0.75);
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale("1"), 1.0);
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale("1e2"), 100.0);
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale("0.25"), 0.25);
+}
+
+TEST(BenchScale, MissingFallsBack)
+{
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale(nullptr), 0.5);
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale(""), 0.5);
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale(nullptr, 0.25), 0.25);
+}
+
+TEST(BenchScale, GarbageFallsBackInsteadOfZero)
+{
+    // Each of these made std::atof return 0.0 (or nonsense) before.
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale("abc"), 0.5);
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale("2.5xyz"), 0.5);
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale("0"), 0.5);
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale("-1"), 0.5);
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale("nan"), 0.5);
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale("inf"), 0.5);
+    EXPECT_DOUBLE_EQ(bench::parseBenchScale("1e999"), 0.5);
+}
+
+TEST(BenchScale, ReadsEnvironment)
+{
+    ASSERT_EQ(setenv("CAWA_BENCH_SCALE", "0.33", 1), 0);
+    EXPECT_DOUBLE_EQ(bench::benchScale(), 0.33);
+    ASSERT_EQ(setenv("CAWA_BENCH_SCALE", "garbage", 1), 0);
+    EXPECT_DOUBLE_EQ(bench::benchScale(), 0.5);
+    ASSERT_EQ(unsetenv("CAWA_BENCH_SCALE"), 0);
+    EXPECT_DOUBLE_EQ(bench::benchScale(), 0.5);
+}
+
+TEST(BenchThreads, ValidatesEnvironment)
+{
+    ASSERT_EQ(setenv("CAWA_BENCH_THREADS", "4", 1), 0);
+    EXPECT_EQ(bench::benchThreads(), 4);
+    // Invalid values mean "unset": the engine picks its default.
+    ASSERT_EQ(setenv("CAWA_BENCH_THREADS", "abc", 1), 0);
+    EXPECT_EQ(bench::benchThreads(), 0);
+    ASSERT_EQ(setenv("CAWA_BENCH_THREADS", "0", 1), 0);
+    EXPECT_EQ(bench::benchThreads(), 0);
+    ASSERT_EQ(setenv("CAWA_BENCH_THREADS", "-3", 1), 0);
+    EXPECT_EQ(bench::benchThreads(), 0);
+    ASSERT_EQ(setenv("CAWA_BENCH_THREADS", "8x", 1), 0);
+    EXPECT_EQ(bench::benchThreads(), 0);
+    ASSERT_EQ(unsetenv("CAWA_BENCH_THREADS"), 0);
+    EXPECT_EQ(bench::benchThreads(), 0);
+
+    SweepEngine defaulted(0);
+    EXPECT_GE(defaulted.threads(), 1);
+}

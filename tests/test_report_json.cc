@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Round-trip and schema tests for the JSON report export: every
+ * numeric field of SimReport and CacheStats must appear in the
+ * output and parse back to exactly the same value, the writer must
+ * be deterministic, and a timedOut report must serialize cleanly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/report_json.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+CacheStats
+denseCacheStats(std::uint64_t base)
+{
+    CacheStats s;
+    s.accesses = base + 1;
+    s.hits = base + 2;
+    s.misses = base + 3;
+    s.mshrMerges = base + 4;
+    s.mshrRejects = base + 5;
+    s.evictions = base + 6;
+    s.criticalAccesses = base + 7;
+    s.criticalHits = base + 8;
+    s.nonCriticalAccesses = base + 9;
+    s.nonCriticalHits = base + 10;
+    s.zeroReuseEvictions = base + 11;
+    s.zeroReuseCriticalEvictions = base + 12;
+    s.criticalFills = base + 13;
+    for (std::size_t i = 0; i < s.reuseDistanceHist.size(); ++i) {
+        s.reuseDistanceHist[i] = base + 20 + i;
+        s.criticalReuseDistanceHist[i] = base + 30 + i;
+    }
+    s.perPc[4] = {base + 40, base + 41, base + 42, base + 43};
+    s.perPc[1024] = {base + 50, base + 51, base + 52, base + 53};
+    return s;
+}
+
+SimReport
+denseReport()
+{
+    SimReport r;
+    r.kernelName = "bfs \"quoted\"\n";
+    r.schedulerName = "gcaws";
+    r.cachePolicyName = "cacp";
+    r.cycles = 0xdeadbeefcafeULL; // exercises > 32-bit counters
+    r.instructions = 1234567890123ULL;
+    r.l1 = denseCacheStats(1000);
+    r.l2 = denseCacheStats(2000);
+    r.dramReads = 77;
+    r.dramWrites = 88;
+    r.icntMessages = 99;
+
+    BlockRecord b;
+    b.id = 5;
+    b.smId = 3;
+    b.startCycle = 100;
+    b.endCycle = 900;
+    b.cplSamples = 17;
+    WarpRecord w0{0, 100, 800, 640, 11, 12, 13, 14, 15, 16, 7};
+    WarpRecord w1{1, 120, 900, 512, 21, 22, 23, 24, 25, 26, 9};
+    b.warps = {w0, w1};
+    r.blocks = {b};
+
+    TraceSample t0;
+    t0.cycle = 256;
+    t0.criticality = {-5, 0, 42};
+    TraceSample t1;
+    t1.cycle = 512;
+    t1.criticality = {7};
+    r.trace = {t0, t1};
+    return r;
+}
+
+void
+expectStatsEqual(const CacheStats &a, const CacheStats &b)
+{
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.mshrMerges, b.mshrMerges);
+    EXPECT_EQ(a.mshrRejects, b.mshrRejects);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.criticalAccesses, b.criticalAccesses);
+    EXPECT_EQ(a.criticalHits, b.criticalHits);
+    EXPECT_EQ(a.nonCriticalAccesses, b.nonCriticalAccesses);
+    EXPECT_EQ(a.nonCriticalHits, b.nonCriticalHits);
+    EXPECT_EQ(a.zeroReuseEvictions, b.zeroReuseEvictions);
+    EXPECT_EQ(a.zeroReuseCriticalEvictions,
+              b.zeroReuseCriticalEvictions);
+    EXPECT_EQ(a.criticalFills, b.criticalFills);
+    EXPECT_EQ(a.reuseDistanceHist, b.reuseDistanceHist);
+    EXPECT_EQ(a.criticalReuseDistanceHist, b.criticalReuseDistanceHist);
+    ASSERT_EQ(a.perPc.size(), b.perPc.size());
+    for (const auto &[pc, st] : a.perPc) {
+        ASSERT_TRUE(b.perPc.count(pc));
+        const auto &other = b.perPc.at(pc);
+        EXPECT_EQ(st.fills, other.fills);
+        EXPECT_EQ(st.hits, other.hits);
+        EXPECT_EQ(st.zeroReuseEvictions, other.zeroReuseEvictions);
+        EXPECT_EQ(st.reusedEvictions, other.reusedEvictions);
+    }
+}
+
+} // namespace
+
+TEST(ReportJson, CacheStatsRoundTrip)
+{
+    const CacheStats original = denseCacheStats(5000);
+    const CacheStats parsed =
+        cacheStatsFromJson(parseJson(toJson(original)));
+    expectStatsEqual(original, parsed);
+}
+
+TEST(ReportJson, ReportRoundTripAllFields)
+{
+    const SimReport original = denseReport();
+    const SimReport parsed = reportFromJson(toJson(original));
+
+    EXPECT_EQ(original.kernelName, parsed.kernelName);
+    EXPECT_EQ(original.schedulerName, parsed.schedulerName);
+    EXPECT_EQ(original.cachePolicyName, parsed.cachePolicyName);
+    EXPECT_EQ(original.timedOut, parsed.timedOut);
+    EXPECT_EQ(original.cycles, parsed.cycles);
+    EXPECT_EQ(original.instructions, parsed.instructions);
+    EXPECT_EQ(original.dramReads, parsed.dramReads);
+    EXPECT_EQ(original.dramWrites, parsed.dramWrites);
+    EXPECT_EQ(original.icntMessages, parsed.icntMessages);
+    expectStatsEqual(original.l1, parsed.l1);
+    expectStatsEqual(original.l2, parsed.l2);
+
+    ASSERT_EQ(original.blocks.size(), parsed.blocks.size());
+    for (std::size_t i = 0; i < original.blocks.size(); ++i) {
+        const BlockRecord &a = original.blocks[i];
+        const BlockRecord &b = parsed.blocks[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.smId, b.smId);
+        EXPECT_EQ(a.startCycle, b.startCycle);
+        EXPECT_EQ(a.endCycle, b.endCycle);
+        EXPECT_EQ(a.cplSamples, b.cplSamples);
+        ASSERT_EQ(a.warps.size(), b.warps.size());
+        for (std::size_t w = 0; w < a.warps.size(); ++w) {
+            const WarpRecord &wa = a.warps[w];
+            const WarpRecord &wb = b.warps[w];
+            EXPECT_EQ(wa.warpInBlock, wb.warpInBlock);
+            EXPECT_EQ(wa.startCycle, wb.startCycle);
+            EXPECT_EQ(wa.endCycle, wb.endCycle);
+            EXPECT_EQ(wa.instructions, wb.instructions);
+            EXPECT_EQ(wa.memStallCycles, wb.memStallCycles);
+            EXPECT_EQ(wa.aluStallCycles, wb.aluStallCycles);
+            EXPECT_EQ(wa.structStallCycles, wb.structStallCycles);
+            EXPECT_EQ(wa.schedWaitCycles, wb.schedWaitCycles);
+            EXPECT_EQ(wa.barrierCycles, wb.barrierCycles);
+            EXPECT_EQ(wa.finishedWaitCycles, wb.finishedWaitCycles);
+            EXPECT_EQ(wa.slowSamples, wb.slowSamples);
+        }
+    }
+
+    ASSERT_EQ(original.trace.size(), parsed.trace.size());
+    for (std::size_t i = 0; i < original.trace.size(); ++i) {
+        EXPECT_EQ(original.trace[i].cycle, parsed.trace[i].cycle);
+        EXPECT_EQ(original.trace[i].criticality,
+                  parsed.trace[i].criticality);
+    }
+
+    // Derived doubles are re-computed from the parsed counters.
+    EXPECT_DOUBLE_EQ(original.ipc(), parsed.ipc());
+    EXPECT_DOUBLE_EQ(original.mpki(), parsed.mpki());
+}
+
+TEST(ReportJson, WriterIsDeterministicAndIdempotent)
+{
+    const SimReport r = denseReport();
+    const std::string once = toJson(r);
+    EXPECT_EQ(once, toJson(r));
+    // serialize -> parse -> serialize is a fixed point
+    EXPECT_EQ(once, toJson(reportFromJson(once)));
+}
+
+TEST(ReportJson, CompactAndFilteredOutput)
+{
+    const SimReport r = denseReport();
+    JsonWriteOptions opt;
+    opt.pretty = false;
+    const std::string compact = toJson(r, opt);
+    EXPECT_EQ(compact.find('\n'), std::string::npos);
+    EXPECT_EQ(reportFromJson(compact).cycles, r.cycles);
+
+    opt.includeBlocks = false;
+    opt.includeTrace = false;
+    opt.includeDerived = false;
+    const SimReport slim = reportFromJson(toJson(r, opt));
+    EXPECT_TRUE(slim.blocks.empty());
+    EXPECT_TRUE(slim.trace.empty());
+    EXPECT_EQ(slim.instructions, r.instructions);
+}
+
+TEST(ReportJson, TimedOutReportSerializesCleanly)
+{
+    SimReport r;
+    r.kernelName = "needle";
+    r.schedulerName = "gto";
+    r.cachePolicyName = "lru";
+    r.timedOut = true;
+    r.cycles = 100'000'000;
+    const SimReport parsed = reportFromJson(toJson(r));
+    EXPECT_TRUE(parsed.timedOut);
+    EXPECT_EQ(parsed.cycles, r.cycles);
+    EXPECT_EQ(parsed.instructions, 0u);
+    EXPECT_TRUE(parsed.blocks.empty());
+}
+
+TEST(ReportJson, MalformedInputThrows)
+{
+    EXPECT_THROW(parseJson(""), std::runtime_error);
+    EXPECT_THROW(parseJson("{"), std::runtime_error);
+    EXPECT_THROW(parseJson("{\"a\": }"), std::runtime_error);
+    EXPECT_THROW(parseJson("[1, 2,]x"), std::runtime_error);
+    EXPECT_THROW(parseJson("{\"a\": 1} extra"), std::runtime_error);
+    EXPECT_THROW(reportFromJson(std::string("{\"schema\": \"nope\"}")),
+                 std::runtime_error);
+    // Valid JSON but missing required report keys.
+    EXPECT_THROW(reportFromJson(std::string(
+                     "{\"schema\": \"cawa-simreport-v1\"}")),
+                 std::runtime_error);
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Locks in simulator determinism under the parallel sweep engine:
+ * the same job list must produce byte-identical SimReport streams
+ * (cycles, instructions, L1/L2 counters, block records, trace) at
+ * any worker count, and back-to-back serial runs must match too.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/report_json.hh"
+#include "sim/sweep.hh"
+#include "workloads/sweep_jobs.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams params;
+    params.scale = 0.15;
+    params.seed = 1;
+    return params;
+}
+
+GpuConfig
+config(SchedulerKind sched, CachePolicyKind policy)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.scheduler = sched;
+    cfg.l1Policy = policy;
+    return cfg;
+}
+
+std::vector<WorkloadJobSpec>
+mixedSpecs()
+{
+    const WorkloadParams params = tinyParams();
+    return {
+        {"bfs", config(SchedulerKind::Gto, CachePolicyKind::Lru),
+         params},
+        {"bfs", config(SchedulerKind::Gcaws, CachePolicyKind::Cacp),
+         params},
+        {"pathfinder",
+         config(SchedulerKind::Lrr, CachePolicyKind::Lru), params},
+        {"pathfinder",
+         config(SchedulerKind::Gcaws, CachePolicyKind::Cacp), params},
+        {"kmeans", config(SchedulerKind::Gto, CachePolicyKind::Cacp),
+         params},
+    };
+}
+
+/** Full-fidelity serialization: any behavioural drift shows up. */
+std::vector<std::string>
+runAndSerialize(int threads)
+{
+    const SweepEngine engine(threads);
+    EXPECT_EQ(engine.threads(), threads);
+    const auto results = engine.run(makeWorkloadJobs(mixedSpecs()));
+    std::vector<std::string> docs;
+    for (const auto &res : results) {
+        EXPECT_TRUE(res.ok()) << res.error;
+        docs.push_back(toJson(res.report));
+    }
+    return docs;
+}
+
+} // namespace
+
+TEST(SweepDeterminism, IdenticalReportsAcrossThreadCounts)
+{
+    const std::vector<std::string> serial = runAndSerialize(1);
+    ASSERT_EQ(serial.size(), mixedSpecs().size());
+
+    for (int threads : {2, 8}) {
+        const std::vector<std::string> parallel =
+            runAndSerialize(threads);
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            EXPECT_EQ(serial[i], parallel[i])
+                << "report " << i << " differs at " << threads
+                << " threads";
+    }
+}
+
+TEST(SweepDeterminism, ResultsComeBackInSubmissionOrder)
+{
+    const auto specs = mixedSpecs();
+    const SweepEngine engine(8);
+    const auto results = engine.run(makeWorkloadJobs(specs));
+    ASSERT_EQ(results.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(results[i].report.kernelName, specs[i].workload);
+        EXPECT_EQ(results[i].report.schedulerName,
+                  schedulerKindName(specs[i].cfg.scheduler));
+    }
+}
+
+TEST(SweepDeterminism, BackToBackCawaRunsAreBitwiseEqual)
+{
+    WorkloadJobSpec spec{
+        "bfs", config(SchedulerKind::Gcaws, CachePolicyKind::Cacp),
+        tinyParams()};
+    const SweepResult first = runSweepJob(makeWorkloadJob(spec));
+    const SweepResult second = runSweepJob(makeWorkloadJob(spec));
+    ASSERT_TRUE(first.ok()) << first.error;
+    ASSERT_TRUE(second.ok()) << second.error;
+    EXPECT_GT(first.report.cycles, 0u);
+    EXPECT_GT(first.report.instructions, 0u);
+    EXPECT_EQ(toJson(first.report), toJson(second.report));
+}
+
+TEST(SweepDeterminism, SeedChangesTheRun)
+{
+    WorkloadJobSpec a{
+        "bfs", config(SchedulerKind::Gto, CachePolicyKind::Lru),
+        tinyParams()};
+    WorkloadJobSpec b = a;
+    b.params.seed = 2;
+    const SweepResult ra = runSweepJob(makeWorkloadJob(a));
+    const SweepResult rb = runSweepJob(makeWorkloadJob(b));
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_NE(toJson(ra.report), toJson(rb.report));
+}
