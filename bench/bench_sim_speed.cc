@@ -1,14 +1,34 @@
 /**
  * @file
- * google-benchmark microbenchmarks for the simulator itself:
- * end-to-end simulation throughput (cycles/second) and the hot
- * primitives (cache probe path, CPL classification, coalescer).
- * These guard against performance regressions in the simulator.
+ * Simulator-speed benchmarks, two layers:
+ *
+ *  1. A fast-forward comparison: each memory-bound workload runs
+ *     end-to-end twice -- flat ticking vs the event-driven
+ *     fast-forward core -- and the sim-cycles/s of both, plus the
+ *     speedup, are printed and exported to BENCH_sim_speed.json
+ *     (override the path with CAWA_BENCH_JSON). The simulated cycle
+ *     counts of the two runs are asserted equal, so the report
+ *     doubles as a coarse bit-identity check.
+ *
+ *  2. google-benchmark microbenchmarks of the hot primitives (cache
+ *     probe path, CPL classification, coalescer) and a small
+ *     end-to-end run, guarding against regressions in the
+ *     simulator's own performance.
+ *
+ * Problem scale follows CAWA_BENCH_SCALE (default 0.5).
  */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "cawa/criticality.hh"
+#include "harness.hh"
 #include "mem/coalescer.hh"
 #include "mem/replacement.hh"
 #include "sim/gpu.hh"
@@ -18,6 +38,147 @@ using namespace cawa;
 
 namespace
 {
+
+// ---------------------------------------------------------------
+// Fast-forward on/off comparison.
+// ---------------------------------------------------------------
+
+struct FfSample
+{
+    std::uint64_t cycles = 0;
+    double seconds = 0.0;
+};
+
+struct FfResult
+{
+    std::string workload;
+    std::uint64_t cycles = 0;
+    double cyclesPerSecFlat = 0.0;
+    double cyclesPerSecFf = 0.0;
+
+    double speedup() const
+    {
+        return cyclesPerSecFlat > 0.0
+            ? cyclesPerSecFf / cyclesPerSecFlat : 0.0;
+    }
+};
+
+/** One timed end-to-end run (build excluded from the timing). */
+FfSample
+timedRun(const std::string &workload, bool fast_forward, double scale)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.fastForward = fast_forward;
+    auto wl = makeWorkload(workload);
+    MemoryImage mem;
+    WorkloadParams params;
+    params.scale = scale;
+    const KernelInfo kernel = wl->build(mem, params);
+
+    const auto start = std::chrono::steady_clock::now();
+    const SimReport r = runKernel(cfg, mem, kernel);
+    const auto stop = std::chrono::steady_clock::now();
+    return {r.cycles,
+            std::chrono::duration<double>(stop - start).count()};
+}
+
+/**
+ * Best-of-N timing for one workload in both modes. The simulated
+ * cycle count must not depend on the mode.
+ */
+FfResult
+compareWorkload(const std::string &workload, double scale, int reps)
+{
+    FfResult res;
+    res.workload = workload;
+    double best_flat = 0.0;
+    double best_ff = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        const FfSample flat = timedRun(workload, false, scale);
+        const FfSample ff = timedRun(workload, true, scale);
+        if (flat.cycles != ff.cycles) {
+            std::fprintf(stderr,
+                         "FATAL: %s simulated %llu cycles flat but "
+                         "%llu fast-forwarded\n", workload.c_str(),
+                         static_cast<unsigned long long>(flat.cycles),
+                         static_cast<unsigned long long>(ff.cycles));
+            std::exit(1);
+        }
+        res.cycles = flat.cycles;
+        best_flat = std::max(best_flat,
+                             static_cast<double>(flat.cycles) /
+                                 flat.seconds);
+        best_ff = std::max(best_ff,
+                           static_cast<double>(ff.cycles) /
+                               ff.seconds);
+    }
+    res.cyclesPerSecFlat = best_flat;
+    res.cyclesPerSecFf = best_ff;
+    return res;
+}
+
+std::string
+jsonReport(const std::vector<FfResult> &results, double scale)
+{
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"cawa-bench-sim-speed-v1\",\n"
+        << "  \"scale\": " << scale << ",\n"
+        << "  \"config\": \"fermiGtx480\",\n"
+        << "  \"entries\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const FfResult &r = results[i];
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", r.speedup());
+        out << "    {\"workload\": \"" << r.workload << "\""
+            << ", \"simCycles\": " << r.cycles
+            << ", \"cyclesPerSecFlat\": "
+            << static_cast<std::uint64_t>(r.cyclesPerSecFlat)
+            << ", \"cyclesPerSecFastForward\": "
+            << static_cast<std::uint64_t>(r.cyclesPerSecFf)
+            << ", \"speedup\": " << buf << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+/** Memory-bound workloads: where cycle skipping should pay off. */
+const char *const kFfWorkloads[] = {"bfs", "pathfinder", "needle",
+                                    "backprop"};
+
+void
+runFastForwardComparison()
+{
+    const double scale = bench::benchScale();
+    const int reps = 3;
+
+    std::printf("Fast-forward comparison (scale %.2f, best of %d)\n",
+                scale, reps);
+    std::printf("%-12s %12s %16s %16s %9s\n", "workload", "simCycles",
+                "flat cyc/s", "ff cyc/s", "speedup");
+
+    std::vector<FfResult> results;
+    for (const char *workload : kFfWorkloads) {
+        results.push_back(compareWorkload(workload, scale, reps));
+        const FfResult &r = results.back();
+        std::printf("%-12s %12llu %16.0f %16.0f %8.2fx\n",
+                    r.workload.c_str(),
+                    static_cast<unsigned long long>(r.cycles),
+                    r.cyclesPerSecFlat, r.cyclesPerSecFf,
+                    r.speedup());
+    }
+
+    const char *path_env = std::getenv("CAWA_BENCH_JSON");
+    const std::string path =
+        path_env ? path_env : "BENCH_sim_speed.json";
+    std::ofstream out(path);
+    out << jsonReport(results, scale);
+    std::printf("wrote %s\n\n", path.c_str());
+}
+
+// ---------------------------------------------------------------
+// Microbenchmarks.
+// ---------------------------------------------------------------
 
 void
 BM_SimulateQuickstart(benchmark::State &state)
@@ -99,4 +260,19 @@ BENCHMARK(BM_Coalescer);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The fast-forward comparison runs first (skip via env when only
+    // the microbenchmarks are wanted, e.g. under a profiler).
+    const char *skip = std::getenv("CAWA_SKIP_FF_COMPARE");
+    if (!skip || std::string(skip) != "1")
+        runFastForwardComparison();
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

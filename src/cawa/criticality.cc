@@ -45,7 +45,9 @@ CriticalityPredictor::deactivate(WarpSlot slot)
     // The warp finished: its counters freeze but it stays ranked in
     // its block until the block retires, so still-running laggards
     // correctly classify as slow against their finished peers.
-    slots_.at(slot).finished = true;
+    auto &st = slots_.at(slot);
+    st.finished = true;
+    st.invalidateCache();
 }
 
 void
@@ -63,6 +65,7 @@ CriticalityPredictor::onIssue(WarpSlot slot, Cycle now)
     // path length (pathInst = issued + nInst) is unchanged by an
     // issue, so the block aggregate needs no update here.
     st.nInst -= 1;
+    st.invalidateCache();
 }
 
 std::int64_t
@@ -105,14 +108,17 @@ CriticalityPredictor::onBranch(WarpSlot slot, std::uint32_t curr_pc,
     st.nInst += delta;
     st.pathInst += delta;
     blockAggs_[st.blockTag].sum += delta;
+    st.invalidateCache();
 }
 
 void
 CriticalityPredictor::releaseBarrier(WarpSlot slot, Cycle now)
 {
     auto &st = slots_.at(slot);
-    if (st.active && now > st.lastIssue)
+    if (st.active && now > st.lastIssue) {
         st.lastIssue = now;
+        st.invalidateCache();
+    }
 }
 
 double
@@ -132,6 +138,8 @@ CriticalityPredictor::criticality(WarpSlot slot) const
     const auto &st = slots_.at(slot);
     if (!st.active)
         return 0;
+    if (st.critValid)
+        return st.critCache;
     // Finished warps return their frozen value (no further issues or
     // stalls ever accrue).
     std::int64_t value = 0;
@@ -147,6 +155,8 @@ CriticalityPredictor::criticality(WarpSlot slot) const
     }
     if (useStallTerm_)
         value += static_cast<std::int64_t>(st.nStall);
+    st.critCache = value;
+    st.critValid = true;
     return value;
 }
 
@@ -181,10 +191,14 @@ CriticalityPredictor::priority(WarpSlot slot) const
     const auto &st = slots_.at(slot);
     if (!st.active)
         return 0;
+    if (st.prioValid)
+        return st.prioCache;
     const double cpi = cpiAvg(st);
     const auto insts = static_cast<std::int64_t>(
         static_cast<double>(criticality(slot)) / cpi);
-    return insts >> quantShift_;
+    st.prioCache = insts >> quantShift_;
+    st.prioValid = true;
+    return st.prioCache;
 }
 
 std::int64_t

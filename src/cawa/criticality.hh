@@ -100,8 +100,16 @@ class CriticalityPredictor : public CriticalityInfo
     std::uint64_t stallCycles(WarpSlot slot) const;
 
     /** Ablation knobs: disable one of Eq. (1)'s terms. */
-    void setUseInstTerm(bool v) { useInstTerm_ = v; }
-    void setUseStallTerm(bool v) { useStallTerm_ = v; }
+    void setUseInstTerm(bool v)
+    {
+        useInstTerm_ = v;
+        invalidateAll();
+    }
+    void setUseStallTerm(bool v)
+    {
+        useStallTerm_ = v;
+        invalidateAll();
+    }
 
     /**
      * Quantization of the scheduling priority: priority() compares
@@ -110,7 +118,11 @@ class CriticalityPredictor : public CriticalityInfo
      * oldest-first tie-break (hardware would compare truncated
      * counters). criticality() itself stays full resolution.
      */
-    void setQuantShift(int shift) { quantShift_ = shift; }
+    void setQuantShift(int shift)
+    {
+        quantShift_ = shift;
+        invalidateAll();
+    }
 
     /**
      * Coarse-grained criticality used as scheduling priority. The
@@ -141,6 +153,17 @@ class CriticalityPredictor : public CriticalityInfo
         std::uint64_t issued = 0;
         Cycle startCycle = 0;
         Cycle lastIssue = 0;
+
+        // criticality()/priority() are pure functions of the fields
+        // above, queried far more often than those fields change
+        // (every L1 access ranks a warp against all its peers):
+        // memoize them, invalidated by every mutator.
+        mutable std::int64_t critCache = 0;
+        mutable std::int64_t prioCache = 0;
+        mutable bool critValid = false;
+        mutable bool prioValid = false;
+
+        void invalidateCache() { critValid = prioValid = false; }
     };
 
     /** Per-block running sum of pathInst, for the relative term. */
@@ -151,6 +174,12 @@ class CriticalityPredictor : public CriticalityInfo
     };
 
     double cpiAvg(const SlotState &st) const;
+
+    void invalidateAll()
+    {
+        for (auto &st : slots_)
+            st.invalidateCache();
+    }
 
     std::vector<SlotState> slots_;
     std::unordered_map<std::uint32_t, BlockAgg> blockAggs_;

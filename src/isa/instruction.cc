@@ -61,6 +61,87 @@ Instruction::isGlobal() const
     return op == Opcode::LdGlobal || op == Opcode::StGlobal;
 }
 
+namespace
+{
+
+std::uint32_t
+bit(Reg r)
+{
+    return std::uint32_t{1} << r;
+}
+
+} // namespace
+
+void
+Instruction::deriveMasks()
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::MovImm:
+      case Opcode::S2R:
+      case Opcode::Bar:
+      case Opcode::Exit:
+      case Opcode::Bra:
+        readRegs = 0;
+        break;
+      case Opcode::AddImm:
+      case Opcode::MulImm:
+      case Opcode::ShlImm:
+      case Opcode::ShrImm:
+      case Opcode::Mov:
+      case Opcode::Sfu:
+      case Opcode::SetpImm:
+      case Opcode::LdGlobal:
+      case Opcode::LdShared:
+        readRegs = bit(src0);
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Min:
+      case Opcode::Max:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Setp:
+      case Opcode::Selp:
+      case Opcode::StGlobal:
+      case Opcode::StShared:
+        readRegs = bit(src0) | bit(src1);
+        break;
+      case Opcode::Mad:
+        readRegs = bit(src0) | bit(src1) | bit(src2);
+        break;
+    }
+
+    writeRegs = writesReg() ? bit(dst) : 0;
+
+    switch (op) {
+      case Opcode::Selp:
+        readPreds = static_cast<std::uint8_t>(1u << psrc);
+        break;
+      case Opcode::Bra:
+        readPreds = predUsed
+            ? static_cast<std::uint8_t>(1u << psrc) : 0;
+        break;
+      default:
+        readPreds = 0;
+        break;
+    }
+
+    switch (op) {
+      case Opcode::Setp:
+      case Opcode::SetpImm:
+        writePreds = static_cast<std::uint8_t>(1u << pdst);
+        break;
+      default:
+        writePreds = 0;
+        break;
+    }
+}
+
 bool
 evalCmp(CmpOp op, RegValue a, RegValue b)
 {

@@ -117,6 +117,18 @@ struct Instruction
 
     /** True if the instruction accesses the global address space. */
     bool isGlobal() const;
+
+    // Scoreboard dependency masks. Derived once from the operand
+    // fields by Program's constructor so the per-cycle issue and
+    // stall-classification paths read plain data instead of
+    // re-decoding the opcode.
+    std::uint32_t readRegs = 0;  ///< general registers read
+    std::uint32_t writeRegs = 0; ///< general registers written
+    std::uint8_t readPreds = 0;  ///< predicate registers read
+    std::uint8_t writePreds = 0; ///< predicate registers written
+
+    /** (Re)compute the dependency-mask fields from the operands. */
+    void deriveMasks();
 };
 
 /** Evaluate a comparison with signed 64-bit semantics. */

@@ -10,6 +10,8 @@ namespace cawa
 Program::Program(std::vector<Instruction> code)
     : code_(std::move(code))
 {
+    for (Instruction &inst : code_)
+        inst.deriveMasks();
 }
 
 const Instruction &

@@ -1,5 +1,7 @@
 #include "mem/dram.hh"
 
+#include <algorithm>
+
 #include "common/sim_assert.hh"
 
 namespace cawa
@@ -34,6 +36,19 @@ DramModel::tick(Cycle now)
         if (!msg.isStore)
             responses_.push_back({now + latency_, msg});
     }
+}
+
+Cycle
+DramModel::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNoCycle;
+    if (!requests_.empty())
+        next = std::max(now, nextFree_);
+    // Responses enqueue in service order with a fixed latency, so the
+    // front is the earliest.
+    if (!responses_.empty())
+        next = std::min(next, std::max(now, responses_.front().ready));
+    return next;
 }
 
 std::vector<MemMsg>

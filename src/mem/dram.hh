@@ -35,6 +35,12 @@ class DramModel
 
     bool idle() const { return requests_.empty() && responses_.empty(); }
 
+    /**
+     * Earliest cycle >= @p now at which a queued request can start
+     * service or a response becomes deliverable; kNoCycle when idle.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
 

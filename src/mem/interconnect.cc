@@ -1,5 +1,7 @@
 #include "mem/interconnect.hh"
 
+#include <algorithm>
+
 #include "common/sim_assert.hh"
 
 namespace cawa
@@ -47,6 +49,19 @@ std::vector<MemMsg>
 Interconnect::popToSm(Cycle now)
 {
     return pop(toSm_, now);
+}
+
+Cycle
+Interconnect::nextEventCycle(Cycle now) const
+{
+    // Fixed latency + FIFO order: each deque's front is its earliest
+    // ready message.
+    Cycle next = kNoCycle;
+    if (!toL2_.empty())
+        next = std::min(next, std::max(now, toL2_.front().ready));
+    if (!toSm_.empty())
+        next = std::min(next, std::max(now, toSm_.front().ready));
+    return next;
 }
 
 } // namespace cawa

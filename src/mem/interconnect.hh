@@ -34,6 +34,13 @@ class Interconnect
 
     bool idle() const { return toL2_.empty() && toSm_.empty(); }
 
+    /**
+     * Earliest cycle >= @p now at which a queued message becomes (or
+     * already is) deliverable, or kNoCycle when both directions are
+     * empty. Used by the fast-forward engine.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     std::uint64_t messagesToL2 = 0;
     std::uint64_t messagesToSm = 0;
 

@@ -1,5 +1,7 @@
 #include "mem/l1d_cache.hh"
 
+#include <algorithm>
+
 #include "common/sim_assert.hh"
 
 namespace cawa
@@ -58,7 +60,7 @@ L1DCache::access(const AccessInfo &info, Cycle now, std::uint64_t token)
             // Write-through: the store still travels to L2/DRAM.
             outgoing_.push_back({line_addr, smId_, true, info.pc});
         } else {
-            completed_.push_back({now + cfg_.hitLatency, token, false});
+            pushCompleted(now + cfg_.hitLatency, token, false);
         }
         return Result::Hit;
     }
@@ -148,23 +150,39 @@ L1DCache::fill(Addr line_addr, Cycle now)
     }
 
     for (std::uint64_t token : entry.tokens)
-        completed_.push_back({now + 1, token, true});
+        pushCompleted(now + 1, token, true);
     mshrs_.erase(it);
 }
 
 void
 L1DCache::drainCompleted(Cycle now, std::vector<Completion> &out)
 {
+    if (now < minCompletedReady_)
+        return;
     // Hit completions are ready-ordered, but fill completions are
-    // interleaved; scan the queue.
+    // interleaved; scan the queue, preserving the order of the
+    // remaining entries, and re-derive the earliest ready cycle.
+    minCompletedReady_ = kNoCycle;
     for (auto it = completed_.begin(); it != completed_.end();) {
         if (it->ready <= now) {
             out.push_back({it->token, it->wasMiss});
             it = completed_.erase(it);
         } else {
+            minCompletedReady_ =
+                std::min(minCompletedReady_, it->ready);
             ++it;
         }
     }
+}
+
+Cycle
+L1DCache::nextEventCycle(Cycle now) const
+{
+    if (!outgoing_.empty())
+        return now;
+    if (minCompletedReady_ == kNoCycle)
+        return kNoCycle;
+    return std::max(now, minCompletedReady_);
 }
 
 bool

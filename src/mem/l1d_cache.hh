@@ -10,6 +10,7 @@
 #ifndef CAWA_MEM_L1D_CACHE_HH
 #define CAWA_MEM_L1D_CACHE_HH
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <unordered_map>
@@ -69,6 +70,14 @@ class L1DCache
     /** True when no MSHR or queued traffic remains. */
     bool idle() const;
 
+    /**
+     * Earliest cycle >= @p now at which a queued completion matures
+     * or outgoing traffic needs draining; kNoCycle when neither is
+     * pending. Outstanding MSHRs wait on an external fill() and are
+     * therefore not an event source of their own.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     const CacheStats &stats() const { return stats_; }
     CacheStats &stats() { return stats_; }
     const TagArray &tags() const { return tags_; }
@@ -95,12 +104,24 @@ class L1DCache
 
     void recordAccessStats(const AccessInfo &info, bool hit);
 
+    void pushCompleted(Cycle ready, std::uint64_t token, bool was_miss)
+    {
+        completed_.push_back({ready, token, was_miss});
+        minCompletedReady_ = std::min(minCompletedReady_, ready);
+    }
+
     L1DConfig cfg_;
     int smId_;
     TagArray tags_;
     std::unique_ptr<ReplacementPolicy> policy_;
     std::unordered_map<Addr, Mshr> mshrs_;
     std::deque<Pending> completed_;
+    /**
+     * Earliest ready cycle over completed_ (kNoCycle when empty):
+     * lets the per-tick drainCompleted()/nextEventCycle() calls skip
+     * walking the queue while nothing has matured.
+     */
+    Cycle minCompletedReady_ = kNoCycle;
     std::deque<MemMsg> outgoing_;
     int numMshrs_;
     CacheStats stats_;

@@ -1,5 +1,7 @@
 #include "mem/l2_cache.hh"
 
+#include <algorithm>
+
 #include "common/sim_assert.hh"
 
 namespace cawa
@@ -52,7 +54,7 @@ L2Cache::service(Bank &bank, const MemMsg &msg, Cycle now,
         line.lastTouchSeq = tags.setSeq(set);
         bank.policy->onHit(tags, set, way, info);
         if (!msg.isStore)
-            responses_.push_back({now + cfg_.latency, msg});
+            pushResponse(now + cfg_.latency, msg);
         return;
     }
 
@@ -125,11 +127,11 @@ L2Cache::handleDramResponse(const MemMsg &msg, Cycle now)
     if (it == bank.mshrs.end()) {
         // An MSHR-bypassed duplicate fetch: respond to the original
         // requester directly.
-        responses_.push_back({now + 1, msg});
+        pushResponse(now + 1, msg);
         return;
     }
     for (const MemMsg &waiting : it->second)
-        responses_.push_back({now + 1, waiting});
+        pushResponse(now + 1, waiting);
     bank.mshrs.erase(it);
 }
 
@@ -137,17 +139,33 @@ std::vector<MemMsg>
 L2Cache::popResponses(Cycle now)
 {
     std::vector<MemMsg> out;
+    if (now < minResponseReady_)
+        return out;
     // Responses are not strictly ready-ordered (hit latency vs fill
-    // wakeups), so scan the whole queue.
+    // wakeups), so scan the whole queue, preserving the order of the
+    // remaining entries, and re-derive the earliest ready cycle.
+    minResponseReady_ = kNoCycle;
     for (auto it = responses_.begin(); it != responses_.end();) {
         if (it->ready <= now) {
             out.push_back(it->msg);
             it = responses_.erase(it);
         } else {
+            minResponseReady_ = std::min(minResponseReady_, it->ready);
             ++it;
         }
     }
     return out;
+}
+
+Cycle
+L2Cache::nextEventCycle(Cycle now) const
+{
+    for (const auto &bank : banks_)
+        if (!bank.inQueue.empty())
+            return now;
+    if (minResponseReady_ == kNoCycle)
+        return kNoCycle;
+    return std::max(now, minResponseReady_);
 }
 
 bool

@@ -11,6 +11,7 @@
 #ifndef CAWA_MEM_L2_CACHE_HH
 #define CAWA_MEM_L2_CACHE_HH
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <unordered_map>
@@ -54,6 +55,15 @@ class L2Cache
 
     bool idle() const;
 
+    /**
+     * Earliest cycle >= @p now at which a bank has a request to
+     * service or a scheduled response becomes deliverable; kNoCycle
+     * when nothing is queued. Outstanding MSHR entries alone produce
+     * no event here -- they wait on a DRAM response, which the DRAM
+     * model reports.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     const CacheStats &stats() const { return stats_; }
 
     int bankOf(Addr line_addr) const;
@@ -77,9 +87,21 @@ class L2Cache
     void service(Bank &bank, const MemMsg &msg, Cycle now,
                  DramModel &dram);
 
+    void pushResponse(Cycle ready, const MemMsg &msg)
+    {
+        responses_.push_back({ready, msg});
+        minResponseReady_ = std::min(minResponseReady_, ready);
+    }
+
     L2Config cfg_;
     std::vector<Bank> banks_;
     std::deque<PendingResponse> responses_;
+    /**
+     * Earliest ready cycle over responses_ (kNoCycle when empty), so
+     * the per-cycle popResponses()/nextEventCycle() calls only walk
+     * the queue when something is actually deliverable.
+     */
+    Cycle minResponseReady_ = kNoCycle;
     CacheStats stats_;
 };
 

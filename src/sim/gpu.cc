@@ -1,13 +1,30 @@
 #include "sim/gpu.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/sim_assert.hh"
 
 namespace cawa
 {
 
+namespace
+{
+
+/** CAWA_FAST_FORWARD=0 force-disables cycle skipping for debugging. */
+bool
+fastForwardEnvEnabled()
+{
+    const char *v = std::getenv("CAWA_FAST_FORWARD");
+    return !(v && v[0] == '0' && v[1] == '\0');
+}
+
+} // namespace
+
 Gpu::Gpu(const GpuConfig &cfg, MemoryImage &mem,
          const OracleTable *oracle)
-    : cfg_(cfg), mem_(mem), oracle_(oracle)
+    : cfg_(cfg), mem_(mem), oracle_(oracle),
+      fastForward_(cfg.fastForward && fastForwardEnvEnabled())
 {
     sim_assert(cfg.numSms > 0);
 }
@@ -19,8 +36,11 @@ Gpu::tick(Cycle now, std::vector<std::unique_ptr<SmCore>> &sms,
 {
     dispatcher.dispatch(sms, now);
 
+    // Only tick SMs whose next event is due; a skipped SM settles its
+    // per-warp stall accounting for the gap when it next wakes.
     for (auto &sm : sms)
-        sm->tick(now);
+        if (!fastForward_ || sm->dueAt(now))
+            sm->tick(now);
 
     // Miss/write-through traffic out of the L1s.
     for (auto &sm : sms)
@@ -78,14 +98,39 @@ Gpu::run(const KernelInfo &kernel)
             report.timedOut = true;
             break;
         }
-        if (!dispatcher.allDispatched())
+        if (dispatcher.allDispatched()) {
+            bool busy = !icnt.idle() || !l2.idle() || !dram.idle();
+            for (const auto &sm : sms)
+                busy = busy || sm->busy();
+            if (!busy)
+                break;
+        }
+        if (!fastForward_)
             continue;
-        bool busy = !icnt.idle() || !l2.idle() || !dram.idle();
-        for (const auto &sm : sms)
-            busy = busy || sm->busy();
-        if (!busy)
-            break;
+
+        // Event horizon: when the earliest event of any component lies
+        // beyond the next cycle, every tick until then would only
+        // charge stalls -- jump straight there. The skipped span is
+        // charged lazily by each SM when it next wakes, so every
+        // counter lands exactly where flat ticking would put it. A
+        // wedged machine (no event ever) runs straight into the
+        // timeout.
+        Cycle next = nextEventCycle(now, sms, icnt, l2, dram,
+                                    dispatcher);
+        next = std::min(next, static_cast<Cycle>(cfg_.maxCycles));
+        if (next > now) {
+            now = next;
+            if (now >= cfg_.maxCycles) {
+                report.timedOut = true;
+                break;
+            }
+        }
     }
+
+    // Settle stall accounting for SMs whose final idle stretch was
+    // never re-ticked (e.g. timed-out runs).
+    for (auto &sm : sms)
+        sm->finalizeStallAccounting(now);
 
     report.cycles = now;
     for (auto &sm : sms) {
@@ -101,6 +146,27 @@ Gpu::run(const KernelInfo &kernel)
     report.dramWrites = dram.writes;
     report.icntMessages = icnt.messagesToL2 + icnt.messagesToSm;
     return report;
+}
+
+Cycle
+Gpu::nextEventCycle(Cycle now,
+                    const std::vector<std::unique_ptr<SmCore>> &sms,
+                    const Interconnect &icnt, const L2Cache &l2,
+                    const DramModel &dram,
+                    const BlockDispatcher &dispatcher) const
+{
+    Cycle next = icnt.nextEventCycle(now);
+    if (next <= now)
+        return now;
+    next = std::min(next, l2.nextEventCycle(now));
+    next = std::min(next, dram.nextEventCycle(now));
+    next = std::min(next, dispatcher.nextEventCycle(sms, now));
+    for (const auto &sm : sms) {
+        if (next <= now)
+            return now;
+        next = std::min(next, sm->nextEventCycle());
+    }
+    return next;
 }
 
 SimReport

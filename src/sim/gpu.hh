@@ -44,9 +44,21 @@ class Gpu
               Interconnect &icnt, L2Cache &l2, DramModel &dram,
               BlockDispatcher &dispatcher);
 
+    /**
+     * Earliest cycle >= @p now at which any component does more than
+     * stall accounting; kNoCycle when the machine is wedged (only the
+     * maxCycles timeout can end the run).
+     */
+    Cycle nextEventCycle(
+        Cycle now, const std::vector<std::unique_ptr<SmCore>> &sms,
+        const Interconnect &icnt, const L2Cache &l2,
+        const DramModel &dram,
+        const BlockDispatcher &dispatcher) const;
+
     GpuConfig cfg_;
     MemoryImage &mem_;
     const OracleTable *oracle_;
+    bool fastForward_;
 };
 
 /** Convenience: build + run in one call. */

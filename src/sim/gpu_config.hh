@@ -71,6 +71,17 @@ struct GpuConfig
     // Safety valve.
     std::uint64_t maxCycles = 100'000'000;
 
+    /**
+     * Event-driven fast-forward: when no SM can issue, jump the clock
+     * to the next scheduled event (writeback, memory response,
+     * sampling boundary, ...) instead of ticking through the idle
+     * stretch, bulk-charging the skipped stall cycles. Every SimReport
+     * field is bit-identical with the flag on or off; disable (or set
+     * CAWA_FAST_FORWARD=0 in the environment) only to debug the
+     * simulator cycle by cycle.
+     */
+    bool fastForward = true;
+
     /** Paper Table 1 configuration (these defaults). */
     static GpuConfig fermiGtx480() { return GpuConfig{}; }
 

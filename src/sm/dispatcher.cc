@@ -30,4 +30,16 @@ BlockDispatcher::dispatch(std::vector<std::unique_ptr<SmCore>> &sms,
     return placed;
 }
 
+Cycle
+BlockDispatcher::nextEventCycle(
+    const std::vector<std::unique_ptr<SmCore>> &sms, Cycle now) const
+{
+    if (allDispatched())
+        return kNoCycle;
+    for (const auto &sm : sms)
+        if (sm->canAcceptBlock())
+            return now;
+    return kNoCycle;
+}
+
 } // namespace cawa

@@ -24,6 +24,16 @@ class BlockDispatcher
     /** Try to place pending blocks; returns how many were placed. */
     int dispatch(std::vector<std::unique_ptr<SmCore>> &sms, Cycle now);
 
+    /**
+     * @p now when a pending block could be placed next cycle (blocks
+     * remain and some SM has room), kNoCycle otherwise -- either all
+     * blocks are out, or placement waits on a block retirement, which
+     * is an SM event.
+     */
+    Cycle nextEventCycle(
+        const std::vector<std::unique_ptr<SmCore>> &sms,
+        Cycle now) const;
+
     bool
     allDispatched() const
     {

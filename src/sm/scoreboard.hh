@@ -1,10 +1,10 @@
 /**
  * @file
- * Dependency masks for the per-warp scoreboard: which general and
- * predicate registers an instruction reads and writes. The SM blocks
- * issue while any of these overlap a warp's pending sets (in-order
- * issue with RAW/WAW interlocks; loads release their destination when
- * the memory system responds).
+ * Per-warp scoreboard. The SM blocks issue while an instruction's
+ * dependency masks (precomputed into the Instruction by Program's
+ * constructor, see Instruction::deriveMasks) overlap a warp's pending
+ * sets (in-order issue with RAW/WAW interlocks; loads release their
+ * destination when the memory system responds).
  */
 
 #ifndef CAWA_SM_SCOREBOARD_HH
@@ -16,18 +16,6 @@
 
 namespace cawa
 {
-
-/** Bitmask of general registers read by @p inst. */
-std::uint32_t regsRead(const Instruction &inst);
-
-/** Bitmask of general registers written by @p inst. */
-std::uint32_t regsWritten(const Instruction &inst);
-
-/** Bitmask of predicate registers read by @p inst. */
-std::uint8_t predsRead(const Instruction &inst);
-
-/** Bitmask of predicate registers written by @p inst. */
-std::uint8_t predsWritten(const Instruction &inst);
 
 /** Per-warp pending-register state. */
 struct Scoreboard
@@ -46,17 +34,15 @@ struct Scoreboard
     bool
     canIssue(const Instruction &inst) const
     {
-        const std::uint32_t regs = regsRead(inst) | regsWritten(inst);
-        const std::uint8_t preds = predsRead(inst) | predsWritten(inst);
-        return (regs & pendingRegs) == 0 && (preds & pendingPreds) == 0;
+        return ((inst.readRegs | inst.writeRegs) & pendingRegs) == 0 &&
+               ((inst.readPreds | inst.writePreds) & pendingPreds) == 0;
     }
 
     /** Whether the block on @p inst is due to an outstanding load. */
     bool
     blockedByMemory(const Instruction &inst) const
     {
-        const std::uint32_t regs = regsRead(inst) | regsWritten(inst);
-        return (regs & pendingMemRegs) != 0;
+        return ((inst.readRegs | inst.writeRegs) & pendingMemRegs) != 0;
     }
 
     bool clean() const

@@ -41,8 +41,15 @@ SmCore::SmCore(const GpuConfig &cfg, int sm_id, MemoryImage &global,
       age_(cfg.maxWarpsPerSm, 0),
       priority_(cfg.maxWarpsPerSm, 0),
       oraclePriority_(cfg.maxWarpsPerSm, 0),
-      issuedThisCycle_(cfg.maxWarpsPerSm, false)
+      issuedThisCycle_(cfg.maxWarpsPerSm, false),
+      freeSlots_(cfg.maxWarpsPerSm)
 {
+    // Every warp can keep a couple of independent loads in flight;
+    // the pool grows on demand beyond this.
+    tokenPool_.reserve(static_cast<std::size_t>(cfg.maxWarpsPerSm) * 2);
+    readyScratch_.reserve(cfg.maxWarpsPerSm);
+    critScratch_.reserve(cfg.maxWarpsPerSm);
+    critSorted_.reserve(cfg.maxWarpsPerSm);
     warps_.reserve(cfg.maxWarpsPerSm);
     for (int i = 0; i < cfg.maxWarpsPerSm; ++i)
         warps_.emplace_back(cfg.warpSize);
@@ -71,17 +78,35 @@ SmCore::schedulerOf(WarpSlot slot)
     return *schedulers_[slot % cfg_.numSchedulersPerSm];
 }
 
+std::uint64_t
+SmCore::allocToken()
+{
+    std::uint32_t idx;
+    if (tokenFreeList_.empty()) {
+        idx = static_cast<std::uint32_t>(tokenPool_.size());
+        tokenPool_.emplace_back();
+    } else {
+        idx = tokenFreeList_.back();
+        tokenFreeList_.pop_back();
+    }
+    liveTokens_++;
+    return idx + 1;
+}
+
+void
+SmCore::freeToken(std::uint64_t id)
+{
+    tokenFreeList_.push_back(static_cast<std::uint32_t>(id - 1));
+    liveTokens_--;
+    sim_assert(liveTokens_ >= 0);
+}
+
 bool
 SmCore::canAcceptBlock() const
 {
     if (residentBlocks_ >= cfg_.maxBlocksPerSm)
         return false;
-    const int warps_needed = kernel_.warpsPerBlock(cfg_.warpSize);
-    int free_slots = 0;
-    for (const auto &w : warps_)
-        if (w.state() == WarpState::Inactive)
-            free_slots++;
-    if (free_slots < warps_needed)
+    if (freeSlots_ < kernel_.warpsPerBlock(cfg_.warpSize))
         return false;
     if (regsUsed_ + kernel_.blockDim * kernel_.regsPerThread >
         cfg_.regFileSize)
@@ -95,6 +120,10 @@ void
 SmCore::acceptBlock(BlockId id, Cycle now)
 {
     sim_assert(canAcceptBlock());
+    // Settle skipped-cycle accounting against the pre-accept warp
+    // state before the new block's warps become active.
+    catchUpStalls(now);
+    cachedNextEvent_ = std::min(cachedNextEvent_, now);
     int block_idx = -1;
     for (int i = 0; i < static_cast<int>(blocks_.size()); ++i) {
         if (!blocks_[i].valid) {
@@ -139,8 +168,11 @@ SmCore::acceptBlock(BlockId id, Cycle now)
     }
     sim_assert(assigned == warps_needed);
     residentBlocks_++;
+    freeSlots_ -= warps_needed;
+    sim_assert(freeSlots_ >= 0);
     regsUsed_ += kernel_.blockDim * kernel_.regsPerThread;
     smemUsed_ += kernel_.smemPerBlock;
+    schedDirty_ = true;
 }
 
 void
@@ -149,9 +181,7 @@ SmCore::drainL1(Cycle now)
     completionScratch_.clear();
     l1_->drainCompleted(now, completionScratch_);
     for (const auto &c : completionScratch_) {
-        auto it = tokens_.find(c.token);
-        sim_assert(it != tokens_.end());
-        Token &tok = it->second;
+        Token &tok = tokenAt(c.token);
         tok.remaining--;
         sim_assert(tok.remaining >= 0);
         if (tok.remaining == 0) {
@@ -160,7 +190,7 @@ SmCore::drainL1(Cycle now)
             warp.scoreboard.pendingMemRegs &= ~tok.dstRegMask;
             warp.outstandingLoads--;
             sim_assert(warp.outstandingLoads >= 0);
-            tokens_.erase(it);
+            freeToken(c.token);
         }
     }
 }
@@ -190,12 +220,10 @@ SmCore::serviceLdstQueue(Cycle now)
         if (result == L1DCache::Result::RejectMshrFull)
             break; // head-of-line retry next cycle
         if (result == L1DCache::Result::Miss && tx.token != 0) {
-            auto it = tokens_.find(tx.token);
-            sim_assert(it != tokens_.end());
-            if (!it->second.stallNotified) {
-                it->second.stallNotified = true;
-                schedulerOf(it->second.slot)
-                    .notifyLongStall(it->second.slot);
+            Token &tok = tokenAt(tx.token);
+            if (!tok.stallNotified) {
+                tok.stallNotified = true;
+                schedulerOf(tok.slot).notifyLongStall(tok.slot);
             }
         }
         ldstQueue_.pop_front();
@@ -205,6 +233,12 @@ SmCore::serviceLdstQueue(Cycle now)
 void
 SmCore::refreshSchedArrays()
 {
+    // Every input of the context arrays (warp state, dispatch age,
+    // CPL counters) changes only on block accept or instruction
+    // issue; between such events the previous refresh is still exact.
+    if (!schedDirty_)
+        return;
+    schedDirty_ = false;
     for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
         const Warp &warp = warps_[slot];
         if (warp.state() == WarpState::Inactive) {
@@ -238,20 +272,21 @@ SmCore::isReady(WarpSlot slot) const
 void
 SmCore::schedule(Cycle now)
 {
-    std::vector<WarpSlot> ready;
+    anyReadySeen_ = false;
     for (int k = 0; k < cfg_.numSchedulersPerSm; ++k) {
-        ready.clear();
+        readyScratch_.clear();
         for (int slot = k; slot < cfg_.maxWarpsPerSm;
              slot += cfg_.numSchedulersPerSm) {
             if (isReady(slot))
-                ready.push_back(slot);
+                readyScratch_.push_back(slot);
         }
+        anyReadySeen_ = anyReadySeen_ || !readyScratch_.empty();
         SchedCtx ctx{age_, priority_};
-        const WarpSlot pick = schedulers_[k]->pick(ready, ctx);
+        const WarpSlot pick = schedulers_[k]->pick(readyScratch_, ctx);
         if (pick == kNoWarp)
             continue;
-        sim_assert(std::find(ready.begin(), ready.end(), pick) !=
-                   ready.end());
+        sim_assert(std::find(readyScratch_.begin(), readyScratch_.end(),
+                             pick) != readyScratch_.end());
         issue(pick, now);
         schedulers_[k]->notifyIssued(pick);
     }
@@ -283,9 +318,10 @@ SmCore::issue(WarpSlot slot, Cycle now)
     warp.lastIssueCycle = now;
     issued_++;
     issuedThisCycle_[slot] = true;
+    schedDirty_ = true;
 
-    const std::uint32_t reg_mask = regsWritten(inst);
-    const std::uint8_t pred_mask = predsWritten(inst);
+    const std::uint32_t reg_mask = inst.writeRegs;
+    const std::uint8_t pred_mask = inst.writePreds;
 
     switch (inst.funcUnit()) {
       case FuncUnit::Alu:
@@ -308,12 +344,13 @@ SmCore::issue(WarpSlot slot, Cycle now)
                 coalescer_.coalesce(res.laneAddrs);
             std::uint64_t token = 0;
             if (inst.isLoad()) {
-                token = nextToken_++;
-                Token tok;
+                token = allocToken();
+                // Pool entries are recycled: reset every field.
+                Token &tok = tokenAt(token);
                 tok.slot = slot;
                 tok.dstRegMask = reg_mask;
                 tok.remaining = static_cast<int>(lines.size());
-                tokens_.emplace(token, tok);
+                tok.stallNotified = false;
                 warp.scoreboard.pendingRegs |= reg_mask;
                 warp.scoreboard.pendingMemRegs |= reg_mask;
                 warp.outstandingLoads++;
@@ -407,9 +444,46 @@ SmCore::retireBlock(BlockState &block, Cycle now)
     }
     retired_.push_back(std::move(rec));
     residentBlocks_--;
+    freeSlots_ += static_cast<int>(block.slots.size());
+    sim_assert(freeSlots_ <= cfg_.maxWarpsPerSm);
     regsUsed_ -= kernel_.blockDim * kernel_.regsPerThread;
     smemUsed_ -= kernel_.smemPerBlock;
     block.valid = false;
+}
+
+void
+SmCore::chargeStall(Warp &warp, std::uint64_t amount)
+{
+    switch (warp.state()) {
+      case WarpState::Finished:
+        warp.timings.finishedWaitCycles += amount;
+        break;
+      case WarpState::AtBarrier:
+        warp.timings.barrierCycles += amount;
+        break;
+      case WarpState::Running: {
+        const Instruction &inst = warp.nextInstruction();
+        if (!warp.scoreboard.canIssue(inst)) {
+            if (warp.scoreboard.blockedByMemory(inst))
+                warp.timings.memStallCycles += amount;
+            else
+                warp.timings.aluStallCycles += amount;
+        } else if (inst.isGlobal() &&
+                   static_cast<int>(ldstQueue_.size()) >=
+                       cfg_.ldstQueueSize) {
+            warp.timings.structStallCycles += amount;
+        } else if (inst.op == Opcode::Exit &&
+                   (!warp.scoreboard.clean() ||
+                    warp.outstandingLoads > 0)) {
+            warp.timings.memStallCycles += amount;
+        } else {
+            warp.timings.schedWaitCycles += amount;
+        }
+        break;
+      }
+      default:
+        break;
+    }
 }
 
 void
@@ -421,37 +495,33 @@ SmCore::accountStalls(Cycle now)
         if (warp.state() == WarpState::Inactive ||
             issuedThisCycle_[slot])
             continue;
-        switch (warp.state()) {
-          case WarpState::Finished:
-            warp.timings.finishedWaitCycles++;
-            break;
-          case WarpState::AtBarrier:
-            warp.timings.barrierCycles++;
-            break;
-          case WarpState::Running: {
-            const Instruction &inst = warp.nextInstruction();
-            if (!warp.scoreboard.canIssue(inst)) {
-                if (warp.scoreboard.blockedByMemory(inst))
-                    warp.timings.memStallCycles++;
-                else
-                    warp.timings.aluStallCycles++;
-            } else if (inst.isGlobal() &&
-                       static_cast<int>(ldstQueue_.size()) >=
-                           cfg_.ldstQueueSize) {
-                warp.timings.structStallCycles++;
-            } else if (inst.op == Opcode::Exit &&
-                       (!warp.scoreboard.clean() ||
-                        warp.outstandingLoads > 0)) {
-                warp.timings.memStallCycles++;
-            } else {
-                warp.timings.schedWaitCycles++;
-            }
-            break;
-          }
-          default:
-            break;
-        }
+        chargeStall(warp, 1);
     }
+}
+
+void
+SmCore::accountIdleSpan(Cycle span)
+{
+    // Over a span with no SM events no warp issues, so every active
+    // warp's classification holds for each skipped cycle.
+    for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
+        Warp &warp = warps_[slot];
+        if (warp.state() == WarpState::Inactive)
+            continue;
+        chargeStall(warp, span);
+    }
+}
+
+void
+SmCore::catchUpStalls(Cycle now)
+{
+    // Charge the cycles in (lastTicked_, now) that fast-forward
+    // skipped; by construction none of them had an SM event, so the
+    // frozen classification is exact for the whole span.
+    if (now <= lastTicked_ + 1)
+        return;
+    accountIdleSpan(now - lastTicked_ - 1);
+    lastTicked_ = now - 1;
 }
 
 void
@@ -466,23 +536,26 @@ SmCore::sampleCpl(Cycle now)
         // Rank every warp of the block -- finished warps participate
         // with frozen counters (the paper's "larger than 50% of warps
         // in a thread-block" rule).
-        std::vector<std::pair<int, std::int64_t>> crit;
-        for (std::size_t i = 0; i < block.slots.size(); ++i) {
-            crit.emplace_back(static_cast<int>(i),
-                              cpl_->criticality(block.slots[i]));
-        }
-        if (crit.size() < 2)
+        const int n = static_cast<int>(block.slots.size());
+        if (n < 2)
             continue;
+        critScratch_.clear();
+        for (WarpSlot slot : block.slots)
+            critScratch_.push_back(cpl_->criticality(slot));
         block.samples++;
         // A warp is "slow" when its criticality exceeds that of at
-        // least half of its active peers (the paper's 50% rule).
-        for (const auto &[warp_idx, value] : crit) {
-            int below = 0;
-            for (const auto &[other_idx, other] : crit)
-                if (other_idx != warp_idx && value > other)
-                    below++;
-            if (2 * below >= static_cast<int>(crit.size()) - 1)
-                block.slowSamples[warp_idx]++;
+        // least half of its peers (the paper's 50% rule). The number
+        // of strictly-smaller peers is a rank lookup in the sorted
+        // values (a warp is never strictly smaller than itself).
+        critSorted_.assign(critScratch_.begin(), critScratch_.end());
+        std::sort(critSorted_.begin(), critSorted_.end());
+        for (int i = 0; i < n; ++i) {
+            const auto below = std::lower_bound(critSorted_.begin(),
+                                                critSorted_.end(),
+                                                critScratch_[i]) -
+                               critSorted_.begin();
+            if (2 * below >= n - 1)
+                block.slowSamples[i]++;
         }
     }
 }
@@ -508,6 +581,7 @@ SmCore::sampleTrace(Cycle now)
 void
 SmCore::tick(Cycle now)
 {
+    catchUpStalls(now);
     std::fill(issuedThisCycle_.begin(), issuedThisCycle_.end(), false);
     drainL1(now);
     drainWritebacks(now);
@@ -517,6 +591,50 @@ SmCore::tick(Cycle now)
     accountStalls(now);
     sampleCpl(now);
     sampleTrace(now);
+    lastTicked_ = now;
+    cachedNextEvent_ = computeNextEventCycle(now + 1);
+}
+
+namespace
+{
+
+/** Smallest multiple of @p interval that is >= @p now. */
+Cycle
+nextBoundary(Cycle now, Cycle interval)
+{
+    return (now + interval - 1) / interval * interval;
+}
+
+} // namespace
+
+Cycle
+SmCore::computeNextEventCycle(Cycle now) const
+{
+    // Queued LD/ST transactions are serviced every cycle, and a ready
+    // warp issues next tick: no skipping. Readiness is taken from the
+    // scan schedule() just did; any warp turning ready mid-tick after
+    // its scheduler's scan implies an issue happened (barrier
+    // release), which also sets the flag. The flag may over-trigger
+    // (e.g. the lone ready warp just issued its last instruction);
+    // such a wake is a no-op tick with identical accounting.
+    if (!ldstQueue_.empty() || anyReadySeen_)
+        return now;
+
+    Cycle next = kNoCycle;
+    if (!wbQueue_.empty())
+        next = std::min(next, std::max(now, wbQueue_.top().ready));
+    next = std::min(next, l1_->nextEventCycle(now));
+    if (residentBlocks_ > 0) {
+        // Sampling mutates per-block counters even when the warps are
+        // frozen, so a skip may not cross a boundary.
+        if (cfg_.cplSampleInterval > 0)
+            next = std::min(next,
+                            nextBoundary(now, cfg_.cplSampleInterval));
+        if (cfg_.traceBlockId >= 0 && cfg_.traceSampleInterval > 0)
+            next = std::min(next,
+                            nextBoundary(now, cfg_.traceSampleInterval));
+    }
+    return next;
 }
 
 bool
@@ -524,7 +642,7 @@ SmCore::busy() const
 {
     if (residentBlocks_ > 0)
         return true;
-    return !l1_->idle() || !tokens_.empty() || !ldstQueue_.empty();
+    return !l1_->idle() || liveTokens_ > 0 || !ldstQueue_.empty();
 }
 
 std::vector<BlockRecord>

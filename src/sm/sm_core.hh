@@ -17,10 +17,10 @@
 #ifndef CAWA_SM_SM_CORE_HH
 #define CAWA_SM_SM_CORE_HH
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "cawa/criticality.hh"
@@ -52,8 +52,35 @@ class SmCore
     /** Bind block @p id to this SM. */
     void acceptBlock(BlockId id, Cycle now);
 
-    /** Advance one cycle. */
+    /**
+     * Advance one cycle. Ticks may be sparse: when cycles were
+     * skipped since the last tick (fast-forward), the elapsed idle
+     * span is first charged to the per-warp stall counters in bulk,
+     * which is exact because a skipped cycle by definition had no SM
+     * event that could change any warp's stall classification.
+     */
     void tick(Cycle now);
+
+    /**
+     * Earliest cycle at which a tick of this SM does anything beyond
+     * per-warp stall accounting: a warp can issue, the LD/ST unit has
+     * queued transactions, a writeback or L1 completion matures, or a
+     * CPL/trace sampling boundary is crossed while blocks are
+     * resident. kNoCycle when only external events (L1 fills, block
+     * dispatch) can wake the SM. Cached at the end of each tick and
+     * pulled forward by fillResponse()/acceptBlock() wakes.
+     */
+    Cycle nextEventCycle() const { return cachedNextEvent_; }
+
+    /** Whether the SM must tick at @p now (fast-forward gate). */
+    bool dueAt(Cycle now) const { return cachedNextEvent_ <= now; }
+
+    /**
+     * Charge any still-unaccounted skipped cycles before the run's
+     * final cycle @p end; call once after the simulation loop so
+     * timed-out runs report exact stall totals.
+     */
+    void finalizeStallAccounting(Cycle end) { catchUpStalls(end); }
 
     // Memory-side interface (driven by the Gpu top level).
     bool hasOutgoing() const { return l1_->hasOutgoing(); }
@@ -61,6 +88,8 @@ class SmCore
     void fillResponse(Addr line_addr, Cycle now)
     {
         l1_->fill(line_addr, now);
+        // The fill's completions mature next cycle: wake the SM.
+        cachedNextEvent_ = std::min(cachedNextEvent_, now + 1);
     }
 
     /** True while any block is resident or memory work is pending. */
@@ -127,7 +156,11 @@ class SmCore
     void finishWarp(WarpSlot slot, Cycle now);
     void retireBlock(BlockState &block, Cycle now);
     void releaseBarrier(BlockState &block, Cycle now);
+    void chargeStall(Warp &warp, std::uint64_t amount);
     void accountStalls(Cycle now);
+    void accountIdleSpan(Cycle span);
+    void catchUpStalls(Cycle now);
+    Cycle computeNextEventCycle(Cycle now) const;
     void sampleCpl(Cycle now);
     void sampleTrace(Cycle now);
     BlockState &blockOf(WarpSlot slot);
@@ -156,18 +189,52 @@ class SmCore
     std::priority_queue<WbEvent, std::vector<WbEvent>,
                         std::greater<WbEvent>> wbQueue_;
     std::deque<Transaction> ldstQueue_;
-    std::unordered_map<std::uint64_t, Token> tokens_;
-    std::uint64_t nextToken_ = 1;
+
+    // Outstanding-load tokens live in a flat pool indexed by
+    // (token id - 1); freed indices are recycled through a free list.
+    // Token ids are opaque handles to the L1/MSHR layer, so recycling
+    // does not affect any observable ordering.
+    std::uint64_t allocToken();
+    Token &tokenAt(std::uint64_t id) { return tokenPool_[id - 1]; }
+    void freeToken(std::uint64_t id);
+    std::vector<Token> tokenPool_;
+    std::vector<std::uint32_t> tokenFreeList_;
+    int liveTokens_ = 0;
+
     std::uint64_t dispatchSeq_ = 0;
 
     int residentBlocks_ = 0;
+    int freeSlots_ = 0;
     int regsUsed_ = 0;
     int smemUsed_ = 0;
     std::uint64_t issued_ = 0;
 
+    /**
+     * Set when warp/CPL state that feeds the scheduling context
+     * arrays (age, priority) may have changed -- i.e. on block accept
+     * and on every issue. While clear, refreshSchedArrays() is a
+     * no-op because every input of the arrays is event-driven.
+     */
+    bool schedDirty_ = true;
+
+    /**
+     * Whether any scheduler's ready set was non-empty during the last
+     * schedule() pass; feeds computeNextEventCycle() so the next-event
+     * computation does not repeat the readiness scan.
+     */
+    bool anyReadySeen_ = false;
+
+    /** Last cycle whose stall accounting has been charged. */
+    Cycle lastTicked_ = 0;
+    /** See nextEventCycle(); 0 forces the first tick. */
+    Cycle cachedNextEvent_ = 0;
+
     std::vector<BlockRecord> retired_;
     std::vector<TraceSample> trace_;
     std::vector<L1DCache::Completion> completionScratch_;
+    std::vector<WarpSlot> readyScratch_;
+    std::vector<std::int64_t> critScratch_;
+    std::vector<std::int64_t> critSorted_;
 };
 
 } // namespace cawa

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Locks in the event-driven fast-forward core's contract: cycle
+ * skipping is a pure speed optimization. For every registered
+ * workload, a run with GpuConfig::fastForward enabled must produce a
+ * SimReport that serializes byte-for-byte identically to the same
+ * run ticked flat (fastForward = false) — cycles, stall breakdowns,
+ * cache counters, per-warp block records and criticality traces
+ * included. Config variations cover both scheduler families, the
+ * CACP cache path and the trace sampler, whose cycle-boundary
+ * samples are the easiest thing for a skip to miss.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/report_json.hh"
+#include "sim/sweep.hh"
+#include "workloads/registry.hh"
+#include "workloads/sweep_jobs.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams params;
+    params.scale = 0.1;
+    params.seed = 1;
+    return params;
+}
+
+/** Serialize one job's report with every section included. */
+std::string
+reportJson(const WorkloadJobSpec &spec)
+{
+    const SweepEngine engine(0);
+    const auto results = engine.run(makeWorkloadJobs({spec}));
+    EXPECT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok()) << results[0].error;
+    JsonWriteOptions opt;
+    opt.includeBlocks = true;
+    opt.includeTrace = true;
+    opt.includeDerived = true;
+    return toJson(results[0].report, opt);
+}
+
+/** Run @p spec with fast-forward on and off; reports must match. */
+void
+expectBitIdentical(WorkloadJobSpec spec)
+{
+    spec.cfg.fastForward = false;
+    const std::string flat = reportJson(spec);
+    spec.cfg.fastForward = true;
+    const std::string skipped = reportJson(spec);
+    EXPECT_EQ(flat, skipped)
+        << "fast-forward diverged for " << workloadJobName(spec);
+}
+
+} // namespace
+
+class FastForwardIdentity
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+/** Every workload, default config (GTO + LRU via fermiGtx480). */
+TEST_P(FastForwardIdentity, MatchesFlatTicking)
+{
+    WorkloadJobSpec spec;
+    spec.workload = GetParam();
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.params = tinyParams();
+    expectBitIdentical(spec);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, FastForwardIdentity,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '+')
+                c = 'p';
+        return name;
+    });
+
+TEST(FastForwardConfigs, GcawsCacp)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "bfs";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.cfg.scheduler = SchedulerKind::Gcaws;
+    spec.cfg.l1Policy = CachePolicyKind::Cacp;
+    spec.params = tinyParams();
+    expectBitIdentical(spec);
+}
+
+TEST(FastForwardConfigs, TwoLevelScheduler)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "backprop";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.cfg.scheduler = SchedulerKind::TwoLevel;
+    spec.params = tinyParams();
+    expectBitIdentical(spec);
+}
+
+/**
+ * The criticality trace records samples at fixed cycle boundaries
+ * while a block is resident; a skip that jumped over a boundary
+ * would silently drop samples.
+ */
+TEST(FastForwardConfigs, TraceSampling)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "pathfinder";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.cfg.traceBlockId = 0;
+    spec.params = tinyParams();
+    expectBitIdentical(spec);
+}

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the per-component next-event queries behind the
+ * fast-forward engine. Each component must report the exact earliest
+ * cycle at which ticking it does something (kNoCycle when only an
+ * external push can wake it); an early value merely wastes a tick,
+ * but a late one would skip real work, so exactness is asserted.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.hh"
+#include "mem/dram.hh"
+#include "mem/interconnect.hh"
+#include "mem/l1d_cache.hh"
+#include "mem/l2_cache.hh"
+#include "sm/sm_core.hh"
+
+namespace cawa
+{
+namespace
+{
+
+MemMsg
+readMsg(Addr line_addr)
+{
+    MemMsg msg;
+    msg.lineAddr = line_addr;
+    msg.smId = 0;
+    msg.isStore = false;
+    return msg;
+}
+
+TEST(NextEvent, InterconnectEmptyThenQueued)
+{
+    Interconnect icnt(/*latency=*/50, /*width=*/4);
+    EXPECT_EQ(icnt.nextEventCycle(0), kNoCycle);
+
+    icnt.pushToL2(readMsg(0x100), 10);
+    EXPECT_EQ(icnt.nextEventCycle(10), 60u);
+    // Earlier of the two directions wins.
+    icnt.pushToSm(readMsg(0x200), 5);
+    EXPECT_EQ(icnt.nextEventCycle(10), 55u);
+    // A query from beyond the ready cycle clamps to now.
+    EXPECT_EQ(icnt.nextEventCycle(100), 100u);
+
+    (void)icnt.popToSm(55);
+    EXPECT_EQ(icnt.nextEventCycle(10), 60u);
+    (void)icnt.popToL2(60);
+    EXPECT_EQ(icnt.nextEventCycle(60), kNoCycle);
+}
+
+TEST(NextEvent, DramQueueAndResponseLatency)
+{
+    DramModel dram(/*latency=*/120, /*service_interval=*/2);
+    EXPECT_EQ(dram.nextEventCycle(0), kNoCycle);
+
+    // A queued request is serviceable immediately...
+    dram.push(readMsg(0x100), 10);
+    EXPECT_EQ(dram.nextEventCycle(10), 10u);
+    dram.tick(10);
+    // ...after which only the in-flight response remains.
+    EXPECT_EQ(dram.nextEventCycle(11), 130u);
+    EXPECT_EQ(dram.nextEventCycle(200), 200u);
+
+    // The service interval gates the next request's start.
+    dram.push(readMsg(0x200), 11);
+    EXPECT_EQ(dram.nextEventCycle(11), 12u);
+
+    dram.tick(12);
+    (void)dram.popResponses(132);
+    EXPECT_EQ(dram.nextEventCycle(132), kNoCycle);
+}
+
+TEST(NextEvent, DramWriteProducesNoResponse)
+{
+    DramModel dram(120, 1);
+    MemMsg store = readMsg(0x100);
+    store.isStore = true;
+    dram.push(store, 0);
+    EXPECT_EQ(dram.nextEventCycle(0), 0u);
+    dram.tick(0);
+    EXPECT_EQ(dram.nextEventCycle(1), kNoCycle);
+}
+
+TEST(NextEvent, L2QueuedRequestAndScheduledResponse)
+{
+    L2Config cfg;
+    L2Cache l2(cfg);
+    DramModel dram(120, 1);
+    EXPECT_EQ(l2.nextEventCycle(0), kNoCycle);
+
+    // A bank with a queued request must be serviced now.
+    l2.pushRequest(readMsg(0x100), 10);
+    EXPECT_EQ(l2.nextEventCycle(10), 10u);
+
+    // A cold read misses to DRAM: nothing left to do at the L2.
+    l2.tick(10, dram);
+    EXPECT_EQ(l2.nextEventCycle(11), kNoCycle);
+
+    // The fill schedules the merged response for the next cycle.
+    l2.handleDramResponse(readMsg(0x100), 130);
+    EXPECT_EQ(l2.nextEventCycle(130), 131u);
+    EXPECT_EQ(l2.nextEventCycle(500), 500u);
+
+    (void)l2.popResponses(131);
+    EXPECT_EQ(l2.nextEventCycle(131), kNoCycle);
+}
+
+TEST(NextEvent, L1MissOutgoingThenFillThenHitLatency)
+{
+    L1DConfig cfg;
+    L1DCache l1(cfg, /*sm_id=*/0, std::make_unique<LruPolicy>());
+    EXPECT_EQ(l1.nextEventCycle(0), kNoCycle);
+
+    AccessInfo info;
+    info.addr = 0x100;
+    info.pc = 1;
+
+    // Cold miss: outgoing traffic needs draining immediately.
+    EXPECT_EQ(l1.access(info, 10, /*token=*/1), L1DCache::Result::Miss);
+    EXPECT_EQ(l1.nextEventCycle(10), 10u);
+    (void)l1.popOutgoing();
+    EXPECT_EQ(l1.nextEventCycle(10), kNoCycle);
+
+    // The fill completes the queued token one cycle later.
+    l1.fill(0x100, 200);
+    EXPECT_EQ(l1.nextEventCycle(200), 201u);
+    std::vector<L1DCache::Completion> done;
+    l1.drainCompleted(201, done);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(l1.nextEventCycle(201), kNoCycle);
+
+    // A hit schedules its completion after the hit latency.
+    EXPECT_EQ(l1.access(info, 300, /*token=*/2), L1DCache::Result::Hit);
+    EXPECT_EQ(l1.nextEventCycle(300), 300u + cfg.hitLatency);
+    EXPECT_EQ(l1.nextEventCycle(1000), 1000u);
+}
+
+KernelInfo
+dependencyKernel()
+{
+    // s2r then a dependent add: after the first issue the warp is
+    // scoreboard-blocked until the ALU writeback matures.
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.addImm(2, 1, 1);
+    b.stGlobal(2, 2, 0x1000);
+    b.exit();
+    KernelInfo k;
+    k.name = "dep";
+    k.program = b.build();
+    k.gridDim = 1;
+    k.blockDim = 32;
+    k.regsPerThread = 16;
+    k.smemPerBlock = 0;
+    return k;
+}
+
+TEST(NextEvent, SmCoreWritebackAndWakeups)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.numSms = 1;
+    MemoryImage mem;
+    const KernelInfo kernel = dependencyKernel();
+    SmCore sm(cfg, 0, mem, kernel, nullptr);
+
+    // The cache starts at 0 so the first tick always runs.
+    EXPECT_TRUE(sm.dueAt(0));
+    sm.tick(0);
+    // No blocks resident and nothing queued: only an external event
+    // (acceptBlock) can wake the SM.
+    EXPECT_EQ(sm.nextEventCycle(), kNoCycle);
+
+    // acceptBlock pulls the wake-up to the dispatch cycle.
+    sm.acceptBlock(0, 5);
+    EXPECT_TRUE(sm.dueAt(5));
+
+    // The lone warp issues s2r; a ready set was seen, so the SM must
+    // tick again next cycle.
+    sm.tick(5);
+    EXPECT_EQ(sm.nextEventCycle(), 6u);
+
+    // Now the warp is scoreboard-blocked on the s2r writeback, due at
+    // issue + aluLatency; the SM may sleep exactly until then (the
+    // first CPL sampling boundary is much later).
+    sm.tick(6);
+    EXPECT_EQ(sm.nextEventCycle(), 5u + cfg.aluLatency);
+    EXPECT_FALSE(sm.dueAt(6 + 1));
+    EXPECT_TRUE(sm.dueAt(5 + cfg.aluLatency));
+}
+
+TEST(NextEvent, SmCoreSamplingBoundaryWins)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.numSms = 1;
+    // A sampling boundary inside the writeback wait: the SM must wake
+    // for it (sampling mutates per-block counters even when stalled).
+    cfg.cplSampleInterval = 2;
+    MemoryImage mem;
+    const KernelInfo kernel = dependencyKernel();
+    SmCore sm(cfg, 0, mem, kernel, nullptr);
+
+    sm.tick(0);
+    sm.acceptBlock(0, 0);
+    sm.tick(0); // issues s2r; writeback due at aluLatency
+    sm.tick(1); // blocked; next boundary is cycle 2 < writeback
+    EXPECT_EQ(sm.nextEventCycle(), 2u);
+}
+
+} // namespace
+} // namespace cawa

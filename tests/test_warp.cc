@@ -204,8 +204,9 @@ TEST(Scoreboard, DependencyMasks)
     add.dst = 3;
     add.src0 = 1;
     add.src1 = 2;
-    EXPECT_EQ(regsRead(add), 0b110u);
-    EXPECT_EQ(regsWritten(add), 0b1000u);
+    add.deriveMasks();
+    EXPECT_EQ(add.readRegs, 0b110u);
+    EXPECT_EQ(add.writeRegs, 0b1000u);
 
     Instruction mad;
     mad.op = Opcode::Mad;
@@ -213,31 +214,36 @@ TEST(Scoreboard, DependencyMasks)
     mad.src0 = 1;
     mad.src1 = 2;
     mad.src2 = 3;
-    EXPECT_EQ(regsRead(mad), 0b1110u);
+    mad.deriveMasks();
+    EXPECT_EQ(mad.readRegs, 0b1110u);
 
     Instruction setp;
     setp.op = Opcode::Setp;
     setp.pdst = 2;
     setp.src0 = 4;
     setp.src1 = 5;
-    EXPECT_EQ(predsWritten(setp), 0b100u);
-    EXPECT_EQ(regsRead(setp), 0b110000u);
+    setp.deriveMasks();
+    EXPECT_EQ(setp.writePreds, 0b100u);
+    EXPECT_EQ(setp.readRegs, 0b110000u);
 
     Instruction bra;
     bra.op = Opcode::Bra;
     bra.predUsed = true;
     bra.psrc = 1;
-    EXPECT_EQ(predsRead(bra), 0b10u);
+    bra.deriveMasks();
+    EXPECT_EQ(bra.readPreds, 0b10u);
     Instruction ubra;
     ubra.op = Opcode::Bra;
-    EXPECT_EQ(predsRead(ubra), 0u);
+    ubra.deriveMasks();
+    EXPECT_EQ(ubra.readPreds, 0u);
 
     Instruction st;
     st.op = Opcode::StGlobal;
     st.src0 = 6;
     st.src1 = 7;
-    EXPECT_EQ(regsRead(st), 0b11000000u);
-    EXPECT_EQ(regsWritten(st), 0u);
+    st.deriveMasks();
+    EXPECT_EQ(st.readRegs, 0b11000000u);
+    EXPECT_EQ(st.writeRegs, 0u);
 }
 
 TEST(Scoreboard, BlocksOnPendingRegs)
@@ -248,6 +254,7 @@ TEST(Scoreboard, BlocksOnPendingRegs)
     add.dst = 3;
     add.src0 = 1;
     add.src1 = 2;
+    add.deriveMasks();
     EXPECT_TRUE(sb.canIssue(add));
     sb.pendingRegs = 1u << 2; // src1 pending
     EXPECT_FALSE(sb.canIssue(add));
