@@ -3,8 +3,17 @@
  * Invariant checking helpers, in the spirit of gem5's panic()/fatal().
  *
  * sim_assert() guards internal invariants (a failure is a simulator
- * bug); sim_fatal() reports unusable user configuration. Both print a
- * message with source location and abort/exit respectively.
+ * bug); sim_fatal() reports unusable user configuration. A failing
+ * sim_assert()/sim_panic() prints the expression and source location
+ * and aborts — unless the calling thread is in *throw-mode*, in which
+ * case it raises a SimError (kind Assertion) tagged with the current
+ * simulation context (cycle/SM, see setSimAssertContext) so harness
+ * layers can contain the failure to one job.
+ *
+ * Throw-mode is per-thread. It defaults to the CAWA_ASSERT_THROW
+ * environment variable (=1 enables) and is toggled programmatically
+ * with SimAssertThrowGuard — the sweep engine enables it around every
+ * job, while unit tests that want a hard stop keep abort semantics.
  */
 
 #ifndef CAWA_COMMON_SIM_ASSERT_HH
@@ -12,14 +21,113 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "common/sim_error.hh"
 
 namespace cawa
 {
 
+namespace detail
+{
+
+/** CAWA_ASSERT_THROW=1 makes throw-mode the process default. */
+inline bool
+assertThrowEnvDefault()
+{
+    static const bool enabled = [] {
+        const char *v = std::getenv("CAWA_ASSERT_THROW");
+        return v && v[0] == '1' && v[1] == '\0';
+    }();
+    return enabled;
+}
+
+inline bool &
+assertThrowFlag()
+{
+    thread_local bool throwing = assertThrowEnvDefault();
+    return throwing;
+}
+
+/**
+ * Best-effort simulation context for assertion messages, updated by
+ * the sim core as it ticks (a plain thread-local, so concurrent sweep
+ * jobs each see their own machine's position).
+ */
+inline SimErrorContext &
+assertContext()
+{
+    thread_local SimErrorContext ctx;
+    return ctx;
+}
+
+} // namespace detail
+
+/** Whether sim_assert()/sim_panic() failures throw on this thread. */
+inline bool
+simAssertThrows()
+{
+    return detail::assertThrowFlag();
+}
+
+/** Set throw-mode for this thread; returns the previous setting. */
+inline bool
+setSimAssertThrow(bool enabled)
+{
+    bool &flag = detail::assertThrowFlag();
+    const bool prev = flag;
+    flag = enabled;
+    return prev;
+}
+
+/** Scoped throw-mode toggle (restores the previous mode). */
+class SimAssertThrowGuard
+{
+  public:
+    explicit SimAssertThrowGuard(bool enabled)
+        : prev_(setSimAssertThrow(enabled))
+    {
+    }
+    ~SimAssertThrowGuard() { setSimAssertThrow(prev_); }
+    SimAssertThrowGuard(const SimAssertThrowGuard &) = delete;
+    SimAssertThrowGuard &operator=(const SimAssertThrowGuard &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/** Record where the simulation currently is, for failure messages. */
+inline void
+setSimAssertContext(Cycle cycle, int sm_id)
+{
+    SimErrorContext &ctx = detail::assertContext();
+    ctx.cycle = cycle;
+    ctx.smId = sm_id;
+}
+
+/** Clear the recorded context (end of a run). */
+inline void
+clearSimAssertContext()
+{
+    detail::assertContext() = SimErrorContext{};
+}
+
 [[noreturn]] inline void
 panicAt(const char *file, int line, const char *msg)
 {
-    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    if (simAssertThrows()) {
+        std::string what = msg;
+        what += " (";
+        what += file;
+        what += ":";
+        what += std::to_string(line);
+        what += ")";
+        throw SimError(SimErrorKind::Assertion, what,
+                       detail::assertContext());
+    }
+    const std::string where = detail::assertContext().describe();
+    std::fprintf(stderr, "panic: %s:%d: %s%s%s\n", file, line, msg,
+                 where.empty() ? "" : " at ", where.c_str());
     std::abort();
 }
 
@@ -32,7 +140,11 @@ fatalAt(const char *file, int line, const char *msg)
 
 } // namespace cawa
 
-/** Abort if an internal invariant does not hold (simulator bug). */
+/**
+ * Abort (or throw SimError in throw-mode) if an internal invariant
+ * does not hold (simulator bug). The failing expression, source
+ * location and current simulation context are captured.
+ */
 #define sim_assert(cond)                                                    \
     do {                                                                    \
         if (!(cond))                                                        \
@@ -40,7 +152,7 @@ fatalAt(const char *file, int line, const char *msg)
                             "assertion failed: " #cond);                    \
     } while (0)
 
-/** Abort with a message; for unreachable internal states. */
+/** Abort/throw with a message; for unreachable internal states. */
 #define sim_panic(msg) ::cawa::panicAt(__FILE__, __LINE__, (msg))
 
 /** Exit with a message; for invalid user-supplied configuration. */

@@ -1,0 +1,73 @@
+#include "common/sim_error.hh"
+
+#include <sstream>
+
+namespace cawa
+{
+
+const char *
+simErrorKindName(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Assertion: return "assertion";
+      case SimErrorKind::Invariant: return "invariant";
+      case SimErrorKind::Config: return "config";
+      case SimErrorKind::Deadlock: return "deadlock";
+    }
+    return "?";
+}
+
+std::string
+SimErrorContext::describe() const
+{
+    std::ostringstream oss;
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            oss << ", ";
+        first = false;
+    };
+    if (cycle != kNoCycle) {
+        sep();
+        oss << "cycle " << cycle;
+    }
+    if (smId >= 0) {
+        sep();
+        oss << "sm " << smId;
+    }
+    if (warp >= 0) {
+        sep();
+        oss << "warp " << warp;
+    }
+    return oss.str();
+}
+
+namespace
+{
+
+std::string
+formatSimError(SimErrorKind kind, const std::string &message,
+               const SimErrorContext &context)
+{
+    std::string out = simErrorKindName(kind);
+    const std::string where = context.describe();
+    if (!where.empty()) {
+        out += " [";
+        out += where;
+        out += "]";
+    }
+    out += ": ";
+    out += message;
+    return out;
+}
+
+} // namespace
+
+SimError::SimError(SimErrorKind kind, const std::string &message,
+                   SimErrorContext context)
+    : std::runtime_error(formatSimError(kind, message, context)),
+      kind_(kind), context_(context), detail_(message)
+{
+}
+
+} // namespace cawa

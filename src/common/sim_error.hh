@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Structured simulator error hierarchy.
+ *
+ * A SimError carries, besides the human-readable message, the point
+ * in simulated machine state where the failure was detected (cycle,
+ * SM, warp slot) and a machine-checkable kind, so harness layers
+ * (sweep engine, fuzzer, tools) can catch per-job failures, classify
+ * them and keep going instead of letting one bad run abort a whole
+ * matrix. The sim core raises these for invariant-auditor violations
+ * and invalid configurations; sim_assert() raises them too when
+ * throw-mode is on (see sim_assert.hh).
+ */
+
+#ifndef CAWA_COMMON_SIM_ERROR_HH
+#define CAWA_COMMON_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hh"
+
+namespace cawa
+{
+
+enum class SimErrorKind
+{
+    Assertion, ///< sim_assert()/sim_panic() in throw-mode
+    Invariant, ///< runtime invariant auditor violation (CAWA_CHECK)
+    Config,    ///< GpuConfig::validate() rejected the configuration
+    Deadlock,  ///< raised by harnesses for watchdog-classified hangs
+};
+
+const char *simErrorKindName(SimErrorKind kind);
+
+/** Where in the simulated machine an error was detected. */
+struct SimErrorContext
+{
+    Cycle cycle = kNoCycle; ///< kNoCycle: not tied to a sim cycle
+    int smId = -1;          ///< -1: not tied to one SM
+    int warp = -1;          ///< -1: not tied to one warp slot
+
+    /** "cycle 123, sm 4, warp 7" (only the fields that are set). */
+    std::string describe() const;
+};
+
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(SimErrorKind kind, const std::string &message,
+             SimErrorContext context = {});
+
+    SimErrorKind kind() const { return kind_; }
+    const SimErrorContext &context() const { return context_; }
+
+    /** The message without the kind/context prefix. */
+    const std::string &detail() const { return detail_; }
+
+  private:
+    SimErrorKind kind_;
+    SimErrorContext context_;
+    std::string detail_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_COMMON_SIM_ERROR_HH

@@ -88,6 +88,32 @@ class L1DCache
         return numMshrs_ - static_cast<int>(mshrs_.size());
     }
 
+    // --- Watchdog / invariant-audit introspection (read-only) ---
+
+    /** MSHR entries still waiting on a fill from the L2 side. */
+    std::size_t pendingMshrs() const { return mshrs_.size(); }
+
+    /** Completions queued but not yet drained by the SM. */
+    std::size_t pendingCompletions() const { return completed_.size(); }
+
+    /** Miss/write-through messages not yet pushed into the icnt. */
+    std::size_t outgoingQueued() const { return outgoing_.size(); }
+
+    /**
+     * Append every load token this cache still references (queued
+     * completions plus MSHR merge lists). The auditor cross-checks
+     * the set against the SM's live token pool: a live SM token that
+     * no L1 structure references can never complete (a leak).
+     */
+    void collectReferencedTokens(std::vector<std::uint64_t> &out) const
+    {
+        for (const Pending &p : completed_)
+            out.push_back(p.token);
+        for (const auto &[addr, mshr] : mshrs_)
+            for (std::uint64_t tok : mshr.tokens)
+                out.push_back(tok);
+    }
+
   private:
     struct Mshr
     {

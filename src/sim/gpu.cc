@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
 #include "common/sim_assert.hh"
+#include "common/sim_error.hh"
 
 namespace cawa
 {
@@ -19,14 +21,25 @@ fastForwardEnvEnabled()
     return !(v && v[0] == '0' && v[1] == '\0');
 }
 
+/** CAWA_CHECK=0/1/2 overrides GpuConfig::checkLevel. */
+int
+checkLevelFromEnv(int fallback)
+{
+    const char *v = std::getenv("CAWA_CHECK");
+    if (v && v[0] >= '0' && v[0] <= '2' && v[1] == '\0')
+        return v[0] - '0';
+    return fallback;
+}
+
 } // namespace
 
 Gpu::Gpu(const GpuConfig &cfg, MemoryImage &mem,
          const OracleTable *oracle)
     : cfg_(cfg), mem_(mem), oracle_(oracle),
-      fastForward_(cfg.fastForward && fastForwardEnvEnabled())
+      fastForward_(cfg.fastForward && fastForwardEnvEnabled()),
+      checkLevel_(checkLevelFromEnv(cfg.checkLevel))
 {
-    sim_assert(cfg.numSms > 0);
+    cfg_.validateOrThrow();
 }
 
 void
@@ -69,11 +82,36 @@ Gpu::tick(Cycle now, std::vector<std::unique_ptr<SmCore>> &sms,
 SimReport
 Gpu::run(const KernelInfo &kernel)
 {
-    sim_assert(kernel.program.validate().empty());
-    sim_assert(kernel.warpsPerBlock(cfg_.warpSize) <= cfg_.maxWarpsPerSm);
-    sim_assert(kernel.blockDim * kernel.regsPerThread <=
-               cfg_.regFileSize);
-    sim_assert(kernel.smemPerBlock <= cfg_.sharedMemBytes);
+    // Kernel-vs-config compatibility: report these as configuration
+    // errors (the harness can contain them to one job), not asserts.
+    if (const std::string defect = kernel.program.validate();
+        !defect.empty())
+        throw SimError(SimErrorKind::Config,
+                       "kernel '" + kernel.name +
+                           "' fails program validation: " + defect);
+    if (kernel.warpsPerBlock(cfg_.warpSize) > cfg_.maxWarpsPerSm)
+        throw SimError(SimErrorKind::Config,
+                       "kernel '" + kernel.name + "' needs " +
+                           std::to_string(
+                               kernel.warpsPerBlock(cfg_.warpSize)) +
+                           " warps per block but the SM has only " +
+                           std::to_string(cfg_.maxWarpsPerSm) +
+                           " warp slots: no block can ever dispatch");
+    if (kernel.blockDim * kernel.regsPerThread > cfg_.regFileSize)
+        throw SimError(SimErrorKind::Config,
+                       "kernel '" + kernel.name + "' needs " +
+                           std::to_string(kernel.blockDim *
+                                          kernel.regsPerThread) +
+                           " registers per block but the SM register "
+                           "file holds " +
+                           std::to_string(cfg_.regFileSize));
+    if (kernel.smemPerBlock > cfg_.sharedMemBytes)
+        throw SimError(SimErrorKind::Config,
+                       "kernel '" + kernel.name + "' needs " +
+                           std::to_string(kernel.smemPerBlock) +
+                           " bytes of shared memory per block but the "
+                           "SM has " +
+                           std::to_string(cfg_.sharedMemBytes));
 
     std::vector<std::unique_ptr<SmCore>> sms;
     for (int i = 0; i < cfg_.numSms; ++i)
@@ -89,6 +127,12 @@ Gpu::run(const KernelInfo &kernel)
     report.schedulerName = schedulerKindName(cfg_.scheduler);
     report.cachePolicyName = cachePolicyKindName(cfg_.l1Policy);
 
+    const Cycle watchdog = cfg_.watchdogInterval;
+    Cycle nextWatchdog = watchdog ? watchdog : kNoCycle;
+    const Cycle auditEvery =
+        checkLevel_ > 0 ? cfg_.auditInterval : 0;
+    Cycle nextAudit = auditEvery ? auditEvery : kNoCycle;
+
     Cycle now = 0;
     for (;;) {
         tick(now, sms, icnt, l2, dram, dispatcher);
@@ -96,6 +140,7 @@ Gpu::run(const KernelInfo &kernel)
 
         if (now >= cfg_.maxCycles) {
             report.timedOut = true;
+            report.exitStatus = ExitStatus::Timeout;
             break;
         }
         if (dispatcher.allDispatched()) {
@@ -105,6 +150,24 @@ Gpu::run(const KernelInfo &kernel)
             if (!busy)
                 break;
         }
+        // Periodic invariant audit (read-only; results stay
+        // bit-identical at every level). now-1 is the cycle the tick
+        // above just simulated.
+        if (now >= nextAudit) {
+            for (const auto &sm : sms)
+                sm->audit(now - 1, checkLevel_);
+            nextAudit = now + auditEvery;
+        }
+        // Deadlock watchdog: at each boundary run the provable-wedge
+        // check and finish early with a classified diagnostic instead
+        // of burning to maxCycles.
+        if (now >= nextWatchdog) {
+            if (wedged(sms, icnt, l2, dram, dispatcher)) {
+                recordDeadlock(report, now, sms, dispatcher);
+                break;
+            }
+            nextWatchdog = now + watchdog;
+        }
         if (!fastForward_)
             continue;
 
@@ -112,16 +175,23 @@ Gpu::run(const KernelInfo &kernel)
         // beyond the next cycle, every tick until then would only
         // charge stalls -- jump straight there. The skipped span is
         // charged lazily by each SM when it next wakes, so every
-        // counter lands exactly where flat ticking would put it. A
-        // wedged machine (no event ever) runs straight into the
-        // timeout.
+        // counter lands exactly where flat ticking would put it.
         Cycle next = nextEventCycle(now, sms, icnt, l2, dram,
                                     dispatcher);
+        // No component holds any event: either a wedge (report it
+        // now) or, with the watchdog disabled, ride the clock to the
+        // timeout like the flat-tick path would.
+        if (next == kNoCycle && watchdog &&
+            wedged(sms, icnt, l2, dram, dispatcher)) {
+            recordDeadlock(report, now, sms, dispatcher);
+            break;
+        }
         next = std::min(next, static_cast<Cycle>(cfg_.maxCycles));
         if (next > now) {
             now = next;
             if (now >= cfg_.maxCycles) {
                 report.timedOut = true;
+                report.exitStatus = ExitStatus::Timeout;
                 break;
             }
         }
@@ -167,6 +237,97 @@ Gpu::nextEventCycle(Cycle now,
         next = std::min(next, sm->nextEventCycle());
     }
     return next;
+}
+
+bool
+Gpu::wedged(const std::vector<std::unique_ptr<SmCore>> &sms,
+            const Interconnect &icnt, const L2Cache &l2,
+            const DramModel &dram,
+            const BlockDispatcher &dispatcher) const
+{
+    // Any in-flight memory traffic will eventually reach an SM and
+    // wake it; any quiescent-SM scan below would be stale.
+    if (!icnt.idle() || !l2.idle() || !dram.idle())
+        return false;
+    for (const auto &sm : sms)
+        if (!sm->quiescent())
+            return false;
+    // An undispatched block that fits somewhere is a future event.
+    if (!dispatcher.allDispatched()) {
+        for (const auto &sm : sms)
+            if (sm->canAcceptBlock())
+                return false;
+        return true; // blocks remain but can never place: wedged
+    }
+    // All dispatched, machine fully quiet: wedged iff work remains
+    // (otherwise the normal completion check would have ended the
+    // run before the watchdog looked).
+    for (const auto &sm : sms)
+        if (sm->busy())
+            return true;
+    return false;
+}
+
+void
+Gpu::recordDeadlock(SimReport &report, Cycle now,
+                    const std::vector<std::unique_ptr<SmCore>> &sms,
+                    const BlockDispatcher &dispatcher) const
+{
+    SmCore::StuckSummary total;
+    for (const auto &sm : sms) {
+        const SmCore::StuckSummary s = sm->stuckSummary();
+        total.activeWarps += s.activeWarps;
+        total.atBarrier += s.atBarrier;
+        total.finishedWaiting += s.finishedWaiting;
+        total.withOutstandingLoads += s.withOutstandingLoads;
+        total.l1Mshrs += s.l1Mshrs;
+        total.ldstQueued += s.ldstQueued;
+        total.liveTokens += s.liveTokens;
+    }
+
+    // Classify by what the machine is visibly waiting on. Order
+    // matters: a lost fill also leaves live tokens, so check the
+    // MSHR side first; a pure token leak leaves the L1 idle.
+    const char *kind;
+    if (total.atBarrier > 0 && total.atBarrier == total.activeWarps) {
+        kind = "barrier deadlock: every stuck warp waits at a barrier "
+               "that can never release (an arrival was lost)";
+    } else if (total.l1Mshrs > 0) {
+        kind = "lost L1 fill: MSHR entries outstanding with the "
+               "memory system idle (a fill response was lost)";
+    } else if (total.liveTokens > 0) {
+        kind = "LD/ST token leak: live load tokens with no pending "
+               "completion (a load completion was lost)";
+    } else if (!dispatcher.allDispatched()) {
+        kind = "dispatch starvation: undispatched blocks fit no SM "
+               "and no resident block can retire";
+    } else {
+        kind = "no-progress livelock: active warps exist but none "
+               "can ever issue";
+    }
+
+    std::string dump = "deadlock detected at cycle ";
+    dump += std::to_string(now);
+    dump += ": ";
+    dump += kind;
+    dump += "\n";
+    dump += "machine: activeWarps=" + std::to_string(total.activeWarps) +
+            " atBarrier=" + std::to_string(total.atBarrier) +
+            " finishedWaiting=" + std::to_string(total.finishedWaiting) +
+            " withOutstandingLoads=" +
+            std::to_string(total.withOutstandingLoads) +
+            " l1Mshrs=" + std::to_string(total.l1Mshrs) +
+            " liveTokens=" + std::to_string(total.liveTokens) +
+            " undispatchedBlocks=" +
+            (dispatcher.allDispatched() ? "0" : "yes") + "\n";
+    for (const auto &sm : sms) {
+        // Only stuck SMs are interesting; idle ones add noise.
+        if (sm->busy())
+            sm->appendDeadlockDump(dump, now);
+    }
+
+    report.exitStatus = ExitStatus::Deadlock;
+    report.diagnostic = std::move(dump);
 }
 
 SimReport

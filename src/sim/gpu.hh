@@ -46,8 +46,9 @@ class Gpu
 
     /**
      * Earliest cycle >= @p now at which any component does more than
-     * stall accounting; kNoCycle when the machine is wedged (only the
-     * maxCycles timeout can end the run).
+     * stall accounting; kNoCycle when no component holds a pending
+     * event (the watchdog then decides whether the machine is wedged
+     * or merely waiting out the maxCycles timeout).
      */
     Cycle nextEventCycle(
         Cycle now, const std::vector<std::unique_ptr<SmCore>> &sms,
@@ -55,10 +56,33 @@ class Gpu
         const DramModel &dram,
         const BlockDispatcher &dispatcher) const;
 
+    /**
+     * Provable-wedge check: true only when no component of the
+     * machine holds any event that could ever change state again --
+     * every SM quiescent, interconnect/L2/DRAM idle, and no
+     * undispatched block placeable. Exact by construction (a healthy
+     * run can never satisfy it), so the watchdog can run by default
+     * without risking a false deadlock report.
+     */
+    bool wedged(const std::vector<std::unique_ptr<SmCore>> &sms,
+                const Interconnect &icnt, const L2Cache &l2,
+                const DramModel &dram,
+                const BlockDispatcher &dispatcher) const;
+
+    /**
+     * Classify the wedge (barrier deadlock / lost fill / token leak /
+     * generic livelock) and fill @p report's exitStatus and
+     * structured diagnostic dump.
+     */
+    void recordDeadlock(SimReport &report, Cycle now,
+                        const std::vector<std::unique_ptr<SmCore>> &sms,
+                        const BlockDispatcher &dispatcher) const;
+
     GpuConfig cfg_;
     MemoryImage &mem_;
     const OracleTable *oracle_;
     bool fastForward_;
+    int checkLevel_;    ///< cfg checkLevel after the CAWA_CHECK override
 };
 
 /** Convenience: build + run in one call. */

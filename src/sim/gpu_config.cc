@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/sim_error.hh"
+
 namespace cawa
 {
 
@@ -15,6 +17,130 @@ cachePolicyKindName(CachePolicyKind kind)
       case CachePolicyKind::Cacp: return "cacp";
     }
     return "?";
+}
+
+namespace
+{
+
+bool
+isPowerOfTwo(long v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+std::vector<std::string>
+GpuConfig::validate() const
+{
+    std::vector<std::string> problems;
+    auto bad = [&](std::string msg) { problems.push_back(std::move(msg)); };
+    auto num = [](auto v) { return std::to_string(v); };
+
+    if (numSms <= 0)
+        bad("numSms=" + num(numSms) +
+            ": need at least one SM to run a kernel");
+    if (maxWarpsPerSm <= 0)
+        bad("maxWarpsPerSm=" + num(maxWarpsPerSm) +
+            ": every SM needs at least one warp slot");
+    if (maxBlocksPerSm <= 0)
+        bad("maxBlocksPerSm=" + num(maxBlocksPerSm) +
+            ": every SM needs at least one block slot");
+    if (numSchedulersPerSm <= 0)
+        bad("numSchedulersPerSm=" + num(numSchedulersPerSm) +
+            ": need at least one warp scheduler per SM");
+    else if (maxWarpsPerSm > 0 && numSchedulersPerSm > maxWarpsPerSm)
+        bad("numSchedulersPerSm=" + num(numSchedulersPerSm) +
+            " exceeds maxWarpsPerSm=" + num(maxWarpsPerSm) +
+            ": a scheduler needs at least one warp slot to serve");
+    if (warpSize <= 0 || warpSize > 32)
+        bad("warpSize=" + num(warpSize) +
+            ": lane masks are 32-bit, need 1 <= warpSize <= 32");
+    if (regFileSize <= 0)
+        bad("regFileSize=" + num(regFileSize) +
+            ": blocks bind registers at dispatch, need > 0");
+    if (sharedMemBytes < 0)
+        bad("sharedMemBytes=" + num(sharedMemBytes) + ": must be >= 0");
+
+    if (aluLatency == 0 || sfuLatency == 0 || sharedMemLatency == 0)
+        bad("aluLatency/sfuLatency/sharedMemLatency must be >= 1 "
+            "(zero-latency writebacks would mature in the issue cycle)");
+
+    if (l1d.sets <= 0 || l1d.ways <= 0)
+        bad("l1d " + num(l1d.sets) + " sets x " + num(l1d.ways) +
+            " ways: both must be > 0");
+    if (!isPowerOfTwo(l1d.lineBytes))
+        bad("l1d.lineBytes=" + num(l1d.lineBytes) +
+            ": line size must be a power of two (address coalescing "
+            "masks line offsets)");
+    if (l1d.numMshrs <= 0 || l1d.mshrTargets <= 0)
+        bad("l1d MSHRs " + num(l1d.numMshrs) + " x " +
+            num(l1d.mshrTargets) +
+            " targets: both must be > 0 or no miss can be tracked");
+    if (l1PortsPerCycle <= 0)
+        bad("l1PortsPerCycle=" + num(l1PortsPerCycle) +
+            ": the LD/ST unit needs at least one L1 port");
+    if (ldstQueueSize <= 0)
+        bad("ldstQueueSize=" + num(ldstQueueSize) +
+            ": global memory instructions need queue space to issue");
+
+    if (l2.banks <= 0 || l2.setsPerBank <= 0 || l2.ways <= 0)
+        bad("l2 " + num(l2.banks) + " banks x " + num(l2.setsPerBank) +
+            " sets x " + num(l2.ways) + " ways: all must be > 0");
+    if (!isPowerOfTwo(l2.lineBytes))
+        bad("l2.lineBytes=" + num(l2.lineBytes) +
+            ": line size must be a power of two");
+    if (l2.mshrsPerBank <= 0)
+        bad("l2.mshrsPerBank=" + num(l2.mshrsPerBank) + ": must be > 0");
+    if (icntWidth <= 0)
+        bad("icntWidth=" + num(icntWidth) +
+            ": the interconnect must deliver at least one message per "
+            "cycle per direction");
+    if (dramServiceInterval <= 0)
+        bad("dramServiceInterval=" + num(dramServiceInterval) +
+            ": DRAM must accept a request at least every N >= 1 cycles");
+
+    if (!(criticalFraction > 0.0) || criticalFraction > 1.0)
+        bad("criticalFraction=" + num(criticalFraction) +
+            ": the critical-warp fraction must be in (0, 1]");
+    if (cplQuantShift < 0 || cplQuantShift > 62)
+        bad("cplQuantShift=" + num(cplQuantShift) +
+            ": priority bucket shift must be in [0, 62]");
+    if (cacp.criticalWays < 0 || cacp.criticalWays > l1d.ways)
+        bad("cacp.criticalWays=" + num(cacp.criticalWays) +
+            " must fit the L1's " + num(l1d.ways) + " ways");
+    if (cacp.tableEntries <= 0)
+        bad("cacp.tableEntries=" + num(cacp.tableEntries) +
+            ": CCBP/SHiP need a non-empty table");
+
+    if (traceBlockId >= 0 && traceSampleInterval == 0)
+        bad("traceSampleInterval=0 with traceBlockId=" +
+            num(traceBlockId) + ": tracing needs a positive period");
+
+    if (maxCycles == 0)
+        bad("maxCycles=0: the safety valve would stop the run before "
+            "the first cycle");
+    if (checkLevel < 0 || checkLevel > 2)
+        bad("checkLevel=" + num(checkLevel) +
+            ": invariant audit level must be 0, 1 or 2");
+    if (checkLevel > 0 && auditInterval == 0)
+        bad("auditInterval=0 with checkLevel=" + num(checkLevel) +
+            ": audits need a positive cadence");
+    return problems;
+}
+
+void
+GpuConfig::validateOrThrow() const
+{
+    const std::vector<std::string> problems = validate();
+    if (problems.empty())
+        return;
+    std::string msg = "invalid GpuConfig";
+    for (const std::string &p : problems) {
+        msg += "\n  - ";
+        msg += p;
+    }
+    throw SimError(SimErrorKind::Config, msg);
 }
 
 std::string

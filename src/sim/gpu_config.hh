@@ -9,6 +9,7 @@
 #define CAWA_SIM_GPU_CONFIG_HH
 
 #include <string>
+#include <vector>
 
 #include "mem/cacp_policy.hh"
 #include "mem/l1d_cache.hh"
@@ -21,6 +22,27 @@ namespace cawa
 enum class CachePolicyKind { Lru, Srrip, Ship, Cacp };
 
 std::string cachePolicyKindName(CachePolicyKind kind);
+
+/**
+ * Deterministic fault-injection hooks for the failure-handling tests
+ * and the cawa_fuzz tool. Each field names the ordinal (0-based,
+ * counted per SM) of one internal event to corrupt; -1 (the default)
+ * injects nothing. A fault wedges the machine in a characteristic way
+ * so the watchdog's deadlock classification and the invariant auditor
+ * can be exercised on demand. Never enable these outside tests.
+ */
+struct FaultInjection
+{
+    /** Swallow the Nth barrier arrival: the block deadlocks at bar. */
+    std::int64_t dropBarrierArrival = -1;
+    /** Drop the Nth L1 load-completion: leaks an LD/ST token. */
+    std::int64_t dropLoadCompletion = -1;
+
+    bool any() const
+    {
+        return dropBarrierArrival >= 0 || dropLoadCompletion >= 0;
+    }
+};
 
 struct GpuConfig
 {
@@ -72,6 +94,37 @@ struct GpuConfig
     std::uint64_t maxCycles = 100'000'000;
 
     /**
+     * Deadlock watchdog cadence (cycles); 0 disables. At every
+     * boundary the top level runs a *provable-wedge* check: the run is
+     * declared dead only when no component holds any event that could
+     * ever change machine state again (no ready warp, empty writeback
+     * and LD/ST queues, idle interconnect/L2/DRAM, no placeable
+     * block). The check is read-only and exact — a healthy run can
+     * never trip it — so it is safe to leave on by default; on trigger
+     * the run finishes early with SimReport::exitStatus = Deadlock and
+     * a structured diagnostic dump instead of burning to maxCycles.
+     */
+    Cycle watchdogInterval = 100'000;
+
+    /**
+     * Runtime invariant auditing depth (overridden by CAWA_CHECK in
+     * the environment): 0 = off (default), 1 = cheap conservation
+     * checks (token pool, warp-slot/register/smem occupancy, barrier
+     * accounting), 2 = full audit adding the lazy-stall-counter
+     * recount, scoreboard-vs-inflight-writeback cross-check and
+     * SIMT-stack sanity. Violations raise SimError (kind Invariant)
+     * with cycle/SM/warp context. Audits are read-only: simulation
+     * results are bit-identical at every level.
+     */
+    int checkLevel = 0;
+
+    /** Cycles between invariant audits when checkLevel > 0. */
+    Cycle auditInterval = 4096;
+
+    /** Test-only fault hooks (see FaultInjection). */
+    FaultInjection faults;
+
+    /**
      * Event-driven fast-forward: when no SM can issue, jump the clock
      * to the next scheduled event (writeback, memory response,
      * sampling boundary, ...) instead of ticking through the idle
@@ -87,6 +140,17 @@ struct GpuConfig
 
     /** Multi-line human-readable description (bench_table1). */
     std::string describe() const;
+
+    /**
+     * Check every field for usability and return one actionable
+     * message per problem (empty = valid). Run by tools and the bench
+     * harness before any Gpu is constructed so bad configurations are
+     * reported as readable errors instead of constructor-time asserts.
+     */
+    std::vector<std::string> validate() const;
+
+    /** Throw SimError (kind Config) listing every validate() issue. */
+    void validateOrThrow() const;
 };
 
 } // namespace cawa

@@ -1,0 +1,146 @@
+#include "sim/journal.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "sim/report_json.hh"
+
+namespace cawa
+{
+
+std::string
+entryStatus(const SweepResult &result)
+{
+    if (!result.error.empty())
+        return "error";
+    if (!result.verified)
+        return "verify-failed";
+    return exitStatusName(result.report.exitStatus);
+}
+
+namespace
+{
+
+std::string
+firstLine(const std::string &text)
+{
+    const std::size_t nl = text.find('\n');
+    return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+} // namespace
+
+JournalEntry
+makeJournalEntry(const std::string &job, const SweepResult &result)
+{
+    JournalEntry entry;
+    entry.job = job;
+    entry.status = entryStatus(result);
+    if (entry.status == "completed")
+        entry.status = "ok";
+    entry.error = firstLine(result.error);
+    entry.attempts = result.attempts;
+    return entry;
+}
+
+namespace
+{
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string
+journalLine(const JournalEntry &entry)
+{
+    std::string out = "{\"job\":";
+    appendJsonString(out, entry.job);
+    out += ",\"status\":";
+    appendJsonString(out, entry.status);
+    out += ",\"attempts\":";
+    out += std::to_string(entry.attempts);
+    if (!entry.error.empty()) {
+        out += ",\"error\":";
+        appendJsonString(out, entry.error);
+    }
+    out += "}";
+    return out;
+}
+
+std::vector<JournalEntry>
+readJournal(const std::string &path)
+{
+    std::vector<JournalEntry> entries;
+    std::ifstream in(path);
+    if (!in)
+        return entries; // no journal yet: nothing recorded
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        lineno++;
+        if (line.empty())
+            continue;
+        try {
+            const JsonValue v = parseJson(line);
+            JournalEntry entry;
+            entry.job = v.at("job").asString();
+            entry.status = v.at("status").asString();
+            entry.attempts = static_cast<int>(v.at("attempts").asI64());
+            if (v.has("error"))
+                entry.error = v.at("error").asString();
+            entries.push_back(std::move(entry));
+        } catch (const std::exception &e) {
+            // A torn append (crash mid-write) or hand damage: keep
+            // the intact prefix, note what was dropped.
+            std::fprintf(stderr,
+                         "warning: %s:%zu: skipping unreadable journal "
+                         "line (%s)\n",
+                         path.c_str(), lineno, e.what());
+        }
+    }
+    return entries;
+}
+
+std::vector<SweepJob>
+filterResumeJobs(const std::vector<SweepJob> &jobs,
+                 const std::vector<JournalEntry> &journal)
+{
+    // Later entries win: a job that failed once and succeeded on a
+    // resumed run is done.
+    std::unordered_map<std::string, bool> done;
+    for (const JournalEntry &entry : journal)
+        done[entry.job] = entry.ok();
+    std::vector<SweepJob> remaining;
+    for (const SweepJob &job : jobs) {
+        const auto it = done.find(job.name);
+        if (it == done.end() || !it->second)
+            remaining.push_back(job);
+    }
+    return remaining;
+}
+
+} // namespace cawa

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sweep completion journal: one JSON line per finished job (JSONL),
+ * appended as jobs complete so a killed sweep can be resumed. The
+ * reader is deliberately tolerant of a truncated or corrupt tail --
+ * exactly what a crash mid-append leaves behind -- so --resume can
+ * always trust the intact prefix.
+ */
+
+#ifndef CAWA_SIM_JOURNAL_HH
+#define CAWA_SIM_JOURNAL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace cawa
+{
+
+/** One completed job as recorded in the journal. */
+struct JournalEntry
+{
+    std::string job;    ///< SweepJob::name
+    std::string status; ///< "ok" or a failure class (see entryStatus)
+    std::string error;  ///< first line of the error, when one was set
+    int attempts = 1;
+
+    bool ok() const { return status == "ok"; }
+};
+
+/**
+ * Status string a result journals as: "ok", "error" (the job threw),
+ * "verify-failed", or the non-completed exit status name ("timeout",
+ * "deadlock", "invariant").
+ */
+std::string entryStatus(const SweepResult &result);
+
+/** Build the journal entry for one finished job. */
+JournalEntry makeJournalEntry(const std::string &job,
+                              const SweepResult &result);
+
+/** Serialize one entry as a single JSON line (no trailing newline). */
+std::string journalLine(const JournalEntry &entry);
+
+/**
+ * Read a journal written by journalLine(), newest entry last. Lines
+ * that fail to parse (a torn final append, editor damage) are skipped
+ * with a warning on stderr rather than failing the whole resume; a
+ * missing file reads as an empty journal. When the same job appears
+ * several times the later entry wins.
+ */
+std::vector<JournalEntry> readJournal(const std::string &path);
+
+/**
+ * Jobs from @p jobs that still need to run given @p journal: every
+ * job without an "ok" entry (failed jobs re-run; finished ones are
+ * skipped). Order is preserved.
+ */
+std::vector<SweepJob> filterResumeJobs(
+    const std::vector<SweepJob> &jobs,
+    const std::vector<JournalEntry> &journal);
+
+} // namespace cawa
+
+#endif // CAWA_SIM_JOURNAL_HH

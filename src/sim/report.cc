@@ -3,6 +3,31 @@
 namespace cawa
 {
 
+const char *
+exitStatusName(ExitStatus status)
+{
+    switch (status) {
+      case ExitStatus::Completed: return "completed";
+      case ExitStatus::Timeout: return "timeout";
+      case ExitStatus::Deadlock: return "deadlock";
+      case ExitStatus::Invariant: return "invariant";
+    }
+    return "?";
+}
+
+bool
+exitStatusFromName(const std::string &name, ExitStatus &out)
+{
+    for (ExitStatus s : {ExitStatus::Completed, ExitStatus::Timeout,
+                         ExitStatus::Deadlock, ExitStatus::Invariant}) {
+        if (name == exitStatusName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
 double
 SimReport::avgDisparity() const
 {

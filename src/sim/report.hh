@@ -17,6 +17,29 @@
 namespace cawa
 {
 
+/**
+ * How a simulation run ended. Anything but Completed means the
+ * reported counters describe a truncated run: Timeout hit the
+ * maxCycles safety valve while still making progress, Deadlock was
+ * stopped early by the watchdog's provable-wedge check (see
+ * SimReport::diagnostic for the classified dump), and Invariant is
+ * recorded by harness layers when the CAWA_CHECK auditor aborted the
+ * run with a SimError.
+ */
+enum class ExitStatus
+{
+    Completed,
+    Timeout,
+    Deadlock,
+    Invariant,
+};
+
+/** Stable lowercase name used in JSON ("completed", "deadlock", ...). */
+const char *exitStatusName(ExitStatus status);
+
+/** Inverse of exitStatusName(); returns false on unknown names. */
+bool exitStatusFromName(const std::string &name, ExitStatus &out);
+
 struct SimReport
 {
     std::string kernelName;
@@ -35,6 +58,14 @@ struct SimReport
     std::vector<TraceSample> trace;
 
     bool timedOut = false;
+    ExitStatus exitStatus = ExitStatus::Completed;
+
+    /**
+     * Structured failure dump (watchdog deadlock classification,
+     * per-warp states, queue occupancies); empty on healthy runs and
+     * only serialized to JSON when non-empty.
+     */
+    std::string diagnostic;
 
     double
     ipc() const

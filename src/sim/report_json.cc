@@ -218,11 +218,18 @@ void
 writeReport(Writer &w, const SimReport &r, const JsonWriteOptions &opt)
 {
     w.beginObject();
-    w.key("schema"); w.value(std::string("cawa-simreport-v1"));
+    w.key("schema"); w.value(std::string("cawa-simreport-v2"));
     w.key("kernel"); w.value(r.kernelName);
     w.key("scheduler"); w.value(r.schedulerName);
     w.key("cachePolicy"); w.value(r.cachePolicyName);
     w.key("timedOut"); w.value(r.timedOut);
+    w.key("exitStatus");
+    w.value(std::string(exitStatusName(r.exitStatus)));
+    // Only emitted when non-empty so serialize->parse->serialize stays
+    // a fixed point (an absent key parses back to an empty string).
+    if (!r.diagnostic.empty()) {
+        w.key("diagnostic"); w.value(r.diagnostic);
+    }
     w.key("cycles"); w.value(r.cycles);
     w.key("instructions"); w.value(r.instructions);
     w.key("dramReads"); w.value(r.dramReads);
@@ -289,15 +296,37 @@ toJson(const SimReport &report, const JsonWriteOptions &opt)
     return w.take();
 }
 
+std::string
+failureToJson(const std::string &job, const std::string &error,
+              int attempts, const JsonWriteOptions &opt)
+{
+    Writer w(opt.pretty);
+    w.beginObject();
+    w.key("schema"); w.value(std::string("cawa-sweepfailure-v1"));
+    w.key("job"); w.value(job);
+    w.key("error"); w.value(error);
+    w.key("attempts"); w.value(static_cast<std::int64_t>(attempts));
+    w.endObject();
+    return w.take();
+}
+
 // ---------------------------------------------------------------------
 // Parsing
 // ---------------------------------------------------------------------
+
+void
+JsonValue::typeFail(const char *expected) const
+{
+    throw std::runtime_error(
+        std::string("json: not ") + expected + " at offset " +
+        std::to_string(srcOffset_) + " near '" + excerpt_ + "'");
+}
 
 bool
 JsonValue::asBool() const
 {
     if (kind_ != Kind::Bool)
-        throw std::runtime_error("json: not a bool");
+        typeFail("a bool");
     return bool_;
 }
 
@@ -305,7 +334,7 @@ double
 JsonValue::asDouble() const
 {
     if (kind_ != Kind::Number)
-        throw std::runtime_error("json: not a number");
+        typeFail("a number");
     return std::strtod(scalar_.c_str(), nullptr);
 }
 
@@ -313,7 +342,7 @@ std::uint64_t
 JsonValue::asU64() const
 {
     if (kind_ != Kind::Number)
-        throw std::runtime_error("json: not a number");
+        typeFail("a number");
     return std::strtoull(scalar_.c_str(), nullptr, 10);
 }
 
@@ -321,7 +350,7 @@ std::int64_t
 JsonValue::asI64() const
 {
     if (kind_ != Kind::Number)
-        throw std::runtime_error("json: not a number");
+        typeFail("a number");
     return std::strtoll(scalar_.c_str(), nullptr, 10);
 }
 
@@ -329,7 +358,7 @@ const std::string &
 JsonValue::asString() const
 {
     if (kind_ != Kind::String)
-        throw std::runtime_error("json: not a string");
+        typeFail("a string");
     return scalar_;
 }
 
@@ -337,7 +366,7 @@ const std::vector<JsonValue> &
 JsonValue::items() const
 {
     if (kind_ != Kind::Array)
-        throw std::runtime_error("json: not an array");
+        typeFail("an array");
     return items_;
 }
 
@@ -345,7 +374,7 @@ const std::vector<std::pair<std::string, JsonValue>> &
 JsonValue::members() const
 {
     if (kind_ != Kind::Object)
-        throw std::runtime_error("json: not an object");
+        typeFail("an object");
     return members_;
 }
 
@@ -367,7 +396,10 @@ JsonValue::at(const std::string &key) const
         if (k == key)
             return v;
     }
-    throw std::runtime_error("json: missing key '" + key + "'");
+    throw std::runtime_error("json: missing key '" + key +
+                             "' in object at offset " +
+                             std::to_string(srcOffset_) + " near '" +
+                             excerpt_ + "'");
 }
 
 class JsonParser
@@ -390,7 +422,18 @@ class JsonParser
     fail(const std::string &why) const
     {
         throw std::runtime_error("json parse error at offset " +
-                                 std::to_string(pos_) + ": " + why);
+                                 std::to_string(pos_) + " near '" +
+                                 excerptAt(pos_) + "': " + why);
+    }
+
+    /** ~20 source characters starting at @p at, for error context. */
+    std::string
+    excerptAt(std::size_t at) const
+    {
+        static constexpr std::size_t kExcerptLen = 20;
+        if (at >= text_.size())
+            return "<end of input>";
+        return text_.substr(at, kExcerptLen);
     }
 
     void
@@ -432,14 +475,19 @@ class JsonParser
     parseValue()
     {
         skipWs();
+        const std::size_t start = pos_;
+        JsonValue v;
         switch (peek()) {
-          case '{': return parseObject();
-          case '[': return parseArray();
-          case '"': return parseString();
-          case 't': case 'f': return parseBool();
-          case 'n': return parseNull();
-          default: return parseNumber();
+          case '{': v = parseObject(); break;
+          case '[': v = parseArray(); break;
+          case '"': v = parseString(); break;
+          case 't': case 'f': v = parseBool(); break;
+          case 'n': v = parseNull(); break;
+          default: v = parseNumber(); break;
         }
+        v.srcOffset_ = start;
+        v.excerpt_ = excerptAt(start);
+        return v;
     }
 
     JsonValue
@@ -671,13 +719,30 @@ blockFromJson(const JsonValue &v)
 SimReport
 reportFromJson(const JsonValue &v)
 {
-    if (v.at("schema").asString() != "cawa-simreport-v1")
-        throw std::runtime_error("json: unknown report schema");
+    const std::string &schema = v.at("schema").asString();
+    const bool v1 = schema == "cawa-simreport-v1";
+    if (!v1 && schema != "cawa-simreport-v2")
+        throw std::runtime_error("json: unknown report schema '" +
+                                 schema + "' (expected cawa-simreport-"
+                                 "v1 or cawa-simreport-v2)");
     SimReport r;
     r.kernelName = v.at("kernel").asString();
     r.schedulerName = v.at("scheduler").asString();
     r.cachePolicyName = v.at("cachePolicy").asString();
     r.timedOut = v.at("timedOut").asBool();
+    if (v1) {
+        // v1 predates exit statuses: a timeout is the only abnormal
+        // end the old schema could record.
+        r.exitStatus = r.timedOut ? ExitStatus::Timeout
+                                  : ExitStatus::Completed;
+    } else {
+        const std::string &status = v.at("exitStatus").asString();
+        if (!exitStatusFromName(status, r.exitStatus))
+            throw std::runtime_error("json: unknown exitStatus '" +
+                                     status + "'");
+        if (v.has("diagnostic"))
+            r.diagnostic = v.at("diagnostic").asString();
+    }
     r.cycles = v.at("cycles").asU64();
     r.instructions = v.at("instructions").asU64();
     r.dramReads = v.at("dramReads").asU64();

@@ -1,9 +1,10 @@
 /**
  * @file
- * JSON export of simulation reports (schema "cawa-simreport-v1") and
- * a minimal JSON reader to load them back, used by the cawa_sweep
- * CLI, the golden-stats regression baseline and the determinism
- * tests.
+ * JSON export of simulation reports (schema "cawa-simreport-v2";
+ * "cawa-simreport-v1" documents are still read back, with exitStatus
+ * derived from the old timedOut flag) and a minimal JSON reader to
+ * load them back, used by the cawa_sweep CLI, the golden-stats
+ * regression baseline and the determinism tests.
  *
  * The writer is deterministic: a given SimReport always serializes to
  * the same byte string (fixed key order, integers verbatim, doubles
@@ -14,6 +15,7 @@
 #ifndef CAWA_SIM_REPORT_JSON_HH
 #define CAWA_SIM_REPORT_JSON_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -42,6 +44,16 @@ std::string toJson(const SimReport &report,
                    const JsonWriteOptions &opt = {});
 
 /**
+ * Serialize a failed sweep job as a first-class JSON document (schema
+ * "cawa-sweepfailure-v1") so a sweep's output directory holds one
+ * entry per job whether it succeeded or crashed: job name, the error
+ * that killed it and how many attempts were made.
+ */
+std::string failureToJson(const std::string &job,
+                          const std::string &error, int attempts,
+                          const JsonWriteOptions &opt = {});
+
+/**
  * Parsed JSON value. Objects preserve member order; numbers keep
  * their source text so unsigned 64-bit counters survive exactly.
  */
@@ -66,8 +78,21 @@ class JsonValue
     /** Object member lookup; throws std::runtime_error when absent. */
     const JsonValue &at(const std::string &key) const;
 
+    /** Byte offset of this value in the parsed document. */
+    std::size_t srcOffset() const { return srcOffset_; }
+
   private:
     friend class JsonParser;
+
+    /**
+     * Every accessor mismatch reports where in the source document
+     * the offending value sits (byte offset plus a short excerpt), so
+     * "not a number" failures deep inside a report are actionable.
+     */
+    [[noreturn]] void typeFail(const char *expected) const;
+
+    std::size_t srcOffset_ = 0;
+    std::string excerpt_;   ///< ~20 source chars from srcOffset_
 
     Kind kind_ = Kind::Null;
     bool bool_ = false;

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <exception>
 #include <future>
+#include <mutex>
 
 #include "common/sim_assert.hh"
 #include "common/thread_pool.hh"
@@ -15,12 +16,23 @@
 namespace cawa
 {
 
+namespace
+{
+
+/** One crash-isolated execution of @p job. */
 SweepResult
-runSweepJob(const SweepJob &job)
+runSweepJobOnce(const SweepJob &job)
 {
     sim_assert(static_cast<bool>(job.build));
+    // Contain sim_assert failures to this job: any assertion firing
+    // inside the simulator throws SimError here instead of aborting
+    // the whole sweep process.
+    SimAssertThrowGuard throw_guard(true);
     SweepResult result;
     try {
+        // Surface configuration problems as one readable error before
+        // any simulation state exists.
+        job.cfg.validateOrThrow();
         MemoryImage mem;
         const KernelInfo kernel = job.build(mem);
         if (job.cfg.scheduler == SchedulerKind::CawsOracle) {
@@ -33,12 +45,36 @@ runSweepJob(const SweepJob &job)
         } else {
             result.report = runKernel(job.cfg, mem, kernel);
         }
-        if (job.verify && !result.report.timedOut)
+        if (job.verify &&
+            result.report.exitStatus == ExitStatus::Completed)
             result.verified = job.verify(mem);
+    } catch (const SimError &e) {
+        result.error = e.what();
+        if (e.kind() == SimErrorKind::Invariant)
+            result.report.exitStatus = ExitStatus::Invariant;
     } catch (const std::exception &e) {
         result.error = e.what();
     } catch (...) {
         result.error = "unknown exception";
+    }
+    clearSimAssertContext();
+    return result;
+}
+
+} // namespace
+
+SweepResult
+runSweepJob(const SweepJob &job, int max_attempts)
+{
+    max_attempts = std::max(max_attempts, 1);
+    SweepResult result;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        result = runSweepJobOnce(job);
+        result.attempts = attempt;
+        // Only a thrown error is worth retrying; timeout, deadlock
+        // and verification failures are deterministic outcomes.
+        if (result.error.empty())
+            break;
     }
     return result;
 }
@@ -49,23 +85,38 @@ SweepEngine::SweepEngine(int threads)
 }
 
 std::vector<SweepResult>
-SweepEngine::run(const std::vector<SweepJob> &jobs) const
+SweepEngine::run(const std::vector<SweepJob> &jobs,
+                 const JobDone &on_done, int max_attempts) const
 {
     std::vector<SweepResult> results;
     const int workers =
         static_cast<int>(std::min<std::size_t>(threads_, jobs.size()));
     if (workers <= 1) {
         results.reserve(jobs.size());
-        for (const auto &job : jobs)
-            results.push_back(runSweepJob(job));
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            results.push_back(runSweepJob(jobs[i], max_attempts));
+            if (on_done)
+                on_done(i, results.back());
+        }
         return results;
     }
 
     ThreadPool pool(workers);
+    std::mutex done_mutex;
     std::vector<std::future<SweepResult>> pending;
     pending.reserve(jobs.size());
-    for (const auto &job : jobs)
-        pending.push_back(pool.submit([&job] { return runSweepJob(job); }));
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SweepJob &job = jobs[i];
+        pending.push_back(pool.submit([&job, &on_done, &done_mutex, i,
+                                       max_attempts] {
+            SweepResult result = runSweepJob(job, max_attempts);
+            if (on_done) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                on_done(i, result);
+            }
+            return result;
+        }));
+    }
     results.reserve(jobs.size());
     for (auto &f : pending)
         results.push_back(f.get());

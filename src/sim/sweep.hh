@@ -48,12 +48,25 @@ struct SweepResult
     SimReport report;
     bool verified = true;  ///< false when the job's verify() failed
     std::string error;     ///< non-empty when the job threw
+    int attempts = 0;      ///< executions consumed (>= 1 once run)
 
-    bool ok() const { return error.empty() && verified && !report.timedOut; }
+    bool ok() const
+    {
+        return error.empty() && verified &&
+               report.exitStatus == ExitStatus::Completed;
+    }
 };
 
-/** Execute one job in the calling thread. */
-SweepResult runSweepJob(const SweepJob &job);
+/**
+ * Execute one job in the calling thread, crash-isolated: the config
+ * is validated before any Gpu is built, sim_assert failures raise
+ * SimError instead of aborting the process (throw-mode is forced on
+ * for the job's duration), and any exception is captured into
+ * SweepResult::error. A job that throws is retried until it succeeds
+ * or @p max_attempts executions are used up; deterministic bad
+ * outcomes (timeout, deadlock, failed verification) are not retried.
+ */
+SweepResult runSweepJob(const SweepJob &job, int max_attempts = 1);
 
 class SweepEngine
 {
@@ -64,11 +77,25 @@ class SweepEngine
     int threads() const { return threads_; }
 
     /**
+     * Called (under an engine-internal lock, so it may touch shared
+     * state freely) as each job finishes, in completion order.
+     */
+    using JobDone =
+        std::function<void(std::size_t index, const SweepResult &)>;
+
+    /**
      * Run every job and return results indexed like @p jobs. Jobs
      * execute concurrently on min(threads, jobs.size()) workers; a
-     * single-thread engine (or a single job) runs inline.
+     * single-thread engine (or a single job) runs inline. A crashing
+     * job never takes the sweep down: its error is reported in its
+     * result slot and every other job still runs.
+     *
+     * @param on_done optional per-job completion hook (journaling)
+     * @param max_attempts executions allowed per throwing job
      */
-    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs) const;
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs,
+                                 const JobDone &on_done = nullptr,
+                                 int max_attempts = 1) const;
 
   private:
     int threads_;

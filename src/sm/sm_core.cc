@@ -1,6 +1,8 @@
 #include "sm/sm_core.hh"
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 #include <utility>
 
 #include "common/sim_assert.hh"
@@ -181,6 +183,12 @@ SmCore::drainL1(Cycle now)
     completionScratch_.clear();
     l1_->drainCompleted(now, completionScratch_);
     for (const auto &c : completionScratch_) {
+        // Fault hook: drop the Nth completion on the floor. The token
+        // stays live with remaining > 0 but nothing references it any
+        // more, so the owning warp blocks forever -- the shape of a
+        // lost-completion bug the watchdog/auditor must catch.
+        if (cfg_.faults.dropLoadCompletion == loadCompletionSeq_++)
+            continue;
         Token &tok = tokenAt(c.token);
         tok.remaining--;
         sim_assert(tok.remaining >= 0);
@@ -287,6 +295,7 @@ SmCore::schedule(Cycle now)
             continue;
         sim_assert(std::find(readyScratch_.begin(), readyScratch_.end(),
                              pick) != readyScratch_.end());
+        recordPick(now, k, pick);
         issue(pick, now);
         schedulers_[k]->notifyIssued(pick);
     }
@@ -375,6 +384,12 @@ SmCore::issue(WarpSlot slot, Cycle now)
 
       case FuncUnit::Control:
         if (res.atBarrier) {
+            // Fault hook: swallow the Nth barrier arrival. The warp
+            // already moved to AtBarrier, so its block can never
+            // release -- a guaranteed barrier deadlock for the
+            // watchdog tests.
+            if (cfg_.faults.dropBarrierArrival == barrierArrivalSeq_++)
+                break;
             if (block.barrier.arrive())
                 releaseBarrier(block, now);
         } else if (res.exited) {
@@ -581,6 +596,9 @@ SmCore::sampleTrace(Cycle now)
 void
 SmCore::tick(Cycle now)
 {
+    // Keep assertion messages anchored: any sim_assert firing below
+    // reports this cycle/SM (cheap: two thread-local stores).
+    setSimAssertContext(now, smId_);
     catchUpStalls(now);
     std::fill(issuedThisCycle_.begin(), issuedThisCycle_.end(), false);
     drainL1(now);
@@ -649,6 +667,366 @@ std::vector<BlockRecord>
 SmCore::takeRetiredBlocks()
 {
     return std::exchange(retired_, {});
+}
+
+void
+SmCore::recordPick(Cycle now, int sched, WarpSlot slot)
+{
+    if (pickHistory_.size() < kPickHistory) {
+        pickHistory_.push_back({now, sched, slot});
+        return;
+    }
+    pickHistory_[pickHead_] = {now, sched, slot};
+    pickHead_ = (pickHead_ + 1) % kPickHistory;
+}
+
+SmCore::StuckSummary
+SmCore::stuckSummary() const
+{
+    StuckSummary s;
+    for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
+        const Warp &warp = warps_[slot];
+        switch (warp.state()) {
+          case WarpState::Running:
+            s.activeWarps++;
+            break;
+          case WarpState::AtBarrier:
+            s.activeWarps++;
+            s.atBarrier++;
+            break;
+          case WarpState::Finished:
+            s.finishedWaiting++;
+            break;
+          default:
+            break;
+        }
+        if (warp.state() != WarpState::Inactive &&
+            warp.outstandingLoads > 0)
+            s.withOutstandingLoads++;
+    }
+    s.l1Mshrs = l1_->pendingMshrs();
+    s.ldstQueued = ldstQueue_.size();
+    s.liveTokens = liveTokens_;
+    return s;
+}
+
+bool
+SmCore::quiescent() const
+{
+    if (!wbQueue_.empty() || !ldstQueue_.empty())
+        return false;
+    if (l1_->pendingCompletions() > 0 || l1_->outgoingQueued() > 0)
+        return false;
+    for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot)
+        if (isReady(slot))
+            return false;
+    return true;
+}
+
+namespace
+{
+
+const char *
+warpStateName(WarpState s)
+{
+    switch (s) {
+      case WarpState::Inactive: return "inactive";
+      case WarpState::Running: return "running";
+      case WarpState::AtBarrier: return "atBarrier";
+      case WarpState::Finished: return "finished";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+SmCore::appendDeadlockDump(std::string &out, Cycle now) const
+{
+    std::ostringstream oss;
+    oss << "sm " << smId_ << ": residentBlocks=" << residentBlocks_
+        << " liveTokens=" << liveTokens_
+        << " wbQueue=" << wbQueue_.size()
+        << " ldstQueue=" << ldstQueue_.size()
+        << " l1.mshrs=" << l1_->pendingMshrs()
+        << " l1.completions=" << l1_->pendingCompletions()
+        << " l1.outgoing=" << l1_->outgoingQueued() << "\n";
+    for (const auto &block : blocks_) {
+        if (!block.valid)
+            continue;
+        oss << "  block " << block.id << ": barrier "
+            << block.barrier.arrived() << "/"
+            << block.barrier.expected() << " arrived, runningWarps="
+            << block.runningWarps << "\n";
+        for (std::size_t i = 0; i < block.slots.size(); ++i) {
+            const WarpSlot slot = block.slots[i];
+            const Warp &warp = warps_[slot];
+            oss << "    warp slot " << slot << " (warp-in-block " << i
+                << "): " << warpStateName(warp.state())
+                << " pc=" << warp.stack().pc()
+                << " criticality=" << cpl_->criticality(slot)
+                << " outstandingLoads=" << warp.outstandingLoads
+                << std::hex << " pendingRegs=0x"
+                << warp.scoreboard.pendingRegs << " pendingMemRegs=0x"
+                << warp.scoreboard.pendingMemRegs << std::dec << "\n";
+        }
+    }
+    if (!pickHistory_.empty()) {
+        oss << "  recent picks (cycle/scheduler/slot):";
+        // Ring order: oldest entry first once the ring has wrapped.
+        const std::size_t n = pickHistory_.size();
+        const std::size_t start = n < kPickHistory ? 0 : pickHead_;
+        for (std::size_t i = 0; i < n; ++i) {
+            const PickRecord &p = pickHistory_[(start + i) % n];
+            oss << " " << p.cycle << "/" << p.sched << "/" << p.slot;
+        }
+        oss << "\n";
+    }
+    (void)now;
+    out += oss.str();
+}
+
+void
+SmCore::auditFail(Cycle now, int warp, const std::string &msg) const
+{
+    SimErrorContext ctx;
+    ctx.cycle = now;
+    ctx.smId = smId_;
+    ctx.warp = warp;
+    throw SimError(SimErrorKind::Invariant, msg, ctx);
+}
+
+void
+SmCore::audit(Cycle now, int level) const
+{
+    if (level <= 0)
+        return;
+
+    // --- Level 1: cheap conservation checks ---
+
+    // Token pool: the live counter must equal allocated-minus-freed.
+    const int pool_live = static_cast<int>(tokenPool_.size()) -
+                          static_cast<int>(tokenFreeList_.size());
+    if (liveTokens_ != pool_live)
+        auditFail(now, -1,
+                  "token pool conservation: liveTokens=" +
+                      std::to_string(liveTokens_) + " but pool holds " +
+                      std::to_string(pool_live) + " unfreed entries");
+
+    // Mark which pool entries are live (free-list complement).
+    std::vector<bool> tokenLive(tokenPool_.size(), true);
+    for (std::uint32_t idx : tokenFreeList_) {
+        if (idx >= tokenPool_.size() || !tokenLive[idx])
+            auditFail(now, -1,
+                      "token free list corrupt: index " +
+                          std::to_string(idx) + " out of range or freed "
+                          "twice (pool size " +
+                          std::to_string(tokenPool_.size()) + ")");
+        tokenLive[idx] = false;
+    }
+
+    // Warp-slot / register / shared-memory occupancy vs block state.
+    int valid_blocks = 0;
+    int bound_slots = 0;
+    for (const auto &block : blocks_) {
+        if (!block.valid)
+            continue;
+        valid_blocks++;
+        bound_slots += static_cast<int>(block.slots.size());
+
+        // Barrier accounting: expected tracks still-running warps,
+        // arrived tracks warps actually parked at the barrier.
+        if (block.barrier.expected() != block.runningWarps)
+            auditFail(now, -1,
+                      "barrier expected=" +
+                          std::to_string(block.barrier.expected()) +
+                          " != runningWarps=" +
+                          std::to_string(block.runningWarps) +
+                          " in block " + std::to_string(block.id));
+        int at_barrier = 0;
+        for (WarpSlot s : block.slots)
+            if (warps_[s].state() == WarpState::AtBarrier)
+                at_barrier++;
+        if (block.barrier.arrived() != at_barrier)
+            auditFail(now, -1,
+                      "barrier arrived=" +
+                          std::to_string(block.barrier.arrived()) +
+                          " but " + std::to_string(at_barrier) +
+                          " warps are AtBarrier in block " +
+                          std::to_string(block.id) +
+                          " (lost arrival?)");
+    }
+    if (valid_blocks != residentBlocks_)
+        auditFail(now, -1,
+                  "residentBlocks_=" + std::to_string(residentBlocks_) +
+                      " but " + std::to_string(valid_blocks) +
+                      " block slots are valid");
+    if (freeSlots_ != cfg_.maxWarpsPerSm - bound_slots)
+        auditFail(now, -1,
+                  "freeSlots_=" + std::to_string(freeSlots_) +
+                      " but blocks bind " + std::to_string(bound_slots) +
+                      " of " + std::to_string(cfg_.maxWarpsPerSm) +
+                      " warp slots");
+    const int regs_expected =
+        residentBlocks_ * kernel_.blockDim * kernel_.regsPerThread;
+    if (regsUsed_ != regs_expected)
+        auditFail(now, -1,
+                  "regsUsed_=" + std::to_string(regsUsed_) + " != " +
+                      std::to_string(regs_expected) + " for " +
+                      std::to_string(residentBlocks_) +
+                      " resident blocks");
+    if (smemUsed_ != residentBlocks_ * kernel_.smemPerBlock)
+        auditFail(now, -1,
+                  "smemUsed_=" + std::to_string(smemUsed_) + " != " +
+                      std::to_string(residentBlocks_ *
+                                     kernel_.smemPerBlock) +
+                      " for " + std::to_string(residentBlocks_) +
+                      " resident blocks");
+
+    // Per-warp outstandingLoads vs the live tokens that name the slot.
+    std::vector<int> tokensPerSlot(cfg_.maxWarpsPerSm, 0);
+    for (std::size_t i = 0; i < tokenPool_.size(); ++i) {
+        if (!tokenLive[i])
+            continue;
+        const Token &tok = tokenPool_[i];
+        if (tok.slot < 0 || tok.slot >= cfg_.maxWarpsPerSm)
+            auditFail(now, -1,
+                      "live token " + std::to_string(i + 1) +
+                          " names invalid warp slot " +
+                          std::to_string(tok.slot));
+        tokensPerSlot[tok.slot]++;
+    }
+    for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
+        const Warp &warp = warps_[slot];
+        const int expect =
+            warp.state() == WarpState::Inactive ? 0 : tokensPerSlot[slot];
+        if (warp.outstandingLoads != expect)
+            auditFail(now, slot,
+                      "outstandingLoads=" +
+                          std::to_string(warp.outstandingLoads) +
+                          " but " + std::to_string(tokensPerSlot[slot]) +
+                          " live tokens name this slot");
+    }
+
+    if (level < 2)
+        return;
+
+    // --- Level 2: full cross-checks ---
+
+    // Every live token must still be referenced by exactly
+    // tok.remaining pending line transactions (waiting in the LD/ST
+    // queue, merged into an L1 MSHR, or queued as a completion). A
+    // shortfall means a completion was lost: the token can never
+    // retire and its warp is blocked for good.
+    std::vector<std::uint64_t> referenced;
+    l1_->collectReferencedTokens(referenced);
+    std::vector<int> refCount(tokenPool_.size(), 0);
+    auto countRef = [&](std::uint64_t id) {
+        if (id == 0)
+            return; // stores carry no token
+        if (id > tokenPool_.size() || !tokenLive[id - 1])
+            auditFail(now, -1,
+                      "memory system references token " +
+                          std::to_string(id) +
+                          " which is not live (use after free)");
+        refCount[id - 1]++;
+    };
+    for (std::uint64_t id : referenced)
+        countRef(id);
+    for (const Transaction &tx : ldstQueue_)
+        countRef(tx.token);
+    for (std::size_t i = 0; i < tokenPool_.size(); ++i) {
+        if (!tokenLive[i])
+            continue;
+        if (refCount[i] != tokenPool_[i].remaining)
+            auditFail(now, tokenPool_[i].slot,
+                      "token " + std::to_string(i + 1) + " expects " +
+                          std::to_string(tokenPool_[i].remaining) +
+                          " more completions but only " +
+                          std::to_string(refCount[i]) +
+                          " pending references exist (lost completion)");
+    }
+
+    // Scoreboard vs in-flight writebacks: a warp's pending masks must
+    // equal the union of what the writeback queue and its live load
+    // tokens still owe it.
+    std::vector<std::uint32_t> owedRegs(cfg_.maxWarpsPerSm, 0);
+    std::vector<std::uint32_t> owedMemRegs(cfg_.maxWarpsPerSm, 0);
+    std::vector<std::uint8_t> owedPreds(cfg_.maxWarpsPerSm, 0);
+    auto wbCopy = wbQueue_; // priority_queue: drain a copy to iterate
+    while (!wbCopy.empty()) {
+        const WbEvent &ev = wbCopy.top();
+        owedRegs[ev.slot] |= ev.regMask;
+        owedPreds[ev.slot] |= ev.predMask;
+        wbCopy.pop();
+    }
+    for (std::size_t i = 0; i < tokenPool_.size(); ++i) {
+        if (!tokenLive[i])
+            continue;
+        owedRegs[tokenPool_[i].slot] |= tokenPool_[i].dstRegMask;
+        owedMemRegs[tokenPool_[i].slot] |= tokenPool_[i].dstRegMask;
+    }
+    for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
+        const Warp &warp = warps_[slot];
+        if (warp.state() == WarpState::Inactive)
+            continue;
+        const Scoreboard &sb = warp.scoreboard;
+        if (sb.pendingRegs != owedRegs[slot] ||
+            sb.pendingMemRegs != owedMemRegs[slot] ||
+            sb.pendingPreds != owedPreds[slot])
+            auditFail(now, slot,
+                      "scoreboard out of sync with in-flight "
+                      "writebacks: pendingRegs=" +
+                          std::to_string(sb.pendingRegs) + "/owed " +
+                          std::to_string(owedRegs[slot]) +
+                          ", pendingMemRegs=" +
+                          std::to_string(sb.pendingMemRegs) + "/owed " +
+                          std::to_string(owedMemRegs[slot]) +
+                          ", pendingPreds=" +
+                          std::to_string(sb.pendingPreds) + "/owed " +
+                          std::to_string(owedPreds[slot]));
+    }
+
+    // Lazy stall accounting: for every block-bound warp the charged
+    // cycles (issues plus every stall class) must cover exactly the
+    // cycles since activation, up to this SM's accounting horizon.
+    for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
+        if (slotBlock_[slot] < 0)
+            continue;
+        const Warp &warp = warps_[slot];
+        const WarpTimings &t = warp.timings;
+        if (lastTicked_ < t.startCycle)
+            continue; // activated this very cycle, nothing charged yet
+        const std::uint64_t charged =
+            t.instructions + t.memStallCycles + t.aluStallCycles +
+            t.structStallCycles + t.schedWaitCycles + t.barrierCycles +
+            t.finishedWaitCycles;
+        const std::uint64_t expect = lastTicked_ - t.startCycle + 1;
+        if (charged != expect)
+            auditFail(now, slot,
+                      "stall accounting leak: " +
+                          std::to_string(charged) +
+                          " cycles charged over a lifetime of " +
+                          std::to_string(expect) +
+                          " (startCycle=" + std::to_string(t.startCycle) +
+                          ", lastTicked=" + std::to_string(lastTicked_) +
+                          ")");
+    }
+
+    // SIMT-stack sanity: an unfinished warp must have a live stack
+    // with at least one active lane to ever make progress.
+    for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
+        const Warp &warp = warps_[slot];
+        if (warp.state() != WarpState::Running &&
+            warp.state() != WarpState::AtBarrier)
+            continue;
+        if (warp.stack().depth() < 1)
+            auditFail(now, slot, "SIMT stack empty on an active warp");
+        if (warp.stack().activeMask() == 0)
+            auditFail(now, slot,
+                      "SIMT stack top has no active lanes on an "
+                      "active warp");
+    }
 }
 
 } // namespace cawa

@@ -21,6 +21,7 @@
 #include <deque>
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "cawa/criticality.hh"
@@ -108,6 +109,52 @@ class SmCore
 
     int residentBlocks() const { return residentBlocks_; }
 
+    // --- Watchdog / invariant-audit interface (all read-only) ---
+
+    /**
+     * Aggregate stuck-state counters the top-level watchdog uses to
+     * classify a wedged machine (barrier deadlock vs lost fill vs
+     * token leak); see Gpu::recordDeadlock().
+     */
+    struct StuckSummary
+    {
+        int activeWarps = 0;    ///< Running or AtBarrier
+        int atBarrier = 0;
+        int finishedWaiting = 0;///< Finished, block not yet retired
+        int withOutstandingLoads = 0;
+        std::size_t l1Mshrs = 0;
+        std::size_t ldstQueued = 0;
+        int liveTokens = 0;
+    };
+
+    StuckSummary stuckSummary() const;
+
+    /**
+     * True when this SM, left alone, can never change state again: no
+     * warp is ready, and the writeback queue, LD/ST queue and L1
+     * completion/outgoing queues are all empty. Outstanding MSHRs do
+     * not count -- they wait on an external fill, which the caller
+     * rules out by also requiring an idle interconnect/L2/DRAM.
+     */
+    bool quiescent() const;
+
+    /**
+     * Append a structured human-readable dump of this SM's stuck
+     * state to @p out: every active warp's PC/state/criticality and
+     * pending masks, per-block barrier occupancy, queue depths and
+     * the most recent scheduler picks.
+     */
+    void appendDeadlockDump(std::string &out, Cycle now) const;
+
+    /**
+     * Run the invariant audit at depth @p level (1 = conservation
+     * checks, 2 = adds stall recount, scoreboard cross-check and
+     * SIMT-stack sanity; see GpuConfig::checkLevel). Read-only;
+     * throws SimError (kind Invariant) with cycle/SM/warp context on
+     * the first violation found.
+     */
+    void audit(Cycle now, int level) const;
+
   private:
     struct BlockState
     {
@@ -161,6 +208,8 @@ class SmCore
     void accountIdleSpan(Cycle span);
     void catchUpStalls(Cycle now);
     Cycle computeNextEventCycle(Cycle now) const;
+    [[noreturn]] void auditFail(Cycle now, int warp,
+                                const std::string &msg) const;
     void sampleCpl(Cycle now);
     void sampleTrace(Cycle now);
     BlockState &blockOf(WarpSlot slot);
@@ -202,6 +251,28 @@ class SmCore
     int liveTokens_ = 0;
 
     std::uint64_t dispatchSeq_ = 0;
+
+    // Fault-injection ordinals (see GpuConfig::faults): count every
+    // barrier arrival / load completion this SM processes so a single
+    // configured event can be corrupted deterministically.
+    std::int64_t barrierArrivalSeq_ = 0;
+    std::int64_t loadCompletionSeq_ = 0;
+
+    /**
+     * Ring of the most recent scheduler picks, kept purely for the
+     * watchdog's diagnostic dump ("what was the machine doing when it
+     * wedged"). Fixed capacity; one store per issue.
+     */
+    struct PickRecord
+    {
+        Cycle cycle = 0;
+        int sched = 0;
+        WarpSlot slot = kNoWarp;
+    };
+    static constexpr std::size_t kPickHistory = 16;
+    std::vector<PickRecord> pickHistory_;
+    std::size_t pickHead_ = 0;  ///< next write index once full
+    void recordPick(Cycle now, int sched, WarpSlot slot);
 
     int residentBlocks_ = 0;
     int freeSlots_ = 0;

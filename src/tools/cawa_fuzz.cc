@@ -1,0 +1,238 @@
+/**
+ * @file
+ * cawa_fuzz: drive seeded random kernels and config perturbations
+ * through the hardened-harness paths (deadlock watchdog, invariant
+ * auditor, crash-isolated job execution) and check that every run
+ * ends the way it should:
+ *
+ *  - clean seeds (no fault injected) must complete with exitStatus
+ *    "completed" and no error, at any CAWA_CHECK level;
+ *  - seeds with an injected fault (a swallowed barrier arrival or a
+ *    dropped load completion) must be caught -- either classified by
+ *    the watchdog as a deadlock or rejected by the auditor with a
+ *    SimError -- never reported as a clean completion and never
+ *    allowed to burn to the maxCycles timeout undetected.
+ *
+ * Examples:
+ *   cawa_fuzz --seeds 50
+ *   cawa_fuzz --seeds 200 --start 1000 --check 2 --verbose
+ *
+ * Exit status 0 when every seed behaves, 1 otherwise.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "sim/gpu_config.hh"
+#include "sim/report.hh"
+#include "sim/sweep.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+constexpr Addr kIn = 0x100000;
+constexpr Addr kOut = 0x200000;
+
+struct FuzzCase
+{
+    GpuConfig cfg;
+    KernelInfo kernel;
+    Program program;
+    const char *fault = "none"; ///< which hook the case arms
+};
+
+/**
+ * A small structured kernel: per-thread global loads feeding an ALU
+ * mix, a few barrier rounds, one store. Barriers and loads are always
+ * present so the armed fault hooks are guaranteed to fire.
+ */
+Program
+buildProgram(Rng &rng)
+{
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.shlImm(4, 1, 2);
+    b.ldGlobal(2, 4, kIn);
+    b.movImm(3, static_cast<std::int64_t>(rng.nextBounded(64)));
+    const int rounds = 1 + static_cast<int>(rng.nextBounded(3));
+    for (int r = 0; r < rounds; ++r) {
+        const int ops = 1 + static_cast<int>(rng.nextBounded(4));
+        for (int i = 0; i < ops; ++i) {
+            switch (rng.nextBounded(4)) {
+              case 0: b.addImm(3, 3, rng.nextRange(-7, 7)); break;
+              case 1: b.add(3, 3, 2); break;
+              case 2: b.xor_(3, 3, 1); break;
+              default: b.shrImm(3, 3, 1); break;
+            }
+        }
+        if (rng.nextBounded(2))
+            b.ldGlobal(5, 4, kIn + 0x1000 * (r + 1));
+        b.bar();
+    }
+    b.shlImm(4, 1, 2);
+    b.stGlobal(4, 3, kOut);
+    b.exit();
+    return b.build();
+}
+
+FuzzCase
+buildCase(std::uint64_t seed, int check_level)
+{
+    Rng rng(seed);
+    FuzzCase fc;
+    fc.program = buildProgram(rng);
+
+    GpuConfig &cfg = fc.cfg;
+    cfg = GpuConfig::fermiGtx480();
+    cfg.numSms = 1 + static_cast<int>(rng.nextBounded(2));
+    cfg.maxWarpsPerSm = rng.nextBounded(2) ? 48 : 16;
+    cfg.scheduler = rng.nextBounded(2) ? SchedulerKind::Gcaws
+                                       : SchedulerKind::Lrr;
+    cfg.l1Policy = rng.nextBounded(2) ? CachePolicyKind::Cacp
+                                      : CachePolicyKind::Lru;
+    cfg.l1d.numMshrs = rng.nextBounded(2) ? 4 : 32;
+    cfg.ldstQueueSize = rng.nextBounded(2) ? 8 : 64;
+    cfg.aluLatency = rng.nextBounded(2) ? 2 : 4;
+    cfg.dramLatency = rng.nextBounded(2) ? 60 : 120;
+    cfg.maxCycles = 2'000'000;
+    // Tight harness cadences so detection happens within the run.
+    cfg.watchdogInterval = 2'000;
+    cfg.checkLevel = check_level;
+    cfg.auditInterval = 128;
+
+    fc.kernel.name = "fuzz" + std::to_string(seed);
+    fc.kernel.program = fc.program;
+    fc.kernel.gridDim = 2 * cfg.numSms +
+                        static_cast<int>(rng.nextBounded(4));
+    fc.kernel.blockDim =
+        32 * (1 + static_cast<int>(rng.nextBounded(4)));
+    fc.kernel.regsPerThread = 16;
+
+    // Roughly half the seeds run clean; the rest arm one fault. The
+    // ordinal is 0 so the first matching event on SM 0 is corrupted
+    // (block 0 always lands there, so the hook always fires).
+    switch (rng.nextBounded(4)) {
+      case 0:
+        cfg.faults.dropBarrierArrival = 0;
+        fc.fault = "dropBarrierArrival";
+        break;
+      case 1:
+        cfg.faults.dropLoadCompletion = 0;
+        fc.fault = "dropLoadCompletion";
+        break;
+      default:
+        break;
+    }
+    return fc;
+}
+
+[[noreturn]] void
+usage(int status)
+{
+    std::fprintf(status ? stderr : stdout,
+                 "usage: cawa_fuzz [options]\n"
+                 "  --seeds N    number of seeds to run (default 20)\n"
+                 "  --start S    first seed (default 1)\n"
+                 "  --check L    invariant audit level 0/1/2"
+                 " (default 2)\n"
+                 "  --verbose    print every seed's outcome\n"
+                 "  --help       this text\n");
+    std::exit(status);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seeds = 20;
+    std::uint64_t start = 1;
+    int check_level = 2;
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "cawa_fuzz: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            seeds = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--start") {
+            start = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--check") {
+            check_level = std::atoi(next());
+            if (check_level < 0 || check_level > 2) {
+                std::fprintf(stderr,
+                             "cawa_fuzz: --check wants 0, 1 or 2\n");
+                std::exit(2);
+            }
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "cawa_fuzz: unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+
+    int anomalies = 0;
+    for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
+        const FuzzCase fc = buildCase(seed, check_level);
+
+        SweepJob job;
+        job.name = fc.kernel.name;
+        job.cfg = fc.cfg;
+        // The kernel's program member references fc.program, which
+        // outlives the job; loads read zeros, which is fine -- the
+        // fuzzer checks failure handling, not data results.
+        job.build = [&fc](MemoryImage &) { return fc.kernel; };
+
+        const SweepResult res = runSweepJob(job);
+        const char *outcome =
+            !res.error.empty()
+                ? "error"
+                : exitStatusName(res.report.exitStatus);
+
+        bool bad;
+        if (std::strcmp(fc.fault, "none") == 0) {
+            // Clean seeds must complete cleanly.
+            bad = !res.ok();
+        } else {
+            // Faulted seeds must be *detected*: the watchdog names
+            // the wedge or the auditor/an assertion throws. A clean
+            // completion means the fault escaped; a plain timeout
+            // means detection failed and the run burned to the
+            // safety valve.
+            bad = res.error.empty() &&
+                  res.report.exitStatus != ExitStatus::Deadlock;
+        }
+
+        if (bad || verbose) {
+            std::fprintf(stderr,
+                         "cawa_fuzz: seed %llu fault=%s -> %s%s%s%s\n",
+                         static_cast<unsigned long long>(seed),
+                         fc.fault, outcome, bad ? " [ANOMALY]" : "",
+                         res.error.empty() ? "" : ": ",
+                         res.error.c_str());
+        }
+        if (bad)
+            ++anomalies;
+    }
+
+    std::fprintf(stderr, "cawa_fuzz: %llu seeds, %d anomal%s\n",
+                 static_cast<unsigned long long>(seeds), anomalies,
+                 anomalies == 1 ? "y" : "ies");
+    return anomalies ? 1 : 0;
+}

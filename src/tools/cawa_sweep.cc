@@ -2,16 +2,25 @@
  * @file
  * cawa_sweep: run a workload x scheduler x cache-policy matrix on the
  * parallel sweep engine and emit one JSON document per job
- * (schema "cawa-simreport-v1") for plotting and regression baselines.
+ * (schema "cawa-simreport-v2") for plotting and regression baselines.
+ * A job that crashes does not take the sweep down: its failure is
+ * emitted as a first-class "cawa-sweepfailure-v1" document and every
+ * other job still runs.
  *
  * Examples:
  *   cawa_sweep --workloads sens --schedulers rr,gto,gcaws \
  *              --policies lru,cacp --scale 0.25 --out sweep/
  *   CAWA_BENCH_THREADS=8 cawa_sweep --workloads bfs --compact
+ *   cawa_sweep --out sweep/ --journal sweep/runs.jsonl   # then, after
+ *   cawa_sweep --out sweep/ --journal sweep/runs.jsonl --resume
+ *
+ * With --journal, one JSON line is appended per finished job; with
+ * --resume, jobs already journaled as "ok" are skipped so a killed or
+ * partially-failed sweep re-runs only the failed/missing jobs.
  *
  * Without --out, documents are printed to stdout one per line
  * (compact), in job order. Exit status is non-zero when any job
- * times out, fails functional verification, or throws.
+ * times out, deadlocks, fails functional verification, or throws.
  */
 
 #include <algorithm>
@@ -26,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/journal.hh"
 #include "sim/report_json.hh"
 #include "sim/sweep.hh"
 #include "workloads/registry.hh"
@@ -45,6 +55,9 @@ struct Options
     std::uint64_t seed = 1;
     int threads = 0; ///< 0 = CAWA_BENCH_THREADS or hardware default
     std::string outDir;
+    std::string journalPath;
+    bool resume = false;
+    int retries = 0; ///< extra attempts for jobs that throw
     bool listOnly = false;
     bool compact = false;
     bool includeBlocks = true;
@@ -66,6 +79,11 @@ usage(int status)
         "  --threads N        worker threads (default:\n"
         "                     CAWA_BENCH_THREADS, else all cores)\n"
         "  --out DIR          write DIR/<job>.json instead of stdout\n"
+        "  --journal FILE     append one JSON line per finished job\n"
+        "  --resume           skip jobs journaled as ok (needs\n"
+        "                     --journal)\n"
+        "  --retries N        re-run a job that throws up to N extra\n"
+        "                     times (default 0)\n"
         "  --compact          single-line JSON (stdout default)\n"
         "  --no-blocks        omit per-block/per-warp records\n"
         "  --no-trace         omit the criticality trace\n"
@@ -164,6 +182,13 @@ parseArgs(int argc, char **argv)
                 parsePositiveDouble(next(i), "thread count"));
         } else if (arg == "--out") {
             opt.outDir = next(i);
+        } else if (arg == "--journal") {
+            opt.journalPath = next(i);
+        } else if (arg == "--resume") {
+            opt.resume = true;
+        } else if (arg == "--retries") {
+            opt.retries = static_cast<int>(
+                parsePositiveDouble(next(i), "retry count"));
         } else if (arg == "--compact") {
             opt.compact = true;
         } else if (arg == "--no-blocks") {
@@ -184,6 +209,11 @@ parseArgs(int argc, char **argv)
         opt.workloads = allWorkloadNames();
     if (opt.schedulers.empty() || opt.policies.empty())
         usage(2);
+    if (opt.resume && opt.journalPath.empty()) {
+        std::fprintf(stderr,
+                     "cawa_sweep: --resume needs --journal FILE\n");
+        std::exit(2);
+    }
     const auto known = allWorkloadNames();
     for (const auto &name : opt.workloads) {
         if (std::find(known.begin(), known.end(), name) == known.end()) {
@@ -224,14 +254,58 @@ main(int argc, char **argv)
         return 0;
     }
 
+    std::vector<SweepJob> jobs = makeWorkloadJobs(specs);
+
+    if (opt.resume) {
+        const auto journal = readJournal(opt.journalPath);
+        const std::size_t total = jobs.size();
+        jobs = filterResumeJobs(jobs, journal);
+        std::fprintf(stderr,
+                     "cawa_sweep: resume: %zu of %zu jobs already ok\n",
+                     total - jobs.size(), total);
+    }
+
     int threads = opt.threads;
     if (threads <= 0)
         threads = sweepThreadsFromEnv();
     SweepEngine engine(threads);
     std::fprintf(stderr, "cawa_sweep: %zu jobs on %d threads\n",
-                 specs.size(), engine.threads());
+                 jobs.size(), engine.threads());
 
-    const auto results = engine.run(makeWorkloadJobs(specs));
+    // Journal as jobs finish (append + flush per line) so a killed
+    // sweep leaves a usable record for --resume.
+    std::ofstream journal_out;
+    if (!opt.journalPath.empty()) {
+        // A crash mid-append can leave the file without a trailing
+        // newline; terminate that torn line first so new records
+        // don't merge into it.
+        bool needs_newline = false;
+        if (std::ifstream prev(opt.journalPath,
+                               std::ios::binary | std::ios::ate);
+            prev && prev.tellg() > 0) {
+            prev.seekg(-1, std::ios::end);
+            needs_newline = prev.get() != '\n';
+        }
+        journal_out.open(opt.journalPath, std::ios::app);
+        if (!journal_out) {
+            std::fprintf(stderr, "cawa_sweep: cannot open journal %s\n",
+                         opt.journalPath.c_str());
+            return 2;
+        }
+        if (needs_newline)
+            journal_out << "\n";
+    }
+    SweepEngine::JobDone on_done;
+    if (journal_out.is_open()) {
+        on_done = [&](std::size_t index, const SweepResult &res) {
+            journal_out << journalLine(makeJournalEntry(
+                               jobs[index].name, res))
+                        << "\n";
+            journal_out.flush();
+        };
+    }
+
+    const auto results = engine.run(jobs, on_done, opt.retries + 1);
 
     JsonWriteOptions json_opt;
     json_opt.includeBlocks = opt.includeBlocks;
@@ -241,19 +315,50 @@ main(int argc, char **argv)
     if (!opt.outDir.empty())
         std::filesystem::create_directories(opt.outDir);
 
+    auto emitDoc = [&](const std::string &name,
+                       const std::string &doc) -> bool {
+        if (opt.outDir.empty()) {
+            std::cout << doc << "\n";
+            return true;
+        }
+        const std::filesystem::path path =
+            std::filesystem::path(opt.outDir) / (name + ".json");
+        std::ofstream out(path);
+        out << doc << "\n";
+        if (!out) {
+            std::fprintf(stderr, "cawa_sweep: cannot write %s\n",
+                         path.c_str());
+            return false;
+        }
+        return true;
+    };
+
     int failures = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const SweepResult &res = results[i];
-        const std::string name = workloadJobName(specs[i]);
+        const std::string &name = jobs[i].name;
         if (!res.error.empty()) {
-            std::fprintf(stderr, "cawa_sweep: %s FAILED: %s\n",
-                         name.c_str(), res.error.c_str());
+            std::fprintf(stderr,
+                         "cawa_sweep: %s FAILED (%d attempt%s): %s\n",
+                         name.c_str(), res.attempts,
+                         res.attempts == 1 ? "" : "s",
+                         res.error.c_str());
             ++failures;
+            // Failed jobs still get a document so the output
+            // directory has one entry per job.
+            emitDoc(name,
+                    failureToJson(name, res.error, res.attempts,
+                                  json_opt));
             continue;
         }
-        if (res.report.timedOut) {
-            std::fprintf(stderr, "cawa_sweep: %s TIMED OUT\n",
-                         name.c_str());
+        if (res.report.exitStatus != ExitStatus::Completed) {
+            std::fprintf(stderr, "cawa_sweep: %s %s\n", name.c_str(),
+                         res.report.exitStatus == ExitStatus::Timeout
+                             ? "TIMED OUT"
+                             : "DEADLOCKED");
+            if (!res.report.diagnostic.empty())
+                std::fprintf(stderr, "%s",
+                             res.report.diagnostic.c_str());
             ++failures;
         } else if (!res.verified) {
             std::fprintf(stderr,
@@ -261,20 +366,8 @@ main(int argc, char **argv)
                          name.c_str());
             ++failures;
         }
-        const std::string doc = toJson(res.report, json_opt);
-        if (opt.outDir.empty()) {
-            std::cout << doc << "\n";
-        } else {
-            const std::filesystem::path path =
-                std::filesystem::path(opt.outDir) / (name + ".json");
-            std::ofstream out(path);
-            out << doc << "\n";
-            if (!out) {
-                std::fprintf(stderr, "cawa_sweep: cannot write %s\n",
-                             path.c_str());
-                ++failures;
-            }
-        }
+        if (!emitDoc(name, toJson(res.report, json_opt)))
+            ++failures;
     }
     return failures ? 1 : 0;
 }

@@ -122,3 +122,49 @@ TEST(FastForwardConfigs, TraceSampling)
     spec.params = tinyParams();
     expectBitIdentical(spec);
 }
+
+/**
+ * The hardened-harness machinery must be a pure observer on healthy
+ * runs: enabling the watchdog at a tight cadence and the invariant
+ * auditor at its deepest level may not perturb a single counter.
+ * Compares full serialized reports against the default config (which
+ * runs with checkLevel 0) across both scheduler families.
+ */
+class WatchdogAuditorObserver
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WatchdogAuditorObserver, ReportsAreByteIdentical)
+{
+    WorkloadJobSpec spec;
+    spec.workload = GetParam();
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.params = tinyParams();
+    const std::string baseline = reportJson(spec);
+
+    spec.cfg.checkLevel = 2;
+    spec.cfg.auditInterval = 256;
+    spec.cfg.watchdogInterval = 1'000;
+    const std::string hardened = reportJson(spec);
+    EXPECT_EQ(baseline, hardened)
+        << "watchdog/auditor perturbed " << GetParam();
+
+    // Same property on the GCAWS + CACP configuration.
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.cfg.scheduler = SchedulerKind::Gcaws;
+    spec.cfg.l1Policy = CachePolicyKind::Cacp;
+    const std::string cawa_baseline = reportJson(spec);
+    spec.cfg.checkLevel = 2;
+    spec.cfg.auditInterval = 256;
+    spec.cfg.watchdogInterval = 1'000;
+    EXPECT_EQ(cawa_baseline, reportJson(spec))
+        << "watchdog/auditor perturbed gcaws+cacp " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SampleWorkloads, WatchdogAuditorObserver,
+    ::testing::Values("bfs", "backprop", "pathfinder"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Runtime invariant auditor and config-validation tests: a healthy
+ * run passes the deepest audit level untouched; injected faults are
+ * rejected with SimError (kind Invariant) carrying cycle/SM context;
+ * sim_assert throw-mode is scoped and restorable; GpuConfig::validate
+ * reports actionable messages and Gpu refuses bad configs/launches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/sim_assert.hh"
+#include "isa/program_builder.hh"
+#include "sim/gpu.hh"
+
+namespace cawa
+{
+namespace
+{
+
+/// Audit levels are part of each test's contract here; drop any
+/// CAWA_CHECK inherited from the environment (the "check" preset
+/// exports CAWA_CHECK=2) so it cannot override them.
+class PinnedCheckLevel : public ::testing::Environment
+{
+    void SetUp() override { unsetenv("CAWA_CHECK"); }
+};
+const auto *const pinned_check_level =
+    ::testing::AddGlobalTestEnvironment(new PinnedCheckLevel);
+
+Program
+barrierProgram()
+{
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.shlImm(4, 1, 2);
+    b.ldGlobal(2, 4, 0x100000);
+    b.addImm(3, 2, 1);
+    b.bar();
+    b.stGlobal(4, 3, 0x200000);
+    b.exit();
+    return b.build();
+}
+
+KernelInfo
+kernel(Program p, int grid, int block)
+{
+    KernelInfo k;
+    k.name = "t";
+    k.program = std::move(p);
+    k.gridDim = grid;
+    k.blockDim = block;
+    return k;
+}
+
+GpuConfig
+auditedCfg(int level)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.numSms = 1;
+    cfg.checkLevel = level;
+    cfg.auditInterval = 64; // audit often so faults surface fast
+    return cfg;
+}
+
+TEST(Invariants, HealthyRunPassesDeepestAudit)
+{
+    MemoryImage mem;
+    const SimReport r = runKernel(auditedCfg(2), mem,
+                                  kernel(barrierProgram(), 4, 64));
+    EXPECT_EQ(r.exitStatus, ExitStatus::Completed);
+    for (int t = 0; t < 4 * 64; ++t)
+        EXPECT_EQ(mem.read32(0x200000 + 4ull * t), 1u);
+}
+
+TEST(Invariants, LostBarrierArrivalCaught)
+{
+    GpuConfig cfg = auditedCfg(1); // barrier audit is level 1
+    cfg.faults.dropBarrierArrival = 0;
+    MemoryImage mem;
+    try {
+        runKernel(cfg, mem, kernel(barrierProgram(), 2, 64));
+        FAIL() << "auditor did not catch the lost barrier arrival";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Invariant);
+        EXPECT_EQ(e.context().smId, 0);
+        EXPECT_NE(e.context().cycle, kNoCycle);
+        EXPECT_NE(std::string(e.what()).find("barrier"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Invariants, LostLoadCompletionCaught)
+{
+    GpuConfig cfg = auditedCfg(2); // token cross-check is level 2
+    cfg.faults.dropLoadCompletion = 0;
+    MemoryImage mem;
+    try {
+        runKernel(cfg, mem, kernel(barrierProgram(), 2, 64));
+        FAIL() << "auditor did not catch the dropped completion";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Invariant);
+        EXPECT_NE(std::string(e.what()).find("completion"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Invariants, AuditLevelZeroIsInert)
+{
+    // With audits off, the same fault is left for the watchdog: the
+    // run must not throw.
+    GpuConfig cfg = auditedCfg(0);
+    cfg.faults.dropBarrierArrival = 0;
+    cfg.watchdogInterval = 1'000;
+    MemoryImage mem;
+    SimReport r;
+    EXPECT_NO_THROW(
+        r = runKernel(cfg, mem, kernel(barrierProgram(), 2, 64)));
+    EXPECT_EQ(r.exitStatus, ExitStatus::Deadlock);
+}
+
+TEST(Invariants, AssertThrowGuardScopesAndRestores)
+{
+    const bool before = simAssertThrows();
+    {
+        SimAssertThrowGuard guard(true);
+        EXPECT_TRUE(simAssertThrows());
+        try {
+            setSimAssertContext(42, 3);
+            sim_panic("forced failure");
+            FAIL() << "sim_panic did not throw in throw-mode";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.kind(), SimErrorKind::Assertion);
+            EXPECT_EQ(e.context().cycle, 42u);
+            EXPECT_EQ(e.context().smId, 3);
+        }
+        clearSimAssertContext();
+    }
+    EXPECT_EQ(simAssertThrows(), before);
+}
+
+TEST(Invariants, ValidateRejectsBadConfigWithNamedField)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.numSms = 0;
+    const auto problems = cfg.validate();
+    ASSERT_FALSE(problems.empty());
+    bool named = false;
+    for (const auto &p : problems)
+        named = named || p.find("numSms") != std::string::npos;
+    EXPECT_TRUE(named) << problems.front();
+
+    try {
+        cfg.validateOrThrow();
+        FAIL() << "validateOrThrow accepted numSms=0";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Config);
+    }
+}
+
+TEST(Invariants, GpuConstructorValidates)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.warpSize = 0;
+    MemoryImage mem;
+    EXPECT_THROW(Gpu(cfg, mem), SimError);
+}
+
+TEST(Invariants, OversizedBlockRejectedAtLaunch)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.numSms = 1;
+    cfg.maxWarpsPerSm = 2;
+    MemoryImage mem;
+    try {
+        // 4 warps per block can never fit a 2-warp SM.
+        runKernel(cfg, mem, kernel(barrierProgram(), 1, 128));
+        FAIL() << "unplaceable block was accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("warps"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+} // namespace cawa

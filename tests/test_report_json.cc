@@ -215,6 +215,135 @@ TEST(ReportJson, TimedOutReportSerializesCleanly)
     EXPECT_TRUE(parsed.blocks.empty());
 }
 
+TEST(ReportJson, ExitStatusAndDiagnosticRoundTrip)
+{
+    SimReport r = denseReport();
+    r.exitStatus = ExitStatus::Deadlock;
+    r.diagnostic = "deadlock detected at cycle 9000: barrier deadlock\n"
+                   "  sm 0 block 0 warp 1 AtBarrier pc=5\n";
+    const std::string doc = toJson(r);
+    const SimReport parsed = reportFromJson(doc);
+    EXPECT_EQ(parsed.exitStatus, ExitStatus::Deadlock);
+    EXPECT_EQ(parsed.diagnostic, r.diagnostic);
+    // The new fields keep serialize -> parse -> serialize a fixed
+    // point.
+    EXPECT_EQ(doc, toJson(parsed));
+
+    // Healthy reports do not carry a diagnostic key at all.
+    SimReport clean = denseReport();
+    EXPECT_EQ(toJson(clean).find("diagnostic"), std::string::npos);
+    EXPECT_EQ(reportFromJson(toJson(clean)).exitStatus,
+              ExitStatus::Completed);
+}
+
+TEST(ReportJson, ExitStatusNamesRoundTrip)
+{
+    for (ExitStatus s :
+         {ExitStatus::Completed, ExitStatus::Timeout,
+          ExitStatus::Deadlock, ExitStatus::Invariant}) {
+        ExitStatus back = ExitStatus::Completed;
+        ASSERT_TRUE(exitStatusFromName(exitStatusName(s), back));
+        EXPECT_EQ(back, s);
+    }
+    ExitStatus unused;
+    EXPECT_FALSE(exitStatusFromName("wedged", unused));
+}
+
+TEST(ReportJson, V1DocumentsStillParse)
+{
+    // Rewrite a current document into the v1 shape (old schema tag,
+    // no exitStatus/diagnostic keys) the way pre-v2 files on disk
+    // look, and check the reader derives the status from timedOut.
+    auto asV1 = [](SimReport r) {
+        JsonWriteOptions opt;
+        opt.pretty = false;
+        std::string doc = toJson(r, opt);
+        const std::string v2 = "\"schema\":\"cawa-simreport-v2\"";
+        doc.replace(doc.find(v2), v2.size(),
+                    "\"schema\":\"cawa-simreport-v1\"");
+        const std::string status = std::string("\"exitStatus\":\"") +
+                                   exitStatusName(r.exitStatus) +
+                                   "\",";
+        doc.erase(doc.find(status), status.size());
+        return doc;
+    };
+
+    SimReport done = denseReport();
+    const SimReport parsed_done = reportFromJson(asV1(done));
+    EXPECT_EQ(parsed_done.exitStatus, ExitStatus::Completed);
+    EXPECT_EQ(parsed_done.cycles, done.cycles);
+
+    SimReport hung = denseReport();
+    hung.timedOut = true;
+    hung.exitStatus = ExitStatus::Timeout;
+    EXPECT_EQ(reportFromJson(asV1(hung)).exitStatus,
+              ExitStatus::Timeout);
+}
+
+TEST(ReportJson, UnknownExitStatusRejected)
+{
+    SimReport r;
+    JsonWriteOptions opt;
+    opt.pretty = false;
+    std::string doc = toJson(r, opt);
+    const std::string good = "\"exitStatus\":\"completed\"";
+    doc.replace(doc.find(good), good.size(),
+                "\"exitStatus\":\"wedged\"");
+    try {
+        reportFromJson(doc);
+        FAIL() << "unknown exitStatus accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("wedged"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ReportJson, ParseErrorsCarryOffsetAndExcerpt)
+{
+    try {
+        parseJson("{\"cycles\": tru}");
+        FAIL() << "bad literal accepted";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("offset"), std::string::npos) << what;
+        EXPECT_NE(what.find("near '"), std::string::npos) << what;
+        EXPECT_NE(what.find("tru"), std::string::npos) << what;
+    }
+
+    // Wrong-type access points at the offending value.
+    try {
+        parseJson("{\"cycles\": 12}").at("cycles").asString();
+        FAIL() << "number read as string";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("not a string"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("12"), std::string::npos) << what;
+    }
+
+    // Missing keys name the object they were looked up in.
+    try {
+        parseJson("{\"a\": 1}").at("missing");
+        FAIL() << "missing key lookup succeeded";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("missing"), std::string::npos) << what;
+        EXPECT_NE(what.find("offset"), std::string::npos) << what;
+    }
+}
+
+TEST(ReportJson, FailureDocumentRoundTrips)
+{
+    const std::string doc =
+        failureToJson("bfs_gcaws_cacp", "invariant [cycle 9]: boom", 3);
+    const JsonValue v = parseJson(doc);
+    EXPECT_EQ(v.at("schema").asString(), "cawa-sweepfailure-v1");
+    EXPECT_EQ(v.at("job").asString(), "bfs_gcaws_cacp");
+    EXPECT_EQ(v.at("error").asString(), "invariant [cycle 9]: boom");
+    EXPECT_EQ(v.at("attempts").asI64(), 3);
+}
+
 TEST(ReportJson, MalformedInputThrows)
 {
     EXPECT_THROW(parseJson(""), std::runtime_error);

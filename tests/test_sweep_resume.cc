@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Crash-isolated sweep and journal/resume tests: one throwing job
+ * must not take down the rest of the sweep; retries are counted and
+ * bounded; the completion journal round-trips, tolerates a torn tail
+ * (crash mid-append), and resume filtering re-runs exactly the
+ * failed/missing jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "isa/program_builder.hh"
+#include "sim/journal.hh"
+#include "sim/sweep.hh"
+
+namespace cawa
+{
+namespace
+{
+
+Program
+trivialProgram()
+{
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.shlImm(2, 1, 2);
+    b.movImm(3, 7);
+    b.stGlobal(2, 3, 0x1000);
+    b.exit();
+    return b.build();
+}
+
+SweepJob
+goodJob(const std::string &name)
+{
+    SweepJob job;
+    job.name = name;
+    job.cfg = GpuConfig::fermiGtx480();
+    job.cfg.numSms = 1;
+    job.build = [](MemoryImage &) {
+        KernelInfo k;
+        k.name = "t";
+        k.program = trivialProgram();
+        k.gridDim = 2;
+        k.blockDim = 64;
+        return k;
+    };
+    return job;
+}
+
+SweepJob
+throwingJob(const std::string &name)
+{
+    SweepJob job = goodJob(name);
+    job.build = [](MemoryImage &) -> KernelInfo {
+        throw std::runtime_error("synthetic build failure");
+    };
+    return job;
+}
+
+/// A fresh path under gtest's per-test temp dir.
+std::string
+tempPath(const char *file)
+{
+    return ::testing::TempDir() + file;
+}
+
+TEST(SweepIsolation, ThrowingJobDoesNotSinkTheSweep)
+{
+    const std::vector<SweepJob> jobs = {goodJob("a"), throwingJob("b"),
+                                        goodJob("c")};
+    const SweepEngine engine(2);
+    const auto results = engine.run(jobs);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok());
+    EXPECT_FALSE(results[1].ok());
+    EXPECT_NE(results[1].error.find("synthetic build failure"),
+              std::string::npos);
+    EXPECT_TRUE(results[2].ok());
+}
+
+TEST(SweepIsolation, BadConfigCapturedPerJob)
+{
+    SweepJob bad = goodJob("bad-cfg");
+    bad.cfg.numSms = 0;
+    const auto res = runSweepJob(bad);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("numSms"), std::string::npos)
+        << res.error;
+}
+
+TEST(SweepIsolation, RetriesCountedAndBounded)
+{
+    // A deterministic thrower uses every allowed attempt.
+    const auto failed = runSweepJob(throwingJob("t"), 3);
+    EXPECT_FALSE(failed.error.empty());
+    EXPECT_EQ(failed.attempts, 3);
+
+    // A healthy job succeeds on the first attempt, retries unused.
+    const auto okay = runSweepJob(goodJob("g"), 3);
+    EXPECT_TRUE(okay.ok());
+    EXPECT_EQ(okay.attempts, 1);
+}
+
+TEST(Journal, RoundTrip)
+{
+    const std::string path = tempPath("journal_roundtrip.jsonl");
+    std::remove(path.c_str());
+
+    SweepResult ok_result;
+    ok_result.attempts = 1;
+    SweepResult bad_result;
+    bad_result.error = "boom: first line\nsecond line";
+    bad_result.attempts = 2;
+
+    {
+        std::ofstream out(path);
+        out << journalLine(makeJournalEntry("job-a", ok_result)) << "\n";
+        out << journalLine(makeJournalEntry("job-b", bad_result))
+            << "\n";
+    }
+    const auto entries = readJournal(path);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].job, "job-a");
+    EXPECT_EQ(entries[0].status, "ok");
+    EXPECT_TRUE(entries[0].ok());
+    EXPECT_EQ(entries[0].attempts, 1);
+    EXPECT_EQ(entries[1].job, "job-b");
+    EXPECT_EQ(entries[1].status, "error");
+    EXPECT_FALSE(entries[1].ok());
+    // Only the first line of a multi-line error is journaled.
+    EXPECT_EQ(entries[1].error, "boom: first line");
+    EXPECT_EQ(entries[1].attempts, 2);
+}
+
+TEST(Journal, StatusReflectsExitAndVerification)
+{
+    SweepResult timeout;
+    timeout.report.exitStatus = ExitStatus::Timeout;
+    EXPECT_EQ(entryStatus(timeout), "timeout");
+
+    SweepResult unverified;
+    unverified.verified = false;
+    EXPECT_EQ(entryStatus(unverified), "verify-failed");
+
+    SweepResult deadlock;
+    deadlock.report.exitStatus = ExitStatus::Deadlock;
+    EXPECT_EQ(makeJournalEntry("j", deadlock).status, "deadlock");
+}
+
+TEST(Journal, TornTailIsSkippedNotFatal)
+{
+    const std::string path = tempPath("journal_torn.jsonl");
+    {
+        std::ofstream out(path);
+        out << R"({"job":"a","status":"ok","attempts":1})" << "\n";
+        out << R"({"job":"b","status":"error","attempts":1,"err)";
+        // no newline: the classic crash-mid-append tail
+    }
+    const auto entries = readJournal(path);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].job, "a");
+}
+
+TEST(Journal, MissingFileReadsEmpty)
+{
+    const std::string path = tempPath("journal_never_written.jsonl");
+    std::remove(path.c_str());
+    EXPECT_TRUE(readJournal(path).empty());
+}
+
+TEST(Resume, OnlyFailedAndMissingJobsRemain)
+{
+    const std::vector<SweepJob> jobs = {goodJob("a"), goodJob("b"),
+                                        goodJob("c")};
+    std::vector<JournalEntry> journal;
+    JournalEntry a;
+    a.job = "a";
+    a.status = "ok";
+    JournalEntry b;
+    b.job = "b";
+    b.status = "error";
+    b.error = "boom";
+    journal = {a, b}; // c never ran
+    const auto remaining = filterResumeJobs(jobs, journal);
+    ASSERT_EQ(remaining.size(), 2u);
+    EXPECT_EQ(remaining[0].name, "b");
+    EXPECT_EQ(remaining[1].name, "c");
+}
+
+TEST(Resume, LaterEntryWins)
+{
+    // b failed on the first run and succeeded on the resumed one.
+    const std::vector<SweepJob> jobs = {goodJob("a"), goodJob("b")};
+    JournalEntry a_ok;
+    a_ok.job = "a";
+    a_ok.status = "ok";
+    JournalEntry b_bad;
+    b_bad.job = "b";
+    b_bad.status = "error";
+    JournalEntry b_ok;
+    b_ok.job = "b";
+    b_ok.status = "ok";
+    b_ok.attempts = 2;
+    const auto remaining =
+        filterResumeJobs(jobs, {a_ok, b_bad, b_ok});
+    EXPECT_TRUE(remaining.empty());
+}
+
+TEST(Resume, EndToEndThroughJournalFile)
+{
+    // Run a sweep with one thrower and a live journal, then resume:
+    // only the failed job comes back.
+    const std::string path = tempPath("journal_e2e.jsonl");
+    std::remove(path.c_str());
+
+    const std::vector<SweepJob> jobs = {goodJob("a"), throwingJob("b"),
+                                        goodJob("c")};
+    std::ofstream out(path);
+    SweepEngine::JobDone on_done = [&](std::size_t index,
+                                       const SweepResult &res) {
+        out << journalLine(makeJournalEntry(jobs[index].name, res))
+            << "\n";
+        out.flush();
+    };
+    const SweepEngine engine(2);
+    engine.run(jobs, on_done);
+    out.close();
+
+    const auto remaining = filterResumeJobs(jobs, readJournal(path));
+    ASSERT_EQ(remaining.size(), 1u);
+    EXPECT_EQ(remaining[0].name, "b");
+}
+
+} // namespace
+} // namespace cawa

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Deadlock watchdog tests: a deliberately wedged kernel (fault
+ * injection drops a barrier arrival or a load completion) must end
+ * with exitStatus "deadlock" and a diagnostic naming the blocked
+ * warps, long before maxCycles; a clean kernel must be untouched by
+ * an enabled watchdog; with the watchdog disabled the same wedge
+ * burns to the maxCycles timeout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "isa/program_builder.hh"
+#include "sim/gpu.hh"
+
+namespace cawa
+{
+namespace
+{
+
+/// These tests pick audit levels per-config (several need the auditor
+/// *off* so the watchdog is the detector); a CAWA_CHECK inherited
+/// from the environment (e.g. the "check" preset) would override
+/// them, so drop it for this binary.
+class PinnedCheckLevel : public ::testing::Environment
+{
+    void SetUp() override { unsetenv("CAWA_CHECK"); }
+};
+const auto *const pinned_check_level =
+    ::testing::AddGlobalTestEnvironment(new PinnedCheckLevel);
+
+/// Per-thread load -> ALU -> barrier -> store: exercises both fault
+/// hooks (barrier arrivals and load completions).
+Program
+barrierProgram()
+{
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.shlImm(4, 1, 2);
+    b.ldGlobal(2, 4, 0x100000);
+    b.addImm(3, 2, 1);
+    b.bar();
+    b.stGlobal(4, 3, 0x200000);
+    b.exit();
+    return b.build();
+}
+
+KernelInfo
+kernel(Program p, int grid, int block)
+{
+    KernelInfo k;
+    k.name = "t";
+    k.program = std::move(p);
+    k.gridDim = grid;
+    k.blockDim = block;
+    return k;
+}
+
+/// One SM, auditor off (these tests exercise the watchdog alone),
+/// tight watchdog cadence so detection is fast.
+GpuConfig
+watchdogCfg()
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.numSms = 1;
+    cfg.checkLevel = 0;
+    cfg.watchdogInterval = 1'000;
+    cfg.maxCycles = 1'000'000;
+    return cfg;
+}
+
+TEST(Watchdog, BarrierDeadlockClassified)
+{
+    GpuConfig cfg = watchdogCfg();
+    cfg.faults.dropBarrierArrival = 0; // swallow the first arrival
+    MemoryImage mem;
+    const SimReport r = runKernel(cfg, mem, kernel(barrierProgram(),
+                                                   2, 64));
+    EXPECT_EQ(r.exitStatus, ExitStatus::Deadlock);
+    EXPECT_FALSE(r.timedOut);
+    // Detected by the next watchdog boundary, not at the timeout.
+    EXPECT_LT(r.cycles, 100'000u);
+    // The dump names the failure class and the stuck warps.
+    EXPECT_NE(r.diagnostic.find("barrier deadlock"), std::string::npos)
+        << r.diagnostic;
+    EXPECT_NE(r.diagnostic.find("atBarrier"), std::string::npos)
+        << r.diagnostic;
+    EXPECT_NE(r.diagnostic.find("sm 0"), std::string::npos)
+        << r.diagnostic;
+}
+
+TEST(Watchdog, TokenLeakClassified)
+{
+    GpuConfig cfg = watchdogCfg();
+    cfg.faults.dropLoadCompletion = 0; // drop the first L1 delivery
+    MemoryImage mem;
+    const SimReport r = runKernel(cfg, mem, kernel(barrierProgram(),
+                                                   2, 64));
+    EXPECT_EQ(r.exitStatus, ExitStatus::Deadlock);
+    EXPECT_LT(r.cycles, 100'000u);
+    EXPECT_NE(r.diagnostic.find("token leak"), std::string::npos)
+        << r.diagnostic;
+}
+
+TEST(Watchdog, CleanRunCompletes)
+{
+    // The watchdog is a pure observer: a healthy kernel completes
+    // with an empty diagnostic and the same results as ever.
+    MemoryImage mem;
+    const SimReport r = runKernel(watchdogCfg(), mem,
+                                  kernel(barrierProgram(), 4, 64));
+    EXPECT_EQ(r.exitStatus, ExitStatus::Completed);
+    EXPECT_TRUE(r.diagnostic.empty());
+    for (int t = 0; t < 4 * 64; ++t)
+        EXPECT_EQ(mem.read32(0x200000 + 4ull * t), 1u);
+}
+
+TEST(Watchdog, DisabledWatchdogBurnsToTimeout)
+{
+    GpuConfig cfg = watchdogCfg();
+    cfg.watchdogInterval = 0; // disabled
+    cfg.faults.dropBarrierArrival = 0;
+    cfg.maxCycles = 20'000;
+    MemoryImage mem;
+    const SimReport r = runKernel(cfg, mem, kernel(barrierProgram(),
+                                                   2, 64));
+    EXPECT_EQ(r.exitStatus, ExitStatus::Timeout);
+    EXPECT_TRUE(r.timedOut);
+    EXPECT_EQ(r.cycles, 20'000u);
+}
+
+TEST(Watchdog, DeadlockReportStillCarriesProgress)
+{
+    // The deadlock report is a real report: instructions retired
+    // before the wedge are still counted.
+    GpuConfig cfg = watchdogCfg();
+    cfg.faults.dropBarrierArrival = 0;
+    MemoryImage mem;
+    const SimReport r = runKernel(cfg, mem, kernel(barrierProgram(),
+                                                   2, 64));
+    EXPECT_EQ(r.exitStatus, ExitStatus::Deadlock);
+    EXPECT_GT(r.instructions, 0u);
+}
+
+} // namespace
+} // namespace cawa
