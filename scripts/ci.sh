@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI entry point: configure + build the default (RelWithDebInfo) and
+# check (Debug + sanitizers + deepest audits) presets, run the tier-1
+# test suite on the default build, then run the checkpoint-labelled
+# suites again under the check preset, where every restore is audited
+# at CAWA_CHECK=2 and sim_assert failures throw.
+#
+# Usage: scripts/ci.sh [-j N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+while getopts "j:" opt; do
+    case "$opt" in
+      j) jobs="$OPTARG" ;;
+      *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+    esac
+done
+
+run() {
+    echo "ci: $*" >&2
+    "$@"
+}
+
+run cmake --preset default
+run cmake --build --preset default -j "$jobs"
+
+run cmake --preset check
+run cmake --build --preset check -j "$jobs"
+
+# Tier-1: the full suite on the default build.
+run ctest --preset default -j "$jobs"
+
+# Snapshot/restore suites under sanitizers + deep audits.
+run ctest --preset check -L checkpoint -j "$jobs"
+
+# Checkpoint corruption fuzz: every flipped bit must be rejected.
+run ./build/src/tools/cawa_fuzz --seeds 10 --ckpt-seeds 5
+
+echo "ci: all green" >&2

@@ -15,10 +15,37 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hh"
+#include "common/sim_error.hh"
 #include "common/types.hh"
 
 namespace cawa
 {
+
+/**
+ * Checkpoint helpers for fixed-geometry counter tables (CCBP/SHiP).
+ * The table size is config-derived, so loading verifies it instead
+ * of resizing: a size mismatch means the checkpoint was written
+ * under a different configuration.
+ */
+inline void
+saveCounterTable(OutArchive &ar, const std::vector<std::uint8_t> &t)
+{
+    ar.putBytes(t.data(), t.size());
+}
+
+inline void
+loadCounterTable(InArchive &ar, std::vector<std::uint8_t> &t)
+{
+    const std::vector<std::uint8_t> in = ar.getBytes();
+    if (in.size() != t.size())
+        throw SimError(SimErrorKind::Checkpoint,
+                       "section '" + ar.section() +
+                           "': counter table size mismatch (file " +
+                           std::to_string(in.size()) + ", config " +
+                           std::to_string(t.size()) + ")");
+    t = in;
+}
 
 /** Signature used by both CCBP and SHiP tables. */
 using CacheSignature = std::uint16_t;
@@ -53,6 +80,10 @@ class CcbpTable
     std::uint8_t counter(CacheSignature sig) const;
 
     int entries() const { return static_cast<int>(table_.size()); }
+
+    /** Checkpoint the counter array (geometry is config-derived). */
+    void save(OutArchive &ar) const { saveCounterTable(ar, table_); }
+    void load(InArchive &ar) { loadCounterTable(ar, table_); }
 
   private:
     std::size_t index(CacheSignature sig) const

@@ -213,4 +213,61 @@ CriticalityPredictor::stallCycles(WarpSlot slot) const
     return slots_.at(slot).nStall;
 }
 
+void
+CriticalityPredictor::save(OutArchive &ar) const
+{
+    ar.putU32(static_cast<std::uint32_t>(slots_.size()));
+    for (const SlotState &st : slots_) {
+        ar.putBool(st.active);
+        ar.putBool(st.finished);
+        ar.putU32(st.blockTag);
+        ar.putI64(st.nInst);
+        ar.putI64(st.pathInst);
+        ar.putU64(st.nStall);
+        ar.putU64(st.issued);
+        ar.putU64(st.startCycle);
+        ar.putU64(st.lastIssue);
+    }
+    std::vector<std::uint32_t> tags;
+    tags.reserve(blockAggs_.size());
+    for (const auto &[tag, agg] : blockAggs_)
+        tags.push_back(tag);
+    std::sort(tags.begin(), tags.end());
+    ar.putU32(static_cast<std::uint32_t>(tags.size()));
+    for (std::uint32_t tag : tags) {
+        const BlockAgg &agg = blockAggs_.at(tag);
+        ar.putU32(tag);
+        ar.putI64(agg.sum);
+        ar.putU32(static_cast<std::uint32_t>(agg.count));
+    }
+}
+
+void
+CriticalityPredictor::load(InArchive &ar)
+{
+    const std::uint32_t num_slots = ar.getU32();
+    sim_assert(num_slots == slots_.size());
+    for (SlotState &st : slots_) {
+        st.active = ar.getBool();
+        st.finished = ar.getBool();
+        st.blockTag = ar.getU32();
+        st.nInst = ar.getI64();
+        st.pathInst = ar.getI64();
+        st.nStall = ar.getU64();
+        st.issued = ar.getU64();
+        st.startCycle = ar.getU64();
+        st.lastIssue = ar.getU64();
+        st.invalidateCache();
+    }
+    blockAggs_.clear();
+    const std::uint32_t num_aggs = ar.getU32();
+    for (std::uint32_t i = 0; i < num_aggs; ++i) {
+        const std::uint32_t tag = ar.getU32();
+        BlockAgg agg;
+        agg.sum = ar.getI64();
+        agg.count = static_cast<int>(ar.getU32());
+        blockAggs_.emplace(tag, agg);
+    }
+}
+
 } // namespace cawa

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace cawa
@@ -140,6 +141,15 @@ class CriticalityPredictor : public CriticalityInfo
                                     std::uint32_t target_pc,
                                     std::uint32_t reconv_pc, bool taken,
                                     bool diverged);
+
+    /**
+     * Checkpoint slot counters and block aggregates. The memoized
+     * criticality/priority caches are recomputed lazily after load.
+     * Block aggregates are written sorted by tag for deterministic
+     * bytes (map iteration order is incidental).
+     */
+    void save(OutArchive &ar) const;
+    void load(InArchive &ar);
 
   private:
     struct SlotState

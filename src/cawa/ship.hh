@@ -40,6 +40,10 @@ class ShipTable
 
     int entries() const { return static_cast<int>(table_.size()); }
 
+    /** Checkpoint the counter array (geometry is config-derived). */
+    void save(OutArchive &ar) const { saveCounterTable(ar, table_); }
+    void load(InArchive &ar) { loadCounterTable(ar, table_); }
+
   private:
     std::size_t index(CacheSignature sig) const
     {

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "common/serialize.hh"
+
 namespace cawa
 {
 
@@ -42,6 +44,19 @@ class Rng
      * Used by workload generators to create imbalanced task sizes.
      */
     std::uint64_t nextPareto(double alpha, std::uint64_t max);
+
+    /** Checkpoint the full generator state. */
+    void save(OutArchive &ar) const
+    {
+        for (std::uint64_t word : s_)
+            ar.putU64(word);
+    }
+
+    void load(InArchive &ar)
+    {
+        for (std::uint64_t &word : s_)
+            word = ar.getU64();
+    }
 
   private:
     std::uint64_t s_[4];

@@ -1,0 +1,189 @@
+#include "common/serialize.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/sim_error.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::uint32_t
+crc32(const std::string &s)
+{
+    return crc32(reinterpret_cast<const std::uint8_t *>(s.data()),
+                 s.size());
+}
+
+void
+OutArchive::putU16(std::uint16_t v)
+{
+    putU8(static_cast<std::uint8_t>(v));
+    putU8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+OutArchive::putU32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        putU8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+OutArchive::putU64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        putU8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+OutArchive::putDouble(double v)
+{
+    static_assert(sizeof(double) == 8);
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(bits);
+}
+
+void
+OutArchive::putBytes(const std::uint8_t *data, std::size_t size)
+{
+    putU32(static_cast<std::uint32_t>(size));
+    buf_.insert(buf_.end(), data, data + size);
+}
+
+void
+OutArchive::putString(const std::string &s)
+{
+    putBytes(reinterpret_cast<const std::uint8_t *>(s.data()),
+             s.size());
+}
+
+InArchive::InArchive(const std::uint8_t *data, std::size_t size,
+                     std::string section)
+    : data_(data), size_(size), section_(std::move(section))
+{
+}
+
+void
+InArchive::fail(const std::string &what) const
+{
+    throw SimError(SimErrorKind::Checkpoint,
+                   "section '" + section_ + "' at byte offset " +
+                       std::to_string(pos_) + ": " + what);
+}
+
+void
+InArchive::need(std::size_t n) const
+{
+    if (size_ - pos_ < n)
+        fail("truncated (need " + std::to_string(n) + " bytes, " +
+             std::to_string(size_ - pos_) + " remain)");
+}
+
+std::uint8_t
+InArchive::getU8()
+{
+    need(1);
+    return data_[pos_++];
+}
+
+std::uint16_t
+InArchive::getU16()
+{
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+        v |= static_cast<std::uint16_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t
+InArchive::getU32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+InArchive::getU64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+double
+InArchive::getDouble()
+{
+    const std::uint64_t bits = getU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::vector<std::uint8_t>
+InArchive::getBytes()
+{
+    const std::uint32_t n = getU32();
+    need(n);
+    std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+}
+
+std::string
+InArchive::getString()
+{
+    const std::uint32_t n = getU32();
+    need(n);
+    std::string out(reinterpret_cast<const char *>(data_ + pos_), n);
+    pos_ += n;
+    return out;
+}
+
+void
+InArchive::expectEnd() const
+{
+    if (pos_ != size_)
+        fail("trailing bytes (" + std::to_string(size_ - pos_) +
+             " unread)");
+}
+
+} // namespace cawa

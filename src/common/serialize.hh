@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Binary archive layer for cycle-exact checkpoints.
+ *
+ * OutArchive appends fixed-width little-endian primitives to a byte
+ * buffer; InArchive reads them back with bounds checking. Every
+ * read failure throws a SimError of kind Checkpoint that names the
+ * section being decoded and the byte offset where decoding fell off
+ * the end, so a truncated or corrupt checkpoint file produces an
+ * actionable diagnostic instead of garbage state.
+ *
+ * The encoding is deliberately boring: no varints, no alignment, no
+ * endianness detection. Fixed-width little-endian everywhere makes
+ * the format trivially stable across builds of the simulator on the
+ * platforms we care about, and the per-section CRC32 (see
+ * sim/checkpoint.hh) catches corruption that bounds checks cannot.
+ */
+
+#ifndef CAWA_COMMON_SERIALIZE_HH
+#define CAWA_COMMON_SERIALIZE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cawa
+{
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected) over a byte range. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+/** Convenience overload for strings (used for program hashes). */
+std::uint32_t crc32(const std::string &s);
+
+/** Append-only little-endian byte sink. */
+class OutArchive
+{
+  public:
+    void putU8(std::uint8_t v) { buf_.push_back(v); }
+    void putBool(bool v) { putU8(v ? 1 : 0); }
+    void putU16(std::uint16_t v);
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    void putI64(std::int64_t v)
+    {
+        putU64(static_cast<std::uint64_t>(v));
+    }
+    void putDouble(double v);
+    /** Length-prefixed (u32) raw bytes. */
+    void putBytes(const std::uint8_t *data, std::size_t size);
+    /** Length-prefixed (u32) string. */
+    void putString(const std::string &s);
+
+    const std::uint8_t *data() const { return buf_.data(); }
+    std::size_t size() const { return buf_.size(); }
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Bounds-checked little-endian reader over a borrowed byte range.
+ * The buffer must outlive the archive. All getters throw
+ * SimError(Checkpoint) naming @p section and the current byte
+ * offset when the requested read would run past the end.
+ */
+class InArchive
+{
+  public:
+    InArchive(const std::uint8_t *data, std::size_t size,
+              std::string section);
+
+    std::uint8_t getU8();
+    bool getBool() { return getU8() != 0; }
+    std::uint16_t getU16();
+    std::uint32_t getU32();
+    std::uint64_t getU64();
+    std::int64_t getI64()
+    {
+        return static_cast<std::int64_t>(getU64());
+    }
+    double getDouble();
+    /** Read a u32 length prefix, then that many raw bytes. */
+    std::vector<std::uint8_t> getBytes();
+    std::string getString();
+
+    std::size_t offset() const { return pos_; }
+    std::size_t remaining() const { return size_ - pos_; }
+    const std::string &section() const { return section_; }
+
+    /**
+     * Throw unless the archive has been consumed exactly. Called at
+     * the end of every component's load so a format drift (extra or
+     * missing fields) is caught at restore time, not as divergence
+     * a million cycles later.
+     */
+    void expectEnd() const;
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const;
+    void need(std::size_t n) const;
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::string section_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_COMMON_SERIALIZE_HH

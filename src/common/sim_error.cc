@@ -13,6 +13,9 @@ simErrorKindName(SimErrorKind kind)
       case SimErrorKind::Invariant: return "invariant";
       case SimErrorKind::Config: return "config";
       case SimErrorKind::Deadlock: return "deadlock";
+      case SimErrorKind::Checkpoint: return "checkpoint";
+      case SimErrorKind::Walltime: return "walltime";
+      case SimErrorKind::Cancelled: return "cancelled";
     }
     return "?";
 }

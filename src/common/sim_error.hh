@@ -25,10 +25,13 @@ namespace cawa
 
 enum class SimErrorKind
 {
-    Assertion, ///< sim_assert()/sim_panic() in throw-mode
-    Invariant, ///< runtime invariant auditor violation (CAWA_CHECK)
-    Config,    ///< GpuConfig::validate() rejected the configuration
-    Deadlock,  ///< raised by harnesses for watchdog-classified hangs
+    Assertion,  ///< sim_assert()/sim_panic() in throw-mode
+    Invariant,  ///< runtime invariant auditor violation (CAWA_CHECK)
+    Config,     ///< GpuConfig::validate() rejected the configuration
+    Deadlock,   ///< raised by harnesses for watchdog-classified hangs
+    Checkpoint, ///< corrupt/truncated/mismatched checkpoint file
+    Walltime,   ///< job exceeded its wall-clock budget
+    Cancelled,  ///< job aborted by a cooperative cancel request
 };
 
 const char *simErrorKindName(SimErrorKind kind);

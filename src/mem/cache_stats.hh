@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace cawa
@@ -94,7 +95,74 @@ struct CacheStats
     }
 
     void merge(const CacheStats &other);
+
+    /** Checkpoint all counters (perPc is ordered, so byte-stable). */
+    void save(OutArchive &ar) const;
+    void load(InArchive &ar);
 };
+
+inline void
+CacheStats::save(OutArchive &ar) const
+{
+    ar.putU64(accesses);
+    ar.putU64(hits);
+    ar.putU64(misses);
+    ar.putU64(mshrMerges);
+    ar.putU64(mshrRejects);
+    ar.putU64(evictions);
+    ar.putU64(criticalAccesses);
+    ar.putU64(criticalHits);
+    ar.putU64(nonCriticalAccesses);
+    ar.putU64(nonCriticalHits);
+    ar.putU64(zeroReuseEvictions);
+    ar.putU64(zeroReuseCriticalEvictions);
+    ar.putU64(criticalFills);
+    for (std::uint64_t v : reuseDistanceHist)
+        ar.putU64(v);
+    for (std::uint64_t v : criticalReuseDistanceHist)
+        ar.putU64(v);
+    ar.putU32(static_cast<std::uint32_t>(perPc.size()));
+    for (const auto &[pc, st] : perPc) {
+        ar.putU32(pc);
+        ar.putU64(st.fills);
+        ar.putU64(st.hits);
+        ar.putU64(st.zeroReuseEvictions);
+        ar.putU64(st.reusedEvictions);
+    }
+}
+
+inline void
+CacheStats::load(InArchive &ar)
+{
+    accesses = ar.getU64();
+    hits = ar.getU64();
+    misses = ar.getU64();
+    mshrMerges = ar.getU64();
+    mshrRejects = ar.getU64();
+    evictions = ar.getU64();
+    criticalAccesses = ar.getU64();
+    criticalHits = ar.getU64();
+    nonCriticalAccesses = ar.getU64();
+    nonCriticalHits = ar.getU64();
+    zeroReuseEvictions = ar.getU64();
+    zeroReuseCriticalEvictions = ar.getU64();
+    criticalFills = ar.getU64();
+    for (std::uint64_t &v : reuseDistanceHist)
+        v = ar.getU64();
+    for (std::uint64_t &v : criticalReuseDistanceHist)
+        v = ar.getU64();
+    perPc.clear();
+    const std::uint32_t n = ar.getU32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t pc = ar.getU32();
+        PcReuseStats st;
+        st.fills = ar.getU64();
+        st.hits = ar.getU64();
+        st.zeroReuseEvictions = ar.getU64();
+        st.reusedEvictions = ar.getU64();
+        perPc.emplace(pc, st);
+    }
+}
 
 inline void
 CacheStats::merge(const CacheStats &other)

@@ -63,6 +63,28 @@ class CacpPolicy : public ReplacementPolicy
     /** Current critical-partition size (moves when dynamic). */
     int criticalWays() const { return criticalWays_; }
 
+    void saveState(OutArchive &ar) const override
+    {
+        ccbp_.save(ar);
+        ship_.save(ar);
+        ar.putU64(fills_);
+        ar.putU32(static_cast<std::uint32_t>(criticalWays_));
+        ar.putU64(epochFills_);
+        ar.putU64(critHits_);
+        ar.putU64(nonCritHits_);
+    }
+
+    void loadState(InArchive &ar) override
+    {
+        ccbp_.load(ar);
+        ship_.load(ar);
+        fills_ = ar.getU64();
+        criticalWays_ = static_cast<int>(ar.getU32());
+        epochFills_ = ar.getU64();
+        critHits_ = ar.getU64();
+        nonCritHits_ = ar.getU64();
+    }
+
   private:
     /** Whether way index @p way belongs to the critical partition. */
     bool inCriticalWays(int way) const { return way < criticalWays_; }

@@ -41,6 +41,41 @@ class DramModel
      */
     Cycle nextEventCycle(Cycle now) const;
 
+    /** Checkpoint queues, pipeline timing and traffic counters. */
+    void save(OutArchive &ar) const
+    {
+        ar.putU64(nextFree_);
+        ar.putU32(static_cast<std::uint32_t>(requests_.size()));
+        for (const MemMsg &msg : requests_)
+            saveMemMsg(ar, msg);
+        ar.putU32(static_cast<std::uint32_t>(responses_.size()));
+        for (const InFlight &r : responses_) {
+            ar.putU64(r.ready);
+            saveMemMsg(ar, r.msg);
+        }
+        ar.putU64(reads);
+        ar.putU64(writes);
+    }
+
+    void load(InArchive &ar)
+    {
+        nextFree_ = ar.getU64();
+        requests_.clear();
+        const std::uint32_t num_requests = ar.getU32();
+        for (std::uint32_t i = 0; i < num_requests; ++i)
+            requests_.push_back(loadMemMsg(ar));
+        responses_.clear();
+        const std::uint32_t num_responses = ar.getU32();
+        for (std::uint32_t i = 0; i < num_responses; ++i) {
+            InFlight r;
+            r.ready = ar.getU64();
+            r.msg = loadMemMsg(ar);
+            responses_.push_back(r);
+        }
+        reads = ar.getU64();
+        writes = ar.getU64();
+    }
+
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
 

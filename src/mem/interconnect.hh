@@ -41,6 +41,23 @@ class Interconnect
      */
     Cycle nextEventCycle(Cycle now) const;
 
+    /** Checkpoint both direction queues and traffic counters. */
+    void save(OutArchive &ar) const
+    {
+        saveQueue(ar, toL2_);
+        saveQueue(ar, toSm_);
+        ar.putU64(messagesToL2);
+        ar.putU64(messagesToSm);
+    }
+
+    void load(InArchive &ar)
+    {
+        loadQueue(ar, toL2_);
+        loadQueue(ar, toSm_);
+        messagesToL2 = ar.getU64();
+        messagesToSm = ar.getU64();
+    }
+
     std::uint64_t messagesToL2 = 0;
     std::uint64_t messagesToSm = 0;
 
@@ -52,6 +69,28 @@ class Interconnect
     };
 
     std::vector<MemMsg> pop(std::deque<InFlight> &queue, Cycle now);
+
+    static void saveQueue(OutArchive &ar,
+                          const std::deque<InFlight> &queue)
+    {
+        ar.putU32(static_cast<std::uint32_t>(queue.size()));
+        for (const InFlight &f : queue) {
+            ar.putU64(f.ready);
+            saveMemMsg(ar, f.msg);
+        }
+    }
+
+    static void loadQueue(InArchive &ar, std::deque<InFlight> &queue)
+    {
+        queue.clear();
+        const std::uint32_t n = ar.getU32();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            InFlight f;
+            f.ready = ar.getU64();
+            f.msg = loadMemMsg(ar);
+            queue.push_back(f);
+        }
+    }
 
     Cycle latency_;
     int width_;

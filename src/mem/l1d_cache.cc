@@ -191,4 +191,78 @@ L1DCache::idle() const
     return mshrs_.empty() && completed_.empty() && outgoing_.empty();
 }
 
+void
+L1DCache::save(OutArchive &ar) const
+{
+    tags_.save(ar);
+    policy_->saveState(ar);
+
+    std::vector<Addr> addrs;
+    addrs.reserve(mshrs_.size());
+    for (const auto &[addr, mshr] : mshrs_)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    ar.putU32(static_cast<std::uint32_t>(addrs.size()));
+    for (Addr addr : addrs) {
+        const Mshr &mshr = mshrs_.at(addr);
+        ar.putU64(addr);
+        saveAccessInfo(ar, mshr.primary);
+        ar.putU32(static_cast<std::uint32_t>(mshr.tokens.size()));
+        for (std::uint64_t tok : mshr.tokens)
+            ar.putU64(tok);
+    }
+
+    ar.putU32(static_cast<std::uint32_t>(completed_.size()));
+    for (const Pending &p : completed_) {
+        ar.putU64(p.ready);
+        ar.putU64(p.token);
+        ar.putBool(p.wasMiss);
+    }
+    ar.putU64(minCompletedReady_);
+
+    ar.putU32(static_cast<std::uint32_t>(outgoing_.size()));
+    for (const MemMsg &msg : outgoing_)
+        saveMemMsg(ar, msg);
+
+    stats_.save(ar);
+}
+
+void
+L1DCache::load(InArchive &ar)
+{
+    tags_.load(ar);
+    policy_->loadState(ar);
+
+    mshrs_.clear();
+    const std::uint32_t num_mshrs = ar.getU32();
+    for (std::uint32_t i = 0; i < num_mshrs; ++i) {
+        const Addr addr = ar.getU64();
+        Mshr mshr;
+        mshr.primary = loadAccessInfo(ar);
+        const std::uint32_t num_tokens = ar.getU32();
+        mshr.tokens.reserve(num_tokens);
+        for (std::uint32_t t = 0; t < num_tokens; ++t)
+            mshr.tokens.push_back(ar.getU64());
+        mshrs_.emplace(addr, std::move(mshr));
+    }
+
+    completed_.clear();
+    const std::uint32_t num_completed = ar.getU32();
+    for (std::uint32_t i = 0; i < num_completed; ++i) {
+        Pending p;
+        p.ready = ar.getU64();
+        p.token = ar.getU64();
+        p.wasMiss = ar.getBool();
+        completed_.push_back(p);
+    }
+    minCompletedReady_ = ar.getU64();
+
+    outgoing_.clear();
+    const std::uint32_t num_outgoing = ar.getU32();
+    for (std::uint32_t i = 0; i < num_outgoing; ++i)
+        outgoing_.push_back(loadMemMsg(ar));
+
+    stats_.load(ar);
+}
+
 } // namespace cawa

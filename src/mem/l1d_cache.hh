@@ -88,6 +88,16 @@ class L1DCache
         return numMshrs_ - static_cast<int>(mshrs_.size());
     }
 
+    /**
+     * Checkpoint tags, policy state, MSHRs, queued completions,
+     * outgoing traffic and statistics. MSHRs are written sorted by
+     * line address: their map iteration order is incidental and
+     * never observable by the sim, so sorting keeps the checkpoint
+     * bytes deterministic.
+     */
+    void save(OutArchive &ar) const;
+    void load(InArchive &ar);
+
     // --- Watchdog / invariant-audit introspection (read-only) ---
 
     /** MSHR entries still waiting on a fill from the L2 side. */

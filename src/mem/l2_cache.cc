@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/sim_assert.hh"
+#include "common/sim_error.hh"
 
 namespace cawa
 {
@@ -177,6 +178,86 @@ L2Cache::idle() const
         if (!bank.inQueue.empty() || !bank.mshrs.empty())
             return false;
     return true;
+}
+
+void
+L2Cache::save(OutArchive &ar) const
+{
+    ar.putU32(static_cast<std::uint32_t>(banks_.size()));
+    for (const Bank &bank : banks_) {
+        bank.tags->save(ar);
+        bank.policy->saveState(ar);
+
+        ar.putU32(static_cast<std::uint32_t>(bank.inQueue.size()));
+        for (const MemMsg &msg : bank.inQueue)
+            saveMemMsg(ar, msg);
+
+        std::vector<Addr> addrs;
+        addrs.reserve(bank.mshrs.size());
+        for (const auto &[addr, waiting] : bank.mshrs)
+            addrs.push_back(addr);
+        std::sort(addrs.begin(), addrs.end());
+        ar.putU32(static_cast<std::uint32_t>(addrs.size()));
+        for (Addr addr : addrs) {
+            const std::vector<MemMsg> &waiting = bank.mshrs.at(addr);
+            ar.putU64(addr);
+            ar.putU32(static_cast<std::uint32_t>(waiting.size()));
+            for (const MemMsg &msg : waiting)
+                saveMemMsg(ar, msg);
+        }
+    }
+
+    ar.putU32(static_cast<std::uint32_t>(responses_.size()));
+    for (const PendingResponse &r : responses_) {
+        ar.putU64(r.ready);
+        saveMemMsg(ar, r.msg);
+    }
+    ar.putU64(minResponseReady_);
+    stats_.save(ar);
+}
+
+void
+L2Cache::load(InArchive &ar)
+{
+    const std::uint32_t num_banks = ar.getU32();
+    if (num_banks != banks_.size())
+        throw SimError(SimErrorKind::Checkpoint,
+                       "section '" + ar.section() +
+                           "': L2 bank count mismatch (file " +
+                           std::to_string(num_banks) + ", config " +
+                           std::to_string(banks_.size()) + ")");
+    for (Bank &bank : banks_) {
+        bank.tags->load(ar);
+        bank.policy->loadState(ar);
+
+        bank.inQueue.clear();
+        const std::uint32_t queued = ar.getU32();
+        for (std::uint32_t i = 0; i < queued; ++i)
+            bank.inQueue.push_back(loadMemMsg(ar));
+
+        bank.mshrs.clear();
+        const std::uint32_t num_mshrs = ar.getU32();
+        for (std::uint32_t i = 0; i < num_mshrs; ++i) {
+            const Addr addr = ar.getU64();
+            std::vector<MemMsg> waiting;
+            const std::uint32_t n = ar.getU32();
+            waiting.reserve(n);
+            for (std::uint32_t k = 0; k < n; ++k)
+                waiting.push_back(loadMemMsg(ar));
+            bank.mshrs.emplace(addr, std::move(waiting));
+        }
+    }
+
+    responses_.clear();
+    const std::uint32_t num_responses = ar.getU32();
+    for (std::uint32_t i = 0; i < num_responses; ++i) {
+        PendingResponse r;
+        r.ready = ar.getU64();
+        r.msg = loadMemMsg(ar);
+        responses_.push_back(r);
+    }
+    minResponseReady_ = ar.getU64();
+    stats_.load(ar);
 }
 
 } // namespace cawa

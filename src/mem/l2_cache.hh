@@ -68,6 +68,16 @@ class L2Cache
 
     int bankOf(Addr line_addr) const;
 
+    /**
+     * Checkpoint every bank (tags, policy stamps, input queue, MSHR
+     * wait lists) plus the response queue and statistics. MSHR keys
+     * are written sorted by line address for deterministic bytes;
+     * each wait list keeps its in-vector order, which is the wakeup
+     * order and therefore observable.
+     */
+    void save(OutArchive &ar) const;
+    void load(InArchive &ar);
+
   private:
     struct Bank
     {

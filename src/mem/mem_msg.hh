@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace cawa
@@ -21,6 +22,26 @@ struct MemMsg
     bool isStore = false;
     std::uint32_t pc = 0;
 };
+
+inline void
+saveMemMsg(OutArchive &ar, const MemMsg &m)
+{
+    ar.putU64(m.lineAddr);
+    ar.putU32(static_cast<std::uint32_t>(m.smId));
+    ar.putBool(m.isStore);
+    ar.putU32(m.pc);
+}
+
+inline MemMsg
+loadMemMsg(InArchive &ar)
+{
+    MemMsg m;
+    m.lineAddr = ar.getU64();
+    m.smId = static_cast<int>(ar.getU32());
+    m.isStore = ar.getBool();
+    m.pc = ar.getU32();
+    return m;
+}
 
 } // namespace cawa
 

@@ -1,5 +1,7 @@
 #include "mem/memory_image.hh"
 
+#include <algorithm>
+
 namespace cawa
 {
 
@@ -60,6 +62,33 @@ MemoryImage::write64(Addr addr, std::uint64_t value)
 {
     write32(addr, static_cast<std::uint32_t>(value));
     write32(addr + 4, static_cast<std::uint32_t>(value >> 32));
+}
+
+void
+MemoryImage::save(OutArchive &ar) const
+{
+    std::vector<Addr> ids;
+    ids.reserve(pages_.size());
+    for (const auto &[id, page] : pages_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    ar.putU32(static_cast<std::uint32_t>(ids.size()));
+    for (Addr id : ids) {
+        const auto &page = pages_.at(id);
+        ar.putU64(id);
+        ar.putBytes(page.data(), page.size());
+    }
+}
+
+void
+MemoryImage::load(InArchive &ar)
+{
+    pages_.clear();
+    const std::uint32_t n = ar.getU32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Addr id = ar.getU64();
+        pages_.emplace(id, ar.getBytes());
+    }
 }
 
 } // namespace cawa

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace cawa
@@ -37,6 +38,14 @@ class MemoryImage
 
     /** Number of allocated (touched) pages; for tests. */
     std::size_t numPages() const { return pages_.size(); }
+
+    /**
+     * Checkpoint the full sparse image. Pages are written sorted by
+     * page id (map iteration order is incidental); load replaces the
+     * current contents wholesale.
+     */
+    void save(OutArchive &ar) const;
+    void load(InArchive &ar);
 
   private:
     const std::vector<std::uint8_t> *findPage(Addr addr) const;

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "cawa/ship.hh"
+#include "common/serialize.hh"
 #include "mem/tag_array.hh"
 
 namespace cawa
@@ -28,6 +29,28 @@ struct AccessInfo
     bool criticalWarp = false;  ///< CPL classification at access time
     bool isStore = false;
 };
+
+inline void
+saveAccessInfo(OutArchive &ar, const AccessInfo &info)
+{
+    ar.putU64(info.addr);
+    ar.putU32(info.pc);
+    ar.putU32(static_cast<std::uint32_t>(info.warp));
+    ar.putBool(info.criticalWarp);
+    ar.putBool(info.isStore);
+}
+
+inline AccessInfo
+loadAccessInfo(InArchive &ar)
+{
+    AccessInfo info;
+    info.addr = ar.getU64();
+    info.pc = ar.getU32();
+    info.warp = static_cast<WarpSlot>(ar.getU32());
+    info.criticalWarp = ar.getBool();
+    info.isStore = ar.getBool();
+    return info;
+}
 
 /**
  * Victim selection and replacement-state maintenance for one cache.
@@ -58,6 +81,16 @@ class ReplacementPolicy
     virtual void onEvict(TagArray &tags, std::uint32_t set, int way) = 0;
 
     virtual std::string name() const = 0;
+
+    /**
+     * Checkpoint the policy's own replacement/training state. Line
+     * metadata (rrpv, lruStamp, signature, ...) lives in the
+     * TagArray and is serialized there; these hooks cover only
+     * policy-private counters. Stateless policies keep the no-op
+     * defaults.
+     */
+    virtual void saveState(OutArchive &ar) const { (void)ar; }
+    virtual void loadState(InArchive &ar) { (void)ar; }
 };
 
 /** Classic least-recently-used. */
@@ -72,6 +105,12 @@ class LruPolicy : public ReplacementPolicy
                const AccessInfo &info) override;
     void onEvict(TagArray &tags, std::uint32_t set, int way) override;
     std::string name() const override { return "lru"; }
+
+    void saveState(OutArchive &ar) const override
+    {
+        ar.putU64(stamp_);
+    }
+    void loadState(InArchive &ar) override { stamp_ = ar.getU64(); }
 
   private:
     std::uint64_t stamp_ = 0;
@@ -118,6 +157,17 @@ class ShipPolicy : public ReplacementPolicy
     std::string name() const override { return "ship"; }
 
     const ShipTable &table() const { return ship_; }
+
+    void saveState(OutArchive &ar) const override
+    {
+        ship_.save(ar);
+        ar.putU64(fills_);
+    }
+    void loadState(InArchive &ar) override
+    {
+        ship_.load(ar);
+        fills_ = ar.getU64();
+    }
 
   private:
     ShipTable ship_;

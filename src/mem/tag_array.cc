@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/sim_assert.hh"
+#include "common/sim_error.hh"
 
 namespace cawa
 {
@@ -83,6 +84,64 @@ TagArray::validCount(std::uint32_t set) const
         if (line(set, w).valid)
             n++;
     return n;
+}
+
+void
+TagArray::save(OutArchive &ar) const
+{
+    ar.putU32(static_cast<std::uint32_t>(sets_));
+    ar.putU32(static_cast<std::uint32_t>(ways_));
+    ar.putU32(static_cast<std::uint32_t>(lineBytes_));
+    for (const CacheLine &l : lines_) {
+        ar.putBool(l.valid);
+        ar.putU64(l.tag);
+        ar.putU8(l.rrpv);
+        ar.putU64(l.lruStamp);
+        ar.putU16(l.signature);
+        ar.putBool(l.cReuse);
+        ar.putBool(l.ncReuse);
+        ar.putBool(l.inCriticalPartition);
+        ar.putU32(l.fillPc);
+        ar.putBool(l.fillByCritical);
+        ar.putU64(l.lastTouchSeq);
+        ar.putU32(l.reuseCount);
+    }
+    for (std::uint64_t seq : setSeq_)
+        ar.putU64(seq);
+}
+
+void
+TagArray::load(InArchive &ar)
+{
+    const auto sets = static_cast<int>(ar.getU32());
+    const auto ways = static_cast<int>(ar.getU32());
+    const auto line_bytes = static_cast<int>(ar.getU32());
+    if (sets != sets_ || ways != ways_ || line_bytes != lineBytes_)
+        throw SimError(SimErrorKind::Checkpoint,
+                       "section '" + ar.section() +
+                           "': cache geometry mismatch (file " +
+                           std::to_string(sets) + "x" +
+                           std::to_string(ways) + "x" +
+                           std::to_string(line_bytes) + ", config " +
+                           std::to_string(sets_) + "x" +
+                           std::to_string(ways_) + "x" +
+                           std::to_string(lineBytes_) + ")");
+    for (CacheLine &l : lines_) {
+        l.valid = ar.getBool();
+        l.tag = ar.getU64();
+        l.rrpv = ar.getU8();
+        l.lruStamp = ar.getU64();
+        l.signature = ar.getU16();
+        l.cReuse = ar.getBool();
+        l.ncReuse = ar.getBool();
+        l.inCriticalPartition = ar.getBool();
+        l.fillPc = ar.getU32();
+        l.fillByCritical = ar.getBool();
+        l.lastTouchSeq = ar.getU64();
+        l.reuseCount = ar.getU32();
+    }
+    for (std::uint64_t &seq : setSeq_)
+        seq = ar.getU64();
 }
 
 } // namespace cawa

@@ -65,6 +65,14 @@ class TagArray
     /** Count valid lines in a set (tests/invariants). */
     int validCount(std::uint32_t set) const;
 
+    /**
+     * Checkpoint every line plus the per-set sequence counters.
+     * Geometry (sets/ways/lineBytes) is config-derived and verified
+     * on load rather than restored.
+     */
+    void save(OutArchive &ar) const;
+    void load(InArchive &ar);
+
   private:
     int sets_;
     int ways_;

@@ -26,6 +26,15 @@ class GcawsScheduler : public WarpScheduler
     void notifyDeactivated(WarpSlot slot) override;
     std::string name() const override { return "gcaws"; }
 
+    void saveState(OutArchive &ar) const override
+    {
+        ar.putU32(static_cast<std::uint32_t>(current_));
+    }
+    void loadState(InArchive &ar) override
+    {
+        current_ = static_cast<WarpSlot>(ar.getU32());
+    }
+
   private:
     WarpSlot current_ = kNoWarp;
 };

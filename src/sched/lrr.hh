@@ -22,6 +22,15 @@ class LrrScheduler : public WarpScheduler
     void notifyIssued(WarpSlot slot) override;
     std::string name() const override { return "rr"; }
 
+    void saveState(OutArchive &ar) const override
+    {
+        ar.putU32(static_cast<std::uint32_t>(last_));
+    }
+    void loadState(InArchive &ar) override
+    {
+        last_ = static_cast<WarpSlot>(ar.getU32());
+    }
+
   private:
     int numSlots_;
     WarpSlot last_ = kNoWarp;

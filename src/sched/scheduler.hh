@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace cawa
@@ -72,6 +73,13 @@ class WarpScheduler
     virtual void notifyDeactivated(WarpSlot slot) { (void)slot; }
 
     virtual std::string name() const = 0;
+
+    /**
+     * Checkpoint policy-private selection state (greedy pointers,
+     * active sets, ...). Stateless policies keep the no-op defaults.
+     */
+    virtual void saveState(OutArchive &ar) const { (void)ar; }
+    virtual void loadState(InArchive &ar) { (void)ar; }
 };
 
 /**

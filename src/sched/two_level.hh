@@ -41,6 +41,30 @@ class TwoLevelScheduler : public WarpScheduler
         return static_cast<int>(active_.size());
     }
 
+    void saveState(OutArchive &ar) const override
+    {
+        ar.putU32(static_cast<std::uint32_t>(active_.size()));
+        for (WarpSlot slot : active_)
+            ar.putU32(static_cast<std::uint32_t>(slot));
+        ar.putU32(static_cast<std::uint32_t>(pending_.size()));
+        for (WarpSlot slot : pending_)
+            ar.putU32(static_cast<std::uint32_t>(slot));
+        ar.putU32(static_cast<std::uint32_t>(last_));
+    }
+
+    void loadState(InArchive &ar) override
+    {
+        active_.clear();
+        const std::uint32_t num_active = ar.getU32();
+        for (std::uint32_t i = 0; i < num_active; ++i)
+            active_.push_back(static_cast<WarpSlot>(ar.getU32()));
+        pending_.clear();
+        const std::uint32_t num_pending = ar.getU32();
+        for (std::uint32_t i = 0; i < num_pending; ++i)
+            pending_.push_back(static_cast<WarpSlot>(ar.getU32()));
+        last_ = static_cast<WarpSlot>(ar.getU32());
+    }
+
   private:
     void promoteFromPending();
     void removeEverywhere(WarpSlot slot);

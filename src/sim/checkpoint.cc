@@ -1,0 +1,166 @@
+#include "sim/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/sim_error.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+[[noreturn]] void
+badFile(const std::string &what)
+{
+    throw SimError(SimErrorKind::Checkpoint, what);
+}
+
+} // namespace
+
+void
+CheckpointWriter::add(const std::string &name, const OutArchive &ar)
+{
+    sections_.emplace_back(name, ar.bytes());
+}
+
+std::vector<std::uint8_t>
+CheckpointWriter::finish() const
+{
+    OutArchive out;
+    for (std::size_t i = 0; i < kCheckpointMagicLen; ++i)
+        out.putU8(static_cast<std::uint8_t>(kCheckpointMagic[i]));
+    out.putU32(static_cast<std::uint32_t>(sections_.size()));
+    for (const auto &[name, payload] : sections_) {
+        out.putString(name);
+        out.putU64(payload.size());
+        out.putU32(crc32(payload.data(), payload.size()));
+        for (std::uint8_t b : payload)
+            out.putU8(b);
+    }
+    return out.bytes();
+}
+
+CheckpointReader::CheckpointReader(const std::uint8_t *data,
+                                   std::size_t size)
+{
+    // Framing errors report absolute file offsets; section payloads
+    // opened later report offsets relative to their own payload.
+    InArchive ar(data, size, "checkpoint framing");
+    if (size < kCheckpointMagicLen ||
+        std::memcmp(data, kCheckpointMagic, kCheckpointMagicLen) != 0)
+        badFile("not a checkpoint: bad magic (want '" +
+                std::string(kCheckpointMagic) + "')");
+    for (std::size_t i = 0; i < kCheckpointMagicLen; ++i)
+        ar.getU8();
+
+    const std::uint32_t count = ar.getU32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Section s;
+        s.name = ar.getString();
+        const std::uint64_t payload_size = ar.getU64();
+        const std::uint32_t stored_crc = ar.getU32();
+        const std::size_t at = ar.offset();
+        if (payload_size > ar.remaining())
+            badFile("section '" + s.name + "' at byte offset " +
+                    std::to_string(at) + ": truncated (payload claims " +
+                    std::to_string(payload_size) + " bytes, " +
+                    std::to_string(ar.remaining()) + " remain)");
+        s.data = data + at;
+        s.size = static_cast<std::size_t>(payload_size);
+        const std::uint32_t computed = crc32(s.data, s.size);
+        if (computed != stored_crc)
+            badFile("section '" + s.name + "' at byte offset " +
+                    std::to_string(at) + ": CRC mismatch (stored " +
+                    std::to_string(stored_crc) + ", computed " +
+                    std::to_string(computed) + "): file is corrupt");
+        // Skip over the payload within the framing archive.
+        for (std::size_t k = 0; k < s.size; ++k)
+            ar.getU8();
+        sections_.push_back(std::move(s));
+    }
+    ar.expectEnd();
+}
+
+InArchive
+CheckpointReader::open(const std::string &name) const
+{
+    for (const Section &s : sections_)
+        if (s.name == name)
+            return InArchive(s.data, s.size, name);
+    badFile("checkpoint has no section '" + name +
+            "': written by an incompatible simulator build");
+}
+
+bool
+CheckpointReader::has(const std::string &name) const
+{
+    for (const Section &s : sections_)
+        if (s.name == name)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+CheckpointReader::sectionNames() const
+{
+    std::vector<std::string> names;
+    for (const Section &s : sections_)
+        names.push_back(s.name);
+    return names;
+}
+
+void
+writeCheckpointFile(const std::string &path,
+                    const std::vector<std::uint8_t> &image,
+                    std::int64_t corrupt_byte)
+{
+    std::vector<std::uint8_t> bytes = image;
+    if (corrupt_byte >= 0 && !bytes.empty()) {
+        const std::size_t at =
+            static_cast<std::size_t>(corrupt_byte) % bytes.size();
+        bytes[at] ^= std::uint8_t{1} << (corrupt_byte % 8);
+    }
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        badFile("cannot open '" + tmp + "' for writing");
+    const std::size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (written != bytes.size() || !flushed) {
+        std::remove(tmp.c_str());
+        badFile("short write to '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        badFile("cannot rename '" + tmp + "' over '" + path + "'");
+    }
+}
+
+std::vector<std::uint8_t>
+readCheckpointFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        badFile("cannot open checkpoint '" + path + "'");
+    std::fseek(f, 0, SEEK_END);
+    const long sz = std::ftell(f);
+    if (sz < 0) {
+        std::fclose(f);
+        badFile("cannot size checkpoint '" + path + "'");
+    }
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(sz));
+    const std::size_t got =
+        bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size())
+        badFile("short read from checkpoint '" + path + "'");
+    return bytes;
+}
+
+} // namespace cawa

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Checkpoint container format `cawa-ckpt-v1`.
+ *
+ * A checkpoint file is a magic string followed by a sequence of named
+ * sections, each carrying its own CRC-32:
+ *
+ *     "cawa-ckpt-v1"                 12 raw bytes
+ *     u32  sectionCount
+ *     per section:
+ *         u32  nameLen, name bytes
+ *         u64  payloadSize
+ *         u32  crc32(payload)
+ *         payload bytes
+ *     (end of file -- trailing bytes are rejected)
+ *
+ * The framing carries no per-field redundancy, but every single-bit
+ * corruption anywhere in the file is still detected on read: a flip
+ * in a payload fails that section's CRC; a flip in the magic, the
+ * section count, a name, a size or a stored CRC makes the framing
+ * parse fail (bad magic / truncation / trailing bytes) or the CRC
+ * comparison fail. cawa_fuzz proves this byte by byte.
+ *
+ * Section payloads are produced and consumed by the components' own
+ * save()/load() methods via OutArchive/InArchive (common/serialize.hh);
+ * this layer only frames, checksums and moves bytes to/from disk.
+ */
+
+#ifndef CAWA_SIM_CHECKPOINT_HH
+#define CAWA_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.hh"
+
+namespace cawa
+{
+
+/** File magic; also doubles as the format version tag. */
+inline constexpr char kCheckpointMagic[] = "cawa-ckpt-v1";
+inline constexpr std::size_t kCheckpointMagicLen = 12;
+
+/** Assembles a checkpoint image from named section payloads. */
+class CheckpointWriter
+{
+  public:
+    /** Append @p ar's bytes as section @p name (order is preserved). */
+    void add(const std::string &name, const OutArchive &ar);
+
+    /** Serialize magic + all sections into one file image. */
+    std::vector<std::uint8_t> finish() const;
+
+  private:
+    std::vector<std::pair<std::string, std::vector<std::uint8_t>>>
+        sections_;
+};
+
+/**
+ * Parses and validates a checkpoint image. The constructor checks the
+ * magic, walks every section header, verifies every payload CRC and
+ * rejects trailing bytes; any defect throws SimError (kind
+ * Checkpoint) naming the section and byte offset. The source buffer
+ * must outlive the reader (payload views are borrowed, not copied).
+ */
+class CheckpointReader
+{
+  public:
+    CheckpointReader(const std::uint8_t *data, std::size_t size);
+
+    explicit CheckpointReader(const std::vector<std::uint8_t> &image)
+        : CheckpointReader(image.data(), image.size())
+    {}
+
+    /**
+     * Open section @p name for reading. Throws SimError (kind
+     * Checkpoint) when the section does not exist -- a section list
+     * mismatch means the file was written by an incompatible build.
+     */
+    InArchive open(const std::string &name) const;
+
+    bool has(const std::string &name) const;
+
+    /** Section names in file order (diagnostics). */
+    std::vector<std::string> sectionNames() const;
+
+  private:
+    struct Section
+    {
+        std::string name;
+        const std::uint8_t *data;
+        std::size_t size;
+    };
+
+    std::vector<Section> sections_;
+};
+
+/**
+ * Write @p image to @p path atomically: the bytes go to a `.tmp`
+ * sibling first and are renamed over @p path only after a successful
+ * write+flush, so a crash mid-write can never destroy an existing
+ * good checkpoint. When @p corrupt_byte >= 0, one bit of byte
+ * (corrupt_byte mod image size) is XOR-flipped before writing --
+ * the fault-injection hook behind FaultInjection::corruptCheckpointByte.
+ * Throws SimError (kind Checkpoint) on any I/O failure.
+ */
+void writeCheckpointFile(const std::string &path,
+                         const std::vector<std::uint8_t> &image,
+                         std::int64_t corrupt_byte = -1);
+
+/** Read the whole file; throws SimError (kind Checkpoint) on failure. */
+std::vector<std::uint8_t> readCheckpointFile(const std::string &path);
+
+} // namespace cawa
+
+#endif // CAWA_SIM_CHECKPOINT_HH

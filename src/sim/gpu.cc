@@ -6,6 +6,7 @@
 
 #include "common/sim_assert.hh"
 #include "common/sim_error.hh"
+#include "sim/checkpoint.hh"
 
 namespace cawa
 {
@@ -31,7 +32,54 @@ checkLevelFromEnv(int fallback)
     return fallback;
 }
 
+/**
+ * Cycles per stepUntil() chunk when run() must poll for wall-clock
+ * overrun, cancellation or a checkpoint boundary. Large enough that
+ * the steady_clock read is free relative to the simulated work.
+ */
+constexpr Cycle kInterruptStride = 65536;
+
 } // namespace
+
+/**
+ * Everything that exists only between launch() and finish(). Holding
+ * it behind a unique_ptr lets one Gpu run (or restore) several
+ * kernels sequentially and keeps the checkpoint surface explicit:
+ * saveCheckpoint() serializes exactly this struct plus the memory
+ * image.
+ */
+struct Gpu::Machine
+{
+    const KernelInfo &kernel;
+    std::vector<std::unique_ptr<SmCore>> sms;
+    Interconnect icnt;
+    L2Cache l2;
+    DramModel dram;
+    BlockDispatcher dispatcher;
+    SimReport report;
+    Cycle now = 0;
+    Cycle nextWatchdog = kNoCycle;
+    Cycle nextAudit = kNoCycle;
+    bool done = false;
+
+    Machine(const GpuConfig &cfg, const KernelInfo &k, MemoryImage &mem,
+            const OracleTable *oracle, int check_level)
+        : kernel(k), icnt(cfg.icntLatency, cfg.icntWidth), l2(cfg.l2),
+          dram(cfg.dramLatency, cfg.dramServiceInterval),
+          dispatcher(k.gridDim)
+    {
+        for (int i = 0; i < cfg.numSms; ++i)
+            sms.push_back(
+                std::make_unique<SmCore>(cfg, i, mem, k, oracle));
+        report.kernelName = k.name;
+        report.schedulerName = schedulerKindName(cfg.scheduler);
+        report.cachePolicyName = cachePolicyKindName(cfg.l1Policy);
+        if (cfg.watchdogInterval)
+            nextWatchdog = cfg.watchdogInterval;
+        if (check_level > 0 && cfg.auditInterval)
+            nextAudit = cfg.auditInterval;
+    }
+};
 
 Gpu::Gpu(const GpuConfig &cfg, MemoryImage &mem,
          const OracleTable *oracle)
@@ -42,46 +90,50 @@ Gpu::Gpu(const GpuConfig &cfg, MemoryImage &mem,
     cfg_.validateOrThrow();
 }
 
+Gpu::~Gpu() = default;
+
 void
-Gpu::tick(Cycle now, std::vector<std::unique_ptr<SmCore>> &sms,
-          Interconnect &icnt, L2Cache &l2, DramModel &dram,
-          BlockDispatcher &dispatcher)
+Gpu::tick(Machine &m)
 {
-    dispatcher.dispatch(sms, now);
+    const Cycle now = m.now;
+    m.dispatcher.dispatch(m.sms, now);
 
     // Only tick SMs whose next event is due; a skipped SM settles its
     // per-warp stall accounting for the gap when it next wakes.
-    for (auto &sm : sms)
+    for (auto &sm : m.sms)
         if (!fastForward_ || sm->dueAt(now))
             sm->tick(now);
 
     // Miss/write-through traffic out of the L1s.
-    for (auto &sm : sms)
+    for (auto &sm : m.sms)
         while (sm->hasOutgoing())
-            icnt.pushToL2(sm->popOutgoing(), now);
+            m.icnt.pushToL2(sm->popOutgoing(), now);
 
-    for (const MemMsg &msg : icnt.popToL2(now))
-        l2.pushRequest(msg, now);
+    for (const MemMsg &msg : m.icnt.popToL2(now))
+        m.l2.pushRequest(msg, now);
 
-    l2.tick(now, dram);
-    dram.tick(now);
+    m.l2.tick(now, m.dram);
+    m.dram.tick(now);
 
-    for (const MemMsg &msg : dram.popResponses(now))
-        l2.handleDramResponse(msg, now);
+    for (const MemMsg &msg : m.dram.popResponses(now))
+        m.l2.handleDramResponse(msg, now);
 
-    for (const MemMsg &msg : l2.popResponses(now))
-        icnt.pushToSm(msg, now);
+    for (const MemMsg &msg : m.l2.popResponses(now))
+        m.icnt.pushToSm(msg, now);
 
-    for (const MemMsg &msg : icnt.popToSm(now)) {
+    for (const MemMsg &msg : m.icnt.popToSm(now)) {
         sim_assert(msg.smId >= 0 &&
-                   msg.smId < static_cast<int>(sms.size()));
-        sms[msg.smId]->fillResponse(msg.lineAddr, now);
+                   msg.smId < static_cast<int>(m.sms.size()));
+        m.sms[msg.smId]->fillResponse(msg.lineAddr, now);
     }
 }
 
-SimReport
-Gpu::run(const KernelInfo &kernel)
+void
+Gpu::launch(const KernelInfo &kernel)
 {
+    sim_assert(!machine_);
+    wallStart_ = std::chrono::steady_clock::now();
+
     // Kernel-vs-config compatibility: report these as configuration
     // errors (the harness can contain them to one job), not asserts.
     if (const std::string defect = kernel.program.validate();
@@ -113,39 +165,42 @@ Gpu::run(const KernelInfo &kernel)
                            "SM has " +
                            std::to_string(cfg_.sharedMemBytes));
 
-    std::vector<std::unique_ptr<SmCore>> sms;
-    for (int i = 0; i < cfg_.numSms; ++i)
-        sms.push_back(std::make_unique<SmCore>(cfg_, i, mem_, kernel,
-                                               oracle_));
-    Interconnect icnt(cfg_.icntLatency, cfg_.icntWidth);
-    L2Cache l2(cfg_.l2);
-    DramModel dram(cfg_.dramLatency, cfg_.dramServiceInterval);
-    BlockDispatcher dispatcher(kernel.gridDim);
+    machine_ = std::make_unique<Machine>(cfg_, kernel, mem_, oracle_,
+                                         checkLevel_);
+}
 
-    SimReport report;
-    report.kernelName = kernel.name;
-    report.schedulerName = schedulerKindName(cfg_.scheduler);
-    report.cachePolicyName = cachePolicyKindName(cfg_.l1Policy);
+Cycle
+Gpu::cycle() const
+{
+    sim_assert(machine_);
+    return machine_->now;
+}
+
+bool
+Gpu::stepUntil(Cycle stop)
+{
+    sim_assert(machine_);
+    Machine &m = *machine_;
+    if (m.done)
+        return true;
 
     const Cycle watchdog = cfg_.watchdogInterval;
-    Cycle nextWatchdog = watchdog ? watchdog : kNoCycle;
-    const Cycle auditEvery =
-        checkLevel_ > 0 ? cfg_.auditInterval : 0;
-    Cycle nextAudit = auditEvery ? auditEvery : kNoCycle;
+    const Cycle auditEvery = checkLevel_ > 0 ? cfg_.auditInterval : 0;
 
-    Cycle now = 0;
     for (;;) {
-        tick(now, sms, icnt, l2, dram, dispatcher);
-        now++;
+        if (m.now >= stop)
+            return false;
+        tick(m);
+        m.now++;
 
-        if (now >= cfg_.maxCycles) {
-            report.timedOut = true;
-            report.exitStatus = ExitStatus::Timeout;
+        if (m.now >= cfg_.maxCycles) {
+            m.report.timedOut = true;
+            m.report.exitStatus = ExitStatus::Timeout;
             break;
         }
-        if (dispatcher.allDispatched()) {
-            bool busy = !icnt.idle() || !l2.idle() || !dram.idle();
-            for (const auto &sm : sms)
+        if (m.dispatcher.allDispatched()) {
+            bool busy = !m.icnt.idle() || !m.l2.idle() || !m.dram.idle();
+            for (const auto &sm : m.sms)
                 busy = busy || sm->busy();
             if (!busy)
                 break;
@@ -153,20 +208,20 @@ Gpu::run(const KernelInfo &kernel)
         // Periodic invariant audit (read-only; results stay
         // bit-identical at every level). now-1 is the cycle the tick
         // above just simulated.
-        if (now >= nextAudit) {
-            for (const auto &sm : sms)
-                sm->audit(now - 1, checkLevel_);
-            nextAudit = now + auditEvery;
+        if (m.now >= m.nextAudit) {
+            for (const auto &sm : m.sms)
+                sm->audit(m.now - 1, checkLevel_);
+            m.nextAudit = m.now + auditEvery;
         }
         // Deadlock watchdog: at each boundary run the provable-wedge
         // check and finish early with a classified diagnostic instead
         // of burning to maxCycles.
-        if (now >= nextWatchdog) {
-            if (wedged(sms, icnt, l2, dram, dispatcher)) {
-                recordDeadlock(report, now, sms, dispatcher);
+        if (m.now >= m.nextWatchdog) {
+            if (wedged(m)) {
+                recordDeadlock(m);
                 break;
             }
-            nextWatchdog = now + watchdog;
+            m.nextWatchdog = m.now + watchdog;
         }
         if (!fastForward_)
             continue;
@@ -176,62 +231,359 @@ Gpu::run(const KernelInfo &kernel)
         // charge stalls -- jump straight there. The skipped span is
         // charged lazily by each SM when it next wakes, so every
         // counter lands exactly where flat ticking would put it.
-        Cycle next = nextEventCycle(now, sms, icnt, l2, dram,
-                                    dispatcher);
+        Cycle next = nextEventCycle(m);
         // No component holds any event: either a wedge (report it
         // now) or, with the watchdog disabled, ride the clock to the
         // timeout like the flat-tick path would.
-        if (next == kNoCycle && watchdog &&
-            wedged(sms, icnt, l2, dram, dispatcher)) {
-            recordDeadlock(report, now, sms, dispatcher);
+        if (next == kNoCycle && watchdog && wedged(m)) {
+            recordDeadlock(m);
             break;
         }
+        // The jump never overshoots the caller's stop cycle, so
+        // pauses (and therefore checkpoints) land exactly where
+        // requested; stopping short of an event boundary is harmless
+        // because a tick at an event-free cycle only charges stalls.
         next = std::min(next, static_cast<Cycle>(cfg_.maxCycles));
-        if (next > now) {
-            now = next;
-            if (now >= cfg_.maxCycles) {
-                report.timedOut = true;
-                report.exitStatus = ExitStatus::Timeout;
+        next = std::min(next, stop);
+        if (next > m.now) {
+            m.now = next;
+            if (m.now >= cfg_.maxCycles) {
+                m.report.timedOut = true;
+                m.report.exitStatus = ExitStatus::Timeout;
                 break;
             }
         }
     }
+    m.done = true;
+    return true;
+}
+
+void
+Gpu::checkInterrupts()
+{
+    sim_assert(machine_);
+    if (cfg_.cancelFlag &&
+        cfg_.cancelFlag->load(std::memory_order_relaxed)) {
+        std::string msg =
+            "run cancelled at cycle " + std::to_string(machine_->now);
+        if (!cfg_.checkpointPath.empty()) {
+            saveCheckpoint(cfg_.checkpointPath);
+            msg += "; state saved to '" + cfg_.checkpointPath + "'";
+        }
+        throw SimError(SimErrorKind::Cancelled, msg);
+    }
+    if (cfg_.wallClockLimitSec > 0.0) {
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wallStart_)
+                .count();
+        if (elapsed >= cfg_.wallClockLimitSec) {
+            std::string msg =
+                "wall-clock limit of " +
+                std::to_string(cfg_.wallClockLimitSec) +
+                "s exceeded at cycle " + std::to_string(machine_->now);
+            if (!cfg_.checkpointPath.empty()) {
+                saveCheckpoint(cfg_.checkpointPath);
+                msg += "; state saved to '" + cfg_.checkpointPath + "'";
+            }
+            throw SimError(SimErrorKind::Walltime, msg);
+        }
+    }
+}
+
+void
+Gpu::runToCompletion()
+{
+    sim_assert(machine_);
+    const bool interruptible = cfg_.checkpointInterval > 0 ||
+                               cfg_.wallClockLimitSec > 0.0 ||
+                               cfg_.cancelFlag != nullptr;
+    if (!interruptible) {
+        stepUntil(kNoCycle);
+        return;
+    }
+
+    Cycle nextCkpt = cfg_.checkpointInterval
+        ? machine_->now + cfg_.checkpointInterval : kNoCycle;
+    for (;;) {
+        // Checked at entry too, so a pre-set cancel flag or an
+        // already-blown wall clock never starts a chunk.
+        checkInterrupts();
+        const Cycle stop =
+            std::min(nextCkpt, machine_->now + kInterruptStride);
+        if (stepUntil(stop))
+            return;
+        if (machine_->now >= nextCkpt) {
+            saveCheckpoint(cfg_.checkpointPath);
+            nextCkpt = machine_->now + cfg_.checkpointInterval;
+        }
+    }
+}
+
+SimReport
+Gpu::finish()
+{
+    sim_assert(machine_);
+    Machine &m = *machine_;
 
     // Settle stall accounting for SMs whose final idle stretch was
     // never re-ticked (e.g. timed-out runs).
-    for (auto &sm : sms)
-        sm->finalizeStallAccounting(now);
+    for (auto &sm : m.sms)
+        sm->finalizeStallAccounting(m.now);
 
-    report.cycles = now;
-    for (auto &sm : sms) {
-        report.instructions += sm->issuedInstructions();
-        report.l1.merge(sm->l1Stats());
+    m.report.cycles = m.now;
+    for (auto &sm : m.sms) {
+        m.report.instructions += sm->issuedInstructions();
+        m.report.l1.merge(sm->l1Stats());
         for (auto &rec : sm->takeRetiredBlocks())
-            report.blocks.push_back(std::move(rec));
+            m.report.blocks.push_back(std::move(rec));
         for (const auto &sample : sm->traceSamples())
-            report.trace.push_back(sample);
+            m.report.trace.push_back(sample);
     }
-    report.l2 = l2.stats();
-    report.dramReads = dram.reads;
-    report.dramWrites = dram.writes;
-    report.icntMessages = icnt.messagesToL2 + icnt.messagesToSm;
+    m.report.l2 = m.l2.stats();
+    m.report.dramReads = m.dram.reads;
+    m.report.dramWrites = m.dram.writes;
+    m.report.icntMessages = m.icnt.messagesToL2 + m.icnt.messagesToSm;
+
+    SimReport report = std::move(m.report);
+    machine_.reset();
     return report;
 }
 
-Cycle
-Gpu::nextEventCycle(Cycle now,
-                    const std::vector<std::unique_ptr<SmCore>> &sms,
-                    const Interconnect &icnt, const L2Cache &l2,
-                    const DramModel &dram,
-                    const BlockDispatcher &dispatcher) const
+SimReport
+Gpu::run(const KernelInfo &kernel)
 {
-    Cycle next = icnt.nextEventCycle(now);
+    launch(kernel);
+    runToCompletion();
+    return finish();
+}
+
+std::uint32_t
+Gpu::configSignature() const
+{
+    OutArchive a;
+    a.putU32(static_cast<std::uint32_t>(cfg_.numSms));
+    a.putU32(static_cast<std::uint32_t>(cfg_.maxWarpsPerSm));
+    a.putU32(static_cast<std::uint32_t>(cfg_.maxBlocksPerSm));
+    a.putU32(static_cast<std::uint32_t>(cfg_.numSchedulersPerSm));
+    a.putU32(static_cast<std::uint32_t>(cfg_.warpSize));
+    a.putU32(static_cast<std::uint32_t>(cfg_.regFileSize));
+    a.putU32(static_cast<std::uint32_t>(cfg_.sharedMemBytes));
+    a.putU64(cfg_.aluLatency);
+    a.putU64(cfg_.sfuLatency);
+    a.putU64(cfg_.sharedMemLatency);
+    a.putU32(static_cast<std::uint32_t>(cfg_.l1d.sets));
+    a.putU32(static_cast<std::uint32_t>(cfg_.l1d.ways));
+    a.putU32(static_cast<std::uint32_t>(cfg_.l1d.lineBytes));
+    a.putU64(cfg_.l1d.hitLatency);
+    a.putU32(static_cast<std::uint32_t>(cfg_.l1d.numMshrs));
+    a.putU32(static_cast<std::uint32_t>(cfg_.l1d.mshrTargets));
+    a.putU32(static_cast<std::uint32_t>(cfg_.l1PortsPerCycle));
+    a.putU32(static_cast<std::uint32_t>(cfg_.ldstQueueSize));
+    a.putU32(static_cast<std::uint32_t>(cfg_.l2.banks));
+    a.putU32(static_cast<std::uint32_t>(cfg_.l2.setsPerBank));
+    a.putU32(static_cast<std::uint32_t>(cfg_.l2.ways));
+    a.putU32(static_cast<std::uint32_t>(cfg_.l2.lineBytes));
+    a.putU64(cfg_.l2.latency);
+    a.putU32(static_cast<std::uint32_t>(cfg_.l2.mshrsPerBank));
+    a.putU64(cfg_.icntLatency);
+    a.putU32(static_cast<std::uint32_t>(cfg_.icntWidth));
+    a.putU64(cfg_.dramLatency);
+    a.putU32(static_cast<std::uint32_t>(cfg_.dramServiceInterval));
+    a.putU8(static_cast<std::uint8_t>(cfg_.scheduler));
+    a.putU8(static_cast<std::uint8_t>(cfg_.l1Policy));
+    a.putU32(static_cast<std::uint32_t>(cfg_.cacp.criticalWays));
+    a.putU32(static_cast<std::uint32_t>(cfg_.cacp.tableEntries));
+    a.putU32(static_cast<std::uint32_t>(cfg_.cacp.ccbpThreshold));
+    a.putU32(static_cast<std::uint32_t>(cfg_.cacp.ccbpInitial));
+    a.putU32(static_cast<std::uint32_t>(cfg_.cacp.regionShift));
+    a.putBool(cfg_.cacp.dynamicPartition);
+    a.putU64(cfg_.cacp.adaptEpochFills);
+    a.putU32(static_cast<std::uint32_t>(cfg_.cacp.minWays));
+    a.putDouble(cfg_.criticalFraction);
+    a.putU32(static_cast<std::uint32_t>(cfg_.cplQuantShift));
+    a.putBool(cfg_.cplUseInstTerm);
+    a.putBool(cfg_.cplUseStallTerm);
+    a.putU64(cfg_.cplSampleInterval);
+    a.putI64(cfg_.traceBlockId);
+    a.putU64(cfg_.traceSampleInterval);
+    a.putU64(cfg_.maxCycles);
+    a.putU64(cfg_.watchdogInterval);
+    // An oracle table changes scheduler behavior even under the same
+    // GpuConfig; whether one is attached is part of the signature.
+    a.putBool(oracle_ != nullptr);
+    return crc32(a.data(), a.size());
+}
+
+void
+Gpu::saveCheckpoint(const std::string &path)
+{
+    sim_assert(machine_);
+    Machine &m = *machine_;
+
+    CheckpointWriter w;
+    {
+        OutArchive meta;
+        meta.putU32(configSignature());
+        meta.putString(m.kernel.name);
+        meta.putU32(crc32(m.kernel.program.disassemble()));
+        meta.putU32(static_cast<std::uint32_t>(m.kernel.gridDim));
+        meta.putU32(static_cast<std::uint32_t>(m.kernel.blockDim));
+        meta.putU32(static_cast<std::uint32_t>(m.kernel.regsPerThread));
+        meta.putU32(static_cast<std::uint32_t>(m.kernel.smemPerBlock));
+        meta.putU64(m.now);
+        meta.putU64(m.nextWatchdog);
+        meta.putU64(m.nextAudit);
+        meta.putBool(m.done);
+        w.add("meta", meta);
+    }
+    {
+        OutArchive a;
+        mem_.save(a);
+        w.add("memory", a);
+    }
+    {
+        OutArchive a;
+        m.dispatcher.save(a);
+        w.add("dispatcher", a);
+    }
+    {
+        OutArchive a;
+        m.icnt.save(a);
+        w.add("icnt", a);
+    }
+    {
+        OutArchive a;
+        m.l2.save(a);
+        w.add("l2", a);
+    }
+    {
+        OutArchive a;
+        m.dram.save(a);
+        w.add("dram", a);
+    }
+    for (std::size_t i = 0; i < m.sms.size(); ++i) {
+        OutArchive a;
+        m.sms[i]->save(a);
+        w.add("sm" + std::to_string(i), a);
+    }
+
+    // One-shot fault-injection hook: corrupt the next written file,
+    // then disarm so a retry after the detected failure writes clean.
+    const std::int64_t corrupt = cfg_.faults.corruptCheckpointByte;
+    cfg_.faults.corruptCheckpointByte = -1;
+    writeCheckpointFile(path, w.finish(), corrupt);
+}
+
+void
+Gpu::restoreCheckpoint(const std::string &path,
+                       const KernelInfo &kernel)
+{
+    const std::vector<std::uint8_t> image = readCheckpointFile(path);
+    const CheckpointReader reader(image);
+
+    // Verify the metadata (configuration signature, kernel identity
+    // and geometry) before building any machine state.
+    InArchive meta = reader.open("meta");
+    const std::uint32_t cfg_sig = meta.getU32();
+    if (cfg_sig != configSignature())
+        throw SimError(SimErrorKind::Checkpoint,
+                       "checkpoint '" + path +
+                           "' was written under a different GpuConfig "
+                           "(signature " + std::to_string(cfg_sig) +
+                           ", this run has " +
+                           std::to_string(configSignature()) +
+                           "): refusing to restore");
+    const std::string kname = meta.getString();
+    const std::uint32_t phash = meta.getU32();
+    if (kname != kernel.name ||
+        phash != crc32(kernel.program.disassemble()))
+        throw SimError(SimErrorKind::Checkpoint,
+                       "checkpoint '" + path + "' is for kernel '" +
+                           kname + "', not '" + kernel.name +
+                           "' (or the program text differs): "
+                           "refusing to restore");
+    const auto grid = static_cast<int>(meta.getU32());
+    const auto block = static_cast<int>(meta.getU32());
+    const auto regs = static_cast<int>(meta.getU32());
+    const auto smem = static_cast<int>(meta.getU32());
+    if (grid != kernel.gridDim || block != kernel.blockDim ||
+        regs != kernel.regsPerThread || smem != kernel.smemPerBlock)
+        throw SimError(SimErrorKind::Checkpoint,
+                       "checkpoint '" + path +
+                           "' was written for a different launch "
+                           "geometry of kernel '" + kname +
+                           "': refusing to restore");
+    const Cycle now = meta.getU64();
+    const Cycle next_watchdog = meta.getU64();
+    const Cycle next_audit = meta.getU64();
+    const bool done = meta.getBool();
+    meta.expectEnd();
+
+    machine_.reset();
+    launch(kernel);
+    try {
+        Machine &m = *machine_;
+        {
+            InArchive a = reader.open("memory");
+            mem_.load(a);
+            a.expectEnd();
+        }
+        {
+            InArchive a = reader.open("dispatcher");
+            m.dispatcher.load(a);
+            a.expectEnd();
+        }
+        {
+            InArchive a = reader.open("icnt");
+            m.icnt.load(a);
+            a.expectEnd();
+        }
+        {
+            InArchive a = reader.open("l2");
+            m.l2.load(a);
+            a.expectEnd();
+        }
+        {
+            InArchive a = reader.open("dram");
+            m.dram.load(a);
+            a.expectEnd();
+        }
+        for (std::size_t i = 0; i < m.sms.size(); ++i) {
+            InArchive a = reader.open("sm" + std::to_string(i));
+            m.sms[i]->load(a); // runs its own expectEnd()
+        }
+        m.now = now;
+        m.nextWatchdog = next_watchdog;
+        m.nextAudit = next_audit;
+        m.done = done;
+
+        // A checkpoint that decodes cleanly can still encode a state
+        // the machine could never reach (a bug, not corruption -- the
+        // CRCs passed). The full invariant audit catches that here,
+        // at the restore boundary, instead of as divergence a million
+        // cycles later.
+        for (const auto &sm : m.sms)
+            sm->audit(m.now ? m.now - 1 : 0, 2);
+    } catch (...) {
+        // Never leave a half-loaded machine behind: the caller must
+        // be able to fall back to a fresh launch.
+        machine_.reset();
+        throw;
+    }
+}
+
+Cycle
+Gpu::nextEventCycle(const Machine &m) const
+{
+    const Cycle now = m.now;
+    Cycle next = m.icnt.nextEventCycle(now);
     if (next <= now)
         return now;
-    next = std::min(next, l2.nextEventCycle(now));
-    next = std::min(next, dram.nextEventCycle(now));
-    next = std::min(next, dispatcher.nextEventCycle(sms, now));
-    for (const auto &sm : sms) {
+    next = std::min(next, m.l2.nextEventCycle(now));
+    next = std::min(next, m.dram.nextEventCycle(now));
+    next = std::min(next, m.dispatcher.nextEventCycle(m.sms, now));
+    for (const auto &sm : m.sms) {
         if (next <= now)
             return now;
         next = std::min(next, sm->nextEventCycle());
@@ -240,21 +592,18 @@ Gpu::nextEventCycle(Cycle now,
 }
 
 bool
-Gpu::wedged(const std::vector<std::unique_ptr<SmCore>> &sms,
-            const Interconnect &icnt, const L2Cache &l2,
-            const DramModel &dram,
-            const BlockDispatcher &dispatcher) const
+Gpu::wedged(const Machine &m) const
 {
     // Any in-flight memory traffic will eventually reach an SM and
     // wake it; any quiescent-SM scan below would be stale.
-    if (!icnt.idle() || !l2.idle() || !dram.idle())
+    if (!m.icnt.idle() || !m.l2.idle() || !m.dram.idle())
         return false;
-    for (const auto &sm : sms)
+    for (const auto &sm : m.sms)
         if (!sm->quiescent())
             return false;
     // An undispatched block that fits somewhere is a future event.
-    if (!dispatcher.allDispatched()) {
-        for (const auto &sm : sms)
+    if (!m.dispatcher.allDispatched()) {
+        for (const auto &sm : m.sms)
             if (sm->canAcceptBlock())
                 return false;
         return true; // blocks remain but can never place: wedged
@@ -262,19 +611,17 @@ Gpu::wedged(const std::vector<std::unique_ptr<SmCore>> &sms,
     // All dispatched, machine fully quiet: wedged iff work remains
     // (otherwise the normal completion check would have ended the
     // run before the watchdog looked).
-    for (const auto &sm : sms)
+    for (const auto &sm : m.sms)
         if (sm->busy())
             return true;
     return false;
 }
 
 void
-Gpu::recordDeadlock(SimReport &report, Cycle now,
-                    const std::vector<std::unique_ptr<SmCore>> &sms,
-                    const BlockDispatcher &dispatcher) const
+Gpu::recordDeadlock(Machine &m) const
 {
     SmCore::StuckSummary total;
-    for (const auto &sm : sms) {
+    for (const auto &sm : m.sms) {
         const SmCore::StuckSummary s = sm->stuckSummary();
         total.activeWarps += s.activeWarps;
         total.atBarrier += s.atBarrier;
@@ -298,7 +645,7 @@ Gpu::recordDeadlock(SimReport &report, Cycle now,
     } else if (total.liveTokens > 0) {
         kind = "LD/ST token leak: live load tokens with no pending "
                "completion (a load completion was lost)";
-    } else if (!dispatcher.allDispatched()) {
+    } else if (!m.dispatcher.allDispatched()) {
         kind = "dispatch starvation: undispatched blocks fit no SM "
                "and no resident block can retire";
     } else {
@@ -307,7 +654,7 @@ Gpu::recordDeadlock(SimReport &report, Cycle now,
     }
 
     std::string dump = "deadlock detected at cycle ";
-    dump += std::to_string(now);
+    dump += std::to_string(m.now);
     dump += ": ";
     dump += kind;
     dump += "\n";
@@ -319,15 +666,15 @@ Gpu::recordDeadlock(SimReport &report, Cycle now,
             " l1Mshrs=" + std::to_string(total.l1Mshrs) +
             " liveTokens=" + std::to_string(total.liveTokens) +
             " undispatchedBlocks=" +
-            (dispatcher.allDispatched() ? "0" : "yes") + "\n";
-    for (const auto &sm : sms) {
+            (m.dispatcher.allDispatched() ? "0" : "yes") + "\n";
+    for (const auto &sm : m.sms) {
         // Only stuck SMs are interesting; idle ones add noise.
         if (sm->busy())
-            sm->appendDeadlockDump(dump, now);
+            sm->appendDeadlockDump(dump, m.now);
     }
 
-    report.exitStatus = ExitStatus::Deadlock;
-    report.diagnostic = std::move(dump);
+    m.report.exitStatus = ExitStatus::Deadlock;
+    m.report.diagnostic = std::move(dump);
 }
 
 SimReport

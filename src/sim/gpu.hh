@@ -2,12 +2,21 @@
  * @file
  * Top-level GPU: owns the SM cores, interconnect, L2, DRAM and the
  * block dispatcher, and runs a kernel launch to completion.
+ *
+ * The run is resumable: launch() builds the machine, stepUntil()
+ * advances it to a cycle boundary, saveCheckpoint()/restoreCheckpoint()
+ * snapshot and rebuild the complete state cycle-exactly, and finish()
+ * produces the SimReport. run() composes these for the common case
+ * and adds periodic checkpointing, a wall-clock budget and
+ * cooperative cancellation (see GpuConfig).
  */
 
 #ifndef CAWA_SIM_GPU_HH
 #define CAWA_SIM_GPU_HH
 
+#include <chrono>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "isa/kernel.hh"
@@ -35,26 +44,76 @@ class Gpu
      */
     Gpu(const GpuConfig &cfg, MemoryImage &mem,
         const OracleTable *oracle = nullptr);
-
-    /** Execute @p kernel to completion and return the report. */
-    SimReport run(const KernelInfo &kernel);
-
-  private:
-    void tick(Cycle now, std::vector<std::unique_ptr<SmCore>> &sms,
-              Interconnect &icnt, L2Cache &l2, DramModel &dram,
-              BlockDispatcher &dispatcher);
+    ~Gpu();
 
     /**
-     * Earliest cycle >= @p now at which any component does more than
+     * Execute @p kernel to completion and return the report.
+     * Equivalent to launch() + runToCompletion() + finish(); may
+     * throw SimError of kind Walltime or Cancelled (after writing a
+     * final checkpoint when configured) -- see GpuConfig.
+     */
+    SimReport run(const KernelInfo &kernel);
+
+    // --- Stepwise interface (checkpointing and tests) ---
+
+    /**
+     * Validate @p kernel against the configuration and build the
+     * machine at cycle 0. @p kernel must outlive the run.
+     */
+    void launch(const KernelInfo &kernel);
+
+    /**
+     * Advance the machine until its cycle reaches @p stop or the run
+     * ends (completion, timeout or deadlock -- then true). A paused
+     * machine sits at a cycle boundary: checkpointing there and
+     * resuming (in this Gpu or a fresh one) yields a final SimReport
+     * byte-identical to an uninterrupted run.
+     */
+    bool stepUntil(Cycle stop);
+
+    /** stepUntil(end) with checkpoint/walltime/cancel handling. */
+    void runToCompletion();
+
+    /** Finalize accounting, build the report, tear down the machine. */
+    SimReport finish();
+
+    bool launched() const { return machine_ != nullptr; }
+
+    /** Current cycle of the launched machine. */
+    Cycle cycle() const;
+
+    /**
+     * Snapshot the complete machine state (every SM, caches, DRAM,
+     * interconnect, dispatcher, global memory and the run's own
+     * clocks) to @p path in the checksummed `cawa-ckpt-v1` format.
+     * The write is atomic (tmp + rename). Requires launched().
+     */
+    void saveCheckpoint(const std::string &path);
+
+    /**
+     * Rebuild the machine from a checkpoint written by an identically
+     * configured run of the same kernel. Verifies the container
+     * checksums plus a configuration signature and kernel/program
+     * hash before touching any state, and runs the full invariant
+     * audit (level 2) on every SM afterwards; any defect throws
+     * SimError (kind Checkpoint). Continue with stepUntil() or
+     * runToCompletion(), then finish().
+     */
+    void restoreCheckpoint(const std::string &path,
+                           const KernelInfo &kernel);
+
+  private:
+    struct Machine;
+
+    void tick(Machine &m);
+
+    /**
+     * Earliest cycle >= now at which any component does more than
      * stall accounting; kNoCycle when no component holds a pending
      * event (the watchdog then decides whether the machine is wedged
      * or merely waiting out the maxCycles timeout).
      */
-    Cycle nextEventCycle(
-        Cycle now, const std::vector<std::unique_ptr<SmCore>> &sms,
-        const Interconnect &icnt, const L2Cache &l2,
-        const DramModel &dram,
-        const BlockDispatcher &dispatcher) const;
+    Cycle nextEventCycle(const Machine &m) const;
 
     /**
      * Provable-wedge check: true only when no component of the
@@ -64,25 +123,33 @@ class Gpu
      * run can never satisfy it), so the watchdog can run by default
      * without risking a false deadlock report.
      */
-    bool wedged(const std::vector<std::unique_ptr<SmCore>> &sms,
-                const Interconnect &icnt, const L2Cache &l2,
-                const DramModel &dram,
-                const BlockDispatcher &dispatcher) const;
+    bool wedged(const Machine &m) const;
 
     /**
      * Classify the wedge (barrier deadlock / lost fill / token leak /
-     * generic livelock) and fill @p report's exitStatus and
+     * generic livelock) and fill the report's exitStatus and
      * structured diagnostic dump.
      */
-    void recordDeadlock(SimReport &report, Cycle now,
-                        const std::vector<std::unique_ptr<SmCore>> &sms,
-                        const BlockDispatcher &dispatcher) const;
+    void recordDeadlock(Machine &m) const;
+
+    /**
+     * CRC of every behavior-affecting configuration field (plus
+     * whether an oracle drives the scheduler). Stored in checkpoint
+     * metadata so a restore under a different configuration is
+     * rejected up front instead of silently diverging.
+     */
+    std::uint32_t configSignature() const;
+
+    /** Throw Walltime/Cancelled (after a final checkpoint) when due. */
+    void checkInterrupts();
 
     GpuConfig cfg_;
     MemoryImage &mem_;
     const OracleTable *oracle_;
     bool fastForward_;
     int checkLevel_;    ///< cfg checkLevel after the CAWA_CHECK override
+    std::unique_ptr<Machine> machine_;
+    std::chrono::steady_clock::time_point wallStart_;
 };
 
 /** Convenience: build + run in one call. */

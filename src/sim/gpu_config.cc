@@ -126,6 +126,13 @@ GpuConfig::validate() const
     if (checkLevel > 0 && auditInterval == 0)
         bad("auditInterval=0 with checkLevel=" + num(checkLevel) +
             ": audits need a positive cadence");
+    if (checkpointInterval > 0 && checkpointPath.empty())
+        bad("checkpointInterval=" + num(checkpointInterval) +
+            " with an empty checkpointPath: periodic checkpoints need "
+            "a file to write to");
+    if (wallClockLimitSec < 0.0)
+        bad("wallClockLimitSec=" + num(wallClockLimitSec) +
+            ": the wall-clock budget must be >= 0 (0 disables it)");
     return problems;
 }
 

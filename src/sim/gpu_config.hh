@@ -8,6 +8,7 @@
 #ifndef CAWA_SIM_GPU_CONFIG_HH
 #define CAWA_SIM_GPU_CONFIG_HH
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,13 @@ struct FaultInjection
     std::int64_t dropBarrierArrival = -1;
     /** Drop the Nth L1 load-completion: leaks an LD/ST token. */
     std::int64_t dropLoadCompletion = -1;
+    /**
+     * XOR-flip one bit of byte N (mod file size) of the next written
+     * checkpoint, then disarm. The flip lands anywhere in the file —
+     * magic, section framing, CRC or payload — and restore must
+     * reject the file in every case (cawa_fuzz proves it).
+     */
+    std::int64_t corruptCheckpointByte = -1;
 
     bool any() const
     {
@@ -134,6 +142,33 @@ struct GpuConfig
      * simulator cycle by cycle.
      */
     bool fastForward = true;
+
+    /**
+     * Periodic checkpointing: every checkpointInterval simulated
+     * cycles (0 = off) Gpu::run() snapshots the full machine state
+     * to checkpointPath (atomic tmp+rename, so a crash mid-write
+     * never destroys the previous checkpoint). Restoring resumes the
+     * run cycle-exactly: the final SimReport is byte-identical to an
+     * uninterrupted run.
+     */
+    Cycle checkpointInterval = 0;
+    std::string checkpointPath;
+
+    /**
+     * Per-job wall-clock budget in seconds (0 = off). When exceeded,
+     * Gpu::run() writes a final checkpoint (if checkpointPath is
+     * set) and throws SimError (kind Walltime), which the sweep
+     * layer reports as a `walltime` failure without retrying.
+     */
+    double wallClockLimitSec = 0.0;
+
+    /**
+     * Cooperative cancellation (graceful Ctrl-C): when non-null and
+     * set, Gpu::run() writes a final checkpoint (if checkpointPath
+     * is set) and throws SimError (kind Cancelled) at the next
+     * check boundary. Not owned; must outlive the run.
+     */
+    const std::atomic<bool> *cancelFlag = nullptr;
 
     /** Paper Table 1 configuration (these defaults). */
     static GpuConfig fermiGtx480() { return GpuConfig{}; }

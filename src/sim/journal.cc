@@ -13,6 +13,8 @@ namespace cawa
 std::string
 entryStatus(const SweepResult &result)
 {
+    if (!result.failureReason.empty())
+        return result.failureReason;
     if (!result.error.empty())
         return "error";
     if (!result.verified)

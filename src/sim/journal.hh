@@ -30,7 +30,8 @@ struct JournalEntry
 };
 
 /**
- * Status string a result journals as: "ok", "error" (the job threw),
+ * Status string a result journals as: "ok", a first-class failure
+ * reason ("walltime", "cancelled"), "error" (the job threw),
  * "verify-failed", or the non-completed exit status name ("timeout",
  * "deadlock", "invariant").
  */

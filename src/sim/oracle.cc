@@ -19,16 +19,32 @@ buildOracle(const SimReport &profile)
 
 SimReport
 runWithCawsOracle(const GpuConfig &cfg, MemoryImage &mem,
-                  MemoryImage &profile_mem, const KernelInfo &kernel)
+                  MemoryImage &profile_mem, const KernelInfo &kernel,
+                  const std::string &resume_path, bool *resumed)
 {
     GpuConfig profile_cfg = cfg;
     profile_cfg.scheduler = SchedulerKind::Lrr;
+    // The profiling pass must never write to the job's checkpoint
+    // path: a profile snapshot there would clobber (and, having a
+    // different scheduler, invalidate) the measured pass's resume
+    // point. Wall-clock and cancellation settings stay active.
+    profile_cfg.checkpointInterval = 0;
+    profile_cfg.checkpointPath.clear();
     const SimReport profile = runKernel(profile_cfg, profile_mem, kernel);
     const OracleTable oracle = buildOracle(profile);
 
     GpuConfig caws_cfg = cfg;
     caws_cfg.scheduler = SchedulerKind::CawsOracle;
-    return runKernel(caws_cfg, mem, kernel, &oracle);
+    Gpu gpu(caws_cfg, mem, &oracle);
+    if (!resume_path.empty()) {
+        gpu.restoreCheckpoint(resume_path, kernel);
+        if (resumed)
+            *resumed = true;
+    } else {
+        gpu.launch(kernel);
+    }
+    gpu.runToCompletion();
+    return gpu.finish();
 }
 
 } // namespace cawa

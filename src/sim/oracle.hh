@@ -22,10 +22,20 @@ OracleTable buildOracle(const SimReport &profile);
  * scheduler on @p profile_mem, then run with the CAWS oracle
  * scheduler using @p cfg (whose scheduler field is overridden to
  * CawsOracle) on @p mem.
+ *
+ * The profiling pass never checkpoints (its state is not the job's
+ * state, and it must not clobber the measured pass's checkpoint
+ * file); cfg's checkpoint settings apply to the measured pass only.
+ * When @p resume_path is non-empty the measured pass restores from
+ * that checkpoint instead of launching fresh -- the (deterministic)
+ * profiling pass still re-runs first to rebuild the oracle table --
+ * and *@p resumed is set to true after a successful restore.
  */
 SimReport runWithCawsOracle(const GpuConfig &cfg, MemoryImage &mem,
                             MemoryImage &profile_mem,
-                            const KernelInfo &kernel);
+                            const KernelInfo &kernel,
+                            const std::string &resume_path = {},
+                            bool *resumed = nullptr);
 
 } // namespace cawa
 

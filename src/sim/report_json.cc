@@ -298,13 +298,17 @@ toJson(const SimReport &report, const JsonWriteOptions &opt)
 
 std::string
 failureToJson(const std::string &job, const std::string &error,
-              int attempts, const JsonWriteOptions &opt)
+              int attempts, const JsonWriteOptions &opt,
+              const std::string &reason)
 {
     Writer w(opt.pretty);
     w.beginObject();
     w.key("schema"); w.value(std::string("cawa-sweepfailure-v1"));
     w.key("job"); w.value(job);
     w.key("error"); w.value(error);
+    if (!reason.empty()) {
+        w.key("reason"); w.value(reason);
+    }
     w.key("attempts"); w.value(static_cast<std::int64_t>(attempts));
     w.endObject();
     return w.take();

@@ -47,11 +47,14 @@ std::string toJson(const SimReport &report,
  * Serialize a failed sweep job as a first-class JSON document (schema
  * "cawa-sweepfailure-v1") so a sweep's output directory holds one
  * entry per job whether it succeeded or crashed: job name, the error
- * that killed it and how many attempts were made.
+ * that killed it and how many attempts were made. @p reason, when
+ * non-empty, adds a machine-readable failure class ("walltime",
+ * "cancelled") alongside the human-readable error text.
  */
 std::string failureToJson(const std::string &job,
                           const std::string &error, int attempts,
-                          const JsonWriteOptions &opt = {});
+                          const JsonWriteOptions &opt = {},
+                          const std::string &reason = {});
 
 /**
  * Parsed JSON value. Objects preserve member order; numbers keep

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "common/sim_assert.hh"
+#include "common/sim_error.hh"
 #include "common/thread_pool.hh"
 #include "sim/gpu.hh"
 #include "sim/oracle.hh"
@@ -34,17 +35,52 @@ runSweepJobOnce(const SweepJob &job)
         // any simulation state exists.
         job.cfg.validateOrThrow();
         MemoryImage mem;
-        const KernelInfo kernel = job.build(mem);
-        if (job.cfg.scheduler == SchedulerKind::CawsOracle) {
-            MemoryImage profile_mem;
-            const auto &builder =
-                job.buildProfile ? job.buildProfile : job.build;
-            builder(profile_mem);
-            result.report =
-                runWithCawsOracle(job.cfg, mem, profile_mem, kernel);
+        KernelInfo kernel = job.build(mem);
+
+        // One execution, optionally continued from a checkpoint.
+        // resumed is set only after a successful restore.
+        auto execute = [&](const std::string &resume,
+                           bool &resumed) -> SimReport {
+            if (job.cfg.scheduler == SchedulerKind::CawsOracle) {
+                MemoryImage profile_mem;
+                const auto &builder =
+                    job.buildProfile ? job.buildProfile : job.build;
+                builder(profile_mem);
+                return runWithCawsOracle(job.cfg, mem, profile_mem,
+                                         kernel, resume, &resumed);
+            }
+            Gpu gpu(job.cfg, mem);
+            if (!resume.empty()) {
+                gpu.restoreCheckpoint(resume, kernel);
+                resumed = true;
+            } else {
+                gpu.launch(kernel);
+            }
+            gpu.runToCompletion();
+            return gpu.finish();
+        };
+
+        bool resumed = false;
+        if (!job.resumeFromCheckpoint.empty()) {
+            try {
+                result.report =
+                    execute(job.resumeFromCheckpoint, resumed);
+            } catch (const SimError &e) {
+                if (e.kind() != SimErrorKind::Checkpoint)
+                    throw;
+                // The checkpoint was unusable (corrupt, truncated,
+                // stale configuration). A failed restore may have
+                // overwritten parts of the memory image, so rebuild
+                // the inputs and run from scratch.
+                resumed = false;
+                mem = MemoryImage{};
+                kernel = job.build(mem);
+                result.report = execute(std::string(), resumed);
+            }
         } else {
-            result.report = runKernel(job.cfg, mem, kernel);
+            result.report = execute(std::string(), resumed);
         }
+        result.resumed = resumed;
         if (job.verify &&
             result.report.exitStatus == ExitStatus::Completed)
             result.verified = job.verify(mem);
@@ -52,6 +88,11 @@ runSweepJobOnce(const SweepJob &job)
         result.error = e.what();
         if (e.kind() == SimErrorKind::Invariant)
             result.report.exitStatus = ExitStatus::Invariant;
+        // Budget exhaustion and cooperative shutdown are first-class
+        // outcomes the harness reports by name (and never retries).
+        if (e.kind() == SimErrorKind::Walltime ||
+            e.kind() == SimErrorKind::Cancelled)
+            result.failureReason = simErrorKindName(e.kind());
     } catch (const std::exception &e) {
         result.error = e.what();
     } catch (...) {
@@ -72,8 +113,9 @@ runSweepJob(const SweepJob &job, int max_attempts)
         result = runSweepJobOnce(job);
         result.attempts = attempt;
         // Only a thrown error is worth retrying; timeout, deadlock
-        // and verification failures are deterministic outcomes.
-        if (result.error.empty())
+        // and verification failures are deterministic outcomes, and
+        // walltime/cancelled would just burn the same budget again.
+        if (result.error.empty() || !result.failureReason.empty())
             break;
     }
     return result;

@@ -41,6 +41,15 @@ struct SweepJob
     std::function<KernelInfo(MemoryImage &)> build;
     std::function<KernelInfo(MemoryImage &)> buildProfile;
     std::function<bool(const MemoryImage &)> verify;
+
+    /**
+     * When non-empty, try to restore this checkpoint and continue
+     * from it instead of running from cycle 0. An unusable file
+     * (corrupt, truncated, written under a different config or
+     * kernel) is not fatal: the job falls back to a from-scratch run
+     * on freshly rebuilt inputs, which is always byte-equivalent.
+     */
+    std::string resumeFromCheckpoint;
 };
 
 struct SweepResult
@@ -49,6 +58,16 @@ struct SweepResult
     bool verified = true;  ///< false when the job's verify() failed
     std::string error;     ///< non-empty when the job threw
     int attempts = 0;      ///< executions consumed (>= 1 once run)
+    bool resumed = false;  ///< continued from a restored checkpoint
+
+    /**
+     * Failure class for errors with first-class harness handling:
+     * "walltime" (the job's wall-clock budget ran out) or
+     * "cancelled" (cooperative shutdown). Empty for ordinary errors.
+     * These outcomes are never retried -- re-running would just burn
+     * the same budget again -- and are journaled under this status.
+     */
+    std::string failureReason;
 
     bool ok() const
     {

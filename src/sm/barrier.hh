@@ -9,6 +9,8 @@
 #ifndef CAWA_SM_BARRIER_HH
 #define CAWA_SM_BARRIER_HH
 
+#include "common/serialize.hh"
+
 namespace cawa
 {
 
@@ -32,6 +34,18 @@ class BarrierState
 
     int arrived() const { return arrived_; }
     int expected() const { return expected_; }
+
+    void save(OutArchive &ar) const
+    {
+        ar.putU32(static_cast<std::uint32_t>(expected_));
+        ar.putU32(static_cast<std::uint32_t>(arrived_));
+    }
+
+    void load(InArchive &ar)
+    {
+        expected_ = static_cast<int>(ar.getU32());
+        arrived_ = static_cast<int>(ar.getU32());
+    }
 
   private:
     int expected_ = 0;

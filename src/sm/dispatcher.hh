@@ -41,6 +41,19 @@ class BlockDispatcher
     }
     BlockId nextBlock() const { return next_; }
 
+    /** Checkpoint dispatch progress (gridDim is kernel-derived). */
+    void save(OutArchive &ar) const
+    {
+        ar.putU32(next_);
+        ar.putU64(static_cast<std::uint64_t>(lastSm_));
+    }
+
+    void load(InArchive &ar)
+    {
+        next_ = ar.getU32();
+        lastSm_ = static_cast<std::size_t>(ar.getU64());
+    }
+
   private:
     int gridDim_;
     BlockId next_ = 0;

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace cawa
@@ -54,6 +55,31 @@ class SimtStack
      */
     bool branch(std::uint32_t curr_pc, std::uint32_t target,
                 std::uint32_t reconv, LaneMask taken_mask);
+
+    /** Checkpoint the full stack, bottom entry first. */
+    void save(OutArchive &ar) const
+    {
+        ar.putU32(static_cast<std::uint32_t>(entries_.size()));
+        for (const Entry &e : entries_) {
+            ar.putU32(e.reconvPc);
+            ar.putU32(e.pc);
+            ar.putU32(e.mask);
+        }
+    }
+
+    void load(InArchive &ar)
+    {
+        entries_.clear();
+        const std::uint32_t n = ar.getU32();
+        entries_.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            Entry e;
+            e.reconvPc = ar.getU32();
+            e.pc = ar.getU32();
+            e.mask = ar.getU32();
+            entries_.push_back(e);
+        }
+    }
 
   private:
     struct Entry

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/sim_assert.hh"
+#include "common/sim_error.hh"
 #include "mem/cacp_policy.hh"
 
 namespace cawa
@@ -1027,6 +1028,294 @@ SmCore::audit(Cycle now, int level) const
                       "SIMT stack top has no active lanes on an "
                       "active warp");
     }
+}
+
+void
+SmCore::save(OutArchive &ar) const
+{
+    ar.putU32(static_cast<std::uint32_t>(warps_.size()));
+    for (const Warp &warp : warps_)
+        warp.save(ar);
+
+    for (int block_index : slotBlock_)
+        ar.putU32(static_cast<std::uint32_t>(block_index));
+
+    ar.putU32(static_cast<std::uint32_t>(blocks_.size()));
+    for (const BlockState &block : blocks_) {
+        ar.putBool(block.valid);
+        ar.putU32(block.id);
+        ar.putU64(block.start);
+        ar.putU32(static_cast<std::uint32_t>(block.slots.size()));
+        for (WarpSlot slot : block.slots)
+            ar.putU32(static_cast<std::uint32_t>(slot));
+        ar.putBytes(block.sharedMem.data(), block.sharedMem.size());
+        block.barrier.save(ar);
+        ar.putU32(static_cast<std::uint32_t>(block.runningWarps));
+        ar.putU64(block.samples);
+        ar.putU32(static_cast<std::uint32_t>(block.slowSamples.size()));
+        for (std::uint64_t v : block.slowSamples)
+            ar.putU64(v);
+    }
+
+    for (const auto &sched : schedulers_)
+        sched->saveState(ar);
+    cpl_->save(ar);
+    l1_->save(ar);
+
+    for (std::uint64_t v : age_)
+        ar.putU64(v);
+    for (std::int64_t v : priority_)
+        ar.putI64(v);
+    for (std::int64_t v : oraclePriority_)
+        ar.putI64(v);
+    for (bool v : issuedThisCycle_)
+        ar.putBool(v);
+
+    // Drain a copy of the writeback heap (see the header comment on
+    // why the resulting equal-ready order is behavior-neutral).
+    auto wb_copy = wbQueue_;
+    ar.putU32(static_cast<std::uint32_t>(wb_copy.size()));
+    while (!wb_copy.empty()) {
+        const WbEvent &ev = wb_copy.top();
+        ar.putU64(ev.ready);
+        ar.putU32(static_cast<std::uint32_t>(ev.slot));
+        ar.putU32(ev.regMask);
+        ar.putU8(ev.predMask);
+        wb_copy.pop();
+    }
+
+    ar.putU32(static_cast<std::uint32_t>(ldstQueue_.size()));
+    for (const Transaction &t : ldstQueue_) {
+        saveAccessInfo(ar, t.info);
+        ar.putU64(t.token);
+    }
+
+    // The token pool must round-trip exactly (indices are live ids
+    // and the free-list order decides future id assignment).
+    ar.putU32(static_cast<std::uint32_t>(tokenPool_.size()));
+    for (const Token &t : tokenPool_) {
+        ar.putU32(static_cast<std::uint32_t>(t.slot));
+        ar.putU32(t.dstRegMask);
+        ar.putU32(static_cast<std::uint32_t>(t.remaining));
+        ar.putBool(t.stallNotified);
+    }
+    ar.putU32(static_cast<std::uint32_t>(tokenFreeList_.size()));
+    for (std::uint32_t idx : tokenFreeList_)
+        ar.putU32(idx);
+    ar.putU32(static_cast<std::uint32_t>(liveTokens_));
+
+    ar.putU64(dispatchSeq_);
+    ar.putI64(barrierArrivalSeq_);
+    ar.putI64(loadCompletionSeq_);
+
+    ar.putU32(static_cast<std::uint32_t>(pickHistory_.size()));
+    for (const PickRecord &p : pickHistory_) {
+        ar.putU64(p.cycle);
+        ar.putU32(static_cast<std::uint32_t>(p.sched));
+        ar.putU32(static_cast<std::uint32_t>(p.slot));
+    }
+    ar.putU64(static_cast<std::uint64_t>(pickHead_));
+
+    ar.putU32(static_cast<std::uint32_t>(residentBlocks_));
+    ar.putU32(static_cast<std::uint32_t>(freeSlots_));
+    ar.putU32(static_cast<std::uint32_t>(regsUsed_));
+    ar.putU32(static_cast<std::uint32_t>(smemUsed_));
+    ar.putU64(issued_);
+    ar.putBool(schedDirty_);
+    ar.putBool(anyReadySeen_);
+    ar.putU64(lastTicked_);
+    ar.putU64(cachedNextEvent_);
+
+    ar.putU32(static_cast<std::uint32_t>(retired_.size()));
+    for (const BlockRecord &rec : retired_) {
+        ar.putU32(rec.id);
+        ar.putU32(static_cast<std::uint32_t>(rec.smId));
+        ar.putU64(rec.startCycle);
+        ar.putU64(rec.endCycle);
+        ar.putU64(rec.cplSamples);
+        ar.putU32(static_cast<std::uint32_t>(rec.warps.size()));
+        for (const WarpRecord &w : rec.warps) {
+            ar.putU32(static_cast<std::uint32_t>(w.warpInBlock));
+            ar.putU64(w.startCycle);
+            ar.putU64(w.endCycle);
+            ar.putU64(w.instructions);
+            ar.putU64(w.memStallCycles);
+            ar.putU64(w.aluStallCycles);
+            ar.putU64(w.structStallCycles);
+            ar.putU64(w.schedWaitCycles);
+            ar.putU64(w.barrierCycles);
+            ar.putU64(w.finishedWaitCycles);
+            ar.putU64(w.slowSamples);
+        }
+    }
+
+    ar.putU32(static_cast<std::uint32_t>(trace_.size()));
+    for (const TraceSample &s : trace_) {
+        ar.putU64(s.cycle);
+        ar.putU32(static_cast<std::uint32_t>(s.criticality.size()));
+        for (std::int64_t v : s.criticality)
+            ar.putI64(v);
+    }
+}
+
+void
+SmCore::load(InArchive &ar)
+{
+    const std::uint32_t num_warps = ar.getU32();
+    if (num_warps != warps_.size())
+        throw SimError(SimErrorKind::Checkpoint,
+                       "section '" + ar.section() +
+                           "': warp slot count mismatch (file " +
+                           std::to_string(num_warps) + ", config " +
+                           std::to_string(warps_.size()) + ")");
+    for (Warp &warp : warps_)
+        warp.load(ar, &kernel_.program);
+
+    for (int &block_index : slotBlock_)
+        block_index = static_cast<int>(ar.getU32());
+
+    const std::uint32_t num_blocks = ar.getU32();
+    if (num_blocks != blocks_.size())
+        throw SimError(SimErrorKind::Checkpoint,
+                       "section '" + ar.section() +
+                           "': block slot count mismatch (file " +
+                           std::to_string(num_blocks) + ", config " +
+                           std::to_string(blocks_.size()) + ")");
+    for (BlockState &block : blocks_) {
+        block.valid = ar.getBool();
+        block.id = ar.getU32();
+        block.start = ar.getU64();
+        block.slots.clear();
+        const std::uint32_t num_slots = ar.getU32();
+        for (std::uint32_t i = 0; i < num_slots; ++i)
+            block.slots.push_back(static_cast<WarpSlot>(ar.getU32()));
+        block.sharedMem = ar.getBytes();
+        block.barrier.load(ar);
+        block.runningWarps = static_cast<int>(ar.getU32());
+        block.samples = ar.getU64();
+        block.slowSamples.clear();
+        const std::uint32_t num_samples = ar.getU32();
+        for (std::uint32_t i = 0; i < num_samples; ++i)
+            block.slowSamples.push_back(ar.getU64());
+    }
+
+    for (auto &sched : schedulers_)
+        sched->loadState(ar);
+    cpl_->load(ar);
+    l1_->load(ar);
+
+    for (std::uint64_t &v : age_)
+        v = ar.getU64();
+    for (std::int64_t &v : priority_)
+        v = ar.getI64();
+    for (std::int64_t &v : oraclePriority_)
+        v = ar.getI64();
+    for (std::size_t i = 0; i < issuedThisCycle_.size(); ++i)
+        issuedThisCycle_[i] = ar.getBool();
+
+    wbQueue_ = {};
+    const std::uint32_t num_wb = ar.getU32();
+    for (std::uint32_t i = 0; i < num_wb; ++i) {
+        WbEvent ev;
+        ev.ready = ar.getU64();
+        ev.slot = static_cast<WarpSlot>(ar.getU32());
+        ev.regMask = ar.getU32();
+        ev.predMask = ar.getU8();
+        wbQueue_.push(ev);
+    }
+
+    ldstQueue_.clear();
+    const std::uint32_t num_ldst = ar.getU32();
+    for (std::uint32_t i = 0; i < num_ldst; ++i) {
+        Transaction t;
+        t.info = loadAccessInfo(ar);
+        t.token = ar.getU64();
+        ldstQueue_.push_back(t);
+    }
+
+    tokenPool_.clear();
+    const std::uint32_t num_tokens = ar.getU32();
+    for (std::uint32_t i = 0; i < num_tokens; ++i) {
+        Token t;
+        t.slot = static_cast<WarpSlot>(ar.getU32());
+        t.dstRegMask = ar.getU32();
+        t.remaining = static_cast<int>(ar.getU32());
+        t.stallNotified = ar.getBool();
+        tokenPool_.push_back(t);
+    }
+    tokenFreeList_.clear();
+    const std::uint32_t num_free = ar.getU32();
+    for (std::uint32_t i = 0; i < num_free; ++i)
+        tokenFreeList_.push_back(ar.getU32());
+    liveTokens_ = static_cast<int>(ar.getU32());
+
+    dispatchSeq_ = ar.getU64();
+    barrierArrivalSeq_ = ar.getI64();
+    loadCompletionSeq_ = ar.getI64();
+
+    pickHistory_.clear();
+    const std::uint32_t num_picks = ar.getU32();
+    for (std::uint32_t i = 0; i < num_picks; ++i) {
+        PickRecord p;
+        p.cycle = ar.getU64();
+        p.sched = static_cast<int>(ar.getU32());
+        p.slot = static_cast<WarpSlot>(ar.getU32());
+        pickHistory_.push_back(p);
+    }
+    pickHead_ = static_cast<std::size_t>(ar.getU64());
+
+    residentBlocks_ = static_cast<int>(ar.getU32());
+    freeSlots_ = static_cast<int>(ar.getU32());
+    regsUsed_ = static_cast<int>(ar.getU32());
+    smemUsed_ = static_cast<int>(ar.getU32());
+    issued_ = ar.getU64();
+    schedDirty_ = ar.getBool();
+    anyReadySeen_ = ar.getBool();
+    lastTicked_ = ar.getU64();
+    cachedNextEvent_ = ar.getU64();
+
+    retired_.clear();
+    const std::uint32_t num_retired = ar.getU32();
+    for (std::uint32_t i = 0; i < num_retired; ++i) {
+        BlockRecord rec;
+        rec.id = ar.getU32();
+        rec.smId = static_cast<int>(ar.getU32());
+        rec.startCycle = ar.getU64();
+        rec.endCycle = ar.getU64();
+        rec.cplSamples = ar.getU64();
+        const std::uint32_t num_wrecs = ar.getU32();
+        rec.warps.reserve(num_wrecs);
+        for (std::uint32_t w = 0; w < num_wrecs; ++w) {
+            WarpRecord wr;
+            wr.warpInBlock = static_cast<int>(ar.getU32());
+            wr.startCycle = ar.getU64();
+            wr.endCycle = ar.getU64();
+            wr.instructions = ar.getU64();
+            wr.memStallCycles = ar.getU64();
+            wr.aluStallCycles = ar.getU64();
+            wr.structStallCycles = ar.getU64();
+            wr.schedWaitCycles = ar.getU64();
+            wr.barrierCycles = ar.getU64();
+            wr.finishedWaitCycles = ar.getU64();
+            wr.slowSamples = ar.getU64();
+            rec.warps.push_back(wr);
+        }
+        retired_.push_back(std::move(rec));
+    }
+
+    trace_.clear();
+    const std::uint32_t num_trace = ar.getU32();
+    for (std::uint32_t i = 0; i < num_trace; ++i) {
+        TraceSample s;
+        s.cycle = ar.getU64();
+        const std::uint32_t n = ar.getU32();
+        s.criticality.reserve(n);
+        for (std::uint32_t k = 0; k < n; ++k)
+            s.criticality.push_back(ar.getI64());
+        trace_.push_back(std::move(s));
+    }
+
+    ar.expectEnd();
 }
 
 } // namespace cawa

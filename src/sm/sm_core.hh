@@ -155,6 +155,19 @@ class SmCore
      */
     void audit(Cycle now, int level) const;
 
+    /**
+     * Checkpoint the SM's complete timing and architectural state:
+     * warps, block bindings, schedulers, CPL, L1D, writeback and
+     * LD/ST queues, token pool, accounting counters and the
+     * fast-forward event cache. The writeback priority queue is
+     * serialized by draining a copy; re-inserting in that order may
+     * rebuild a different internal heap layout, which is fine
+     * because drainWritebacks() only clears per-slot scoreboard
+     * bits, so the pop order of equal-ready events is unobservable.
+     */
+    void save(OutArchive &ar) const;
+    void load(InArchive &ar);
+
   private:
     struct BlockState
     {

@@ -221,4 +221,81 @@ Warp::executeNext(ExecContext &ctx)
     return res;
 }
 
+void
+Warp::save(OutArchive &ar) const
+{
+    ar.putU8(static_cast<std::uint8_t>(state_));
+    ar.putU32(blockId_);
+    ar.putU32(static_cast<std::uint32_t>(warpInBlock_));
+    ar.putU32(static_cast<std::uint32_t>(baseTid_));
+    ar.putU64(dispatchAge_);
+    stack_.save(ar);
+
+    ar.putU32(scoreboard.pendingRegs);
+    ar.putU32(scoreboard.pendingMemRegs);
+    ar.putU8(scoreboard.pendingPreds);
+
+    ar.putU64(timings.startCycle);
+    ar.putU64(timings.endCycle);
+    ar.putU64(timings.instructions);
+    ar.putU64(timings.memStallCycles);
+    ar.putU64(timings.aluStallCycles);
+    ar.putU64(timings.structStallCycles);
+    ar.putU64(timings.schedWaitCycles);
+    ar.putU64(timings.barrierCycles);
+    ar.putU64(timings.finishedWaitCycles);
+
+    ar.putU64(lastIssueCycle);
+    ar.putU32(static_cast<std::uint32_t>(outstandingLoads));
+
+    if (state_ == WarpState::Inactive)
+        return;
+    for (const auto &lane : regs_)
+        for (RegValue v : lane)
+            ar.putU64(v);
+    for (const auto &lane : preds_)
+        for (bool p : lane)
+            ar.putBool(p);
+}
+
+void
+Warp::load(InArchive &ar, const Program *program)
+{
+    state_ = static_cast<WarpState>(ar.getU8());
+    blockId_ = ar.getU32();
+    warpInBlock_ = static_cast<int>(ar.getU32());
+    baseTid_ = static_cast<int>(ar.getU32());
+    dispatchAge_ = ar.getU64();
+    stack_.load(ar);
+
+    scoreboard.pendingRegs = ar.getU32();
+    scoreboard.pendingMemRegs = ar.getU32();
+    scoreboard.pendingPreds = ar.getU8();
+
+    timings.startCycle = ar.getU64();
+    timings.endCycle = ar.getU64();
+    timings.instructions = ar.getU64();
+    timings.memStallCycles = ar.getU64();
+    timings.aluStallCycles = ar.getU64();
+    timings.structStallCycles = ar.getU64();
+    timings.schedWaitCycles = ar.getU64();
+    timings.barrierCycles = ar.getU64();
+    timings.finishedWaitCycles = ar.getU64();
+
+    lastIssueCycle = ar.getU64();
+    outstandingLoads = static_cast<int>(ar.getU32());
+
+    if (state_ == WarpState::Inactive) {
+        program_ = nullptr;
+        return;
+    }
+    program_ = program;
+    for (auto &lane : regs_)
+        for (RegValue &v : lane)
+            v = ar.getU64();
+    for (auto &lane : preds_)
+        for (std::size_t i = 0; i < lane.size(); ++i)
+            lane[i] = ar.getBool();
+}
+
 } // namespace cawa

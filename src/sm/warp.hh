@@ -108,6 +108,16 @@ class Warp
     Cycle lastIssueCycle = 0;
     int outstandingLoads = 0;
 
+    /**
+     * Checkpoint the full architectural and accounting state.
+     * Inactive slots skip the register/predicate payload (activate()
+     * re-zeroes them); any non-inactive slot (including Finished,
+     * which keeps its program until block retirement) is rebound to
+     * @p program on load.
+     */
+    void save(OutArchive &ar) const;
+    void load(InArchive &ar, const Program *program);
+
   private:
     RegValue specialValue(SpecialReg sreg, int lane,
                           const ExecContext &ctx) const;

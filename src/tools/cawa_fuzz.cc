@@ -11,11 +11,16 @@
  *    dropped load completion) must be caught -- either classified by
  *    the watchdog as a deadlock or rejected by the auditor with a
  *    SimError -- never reported as a clean completion and never
- *    allowed to burn to the maxCycles timeout undetected.
+ *    allowed to burn to the maxCycles timeout undetected;
+ *  - checkpoints written mid-run must restore cleanly, while any
+ *    single-bit corruption (injected through
+ *    faults.corruptCheckpointByte) or truncation must be rejected
+ *    with a SimError of kind Checkpoint -- never silently restored.
  *
  * Examples:
  *   cawa_fuzz --seeds 50
  *   cawa_fuzz --seeds 200 --start 1000 --check 2 --verbose
+ *   cawa_fuzz --seeds 0 --ckpt-seeds 20
  *
  * Exit status 0 when every seed behaves, 1 otherwise.
  */
@@ -23,10 +28,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
+#include <unistd.h>
+
 #include "common/rng.hh"
+#include "common/sim_assert.hh"
+#include "common/sim_error.hh"
 #include "isa/program_builder.hh"
+#include "sim/gpu.hh"
 #include "sim/gpu_config.hh"
 #include "sim/report.hh"
 #include "sim/sweep.hh"
@@ -132,17 +144,166 @@ buildCase(std::uint64_t seed, int check_level)
     return fc;
 }
 
+/**
+ * Checkpoint robustness phase for one seed. Runs a clean case to a
+ * seed-chosen cycle, writes a checkpoint, then checks three things:
+ *
+ *  1. the untouched checkpoint restores without error;
+ *  2. re-writing it with faults.corruptCheckpointByte armed (one
+ *     flipped bit at a seed-chosen position, plus position 0 so the
+ *     magic is always covered) makes restoreCheckpoint() throw a
+ *     SimError of kind Checkpoint -- any other outcome (clean
+ *     restore, a different error kind) is an anomaly;
+ *  3. a truncated copy of the checkpoint is likewise rejected.
+ *
+ * Returns the number of anomalies found (0 when the seed behaves).
+ */
+int
+runCheckpointSeed(std::uint64_t seed, bool verbose)
+{
+    namespace fs = std::filesystem;
+
+    FuzzCase fc = buildCase(seed, /*check_level=*/0);
+    fc.cfg.faults = FaultInjection{}; // corruption only, no sim faults
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+    const Cycle stop = 200 + rng.nextBounded(3'000);
+
+    const std::string base =
+        (fs::temp_directory_path() /
+         ("cawa_fuzz_" + std::to_string(::getpid()) + "_" +
+          std::to_string(seed)))
+            .string();
+    const std::string clean = base + ".ckpt";
+    const std::string mangled = base + "_bad.ckpt";
+
+    // Checkpoint loads assert internal invariants; surface any
+    // failure as an exception instead of aborting the fuzzer.
+    SimAssertThrowGuard assert_guard(true);
+
+    int anomalies = 0;
+    auto anomaly = [&](const char *what, const std::string &detail) {
+        ++anomalies;
+        std::fprintf(stderr,
+                     "cawa_fuzz: ckpt seed %llu %s [ANOMALY]%s%s\n",
+                     static_cast<unsigned long long>(seed), what,
+                     detail.empty() ? "" : ": ", detail.c_str());
+    };
+
+    auto writeCheckpoint = [&](const GpuConfig &cfg,
+                               const std::string &path) {
+        MemoryImage mem;
+        Gpu gpu(cfg, mem);
+        gpu.launch(fc.kernel);
+        gpu.stepUntil(stop);
+        gpu.saveCheckpoint(path);
+    };
+    writeCheckpoint(fc.cfg, clean);
+
+    // 1. A valid checkpoint must restore (and pass the post-restore
+    //    level-2 audit) without complaint.
+    try {
+        MemoryImage mem;
+        Gpu gpu(fc.cfg, mem);
+        gpu.restoreCheckpoint(clean, fc.kernel);
+    } catch (const std::exception &e) {
+        anomaly("valid checkpoint rejected", e.what());
+    }
+
+    // 2. Single-bit corruption at several positions: always position
+    //    0 (the magic), then seed-chosen byte/bit combinations across
+    //    the whole file.
+    const auto file_size =
+        static_cast<std::uint64_t>(fs::file_size(clean));
+    for (int trial = 0; trial < 4; ++trial) {
+        const std::int64_t pos =
+            trial == 0 ? 0
+                       : static_cast<std::int64_t>(
+                             rng.nextBounded(file_size * 8));
+        GpuConfig cfg = fc.cfg;
+        cfg.faults.corruptCheckpointByte = pos;
+        writeCheckpoint(cfg, mangled);
+
+        bool detected = false;
+        std::string outcome = "restored cleanly";
+        try {
+            MemoryImage mem;
+            Gpu gpu(fc.cfg, mem);
+            gpu.restoreCheckpoint(mangled, fc.kernel);
+        } catch (const SimError &e) {
+            detected = e.kind() == SimErrorKind::Checkpoint;
+            outcome = e.what();
+        } catch (const std::exception &e) {
+            outcome = e.what();
+        }
+        if (!detected) {
+            anomaly("corrupt checkpoint not rejected as Checkpoint",
+                    "bit position " + std::to_string(pos) + ": " +
+                        outcome);
+        } else if (verbose) {
+            std::fprintf(stderr,
+                         "cawa_fuzz: ckpt seed %llu bit %lld -> "
+                         "rejected\n",
+                         static_cast<unsigned long long>(seed),
+                         static_cast<long long>(pos));
+        }
+    }
+
+    // 3. Truncation anywhere in the file must also be rejected.
+    {
+        const std::uint64_t keep = rng.nextBounded(file_size);
+        std::ifstream in(clean, std::ios::binary);
+        std::string bytes(static_cast<std::size_t>(keep), '\0');
+        in.read(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+        std::ofstream out(mangled,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.close();
+
+        bool detected = false;
+        std::string outcome = "restored cleanly";
+        try {
+            MemoryImage mem;
+            Gpu gpu(fc.cfg, mem);
+            gpu.restoreCheckpoint(mangled, fc.kernel);
+        } catch (const SimError &e) {
+            detected = e.kind() == SimErrorKind::Checkpoint;
+            outcome = e.what();
+        } catch (const std::exception &e) {
+            outcome = e.what();
+        }
+        if (!detected)
+            anomaly("truncated checkpoint not rejected",
+                    "kept " + std::to_string(keep) + " of " +
+                        std::to_string(file_size) + " bytes: " +
+                        outcome);
+    }
+
+    std::error_code ec;
+    fs::remove(clean, ec);
+    fs::remove(mangled, ec);
+
+    if (verbose && anomalies == 0)
+        std::fprintf(stderr, "cawa_fuzz: ckpt seed %llu ok\n",
+                     static_cast<unsigned long long>(seed));
+    return anomalies;
+}
+
 [[noreturn]] void
 usage(int status)
 {
     std::fprintf(status ? stderr : stdout,
                  "usage: cawa_fuzz [options]\n"
-                 "  --seeds N    number of seeds to run (default 20)\n"
-                 "  --start S    first seed (default 1)\n"
-                 "  --check L    invariant audit level 0/1/2"
+                 "  --seeds N       number of fault-injection seeds"
+                 " (default 20)\n"
+                 "  --ckpt-seeds N  number of checkpoint-corruption"
+                 " seeds (default 5)\n"
+                 "  --start S       first seed (default 1)\n"
+                 "  --check L       invariant audit level 0/1/2"
                  " (default 2)\n"
-                 "  --verbose    print every seed's outcome\n"
-                 "  --help       this text\n");
+                 "  --verbose       print every seed's outcome\n"
+                 "  --help          this text\n");
     std::exit(status);
 }
 
@@ -152,6 +313,7 @@ int
 main(int argc, char **argv)
 {
     std::uint64_t seeds = 20;
+    std::uint64_t ckpt_seeds = 5;
     std::uint64_t start = 1;
     int check_level = 2;
     bool verbose = false;
@@ -167,6 +329,8 @@ main(int argc, char **argv)
         };
         if (arg == "--seeds") {
             seeds = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--ckpt-seeds") {
+            ckpt_seeds = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--start") {
             start = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--check") {
@@ -231,8 +395,15 @@ main(int argc, char **argv)
             ++anomalies;
     }
 
-    std::fprintf(stderr, "cawa_fuzz: %llu seeds, %d anomal%s\n",
-                 static_cast<unsigned long long>(seeds), anomalies,
-                 anomalies == 1 ? "y" : "ies");
+    for (std::uint64_t seed = start; seed < start + ckpt_seeds;
+         ++seed)
+        anomalies += runCheckpointSeed(seed, verbose);
+
+    std::fprintf(stderr,
+                 "cawa_fuzz: %llu fault seeds, %llu ckpt seeds, "
+                 "%d anomal%s\n",
+                 static_cast<unsigned long long>(seeds),
+                 static_cast<unsigned long long>(ckpt_seeds),
+                 anomalies, anomalies == 1 ? "y" : "ies");
     return anomalies ? 1 : 0;
 }

@@ -16,7 +16,11 @@
  *
  * With --journal, one JSON line is appended per finished job; with
  * --resume, jobs already journaled as "ok" are skipped so a killed or
- * partially-failed sweep re-runs only the failed/missing jobs.
+ * partially-failed sweep re-runs only the failed/missing jobs. With
+ * --checkpoint-dir, running jobs snapshot their full machine state
+ * periodically (and on SIGINT/SIGTERM or --job-timeout expiry), and
+ * --resume continues each re-run job cycle-exactly from its snapshot
+ * instead of from cycle 0.
  *
  * Without --out, documents are printed to stdout one per line
  * (compact), in job order. Exit status is non-zero when any job
@@ -24,6 +28,8 @@
  */
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +40,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "sim/journal.hh"
 #include "sim/report_json.hh"
@@ -46,6 +54,30 @@ using namespace cawa;
 namespace
 {
 
+/**
+ * Graceful shutdown: the first SIGINT/SIGTERM sets the cancel flag
+ * every running job polls (each writes a final checkpoint when
+ * configured, then stops), started jobs drain, the journal and the
+ * partial report are flushed, and cawa_sweep exits 130. A second
+ * signal hard-exits immediately.
+ */
+std::atomic<bool> g_cancel{false};
+std::atomic<int> g_signalCount{0};
+
+extern "C" void
+handleShutdownSignal(int)
+{
+    if (g_signalCount.fetch_add(1, std::memory_order_relaxed) >= 1)
+        _exit(130);
+    g_cancel.store(true, std::memory_order_relaxed);
+    const char msg[] =
+        "\ncawa_sweep: interrupted -- stopping jobs (final checkpoints "
+        "+ journal are being written); interrupt again to hard-exit\n";
+    // write() is async-signal-safe; fprintf is not.
+    const ssize_t ignored = write(2, msg, sizeof(msg) - 1);
+    (void)ignored;
+}
+
 struct Options
 {
     std::vector<std::string> workloads;
@@ -56,6 +88,9 @@ struct Options
     int threads = 0; ///< 0 = CAWA_BENCH_THREADS or hardware default
     std::string outDir;
     std::string journalPath;
+    std::string checkpointDir;
+    std::uint64_t checkpointInterval = 1'000'000; ///< cycles
+    double jobTimeout = 0.0; ///< per-job wall-clock budget (seconds)
     bool resume = false;
     int retries = 0; ///< extra attempts for jobs that throw
     bool listOnly = false;
@@ -80,8 +115,17 @@ usage(int status)
         "                     CAWA_BENCH_THREADS, else all cores)\n"
         "  --out DIR          write DIR/<job>.json instead of stdout\n"
         "  --journal FILE     append one JSON line per finished job\n"
+        "  --checkpoint-dir D write DIR/<job>.ckpt snapshots while\n"
+        "                     jobs run; with --resume, restore them\n"
+        "  --checkpoint-interval N\n"
+        "                     cycles between snapshots (default 1e6)\n"
+        "  --job-timeout SEC  per-job wall-clock budget; an exceeded\n"
+        "                     job checkpoints (when configured) and\n"
+        "                     fails with reason 'walltime'\n"
         "  --resume           skip jobs journaled as ok (needs\n"
-        "                     --journal)\n"
+        "                     --journal); with --checkpoint-dir,\n"
+        "                     re-run jobs continue from their latest\n"
+        "                     valid checkpoint\n"
         "  --retries N        re-run a job that throws up to N extra\n"
         "                     times (default 0)\n"
         "  --compact          single-line JSON (stdout default)\n"
@@ -184,6 +228,14 @@ parseArgs(int argc, char **argv)
             opt.outDir = next(i);
         } else if (arg == "--journal") {
             opt.journalPath = next(i);
+        } else if (arg == "--checkpoint-dir") {
+            opt.checkpointDir = next(i);
+        } else if (arg == "--checkpoint-interval") {
+            opt.checkpointInterval = static_cast<std::uint64_t>(
+                parsePositiveDouble(next(i), "checkpoint interval"));
+        } else if (arg == "--job-timeout") {
+            opt.jobTimeout =
+                parsePositiveDouble(next(i), "job timeout");
         } else if (arg == "--resume") {
             opt.resume = true;
         } else if (arg == "--retries") {
@@ -265,6 +317,36 @@ main(int argc, char **argv)
                      total - jobs.size(), total);
     }
 
+    // Checkpointing, per-job wall-clock budget and graceful shutdown.
+    if (!opt.checkpointDir.empty())
+        std::filesystem::create_directories(opt.checkpointDir);
+    std::size_t resumable = 0;
+    for (SweepJob &job : jobs) {
+        job.cfg.cancelFlag = &g_cancel;
+        job.cfg.wallClockLimitSec = opt.jobTimeout;
+        if (opt.checkpointDir.empty())
+            continue;
+        const std::filesystem::path ckpt =
+            std::filesystem::path(opt.checkpointDir) /
+            (job.name + ".ckpt");
+        job.cfg.checkpointPath = ckpt.string();
+        job.cfg.checkpointInterval = opt.checkpointInterval;
+        // On resume, continue each re-run job from its snapshot; an
+        // unusable file falls back to a from-scratch run inside
+        // runSweepJob.
+        if (opt.resume && std::filesystem::exists(ckpt)) {
+            job.resumeFromCheckpoint = ckpt.string();
+            ++resumable;
+        }
+    }
+    if (resumable)
+        std::fprintf(stderr,
+                     "cawa_sweep: resume: %zu job%s continuing from "
+                     "checkpoints\n",
+                     resumable, resumable == 1 ? "" : "s");
+    std::signal(SIGINT, handleShutdownSignal);
+    std::signal(SIGTERM, handleShutdownSignal);
+
     int threads = opt.threads;
     if (threads <= 0)
         threads = sweepThreadsFromEnv();
@@ -338,17 +420,21 @@ main(int argc, char **argv)
         const SweepResult &res = results[i];
         const std::string &name = jobs[i].name;
         if (!res.error.empty()) {
-            std::fprintf(stderr,
-                         "cawa_sweep: %s FAILED (%d attempt%s): %s\n",
-                         name.c_str(), res.attempts,
-                         res.attempts == 1 ? "" : "s",
-                         res.error.c_str());
+            if (res.failureReason == "cancelled")
+                std::fprintf(stderr, "cawa_sweep: %s CANCELLED: %s\n",
+                             name.c_str(), res.error.c_str());
+            else
+                std::fprintf(stderr,
+                             "cawa_sweep: %s FAILED (%d attempt%s): %s\n",
+                             name.c_str(), res.attempts,
+                             res.attempts == 1 ? "" : "s",
+                             res.error.c_str());
             ++failures;
             // Failed jobs still get a document so the output
             // directory has one entry per job.
             emitDoc(name,
                     failureToJson(name, res.error, res.attempts,
-                                  json_opt));
+                                  json_opt, res.failureReason));
             continue;
         }
         if (res.report.exitStatus != ExitStatus::Completed) {
@@ -369,5 +455,10 @@ main(int argc, char **argv)
         if (!emitDoc(name, toJson(res.report, json_opt)))
             ++failures;
     }
+    // Conventional fatal-signal exit status; the journal and
+    // checkpoints written above make a later --resume pick up where
+    // this run stopped.
+    if (g_cancel.load(std::memory_order_relaxed))
+        return 130;
     return failures ? 1 : 0;
 }

@@ -1,0 +1,623 @@
+/**
+ * @file
+ * Locks in the checkpoint/restore contract: a checkpoint taken at ANY
+ * cycle restores into a simulation that finishes with a SimReport
+ * serializing byte-for-byte identically to an uninterrupted run --
+ * cycles, stall breakdowns, cache counters, per-warp block records
+ * and criticality traces included. Covered per workload for the
+ * paper's three headline configurations (GTO baseline, gCAWS, full
+ * CAWA = gCAWS + CACP), with fast-forward on and off, at fixed and
+ * seed-randomized checkpoint cycles, restoring twice from the same
+ * file and restoring into a completely fresh Gpu + MemoryImage.
+ *
+ * The negative half pins the rejection contract: corrupt, truncated,
+ * wrong-config and wrong-kernel checkpoints raise SimError of kind
+ * Checkpoint (never a silent restore), and the sweep layer falls
+ * back to a from-scratch run when handed an unusable checkpoint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/sim_error.hh"
+#include "sim/gpu.hh"
+#include "sim/report_json.hh"
+#include "sim/sweep.hh"
+#include "workloads/registry.hh"
+#include "workloads/sweep_jobs.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams params;
+    params.scale = 0.1;
+    params.seed = 1;
+    return params;
+}
+
+/** The paper's three headline configurations. */
+std::vector<std::pair<std::string, GpuConfig>>
+headlineConfigs()
+{
+    std::vector<std::pair<std::string, GpuConfig>> configs;
+    GpuConfig gto = GpuConfig::fermiGtx480();
+    configs.emplace_back("gto", gto);
+    GpuConfig gcaws = gto;
+    gcaws.scheduler = SchedulerKind::Gcaws;
+    configs.emplace_back("gcaws", gcaws);
+    GpuConfig cawa = gcaws;
+    cawa.l1Policy = CachePolicyKind::Cacp;
+    configs.emplace_back("cawa", cawa);
+    return configs;
+}
+
+std::string
+tmpPath(const std::string &stem)
+{
+    return (std::filesystem::path(::testing::TempDir()) /
+            (stem + ".ckpt"))
+        .string();
+}
+
+std::string
+fullJson(const SimReport &report)
+{
+    JsonWriteOptions opt;
+    opt.includeBlocks = true;
+    opt.includeTrace = true;
+    opt.includeDerived = true;
+    return toJson(report, opt);
+}
+
+/** Uninterrupted run of @p spec's job through the direct Gpu API. */
+SimReport
+referenceRun(const WorkloadJobSpec &spec)
+{
+    const SweepJob job = makeWorkloadJob(spec);
+    MemoryImage mem;
+    const KernelInfo kernel = job.build(mem);
+    Gpu gpu(job.cfg, mem);
+    gpu.launch(kernel);
+    gpu.runToCompletion();
+    return gpu.finish();
+}
+
+/**
+ * Run @p spec to @p stop, checkpoint, restore into a completely
+ * fresh Gpu + MemoryImage and finish from there. The report must be
+ * byte-identical to @p reference_json.
+ */
+void
+expectRestoredIdentical(const WorkloadJobSpec &spec, Cycle stop,
+                        const std::string &reference_json,
+                        const std::string &path)
+{
+    const SweepJob job = makeWorkloadJob(spec);
+    {
+        MemoryImage mem;
+        const KernelInfo kernel = job.build(mem);
+        Gpu gpu(job.cfg, mem);
+        gpu.launch(kernel);
+        gpu.stepUntil(stop);
+        gpu.saveCheckpoint(path);
+    }
+    MemoryImage mem;
+    const KernelInfo kernel = job.build(mem);
+    Gpu gpu(job.cfg, mem);
+    gpu.restoreCheckpoint(path, kernel);
+    gpu.runToCompletion();
+    EXPECT_EQ(reference_json, fullJson(gpu.finish()))
+        << workloadJobName(spec) << " diverged after restore at cycle "
+        << stop;
+    std::filesystem::remove(path);
+}
+
+std::string
+sanitized(std::string name)
+{
+    for (char &c : name)
+        if (c == '+' || c == '.')
+            c = 'p';
+    return name;
+}
+
+} // namespace
+
+class CheckpointIdentity : public ::testing::TestWithParam<std::string>
+{
+};
+
+/**
+ * Every workload under GTO, gCAWS and CAWA: checkpoint at a fixed
+ * early cycle and at a seed-randomized cycle anywhere in the run
+ * (including possibly after completion), restore into a fresh
+ * machine, compare full serialized reports.
+ */
+TEST_P(CheckpointIdentity, RestoreMatchesUninterruptedRun)
+{
+    Rng rng(std::hash<std::string>{}(GetParam()));
+    for (const auto &[cfg_name, cfg] : headlineConfigs()) {
+        WorkloadJobSpec spec;
+        spec.workload = GetParam();
+        spec.cfg = cfg;
+        spec.params = tinyParams();
+
+        const SimReport reference = referenceRun(spec);
+        const std::string reference_json = fullJson(reference);
+        const std::string path =
+            tmpPath("ckpt_" + sanitized(GetParam()) + "_" + cfg_name);
+
+        expectRestoredIdentical(spec, 1'000, reference_json, path);
+        const Cycle random_stop =
+            1 + rng.nextBounded(reference.cycles + 100);
+        expectRestoredIdentical(spec, random_stop, reference_json,
+                                path);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CheckpointIdentity,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return sanitized(info.param);
+    });
+
+/** Same contract with the fast-forward core disabled on both sides. */
+TEST(CheckpointConfigs, FlatTicking)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "bfs";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.cfg.fastForward = false;
+    spec.params = tinyParams();
+    const std::string reference_json = fullJson(referenceRun(spec));
+    expectRestoredIdentical(spec, 2'000, reference_json,
+                            tmpPath("ckpt_flat"));
+}
+
+/**
+ * fastForward is a pure speed knob, deliberately excluded from the
+ * config signature: a checkpoint written by a fast-forwarding run
+ * must restore under flat ticking (and vice versa) with identical
+ * results.
+ */
+TEST(CheckpointConfigs, CrossFastForwardRestore)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "backprop";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.params = tinyParams();
+    const std::string reference_json = fullJson(referenceRun(spec));
+    const std::string path = tmpPath("ckpt_crossff");
+
+    const SweepJob job = makeWorkloadJob(spec);
+    {
+        MemoryImage mem;
+        const KernelInfo kernel = job.build(mem);
+        GpuConfig ff_cfg = job.cfg;
+        ff_cfg.fastForward = true;
+        Gpu gpu(ff_cfg, mem);
+        gpu.launch(kernel);
+        gpu.stepUntil(3'000);
+        gpu.saveCheckpoint(path);
+    }
+    MemoryImage mem;
+    const KernelInfo kernel = job.build(mem);
+    GpuConfig flat_cfg = job.cfg;
+    flat_cfg.fastForward = false;
+    Gpu gpu(flat_cfg, mem);
+    gpu.restoreCheckpoint(path, kernel);
+    gpu.runToCompletion();
+    EXPECT_EQ(reference_json, fullJson(gpu.finish()));
+    std::filesystem::remove(path);
+}
+
+/**
+ * The trace sampler records at fixed cycle boundaries; a restore
+ * that misplaced the clock would shift or drop samples.
+ */
+TEST(CheckpointConfigs, TraceSampling)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "pathfinder";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.cfg.traceBlockId = 0;
+    spec.params = tinyParams();
+    const std::string reference_json = fullJson(referenceRun(spec));
+    expectRestoredIdentical(spec, 1'500, reference_json,
+                            tmpPath("ckpt_trace"));
+}
+
+/** One checkpoint file restores any number of times, identically. */
+TEST(CheckpointConfigs, DoubleRestore)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "kmeans";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.cfg.scheduler = SchedulerKind::Gcaws;
+    spec.cfg.l1Policy = CachePolicyKind::Cacp;
+    spec.params = tinyParams();
+    const std::string path = tmpPath("ckpt_double");
+
+    const SweepJob job = makeWorkloadJob(spec);
+    {
+        MemoryImage mem;
+        const KernelInfo kernel = job.build(mem);
+        Gpu gpu(job.cfg, mem);
+        gpu.launch(kernel);
+        gpu.stepUntil(2'500);
+        gpu.saveCheckpoint(path);
+    }
+    auto restoreAndFinish = [&]() {
+        MemoryImage mem;
+        const KernelInfo kernel = job.build(mem);
+        Gpu gpu(job.cfg, mem);
+        gpu.restoreCheckpoint(path, kernel);
+        gpu.runToCompletion();
+        return fullJson(gpu.finish());
+    };
+    const std::string first = restoreAndFinish();
+    EXPECT_EQ(first, restoreAndFinish());
+    EXPECT_EQ(first, fullJson(referenceRun(spec)));
+    std::filesystem::remove(path);
+}
+
+/**
+ * Restoring into a Gpu that already ran part of a DIFFERENT launch
+ * must fully replace its state, not merge with it.
+ */
+TEST(CheckpointConfigs, RestoreReplacesRunningMachine)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "bfs";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.params = tinyParams();
+    const std::string reference_json = fullJson(referenceRun(spec));
+    const std::string path = tmpPath("ckpt_replace");
+
+    const SweepJob job = makeWorkloadJob(spec);
+    {
+        MemoryImage mem;
+        const KernelInfo kernel = job.build(mem);
+        Gpu gpu(job.cfg, mem);
+        gpu.launch(kernel);
+        gpu.stepUntil(1'200);
+        gpu.saveCheckpoint(path);
+    }
+    MemoryImage mem;
+    const KernelInfo kernel = job.build(mem);
+    Gpu gpu(job.cfg, mem);
+    gpu.launch(kernel);
+    gpu.stepUntil(4'321); // deliberately out of sync with the file
+    gpu.restoreCheckpoint(path, kernel);
+    EXPECT_EQ(gpu.cycle(), Cycle{1'200});
+    gpu.runToCompletion();
+    EXPECT_EQ(reference_json, fullJson(gpu.finish()));
+    std::filesystem::remove(path);
+}
+
+/**
+ * Periodic checkpointing through GpuConfig::checkpointInterval: the
+ * run completes normally, leaves a restorable file behind, and the
+ * checkpoint machinery perturbs nothing.
+ */
+TEST(CheckpointConfigs, PeriodicCheckpointing)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "backprop";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.params = tinyParams();
+    const std::string reference_json = fullJson(referenceRun(spec));
+    const std::string path = tmpPath("ckpt_periodic");
+
+    const SweepJob job = makeWorkloadJob(spec);
+    MemoryImage mem;
+    const KernelInfo kernel = job.build(mem);
+    GpuConfig cfg = job.cfg;
+    cfg.checkpointPath = path;
+    cfg.checkpointInterval = 2'000;
+    Gpu gpu(cfg, mem);
+    gpu.launch(kernel);
+    gpu.runToCompletion();
+    EXPECT_EQ(reference_json, fullJson(gpu.finish()));
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    MemoryImage mem2;
+    const KernelInfo kernel2 = job.build(mem2);
+    Gpu resumed(job.cfg, mem2);
+    resumed.restoreCheckpoint(path, kernel2);
+    resumed.runToCompletion();
+    EXPECT_EQ(reference_json, fullJson(resumed.finish()));
+    std::filesystem::remove(path);
+}
+
+namespace
+{
+
+/** Write a checkpoint for @p spec at @p stop and return its path. */
+std::string
+writeCheckpoint(const WorkloadJobSpec &spec, Cycle stop,
+                const std::string &stem)
+{
+    const std::string path = tmpPath(stem);
+    const SweepJob job = makeWorkloadJob(spec);
+    MemoryImage mem;
+    const KernelInfo kernel = job.build(mem);
+    Gpu gpu(job.cfg, mem);
+    gpu.launch(kernel);
+    gpu.stepUntil(stop);
+    gpu.saveCheckpoint(path);
+    return path;
+}
+
+/** Restore @p path for @p spec; must throw SimError(Checkpoint). */
+void
+expectRejected(const WorkloadJobSpec &spec, const std::string &path,
+               const char *why)
+{
+    const SweepJob job = makeWorkloadJob(spec);
+    MemoryImage mem;
+    const KernelInfo kernel = job.build(mem);
+    Gpu gpu(job.cfg, mem);
+    try {
+        gpu.restoreCheckpoint(path, kernel);
+        FAIL() << why << ": restore did not throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Checkpoint)
+            << why << ": wrong kind: " << e.what();
+        EXPECT_FALSE(gpu.launched())
+            << why << ": failed restore left a live machine";
+    }
+}
+
+WorkloadJobSpec
+rejectionSpec()
+{
+    WorkloadJobSpec spec;
+    spec.workload = "bfs";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.params = tinyParams();
+    return spec;
+}
+
+} // namespace
+
+TEST(CheckpointRejection, MissingFile)
+{
+    expectRejected(rejectionSpec(), tmpPath("ckpt_no_such_file"),
+                   "missing file");
+}
+
+TEST(CheckpointRejection, GarbageMagic)
+{
+    const std::string path = tmpPath("ckpt_garbage");
+    std::ofstream(path, std::ios::binary)
+        << "definitely not a checkpoint";
+    expectRejected(rejectionSpec(), path, "garbage magic");
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointRejection, Truncated)
+{
+    const WorkloadJobSpec spec = rejectionSpec();
+    const std::string path =
+        writeCheckpoint(spec, 1'000, "ckpt_trunc");
+    const auto size = std::filesystem::file_size(path);
+    // Truncation points spanning magic, section table and payloads.
+    for (const double frac : {0.0, 0.001, 0.3, 0.999}) {
+        const auto keep = static_cast<std::uint64_t>(
+            static_cast<double>(size) * frac);
+        std::ifstream in(path, std::ios::binary);
+        std::string bytes(static_cast<std::size_t>(keep), '\0');
+        in.read(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+        const std::string cut = tmpPath("ckpt_trunc_cut");
+        std::ofstream(cut, std::ios::binary | std::ios::trunc)
+            .write(bytes.data(),
+                   static_cast<std::streamsize>(bytes.size()));
+        expectRejected(spec, cut, "truncated file");
+        std::filesystem::remove(cut);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointRejection, CorruptedByteViaFaultHook)
+{
+    const WorkloadJobSpec spec = rejectionSpec();
+    const SweepJob job = makeWorkloadJob(spec);
+    // One flip in the payload region and one in the header.
+    for (const std::int64_t bit : {std::int64_t{7},
+                                   std::int64_t{999'983}}) {
+        const std::string path = tmpPath("ckpt_corrupt");
+        MemoryImage mem;
+        const KernelInfo kernel = job.build(mem);
+        GpuConfig cfg = job.cfg;
+        cfg.faults.corruptCheckpointByte = bit;
+        Gpu gpu(cfg, mem);
+        gpu.launch(kernel);
+        gpu.stepUntil(1'000);
+        gpu.saveCheckpoint(path);
+        expectRejected(spec, path, "corrupted byte");
+        std::filesystem::remove(path);
+    }
+}
+
+TEST(CheckpointRejection, ConfigMismatch)
+{
+    const WorkloadJobSpec spec = rejectionSpec();
+    const std::string path =
+        writeCheckpoint(spec, 1'000, "ckpt_cfgmismatch");
+    WorkloadJobSpec other = spec;
+    other.cfg.scheduler = SchedulerKind::Gcaws;
+    expectRejected(other, path, "different scheduler");
+    other = spec;
+    other.cfg.l1d.numMshrs *= 2;
+    expectRejected(other, path, "different L1 geometry");
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointRejection, KernelMismatch)
+{
+    const WorkloadJobSpec spec = rejectionSpec();
+    const std::string path =
+        writeCheckpoint(spec, 1'000, "ckpt_kernmismatch");
+    WorkloadJobSpec other = spec;
+    other.workload = "backprop";
+    expectRejected(other, path, "different kernel");
+    std::filesystem::remove(path);
+}
+
+/**
+ * Sweep-level resume: a valid checkpoint is picked up (resumed =
+ * true, byte-identical report); an unusable one falls back to a
+ * from-scratch run on rebuilt inputs instead of failing the job.
+ */
+TEST(CheckpointSweep, ResumeAndFallback)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "needle";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.params = tinyParams();
+
+    SweepJob job = makeWorkloadJob(spec);
+    const SweepResult reference = runSweepJob(job);
+    ASSERT_TRUE(reference.ok()) << reference.error;
+    const std::string reference_json = fullJson(reference.report);
+
+    const std::string path =
+        writeCheckpoint(spec, 2'000, "ckpt_sweep");
+    job.resumeFromCheckpoint = path;
+    const SweepResult resumed = runSweepJob(job);
+    ASSERT_TRUE(resumed.ok()) << resumed.error;
+    EXPECT_TRUE(resumed.resumed);
+    EXPECT_EQ(reference_json, fullJson(resumed.report));
+
+    // Corrupt the file in place; the job must fall back cleanly.
+    {
+        std::fstream f(path, std::ios::binary | std::ios::in |
+                                 std::ios::out);
+        f.seekp(40);
+        f.put('\xff');
+    }
+    const SweepResult fallback = runSweepJob(job);
+    ASSERT_TRUE(fallback.ok()) << fallback.error;
+    EXPECT_FALSE(fallback.resumed);
+    EXPECT_EQ(reference_json, fullJson(fallback.report));
+    std::filesystem::remove(path);
+}
+
+/**
+ * CawsOracle jobs profile on a side image before the measured pass.
+ * Periodic checkpoints must come only from the measured pass, and a
+ * resume re-runs the (deterministic) profile to rebuild the oracle
+ * before restoring.
+ */
+TEST(CheckpointSweep, CawsOracleResume)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "bfs";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.cfg.scheduler = SchedulerKind::CawsOracle;
+    spec.params = tinyParams();
+
+    SweepJob job = makeWorkloadJob(spec);
+    const SweepResult reference = runSweepJob(job);
+    ASSERT_TRUE(reference.ok()) << reference.error;
+    const std::string reference_json = fullJson(reference.report);
+
+    const std::string path = tmpPath("ckpt_oracle");
+    job.cfg.checkpointPath = path;
+    job.cfg.checkpointInterval = 1'500;
+    const SweepResult checkpointed = runSweepJob(job);
+    ASSERT_TRUE(checkpointed.ok()) << checkpointed.error;
+    EXPECT_EQ(reference_json, fullJson(checkpointed.report));
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    job.resumeFromCheckpoint = path;
+    const SweepResult resumed = runSweepJob(job);
+    ASSERT_TRUE(resumed.ok()) << resumed.error;
+    EXPECT_TRUE(resumed.resumed);
+    EXPECT_EQ(reference_json, fullJson(resumed.report));
+    std::filesystem::remove(path);
+}
+
+/**
+ * Wall-clock timeout: an impossible budget fails the job with
+ * failureReason "walltime", writes a final checkpoint, and resuming
+ * from that checkpoint without the limit completes byte-identically.
+ */
+TEST(CheckpointSweep, WalltimeSavesAndResumes)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "bfs";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.params = tinyParams();
+
+    SweepJob job = makeWorkloadJob(spec);
+    const SweepResult reference = runSweepJob(job);
+    ASSERT_TRUE(reference.ok()) << reference.error;
+
+    const std::string path = tmpPath("ckpt_walltime");
+    job.cfg.checkpointPath = path;
+    job.cfg.wallClockLimitSec = 1e-9;
+    const SweepResult out = runSweepJob(job, /*max_attempts=*/3);
+    EXPECT_FALSE(out.error.empty());
+    EXPECT_EQ(out.failureReason, "walltime");
+    EXPECT_EQ(out.attempts, 1) << "walltime failures must not retry";
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    job.cfg.wallClockLimitSec = 0.0;
+    job.cfg.checkpointPath.clear();
+    job.resumeFromCheckpoint = path;
+    const SweepResult resumed = runSweepJob(job);
+    ASSERT_TRUE(resumed.ok()) << resumed.error;
+    EXPECT_TRUE(resumed.resumed);
+    EXPECT_EQ(fullJson(reference.report), fullJson(resumed.report));
+    std::filesystem::remove(path);
+}
+
+/** Cooperative cancellation mirrors the walltime path. */
+TEST(CheckpointSweep, CancelSavesAndResumes)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "backprop";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.params = tinyParams();
+
+    SweepJob job = makeWorkloadJob(spec);
+    const SweepResult reference = runSweepJob(job);
+    ASSERT_TRUE(reference.ok()) << reference.error;
+
+    static std::atomic<bool> cancel{false};
+    cancel.store(true);
+    const std::string path = tmpPath("ckpt_cancel");
+    job.cfg.checkpointPath = path;
+    job.cfg.cancelFlag = &cancel;
+    const SweepResult out = runSweepJob(job, /*max_attempts=*/3);
+    EXPECT_FALSE(out.error.empty());
+    EXPECT_EQ(out.failureReason, "cancelled");
+    EXPECT_EQ(out.attempts, 1) << "cancelled jobs must not retry";
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    cancel.store(false);
+    job.cfg.cancelFlag = nullptr;
+    job.cfg.checkpointPath.clear();
+    job.resumeFromCheckpoint = path;
+    const SweepResult resumed = runSweepJob(job);
+    ASSERT_TRUE(resumed.ok()) << resumed.error;
+    EXPECT_TRUE(resumed.resumed);
+    EXPECT_EQ(fullJson(reference.report), fullJson(resumed.report));
+    std::filesystem::remove(path);
+}

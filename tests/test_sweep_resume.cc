@@ -153,6 +153,22 @@ TEST(Journal, StatusReflectsExitAndVerification)
     EXPECT_EQ(makeJournalEntry("j", deadlock).status, "deadlock");
 }
 
+TEST(Journal, FirstClassFailureReasonsWinOverError)
+{
+    // A walltime/cancelled job also carries an error message; the
+    // journal must record the machine-readable reason, not "error",
+    // so resume logic can tell budget exhaustion from crashes.
+    SweepResult walltime;
+    walltime.error = "wall-clock limit exceeded";
+    walltime.failureReason = "walltime";
+    EXPECT_EQ(entryStatus(walltime), "walltime");
+
+    SweepResult cancelled;
+    cancelled.error = "cancelled by shutdown request";
+    cancelled.failureReason = "cancelled";
+    EXPECT_EQ(makeJournalEntry("j", cancelled).status, "cancelled");
+}
+
 TEST(Journal, TornTailIsSkippedNotFatal)
 {
     const std::string path = tempPath("journal_torn.jsonl");
@@ -210,6 +226,66 @@ TEST(Resume, LaterEntryWins)
     const auto remaining =
         filterResumeJobs(jobs, {a_ok, b_bad, b_ok});
     EXPECT_TRUE(remaining.empty());
+}
+
+TEST(Resume, TornLastLineYieldsSamePlanAsIntactPrefix)
+{
+    // A crash mid-append leaves the journal as N intact lines plus a
+    // partial final line. Resuming from the torn file must plan
+    // exactly the same job set as resuming from the intact prefix,
+    // at every possible tear point of the damaged line.
+    const std::vector<SweepJob> jobs = {goodJob("a"), goodJob("b"),
+                                        goodJob("c"), goodJob("d")};
+    const std::string prefix_lines =
+        R"({"job":"a","status":"ok","attempts":1})" "\n"
+        R"({"job":"b","status":"walltime","error":"x","attempts":1})"
+        "\n";
+    const std::string last_line =
+        R"({"job":"c","status":"ok","attempts":1})";
+
+    const std::string intact = tempPath("journal_prefix.jsonl");
+    {
+        std::ofstream out(intact);
+        out << prefix_lines;
+    }
+    const auto expected =
+        filterResumeJobs(jobs, readJournal(intact));
+    ASSERT_EQ(expected.size(), 3u); // b (failed), c, d (never ran)
+
+    const std::string torn = tempPath("journal_torn_cut.jsonl");
+    for (std::size_t cut = 0; cut < last_line.size(); ++cut) {
+        std::ofstream out(torn);
+        out << prefix_lines << last_line.substr(0, cut);
+        out.close();
+        const auto remaining =
+            filterResumeJobs(jobs, readJournal(torn));
+        ASSERT_EQ(remaining.size(), expected.size())
+            << "tear after " << cut << " bytes of the last line";
+        for (std::size_t i = 0; i < remaining.size(); ++i)
+            EXPECT_EQ(remaining[i].name, expected[i].name);
+    }
+}
+
+TEST(Resume, WalltimeAndCancelledJobsRerun)
+{
+    // Budget-killed and cancelled jobs are unfinished work: a resumed
+    // sweep must run them again (from their checkpoints when those
+    // exist, but the plan itself does not depend on that).
+    const std::vector<SweepJob> jobs = {goodJob("a"), goodJob("b"),
+                                        goodJob("c")};
+    JournalEntry a;
+    a.job = "a";
+    a.status = "walltime";
+    JournalEntry b;
+    b.job = "b";
+    b.status = "cancelled";
+    JournalEntry c;
+    c.job = "c";
+    c.status = "ok";
+    const auto remaining = filterResumeJobs(jobs, {a, b, c});
+    ASSERT_EQ(remaining.size(), 2u);
+    EXPECT_EQ(remaining[0].name, "a");
+    EXPECT_EQ(remaining[1].name, "b");
 }
 
 TEST(Resume, EndToEndThroughJournalFile)
