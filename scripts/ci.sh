@@ -1,27 +1,136 @@
-#!/usr/bin/env bash
-# CI entry point: configure + build the default (RelWithDebInfo) and
-# check (Debug + sanitizers + deepest audits) presets, run the tier-1
-# test suite on the default build, then run the checkpoint-labelled
-# suites again under the check preset, where every restore is audited
-# at CAWA_CHECK=2 and sim_assert failures throw.
+#!/bin/sh
+# CI entry point. Default mode configures + builds the default
+# (RelWithDebInfo) and check (Debug + sanitizers + deepest audits)
+# presets, runs the tier-1 test suite on the default build, re-runs
+# the checkpoint-labelled suites under the check preset (every restore
+# audited at CAWA_CHECK=2, sim_assert failures throw), and finishes
+# with the checkpoint-corruption fuzzer.
 #
-# Usage: scripts/ci.sh [-j N]
-set -euo pipefail
+# Usage: scripts/ci.sh [-j N] [--format-only | --perf-only]
+#   -j N           parallel build/test jobs (default: nproc)
+#   --format-only  run only the clang-format diff check and exit.
+#                  Checks only lines changed relative to
+#                  $CAWA_FORMAT_BASE (default origin/main) so the
+#                  check never demands a whole-tree reformat.
+#   --perf-only    build the perf preset, run bench_sim_speed and
+#                  gate the result against the committed baseline
+#                  (scripts/perf_gate.py, tolerance
+#                  $CAWA_PERF_TOLERANCE, default 15%).
+#   -h, --help     this text
+#
+# POSIX sh: pipefail is enabled only where the shell supports it, and
+# every piped command's exit status is checked explicitly.
+set -eu
+if (set -o pipefail) 2>/dev/null; then
+    set -o pipefail
+fi
 
 cd "$(dirname "$0")/.."
 
+usage() {
+    sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+}
+
 jobs=$(nproc 2>/dev/null || echo 4)
-while getopts "j:" opt; do
-    case "$opt" in
-      j) jobs="$OPTARG" ;;
-      *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+mode=full
+while [ $# -gt 0 ]; do
+    case "$1" in
+      -j)
+        if [ $# -lt 2 ]; then
+            echo "ci: -j needs a value" >&2
+            exit 2
+        fi
+        jobs=$2
+        shift 2
+        ;;
+      -j*)
+        jobs=${1#-j}
+        shift
+        ;;
+      --format-only)
+        mode=format
+        shift
+        ;;
+      --perf-only)
+        mode=perf
+        shift
+        ;;
+      -h|--help)
+        usage
+        exit 0
+        ;;
+      -*)
+        echo "ci: unknown option '$1'" >&2
+        usage >&2
+        exit 2
+        ;;
+      *)
+        echo "ci: unexpected positional argument '$1'" >&2
+        usage >&2
+        exit 2
+        ;;
     esac
 done
+case "$jobs" in
+  ''|*[!0-9]*)
+    echo "ci: -j expects a positive integer, got '$jobs'" >&2
+    exit 2
+    ;;
+esac
 
 run() {
     echo "ci: $*" >&2
     "$@"
 }
+
+# --- format check: only lines changed vs the merge base --------------
+check_format() {
+    if ! command -v clang-format >/dev/null 2>&1; then
+        echo "ci: clang-format not installed; skipping format check" >&2
+        return 0
+    fi
+    base=${CAWA_FORMAT_BASE:-origin/main}
+    if ! git rev-parse --verify --quiet "$base" >/dev/null; then
+        echo "ci: format base '$base' not found; skipping" >&2
+        return 0
+    fi
+    merge_base=$(git merge-base "$base" HEAD)
+    # git-clang-format exits non-zero and prints a diff when changed
+    # lines are mis-formatted; committed and staged state only.
+    if git clang-format --quiet --diff "$merge_base" -- \
+        '*.cc' '*.hh' '*.cpp' '*.hpp'; then
+        echo "ci: format clean" >&2
+    else
+        echo "ci: clang-format violations in the diff against" \
+             "$base (run: git clang-format $merge_base)" >&2
+        return 1
+    fi
+}
+
+# --- perf gate: bench_sim_speed vs the committed baseline ------------
+perf_gate() {
+    run cmake --preset perf
+    run cmake --build --preset perf -j "$jobs" --target bench_sim_speed
+    report=build-perf/BENCH_sim_speed.json
+    # The gated report comes from the fast-forward comparison that
+    # runs before the microbenchmarks; filter the latter out.
+    run env CAWA_BENCH_JSON="$report" \
+        ./build-perf/bench/bench_sim_speed \
+        --benchmark_filter=DISABLED_none
+    run python3 scripts/perf_gate.py \
+        bench/baselines/BENCH_sim_speed.json "$report"
+}
+
+case "$mode" in
+  format)
+    check_format
+    exit $?
+    ;;
+  perf)
+    perf_gate
+    exit $?
+    ;;
+esac
 
 run cmake --preset default
 run cmake --build --preset default -j "$jobs"
@@ -29,13 +138,21 @@ run cmake --build --preset default -j "$jobs"
 run cmake --preset check
 run cmake --build --preset check -j "$jobs"
 
-# Tier-1: the full suite on the default build.
+# Tier-1: the full suite on the default build (includes the
+# trace-labelled observer-purity matrix).
 run ctest --preset default -j "$jobs"
 
 # Snapshot/restore suites under sanitizers + deep audits.
 run ctest --preset check -L checkpoint -j "$jobs"
 
 # Checkpoint corruption fuzz: every flipped bit must be rejected.
-run ./build/src/tools/cawa_fuzz --seeds 10 --ckpt-seeds 5
+# Capture the status explicitly so a set -e shell without pipefail
+# can still report which stage failed.
+fuzz_rc=0
+run ./build/src/tools/cawa_fuzz --seeds 10 --ckpt-seeds 5 || fuzz_rc=$?
+if [ "$fuzz_rc" -ne 0 ]; then
+    echo "ci: cawa_fuzz failed with status $fuzz_rc" >&2
+    exit "$fuzz_rc"
+fi
 
 echo "ci: all green" >&2

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Performance-regression gate for bench_sim_speed.
+
+Compares a freshly measured ``cawa-bench-sim-speed-v1`` report against
+the committed baseline (``bench/baselines/BENCH_sim_speed.json``):
+
+* ``simCycles`` must match the baseline EXACTLY for every workload --
+  the simulator is deterministic, so any drift is a correctness
+  regression, not noise, and fails the gate regardless of tolerance.
+* the fast-forward ``speedup`` ratio (event-driven vs flat ticking of
+  the same run, measured on the same machine, so it is comparable
+  across machines) must stay within the tolerance of the baseline:
+  ``new >= old * (1 - tol)``.
+* absolute cycles/sec throughputs are machine-dependent and reported
+  for information only.
+
+Tolerance comes from ``CAWA_PERF_TOLERANCE`` (default 15%); both
+``15`` and ``0.15`` spellings are accepted. A per-workload delta table
+is printed and, when ``GITHUB_STEP_SUMMARY`` is set, appended to the
+job summary as Markdown.
+
+Usage: perf_gate.py BASELINE.json CURRENT.json
+"""
+
+import json
+import os
+import sys
+
+
+def parse_tolerance(raw):
+    try:
+        tol = float(raw)
+    except ValueError:
+        sys.exit(f"perf_gate: bad CAWA_PERF_TOLERANCE {raw!r}")
+    if tol >= 1.0:  # "15" means 15%
+        tol /= 100.0
+    if not 0.0 <= tol < 1.0:
+        sys.exit(f"perf_gate: tolerance {raw!r} out of range")
+    return tol
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"perf_gate: cannot read {path}: {err}")
+    if doc.get("schema") != "cawa-bench-sim-speed-v1":
+        sys.exit(
+            f"perf_gate: {path}: expected schema "
+            f"cawa-bench-sim-speed-v1, got {doc.get('schema')!r}"
+        )
+    return {e["workload"]: e for e in doc["entries"]}, doc
+
+
+def fmt_rate(rate):
+    return f"{rate / 1e6:.2f}M" if rate >= 1e6 else f"{rate / 1e3:.0f}k"
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip().splitlines()[-1])
+    tol = parse_tolerance(os.environ.get("CAWA_PERF_TOLERANCE", "15"))
+    base_entries, base_doc = load(sys.argv[1])
+    cur_entries, cur_doc = load(sys.argv[2])
+
+    for key in ("scale", "config"):
+        if base_doc.get(key) != cur_doc.get(key):
+            sys.exit(
+                f"perf_gate: {key} mismatch: baseline "
+                f"{base_doc.get(key)!r} vs current {cur_doc.get(key)!r}"
+            )
+
+    failures = []
+    rows = []
+    for name, base in sorted(base_entries.items()):
+        cur = cur_entries.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        status = "ok"
+        if cur["simCycles"] != base["simCycles"]:
+            status = "CYCLES DIVERGED"
+            failures.append(
+                f"{name}: simCycles {cur['simCycles']} != baseline "
+                f"{base['simCycles']} (determinism regression)"
+            )
+        floor = base["speedup"] * (1.0 - tol)
+        if cur["speedup"] < floor:
+            status = "SPEEDUP REGRESSED"
+            failures.append(
+                f"{name}: fast-forward speedup {cur['speedup']:.2f}x "
+                f"< floor {floor:.2f}x "
+                f"(baseline {base['speedup']:.2f}x, tol {tol:.0%})"
+            )
+        delta = (
+            (cur["speedup"] - base["speedup"]) / base["speedup"]
+            if base["speedup"]
+            else 0.0
+        )
+        rows.append(
+            (
+                name,
+                f"{cur['simCycles']}",
+                f"{base['speedup']:.2f}x",
+                f"{cur['speedup']:.2f}x",
+                f"{delta:+.1%}",
+                fmt_rate(cur["cyclesPerSecFastForward"]),
+                status,
+            )
+        )
+    for name in sorted(set(cur_entries) - set(base_entries)):
+        rows.append(
+            (name, f"{cur_entries[name]['simCycles']}", "-", "-", "-",
+             fmt_rate(cur_entries[name]["cyclesPerSecFastForward"]),
+             "new (not gated)")
+        )
+
+    header = (
+        "workload", "simCycles", "base speedup", "now", "delta",
+        "cyc/s (info)", "status",
+    )
+    widths = [
+        max(len(r[i]) for r in rows + [header]) for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows]
+    table = "\n".join(lines)
+    print(f"perf_gate: tolerance {tol:.0%} on fast-forward speedup\n")
+    print(table)
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        md = ["### Perf gate (bench_sim_speed)", ""]
+        md.append("| " + " | ".join(header) + " |")
+        md.append("|" + "|".join("---" for _ in header) + "|")
+        md += ["| " + " | ".join(r) + " |" for r in rows]
+        md.append("")
+        md.append(f"Tolerance: {tol:.0%} on the fast-forward speedup "
+                  "ratio; simCycles must match exactly.")
+        with open(summary, "a", encoding="utf-8") as f:
+            f.write("\n".join(md) + "\n")
+
+    if failures:
+        print("\nperf_gate: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\nperf_gate: PASS")
+
+
+if __name__ == "__main__":
+    main()

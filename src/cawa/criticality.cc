@@ -55,6 +55,7 @@ CriticalityPredictor::onIssue(WarpSlot slot, Cycle now)
 {
     auto &st = slots_.at(slot);
     sim_assert(st.active);
+    issueUpdates_++;
     // Algorithm 3: the stall time between two consecutive issues.
     if (now > st.lastIssue)
         st.nStall += now - st.lastIssue - 1;
@@ -103,6 +104,7 @@ CriticalityPredictor::onBranch(WarpSlot slot, std::uint32_t curr_pc,
 {
     auto &st = slots_.at(slot);
     sim_assert(st.active);
+    branchUpdates_++;
     const std::int64_t delta =
         branchDelta(curr_pc, target_pc, reconv_pc, taken, diverged);
     st.nInst += delta;
@@ -114,6 +116,7 @@ CriticalityPredictor::onBranch(WarpSlot slot, std::uint32_t curr_pc,
 void
 CriticalityPredictor::releaseBarrier(WarpSlot slot, Cycle now)
 {
+    barrierReleases_++;
     auto &st = slots_.at(slot);
     if (st.active && now > st.lastIssue) {
         st.lastIssue = now;
@@ -240,6 +243,9 @@ CriticalityPredictor::save(OutArchive &ar) const
         ar.putI64(agg.sum);
         ar.putU32(static_cast<std::uint32_t>(agg.count));
     }
+    ar.putU64(issueUpdates_);
+    ar.putU64(branchUpdates_);
+    ar.putU64(barrierReleases_);
 }
 
 void
@@ -268,6 +274,9 @@ CriticalityPredictor::load(InArchive &ar)
         agg.count = static_cast<int>(ar.getU32());
         blockAggs_.emplace(tag, agg);
     }
+    issueUpdates_ = ar.getU64();
+    branchUpdates_ = ar.getU64();
+    barrierReleases_ = ar.getU64();
 }
 
 } // namespace cawa

@@ -134,6 +134,15 @@ class CriticalityPredictor : public CriticalityInfo
     std::int64_t priority(WarpSlot slot) const;
 
     /**
+     * Lifetime update counters for the stats registry: how often each
+     * of the predictor's inputs fired. Observational only -- never
+     * read back by the prediction logic.
+     */
+    std::uint64_t issueUpdates() const { return issueUpdates_; }
+    std::uint64_t branchUpdates() const { return branchUpdates_; }
+    std::uint64_t barrierReleases() const { return barrierReleases_; }
+
+    /**
      * Estimated inferred extra instructions for a resolved branch;
      * exposed for unit testing of the Algorithm 2 inference rule.
      */
@@ -197,6 +206,9 @@ class CriticalityPredictor : public CriticalityInfo
     int quantShift_ = 0;
     bool useInstTerm_ = true;
     bool useStallTerm_ = true;
+    std::uint64_t issueUpdates_ = 0;
+    std::uint64_t branchUpdates_ = 0;
+    std::uint64_t barrierReleases_ = 0;
 };
 
 } // namespace cawa

@@ -1,0 +1,62 @@
+#include "common/stats.hh"
+
+#include <utility>
+
+namespace cawa
+{
+
+StatEntry &
+StatsRegistry::add(const std::string &name, StatKind kind)
+{
+    auto it = index_.find(name);
+    if (it == index_.end()) {
+        index_.emplace(name, entries_.size());
+        entries_.push_back(StatEntry{});
+        StatEntry &e = entries_.back();
+        e.name = name;
+        e.kind = kind;
+        return e;
+    }
+    StatEntry &e = entries_[it->second];
+    e.kind = kind;
+    e.value = 0;
+    e.values.clear();
+    return e;
+}
+
+void
+StatsRegistry::counter(const std::string &name, std::uint64_t value)
+{
+    add(name, StatKind::Counter).value = value;
+}
+
+void
+StatsRegistry::histogram(const std::string &name,
+                         std::vector<std::uint64_t> buckets)
+{
+    add(name, StatKind::Histogram).values = std::move(buckets);
+}
+
+const StatEntry *
+StatsRegistry::find(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+std::uint64_t
+StatsRegistry::counterOr(const std::string &name,
+                         std::uint64_t fallback) const
+{
+    const StatEntry *e = find(name);
+    return e && e->kind == StatKind::Counter ? e->value : fallback;
+}
+
+void
+StatsRegistry::clear()
+{
+    entries_.clear();
+    index_.clear();
+}
+
+} // namespace cawa

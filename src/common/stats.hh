@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unified stats registry: a flat, insertion-ordered collection of
+ * named counters and histograms that every simulator component
+ * (SMs, schedulers, CPL, L1D/L2/DRAM/interconnect, dispatcher)
+ * registers into at the end of a run. Names are dotted paths
+ * ("l1.hits", "sched.0.issues", "l2.pc.1024.fills") so consumers can
+ * treat the registry as a hierarchy without the registry itself
+ * needing a tree. The registry is the single source of truth behind
+ * the "stats" object of the cawa-simreport-v3 JSON schema: the
+ * writer emits entries verbatim in registration order, which keeps
+ * serialize -> parse -> serialize a byte-exact fixed point.
+ */
+
+#ifndef CAWA_COMMON_STATS_HH
+#define CAWA_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cawa
+{
+
+enum class StatKind
+{
+    Counter,   ///< one monotonic 64-bit value
+    Histogram, ///< a fixed vector of 64-bit bucket counts
+};
+
+struct StatEntry
+{
+    std::string name;
+    StatKind kind = StatKind::Counter;
+    std::uint64_t value = 0;           ///< Counter payload
+    std::vector<std::uint64_t> values; ///< Histogram payload
+};
+
+class StatsRegistry
+{
+  public:
+    /**
+     * Register (or overwrite) a counter. Re-registering a name keeps
+     * its original position so registration is idempotent.
+     */
+    void counter(const std::string &name, std::uint64_t value);
+
+    /** Register (or overwrite) a histogram from explicit buckets. */
+    void histogram(const std::string &name,
+                   std::vector<std::uint64_t> buckets);
+
+    /** Histogram from any random-access container (e.g. std::array). */
+    template <typename Container>
+    void
+    histogramFrom(const std::string &name, const Container &buckets)
+    {
+        histogram(name, std::vector<std::uint64_t>(buckets.begin(),
+                                                   buckets.end()));
+    }
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+    /** All entries, in registration order. */
+    const std::vector<StatEntry> &entries() const { return entries_; }
+
+    /** Lookup by full dotted name; nullptr when absent. */
+    const StatEntry *find(const std::string &name) const;
+
+    /** Counter value by name, or `fallback` when absent. */
+    std::uint64_t counterOr(const std::string &name,
+                            std::uint64_t fallback = 0) const;
+
+    void clear();
+
+  private:
+    StatEntry &add(const std::string &name, StatKind kind);
+
+    std::vector<StatEntry> entries_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_COMMON_STATS_HH

@@ -11,9 +11,12 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
+#include <string>
 
 #include "common/serialize.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace cawa
@@ -95,6 +98,22 @@ struct CacheStats
     }
 
     void merge(const CacheStats &other);
+
+    /**
+     * Register every counter and histogram under `prefix` ("l1",
+     * "l2"), including the per-fill-PC breakdown as
+     * "<prefix>.pc.<pc>.<field>". This is the cache's contribution to
+     * the unified StatsRegistry behind cawa-simreport-v3.
+     */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
+    /**
+     * Inverse of registerStats for one entry: `name` is the part
+     * after "<prefix>." of a registry entry. Returns false when the
+     * name does not belong to CacheStats.
+     */
+    bool applyStat(const std::string &name, const StatEntry &entry);
 
     /** Checkpoint all counters (perPc is ordered, so byte-stable). */
     void save(OutArchive &ar) const;
@@ -191,6 +210,98 @@ CacheStats::merge(const CacheStats &other)
         mine.zeroReuseEvictions += st.zeroReuseEvictions;
         mine.reusedEvictions += st.reusedEvictions;
     }
+}
+
+inline void
+CacheStats::registerStats(StatsRegistry &reg,
+                          const std::string &prefix) const
+{
+    auto key = [&](const char *field) { return prefix + "." + field; };
+    reg.counter(key("accesses"), accesses);
+    reg.counter(key("hits"), hits);
+    reg.counter(key("misses"), misses);
+    reg.counter(key("mshrMerges"), mshrMerges);
+    reg.counter(key("mshrRejects"), mshrRejects);
+    reg.counter(key("evictions"), evictions);
+    reg.counter(key("criticalAccesses"), criticalAccesses);
+    reg.counter(key("criticalHits"), criticalHits);
+    reg.counter(key("nonCriticalAccesses"), nonCriticalAccesses);
+    reg.counter(key("nonCriticalHits"), nonCriticalHits);
+    reg.counter(key("zeroReuseEvictions"), zeroReuseEvictions);
+    reg.counter(key("zeroReuseCriticalEvictions"),
+                zeroReuseCriticalEvictions);
+    reg.counter(key("criticalFills"), criticalFills);
+    reg.histogramFrom(key("reuseDistanceHist"), reuseDistanceHist);
+    reg.histogramFrom(key("criticalReuseDistanceHist"),
+                      criticalReuseDistanceHist);
+    for (const auto &[pc, st] : perPc) {
+        const std::string p = prefix + ".pc." + std::to_string(pc);
+        reg.counter(p + ".fills", st.fills);
+        reg.counter(p + ".hits", st.hits);
+        reg.counter(p + ".zeroReuseEvictions", st.zeroReuseEvictions);
+        reg.counter(p + ".reusedEvictions", st.reusedEvictions);
+    }
+}
+
+inline bool
+CacheStats::applyStat(const std::string &name, const StatEntry &entry)
+{
+    auto scalar = [&](const char *field, std::uint64_t &dst) {
+        if (name != field)
+            return false;
+        dst = entry.value;
+        return true;
+    };
+    if (scalar("accesses", accesses) || scalar("hits", hits) ||
+        scalar("misses", misses) ||
+        scalar("mshrMerges", mshrMerges) ||
+        scalar("mshrRejects", mshrRejects) ||
+        scalar("evictions", evictions) ||
+        scalar("criticalAccesses", criticalAccesses) ||
+        scalar("criticalHits", criticalHits) ||
+        scalar("nonCriticalAccesses", nonCriticalAccesses) ||
+        scalar("nonCriticalHits", nonCriticalHits) ||
+        scalar("zeroReuseEvictions", zeroReuseEvictions) ||
+        scalar("zeroReuseCriticalEvictions",
+               zeroReuseCriticalEvictions) ||
+        scalar("criticalFills", criticalFills)) {
+        return true;
+    }
+    auto hist = [&](const char *field,
+                    std::array<std::uint64_t, 5> &dst) {
+        if (name != field)
+            return false;
+        for (std::size_t i = 0;
+             i < dst.size() && i < entry.values.size(); ++i) {
+            dst[i] = entry.values[i];
+        }
+        return true;
+    };
+    if (hist("reuseDistanceHist", reuseDistanceHist) ||
+        hist("criticalReuseDistanceHist", criticalReuseDistanceHist))
+        return true;
+    if (name.rfind("pc.", 0) == 0) {
+        const std::size_t dot = name.find('.', 3);
+        if (dot == std::string::npos)
+            return false;
+        const std::uint32_t pc = static_cast<std::uint32_t>(
+            std::strtoul(name.substr(3, dot - 3).c_str(), nullptr,
+                         10));
+        const std::string field = name.substr(dot + 1);
+        PcReuseStats &st = perPc[pc];
+        if (field == "fills")
+            st.fills = entry.value;
+        else if (field == "hits")
+            st.hits = entry.value;
+        else if (field == "zeroReuseEvictions")
+            st.zeroReuseEvictions = entry.value;
+        else if (field == "reusedEvictions")
+            st.reusedEvictions = entry.value;
+        else
+            return false;
+        return true;
+    }
+    return false;
 }
 
 } // namespace cawa

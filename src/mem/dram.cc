@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/sim_assert.hh"
+#include "sim/trace.hh"
 
 namespace cawa
 {
@@ -16,12 +17,16 @@ DramModel::DramModel(Cycle latency, int service_interval)
 void
 DramModel::push(const MemMsg &msg, Cycle now)
 {
-    (void)now;
     requests_.push_back(msg);
     if (msg.isStore)
         writes++;
     else
         reads++;
+    CAWA_TRACE_EVENT(traceSink_, now,
+                     msg.isStore ? TraceEventKind::DramWrite
+                                 : TraceEventKind::DramRead,
+                     msg.smId, -1,
+                     static_cast<std::int64_t>(msg.lineAddr), 0);
 }
 
 void

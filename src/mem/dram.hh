@@ -16,6 +16,8 @@
 namespace cawa
 {
 
+class TraceBuffer;
+
 class DramModel
 {
   public:
@@ -40,6 +42,12 @@ class DramModel
      * service or a response becomes deliverable; kNoCycle when idle.
      */
     Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Route read/write transaction trace events into @p sink (nullptr
+     * disables). Pure observer: never alters DRAM behavior.
+     */
+    void setTraceSink(TraceBuffer *sink) { traceSink_ = sink; }
 
     /** Checkpoint queues, pipeline timing and traffic counters. */
     void save(OutArchive &ar) const
@@ -91,6 +99,7 @@ class DramModel
     Cycle nextFree_ = 0;
     std::deque<MemMsg> requests_;
     std::deque<InFlight> responses_;
+    TraceBuffer *traceSink_ = nullptr;
 };
 
 } // namespace cawa

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/sim_assert.hh"
+#include "sim/trace.hh"
 
 namespace cawa
 {
@@ -18,6 +19,10 @@ Interconnect::pushToL2(const MemMsg &msg, Cycle now)
 {
     toL2_.push_back({now + latency_, msg});
     messagesToL2++;
+    CAWA_TRACE_EVENT(traceSink_, now, TraceEventKind::IcntToL2,
+                     msg.smId, -1,
+                     static_cast<std::int64_t>(msg.lineAddr),
+                     msg.isStore ? 1 : 0);
 }
 
 void
@@ -25,6 +30,9 @@ Interconnect::pushToSm(const MemMsg &msg, Cycle now)
 {
     toSm_.push_back({now + latency_, msg});
     messagesToSm++;
+    CAWA_TRACE_EVENT(traceSink_, now, TraceEventKind::IcntToSm,
+                     msg.smId, -1,
+                     static_cast<std::int64_t>(msg.lineAddr), 0);
 }
 
 std::vector<MemMsg>

@@ -16,6 +16,8 @@
 namespace cawa
 {
 
+class TraceBuffer;
+
 class Interconnect
 {
   public:
@@ -40,6 +42,12 @@ class Interconnect
      * empty. Used by the fast-forward engine.
      */
     Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Route per-message trace events into @p sink (nullptr disables).
+     * Pure observer: never alters network behavior.
+     */
+    void setTraceSink(TraceBuffer *sink) { traceSink_ = sink; }
 
     /** Checkpoint both direction queues and traffic counters. */
     void save(OutArchive &ar) const
@@ -96,6 +104,7 @@ class Interconnect
     int width_;
     std::deque<InFlight> toL2_;
     std::deque<InFlight> toSm_;
+    TraceBuffer *traceSink_ = nullptr;
 };
 
 } // namespace cawa

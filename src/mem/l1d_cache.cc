@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/sim_assert.hh"
+#include "sim/trace.hh"
 
 namespace cawa
 {
@@ -70,6 +71,9 @@ L1DCache::access(const AccessInfo &info, Cycle now, std::uint64_t token)
         recordAccessStats(info, false);
         tags_.bumpSetSeq(set);
         outgoing_.push_back({line_addr, smId_, true, info.pc});
+        CAWA_TRACE_EVENT(traceSink_, now, TraceEventKind::CacheBypass,
+                         smId_, -1, static_cast<std::int64_t>(line_addr),
+                         1);
         return Result::Miss;
     }
 
@@ -126,6 +130,10 @@ L1DCache::fill(Addr line_addr, Cycle now)
         auto &line = tags_.line(set, victim);
         if (line.valid) {
             stats_.evictions++;
+            CAWA_TRACE_EVENT(traceSink_, now, TraceEventKind::CacheEvict,
+                             smId_, -1,
+                             static_cast<std::int64_t>(line.fillPc),
+                             line.reuseCount == 0 ? 1 : 0);
             auto &pc_stats = stats_.perPc[line.fillPc];
             if (line.reuseCount == 0) {
                 stats_.zeroReuseEvictions++;
@@ -147,6 +155,9 @@ L1DCache::fill(Addr line_addr, Cycle now)
             stats_.criticalFills++;
         stats_.perPc[entry.primary.pc].fills++;
         policy_->onFill(tags_, set, victim, entry.primary);
+        CAWA_TRACE_EVENT(traceSink_, now, TraceEventKind::CacheFill,
+                         smId_, -1, static_cast<std::int64_t>(line_addr),
+                         entry.primary.criticalWarp ? 1 : 0);
     }
 
     for (std::uint64_t token : entry.tokens)

@@ -24,6 +24,8 @@
 namespace cawa
 {
 
+class TraceBuffer;
+
 struct L1DConfig
 {
     int sets = 8;
@@ -77,6 +79,12 @@ class L1DCache
      * therefore not an event source of their own.
      */
     Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Route fill/evict/bypass trace events into @p sink (nullptr
+     * disables). Pure observer: never alters cache behavior.
+     */
+    void setTraceSink(TraceBuffer *sink) { traceSink_ = sink; }
 
     const CacheStats &stats() const { return stats_; }
     CacheStats &stats() { return stats_; }
@@ -161,6 +169,7 @@ class L1DCache
     std::deque<MemMsg> outgoing_;
     int numMshrs_;
     CacheStats stats_;
+    TraceBuffer *traceSink_ = nullptr;
 };
 
 } // namespace cawa

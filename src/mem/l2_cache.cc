@@ -4,6 +4,7 @@
 
 #include "common/sim_assert.hh"
 #include "common/sim_error.hh"
+#include "sim/trace.hh"
 
 namespace cawa
 {
@@ -62,6 +63,9 @@ L2Cache::service(Bank &bank, const MemMsg &msg, Cycle now,
     stats_.misses++;
     if (msg.isStore) {
         // Write-through, no-allocate at L2 either: forward to DRAM.
+        CAWA_TRACE_EVENT(traceSink_, now, TraceEventKind::CacheBypass,
+                         -1, -1,
+                         static_cast<std::int64_t>(msg.lineAddr), 1);
         dram.push(msg, now);
         return;
     }
@@ -112,6 +116,10 @@ L2Cache::handleDramResponse(const MemMsg &msg, Cycle now)
         auto &line = tags.line(set, victim);
         if (line.valid) {
             stats_.evictions++;
+            CAWA_TRACE_EVENT(traceSink_, now, TraceEventKind::CacheEvict,
+                             -1, -1,
+                             static_cast<std::int64_t>(line.fillPc),
+                             line.reuseCount == 0 ? 1 : 0);
             if (line.reuseCount == 0)
                 stats_.zeroReuseEvictions++;
             bank.policy->onEvict(tags, set, victim);
@@ -122,6 +130,9 @@ L2Cache::handleDramResponse(const MemMsg &msg, Cycle now)
         line.fillPc = msg.pc;
         line.lastTouchSeq = tags.setSeq(set);
         bank.policy->onFill(tags, set, victim, info);
+        CAWA_TRACE_EVENT(traceSink_, now, TraceEventKind::CacheFill,
+                         -1, -1,
+                         static_cast<std::int64_t>(msg.lineAddr), 0);
     }
 
     auto it = bank.mshrs.find(msg.lineAddr);

@@ -26,6 +26,8 @@
 namespace cawa
 {
 
+class TraceBuffer;
+
 struct L2Config
 {
     int banks = 6;
@@ -65,6 +67,12 @@ class L2Cache
     Cycle nextEventCycle(Cycle now) const;
 
     const CacheStats &stats() const { return stats_; }
+
+    /**
+     * Route fill/evict/bypass trace events into @p sink (nullptr
+     * disables). Pure observer: never alters cache behavior.
+     */
+    void setTraceSink(TraceBuffer *sink) { traceSink_ = sink; }
 
     int bankOf(Addr line_addr) const;
 
@@ -113,6 +121,7 @@ class L2Cache
      */
     Cycle minResponseReady_ = kNoCycle;
     CacheStats stats_;
+    TraceBuffer *traceSink_ = nullptr;
 };
 
 } // namespace cawa

@@ -167,6 +167,23 @@ Gpu::launch(const KernelInfo &kernel)
 
     machine_ = std::make_unique<Machine>(cfg_, kernel, mem_, oracle_,
                                          checkLevel_);
+
+    // Tracing is a pure observer: the buffer is rebuilt per launch
+    // (restores get a fresh, empty ring) and only ever receives
+    // copies of values the machine computed anyway, so results are
+    // bit-identical with the knob on or off.
+    trace_.reset();
+    if (cfg_.trace.enabled) {
+        trace_ =
+            std::make_unique<TraceBuffer>(cfg_.trace.bufferCapacity);
+        Machine &m = *machine_;
+        for (auto &sm : m.sms)
+            sm->setTraceSink(trace_.get());
+        m.icnt.setTraceSink(trace_.get());
+        m.l2.setTraceSink(trace_.get());
+        m.dram.setTraceSink(trace_.get());
+        m.dispatcher.setTraceSink(trace_.get());
+    }
 }
 
 Cycle
@@ -344,6 +361,37 @@ Gpu::finish()
     m.report.dramReads = m.dram.reads;
     m.report.dramWrites = m.dram.writes;
     m.report.icntMessages = m.icnt.messagesToL2 + m.icnt.messagesToSm;
+
+    // Populate the unified stats registry (the "stats" object of
+    // cawa-simreport-v3). Registration order is the serialization
+    // order, so keep it fixed: sim totals, schedulers, CPL, caches,
+    // DRAM, interconnect, dispatcher.
+    StatsRegistry &reg = m.report.stats;
+    reg.counter("sim.cycles", m.report.cycles);
+    reg.counter("sim.instructions", m.report.instructions);
+    reg.counter("sim.blocksRetired", m.report.blocks.size());
+    for (int k = 0; k < cfg_.numSchedulersPerSm; ++k) {
+        std::uint64_t issues = 0;
+        for (const auto &sm : m.sms)
+            issues += sm->schedIssues()[k];
+        reg.counter("sched." + std::to_string(k) + ".issues", issues);
+    }
+    std::uint64_t cpl_issue = 0, cpl_branch = 0, cpl_barrier = 0;
+    for (const auto &sm : m.sms) {
+        cpl_issue += sm->cpl().issueUpdates();
+        cpl_branch += sm->cpl().branchUpdates();
+        cpl_barrier += sm->cpl().barrierReleases();
+    }
+    reg.counter("cpl.issueUpdates", cpl_issue);
+    reg.counter("cpl.branchUpdates", cpl_branch);
+    reg.counter("cpl.barrierReleases", cpl_barrier);
+    m.report.l1.registerStats(reg, "l1");
+    m.report.l2.registerStats(reg, "l2");
+    reg.counter("dram.reads", m.report.dramReads);
+    reg.counter("dram.writes", m.report.dramWrites);
+    reg.counter("icnt.messagesToL2", m.icnt.messagesToL2);
+    reg.counter("icnt.messagesToSm", m.icnt.messagesToSm);
+    reg.counter("dispatcher.dispatchedBlocks", m.dispatcher.nextBlock());
 
     SimReport report = std::move(m.report);
     machine_.reset();

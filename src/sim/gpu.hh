@@ -26,6 +26,7 @@
 #include "mem/memory_image.hh"
 #include "sim/gpu_config.hh"
 #include "sim/report.hh"
+#include "sim/trace.hh"
 #include "sm/dispatcher.hh"
 #include "sm/records.hh"
 #include "sm/sm_core.hh"
@@ -102,6 +103,14 @@ class Gpu
     void restoreCheckpoint(const std::string &path,
                            const KernelInfo &kernel);
 
+    /**
+     * The structured-event ring for the current launch; nullptr
+     * unless GpuConfig::trace.enabled. Valid from launch() until the
+     * next launch()/restoreCheckpoint() (finish() keeps it alive so
+     * callers can export events after the run).
+     */
+    TraceBuffer *traceBuffer() const { return trace_.get(); }
+
   private:
     struct Machine;
 
@@ -148,6 +157,7 @@ class Gpu
     const OracleTable *oracle_;
     bool fastForward_;
     int checkLevel_;    ///< cfg checkLevel after the CAWA_CHECK override
+    std::unique_ptr<TraceBuffer> trace_;
     std::unique_ptr<Machine> machine_;
     std::chrono::steady_clock::time_point wallStart_;
 };

@@ -116,6 +116,9 @@ GpuConfig::validate() const
     if (traceBlockId >= 0 && traceSampleInterval == 0)
         bad("traceSampleInterval=0 with traceBlockId=" +
             num(traceBlockId) + ": tracing needs a positive period");
+    if (trace.enabled && trace.bufferCapacity == 0)
+        bad("trace.bufferCapacity=0 with trace.enabled: the event "
+            "ring needs room for at least one event");
 
     if (maxCycles == 0)
         bad("maxCycles=0: the safety valve would stop the run before "

@@ -16,6 +16,7 @@
 #include "mem/l1d_cache.hh"
 #include "mem/l2_cache.hh"
 #include "sched/scheduler.hh"
+#include "sim/trace.hh"
 
 namespace cawa
 {
@@ -97,6 +98,16 @@ struct GpuConfig
     // Tracing (Fig 12).
     std::int64_t traceBlockId = -1; ///< record criticality trace
     Cycle traceSampleInterval = 64;
+
+    /**
+     * Structured event tracing (sim/trace.hh): when enabled, every
+     * component records cycle-stamped events into a bounded
+     * drop-oldest ring that cawa_trace exports as Chrome trace_event
+     * JSON or JSONL. A pure observer — SimReports are byte-identical
+     * with the knob on or off, and it is excluded from the
+     * checkpoint config signature.
+     */
+    TraceConfig trace;
 
     // Safety valve.
     std::uint64_t maxCycles = 100'000'000;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "mem/cache_stats.hh"
 #include "sm/records.hh"
 
@@ -53,6 +54,17 @@ struct SimReport
     std::uint64_t dramReads = 0;
     std::uint64_t dramWrites = 0;
     std::uint64_t icntMessages = 0;
+
+    /**
+     * The unified stats registry (common/stats.hh): every component
+     * registers its counters/histograms here at the end of a run,
+     * and the "stats" object of cawa-simreport-v3 is written from it
+     * verbatim. The typed fields above are views onto well-known
+     * entries, kept for ergonomic C++ access; when this is empty
+     * (hand-built reports), the JSON writer synthesizes the
+     * equivalent entries from the typed fields.
+     */
+    StatsRegistry stats;
 
     std::vector<BlockRecord> blocks;
     std::vector<TraceSample> trace;

@@ -214,11 +214,56 @@ writeBlockRecord(Writer &w, const BlockRecord &b)
     w.endObject();
 }
 
+/**
+ * Registry entries equivalent to a report whose components never
+ * registered (hand-built or legacy-parsed reports): the typed fields
+ * mapped onto their well-known stats names, so every v3 document
+ * carries a "stats" object whichever way the report was produced.
+ */
+StatsRegistry
+defaultReportStats(const SimReport &r)
+{
+    StatsRegistry reg;
+    reg.counter("sim.cycles", r.cycles);
+    reg.counter("sim.instructions", r.instructions);
+    r.l1.registerStats(reg, "l1");
+    r.l2.registerStats(reg, "l2");
+    reg.counter("dram.reads", r.dramReads);
+    reg.counter("dram.writes", r.dramWrites);
+    reg.counter("icnt.messages", r.icntMessages);
+    return reg;
+}
+
+void
+writeStatsRegistry(Writer &w, const StatsRegistry &reg)
+{
+    w.beginObject();
+    for (const StatEntry &e : reg.entries()) {
+        w.key(e.name);
+        if (e.kind == StatKind::Counter) {
+            w.value(e.value);
+        } else {
+            w.beginArray();
+            for (std::uint64_t v : e.values)
+                w.value(v);
+            w.endArray();
+        }
+    }
+    w.endObject();
+}
+
 void
 writeReport(Writer &w, const SimReport &r, const JsonWriteOptions &opt)
 {
+    if (opt.schemaVersion != 2 && opt.schemaVersion != 3)
+        throw std::runtime_error(
+            "json: unsupported write schemaVersion " +
+            std::to_string(opt.schemaVersion) + " (expected 2 or 3)");
+    const bool v3 = opt.schemaVersion == 3;
     w.beginObject();
-    w.key("schema"); w.value(std::string("cawa-simreport-v2"));
+    w.key("schema");
+    w.value(std::string(v3 ? "cawa-simreport-v3"
+                           : "cawa-simreport-v2"));
     w.key("kernel"); w.value(r.kernelName);
     w.key("scheduler"); w.value(r.schedulerName);
     w.key("cachePolicy"); w.value(r.cachePolicyName);
@@ -230,15 +275,23 @@ writeReport(Writer &w, const SimReport &r, const JsonWriteOptions &opt)
     if (!r.diagnostic.empty()) {
         w.key("diagnostic"); w.value(r.diagnostic);
     }
-    w.key("cycles"); w.value(r.cycles);
-    w.key("instructions"); w.value(r.instructions);
-    w.key("dramReads"); w.value(r.dramReads);
-    w.key("dramWrites"); w.value(r.dramWrites);
-    w.key("icntMessages"); w.value(r.icntMessages);
-    w.key("l1");
-    writeCacheStats(w, r.l1);
-    w.key("l2");
-    writeCacheStats(w, r.l2);
+    if (v3) {
+        w.key("stats");
+        if (r.stats.empty())
+            writeStatsRegistry(w, defaultReportStats(r));
+        else
+            writeStatsRegistry(w, r.stats);
+    } else {
+        w.key("cycles"); w.value(r.cycles);
+        w.key("instructions"); w.value(r.instructions);
+        w.key("dramReads"); w.value(r.dramReads);
+        w.key("dramWrites"); w.value(r.dramWrites);
+        w.key("icntMessages"); w.value(r.icntMessages);
+        w.key("l1");
+        writeCacheStats(w, r.l1);
+        w.key("l2");
+        writeCacheStats(w, r.l2);
+    }
     if (opt.includeDerived) {
         w.key("derived");
         w.beginObject();
@@ -720,15 +773,57 @@ blockFromJson(const JsonValue &v)
 
 } // namespace
 
+namespace
+{
+
+/**
+ * v3: rebuild the registry from the "stats" object (numbers are
+ * counters, arrays are histograms, order preserved so a re-serialize
+ * is byte-exact), then project the well-known entries onto the
+ * report's typed fields.
+ */
+void
+statsFromJson(const JsonValue &v, SimReport &r)
+{
+    for (const auto &[name, value] : v.members()) {
+        if (value.kind() == JsonValue::Kind::Array) {
+            std::vector<std::uint64_t> buckets;
+            for (const auto &item : value.items())
+                buckets.push_back(item.asU64());
+            r.stats.histogram(name, std::move(buckets));
+        } else {
+            r.stats.counter(name, value.asU64());
+        }
+    }
+    r.cycles = r.stats.counterOr("sim.cycles");
+    r.instructions = r.stats.counterOr("sim.instructions");
+    r.dramReads = r.stats.counterOr("dram.reads");
+    r.dramWrites = r.stats.counterOr("dram.writes");
+    if (r.stats.find("icnt.messages"))
+        r.icntMessages = r.stats.counterOr("icnt.messages");
+    else
+        r.icntMessages = r.stats.counterOr("icnt.messagesToL2") +
+                         r.stats.counterOr("icnt.messagesToSm");
+    for (const StatEntry &e : r.stats.entries()) {
+        if (e.name.rfind("l1.", 0) == 0)
+            r.l1.applyStat(e.name.substr(3), e);
+        else if (e.name.rfind("l2.", 0) == 0)
+            r.l2.applyStat(e.name.substr(3), e);
+    }
+}
+
+} // namespace
+
 SimReport
 reportFromJson(const JsonValue &v)
 {
     const std::string &schema = v.at("schema").asString();
     const bool v1 = schema == "cawa-simreport-v1";
-    if (!v1 && schema != "cawa-simreport-v2")
+    const bool v2 = schema == "cawa-simreport-v2";
+    if (!v1 && !v2 && schema != "cawa-simreport-v3")
         throw std::runtime_error("json: unknown report schema '" +
                                  schema + "' (expected cawa-simreport-"
-                                 "v1 or cawa-simreport-v2)");
+                                 "v1, -v2 or -v3)");
     SimReport r;
     r.kernelName = v.at("kernel").asString();
     r.schedulerName = v.at("scheduler").asString();
@@ -747,13 +842,17 @@ reportFromJson(const JsonValue &v)
         if (v.has("diagnostic"))
             r.diagnostic = v.at("diagnostic").asString();
     }
-    r.cycles = v.at("cycles").asU64();
-    r.instructions = v.at("instructions").asU64();
-    r.dramReads = v.at("dramReads").asU64();
-    r.dramWrites = v.at("dramWrites").asU64();
-    r.icntMessages = v.at("icntMessages").asU64();
-    r.l1 = cacheStatsFromJson(v.at("l1"));
-    r.l2 = cacheStatsFromJson(v.at("l2"));
+    if (v1 || v2) {
+        r.cycles = v.at("cycles").asU64();
+        r.instructions = v.at("instructions").asU64();
+        r.dramReads = v.at("dramReads").asU64();
+        r.dramWrites = v.at("dramWrites").asU64();
+        r.icntMessages = v.at("icntMessages").asU64();
+        r.l1 = cacheStatsFromJson(v.at("l1"));
+        r.l2 = cacheStatsFromJson(v.at("l2"));
+    } else {
+        statsFromJson(v.at("stats"), r);
+    }
     if (v.has("blocks")) {
         for (const auto &block : v.at("blocks").items())
             r.blocks.push_back(blockFromJson(block));

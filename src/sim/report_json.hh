@@ -1,10 +1,18 @@
 /**
  * @file
- * JSON export of simulation reports (schema "cawa-simreport-v2";
- * "cawa-simreport-v1" documents are still read back, with exitStatus
- * derived from the old timedOut flag) and a minimal JSON reader to
- * load them back, used by the cawa_sweep CLI, the golden-stats
- * regression baseline and the determinism tests.
+ * JSON export of simulation reports (schema "cawa-simreport-v3") and
+ * a minimal JSON reader to load them back, used by the cawa_sweep
+ * CLI, the golden-stats regression baseline and the determinism
+ * tests.
+ *
+ * v3 emits every counter/histogram from the unified StatsRegistry as
+ * one flat "stats" object ("l1.hits", "sched.0.issues", ...) in
+ * registration order, replacing the hand-coded per-struct key lists
+ * of v2. Older documents still read back: "cawa-simreport-v2" keeps
+ * its explicit cycles/l1/l2/... keys, and "cawa-simreport-v1"
+ * additionally derives exitStatus from the old timedOut flag.
+ * JsonWriteOptions::schemaVersion = 2 reproduces the legacy v2
+ * layout for compatibility tooling.
  *
  * The writer is deterministic: a given SimReport always serializes to
  * the same byte string (fixed key order, integers verbatim, doubles
@@ -33,6 +41,12 @@ struct JsonWriteOptions
     bool includeTrace = true;    ///< Fig 12 criticality trace
     bool includeDerived = true;  ///< ipc/mpki/disparity doubles
     bool pretty = true;          ///< indentation; false => one line
+    /**
+     * Report schema to emit: 3 (default) writes the registry-backed
+     * "stats" object, 2 reproduces the legacy explicit-key layout.
+     * Anything else throws.
+     */
+    int schemaVersion = 3;
 };
 
 /** Serialize @p stats alone (the same object the report embeds). */

@@ -1,0 +1,121 @@
+#include "sim/trace.hh"
+
+#include <set>
+#include <sstream>
+
+namespace cawa
+{
+
+namespace
+{
+
+int
+tracePid(const TraceEvent &e)
+{
+    // pid 0 groups the shared memory system (L2/DRAM/icnt); each SM
+    // gets its own process so chrome://tracing nests warps under it.
+    return e.sm < 0 ? 0 : e.sm + 1;
+}
+
+int
+traceTid(const TraceEvent &e)
+{
+    return e.warp < 0 ? 0 : e.warp;
+}
+
+void
+appendEvent(std::ostringstream &out, const TraceEvent &e, bool &first)
+{
+    if (!first)
+        out << ",\n";
+    first = false;
+    if (e.kind == TraceEventKind::WarpStall) {
+        // Stalls render as duration slices: one box per stalled span
+        // on the warp's lane, named after the reason.
+        out << "    {\"name\": \""
+            << stallReasonName(static_cast<StallReason>(e.a))
+            << "\", \"cat\": \"stall\", \"ph\": \"X\", \"ts\": "
+            << e.cycle << ", \"dur\": " << e.b
+            << ", \"pid\": " << tracePid(e)
+            << ", \"tid\": " << traceTid(e) << "}";
+        return;
+    }
+    out << "    {\"name\": \"" << traceEventKindName(e.kind)
+        << "\", \"cat\": \"sim\", \"ph\": \"i\", \"s\": \"t\", "
+        << "\"ts\": " << e.cycle << ", \"pid\": " << tracePid(e)
+        << ", \"tid\": " << traceTid(e) << ", \"args\": {\"a\": "
+        << e.a << ", \"b\": " << e.b << "}}";
+}
+
+void
+appendProcessMeta(std::ostringstream &out, int pid, bool &first)
+{
+    if (!first)
+        out << ",\n";
+    first = false;
+    out << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+        << pid << ", \"tid\": 0, \"args\": {\"name\": \"";
+    if (pid == 0)
+        out << "memory system";
+    else
+        out << "SM " << pid - 1;
+    out << "\"}},\n";
+    out << "    {\"name\": \"process_sort_index\", \"ph\": \"M\", "
+        << "\"pid\": " << pid << ", \"tid\": 0, \"args\": "
+        << "{\"sort_index\": " << pid << "}}";
+}
+
+} // namespace
+
+std::string
+traceToChromeJson(const TraceBuffer &buf, const TraceFilter &filter)
+{
+    std::set<int> pids;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+        const TraceEvent &e = buf.at(i);
+        if (filter.pass(e))
+            pids.insert(tracePid(e));
+    }
+
+    std::ostringstream out;
+    out << "{\n  \"traceEvents\": [\n";
+    bool first = true;
+    for (int pid : pids)
+        appendProcessMeta(out, pid, first);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+        const TraceEvent &e = buf.at(i);
+        if (filter.pass(e))
+            appendEvent(out, e, first);
+    }
+    out << "\n  ],\n";
+    out << "  \"displayTimeUnit\": \"ns\",\n";
+    out << "  \"otherData\": {\"recorded\": " << buf.recorded()
+        << ", \"dropped\": " << buf.dropped() << "}\n";
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+traceToJsonl(const TraceBuffer &buf, const TraceFilter &filter)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+        const TraceEvent &e = buf.at(i);
+        if (!filter.pass(e))
+            continue;
+        out << "{\"cycle\": " << e.cycle << ", \"kind\": \""
+            << traceEventKindName(e.kind) << "\", \"sm\": " << e.sm
+            << ", \"warp\": " << e.warp;
+        if (e.kind == TraceEventKind::WarpStall) {
+            out << ", \"reason\": \""
+                << stallReasonName(static_cast<StallReason>(e.a))
+                << "\", \"cycles\": " << e.b;
+        } else {
+            out << ", \"a\": " << e.a << ", \"b\": " << e.b;
+        }
+        out << "}\n";
+    }
+    return out.str();
+}
+
+} // namespace cawa

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Cycle-level structured event tracing. Components record
+ * cycle-stamped TraceEvents (warp issue / stall-with-reason,
+ * criticality updates, barrier arrive/release, cache fill / evict /
+ * bypass, DRAM and interconnect transactions, block dispatch /
+ * retire) into a bounded ring buffer through the CAWA_TRACE_EVENT
+ * macro. Tracing is a pure observer: a sink is only attached when
+ * GpuConfig::trace.enabled is set, every payload is derived from
+ * values the simulator already computed, and the trace knob is
+ * excluded from the checkpoint config signature -- SimReports are
+ * byte-identical with tracing on or off (enforced by the
+ * trace-labelled tests).
+ *
+ * The ring drops the oldest events on overflow and counts the drops,
+ * so memory stays bounded no matter how long the run. Exporters
+ * produce Chrome trace_event JSON (load in chrome://tracing or
+ * https://ui.perfetto.dev: one process per SM, one thread lane per
+ * warp slot, stalls as duration slices) and a JSONL stream (one
+ * event object per line).
+ */
+
+#ifndef CAWA_SIM_TRACE_HH
+#define CAWA_SIM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cawa
+{
+
+enum class TraceEventKind : std::uint8_t
+{
+    WarpIssue,      ///< a = pc, b = warp classified critical (0/1)
+    WarpStall,      ///< a = StallReason, b = stalled cycles
+    CritUpdate,     ///< a = criticality value, b = quantized priority
+    BarrierArrive,  ///< a = block id
+    BarrierRelease, ///< a = block id, b = warps released
+    CacheFill,      ///< a = line address, b = filled by critical warp
+    CacheEvict,     ///< a = victim fill pc, b = zero-reuse eviction
+    CacheBypass,    ///< a = line address, b = is store (write-through
+                    ///< misses bypass the cache without allocating)
+    DramRead,       ///< a = line address
+    DramWrite,      ///< a = line address
+    IcntToL2,       ///< a = line address, b = is store
+    IcntToSm,       ///< a = line address
+    BlockDispatch,  ///< a = block id
+    BlockRetire,    ///< a = block id
+};
+
+inline constexpr int kNumTraceEventKinds = 14;
+
+inline const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::WarpIssue: return "warpIssue";
+      case TraceEventKind::WarpStall: return "warpStall";
+      case TraceEventKind::CritUpdate: return "critUpdate";
+      case TraceEventKind::BarrierArrive: return "barrierArrive";
+      case TraceEventKind::BarrierRelease: return "barrierRelease";
+      case TraceEventKind::CacheFill: return "cacheFill";
+      case TraceEventKind::CacheEvict: return "cacheEvict";
+      case TraceEventKind::CacheBypass: return "cacheBypass";
+      case TraceEventKind::DramRead: return "dramRead";
+      case TraceEventKind::DramWrite: return "dramWrite";
+      case TraceEventKind::IcntToL2: return "icntToL2";
+      case TraceEventKind::IcntToSm: return "icntToSm";
+      case TraceEventKind::BlockDispatch: return "blockDispatch";
+      case TraceEventKind::BlockRetire: return "blockRetire";
+    }
+    return "unknown";
+}
+
+/** Why a resident warp failed to issue this cycle (event payload). */
+enum class StallReason : std::uint8_t
+{
+    Mem,          ///< waiting on outstanding loads / scoreboard
+    Alu,          ///< ALU dependency not yet resolved
+    Struct,       ///< LD/ST queue or token pool exhausted
+    SchedWait,    ///< ready but lost scheduler arbitration
+    Barrier,      ///< parked at a block-wide barrier
+    FinishedWait, ///< exited, waiting for block peers to finish
+};
+
+inline constexpr int kNumStallReasons = 6;
+
+inline const char *
+stallReasonName(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::Mem: return "mem";
+      case StallReason::Alu: return "alu";
+      case StallReason::Struct: return "struct";
+      case StallReason::SchedWait: return "schedWait";
+      case StallReason::Barrier: return "barrier";
+      case StallReason::FinishedWait: return "finishedWait";
+    }
+    return "unknown";
+}
+
+/**
+ * One recorded event. `sm` is -1 for global components (L2, DRAM,
+ * interconnect fan-in); `warp` is -1 when no single warp slot is
+ * responsible. `a`/`b` payloads are per-kind (see TraceEventKind).
+ */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::int32_t sm = -1;
+    std::int32_t warp = -1;
+    TraceEventKind kind = TraceEventKind::WarpIssue;
+};
+
+/**
+ * Bounded drop-oldest ring of TraceEvents. record() is header-inline
+ * so mem/ and sm/ components can emit without linking the sim
+ * library; everything allocation-wise happens once in the ctor.
+ */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(std::size_t capacity)
+        : ring_(capacity ? capacity : 1)
+    {}
+
+    void
+    record(Cycle cycle, TraceEventKind kind, int sm, int warp,
+           std::int64_t a = 0, std::int64_t b = 0)
+    {
+        TraceEvent e;
+        e.cycle = cycle;
+        e.a = a;
+        e.b = b;
+        e.sm = sm;
+        e.warp = warp;
+        e.kind = kind;
+        if (size_ < ring_.size()) {
+            ring_[(start_ + size_) % ring_.size()] = e;
+            size_++;
+        } else {
+            ring_[start_] = e;
+            start_ = (start_ + 1) % ring_.size();
+            dropped_++;
+        }
+        recorded_++;
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+    std::size_t size() const { return size_; }
+
+    /** Total events ever recorded, including dropped ones. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** i-th retained event, oldest first (0 <= i < size()). */
+    const TraceEvent &
+    at(std::size_t i) const
+    {
+        return ring_[(start_ + i) % ring_.size()];
+    }
+
+    void
+    clear()
+    {
+        start_ = 0;
+        size_ = 0;
+        recorded_ = 0;
+        dropped_ = 0;
+    }
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t start_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+/**
+ * The GpuConfig::trace knob. Observational only: it never enters
+ * the checkpoint config signature, so a checkpoint taken with
+ * tracing off restores fine into a tracing run (and vice versa).
+ */
+struct TraceConfig
+{
+    bool enabled = false;
+    /// Ring capacity in events (~40 B each). 0 is invalid.
+    std::uint64_t bufferCapacity = std::uint64_t{1} << 18;
+};
+
+/** Event predicate used by the exporters and the cawa_trace CLI. */
+struct TraceFilter
+{
+    int sm = -1;   ///< -1 = any
+    int warp = -1; ///< -1 = any
+    Cycle minCycle = 0;
+    Cycle maxCycle = kNoCycle;
+    /// Bit i admits TraceEventKind(i); default admits everything.
+    std::uint32_t kindMask = ~std::uint32_t{0};
+
+    bool
+    pass(const TraceEvent &e) const
+    {
+        if (sm >= 0 && e.sm != sm)
+            return false;
+        if (warp >= 0 && e.warp != warp)
+            return false;
+        if (e.cycle < minCycle || e.cycle > maxCycle)
+            return false;
+        return (kindMask >> static_cast<int>(e.kind)) & 1u;
+    }
+};
+
+/**
+ * Chrome trace_event JSON ("JSON object format"): metadata names one
+ * process per SM (pid = sm + 1; pid 0 is the shared memory system)
+ * and stalls become "X" duration slices on their warp's thread lane,
+ * so chrome://tracing shows a per-warp timeline. Deterministic
+ * output for identical buffer contents.
+ */
+std::string traceToChromeJson(const TraceBuffer &buf,
+                              const TraceFilter &filter = {});
+
+/** One compact JSON object per line; same filter semantics. */
+std::string traceToJsonl(const TraceBuffer &buf,
+                         const TraceFilter &filter = {});
+
+} // namespace cawa
+
+/**
+ * Emit an event iff a sink is attached. Compiles to a null check on
+ * the hot path; define CAWA_TRACE_DISABLED to compile tracing out
+ * entirely.
+ */
+#ifdef CAWA_TRACE_DISABLED
+#define CAWA_TRACE_EVENT(sink, ...) \
+    do { \
+    } while (0)
+#else
+#define CAWA_TRACE_EVENT(sink, ...) \
+    do { \
+        if (sink) \
+            (sink)->record(__VA_ARGS__); \
+    } while (0)
+#endif
+
+#endif // CAWA_SIM_TRACE_HH

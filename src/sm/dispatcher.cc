@@ -1,6 +1,7 @@
 #include "sm/dispatcher.hh"
 
 #include "common/sim_assert.hh"
+#include "sim/trace.hh"
 
 namespace cawa
 {
@@ -22,6 +23,9 @@ BlockDispatcher::dispatch(std::vector<std::unique_ptr<SmCore>> &sms,
     for (std::size_t i = 0; i < n && !allDispatched(); ++i) {
         const std::size_t sm = (lastSm_ + 1 + i) % n;
         if (sms[sm]->canAcceptBlock()) {
+            CAWA_TRACE_EVENT(traceSink_, now,
+                             TraceEventKind::BlockDispatch,
+                             static_cast<int>(sm), -1, next_, 0);
             sms[sm]->acceptBlock(next_++, now);
             lastSm_ = sm;
             placed++;

@@ -16,6 +16,8 @@
 namespace cawa
 {
 
+class TraceBuffer;
+
 class BlockDispatcher
 {
   public:
@@ -41,6 +43,12 @@ class BlockDispatcher
     }
     BlockId nextBlock() const { return next_; }
 
+    /**
+     * Route block-dispatch trace events into @p sink (nullptr
+     * disables). Pure observer: never alters placement.
+     */
+    void setTraceSink(TraceBuffer *sink) { traceSink_ = sink; }
+
     /** Checkpoint dispatch progress (gridDim is kernel-derived). */
     void save(OutArchive &ar) const
     {
@@ -58,6 +66,7 @@ class BlockDispatcher
     int gridDim_;
     BlockId next_ = 0;
     std::size_t lastSm_ = 0;
+    TraceBuffer *traceSink_ = nullptr;
 };
 
 } // namespace cawa

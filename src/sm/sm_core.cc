@@ -45,7 +45,8 @@ SmCore::SmCore(const GpuConfig &cfg, int sm_id, MemoryImage &global,
       priority_(cfg.maxWarpsPerSm, 0),
       oraclePriority_(cfg.maxWarpsPerSm, 0),
       issuedThisCycle_(cfg.maxWarpsPerSm, false),
-      freeSlots_(cfg.maxWarpsPerSm)
+      freeSlots_(cfg.maxWarpsPerSm),
+      schedIssues_(cfg.numSchedulersPerSm, 0)
 {
     // Every warp can keep a couple of independent loads in flight;
     // the pool grows on demand beyond this.
@@ -65,6 +66,13 @@ SmCore::SmCore(const GpuConfig &cfg, int sm_id, MemoryImage &global,
     cpl_->setUseStallTerm(cfg.cplUseStallTerm);
     cpl_->setQuantShift(cfg.cplQuantShift);
     l1_ = std::make_unique<L1DCache>(cfg.l1d, sm_id, makeL1Policy(cfg));
+}
+
+void
+SmCore::setTraceSink(TraceBuffer *sink)
+{
+    traceSink_ = sink;
+    l1_->setTraceSink(sink);
 }
 
 SmCore::BlockState &
@@ -297,6 +305,7 @@ SmCore::schedule(Cycle now)
         sim_assert(std::find(readyScratch_.begin(), readyScratch_.end(),
                              pick) != readyScratch_.end());
         recordPick(now, k, pick);
+        schedIssues_[k]++;
         issue(pick, now);
         schedulers_[k]->notifyIssued(pick);
     }
@@ -322,6 +331,15 @@ SmCore::issue(WarpSlot slot, Cycle now)
     if (res.isBranch) {
         cpl_->onBranch(slot, res.pc, inst.target, inst.reconv,
                        res.branchTaken, res.branchDiverged);
+    }
+    if (traceSink_) {
+        // Pure observation: criticality()/isCriticalWarp() are const
+        // queries over already-updated CPL state.
+        traceSink_->record(now, TraceEventKind::WarpIssue, smId_, slot,
+                           res.pc, cpl_->isCriticalWarp(slot));
+        traceSink_->record(now, TraceEventKind::CritUpdate, smId_,
+                           slot, cpl_->criticality(slot),
+                           cpl_->priority(slot));
     }
 
     warp.timings.instructions++;
@@ -391,6 +409,9 @@ SmCore::issue(WarpSlot slot, Cycle now)
             // watchdog tests.
             if (cfg_.faults.dropBarrierArrival == barrierArrivalSeq_++)
                 break;
+            CAWA_TRACE_EVENT(traceSink_, now,
+                             TraceEventKind::BarrierArrive, smId_,
+                             slot, static_cast<std::int64_t>(block.id));
             if (block.barrier.arrive())
                 releaseBarrier(block, now);
         } else if (res.exited) {
@@ -403,13 +424,18 @@ SmCore::issue(WarpSlot slot, Cycle now)
 void
 SmCore::releaseBarrier(BlockState &block, Cycle now)
 {
+    std::int64_t released = 0;
     for (WarpSlot s : block.slots) {
         Warp &w = warps_[s];
         if (w.state() == WarpState::AtBarrier) {
             w.setState(WarpState::Running);
             cpl_->releaseBarrier(s, now);
+            released++;
         }
     }
+    CAWA_TRACE_EVENT(traceSink_, now, TraceEventKind::BarrierRelease,
+                     smId_, -1, static_cast<std::int64_t>(block.id),
+                     released);
 }
 
 void
@@ -458,6 +484,8 @@ SmCore::retireBlock(BlockState &block, Cycle now)
         warp.deactivate();
         slotBlock_[slot] = -1;
     }
+    CAWA_TRACE_EVENT(traceSink_, now, TraceEventKind::BlockRetire,
+                     smId_, -1, static_cast<std::int64_t>(block.id));
     retired_.push_back(std::move(rec));
     residentBlocks_--;
     freeSlots_ += static_cast<int>(block.slots.size());
@@ -467,56 +495,80 @@ SmCore::retireBlock(BlockState &block, Cycle now)
     block.valid = false;
 }
 
-void
-SmCore::chargeStall(Warp &warp, std::uint64_t amount)
+StallReason
+SmCore::classifyStall(const Warp &warp) const
 {
     switch (warp.state()) {
       case WarpState::Finished:
-        warp.timings.finishedWaitCycles += amount;
-        break;
+        return StallReason::FinishedWait;
       case WarpState::AtBarrier:
-        warp.timings.barrierCycles += amount;
-        break;
-      case WarpState::Running: {
+        return StallReason::Barrier;
+      default: {
         const Instruction &inst = warp.nextInstruction();
         if (!warp.scoreboard.canIssue(inst)) {
-            if (warp.scoreboard.blockedByMemory(inst))
-                warp.timings.memStallCycles += amount;
-            else
-                warp.timings.aluStallCycles += amount;
-        } else if (inst.isGlobal() &&
-                   static_cast<int>(ldstQueue_.size()) >=
-                       cfg_.ldstQueueSize) {
-            warp.timings.structStallCycles += amount;
-        } else if (inst.op == Opcode::Exit &&
-                   (!warp.scoreboard.clean() ||
-                    warp.outstandingLoads > 0)) {
-            warp.timings.memStallCycles += amount;
-        } else {
-            warp.timings.schedWaitCycles += amount;
+            return warp.scoreboard.blockedByMemory(inst)
+                ? StallReason::Mem : StallReason::Alu;
         }
-        break;
+        if (inst.isGlobal() &&
+            static_cast<int>(ldstQueue_.size()) >=
+                cfg_.ldstQueueSize) {
+            return StallReason::Struct;
+        }
+        if (inst.op == Opcode::Exit &&
+            (!warp.scoreboard.clean() || warp.outstandingLoads > 0))
+            return StallReason::Mem;
+        return StallReason::SchedWait;
       }
-      default:
+    }
+}
+
+void
+SmCore::chargeStall(Warp &warp, std::uint64_t amount, Cycle at,
+                    WarpSlot slot)
+{
+    const StallReason reason = classifyStall(warp);
+    switch (reason) {
+      case StallReason::Mem:
+        warp.timings.memStallCycles += amount;
+        break;
+      case StallReason::Alu:
+        warp.timings.aluStallCycles += amount;
+        break;
+      case StallReason::Struct:
+        warp.timings.structStallCycles += amount;
+        break;
+      case StallReason::SchedWait:
+        warp.timings.schedWaitCycles += amount;
+        break;
+      case StallReason::Barrier:
+        warp.timings.barrierCycles += amount;
+        break;
+      case StallReason::FinishedWait:
+        warp.timings.finishedWaitCycles += amount;
         break;
     }
+    // One event covers the whole span (ts = first stalled cycle), so
+    // bulk fast-forward charging and flat per-cycle charging produce
+    // the same totals either way.
+    CAWA_TRACE_EVENT(traceSink_, at, TraceEventKind::WarpStall, smId_,
+                     slot, static_cast<std::int64_t>(reason),
+                     static_cast<std::int64_t>(amount));
 }
 
 void
 SmCore::accountStalls(Cycle now)
 {
-    (void)now;
     for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
         Warp &warp = warps_[slot];
         if (warp.state() == WarpState::Inactive ||
             issuedThisCycle_[slot])
             continue;
-        chargeStall(warp, 1);
+        chargeStall(warp, 1, now, slot);
     }
 }
 
 void
-SmCore::accountIdleSpan(Cycle span)
+SmCore::accountIdleSpan(Cycle start, Cycle span)
 {
     // Over a span with no SM events no warp issues, so every active
     // warp's classification holds for each skipped cycle.
@@ -524,7 +576,7 @@ SmCore::accountIdleSpan(Cycle span)
         Warp &warp = warps_[slot];
         if (warp.state() == WarpState::Inactive)
             continue;
-        chargeStall(warp, span);
+        chargeStall(warp, span, start, slot);
     }
 }
 
@@ -536,7 +588,7 @@ SmCore::catchUpStalls(Cycle now)
     // frozen classification is exact for the whole span.
     if (now <= lastTicked_ + 1)
         return;
-    accountIdleSpan(now - lastTicked_ - 1);
+    accountIdleSpan(lastTicked_ + 1, now - lastTicked_ - 1);
     lastTicked_ = now - 1;
 }
 
@@ -1121,6 +1173,8 @@ SmCore::save(OutArchive &ar) const
     ar.putU32(static_cast<std::uint32_t>(regsUsed_));
     ar.putU32(static_cast<std::uint32_t>(smemUsed_));
     ar.putU64(issued_);
+    for (std::uint64_t v : schedIssues_)
+        ar.putU64(v);
     ar.putBool(schedDirty_);
     ar.putBool(anyReadySeen_);
     ar.putU64(lastTicked_);
@@ -1269,6 +1323,8 @@ SmCore::load(InArchive &ar)
     regsUsed_ = static_cast<int>(ar.getU32());
     smemUsed_ = static_cast<int>(ar.getU32());
     issued_ = ar.getU64();
+    for (std::uint64_t &v : schedIssues_)
+        v = ar.getU64();
     schedDirty_ = ar.getBool();
     anyReadySeen_ = ar.getBool();
     lastTicked_ = ar.getU64();

@@ -107,6 +107,19 @@ class SmCore
         return trace_;
     }
 
+    /** Issues per hardware scheduler (index < numSchedulersPerSm). */
+    const std::vector<std::uint64_t> &schedIssues() const
+    {
+        return schedIssues_;
+    }
+
+    /**
+     * Attach (or detach, nullptr) the structured-event trace sink;
+     * forwarded to the L1D. Observational only: the SM's behaviour
+     * is identical with or without a sink.
+     */
+    void setTraceSink(TraceBuffer *sink);
+
     int residentBlocks() const { return residentBlocks_; }
 
     // --- Watchdog / invariant-audit interface (all read-only) ---
@@ -216,9 +229,11 @@ class SmCore
     void finishWarp(WarpSlot slot, Cycle now);
     void retireBlock(BlockState &block, Cycle now);
     void releaseBarrier(BlockState &block, Cycle now);
-    void chargeStall(Warp &warp, std::uint64_t amount);
+    StallReason classifyStall(const Warp &warp) const;
+    void chargeStall(Warp &warp, std::uint64_t amount, Cycle at,
+                     WarpSlot slot);
     void accountStalls(Cycle now);
-    void accountIdleSpan(Cycle span);
+    void accountIdleSpan(Cycle start, Cycle span);
     void catchUpStalls(Cycle now);
     Cycle computeNextEventCycle(Cycle now) const;
     [[noreturn]] void auditFail(Cycle now, int warp,
@@ -292,6 +307,10 @@ class SmCore
     int regsUsed_ = 0;
     int smemUsed_ = 0;
     std::uint64_t issued_ = 0;
+    std::vector<std::uint64_t> schedIssues_; ///< per hw scheduler
+
+    /** Structured-event sink; null unless GpuConfig::trace.enabled. */
+    TraceBuffer *traceSink_ = nullptr;
 
     /**
      * Set when warp/CPL state that feeds the scheduling context

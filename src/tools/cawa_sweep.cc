@@ -2,7 +2,7 @@
  * @file
  * cawa_sweep: run a workload x scheduler x cache-policy matrix on the
  * parallel sweep engine and emit one JSON document per job
- * (schema "cawa-simreport-v2") for plotting and regression baselines.
+ * (schema "cawa-simreport-v3") for plotting and regression baselines.
  * A job that crashes does not take the sweep down: its failure is
  * emitted as a first-class "cawa-sweepfailure-v1" document and every
  * other job still runs.

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * cawa_trace: run one workload with structured event tracing enabled
+ * (sim/trace.hh) and export the recorded events for offline analysis.
+ *
+ * Export formats:
+ *   chrome  Chrome trace_event JSON -- load into chrome://tracing or
+ *           https://ui.perfetto.dev for a per-warp timeline (one
+ *           process per SM, one thread lane per warp slot, stalls as
+ *           duration slices). The default.
+ *   jsonl   one compact JSON object per event line, for scripting.
+ *
+ * Analysis views (printed to stdout, no event dump):
+ *   --summary  per-reason stall-cycle totals over the retained events
+ *   --lanes    critical vs non-critical lane view: issues and stall
+ *              cycles split by the issuing warp's CPL classification
+ *
+ * Examples:
+ *   cawa_trace --workload bfs --out bfs.trace.json
+ *   cawa_trace --workload kmeans --scheduler gto --format jsonl \
+ *              --sm 0 --min-cycle 1000 --max-cycle 2000
+ *   cawa_trace --workload bfs --summary --lanes
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_assert.hh"
+#include "sim/gpu.hh"
+#include "sim/trace.hh"
+#include "workloads/registry.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload;
+    SchedulerKind scheduler = SchedulerKind::Gcaws;
+    CachePolicyKind policy = CachePolicyKind::Cacp;
+    double scale = 0.25;
+    std::uint64_t seed = 1;
+    std::uint64_t capacity = std::uint64_t{1} << 18;
+    std::string format = "chrome";
+    std::string outPath;
+    TraceFilter filter;
+    bool summary = false;
+    bool lanes = false;
+};
+
+[[noreturn]] void
+usage(int status)
+{
+    std::fprintf(
+        status ? stderr : stdout,
+        "usage: cawa_trace --workload NAME [options]\n"
+        "  --workload NAME    Table 2 workload name (required)\n"
+        "  --scheduler KIND   rr|gto|2lvl|gcaws (default: gcaws;\n"
+        "                     caws needs an oracle pass, use "
+        "cawa_sweep)\n"
+        "  --policy KIND      lru|srrip|ship|cacp (default: cacp)\n"
+        "  --scale S          problem scale (default 0.25)\n"
+        "  --seed N           workload input seed (default 1)\n"
+        "  --capacity N       event ring capacity; oldest events drop\n"
+        "                     beyond it (default 262144)\n"
+        "  --format F         chrome|jsonl (default: chrome)\n"
+        "  --out FILE         write the export there (default stdout)\n"
+        "  --sm N             keep only events of SM N\n"
+        "  --warp N           keep only events of warp slot N\n"
+        "  --min-cycle N      drop events before cycle N\n"
+        "  --max-cycle N      drop events after cycle N\n"
+        "  --kinds LIST       comma list of event kind names\n"
+        "                     (warpIssue,warpStall,cacheFill,...)\n"
+        "  --summary          print a stall-reason summary instead of\n"
+        "                     dumping events\n"
+        "  --lanes            print the critical vs non-critical lane\n"
+        "                     view instead of dumping events\n"
+        "  -h, --help         this text\n");
+    std::exit(status);
+}
+
+SchedulerKind
+parseScheduler(const std::string &name)
+{
+    for (SchedulerKind kind :
+         {SchedulerKind::Lrr, SchedulerKind::Gto, SchedulerKind::TwoLevel,
+          SchedulerKind::Gcaws})
+        if (name == schedulerKindName(kind))
+            return kind;
+    if (name == schedulerKindName(SchedulerKind::CawsOracle))
+        std::fprintf(stderr,
+                     "cawa_trace: 'caws' needs an oracle profiling "
+                     "pass; use cawa_sweep, or gcaws here\n");
+    else
+        std::fprintf(stderr, "cawa_trace: unknown scheduler '%s'\n",
+                     name.c_str());
+    std::exit(2);
+}
+
+CachePolicyKind
+parsePolicy(const std::string &name)
+{
+    for (CachePolicyKind kind :
+         {CachePolicyKind::Lru, CachePolicyKind::Srrip,
+          CachePolicyKind::Ship, CachePolicyKind::Cacp})
+        if (name == cachePolicyKindName(kind))
+            return kind;
+    std::fprintf(stderr, "cawa_trace: unknown cache policy '%s'\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+std::uint32_t
+parseKindMask(const std::string &list)
+{
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string name = list.substr(pos, comma - pos);
+        bool found = false;
+        for (int k = 0; k < kNumTraceEventKinds; ++k) {
+            if (name == traceEventKindName(TraceEventKind(k))) {
+                mask |= std::uint32_t{1} << k;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "cawa_trace: unknown event kind '%s'\n",
+                         name.c_str());
+            std::exit(2);
+        }
+        pos = comma + 1;
+    }
+    return mask;
+}
+
+std::uint64_t
+parseU64(const char *flag, const std::string &text)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (!end || *end != '\0') {
+        std::fprintf(stderr, "cawa_trace: bad value '%s' for %s\n",
+                     text.c_str(), flag);
+        std::exit(2);
+    }
+    return v;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    auto next = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "cawa_trace: %s needs a value\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help")
+            usage(0);
+        else if (arg == "--workload")
+            opt.workload = next(i);
+        else if (arg == "--scheduler")
+            opt.scheduler = parseScheduler(next(i));
+        else if (arg == "--policy")
+            opt.policy = parsePolicy(next(i));
+        else if (arg == "--scale")
+            opt.scale = std::atof(next(i).c_str());
+        else if (arg == "--seed")
+            opt.seed = parseU64("--seed", next(i));
+        else if (arg == "--capacity")
+            opt.capacity = parseU64("--capacity", next(i));
+        else if (arg == "--format")
+            opt.format = next(i);
+        else if (arg == "--out")
+            opt.outPath = next(i);
+        else if (arg == "--sm")
+            opt.filter.sm =
+                static_cast<int>(parseU64("--sm", next(i)));
+        else if (arg == "--warp")
+            opt.filter.warp =
+                static_cast<int>(parseU64("--warp", next(i)));
+        else if (arg == "--min-cycle")
+            opt.filter.minCycle = parseU64("--min-cycle", next(i));
+        else if (arg == "--max-cycle")
+            opt.filter.maxCycle = parseU64("--max-cycle", next(i));
+        else if (arg == "--kinds")
+            opt.filter.kindMask = parseKindMask(next(i));
+        else if (arg == "--summary")
+            opt.summary = true;
+        else if (arg == "--lanes")
+            opt.lanes = true;
+        else {
+            std::fprintf(stderr, "cawa_trace: unknown argument '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (opt.workload.empty()) {
+        std::fprintf(stderr, "cawa_trace: --workload is required\n");
+        usage(2);
+    }
+    if (opt.format != "chrome" && opt.format != "jsonl") {
+        std::fprintf(stderr, "cawa_trace: unknown format '%s'\n",
+                     opt.format.c_str());
+        std::exit(2);
+    }
+    if (opt.scale <= 0.0) {
+        std::fprintf(stderr, "cawa_trace: --scale must be > 0\n");
+        std::exit(2);
+    }
+    return opt;
+}
+
+/** Per-reason stall-cycle totals over the retained events. */
+void
+printStallSummary(const TraceBuffer &buf, const TraceFilter &filter)
+{
+    std::uint64_t byReason[kNumStallReasons] = {};
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+        const TraceEvent &e = buf.at(i);
+        if (e.kind != TraceEventKind::WarpStall || !filter.pass(e))
+            continue;
+        const int r = static_cast<int>(e.a);
+        if (r >= 0 && r < kNumStallReasons) {
+            byReason[r] += static_cast<std::uint64_t>(e.b);
+            total += static_cast<std::uint64_t>(e.b);
+        }
+    }
+    std::printf("stall-reason summary (%llu stall cycles retained):\n",
+                static_cast<unsigned long long>(total));
+    for (int r = 0; r < kNumStallReasons; ++r) {
+        const double pct =
+            total ? 100.0 * static_cast<double>(byReason[r]) /
+                        static_cast<double>(total)
+                  : 0.0;
+        std::printf("  %-14s %12llu  (%5.1f%%)\n",
+                    stallReasonName(StallReason(r)),
+                    static_cast<unsigned long long>(byReason[r]), pct);
+    }
+}
+
+/**
+ * Critical vs non-critical lane view: split issues and stall cycles
+ * by the issuing warp's most recent CPL classification (the WarpIssue
+ * payload carries it), attributing each stall to the lane its
+ * (sm, warp) pair last issued on.
+ */
+void
+printLaneView(const TraceBuffer &buf, const TraceFilter &filter)
+{
+    struct Lane
+    {
+        std::uint64_t issues = 0;
+        std::uint64_t stallCycles = 0;
+    };
+    Lane lanes[2];
+    // Last-known lane per (sm, warp); warps start non-critical.
+    std::map<std::pair<int, int>, int> lastLane;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+        const TraceEvent &e = buf.at(i);
+        if (!filter.pass(e))
+            continue;
+        if (e.kind == TraceEventKind::WarpIssue) {
+            const int lane = e.b ? 1 : 0;
+            lastLane[{e.sm, e.warp}] = lane;
+            lanes[lane].issues++;
+        } else if (e.kind == TraceEventKind::WarpStall) {
+            const auto it = lastLane.find({e.sm, e.warp});
+            const int lane = it == lastLane.end() ? 0 : it->second;
+            lanes[lane].stallCycles +=
+                static_cast<std::uint64_t>(e.b);
+        }
+    }
+    std::printf("lane view (critical vs non-critical warps):\n");
+    const char *names[2] = {"nonCritical", "critical"};
+    for (int lane = 1; lane >= 0; --lane) {
+        const double per = lanes[lane].issues
+            ? static_cast<double>(lanes[lane].stallCycles) /
+                static_cast<double>(lanes[lane].issues)
+            : 0.0;
+        std::printf("  %-12s issues=%12llu stallCycles=%12llu "
+                    "stallPerIssue=%8.2f\n",
+                    names[lane],
+                    static_cast<unsigned long long>(lanes[lane].issues),
+                    static_cast<unsigned long long>(
+                        lanes[lane].stallCycles),
+                    per);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.scheduler = opt.scheduler;
+    cfg.l1Policy = opt.policy;
+    cfg.trace.enabled = true;
+    cfg.trace.bufferCapacity = opt.capacity;
+
+    WorkloadParams params;
+    params.seed = opt.seed;
+    params.scale = opt.scale;
+
+    try {
+        auto workload = makeWorkload(opt.workload);
+        MemoryImage mem;
+        const KernelInfo kernel = workload->build(mem, params);
+
+        Gpu gpu(cfg, mem);
+        gpu.launch(kernel);
+        gpu.runToCompletion();
+        const SimReport report = gpu.finish();
+        const TraceBuffer *buf = gpu.traceBuffer();
+        sim_assert(buf != nullptr);
+
+        std::fprintf(stderr,
+                     "cawa_trace: %s ran %llu cycles, recorded %llu "
+                     "events (%llu dropped, %zu retained)\n",
+                     report.kernelName.c_str(),
+                     static_cast<unsigned long long>(report.cycles),
+                     static_cast<unsigned long long>(buf->recorded()),
+                     static_cast<unsigned long long>(buf->dropped()),
+                     buf->size());
+
+        if (opt.summary)
+            printStallSummary(*buf, opt.filter);
+        if (opt.lanes)
+            printLaneView(*buf, opt.filter);
+        if (opt.summary || opt.lanes)
+            return 0;
+
+        const std::string doc = opt.format == "chrome"
+            ? traceToChromeJson(*buf, opt.filter)
+            : traceToJsonl(*buf, opt.filter);
+        if (opt.outPath.empty()) {
+            std::cout << doc;
+            if (!doc.empty() && doc.back() != '\n')
+                std::cout << '\n';
+        } else {
+            std::ofstream out(opt.outPath,
+                              std::ios::binary | std::ios::trunc);
+            if (!out) {
+                std::fprintf(stderr,
+                             "cawa_trace: cannot open '%s' for "
+                             "writing\n",
+                             opt.outPath.c_str());
+                return 1;
+            }
+            out << doc;
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cawa_trace: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -257,6 +257,7 @@ TEST(ReportJson, V1DocumentsStillParse)
     auto asV1 = [](SimReport r) {
         JsonWriteOptions opt;
         opt.pretty = false;
+        opt.schemaVersion = 2;  // v1 is the v2 layout minus exitStatus
         std::string doc = toJson(r, opt);
         const std::string v2 = "\"schema\":\"cawa-simreport-v2\"";
         doc.replace(doc.find(v2), v2.size(),

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Locks in the event-tracing contract (sim/trace.hh): tracing is a
+ * pure observer. For every workload under the paper's three headline
+ * configurations (GTO, gCAWS, full CAWA = gCAWS + CACP), the final
+ * SimReport serializes byte-for-byte identically with tracing on or
+ * off, with fast-forward on or off, and across a checkpoint written
+ * by a non-tracing run restored into a tracing one (the trace knob is
+ * excluded from the config signature on purpose). Also covers the
+ * ring buffer's drop-oldest overflow behavior, the TraceFilter
+ * predicate, and the structural well-formedness of both exporters
+ * (Chrome trace_event JSON via the repo's own parser, JSONL line by
+ * line).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/gpu.hh"
+#include "sim/report_json.hh"
+#include "sim/trace.hh"
+#include "workloads/registry.hh"
+#include "workloads/sweep_jobs.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams params;
+    params.scale = 0.1;
+    params.seed = 1;
+    return params;
+}
+
+/** The paper's three headline configurations. */
+std::vector<std::pair<std::string, GpuConfig>>
+headlineConfigs()
+{
+    std::vector<std::pair<std::string, GpuConfig>> configs;
+    GpuConfig gto = GpuConfig::fermiGtx480();
+    configs.emplace_back("gto", gto);
+    GpuConfig gcaws = gto;
+    gcaws.scheduler = SchedulerKind::Gcaws;
+    configs.emplace_back("gcaws", gcaws);
+    GpuConfig cawa = gcaws;
+    cawa.l1Policy = CachePolicyKind::Cacp;
+    configs.emplace_back("cawa", cawa);
+    return configs;
+}
+
+std::string
+fullJson(const SimReport &report)
+{
+    JsonWriteOptions opt;
+    opt.includeBlocks = true;
+    opt.includeTrace = true;
+    opt.includeDerived = true;
+    return toJson(report, opt);
+}
+
+/**
+ * Run @p spec through the direct Gpu API. @p recorded, when non-null,
+ * receives how many trace events the run emitted (0 with tracing
+ * off), so purity assertions can prove they are not vacuous.
+ */
+SimReport
+runDirect(const WorkloadJobSpec &spec,
+          std::uint64_t *recorded = nullptr)
+{
+    const SweepJob job = makeWorkloadJob(spec);
+    MemoryImage mem;
+    const KernelInfo kernel = job.build(mem);
+    Gpu gpu(job.cfg, mem);
+    gpu.launch(kernel);
+    gpu.runToCompletion();
+    SimReport report = gpu.finish();
+    if (recorded)
+        *recorded =
+            gpu.traceBuffer() ? gpu.traceBuffer()->recorded() : 0;
+    return report;
+}
+
+std::string
+tmpPath(const std::string &stem)
+{
+    return (std::filesystem::path(::testing::TempDir()) /
+            (stem + ".ckpt"))
+        .string();
+}
+
+std::string
+sanitized(std::string name)
+{
+    for (char &c : name)
+        if (c == '+' || c == '.')
+            c = 'p';
+    return name;
+}
+
+} // namespace
+
+// --- Ring buffer unit behavior -------------------------------------
+
+TEST(TraceBuffer, DropsOldestOnOverflowAndCounts)
+{
+    TraceBuffer buf(16);
+    EXPECT_EQ(buf.capacity(), 16u);
+    for (int i = 0; i < 20; ++i)
+        buf.record(100 + i, TraceEventKind::WarpIssue, 0, i, i, 0);
+    EXPECT_EQ(buf.size(), 16u);
+    EXPECT_EQ(buf.recorded(), 20u);
+    EXPECT_EQ(buf.dropped(), 4u);
+    // Oldest four were overwritten: retained events are 4..19 in
+    // recording order.
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+        EXPECT_EQ(buf.at(i).a, static_cast<std::int64_t>(i + 4));
+        EXPECT_EQ(buf.at(i).cycle, 104 + i);
+    }
+    buf.clear();
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(buf.recorded(), 0u);
+    EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST(TraceBuffer, ZeroCapacityClampsToOne)
+{
+    TraceBuffer buf(0);
+    EXPECT_EQ(buf.capacity(), 1u);
+    buf.record(1, TraceEventKind::WarpIssue, 0, 0);
+    buf.record(2, TraceEventKind::WarpStall, 0, 0);
+    EXPECT_EQ(buf.size(), 1u);
+    EXPECT_EQ(buf.dropped(), 1u);
+    EXPECT_EQ(buf.at(0).kind, TraceEventKind::WarpStall);
+}
+
+TEST(TraceFilterTest, PredicateMatchesAllDimensions)
+{
+    TraceEvent e;
+    e.cycle = 500;
+    e.sm = 3;
+    e.warp = 7;
+    e.kind = TraceEventKind::CacheFill;
+
+    TraceFilter any;
+    EXPECT_TRUE(any.pass(e));
+
+    TraceFilter by_sm;
+    by_sm.sm = 3;
+    EXPECT_TRUE(by_sm.pass(e));
+    by_sm.sm = 4;
+    EXPECT_FALSE(by_sm.pass(e));
+
+    TraceFilter by_warp;
+    by_warp.warp = 7;
+    EXPECT_TRUE(by_warp.pass(e));
+    by_warp.warp = 8;
+    EXPECT_FALSE(by_warp.pass(e));
+
+    TraceFilter by_cycle;
+    by_cycle.minCycle = 500;
+    by_cycle.maxCycle = 500;
+    EXPECT_TRUE(by_cycle.pass(e));
+    by_cycle.minCycle = 501;
+    EXPECT_FALSE(by_cycle.pass(e));
+
+    TraceFilter by_kind;
+    by_kind.kindMask =
+        std::uint32_t{1} << static_cast<int>(TraceEventKind::CacheFill);
+    EXPECT_TRUE(by_kind.pass(e));
+    by_kind.kindMask = std::uint32_t{1}
+        << static_cast<int>(TraceEventKind::WarpIssue);
+    EXPECT_FALSE(by_kind.pass(e));
+}
+
+// --- Observer purity -----------------------------------------------
+
+/**
+ * Per workload: under each headline configuration, a tracing run
+ * (fast-forward on and off) and a run restored from a checkpoint into
+ * a tracing Gpu all serialize identically to the trace-off baseline.
+ */
+class TracePurity : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TracePurity, ReportsAreByteIdenticalWithTracingOn)
+{
+    for (const auto &[cfg_name, cfg] : headlineConfigs()) {
+        WorkloadJobSpec spec;
+        spec.workload = GetParam();
+        spec.cfg = cfg;
+        spec.params = tinyParams();
+
+        const SimReport baseline = runDirect(spec);
+        const std::string baseline_json = fullJson(baseline);
+
+        // Tracing on, fast-forward on (the default).
+        spec.cfg.trace.enabled = true;
+        std::uint64_t recorded = 0;
+        EXPECT_EQ(baseline_json, fullJson(runDirect(spec, &recorded)))
+            << GetParam() << "/" << cfg_name
+            << ": tracing perturbed the report";
+        EXPECT_GT(recorded, 0u)
+            << GetParam() << "/" << cfg_name
+            << ": purity test is vacuous, no events recorded";
+
+        // Tracing on, fast-forward off (flat ticking emits per-cycle
+        // stall events; totals must still match the bulk charges).
+        spec.cfg.fastForward = false;
+        EXPECT_EQ(baseline_json, fullJson(runDirect(spec)))
+            << GetParam() << "/" << cfg_name
+            << ": tracing + flat ticking perturbed the report";
+        spec.cfg.fastForward = true;
+
+        // Checkpoint written by a NON-tracing run, restored into a
+        // tracing Gpu (the trace knob is excluded from the config
+        // signature), finished from there.
+        const Cycle stop = baseline.cycles / 2;
+        const std::string path = tmpPath(
+            "trace_" + sanitized(GetParam()) + "_" + cfg_name);
+        spec.cfg.trace.enabled = false;
+        const SweepJob job = makeWorkloadJob(spec);
+        {
+            MemoryImage mem;
+            const KernelInfo kernel = job.build(mem);
+            Gpu gpu(job.cfg, mem);
+            gpu.launch(kernel);
+            gpu.stepUntil(stop);
+            gpu.saveCheckpoint(path);
+        }
+        spec.cfg.trace.enabled = true;
+        const SweepJob traced_job = makeWorkloadJob(spec);
+        MemoryImage mem;
+        const KernelInfo kernel = traced_job.build(mem);
+        Gpu gpu(traced_job.cfg, mem);
+        gpu.restoreCheckpoint(path, kernel);
+        gpu.runToCompletion();
+        EXPECT_EQ(baseline_json, fullJson(gpu.finish()))
+            << GetParam() << "/" << cfg_name
+            << ": tracing diverged after restore at cycle " << stop;
+        std::filesystem::remove(path);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, TracePurity,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return sanitized(info.param);
+    });
+
+// --- Exporters -----------------------------------------------------
+
+namespace
+{
+
+/** Run @p workload with tracing on; returns the live Gpu + report. */
+std::unique_ptr<Gpu>
+tracedRun(const std::string &workload, MemoryImage &mem,
+          std::uint64_t capacity = std::uint64_t{1} << 18)
+{
+    WorkloadJobSpec spec;
+    spec.workload = workload;
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.cfg.scheduler = SchedulerKind::Gcaws;
+    spec.cfg.l1Policy = CachePolicyKind::Cacp;
+    spec.cfg.trace.enabled = true;
+    spec.cfg.trace.bufferCapacity = capacity;
+    spec.params = tinyParams();
+    const SweepJob job = makeWorkloadJob(spec);
+    const KernelInfo kernel = job.build(mem);
+    auto gpu = std::make_unique<Gpu>(job.cfg, mem);
+    gpu->launch(kernel);
+    gpu->runToCompletion();
+    gpu->finish();
+    return gpu;
+}
+
+/** Structural checks on a Chrome trace_event export. */
+void
+expectValidChromeJson(const std::string &doc, const char *what)
+{
+    SCOPED_TRACE(what);
+    const JsonValue root = parseJson(doc);
+    ASSERT_TRUE(root.has("traceEvents"));
+    const auto &events = root.at("traceEvents").items();
+    ASSERT_FALSE(events.empty());
+    const std::set<std::string> phases{"M", "i", "X"};
+    bool saw_slice = false;
+    for (const JsonValue &e : events) {
+        ASSERT_TRUE(e.has("name"));
+        ASSERT_TRUE(e.has("ph"));
+        ASSERT_TRUE(e.has("pid"));
+        const std::string ph = e.at("ph").asString();
+        EXPECT_TRUE(phases.count(ph)) << "unexpected phase " << ph;
+        if (ph != "M") {
+            ASSERT_TRUE(e.has("ts"));
+            ASSERT_TRUE(e.has("tid"));
+        }
+        if (ph == "X") {
+            ASSERT_TRUE(e.has("dur"));
+            EXPECT_GE(e.at("dur").asU64(), 1u);
+            saw_slice = true;
+        }
+    }
+    EXPECT_TRUE(saw_slice) << "no stall duration slices in export";
+    ASSERT_TRUE(root.has("otherData"));
+    EXPECT_TRUE(root.at("otherData").has("recorded"));
+    EXPECT_TRUE(root.at("otherData").has("dropped"));
+}
+
+} // namespace
+
+class ChromeExport : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ChromeExport, IsWellFormed)
+{
+    MemoryImage mem;
+    const auto gpu = tracedRun(GetParam(), mem);
+    ASSERT_NE(gpu->traceBuffer(), nullptr);
+    expectValidChromeJson(traceToChromeJson(*gpu->traceBuffer()),
+                          GetParam().c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AcceptanceWorkloads, ChromeExport,
+                         ::testing::Values("bfs", "kmeans"),
+                         [](const ::testing::TestParamInfo<std::string>
+                                &info) { return info.param; });
+
+TEST(ChromeExport, FilterRestrictsEvents)
+{
+    MemoryImage mem;
+    const auto gpu = tracedRun("bfs", mem);
+    const TraceBuffer &buf = *gpu->traceBuffer();
+
+    TraceFilter only_sm0;
+    only_sm0.sm = 0;
+    const JsonValue root = parseJson(traceToChromeJson(buf, only_sm0));
+    for (const JsonValue &e : root.at("traceEvents").items()) {
+        if (e.at("ph").asString() == "M")
+            continue;
+        // pid 0 is the memory system, pid 1 is SM 0.
+        EXPECT_EQ(e.at("pid").asU64(), 1u);
+    }
+}
+
+TEST(JsonlExport, EveryLineParses)
+{
+    MemoryImage mem;
+    const auto gpu = tracedRun("bfs", mem);
+    const std::string doc = traceToJsonl(*gpu->traceBuffer());
+    ASSERT_FALSE(doc.empty());
+    std::size_t pos = 0;
+    std::size_t lines = 0;
+    while (pos < doc.size()) {
+        std::size_t nl = doc.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = doc.size();
+        const std::string line = doc.substr(pos, nl - pos);
+        if (!line.empty()) {
+            const JsonValue v = parseJson(line);
+            EXPECT_TRUE(v.has("cycle"));
+            EXPECT_TRUE(v.has("kind"));
+            lines++;
+        }
+        pos = nl + 1;
+    }
+    EXPECT_EQ(lines, gpu->traceBuffer()->size());
+}
+
+// --- Overflow at simulation level ----------------------------------
+
+TEST(TraceOverflow, RingStaysBoundedAndCountsDrops)
+{
+    // A capacity far below the event volume of even a tiny bfs run.
+    constexpr std::uint64_t kCap = 512;
+    MemoryImage mem;
+    const auto gpu = tracedRun("bfs", mem, kCap);
+    const TraceBuffer &buf = *gpu->traceBuffer();
+    EXPECT_EQ(buf.capacity(), kCap);
+    EXPECT_EQ(buf.size(), kCap);
+    EXPECT_GT(buf.dropped(), 0u);
+    EXPECT_EQ(buf.recorded(), buf.dropped() + buf.size());
+    // Retained events are the newest ones: ordered by cycle and all
+    // from the tail of the run.
+    for (std::size_t i = 1; i < buf.size(); ++i)
+        EXPECT_LE(buf.at(i - 1).cycle, buf.at(i).cycle);
+}
