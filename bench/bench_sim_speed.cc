@@ -2,13 +2,18 @@
  * @file
  * Simulator-speed benchmarks, two layers:
  *
- *  1. A fast-forward comparison: each memory-bound workload runs
- *     end-to-end twice -- flat ticking vs the event-driven
- *     fast-forward core -- and the sim-cycles/s of both, plus the
- *     speedup, are printed and exported to BENCH_sim_speed.json
- *     (override the path with CAWA_BENCH_JSON). The simulated cycle
- *     counts of the two runs are asserted equal, so the report
- *     doubles as a coarse bit-identity check.
+ *  1. An execution-mode comparison: each memory-bound workload runs
+ *     end-to-end three times -- flat ticking, the event-driven
+ *     fast-forward core, and fast-forward with the parallel-SM
+ *     fork-join team (simThreads = 4; override with
+ *     CAWA_BENCH_SIM_THREADS) -- and the sim-cycles/s of all three,
+ *     plus both speedups over flat, are printed and exported to
+ *     BENCH_sim_speed.json (override the path with CAWA_BENCH_JSON).
+ *     The simulated cycle counts of the runs are asserted equal, so
+ *     the report doubles as a coarse bit-identity check. The export
+ *     records the machine's hardware concurrency: the perf gate only
+ *     enforces the parallel floor when the measuring machine has
+ *     enough cores to realize it.
  *
  *  2. google-benchmark microbenchmarks of the hot primitives (cache
  *     probe path, CPL classification, coalescer) and a small
@@ -28,6 +33,7 @@
 #include <benchmark/benchmark.h>
 
 #include "cawa/criticality.hh"
+#include "common/thread_pool.hh"
 #include "harness.hh"
 #include "mem/coalescer.hh"
 #include "mem/replacement.hh"
@@ -55,20 +61,39 @@ struct FfResult
     std::uint64_t cycles = 0;
     double cyclesPerSecFlat = 0.0;
     double cyclesPerSecFf = 0.0;
+    double cyclesPerSecParallel = 0.0; ///< ff + simThreads workers
 
     double speedup() const
     {
         return cyclesPerSecFlat > 0.0
             ? cyclesPerSecFf / cyclesPerSecFlat : 0.0;
     }
+
+    double parallelSpeedup() const
+    {
+        return cyclesPerSecFlat > 0.0
+            ? cyclesPerSecParallel / cyclesPerSecFlat : 0.0;
+    }
 };
+
+/** Parallel-SM worker count for the bench's parallel column. */
+int
+benchSimThreads()
+{
+    if (const char *v = std::getenv("CAWA_BENCH_SIM_THREADS"))
+        if (const int n = std::atoi(v); n >= 1 && n <= 256)
+            return n;
+    return 4;
+}
 
 /** One timed end-to-end run (build excluded from the timing). */
 FfSample
-timedRun(const std::string &workload, bool fast_forward, double scale)
+timedRun(const std::string &workload, bool fast_forward, double scale,
+         int sim_threads = 1)
 {
     GpuConfig cfg = GpuConfig::fermiGtx480();
     cfg.fastForward = fast_forward;
+    cfg.simThreads = sim_threads;
     auto wl = makeWorkload(workload);
     MemoryImage mem;
     WorkloadParams params;
@@ -93,15 +118,20 @@ compareWorkload(const std::string &workload, double scale, int reps)
     res.workload = workload;
     double best_flat = 0.0;
     double best_ff = 0.0;
+    double best_par = 0.0;
     for (int i = 0; i < reps; ++i) {
         const FfSample flat = timedRun(workload, false, scale);
         const FfSample ff = timedRun(workload, true, scale);
-        if (flat.cycles != ff.cycles) {
-            std::fprintf(stderr,
-                         "FATAL: %s simulated %llu cycles flat but "
-                         "%llu fast-forwarded\n", workload.c_str(),
-                         static_cast<unsigned long long>(flat.cycles),
-                         static_cast<unsigned long long>(ff.cycles));
+        const FfSample par =
+            timedRun(workload, true, scale, benchSimThreads());
+        if (flat.cycles != ff.cycles || flat.cycles != par.cycles) {
+            std::fprintf(
+                stderr,
+                "FATAL: %s simulated %llu cycles flat but %llu "
+                "fast-forwarded and %llu parallel\n", workload.c_str(),
+                static_cast<unsigned long long>(flat.cycles),
+                static_cast<unsigned long long>(ff.cycles),
+                static_cast<unsigned long long>(par.cycles));
             std::exit(1);
         }
         res.cycles = flat.cycles;
@@ -111,9 +141,13 @@ compareWorkload(const std::string &workload, double scale, int reps)
         best_ff = std::max(best_ff,
                            static_cast<double>(ff.cycles) /
                                ff.seconds);
+        best_par = std::max(best_par,
+                            static_cast<double>(par.cycles) /
+                                par.seconds);
     }
     res.cyclesPerSecFlat = best_flat;
     res.cyclesPerSecFf = best_ff;
+    res.cyclesPerSecParallel = best_par;
     return res;
 }
 
@@ -124,18 +158,26 @@ jsonReport(const std::vector<FfResult> &results, double scale)
     out << "{\n  \"schema\": \"cawa-bench-sim-speed-v1\",\n"
         << "  \"scale\": " << scale << ",\n"
         << "  \"config\": \"fermiGtx480\",\n"
+        << "  \"simThreads\": " << benchSimThreads() << ",\n"
+        << "  \"hardwareConcurrency\": "
+        << ThreadPool::defaultThreadCount() << ",\n"
         << "  \"entries\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const FfResult &r = results[i];
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%.2f", r.speedup());
+        char pbuf[32];
+        std::snprintf(pbuf, sizeof(pbuf), "%.2f", r.parallelSpeedup());
         out << "    {\"workload\": \"" << r.workload << "\""
             << ", \"simCycles\": " << r.cycles
             << ", \"cyclesPerSecFlat\": "
             << static_cast<std::uint64_t>(r.cyclesPerSecFlat)
             << ", \"cyclesPerSecFastForward\": "
             << static_cast<std::uint64_t>(r.cyclesPerSecFf)
-            << ", \"speedup\": " << buf << "}"
+            << ", \"cyclesPerSecParallel\": "
+            << static_cast<std::uint64_t>(r.cyclesPerSecParallel)
+            << ", \"speedup\": " << buf
+            << ", \"parallelSpeedup\": " << pbuf << "}"
             << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -152,20 +194,24 @@ runFastForwardComparison()
     const double scale = bench::benchScale();
     const int reps = 3;
 
-    std::printf("Fast-forward comparison (scale %.2f, best of %d)\n",
-                scale, reps);
-    std::printf("%-12s %12s %16s %16s %9s\n", "workload", "simCycles",
-                "flat cyc/s", "ff cyc/s", "speedup");
+    std::printf("Execution-mode comparison (scale %.2f, best of %d, "
+                "parallel = ff + %d threads on %d cores)\n",
+                scale, reps, benchSimThreads(),
+                ThreadPool::defaultThreadCount());
+    std::printf("%-12s %12s %14s %14s %14s %8s %8s\n", "workload",
+                "simCycles", "flat cyc/s", "ff cyc/s", "par cyc/s",
+                "ff-x", "par-x");
 
     std::vector<FfResult> results;
     for (const char *workload : kFfWorkloads) {
         results.push_back(compareWorkload(workload, scale, reps));
         const FfResult &r = results.back();
-        std::printf("%-12s %12llu %16.0f %16.0f %8.2fx\n",
+        std::printf("%-12s %12llu %14.0f %14.0f %14.0f %7.2fx %7.2fx\n",
                     r.workload.c_str(),
                     static_cast<unsigned long long>(r.cycles),
                     r.cyclesPerSecFlat, r.cyclesPerSecFf,
-                    r.speedup());
+                    r.cyclesPerSecParallel, r.speedup(),
+                    r.parallelSpeedup());
     }
 
     const char *path_env = std::getenv("CAWA_BENCH_JSON");

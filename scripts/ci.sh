@@ -6,7 +6,7 @@
 # audited at CAWA_CHECK=2, sim_assert failures throw), and finishes
 # with the checkpoint-corruption fuzzer.
 #
-# Usage: scripts/ci.sh [-j N] [--format-only | --perf-only]
+# Usage: scripts/ci.sh [-j N] [--format-only | --perf-only | --tsan-only]
 #   -j N           parallel build/test jobs (default: nproc)
 #   --format-only  run only the clang-format diff check and exit.
 #                  Checks only lines changed relative to
@@ -16,6 +16,10 @@
 #                  gate the result against the committed baseline
 #                  (scripts/perf_gate.py, tolerance
 #                  $CAWA_PERF_TOLERANCE, default 15%).
+#   --tsan-only    build the tsan preset (-fsanitize=thread) and run
+#                  the parallel-labelled suites under it: the
+#                  parallel-SM fork-join must be data-race-free, not
+#                  just byte-deterministic.
 #   -h, --help     this text
 #
 # POSIX sh: pipefail is enabled only where the shell supports it, and
@@ -28,7 +32,7 @@ fi
 cd "$(dirname "$0")/.."
 
 usage() {
-    sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+    sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
 }
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -53,6 +57,10 @@ while [ $# -gt 0 ]; do
         ;;
       --perf-only)
         mode=perf
+        shift
+        ;;
+      --tsan-only)
+        mode=tsan
         shift
         ;;
       -h|--help)
@@ -121,6 +129,17 @@ perf_gate() {
         bench/baselines/BENCH_sim_speed.json "$report"
 }
 
+# --- TSan: the parallel-SM fork-join under -fsanitize=thread ---------
+tsan_check() {
+    run cmake --preset tsan
+    run cmake --build --preset tsan -j "$jobs" \
+        --target test_parallel_sm test_sweep_determinism
+    # halt_on_error: the first race fails the job instead of scrolling
+    # past; second_deadlock_stack aids lock-order reports.
+    run env TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+        ctest --preset tsan -L parallel -j "$jobs"
+}
+
 case "$mode" in
   format)
     check_format
@@ -128,6 +147,10 @@ case "$mode" in
     ;;
   perf)
     perf_gate
+    exit $?
+    ;;
+  tsan)
+    tsan_check
     exit $?
     ;;
 esac

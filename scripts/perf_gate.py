@@ -11,6 +11,14 @@ the committed baseline (``bench/baselines/BENCH_sim_speed.json``):
   the same run, measured on the same machine, so it is comparable
   across machines) must stay within the tolerance of the baseline:
   ``new >= old * (1 - tol)``.
+* the ``parallelSpeedup`` ratio (fast-forward + the parallel-SM
+  fork-join team vs flat) is gated the same way, plus an absolute
+  floor: at least half the workloads must reach 1.5x. Both parallel
+  checks apply only when the measuring machine has at least
+  ``simThreads`` hardware cores (``hardwareConcurrency`` in the
+  report) -- on smaller machines the team is oversubscribed and the
+  ratio measures the scheduler, not the simulator -- and when the
+  baseline carries the parallel columns at a matching thread count.
 * absolute cycles/sec throughputs are machine-dependent and reported
   for information only.
 
@@ -71,8 +79,29 @@ def main():
                 f"{base_doc.get(key)!r} vs current {cur_doc.get(key)!r}"
             )
 
+    # The parallel-SM floor is only meaningful when the machine can
+    # actually run the team in parallel and the baseline has the
+    # parallel columns to compare against.
+    threads = cur_doc.get("simThreads", 0)
+    cores = cur_doc.get("hardwareConcurrency", 0)
+    gate_parallel = (
+        threads > 0
+        and cores >= threads
+        and base_doc.get("simThreads") == threads
+        and all("parallelSpeedup" in e for e in base_entries.values())
+    )
+    if not gate_parallel:
+        reason = (
+            f"{cores} cores < {threads} sim threads"
+            if threads and cores < threads
+            else "baseline lacks comparable parallel columns"
+        )
+        print(f"perf_gate: parallel-SM speedup not gated ({reason})")
+
     failures = []
     rows = []
+    par_floor_met = 0
+    par_gated = 0
     for name, base in sorted(base_entries.items()):
         cur = cur_entries.get(name)
         if cur is None:
@@ -93,10 +122,29 @@ def main():
                 f"< floor {floor:.2f}x "
                 f"(baseline {base['speedup']:.2f}x, tol {tol:.0%})"
             )
+        if gate_parallel:
+            par_gated += 1
+            par_now = cur.get("parallelSpeedup", 0.0)
+            par_base = base["parallelSpeedup"]
+            par_floor = par_base * (1.0 - tol)
+            if par_now < par_floor:
+                status = "PARALLEL REGRESSED"
+                failures.append(
+                    f"{name}: parallel-SM speedup {par_now:.2f}x "
+                    f"< floor {par_floor:.2f}x "
+                    f"(baseline {par_base:.2f}x, tol {tol:.0%})"
+                )
+            if par_now >= 1.5:
+                par_floor_met += 1
         delta = (
             (cur["speedup"] - base["speedup"]) / base["speedup"]
             if base["speedup"]
             else 0.0
+        )
+        par_cell = (
+            f"{cur['parallelSpeedup']:.2f}x"
+            if "parallelSpeedup" in cur
+            else "-"
         )
         rows.append(
             (
@@ -105,6 +153,7 @@ def main():
                 f"{base['speedup']:.2f}x",
                 f"{cur['speedup']:.2f}x",
                 f"{delta:+.1%}",
+                par_cell,
                 fmt_rate(cur["cyclesPerSecFastForward"]),
                 status,
             )
@@ -112,13 +161,21 @@ def main():
     for name in sorted(set(cur_entries) - set(base_entries)):
         rows.append(
             (name, f"{cur_entries[name]['simCycles']}", "-", "-", "-",
+             "-",
              fmt_rate(cur_entries[name]["cyclesPerSecFastForward"]),
              "new (not gated)")
         )
 
+    if gate_parallel and par_gated and par_floor_met * 2 < par_gated:
+        failures.append(
+            f"parallel-SM speedup reaches 1.5x on only "
+            f"{par_floor_met} of {par_gated} workloads "
+            f"(needs at least half)"
+        )
+
     header = (
         "workload", "simCycles", "base speedup", "now", "delta",
-        "cyc/s (info)", "status",
+        "par now", "cyc/s (info)", "status",
     )
     widths = [
         max(len(r[i]) for r in rows + [header]) for i in range(len(header))
@@ -141,6 +198,14 @@ def main():
         md.append("")
         md.append(f"Tolerance: {tol:.0%} on the fast-forward speedup "
                   "ratio; simCycles must match exactly.")
+        if gate_parallel:
+            md.append(
+                f"Parallel-SM gate active ({threads} threads on "
+                f"{cores} cores): tolerance floor per workload plus "
+                "1.5x on at least half."
+            )
+        else:
+            md.append("Parallel-SM gate inactive on this machine.")
         with open(summary, "a", encoding="utf-8") as f:
             f.write("\n".join(md) + "\n")
 

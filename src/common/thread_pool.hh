@@ -9,8 +9,11 @@
 #ifndef CAWA_COMMON_THREAD_POOL_HH
 #define CAWA_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <memory>
@@ -122,6 +125,167 @@ parallelFor(ThreadPool &pool, std::size_t n, F fn)
     for (auto &f : pending)
         f.get();
 }
+
+/**
+ * Fixed-size fork-join team for tight per-cycle loops (the parallel-SM
+ * tick in sim/gpu.cc). run(fn) invokes fn(index) once for every index
+ * in [0, threads) concurrently — the calling thread executes index 0
+ * itself — and returns only after all indices finish. Unlike
+ * ThreadPool::submit there is no per-task queue, future or heap
+ * allocation on the worker side: the team is woken by bumping an
+ * atomic generation counter, so a fork/join round is cheap enough to
+ * run every simulated cycle.
+ *
+ * Workers spin briefly on the generation counter and then park on a
+ * condition variable, so an oversubscribed team (threads > cores)
+ * degrades to ordinary blocking instead of burning whole scheduler
+ * quanta. Exceptions are captured per index and rethrown in the
+ * caller after the join, lowest index first, so a failing run() is
+ * deterministic too.
+ */
+class ForkJoin
+{
+  public:
+    explicit ForkJoin(int threads)
+        : threads_(threads < 1 ? 1 : threads),
+          errors_(static_cast<std::size_t>(threads_))
+    {
+        workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+        for (int i = 1; i < threads_; ++i)
+            workers_.emplace_back([this, i] { workerLoop(i); });
+    }
+
+    ~ForkJoin()
+    {
+        if (threads_ > 1) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                stopping_.store(true, std::memory_order_relaxed);
+                generation_.fetch_add(1, std::memory_order_release);
+            }
+            cv_.notify_all();
+            for (auto &worker : workers_)
+                worker.join();
+        }
+    }
+
+    ForkJoin(const ForkJoin &) = delete;
+    ForkJoin &operator=(const ForkJoin &) = delete;
+
+    int threads() const { return threads_; }
+
+    /** Run fn(0) .. fn(threads()-1) concurrently; join; rethrow. */
+    void
+    run(const std::function<void(int)> &fn)
+    {
+        if (threads_ == 1) {
+            fn(0); // no team to coordinate with
+            return;
+        }
+        task_ = &fn;
+        pending_.store(threads_ - 1, std::memory_order_relaxed);
+        {
+            // The (empty) critical section pairs with the workers'
+            // cv_.wait predicate: a worker that checked the counter
+            // just before this bump is either still holding the lock
+            // (we wait for it) or already parked (notify_all wakes
+            // it) — no lost wakeup.
+            std::lock_guard<std::mutex> lock(mutex_);
+            generation_.fetch_add(1, std::memory_order_release);
+        }
+        cv_.notify_all();
+        runProtected(0);
+        for (int spin = 0;
+             pending_.load(std::memory_order_acquire) != 0; ++spin) {
+            if (spin >= kJoinSpins) {
+                std::unique_lock<std::mutex> lock(doneMutex_);
+                doneCv_.wait(lock, [this] {
+                    return pending_.load(std::memory_order_acquire) == 0;
+                });
+                break;
+            }
+        }
+        task_ = nullptr;
+        rethrowFirstError();
+    }
+
+  private:
+    // Spin budgets before parking; kept small because the team may
+    // have more threads than the machine has cores.
+    static constexpr int kForkSpins = 256;
+    static constexpr int kJoinSpins = 1024;
+
+    void
+    runProtected(int index)
+    {
+        try {
+            (*task_)(index);
+        } catch (...) {
+            errors_[static_cast<std::size_t>(index)] =
+                std::current_exception();
+        }
+    }
+
+    void
+    rethrowFirstError()
+    {
+        for (std::size_t i = 0; i < errors_.size(); ++i) {
+            if (errors_[i]) {
+                const std::exception_ptr first = errors_[i];
+                for (auto &err : errors_)
+                    err = nullptr;
+                std::rethrow_exception(first);
+            }
+        }
+    }
+
+    void
+    workerLoop(int index)
+    {
+        // Baseline is the construction-time generation (0), NOT the
+        // first observed value: a worker that gets scheduled late
+        // could otherwise first see the generation of an already
+        // in-flight run() and skip its share of it — deadlocking the
+        // caller's join.
+        std::uint64_t seen = 0;
+        for (;;) {
+            std::uint64_t gen = generation_.load(std::memory_order_acquire);
+            for (int spin = 0; gen == seen && spin < kForkSpins; ++spin)
+                gen = generation_.load(std::memory_order_acquire);
+            if (gen == seen) {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [this, seen] {
+                    return generation_.load(std::memory_order_acquire) !=
+                           seen;
+                });
+                gen = generation_.load(std::memory_order_acquire);
+            }
+            seen = gen;
+            if (stopping_.load(std::memory_order_relaxed))
+                return;
+            runProtected(index);
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(doneMutex_);
+                doneCv_.notify_one();
+            }
+        }
+    }
+
+    const int threads_;
+    // Written by run() before the generation bump (release) and read
+    // by workers after observing it (acquire), so the plain pointer
+    // accesses are ordered.
+    const std::function<void(int)> *task_ = nullptr;
+    std::vector<std::exception_ptr> errors_; // slot i owned by index i
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> generation_{0};
+    std::atomic<int> pending_{0};
+    std::atomic<bool> stopping_{false};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::mutex doneMutex_;
+    std::condition_variable doneCv_;
+};
 
 } // namespace cawa
 

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Per-SM front end for the functional MemoryImage: the commit-buffer
+ * seam that makes phase-1 parallel SM ticking safe (sim/gpu.cc).
+ *
+ * MemoryImage is a sparse page map, so concurrent stores from two SMs
+ * can rehash the map under a third SM's load. Each SM therefore owns
+ * a MemPort. In serial mode (the default) it is a plain passthrough
+ * and the seed simulator's behavior is untouched. With deferred
+ * stores enabled, write32() appends to a thread-confined log instead
+ * of touching the shared image, and the GPU tick loop calls commit()
+ * serially in fixed SM order during phase 2 — the exact order the
+ * serial loop's in-place writes would have happened, so the image
+ * evolves identically at every cycle boundary.
+ *
+ * Loads issued while stores are deferred must still observe this
+ * SM's own earlier stores from the same cycle (intra-warp RAW through
+ * memory), so the port keeps a byte-granular overlay of the pending
+ * log and forwards from it, handling partial/unaligned overlap
+ * exactly. Same-cycle cross-SM RAW is the one case a deferred store
+ * can change: no workload in the registry does inter-block
+ * communication through global memory within a cycle (the ISA has no
+ * atomics), and the byte-identity matrix in test_parallel_sm proves
+ * the equivalence empirically for every workload.
+ */
+
+#ifndef CAWA_MEM_MEM_PORT_HH
+#define CAWA_MEM_MEM_PORT_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_assert.hh"
+#include "common/types.hh"
+#include "mem/memory_image.hh"
+
+namespace cawa
+{
+
+class MemPort
+{
+  public:
+    explicit MemPort(MemoryImage &image) : image_(&image) {}
+
+    /**
+     * Switch between passthrough (serial tick loop) and deferred
+     * (parallel phase 1) stores. Only legal at a commit boundary.
+     */
+    void
+    setDeferStores(bool defer)
+    {
+        sim_assert(log_.empty());
+        defer_ = defer;
+    }
+
+    bool deferringStores() const { return defer_; }
+
+    std::uint32_t
+    read32(Addr addr) const
+    {
+        if (!defer_ || overlay_.empty())
+            return image_->read32(addr);
+        std::uint32_t value = 0;
+        for (int i = 3; i >= 0; --i)
+            value = (value << 8) | byteAt(addr + static_cast<Addr>(i));
+        return value;
+    }
+
+    void
+    write32(Addr addr, std::uint32_t value)
+    {
+        if (!defer_) {
+            image_->write32(addr, value);
+            return;
+        }
+        log_.push_back({addr, value});
+        for (int i = 0; i < 4; ++i)
+            overlay_[addr + static_cast<Addr>(i)] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+    }
+
+    /** Replay the store log in program order against the image. */
+    void
+    commit()
+    {
+        for (const Store &store : log_)
+            image_->write32(store.addr, store.value);
+        log_.clear();
+        overlay_.clear();
+    }
+
+    /** Buffered stores awaiting commit; 0 at every cycle boundary. */
+    std::size_t pendingStores() const { return log_.size(); }
+
+  private:
+    struct Store
+    {
+        Addr addr;
+        std::uint32_t value;
+    };
+
+    std::uint8_t
+    byteAt(Addr addr) const
+    {
+        const auto it = overlay_.find(addr);
+        return it != overlay_.end() ? it->second : image_->read8(addr);
+    }
+
+    MemoryImage *image_;
+    bool defer_ = false;
+    std::vector<Store> log_;                      // commit order
+    std::unordered_map<Addr, std::uint8_t> overlay_; // forwarding view
+};
+
+} // namespace cawa
+
+#endif // CAWA_MEM_MEM_PORT_HH

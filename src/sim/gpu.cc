@@ -6,6 +6,7 @@
 
 #include "common/sim_assert.hh"
 #include "common/sim_error.hh"
+#include "common/thread_pool.hh"
 #include "sim/checkpoint.hh"
 
 namespace cawa
@@ -29,6 +30,23 @@ checkLevelFromEnv(int fallback)
     const char *v = std::getenv("CAWA_CHECK");
     if (v && v[0] >= '0' && v[0] <= '2' && v[1] == '\0')
         return v[0] - '0';
+    return fallback;
+}
+
+/**
+ * CAWA_SIM_THREADS=N overrides GpuConfig::simThreads. Purely a speed
+ * knob: reports are byte-identical at any value (test_parallel_sm).
+ */
+int
+simThreadsFromEnv(int fallback)
+{
+    const char *v = std::getenv("CAWA_SIM_THREADS");
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end && *end == '\0' && parsed >= 1 && parsed <= 256)
+        return static_cast<int>(parsed);
     return fallback;
 }
 
@@ -85,7 +103,8 @@ Gpu::Gpu(const GpuConfig &cfg, MemoryImage &mem,
          const OracleTable *oracle)
     : cfg_(cfg), mem_(mem), oracle_(oracle),
       fastForward_(cfg.fastForward && fastForwardEnvEnabled()),
-      checkLevel_(checkLevelFromEnv(cfg.checkLevel))
+      checkLevel_(checkLevelFromEnv(cfg.checkLevel)),
+      simThreads_(simThreadsFromEnv(cfg.simThreads))
 {
     cfg_.validateOrThrow();
 }
@@ -100,14 +119,50 @@ Gpu::tick(Machine &m)
 
     // Only tick SMs whose next event is due; a skipped SM settles its
     // per-warp stall accounting for the gap when it next wakes.
-    for (auto &sm : m.sms)
-        if (!fastForward_ || sm->dueAt(now))
-            sm->tick(now);
+    if (pool_) {
+        // Phase 1: tick the SMs concurrently. A ticking SM touches
+        // only its own state — global-memory stores are buffered in
+        // its MemPort and trace events go to its private ring — so
+        // the workers share nothing mutable and the partition below
+        // (worker w owns SMs w, w+T, w+2T, ...) is only a
+        // load-balancing choice, never an ordering one.
+        const int team = pool_->threads();
+        const int num_sms = static_cast<int>(m.sms.size());
+        // The sim_assert throw-mode flag is thread-local (the sweep
+        // engine sets it per job thread); hand the caller's mode to
+        // every worker for the duration of the tick.
+        const bool throw_mode = simAssertThrows();
+        pool_->run([&, throw_mode](int worker) {
+            const SimAssertThrowGuard guard(throw_mode);
+            for (int i = worker; i < num_sms; i += team)
+                if (!fastForward_ || m.sms[i]->dueAt(now))
+                    m.sms[i]->tick(now);
+        });
+        // Phase 2a: apply the buffered stores serially in SM order —
+        // the exact order the serial loop's in-place writes happen,
+        // so the memory image is identical at every cycle boundary.
+        for (auto &sm : m.sms)
+            sm->commitStores();
+    } else {
+        for (auto &sm : m.sms)
+            if (!fastForward_ || sm->dueAt(now))
+                sm->tick(now);
+    }
 
-    // Miss/write-through traffic out of the L1s.
-    for (auto &sm : m.sms)
-        while (sm->hasOutgoing())
-            m.icnt.pushToL2(sm->popOutgoing(), now);
+    // Phase 2b: miss/write-through traffic out of the L1s, drained
+    // serially in fixed SM order so icnt/L2/DRAM arbitration — and
+    // therefore every report byte — is independent of simThreads.
+    // (faults.reverseSmDrainOrder flips the order to let the tests
+    // prove this ordering is actually load-bearing.)
+    if (cfg_.faults.reverseSmDrainOrder) {
+        for (auto it = m.sms.rbegin(); it != m.sms.rend(); ++it)
+            while ((*it)->hasOutgoing())
+                m.icnt.pushToL2((*it)->popOutgoing(), now);
+    } else {
+        for (auto &sm : m.sms)
+            while (sm->hasOutgoing())
+                m.icnt.pushToL2(sm->popOutgoing(), now);
+    }
 
     for (const MemMsg &msg : m.icnt.popToL2(now))
         m.l2.pushRequest(msg, now);
@@ -168,22 +223,55 @@ Gpu::launch(const KernelInfo &kernel)
     machine_ = std::make_unique<Machine>(cfg_, kernel, mem_, oracle_,
                                          checkLevel_);
 
-    // Tracing is a pure observer: the buffer is rebuilt per launch
-    // (restores get a fresh, empty ring) and only ever receives
-    // copies of values the machine computed anyway, so results are
-    // bit-identical with the knob on or off.
-    trace_.reset();
+    // Parallel-SM mode: build the fork-join team once (it survives
+    // re-launches) and switch every SM's MemPort to deferred stores
+    // so phase 1 never writes the shared memory image.
+    if (simThreads_ > 1 && !pool_)
+        pool_ = std::make_unique<ForkJoin>(simThreads_);
+    for (auto &sm : machine_->sms)
+        sm->setDeferStores(pool_ != nullptr);
+
+    // Tracing is a pure observer: the rings are rebuilt per launch
+    // (restores get fresh, empty rings) and only ever receive copies
+    // of values the machine computed anyway, so results are
+    // bit-identical with the knob on or off. The TraceSet is used in
+    // serial mode too: per-ring contents (and drops) are then
+    // identical at every simThreads value, so exports are as well.
+    traceSet_.reset();
+    mergedTrace_.reset();
     if (cfg_.trace.enabled) {
-        trace_ =
-            std::make_unique<TraceBuffer>(cfg_.trace.bufferCapacity);
+        traceSet_ = std::make_unique<TraceSet>(
+            cfg_.numSms, cfg_.trace.bufferCapacity);
         Machine &m = *machine_;
-        for (auto &sm : m.sms)
-            sm->setTraceSink(trace_.get());
-        m.icnt.setTraceSink(trace_.get());
-        m.l2.setTraceSink(trace_.get());
-        m.dram.setTraceSink(trace_.get());
-        m.dispatcher.setTraceSink(trace_.get());
+        for (std::size_t i = 0; i < m.sms.size(); ++i) {
+            // Tick-side events go to the SM's own ring; fill-side L1
+            // events happen during the serial drain and belong to the
+            // shared memory-system ring.
+            m.sms[i]->setTraceSink(
+                traceSet_->smRing(static_cast<int>(i)));
+            m.sms[i]->setFillTraceSink(traceSet_->memoryRing());
+        }
+        m.icnt.setTraceSink(traceSet_->memoryRing());
+        m.l2.setTraceSink(traceSet_->memoryRing());
+        m.dram.setTraceSink(traceSet_->memoryRing());
+        m.dispatcher.setTraceSink(traceSet_->dispatchRing());
     }
+}
+
+TraceBuffer *
+Gpu::traceBuffer() const
+{
+    if (!traceSet_)
+        return nullptr;
+    // recorded() counts every event ever offered (drops included), so
+    // it is a cheap change stamp for the memoized merge.
+    const std::uint64_t stamp = traceSet_->recorded();
+    if (!mergedTrace_ || mergedStamp_ != stamp) {
+        mergedTrace_ =
+            std::make_unique<TraceBuffer>(traceSet_->merged());
+        mergedStamp_ = stamp;
+    }
+    return mergedTrace_.get();
 }
 
 Cycle
@@ -365,7 +453,10 @@ Gpu::finish()
     // Populate the unified stats registry (the "stats" object of
     // cawa-simreport-v3). Registration order is the serialization
     // order, so keep it fixed: sim totals, schedulers, CPL, caches,
-    // DRAM, interconnect, dispatcher.
+    // DRAM, interconnect, dispatcher. Every counter that phase 1 can
+    // touch is a per-SM member folded here (and above) on a single
+    // thread in SM order, so neither totals nor registration order
+    // ever depend on the parallel-tick interleaving.
     StatsRegistry &reg = m.report.stats;
     reg.counter("sim.cycles", m.report.cycles);
     reg.counter("sim.instructions", m.report.instructions);
@@ -468,6 +559,14 @@ Gpu::saveCheckpoint(const std::string &path)
 {
     sim_assert(machine_);
     Machine &m = *machine_;
+
+    // Checkpoints happen at cycle boundaries, where every deferred
+    // store has been committed (phase 2 runs inside tick), so the
+    // store logs never need serializing -- which is also why a
+    // parallel-mode checkpoint restores cleanly into a serial run
+    // and vice versa (simThreads is excluded from configSignature()).
+    for (const auto &sm : m.sms)
+        sim_assert(sm->pendingDeferredStores() == 0);
 
     CheckpointWriter w;
     {

@@ -34,6 +34,8 @@
 namespace cawa
 {
 
+class ForkJoin;
+
 class Gpu
 {
   public:
@@ -104,12 +106,15 @@ class Gpu
                            const KernelInfo &kernel);
 
     /**
-     * The structured-event ring for the current launch; nullptr
-     * unless GpuConfig::trace.enabled. Valid from launch() until the
-     * next launch()/restoreCheckpoint() (finish() keeps it alive so
+     * Merged, cycle-ordered view of the structured-event rings for
+     * the current launch; nullptr unless GpuConfig::trace.enabled.
+     * Events live in a per-source TraceSet internally (see
+     * sim/trace.hh); this view is rebuilt lazily when new events have
+     * arrived. Valid from launch() until the next call, the next
+     * launch() or restoreCheckpoint() (finish() keeps it alive so
      * callers can export events after the run).
      */
-    TraceBuffer *traceBuffer() const { return trace_.get(); }
+    TraceBuffer *traceBuffer() const;
 
   private:
     struct Machine;
@@ -157,7 +162,13 @@ class Gpu
     const OracleTable *oracle_;
     bool fastForward_;
     int checkLevel_;    ///< cfg checkLevel after the CAWA_CHECK override
-    std::unique_ptr<TraceBuffer> trace_;
+    int simThreads_;    ///< cfg simThreads after CAWA_SIM_THREADS
+    /** Fork-join team for phase 1; null while simThreads_ == 1. */
+    std::unique_ptr<ForkJoin> pool_;
+    std::unique_ptr<TraceSet> traceSet_;
+    /** Lazily rebuilt merge of traceSet_ (see traceBuffer()). */
+    mutable std::unique_ptr<TraceBuffer> mergedTrace_;
+    mutable std::uint64_t mergedStamp_ = 0;
     std::unique_ptr<Machine> machine_;
     std::chrono::steady_clock::time_point wallStart_;
 };

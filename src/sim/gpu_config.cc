@@ -136,6 +136,9 @@ GpuConfig::validate() const
     if (wallClockLimitSec < 0.0)
         bad("wallClockLimitSec=" + num(wallClockLimitSec) +
             ": the wall-clock budget must be >= 0 (0 disables it)");
+    if (simThreads < 1 || simThreads > 256)
+        bad("simThreads=" + num(simThreads) +
+            ": the parallel-SM worker count must be in [1, 256]");
     return problems;
 }
 

@@ -46,6 +46,14 @@ struct FaultInjection
      * reject the file in every case (cawa_fuzz proves it).
      */
     std::int64_t corruptCheckpointByte = -1;
+    /**
+     * Drain SM->interconnect traffic in reverse SM order during the
+     * tick's serial phase 2. Deliberately breaks the fixed
+     * arbitration order the parallel-SM determinism argument rests
+     * on; exists so test_parallel_sm can prove the byte-identity
+     * matrix is not vacuous (a reordered drain must change reports).
+     */
+    bool reverseSmDrainOrder = false;
 
     bool any() const
     {
@@ -153,6 +161,18 @@ struct GpuConfig
      * simulator cycle by cycle.
      */
     bool fastForward = true;
+
+    /**
+     * Worker threads for the phase-1 parallel SM tick (1 = the
+     * serial loop, the default). SMs only interact through the
+     * interconnect, which is drained serially in fixed SM order
+     * regardless of the thread count, so every SimReport byte is
+     * identical at any setting (enforced by test_parallel_sm). Like
+     * fastForward, the knob is excluded from the checkpoint config
+     * signature: checkpoints cross serial and parallel runs freely.
+     * CAWA_SIM_THREADS in the environment overrides this value.
+     */
+    int simThreads = 1;
 
     /**
      * Periodic checkpointing: every checkpointInterval simulated

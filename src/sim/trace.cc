@@ -1,10 +1,81 @@
 #include "sim/trace.hh"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 
 namespace cawa
 {
+
+TraceSet::TraceSet(int num_sms, std::uint64_t total_capacity)
+{
+    const std::size_t num_rings = static_cast<std::size_t>(num_sms) + 2;
+    const std::size_t per_ring = static_cast<std::size_t>(
+        std::max<std::uint64_t>(1, total_capacity / num_rings));
+    rings_.reserve(num_rings);
+    for (std::size_t i = 0; i < num_rings; ++i)
+        rings_.emplace_back(per_ring);
+}
+
+std::uint64_t
+TraceSet::recorded() const
+{
+    std::uint64_t total = 0;
+    for (const TraceBuffer &ring : rings_)
+        total += ring.recorded();
+    return total;
+}
+
+std::uint64_t
+TraceSet::dropped() const
+{
+    std::uint64_t total = 0;
+    for (const TraceBuffer &ring : rings_)
+        total += ring.dropped();
+    return total;
+}
+
+std::size_t
+TraceSet::totalCapacity() const
+{
+    std::size_t total = 0;
+    for (const TraceBuffer &ring : rings_)
+        total += ring.capacity();
+    return total;
+}
+
+void
+TraceSet::clear()
+{
+    for (TraceBuffer &ring : rings_)
+        ring.clear();
+}
+
+TraceBuffer
+TraceSet::merged() const
+{
+    std::size_t total = 0;
+    for (const TraceBuffer &ring : rings_)
+        total += ring.size();
+    // Collect in ring order so the stable sort's tie-break reproduces
+    // the serial visit order (dispatch, SMs by id, memory system)
+    // within each cycle. Per-ring contents are cycle-monotone, so the
+    // merged view is too.
+    std::vector<const TraceEvent *> events;
+    events.reserve(total);
+    for (const TraceBuffer &ring : rings_)
+        for (std::size_t i = 0; i < ring.size(); ++i)
+            events.push_back(&ring.at(i));
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent *a, const TraceEvent *b) {
+                         return a->cycle < b->cycle;
+                     });
+    TraceBuffer out(std::max<std::size_t>(total, 1));
+    for (const TraceEvent *e : events)
+        out.record(e->cycle, e->kind, e->sm, e->warp, e->a, e->b);
+    out.setAccounting(recorded(), dropped());
+    return out;
+}
 
 namespace
 {

@@ -176,12 +176,69 @@ class TraceBuffer
         dropped_ = 0;
     }
 
+    /**
+     * Overwrite the recorded/dropped totals. Used by
+     * TraceSet::merged() so a merged view reports the exact per-ring
+     * sums instead of its own (drop-free) insertion counts.
+     */
+    void
+    setAccounting(std::uint64_t recorded, std::uint64_t dropped)
+    {
+        recorded_ = recorded;
+        dropped_ = dropped;
+    }
+
   private:
     std::vector<TraceEvent> ring_;
     std::size_t start_ = 0;
     std::size_t size_ = 0;
     std::uint64_t recorded_ = 0;
     std::uint64_t dropped_ = 0;
+};
+
+/**
+ * Ring set for deterministic (and thread-safe) multi-source emission.
+ * Block dispatch, each SM (plus its L1's tick-side events), and the
+ * shared memory system (interconnect / L2 / DRAM plus L1 fill-side
+ * events, recorded during the Gpu's serial drain phase) each own a
+ * private ring, so the phase-1 parallel SM ticks never share a ring
+ * across threads. The Gpu uses a TraceSet in serial mode too, which
+ * makes exports byte-identical at any simThreads setting even when
+ * rings overflow.
+ *
+ * merged() flattens the rings into one cycle-ordered view. Ties
+ * within a cycle resolve dispatch ring -> SM rings by id -> memory
+ * ring — exactly the order the serial tick loop visits the emitting
+ * components — so the merged order is independent of the worker
+ * count. The configured capacity is split evenly across the rings;
+ * recorded/dropped stay exact per ring and merged() reports their
+ * sums.
+ */
+class TraceSet
+{
+  public:
+    TraceSet(int num_sms, std::uint64_t total_capacity);
+
+    TraceBuffer *dispatchRing() { return &rings_.front(); }
+    TraceBuffer *smRing(int sm)
+    {
+        return &rings_[1 + static_cast<std::size_t>(sm)];
+    }
+    TraceBuffer *memoryRing() { return &rings_.back(); }
+
+    int numSms() const { return static_cast<int>(rings_.size()) - 2; }
+
+    std::uint64_t recorded() const;
+    std::uint64_t dropped() const;
+    std::size_t totalCapacity() const;
+
+    void clear();
+
+    /** Cycle-ordered merge of every ring (see class comment). */
+    TraceBuffer merged() const;
+
+  private:
+    std::vector<TraceBuffer> rings_; ///< [dispatch, sm 0..N-1, memory]
 };
 
 /**

@@ -36,8 +36,8 @@ makeL1Policy(const GpuConfig &cfg)
 
 SmCore::SmCore(const GpuConfig &cfg, int sm_id, MemoryImage &global,
                const KernelInfo &kernel, const OracleTable *oracle)
-    : cfg_(cfg), smId_(sm_id), global_(global), kernel_(kernel),
-      oracle_(oracle),
+    : cfg_(cfg), smId_(sm_id), global_(global), memPort_(global),
+      kernel_(kernel), oracle_(oracle),
       slotBlock_(cfg.maxWarpsPerSm, -1),
       blocks_(cfg.maxBlocksPerSm),
       coalescer_(cfg.l1d.lineBytes),
@@ -318,7 +318,7 @@ SmCore::issue(WarpSlot slot, Cycle now)
     BlockState &block = blockOf(slot);
 
     ExecContext ctx;
-    ctx.global = &global_;
+    ctx.global = &memPort_;
     ctx.shared = &block.sharedMem;
     ctx.blockDim = kernel_.blockDim;
     ctx.gridDim = kernel_.gridDim;

@@ -88,9 +88,34 @@ class SmCore
     MemMsg popOutgoing() { return l1_->popOutgoing(); }
     void fillResponse(Addr line_addr, Cycle now)
     {
+        // Fills run during the Gpu's serial drain phase, after the
+        // (possibly parallel) SM ticks: their trace events belong to
+        // the shared memory-system ring, not this SM's own ring, so
+        // swap the L1 sink around the fill (see sim/trace.hh).
+        if (fillTraceSink_)
+            l1_->setTraceSink(fillTraceSink_);
         l1_->fill(line_addr, now);
+        if (fillTraceSink_)
+            l1_->setTraceSink(traceSink_);
         // The fill's completions mature next cycle: wake the SM.
         cachedNextEvent_ = std::min(cachedNextEvent_, now + 1);
+    }
+
+    // --- Parallel-tick commit interface (driven by Gpu::tick) ---
+
+    /**
+     * Buffer global-memory stores in the per-SM MemPort instead of
+     * writing the shared MemoryImage; phase 2 commits them serially.
+     */
+    void setDeferStores(bool defer) { memPort_.setDeferStores(defer); }
+
+    /** Apply this SM's buffered stores, in program order (phase 2). */
+    void commitStores() { memPort_.commit(); }
+
+    /** Uncommitted buffered stores; 0 at every cycle boundary. */
+    std::size_t pendingDeferredStores() const
+    {
+        return memPort_.pendingStores();
     }
 
     /** True while any block is resident or memory work is pending. */
@@ -119,6 +144,14 @@ class SmCore
      * is identical with or without a sink.
      */
     void setTraceSink(TraceBuffer *sink);
+
+    /**
+     * Separate sink for L1 events emitted from fillResponse() (cache
+     * fills/evictions), which happen in the Gpu's serial drain phase
+     * rather than inside this SM's tick. Null keeps fills on the
+     * regular sink.
+     */
+    void setFillTraceSink(TraceBuffer *sink) { fillTraceSink_ = sink; }
 
     int residentBlocks() const { return residentBlocks_; }
 
@@ -246,6 +279,7 @@ class SmCore
     const GpuConfig &cfg_;
     int smId_;
     MemoryImage &global_;
+    MemPort memPort_; ///< store-deferring view of global_ (parallel)
     const KernelInfo &kernel_;
     const OracleTable *oracle_;
 
@@ -311,6 +345,8 @@ class SmCore
 
     /** Structured-event sink; null unless GpuConfig::trace.enabled. */
     TraceBuffer *traceSink_ = nullptr;
+    /** Sink for fill-side L1 events (see setFillTraceSink). */
+    TraceBuffer *fillTraceSink_ = nullptr;
 
     /**
      * Set when warp/CPL state that feeds the scheduling context

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "isa/kernel.hh"
-#include "mem/memory_image.hh"
+#include "mem/mem_port.hh"
 #include "sm/scoreboard.hh"
 #include "sm/simt_stack.hh"
 
@@ -45,7 +45,11 @@ struct WarpTimings
 /** Everything the functional executor needs besides the warp. */
 struct ExecContext
 {
-    MemoryImage *global = nullptr;
+    /**
+     * Global memory goes through the SM's MemPort so stores can be
+     * deferred during the parallel tick phase (see mem/mem_port.hh).
+     */
+    MemPort *global = nullptr;
     std::vector<std::uint8_t> *shared = nullptr;
     int blockDim = 0;
     int gridDim = 0;

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Byte-identity matrix for the parallel-SM tick (sim/gpu.cc): the
+ * GpuConfig::simThreads knob is a pure speed optimization. For every
+ * registered workload under the paper's three headline configurations
+ * (GTO, gCAWS, full CAWA = gCAWS + CACP), a run ticked with a
+ * fork-join team must produce a SimReport that serializes
+ * byte-for-byte identically to the serial simulator — with
+ * fast-forward on or off, at 2/4/8 worker threads, and across a
+ * checkpoint written under parallel execution and restored into a
+ * serial run (and vice versa; simThreads is excluded from the config
+ * signature on purpose). A negative case flips the phase-2 drain
+ * order to prove the matrix is not vacuous: the fixed SM drain order
+ * is exactly what the determinism argument rests on.
+ *
+ * Runtime is kept sane by sampling the full matrix: every workload
+ * runs at 4 threads; needle/bfs/kmeans additionally sweep 1/2/8.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/gpu.hh"
+#include "sim/report_json.hh"
+#include "workloads/registry.hh"
+#include "workloads/sweep_jobs.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams params;
+    params.scale = 0.1;
+    params.seed = 1;
+    return params;
+}
+
+/** The paper's three headline configurations. */
+std::vector<std::pair<std::string, GpuConfig>>
+headlineConfigs()
+{
+    std::vector<std::pair<std::string, GpuConfig>> configs;
+    GpuConfig gto = GpuConfig::fermiGtx480();
+    configs.emplace_back("gto", gto);
+    GpuConfig gcaws = gto;
+    gcaws.scheduler = SchedulerKind::Gcaws;
+    configs.emplace_back("gcaws", gcaws);
+    GpuConfig cawa = gcaws;
+    cawa.l1Policy = CachePolicyKind::Cacp;
+    configs.emplace_back("cawa", cawa);
+    return configs;
+}
+
+std::string
+fullJson(const SimReport &report)
+{
+    JsonWriteOptions opt;
+    opt.includeBlocks = true;
+    opt.includeTrace = true;
+    opt.includeDerived = true;
+    return toJson(report, opt);
+}
+
+/** Full-fat serialized report of @p spec at a given thread count. */
+std::string
+runJson(WorkloadJobSpec spec, int sim_threads, bool fast_forward)
+{
+    spec.cfg.simThreads = sim_threads;
+    spec.cfg.fastForward = fast_forward;
+    const SweepJob job = makeWorkloadJob(spec);
+    MemoryImage mem;
+    const KernelInfo kernel = job.build(mem);
+    Gpu gpu(job.cfg, mem);
+    gpu.launch(kernel);
+    gpu.runToCompletion();
+    return fullJson(gpu.finish());
+}
+
+std::string
+tmpPath(const std::string &stem)
+{
+    return (std::filesystem::path(::testing::TempDir()) /
+            (stem + ".ckpt"))
+        .string();
+}
+
+std::string
+sanitized(std::string name)
+{
+    for (char &c : name)
+        if (c == '+' || c == '.')
+            c = 'p';
+    return name;
+}
+
+} // namespace
+
+// --- The identity matrix -------------------------------------------
+
+class ParallelSmIdentity : public ::testing::TestWithParam<std::string>
+{
+};
+
+/**
+ * Every workload × every headline config × ff on/off, serial vs 4
+ * worker threads. 4 is the matrix's dense sample point (the bench
+ * default); the sparse 1/2/8 sweep below covers the rest.
+ */
+TEST_P(ParallelSmIdentity, FourThreadsMatchSerial)
+{
+    for (const auto &[cfg_name, cfg] : headlineConfigs()) {
+        WorkloadJobSpec spec;
+        spec.workload = GetParam();
+        spec.cfg = cfg;
+        spec.params = tinyParams();
+        for (const bool ff : {true, false}) {
+            const std::string serial = runJson(spec, 1, ff);
+            EXPECT_EQ(serial, runJson(spec, 4, ff))
+                << GetParam() << " under " << cfg_name
+                << (ff ? " (ff)" : " (flat)")
+                << " diverged at simThreads=4";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ParallelSmIdentity,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return sanitized(info.param);
+    });
+
+class ParallelSmThreadSweep
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+/** needle/bfs/kmeans sweep the thread axis: 1, 2 and 8 workers. */
+TEST_P(ParallelSmThreadSweep, ThreadCountNeverChangesBytes)
+{
+    for (const auto &[cfg_name, cfg] : headlineConfigs()) {
+        WorkloadJobSpec spec;
+        spec.workload = GetParam();
+        spec.cfg = cfg;
+        spec.params = tinyParams();
+        const std::string serial = runJson(spec, 1, true);
+        for (const int threads : {2, 8})
+            EXPECT_EQ(serial, runJson(spec, threads, true))
+                << GetParam() << " under " << cfg_name
+                << " diverged at simThreads=" << threads;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SampleWorkloads, ParallelSmThreadSweep,
+    ::testing::Values("needle", "bfs", "kmeans"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return sanitized(info.param);
+    });
+
+// --- Checkpoint crossover ------------------------------------------
+
+/**
+ * simThreads is excluded from the checkpoint config signature: a
+ * checkpoint written mid-run under parallel execution restores into a
+ * serial Gpu (and vice versa) and finishes byte-identical to an
+ * uninterrupted serial run. Phase 2 commits every deferred store
+ * inside tick(), so a cycle boundary — where checkpoints happen —
+ * never has buffered state to lose.
+ */
+TEST(ParallelSmCheckpoint, CrossesSerialAndParallelBothWays)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "bfs";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.cfg.scheduler = SchedulerKind::Gcaws;
+    spec.cfg.l1Policy = CachePolicyKind::Cacp;
+    spec.params = tinyParams();
+
+    const std::string baseline = runJson(spec, 1, true);
+
+    const SweepJob job = makeWorkloadJob(spec);
+    for (const bool parallel_writer : {true, false}) {
+        const int writer_threads = parallel_writer ? 4 : 1;
+        const int reader_threads = parallel_writer ? 1 : 4;
+        const std::string path = tmpPath(
+            parallel_writer ? "par_to_serial" : "serial_to_par");
+
+        GpuConfig writer_cfg = spec.cfg;
+        writer_cfg.simThreads = writer_threads;
+        MemoryImage writer_mem;
+        const KernelInfo writer_kernel = job.build(writer_mem);
+        Gpu writer(writer_cfg, writer_mem);
+        writer.launch(writer_kernel);
+        writer.stepUntil(2'000); // mid-run cycle boundary
+        writer.saveCheckpoint(path);
+
+        GpuConfig reader_cfg = spec.cfg;
+        reader_cfg.simThreads = reader_threads;
+        MemoryImage reader_mem;
+        const KernelInfo reader_kernel = job.build(reader_mem);
+        Gpu reader(reader_cfg, reader_mem);
+        reader.restoreCheckpoint(path, reader_kernel);
+        reader.runToCompletion();
+        EXPECT_EQ(baseline, fullJson(reader.finish()))
+            << (parallel_writer ? "parallel->serial"
+                                : "serial->parallel")
+            << " checkpoint crossover diverged";
+    }
+}
+
+// --- Negative case -------------------------------------------------
+
+/**
+ * The determinism argument rests on phase 2 draining SM->icnt
+ * traffic in fixed SM order; reversing that order must change the
+ * interconnect arbitration and therefore the report bytes of the
+ * same counters the golden-stats baseline pins (so a regression in
+ * the drain order is caught, not absorbed). The reversed drain is
+ * still deterministic, so serial and parallel reversed runs agree
+ * with each other — only with the proper order's bytes they don't.
+ */
+TEST(ParallelSmNegative, ReorderedPhase2DrainIsCaught)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "bfs";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.params = tinyParams();
+
+    const std::string clean = runJson(spec, 1, true);
+
+    WorkloadJobSpec reordered = spec;
+    reordered.cfg.faults.reverseSmDrainOrder = true;
+    const std::string reversed_serial = runJson(reordered, 1, true);
+    const std::string reversed_parallel = runJson(reordered, 4, true);
+
+    EXPECT_NE(clean, reversed_serial)
+        << "reversing the phase-2 drain order changed nothing: the "
+           "byte-identity matrix would be vacuous";
+    EXPECT_EQ(reversed_serial, reversed_parallel)
+        << "the reversed drain must still be thread-count invariant";
+}

@@ -55,11 +55,14 @@ mixedSpecs()
 
 /** Full-fidelity serialization: any behavioural drift shows up. */
 std::vector<std::string>
-runAndSerialize(int threads)
+runAndSerialize(int threads, int sim_threads = 1)
 {
     const SweepEngine engine(threads);
     EXPECT_EQ(engine.threads(), threads);
-    const auto results = engine.run(makeWorkloadJobs(mixedSpecs()));
+    std::vector<WorkloadJobSpec> specs = mixedSpecs();
+    for (WorkloadJobSpec &spec : specs)
+        spec.cfg.simThreads = sim_threads;
+    const auto results = engine.run(makeWorkloadJobs(specs));
     std::vector<std::string> docs;
     for (const auto &res : results) {
         EXPECT_TRUE(res.ok()) << res.error;
@@ -83,6 +86,35 @@ TEST(SweepDeterminism, IdenticalReportsAcrossThreadCounts)
             EXPECT_EQ(serial[i], parallel[i])
                 << "report " << i << " differs at " << threads
                 << " threads";
+    }
+}
+
+/**
+ * Both parallelism layers at once: the sweep pool runs whole jobs on
+ * worker threads while each job's Gpu ticks its SMs on a nested
+ * fork-join team (GpuConfig::simThreads). Every cell of the outer x
+ * inner cross-product must reproduce the serial-serial bytes — this
+ * is the configuration a real sweep on a many-core box runs in, and
+ * it exercises the thread-local sim_assert plumbing (each nested
+ * worker inherits its job thread's throw mode).
+ */
+TEST(SweepDeterminism, SweepPoolTimesSimThreadsCrossProduct)
+{
+    const std::vector<std::string> reference = runAndSerialize(1, 1);
+    ASSERT_EQ(reference.size(), mixedSpecs().size());
+
+    for (int outer : {1, 2, 8}) {
+        for (int inner : {1, 2, 4}) {
+            if (outer == 1 && inner == 1)
+                continue; // that is the reference itself
+            const std::vector<std::string> docs =
+                runAndSerialize(outer, inner);
+            ASSERT_EQ(reference.size(), docs.size());
+            for (std::size_t i = 0; i < reference.size(); ++i)
+                EXPECT_EQ(reference[i], docs[i])
+                    << "report " << i << " differs at sweep pool "
+                    << outer << " x simThreads " << inner;
+        }
     }
 }
 

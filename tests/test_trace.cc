@@ -381,19 +381,23 @@ TEST(JsonlExport, EveryLineParses)
 
 // --- Overflow at simulation level ----------------------------------
 
-TEST(TraceOverflow, RingStaysBoundedAndCountsDrops)
+TEST(TraceOverflow, RingsStayBoundedAndCountDrops)
 {
     // A capacity far below the event volume of even a tiny bfs run.
+    // The Gpu splits it across its per-source TraceSet rings
+    // (dispatch + one per SM + memory system), so the merged view
+    // holds at most kCap events: per-ring capacity is the floor of
+    // the even split and drops are counted exactly per ring.
     constexpr std::uint64_t kCap = 512;
     MemoryImage mem;
     const auto gpu = tracedRun("bfs", mem, kCap);
     const TraceBuffer &buf = *gpu->traceBuffer();
-    EXPECT_EQ(buf.capacity(), kCap);
-    EXPECT_EQ(buf.size(), kCap);
+    EXPECT_LE(buf.size(), kCap);
+    EXPECT_GT(buf.size(), 0u);
     EXPECT_GT(buf.dropped(), 0u);
     EXPECT_EQ(buf.recorded(), buf.dropped() + buf.size());
-    // Retained events are the newest ones: ordered by cycle and all
-    // from the tail of the run.
+    // Each ring retains its newest events; the merge keeps them
+    // cycle-ordered.
     for (std::size_t i = 1; i < buf.size(); ++i)
         EXPECT_LE(buf.at(i - 1).cycle, buf.at(i).cycle);
 }

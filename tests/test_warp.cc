@@ -20,6 +20,7 @@ namespace
 struct WarpFixture
 {
     MemoryImage mem;
+    MemPort port{mem}; // passthrough: executor sees mem directly
     std::vector<std::uint8_t> shared = std::vector<std::uint8_t>(1024);
     Warp warp{32};
     Program program;
@@ -28,7 +29,7 @@ struct WarpFixture
     ctx()
     {
         ExecContext c;
-        c.global = &mem;
+        c.global = &port;
         c.shared = &shared;
         c.blockDim = 64;
         c.gridDim = 4;
