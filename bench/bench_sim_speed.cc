@@ -3,17 +3,22 @@
  * Simulator-speed benchmarks, two layers:
  *
  *  1. An execution-mode comparison: each memory-bound workload runs
- *     end-to-end three times -- flat ticking, the event-driven
+ *     end-to-end in three modes -- flat ticking, the event-driven
  *     fast-forward core, and fast-forward with the parallel-SM
  *     fork-join team (simThreads = 4; override with
  *     CAWA_BENCH_SIM_THREADS) -- and the sim-cycles/s of all three,
  *     plus both speedups over flat, are printed and exported to
  *     BENCH_sim_speed.json (override the path with CAWA_BENCH_JSON).
- *     The simulated cycle counts of the runs are asserted equal, so
- *     the report doubles as a coarse bit-identity check. The export
- *     records the machine's hardware concurrency: the perf gate only
- *     enforces the parallel floor when the measuring machine has
- *     enough cores to realize it.
+ *     Each mode is timed best-of-N (N = CAWA_BENCH_REPS, default 3)
+ *     after one untimed warmup iteration. The simulated cycle counts
+ *     of the runs are asserted equal, so the report doubles as a
+ *     coarse bit-identity check. The export records the machine's
+ *     hardware concurrency: the perf gate only enforces the parallel
+ *     floor when the measuring machine has enough cores to realize
+ *     it. A final instrumented flat run per workload (see
+ *     GpuConfig::profilePhases) prints where the tick loop's wall
+ *     time goes (scheduler / L1 / stall accounting / CPL sampling /
+ *     memory system) and lands in the export as "phases".
  *
  *  2. google-benchmark microbenchmarks of the hot primitives (cache
  *     probe path, CPL classification, coalescer) and a small
@@ -55,6 +60,23 @@ struct FfSample
     double seconds = 0.0;
 };
 
+/**
+ * Hot-path phase breakdown from one instrumented flat run (see
+ * GpuConfig::profilePhases): wall seconds per tick section, plus the
+ * run's total wall time so shares can be reported against it.
+ */
+struct PhaseBreakdown
+{
+    double sched = 0.0;
+    double l1 = 0.0;
+    double account = 0.0;
+    double cpl = 0.0;
+    double mem = 0.0;
+    double wall = 0.0;
+
+    double share(double x) const { return wall > 0.0 ? x / wall : 0.0; }
+};
+
 struct FfResult
 {
     std::string workload;
@@ -62,6 +84,7 @@ struct FfResult
     double cyclesPerSecFlat = 0.0;
     double cyclesPerSecFf = 0.0;
     double cyclesPerSecParallel = 0.0; ///< ff + simThreads workers
+    PhaseBreakdown phases;
 
     double speedup() const
     {
@@ -86,6 +109,16 @@ benchSimThreads()
     return 4;
 }
 
+/** Timed repetitions per workload (best-of-N); CAWA_BENCH_REPS. */
+int
+benchReps()
+{
+    if (const char *v = std::getenv("CAWA_BENCH_REPS"))
+        if (const int n = std::atoi(v); n >= 1 && n <= 100)
+            return n;
+    return 3;
+}
+
 /** One timed end-to-end run (build excluded from the timing). */
 FfSample
 timedRun(const std::string &workload, bool fast_forward, double scale,
@@ -108,6 +141,38 @@ timedRun(const std::string &workload, bool fast_forward, double scale,
 }
 
 /**
+ * One instrumented flat run: every cycle ticked (no fast-forward, so
+ * the breakdown covers the full tick loop) with profilePhases timing
+ * each section. Timing-only instrumentation: the simulated results
+ * are identical to the measured runs'.
+ */
+PhaseBreakdown
+measurePhases(const std::string &workload, double scale)
+{
+    GpuConfig cfg = GpuConfig::fermiGtx480();
+    cfg.fastForward = false;
+    cfg.profilePhases = true;
+    auto wl = makeWorkload(workload);
+    MemoryImage mem;
+    WorkloadParams params;
+    params.scale = scale;
+    const KernelInfo kernel = wl->build(mem, params);
+
+    const auto start = std::chrono::steady_clock::now();
+    const SimReport r = runKernel(cfg, mem, kernel);
+    const auto stop = std::chrono::steady_clock::now();
+
+    PhaseBreakdown p;
+    p.sched = r.phaseSchedSeconds;
+    p.l1 = r.phaseL1Seconds;
+    p.account = r.phaseAccountSeconds;
+    p.cpl = r.phaseCplSeconds;
+    p.mem = r.phaseMemSeconds;
+    p.wall = std::chrono::duration<double>(stop - start).count();
+    return p;
+}
+
+/**
  * Best-of-N timing for one workload in both modes. The simulated
  * cycle count must not depend on the mode.
  */
@@ -119,7 +184,10 @@ compareWorkload(const std::string &workload, double scale, int reps)
     double best_flat = 0.0;
     double best_ff = 0.0;
     double best_par = 0.0;
-    for (int i = 0; i < reps; ++i) {
+    // Iteration -1 is an untimed warmup of all three modes (first
+    // touches of the allocator and page cache land there instead of
+    // in a measured rep); its cycle-equality check still runs.
+    for (int i = -1; i < reps; ++i) {
         const FfSample flat = timedRun(workload, false, scale);
         const FfSample ff = timedRun(workload, true, scale);
         const FfSample par =
@@ -135,6 +203,8 @@ compareWorkload(const std::string &workload, double scale, int reps)
             std::exit(1);
         }
         res.cycles = flat.cycles;
+        if (i < 0)
+            continue; // warmup: verified, not measured
         best_flat = std::max(best_flat,
                              static_cast<double>(flat.cycles) /
                                  flat.seconds);
@@ -168,6 +238,13 @@ jsonReport(const std::vector<FfResult> &results, double scale)
         std::snprintf(buf, sizeof(buf), "%.2f", r.speedup());
         char pbuf[32];
         std::snprintf(pbuf, sizeof(pbuf), "%.2f", r.parallelSpeedup());
+        char phases[160];
+        std::snprintf(phases, sizeof(phases),
+                      "{\"sched\": %.3f, \"l1\": %.3f, "
+                      "\"account\": %.3f, \"cpl\": %.3f, "
+                      "\"mem\": %.3f, \"wall\": %.3f}",
+                      r.phases.sched, r.phases.l1, r.phases.account,
+                      r.phases.cpl, r.phases.mem, r.phases.wall);
         out << "    {\"workload\": \"" << r.workload << "\""
             << ", \"simCycles\": " << r.cycles
             << ", \"cyclesPerSecFlat\": "
@@ -177,25 +254,34 @@ jsonReport(const std::vector<FfResult> &results, double scale)
             << ", \"cyclesPerSecParallel\": "
             << static_cast<std::uint64_t>(r.cyclesPerSecParallel)
             << ", \"speedup\": " << buf
-            << ", \"parallelSpeedup\": " << pbuf << "}"
+            << ", \"parallelSpeedup\": " << pbuf
+            << ", \"phases\": " << phases << "}"
             << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     return out.str();
 }
 
-/** Memory-bound workloads: where cycle skipping should pay off. */
-const char *const kFfWorkloads[] = {"bfs", "pathfinder", "needle",
-                                    "backprop"};
+/**
+ * Every registered workload, in registry order. The full set (not
+ * just the memory-bound ones where cycle skipping pays off) keeps the
+ * perf gate sensitive to hot-path regressions that only show up in
+ * compute-bound or divergence-heavy kernels.
+ */
+const char *const kFfWorkloads[] = {
+    "bfs",      "b+tree",        "heartwall", "kmeans",
+    "needle",   "srad_1",        "strcltr_small", "backprop",
+    "particle", "pathfinder",    "strcltr_mid",   "tpacf"};
 
 void
 runFastForwardComparison()
 {
     const double scale = bench::benchScale();
-    const int reps = 3;
+    const int reps = benchReps();
 
-    std::printf("Execution-mode comparison (scale %.2f, best of %d, "
-                "parallel = ff + %d threads on %d cores)\n",
+    std::printf("Execution-mode comparison (scale %.2f, best of %d "
+                "after 1 warmup, parallel = ff + %d threads on %d "
+                "cores)\n",
                 scale, reps, benchSimThreads(),
                 ThreadPool::defaultThreadCount());
     std::printf("%-12s %12s %14s %14s %14s %8s %8s\n", "workload",
@@ -205,13 +291,27 @@ runFastForwardComparison()
     std::vector<FfResult> results;
     for (const char *workload : kFfWorkloads) {
         results.push_back(compareWorkload(workload, scale, reps));
-        const FfResult &r = results.back();
+        FfResult &r = results.back();
         std::printf("%-12s %12llu %14.0f %14.0f %14.0f %7.2fx %7.2fx\n",
                     r.workload.c_str(),
                     static_cast<unsigned long long>(r.cycles),
                     r.cyclesPerSecFlat, r.cyclesPerSecFf,
                     r.cyclesPerSecParallel, r.speedup(),
                     r.parallelSpeedup());
+        r.phases = measurePhases(workload, scale);
+    }
+
+    std::printf("\nHot-path phase shares of flat wall time "
+                "(one instrumented run each; remainder = execute + "
+                "dispatch + loop overhead)\n");
+    std::printf("%-12s %7s %7s %7s %7s %7s\n", "workload", "sched",
+                "l1", "account", "cpl", "mem");
+    for (const FfResult &r : results) {
+        const PhaseBreakdown &p = r.phases;
+        std::printf("%-12s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+                    r.workload.c_str(), 100.0 * p.share(p.sched),
+                    100.0 * p.share(p.l1), 100.0 * p.share(p.account),
+                    100.0 * p.share(p.cpl), 100.0 * p.share(p.mem));
     }
 
     const char *path_env = std::getenv("CAWA_BENCH_JSON");

@@ -133,11 +133,16 @@ perf_gate() {
 tsan_check() {
     run cmake --preset tsan
     run cmake --build --preset tsan -j "$jobs" \
-        --target test_parallel_sm test_sweep_determinism
+        --target test_parallel_sm test_sweep_determinism test_arena
     # halt_on_error: the first race fails the job instead of scrolling
     # past; second_deadlock_stack aids lock-order reports.
     run env TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
         ctest --preset tsan -L parallel -j "$jobs"
+    # The arena pools back per-SM state touched inside the fork-join;
+    # their unit suites must also be clean under TSan.
+    run env TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+        ctest --preset tsan -R '^(SlabPool|PooledMap|RingQueue)\.' \
+        -j "$jobs"
 }
 
 case "$mode" in

@@ -31,19 +31,39 @@ Usage: perf_gate.py BASELINE.json CURRENT.json
 """
 
 import json
+import math
 import os
 import sys
 
 
 def parse_tolerance(raw):
+    """Validate CAWA_PERF_TOLERANCE: a percentage in [0, 100) or a
+    fraction in [0, 1). Anything else (garbage, nan/inf, negatives,
+    >= 100%) is a configuration error worth a precise message --
+    a silently-misread tolerance would turn the gate off."""
     try:
         tol = float(raw)
     except ValueError:
-        sys.exit(f"perf_gate: bad CAWA_PERF_TOLERANCE {raw!r}")
+        sys.exit(
+            f"perf_gate: CAWA_PERF_TOLERANCE {raw!r} is not a number "
+            "(use a percentage like 15 or a fraction like 0.15)"
+        )
+    if math.isnan(tol) or math.isinf(tol):
+        sys.exit(
+            f"perf_gate: CAWA_PERF_TOLERANCE {raw!r} is not finite"
+        )
+    if tol < 0.0:
+        sys.exit(
+            f"perf_gate: CAWA_PERF_TOLERANCE {raw!r} is negative; a "
+            "regression allowance cannot be below 0"
+        )
     if tol >= 1.0:  # "15" means 15%
         tol /= 100.0
-    if not 0.0 <= tol < 1.0:
-        sys.exit(f"perf_gate: tolerance {raw!r} out of range")
+    if tol >= 1.0:
+        sys.exit(
+            f"perf_gate: CAWA_PERF_TOLERANCE {raw!r} allows any "
+            "regression (must be below 100%/1.0)"
+        )
     return tol
 
 

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Profile a simulator binary from the profile preset (RelWithDebInfo,
+# frame pointers kept, LTO off -- the optimization level of the
+# default build with sample stacks that still unwind and attribute to
+# real functions).
+#
+# Usage: scripts/profile.sh [-o DIR] <command> [args...]
+#   -o DIR   where the profile lands (default: build-profile/prof)
+#
+# Example:
+#   cmake --preset profile && cmake --build --preset profile -j"$(nproc)"
+#   scripts/profile.sh build-profile/src/tools/cawa_sweep \
+#       --workloads tpacf --schedulers gcaws --policies cacp \
+#       --scale 2 --out /tmp/prof-report
+#
+# Uses `perf record` (call graphs via frame pointers) when available
+# and falls back to `gprofng collect app` otherwise; prints the
+# report/top-functions command for whichever tool ran.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=build-profile/prof
+if [ "${1-}" = "-o" ]; then
+    out=$2
+    shift 2
+fi
+if [ $# -eq 0 ]; then
+    sed -n '2,19p' "$0" | sed 's/^# \{0,1\}//'
+    exit 1
+fi
+
+mkdir -p "$(dirname "$out")"
+
+if command -v perf >/dev/null 2>&1; then
+    perf record -g --call-graph fp -o "$out.data" -- "$@"
+    echo "profile written: $out.data"
+    echo "view with: perf report -i $out.data"
+elif command -v gprofng >/dev/null 2>&1; then
+    rm -rf "$out.er"
+    gprofng collect app -o "$out.er" "$@"
+    echo "profile written: $out.er"
+    echo "view with: gprofng display text -functions $out.er"
+else
+    echo "error: neither perf nor gprofng found in PATH" >&2
+    exit 1
+fi

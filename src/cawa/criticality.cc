@@ -37,6 +37,7 @@ CriticalityPredictor::reset(WarpSlot slot, Cycle now,
     st.lastIssue = now;
     auto &agg = blockAggs_[block_tag];
     agg.count++;
+    mutationGen_++;
 }
 
 void
@@ -48,6 +49,7 @@ CriticalityPredictor::deactivate(WarpSlot slot)
     auto &st = slots_.at(slot);
     st.finished = true;
     st.invalidateCache();
+    mutationGen_++;
 }
 
 void
@@ -67,6 +69,7 @@ CriticalityPredictor::onIssue(WarpSlot slot, Cycle now)
     // issue, so the block aggregate needs no update here.
     st.nInst -= 1;
     st.invalidateCache();
+    mutationGen_++;
 }
 
 std::int64_t
@@ -111,6 +114,7 @@ CriticalityPredictor::onBranch(WarpSlot slot, std::uint32_t curr_pc,
     st.pathInst += delta;
     blockAggs_[st.blockTag].sum += delta;
     st.invalidateCache();
+    mutationGen_++;
 }
 
 void
@@ -121,6 +125,7 @@ CriticalityPredictor::releaseBarrier(WarpSlot slot, Cycle now)
     if (st.active && now > st.lastIssue) {
         st.lastIssue = now;
         st.invalidateCache();
+        mutationGen_++;
     }
 }
 
@@ -169,6 +174,8 @@ CriticalityPredictor::isCriticalWarp(WarpSlot slot) const
     const auto &st = slots_.at(slot);
     if (!st.active || st.finished)
         return false;
+    if (st.rankGen == mutationGen_)
+        return st.rankCache;
     // Rank the warp among the active warps of its own thread block:
     // it is critical when it falls in the top criticalFraction_.
     const std::int64_t mine = criticality(slot);
@@ -185,7 +192,9 @@ CriticalityPredictor::isCriticalWarp(WarpSlot slot) const
     sim_assert(peers >= 1);
     const int allowed = std::max(
         1, static_cast<int>(criticalFraction_ * peers));
-    return above < allowed;
+    st.rankCache = above < allowed;
+    st.rankGen = mutationGen_;
+    return st.rankCache;
 }
 
 std::int64_t
@@ -277,6 +286,7 @@ CriticalityPredictor::load(InArchive &ar)
     issueUpdates_ = ar.getU64();
     branchUpdates_ = ar.getU64();
     barrierReleases_ = ar.getU64();
+    mutationGen_++; // every rank memo is stale now
 }
 
 } // namespace cawa

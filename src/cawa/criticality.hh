@@ -105,11 +105,13 @@ class CriticalityPredictor : public CriticalityInfo
     {
         useInstTerm_ = v;
         invalidateAll();
+        mutationGen_++;
     }
     void setUseStallTerm(bool v)
     {
         useStallTerm_ = v;
         invalidateAll();
+        mutationGen_++;
     }
 
     /**
@@ -123,6 +125,7 @@ class CriticalityPredictor : public CriticalityInfo
     {
         quantShift_ = shift;
         invalidateAll();
+        mutationGen_++;
     }
 
     /**
@@ -182,6 +185,14 @@ class CriticalityPredictor : public CriticalityInfo
         mutable bool critValid = false;
         mutable bool prioValid = false;
 
+        // isCriticalWarp() memo, keyed on the predictor-wide mutation
+        // generation: the O(slots) block rank depends on every peer,
+        // so per-slot invalidation is not enough, but a divergent
+        // load enqueues up to 32 transactions for one warp in one
+        // cycle and each used to pay the full rank scan.
+        mutable bool rankCache = false;
+        mutable std::uint64_t rankGen = 0; ///< 0 = never computed
+
         void invalidateCache() { critValid = prioValid = false; }
     };
 
@@ -202,6 +213,15 @@ class CriticalityPredictor : public CriticalityInfo
 
     std::vector<SlotState> slots_;
     std::unordered_map<std::uint32_t, BlockAgg> blockAggs_;
+
+    /**
+     * Bumped by every mutator (slot rebind, issue, branch, barrier,
+     * knob change, checkpoint load); a slot's rankCache is valid only
+     * while its rankGen matches. Never serialized -- a loaded
+     * predictor starts with every memo stale.
+     */
+    std::uint64_t mutationGen_ = 1;
+
     double criticalFraction_;
     int quantShift_ = 0;
     bool useInstTerm_ = true;

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Hot-path allocation primitives for the per-cycle simulation loop.
+ *
+ * The single-simulation hot path used to churn the general-purpose
+ * heap on every memory instruction: MSHR map nodes, transaction
+ * deques and per-access token bookkeeping all allocated and freed at
+ * cache-access rate. The three building blocks here replace that
+ * traffic with index-based slabs and rings whose storage is acquired
+ * once and recycled forever after:
+ *
+ *  - SlabPool<T>: contiguous slots plus a LIFO free list of indices.
+ *    Freed slots are handed back most-recently-freed first, exactly
+ *    like the LD/ST token pool it generalizes, so the allocation
+ *    order (and therefore every observable id) is deterministic.
+ *    Slots are NOT reset on reuse: callers reinitialize the fields
+ *    they use, which lets pooled objects keep heap capacity (e.g. a
+ *    merge list's vector) across generations.
+ *
+ *  - PooledMap<K, V>: a small open map over a SlabPool. Keys live in
+ *    one compact array scanned linearly -- for the bounded MSHR
+ *    files (<= 32 entries) a contiguous scan beats hashing, and
+ *    erase is a swap-remove. Iteration order is unspecified; callers
+ *    that serialize must order the keys themselves.
+ *
+ *  - RingQueue<T>: a power-of-two ring buffer with deque semantics
+ *    (FIFO push/pop, stable element order, mid-queue compaction) and
+ *    amortized zero allocation.
+ *
+ * All three are checkpoint-aware: the pools serialize their live set
+ * and free-list order verbatim (future allocations depend on both),
+ * and the byte format of the migrated structures is unchanged from
+ * the containers they replaced.
+ */
+
+#ifndef CAWA_COMMON_ARENA_HH
+#define CAWA_COMMON_ARENA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "common/sim_assert.hh"
+
+namespace cawa
+{
+
+template <typename T>
+class SlabPool
+{
+  public:
+    /** Pre-size the slab (no live slots). */
+    void reserve(std::size_t n) { slots_.reserve(n); }
+
+    /**
+     * Allocate a slot and return its index. Recycles the most
+     * recently freed slot first (LIFO), growing the slab only when
+     * the free list is empty. The slot's previous contents are kept.
+     */
+    std::uint32_t alloc()
+    {
+        std::uint32_t idx;
+        if (freeList_.empty()) {
+            idx = static_cast<std::uint32_t>(slots_.size());
+            slots_.emplace_back();
+        } else {
+            idx = freeList_.back();
+            freeList_.pop_back();
+        }
+        live_++;
+        return idx;
+    }
+
+    void free(std::uint32_t idx)
+    {
+        freeList_.push_back(idx);
+        live_--;
+        sim_assert(live_ >= 0);
+    }
+
+    T &at(std::uint32_t idx) { return slots_[idx]; }
+    const T &at(std::uint32_t idx) const { return slots_[idx]; }
+
+    /** Total slots ever created (live + free). */
+    std::size_t size() const { return slots_.size(); }
+
+    /** Currently allocated slots. */
+    int live() const { return live_; }
+
+    const std::vector<std::uint32_t> &freeList() const
+    {
+        return freeList_;
+    }
+
+    void clear()
+    {
+        slots_.clear();
+        freeList_.clear();
+        live_ = 0;
+    }
+
+    /**
+     * Serialize every slot (live and free) by index, then the free
+     * list in LIFO order. Both halves are needed for determinism:
+     * the next alloc() after restore must hand out the same index
+     * the un-checkpointed run would have.
+     */
+    template <typename SaveEntry>
+    void save(OutArchive &ar, SaveEntry &&save_entry) const
+    {
+        ar.putU32(static_cast<std::uint32_t>(slots_.size()));
+        for (const T &slot : slots_)
+            save_entry(ar, slot);
+        ar.putU32(static_cast<std::uint32_t>(freeList_.size()));
+        for (std::uint32_t idx : freeList_)
+            ar.putU32(idx);
+    }
+
+    template <typename LoadEntry>
+    void load(InArchive &ar, LoadEntry &&load_entry)
+    {
+        slots_.clear();
+        const std::uint32_t n = ar.getU32();
+        slots_.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            slots_.emplace_back();
+            load_entry(ar, slots_.back());
+        }
+        freeList_.clear();
+        const std::uint32_t num_free = ar.getU32();
+        freeList_.reserve(num_free);
+        for (std::uint32_t i = 0; i < num_free; ++i)
+            freeList_.push_back(ar.getU32());
+        live_ = static_cast<int>(n) - static_cast<int>(num_free);
+        sim_assert(live_ >= 0);
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::vector<std::uint32_t> freeList_;
+    int live_ = 0;
+};
+
+/**
+ * Flat associative container for small, bounded key sets. find() is
+ * a linear scan over a contiguous key array; values are pooled so an
+ * erase/insert cycle reuses the old value's heap capacity.
+ */
+template <typename K, typename V>
+class PooledMap
+{
+  public:
+    void reserve(std::size_t n)
+    {
+        keys_.reserve(n);
+        valueIdx_.reserve(n);
+        pool_.reserve(n);
+    }
+
+    V *find(const K &key)
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i)
+            if (keys_[i] == key)
+                return &pool_.at(valueIdx_[i]);
+        return nullptr;
+    }
+
+    const V *find(const K &key) const
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i)
+            if (keys_[i] == key)
+                return &pool_.at(valueIdx_[i]);
+        return nullptr;
+    }
+
+    /**
+     * Insert @p key (must not be present) and return its value slot.
+     * The slot is recycled, NOT reset: the caller reinitializes the
+     * fields it uses and keeps any heap capacity.
+     */
+    V &insert(const K &key)
+    {
+        const std::uint32_t idx = pool_.alloc();
+        keys_.push_back(key);
+        valueIdx_.push_back(idx);
+        return pool_.at(idx);
+    }
+
+    /** Erase @p key (must be present). Swap-remove; order changes. */
+    void erase(const K &key)
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] == key) {
+                pool_.free(valueIdx_[i]);
+                keys_[i] = keys_.back();
+                valueIdx_[i] = valueIdx_.back();
+                keys_.pop_back();
+                valueIdx_.pop_back();
+                return;
+            }
+        }
+        sim_panic("PooledMap::erase: key not present");
+    }
+
+    std::size_t size() const { return keys_.size(); }
+    bool empty() const { return keys_.empty(); }
+
+    void clear()
+    {
+        keys_.clear();
+        valueIdx_.clear();
+        pool_.clear();
+    }
+
+    /** Visit every live entry as f(key, value); unspecified order. */
+    template <typename F>
+    void forEach(F &&f) const
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i)
+            f(keys_[i], pool_.at(valueIdx_[i]));
+    }
+
+    /** The live keys, in unspecified order (for sorted serializing). */
+    const std::vector<K> &keys() const { return keys_; }
+
+  private:
+    std::vector<K> keys_;
+    std::vector<std::uint32_t> valueIdx_;
+    SlabPool<V> pool_;
+};
+
+/**
+ * FIFO ring with deque semantics over power-of-two storage. Indexing
+ * is front-relative: (*this)[0] is the oldest element.
+ */
+template <typename T>
+class RingQueue
+{
+  public:
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+
+    T &operator[](std::size_t i) { return buf_[wrap(head_ + i)]; }
+    const T &operator[](std::size_t i) const
+    {
+        return buf_[wrap(head_ + i)];
+    }
+
+    void push_back(const T &v)
+    {
+        if (size_ == buf_.size())
+            grow();
+        buf_[wrap(head_ + size_)] = v;
+        size_++;
+    }
+
+    void pop_front()
+    {
+        sim_assert(size_ > 0);
+        head_ = wrap(head_ + 1);
+        size_--;
+    }
+
+    void clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /**
+     * Remove every element for which @p pred returns true, keeping
+     * the relative order of the survivors. Single compacting pass.
+     */
+    template <typename Pred>
+    void eraseIf(Pred &&pred)
+    {
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < size_; ++i) {
+            T &elem = buf_[wrap(head_ + i)];
+            if (pred(elem))
+                continue;
+            if (kept != i)
+                buf_[wrap(head_ + kept)] = elem;
+            kept++;
+        }
+        size_ = kept;
+    }
+
+  private:
+    std::size_t wrap(std::size_t i) const
+    {
+        return i & (buf_.size() - 1);
+    }
+
+    void grow()
+    {
+        const std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+        std::vector<T> next(cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = buf_[wrap(head_ + i)];
+        buf_ = std::move(next);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace cawa
+
+#endif // CAWA_COMMON_ARENA_HH

@@ -5,62 +5,6 @@
 namespace cawa
 {
 
-FuncUnit
-Instruction::funcUnit() const
-{
-    switch (op) {
-      case Opcode::Sfu:
-        return FuncUnit::Sfu;
-      case Opcode::LdGlobal:
-      case Opcode::StGlobal:
-      case Opcode::LdShared:
-      case Opcode::StShared:
-        return FuncUnit::Mem;
-      case Opcode::Bra:
-      case Opcode::Bar:
-      case Opcode::Exit:
-        return FuncUnit::Control;
-      default:
-        return FuncUnit::Alu;
-    }
-}
-
-bool
-Instruction::isMem() const
-{
-    return funcUnit() == FuncUnit::Mem;
-}
-
-bool
-Instruction::isLoad() const
-{
-    return op == Opcode::LdGlobal || op == Opcode::LdShared;
-}
-
-bool
-Instruction::writesReg() const
-{
-    switch (op) {
-      case Opcode::Nop:
-      case Opcode::Setp:
-      case Opcode::SetpImm:
-      case Opcode::StGlobal:
-      case Opcode::StShared:
-      case Opcode::Bra:
-      case Opcode::Bar:
-      case Opcode::Exit:
-        return false;
-      default:
-        return true;
-    }
-}
-
-bool
-Instruction::isGlobal() const
-{
-    return op == Opcode::LdGlobal || op == Opcode::StGlobal;
-}
-
 namespace
 {
 

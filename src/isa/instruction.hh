@@ -103,20 +103,63 @@ struct Instruction
     std::uint32_t target = 0;   ///< Bra: taken-path PC
     std::uint32_t reconv = 0;   ///< Bra: immediate post-dominator PC
 
+    // The opcode predicates below are queried on every executed
+    // instruction (execute, stall classification, CPL accounting), so
+    // they are defined here where they inline to a compare or a small
+    // switch instead of a call.
+
     /** Functional unit this opcode issues to. */
-    FuncUnit funcUnit() const;
+    FuncUnit funcUnit() const
+    {
+        switch (op) {
+          case Opcode::Sfu:
+            return FuncUnit::Sfu;
+          case Opcode::LdGlobal:
+          case Opcode::StGlobal:
+          case Opcode::LdShared:
+          case Opcode::StShared:
+            return FuncUnit::Mem;
+          case Opcode::Bra:
+          case Opcode::Bar:
+          case Opcode::Exit:
+            return FuncUnit::Control;
+          default:
+            return FuncUnit::Alu;
+        }
+    }
 
     /** True for LdGlobal/StGlobal/LdShared/StShared. */
-    bool isMem() const;
+    bool isMem() const { return funcUnit() == FuncUnit::Mem; }
 
     /** True for loads (global or shared). */
-    bool isLoad() const;
+    bool isLoad() const
+    {
+        return op == Opcode::LdGlobal || op == Opcode::LdShared;
+    }
 
     /** True if the instruction writes a general-purpose register. */
-    bool writesReg() const;
+    bool writesReg() const
+    {
+        switch (op) {
+          case Opcode::Nop:
+          case Opcode::Setp:
+          case Opcode::SetpImm:
+          case Opcode::StGlobal:
+          case Opcode::StShared:
+          case Opcode::Bra:
+          case Opcode::Bar:
+          case Opcode::Exit:
+            return false;
+          default:
+            return true;
+        }
+    }
 
     /** True if the instruction accesses the global address space. */
-    bool isGlobal() const;
+    bool isGlobal() const
+    {
+        return op == Opcode::LdGlobal || op == Opcode::StGlobal;
+    }
 
     // Scoreboard dependency masks. Derived once from the operand
     // fields by Program's constructor so the per-cycle issue and

@@ -14,13 +14,6 @@ Program::Program(std::vector<Instruction> code)
         inst.deriveMasks();
 }
 
-const Instruction &
-Program::at(std::uint32_t pc) const
-{
-    sim_assert(pc < code_.size());
-    return code_[pc];
-}
-
 std::string
 Program::validate() const
 {

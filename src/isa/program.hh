@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_assert.hh"
 #include "isa/instruction.hh"
 
 namespace cawa
@@ -25,7 +26,14 @@ class Program
     Program() = default;
     explicit Program(std::vector<Instruction> code);
 
-    const Instruction &at(std::uint32_t pc) const;
+    // Inline: this is the instruction fetch, executed once per
+    // issued instruction and once per nextInst refresh.
+    const Instruction &at(std::uint32_t pc) const
+    {
+        sim_assert(pc < code_.size());
+        return code_[pc];
+    }
+
     std::uint32_t size() const
     {
         return static_cast<std::uint32_t>(code_.size());

@@ -19,13 +19,21 @@ std::vector<Addr>
 Coalescer::coalesce(const std::vector<Addr> &lane_addrs) const
 {
     std::vector<Addr> lines;
-    lines.reserve(lane_addrs.size());
+    coalesce(lane_addrs, lines);
+    return lines;
+}
+
+void
+Coalescer::coalesce(const std::vector<Addr> &lane_addrs,
+                    std::vector<Addr> &out) const
+{
+    out.clear();
+    out.reserve(lane_addrs.size());
     const Addr mask = ~static_cast<Addr>(lineBytes_ - 1);
     for (Addr a : lane_addrs)
-        lines.push_back(a & mask);
-    std::sort(lines.begin(), lines.end());
-    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
-    return lines;
+        out.push_back(a & mask);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 } // namespace cawa

@@ -26,6 +26,14 @@ class Coalescer
      */
     std::vector<Addr> coalesce(const std::vector<Addr> &lane_addrs) const;
 
+    /**
+     * In-place variant for the per-issue hot path: @p out is cleared
+     * and refilled, keeping its capacity across calls so steady-state
+     * coalescing allocates nothing.
+     */
+    void coalesce(const std::vector<Addr> &lane_addrs,
+                  std::vector<Addr> &out) const;
+
     int lineBytes() const { return lineBytes_; }
 
   private:

@@ -8,9 +8,9 @@
 #ifndef CAWA_MEM_DRAM_HH
 #define CAWA_MEM_DRAM_HH
 
-#include <deque>
 #include <vector>
 
+#include "common/arena.hh"
 #include "mem/mem_msg.hh"
 
 namespace cawa
@@ -54,12 +54,12 @@ class DramModel
     {
         ar.putU64(nextFree_);
         ar.putU32(static_cast<std::uint32_t>(requests_.size()));
-        for (const MemMsg &msg : requests_)
-            saveMemMsg(ar, msg);
+        for (std::size_t i = 0; i < requests_.size(); ++i)
+            saveMemMsg(ar, requests_[i]);
         ar.putU32(static_cast<std::uint32_t>(responses_.size()));
-        for (const InFlight &r : responses_) {
-            ar.putU64(r.ready);
-            saveMemMsg(ar, r.msg);
+        for (std::size_t i = 0; i < responses_.size(); ++i) {
+            ar.putU64(responses_[i].ready);
+            saveMemMsg(ar, responses_[i].msg);
         }
         ar.putU64(reads);
         ar.putU64(writes);
@@ -97,8 +97,8 @@ class DramModel
     Cycle latency_;
     int serviceInterval_;
     Cycle nextFree_ = 0;
-    std::deque<MemMsg> requests_;
-    std::deque<InFlight> responses_;
+    RingQueue<MemMsg> requests_;
+    RingQueue<InFlight> responses_;
     TraceBuffer *traceSink_ = nullptr;
 };
 

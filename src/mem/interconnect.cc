@@ -36,7 +36,7 @@ Interconnect::pushToSm(const MemMsg &msg, Cycle now)
 }
 
 std::vector<MemMsg>
-Interconnect::pop(std::deque<InFlight> &queue, Cycle now)
+Interconnect::pop(RingQueue<InFlight> &queue, Cycle now)
 {
     std::vector<MemMsg> out;
     while (!queue.empty() && queue.front().ready <= now &&

@@ -8,9 +8,9 @@
 #ifndef CAWA_MEM_INTERCONNECT_HH
 #define CAWA_MEM_INTERCONNECT_HH
 
-#include <deque>
 #include <vector>
 
+#include "common/arena.hh"
 #include "mem/mem_msg.hh"
 
 namespace cawa
@@ -76,19 +76,19 @@ class Interconnect
         MemMsg msg;
     };
 
-    std::vector<MemMsg> pop(std::deque<InFlight> &queue, Cycle now);
+    std::vector<MemMsg> pop(RingQueue<InFlight> &queue, Cycle now);
 
     static void saveQueue(OutArchive &ar,
-                          const std::deque<InFlight> &queue)
+                          const RingQueue<InFlight> &queue)
     {
         ar.putU32(static_cast<std::uint32_t>(queue.size()));
-        for (const InFlight &f : queue) {
-            ar.putU64(f.ready);
-            saveMemMsg(ar, f.msg);
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            ar.putU64(queue[i].ready);
+            saveMemMsg(ar, queue[i].msg);
         }
     }
 
-    static void loadQueue(InArchive &ar, std::deque<InFlight> &queue)
+    static void loadQueue(InArchive &ar, RingQueue<InFlight> &queue)
     {
         queue.clear();
         const std::uint32_t n = ar.getU32();
@@ -102,8 +102,8 @@ class Interconnect
 
     Cycle latency_;
     int width_;
-    std::deque<InFlight> toL2_;
-    std::deque<InFlight> toSm_;
+    RingQueue<InFlight> toL2_;
+    RingQueue<InFlight> toSm_;
     TraceBuffer *traceSink_ = nullptr;
 };
 

@@ -15,6 +15,7 @@ L1DCache::L1DCache(const L1DConfig &cfg, int sm_id,
       policy_(std::move(policy)), numMshrs_(cfg.numMshrs)
 {
     sim_assert(policy_ != nullptr);
+    mshrs_.reserve(static_cast<std::size_t>(cfg.numMshrs));
 }
 
 void
@@ -55,7 +56,7 @@ L1DCache::access(const AccessInfo &info, Cycle now, std::uint64_t token)
             stats_.criticalReuseDistanceHist[bucket]++;
         line.lastTouchSeq = seq;
         line.reuseCount++;
-        stats_.perPc[line.fillPc].hits++;
+        pcStats(line.fillPc).hits++;
         policy_->onHit(tags_, set, way, info);
         if (info.isStore) {
             // Write-through: the store still travels to L2/DRAM.
@@ -77,9 +78,8 @@ L1DCache::access(const AccessInfo &info, Cycle now, std::uint64_t token)
         return Result::Miss;
     }
 
-    auto it = mshrs_.find(line_addr);
-    if (it != mshrs_.end()) {
-        if (static_cast<int>(it->second.tokens.size()) >=
+    if (Mshr *mshr = mshrs_.find(line_addr)) {
+        if (static_cast<int>(mshr->tokens.size()) >=
             cfg_.mshrTargets) {
             stats_.mshrRejects++;
             return Result::RejectMshrFull;
@@ -87,7 +87,7 @@ L1DCache::access(const AccessInfo &info, Cycle now, std::uint64_t token)
         recordAccessStats(info, false);
         tags_.bumpSetSeq(set);
         stats_.mshrMerges++;
-        it->second.tokens.push_back(token);
+        mshr->tokens.push_back(token);
         return Result::Miss;
     }
 
@@ -98,11 +98,12 @@ L1DCache::access(const AccessInfo &info, Cycle now, std::uint64_t token)
 
     recordAccessStats(info, false);
     tags_.bumpSetSeq(set);
-    Mshr entry;
+    // Pooled entry: reused, so reset every field we rely on.
+    Mshr &entry = mshrs_.insert(line_addr);
     entry.primary = info;
     entry.primary.addr = line_addr;
+    entry.tokens.clear();
     entry.tokens.push_back(token);
-    mshrs_.emplace(line_addr, std::move(entry));
     outgoing_.push_back({line_addr, smId_, false, info.pc});
     return Result::Miss;
 }
@@ -119,9 +120,9 @@ L1DCache::popOutgoing()
 void
 L1DCache::fill(Addr line_addr, Cycle now)
 {
-    auto it = mshrs_.find(line_addr);
-    sim_assert(it != mshrs_.end());
-    const Mshr &entry = it->second;
+    const Mshr *found = mshrs_.find(line_addr);
+    sim_assert(found != nullptr);
+    const Mshr &entry = *found;
 
     const std::uint32_t set = tags_.setIndex(line_addr);
     if (tags_.probe(line_addr) < 0) {
@@ -153,7 +154,7 @@ L1DCache::fill(Addr line_addr, Cycle now)
         line.lastTouchSeq = tags_.setSeq(set);
         if (entry.primary.criticalWarp)
             stats_.criticalFills++;
-        stats_.perPc[entry.primary.pc].fills++;
+        pcStats(entry.primary.pc).fills++;
         policy_->onFill(tags_, set, victim, entry.primary);
         CAWA_TRACE_EVENT(traceSink_, now, TraceEventKind::CacheFill,
                          smId_, -1, static_cast<std::int64_t>(line_addr),
@@ -162,7 +163,7 @@ L1DCache::fill(Addr line_addr, Cycle now)
 
     for (std::uint64_t token : entry.tokens)
         pushCompleted(now + 1, token, true);
-    mshrs_.erase(it);
+    mshrs_.erase(line_addr);
 }
 
 void
@@ -174,16 +175,14 @@ L1DCache::drainCompleted(Cycle now, std::vector<Completion> &out)
     // interleaved; scan the queue, preserving the order of the
     // remaining entries, and re-derive the earliest ready cycle.
     minCompletedReady_ = kNoCycle;
-    for (auto it = completed_.begin(); it != completed_.end();) {
-        if (it->ready <= now) {
-            out.push_back({it->token, it->wasMiss});
-            it = completed_.erase(it);
-        } else {
-            minCompletedReady_ =
-                std::min(minCompletedReady_, it->ready);
-            ++it;
+    completed_.eraseIf([&](const Pending &p) {
+        if (p.ready <= now) {
+            out.push_back({p.token, p.wasMiss});
+            return true;
         }
-    }
+        minCompletedReady_ = std::min(minCompletedReady_, p.ready);
+        return false;
+    });
 }
 
 Cycle
@@ -208,23 +207,21 @@ L1DCache::save(OutArchive &ar) const
     tags_.save(ar);
     policy_->saveState(ar);
 
-    std::vector<Addr> addrs;
-    addrs.reserve(mshrs_.size());
-    for (const auto &[addr, mshr] : mshrs_)
-        addrs.push_back(addr);
+    std::vector<Addr> addrs(mshrs_.keys());
     std::sort(addrs.begin(), addrs.end());
     ar.putU32(static_cast<std::uint32_t>(addrs.size()));
     for (Addr addr : addrs) {
-        const Mshr &mshr = mshrs_.at(addr);
+        const Mshr *mshr = mshrs_.find(addr);
         ar.putU64(addr);
-        saveAccessInfo(ar, mshr.primary);
-        ar.putU32(static_cast<std::uint32_t>(mshr.tokens.size()));
-        for (std::uint64_t tok : mshr.tokens)
+        saveAccessInfo(ar, mshr->primary);
+        ar.putU32(static_cast<std::uint32_t>(mshr->tokens.size()));
+        for (std::uint64_t tok : mshr->tokens)
             ar.putU64(tok);
     }
 
     ar.putU32(static_cast<std::uint32_t>(completed_.size()));
-    for (const Pending &p : completed_) {
+    for (std::size_t i = 0; i < completed_.size(); ++i) {
+        const Pending &p = completed_[i];
         ar.putU64(p.ready);
         ar.putU64(p.token);
         ar.putBool(p.wasMiss);
@@ -232,8 +229,8 @@ L1DCache::save(OutArchive &ar) const
     ar.putU64(minCompletedReady_);
 
     ar.putU32(static_cast<std::uint32_t>(outgoing_.size()));
-    for (const MemMsg &msg : outgoing_)
-        saveMemMsg(ar, msg);
+    for (std::size_t i = 0; i < outgoing_.size(); ++i)
+        saveMemMsg(ar, outgoing_[i]);
 
     stats_.save(ar);
 }
@@ -248,13 +245,13 @@ L1DCache::load(InArchive &ar)
     const std::uint32_t num_mshrs = ar.getU32();
     for (std::uint32_t i = 0; i < num_mshrs; ++i) {
         const Addr addr = ar.getU64();
-        Mshr mshr;
+        Mshr &mshr = mshrs_.insert(addr);
         mshr.primary = loadAccessInfo(ar);
+        mshr.tokens.clear();
         const std::uint32_t num_tokens = ar.getU32();
         mshr.tokens.reserve(num_tokens);
         for (std::uint32_t t = 0; t < num_tokens; ++t)
             mshr.tokens.push_back(ar.getU64());
-        mshrs_.emplace(addr, std::move(mshr));
     }
 
     completed_.clear();
@@ -273,6 +270,10 @@ L1DCache::load(InArchive &ar)
     for (std::uint32_t i = 0; i < num_outgoing; ++i)
         outgoing_.push_back(loadMemMsg(ar));
 
+    // stats_ is replaced wholesale below; the memo pointer would
+    // dangle into the old map.
+    lastPc_ = 0;
+    lastPcStats_ = nullptr;
     stats_.load(ar);
 }
 

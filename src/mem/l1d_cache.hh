@@ -11,11 +11,10 @@
 #define CAWA_MEM_L1D_CACHE_HH
 
 #include <algorithm>
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.hh"
 #include "mem/cache_stats.hh"
 #include "mem/mem_msg.hh"
 #include "mem/replacement.hh"
@@ -125,11 +124,12 @@ class L1DCache
      */
     void collectReferencedTokens(std::vector<std::uint64_t> &out) const
     {
-        for (const Pending &p : completed_)
-            out.push_back(p.token);
-        for (const auto &[addr, mshr] : mshrs_)
+        for (std::size_t i = 0; i < completed_.size(); ++i)
+            out.push_back(completed_[i].token);
+        mshrs_.forEach([&](Addr, const Mshr &mshr) {
             for (std::uint64_t tok : mshr.tokens)
                 out.push_back(tok);
+        });
     }
 
   private:
@@ -148,6 +148,22 @@ class L1DCache
 
     void recordAccessStats(const AccessInfo &info, bool hit);
 
+    /**
+     * Per-PC reuse statistics live in an ordered map (serialized and
+     * reported in key order); consecutive accesses overwhelmingly hit
+     * the same PC, so a one-entry memo skips the tree walk. std::map
+     * references are stable, so the cached pointer survives inserts;
+     * it is dropped whenever stats_ is reloaded wholesale.
+     */
+    PcReuseStats &pcStats(std::uint32_t pc)
+    {
+        if (!lastPcStats_ || lastPc_ != pc) {
+            lastPc_ = pc;
+            lastPcStats_ = &stats_.perPc[pc];
+        }
+        return *lastPcStats_;
+    }
+
     void pushCompleted(Cycle ready, std::uint64_t token, bool was_miss)
     {
         completed_.push_back({ready, token, was_miss});
@@ -158,17 +174,19 @@ class L1DCache
     int smId_;
     TagArray tags_;
     std::unique_ptr<ReplacementPolicy> policy_;
-    std::unordered_map<Addr, Mshr> mshrs_;
-    std::deque<Pending> completed_;
+    PooledMap<Addr, Mshr> mshrs_;
+    RingQueue<Pending> completed_;
     /**
      * Earliest ready cycle over completed_ (kNoCycle when empty):
      * lets the per-tick drainCompleted()/nextEventCycle() calls skip
      * walking the queue while nothing has matured.
      */
     Cycle minCompletedReady_ = kNoCycle;
-    std::deque<MemMsg> outgoing_;
+    RingQueue<MemMsg> outgoing_;
     int numMshrs_;
     CacheStats stats_;
+    std::uint32_t lastPc_ = 0;
+    PcReuseStats *lastPcStats_ = nullptr;
     TraceBuffer *traceSink_ = nullptr;
 };
 

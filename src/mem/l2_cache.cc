@@ -18,6 +18,7 @@ L2Cache::L2Cache(const L2Config &cfg)
         bank.tags = std::make_unique<TagArray>(cfg.setsPerBank, cfg.ways,
                                                cfg.lineBytes);
         bank.policy = std::make_unique<LruPolicy>();
+        bank.mshrs.reserve(static_cast<std::size_t>(cfg.mshrsPerBank));
     }
 }
 
@@ -69,10 +70,9 @@ L2Cache::service(Bank &bank, const MemMsg &msg, Cycle now,
         dram.push(msg, now);
         return;
     }
-    auto it = bank.mshrs.find(msg.lineAddr);
-    if (it != bank.mshrs.end()) {
+    if (std::vector<MemMsg> *waiting = bank.mshrs.find(msg.lineAddr)) {
         stats_.mshrMerges++;
-        it->second.push_back(msg);
+        waiting->push_back(msg);
         return;
     }
     // The L2 MSHR file is not a hard backpressure point in this
@@ -82,7 +82,10 @@ L2Cache::service(Bank &bank, const MemMsg &msg, Cycle now,
     // file without deadlocking the simpler bank pipeline.
     if (static_cast<int>(bank.mshrs.size()) >= cfg_.mshrsPerBank)
         stats_.mshrRejects++;
-    bank.mshrs[msg.lineAddr].push_back(msg);
+    // Pooled entry: reused, so drop the previous tenant's wait list.
+    std::vector<MemMsg> &waiting = bank.mshrs.insert(msg.lineAddr);
+    waiting.clear();
+    waiting.push_back(msg);
     MemMsg to_dram = msg;
     dram.push(to_dram, now);
 }
@@ -135,16 +138,16 @@ L2Cache::handleDramResponse(const MemMsg &msg, Cycle now)
                          static_cast<std::int64_t>(msg.lineAddr), 0);
     }
 
-    auto it = bank.mshrs.find(msg.lineAddr);
-    if (it == bank.mshrs.end()) {
+    const std::vector<MemMsg> *waiting = bank.mshrs.find(msg.lineAddr);
+    if (!waiting) {
         // An MSHR-bypassed duplicate fetch: respond to the original
         // requester directly.
         pushResponse(now + 1, msg);
         return;
     }
-    for (const MemMsg &waiting : it->second)
-        pushResponse(now + 1, waiting);
-    bank.mshrs.erase(it);
+    for (const MemMsg &w : *waiting)
+        pushResponse(now + 1, w);
+    bank.mshrs.erase(msg.lineAddr);
 }
 
 std::vector<MemMsg>
@@ -157,15 +160,14 @@ L2Cache::popResponses(Cycle now)
     // wakeups), so scan the whole queue, preserving the order of the
     // remaining entries, and re-derive the earliest ready cycle.
     minResponseReady_ = kNoCycle;
-    for (auto it = responses_.begin(); it != responses_.end();) {
-        if (it->ready <= now) {
-            out.push_back(it->msg);
-            it = responses_.erase(it);
-        } else {
-            minResponseReady_ = std::min(minResponseReady_, it->ready);
-            ++it;
+    responses_.eraseIf([&](const PendingResponse &r) {
+        if (r.ready <= now) {
+            out.push_back(r.msg);
+            return true;
         }
-    }
+        minResponseReady_ = std::min(minResponseReady_, r.ready);
+        return false;
+    });
     return out;
 }
 
@@ -200,26 +202,24 @@ L2Cache::save(OutArchive &ar) const
         bank.policy->saveState(ar);
 
         ar.putU32(static_cast<std::uint32_t>(bank.inQueue.size()));
-        for (const MemMsg &msg : bank.inQueue)
-            saveMemMsg(ar, msg);
+        for (std::size_t i = 0; i < bank.inQueue.size(); ++i)
+            saveMemMsg(ar, bank.inQueue[i]);
 
-        std::vector<Addr> addrs;
-        addrs.reserve(bank.mshrs.size());
-        for (const auto &[addr, waiting] : bank.mshrs)
-            addrs.push_back(addr);
+        std::vector<Addr> addrs(bank.mshrs.keys());
         std::sort(addrs.begin(), addrs.end());
         ar.putU32(static_cast<std::uint32_t>(addrs.size()));
         for (Addr addr : addrs) {
-            const std::vector<MemMsg> &waiting = bank.mshrs.at(addr);
+            const std::vector<MemMsg> *waiting = bank.mshrs.find(addr);
             ar.putU64(addr);
-            ar.putU32(static_cast<std::uint32_t>(waiting.size()));
-            for (const MemMsg &msg : waiting)
+            ar.putU32(static_cast<std::uint32_t>(waiting->size()));
+            for (const MemMsg &msg : *waiting)
                 saveMemMsg(ar, msg);
         }
     }
 
     ar.putU32(static_cast<std::uint32_t>(responses_.size()));
-    for (const PendingResponse &r : responses_) {
+    for (std::size_t i = 0; i < responses_.size(); ++i) {
+        const PendingResponse &r = responses_[i];
         ar.putU64(r.ready);
         saveMemMsg(ar, r.msg);
     }
@@ -250,12 +250,12 @@ L2Cache::load(InArchive &ar)
         const std::uint32_t num_mshrs = ar.getU32();
         for (std::uint32_t i = 0; i < num_mshrs; ++i) {
             const Addr addr = ar.getU64();
-            std::vector<MemMsg> waiting;
+            std::vector<MemMsg> &waiting = bank.mshrs.insert(addr);
+            waiting.clear();
             const std::uint32_t n = ar.getU32();
             waiting.reserve(n);
             for (std::uint32_t k = 0; k < n; ++k)
                 waiting.push_back(loadMemMsg(ar));
-            bank.mshrs.emplace(addr, std::move(waiting));
         }
     }
 

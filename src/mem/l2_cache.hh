@@ -12,11 +12,10 @@
 #define CAWA_MEM_L2_CACHE_HH
 
 #include <algorithm>
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.hh"
 #include "mem/cache_stats.hh"
 #include "mem/dram.hh"
 #include "mem/mem_msg.hh"
@@ -91,9 +90,11 @@ class L2Cache
     {
         std::unique_ptr<TagArray> tags;
         std::unique_ptr<ReplacementPolicy> policy;
-        std::deque<MemMsg> inQueue;
-        // Line addr -> requests waiting on the DRAM fill.
-        std::unordered_map<Addr, std::vector<MemMsg>> mshrs;
+        RingQueue<MemMsg> inQueue;
+        // Line addr -> requests waiting on the DRAM fill. Pooled:
+        // an erased entry's wait-list vector keeps its capacity for
+        // the next same-bank miss.
+        PooledMap<Addr, std::vector<MemMsg>> mshrs;
     };
 
     struct PendingResponse
@@ -113,7 +114,7 @@ class L2Cache
 
     L2Config cfg_;
     std::vector<Bank> banks_;
-    std::deque<PendingResponse> responses_;
+    RingQueue<PendingResponse> responses_;
     /**
      * Earliest ready cycle over responses_ (kNoCycle when empty), so
      * the per-cycle popResponses()/nextEventCycle() calls only walk

@@ -37,6 +37,21 @@ MemoryImage::write8(Addr addr, std::uint8_t value)
 std::uint32_t
 MemoryImage::read32(Addr addr) const
 {
+    // One page lookup for the whole word when it does not straddle a
+    // page boundary (the overwhelmingly common case: every simulated
+    // load/store funnels through here, and byte-at-a-time lookups
+    // were the top line of the flat-path profile).
+    const Addr off = addr % kPageBytes;
+    if (off <= kPageBytes - 4) {
+        const auto *page = findPage(addr);
+        if (!page)
+            return 0;
+        const std::uint8_t *p = page->data() + off;
+        return static_cast<std::uint32_t>(p[0]) |
+               (static_cast<std::uint32_t>(p[1]) << 8) |
+               (static_cast<std::uint32_t>(p[2]) << 16) |
+               (static_cast<std::uint32_t>(p[3]) << 24);
+    }
     std::uint32_t v = 0;
     for (int i = 3; i >= 0; --i)
         v = (v << 8) | read8(addr + i);
@@ -46,6 +61,15 @@ MemoryImage::read32(Addr addr) const
 void
 MemoryImage::write32(Addr addr, std::uint32_t value)
 {
+    const Addr off = addr % kPageBytes;
+    if (off <= kPageBytes - 4) {
+        std::uint8_t *p = touchPage(addr).data() + off;
+        p[0] = static_cast<std::uint8_t>(value);
+        p[1] = static_cast<std::uint8_t>(value >> 8);
+        p[2] = static_cast<std::uint8_t>(value >> 16);
+        p[3] = static_cast<std::uint8_t>(value >> 24);
+        return;
+    }
     for (int i = 0; i < 4; ++i)
         write8(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
 }
@@ -53,6 +77,17 @@ MemoryImage::write32(Addr addr, std::uint32_t value)
 std::uint64_t
 MemoryImage::read64(Addr addr) const
 {
+    const Addr off = addr % kPageBytes;
+    if (off <= kPageBytes - 8) {
+        const auto *page = findPage(addr);
+        if (!page)
+            return 0;
+        const std::uint8_t *p = page->data() + off;
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | p[i];
+        return v;
+    }
     return static_cast<std::uint64_t>(read32(addr)) |
            (static_cast<std::uint64_t>(read32(addr + 4)) << 32);
 }
@@ -60,6 +95,13 @@ MemoryImage::read64(Addr addr) const
 void
 MemoryImage::write64(Addr addr, std::uint64_t value)
 {
+    const Addr off = addr % kPageBytes;
+    if (off <= kPageBytes - 8) {
+        std::uint8_t *p = touchPage(addr).data() + off;
+        for (int i = 0; i < 8; ++i)
+            p[i] = static_cast<std::uint8_t>(value >> (8 * i));
+        return;
+    }
     write32(addr, static_cast<std::uint32_t>(value));
     write32(addr + 4, static_cast<std::uint32_t>(value >> 32));
 }

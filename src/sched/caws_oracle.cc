@@ -1,5 +1,7 @@
 #include "sched/caws_oracle.hh"
 
+#include <limits>
+
 namespace cawa
 {
 
@@ -9,13 +11,21 @@ CawsOracleScheduler::pick(const std::vector<WarpSlot> &ready,
 {
     if (ready.empty())
         return kNoWarp;
-    WarpSlot best = ready.front();
-    for (WarpSlot s : ready) {
-        if (ctx.priority[s] > ctx.priority[best] ||
-            (ctx.priority[s] == ctx.priority[best] &&
-             ctx.age[s] < ctx.age[best])) {
-            best = s;
-        }
+    // Branch-free lexicographic min over (-priority, age): highest
+    // oracle execution time first, oldest on ties. Same reduction
+    // shape as GcawsScheduler::pick, minus the greedy term.
+    WarpSlot best = ready[0];
+    std::int64_t best_rank = -ctx.priority[ready[0]];
+    std::uint64_t best_age = ctx.age[ready[0]];
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+        const WarpSlot s = ready[i];
+        const std::int64_t rank = -ctx.priority[s];
+        const std::uint64_t age = ctx.age[s];
+        const bool better = rank < best_rank ||
+                            (rank == best_rank && age < best_age);
+        best = better ? s : best;
+        best_rank = better ? rank : best_rank;
+        best_age = better ? age : best_age;
     }
     return best;
 }

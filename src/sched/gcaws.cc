@@ -1,5 +1,7 @@
 #include "sched/gcaws.hh"
 
+#include <limits>
+
 namespace cawa
 {
 
@@ -9,19 +11,28 @@ GcawsScheduler::pick(const std::vector<WarpSlot> &ready,
 {
     if (ready.empty())
         return kNoWarp;
-    // Greedy: the previously selected warp keeps its time slice while
-    // it still has an issuable instruction.
-    for (WarpSlot s : ready)
-        if (s == current_)
-            return s;
-    // Otherwise pick by criticality, oldest-first on ties (GTO rule).
-    WarpSlot best = ready.front();
-    for (WarpSlot s : ready) {
-        if (ctx.priority[s] > ctx.priority[best] ||
-            (ctx.priority[s] == ctx.priority[best] &&
-             ctx.age[s] < ctx.age[best])) {
-            best = s;
-        }
+    // One lexicographic min-reduction over (rank, age): the greedy
+    // current warp ranks below everything (INT64_MIN; priorities are
+    // small counts, so -priority can never reach it), other slots
+    // rank by negated criticality so the reduction finds the highest
+    // priority, oldest-first on ties (GTO rule). Selects compile to
+    // conditional moves -- see GtoScheduler::pick.
+    WarpSlot best = ready[0];
+    std::int64_t best_rank = ready[0] == current_
+        ? std::numeric_limits<std::int64_t>::min()
+        : -ctx.priority[ready[0]];
+    std::uint64_t best_age = ctx.age[ready[0]];
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+        const WarpSlot s = ready[i];
+        const std::int64_t rank = s == current_
+            ? std::numeric_limits<std::int64_t>::min()
+            : -ctx.priority[s];
+        const std::uint64_t age = ctx.age[s];
+        const bool better = rank < best_rank ||
+                            (rank == best_rank && age < best_age);
+        best = better ? s : best;
+        best_rank = better ? rank : best_rank;
+        best_age = better ? age : best_age;
     }
     return best;
 }

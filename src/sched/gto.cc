@@ -8,15 +8,25 @@ GtoScheduler::pick(const std::vector<WarpSlot> &ready, const SchedCtx &ctx)
 {
     if (ready.empty())
         return kNoWarp;
-    // Greedy: stick with the current warp while it remains ready.
-    for (WarpSlot s : ready)
-        if (s == current_)
-            return s;
-    // Then-oldest: smallest dispatch age.
-    WarpSlot best = ready.front();
-    for (WarpSlot s : ready)
-        if (ctx.age[s] < ctx.age[best])
-            best = s;
+    // Single min-reduction over a composite key instead of a greedy
+    // scan followed by an oldest scan: the current warp gets key 0,
+    // every other slot age+1. Dispatch ages are unique (a strictly
+    // increasing sequence number) and far below 2^64, so key 0 is
+    // reserved for the greedy pick and the reduction is exactly
+    // "current if ready, else oldest". The data-dependent selects
+    // compile to conditional moves; ready-set scans branch-mispredict
+    // badly because readiness flips cycle to cycle.
+    WarpSlot best = ready[0];
+    std::uint64_t best_key =
+        ready[0] == current_ ? 0 : ctx.age[ready[0]] + 1;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+        const WarpSlot s = ready[i];
+        const std::uint64_t key =
+            s == current_ ? 0 : ctx.age[s] + 1;
+        const bool better = key < best_key;
+        best = better ? s : best;
+        best_key = better ? key : best_key;
+    }
     return best;
 }
 

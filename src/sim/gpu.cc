@@ -154,6 +154,9 @@ Gpu::tick(Machine &m)
     // therefore every report byte — is independent of simThreads.
     // (faults.reverseSmDrainOrder flips the order to let the tests
     // prove this ordering is actually load-bearing.)
+    std::chrono::steady_clock::time_point mem_start;
+    if (cfg_.profilePhases)
+        mem_start = std::chrono::steady_clock::now();
     if (cfg_.faults.reverseSmDrainOrder) {
         for (auto it = m.sms.rbegin(); it != m.sms.rend(); ++it)
             while ((*it)->hasOutgoing())
@@ -181,6 +184,10 @@ Gpu::tick(Machine &m)
                    msg.smId < static_cast<int>(m.sms.size()));
         m.sms[msg.smId]->fillResponse(msg.lineAddr, now);
     }
+
+    if (cfg_.profilePhases)
+        memPhaseSeconds_ += std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - mem_start).count();
 }
 
 void
@@ -449,6 +456,17 @@ Gpu::finish()
     m.report.dramReads = m.dram.reads;
     m.report.dramWrites = m.dram.writes;
     m.report.icntMessages = m.icnt.messagesToL2 + m.icnt.messagesToSm;
+
+    if (cfg_.profilePhases) {
+        for (const auto &sm : m.sms) {
+            const SmCore::PhaseSeconds &p = sm->phaseSeconds();
+            m.report.phaseSchedSeconds += p.sched;
+            m.report.phaseL1Seconds += p.l1;
+            m.report.phaseAccountSeconds += p.account;
+            m.report.phaseCplSeconds += p.cpl;
+        }
+        m.report.phaseMemSeconds = memPhaseSeconds_;
+    }
 
     // Populate the unified stats registry (the "stats" object of
     // cawa-simreport-v3). Registration order is the serialization

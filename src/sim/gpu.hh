@@ -171,6 +171,12 @@ class Gpu
     mutable std::uint64_t mergedStamp_ = 0;
     std::unique_ptr<Machine> machine_;
     std::chrono::steady_clock::time_point wallStart_;
+    /**
+     * Wall seconds spent in tick()'s shared memory-system section
+     * (icnt/L2/DRAM/fills); accumulates only under
+     * GpuConfig::profilePhases (see SimReport::phaseMemSeconds).
+     */
+    double memPhaseSeconds_ = 0.0;
 };
 
 /** Convenience: build + run in one call. */

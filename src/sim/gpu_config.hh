@@ -163,6 +163,20 @@ struct GpuConfig
     bool fastForward = true;
 
     /**
+     * Hot-path phase timing: when set, each SM accumulates wall-clock
+     * seconds per tick section (scheduler, L1/LDST, stall accounting,
+     * CPL/trace sampling) and the Gpu times the shared memory system
+     * (icnt + L2 + DRAM + fills); totals land in the SimReport's
+     * phase*Seconds fields. A pure observer — simulated results are
+     * bit-identical with the flag on or off, the numbers never enter
+     * the JSON report or checkpoint formats, and the flag is excluded
+     * from the checkpoint config signature. Used by bench_sim_speed's
+     * breakdown run; costs a few clock reads per SM tick, so leave it
+     * off otherwise.
+     */
+    bool profilePhases = false;
+
+    /**
      * Worker threads for the phase-1 parallel SM tick (1 = the
      * serial loop, the default). SMs only interact through the
      * interconnect, which is drained serially in fixed SM order

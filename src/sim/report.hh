@@ -69,6 +69,19 @@ struct SimReport
     std::vector<BlockRecord> blocks;
     std::vector<TraceSample> trace;
 
+    /**
+     * Hot-path phase breakdown: wall-clock seconds spent inside the
+     * tick loop's sections, summed over all SMs. Filled only when
+     * GpuConfig::profilePhases was set (all zero otherwise) and
+     * consumed directly by bench_sim_speed; deliberately absent from
+     * the JSON report and checkpoint formats.
+     */
+    double phaseSchedSeconds = 0.0;   ///< ready-set build + pick + issue
+    double phaseL1Seconds = 0.0;      ///< L1 drain + writebacks + LD/ST
+    double phaseAccountSeconds = 0.0; ///< stall classification/charging
+    double phaseCplSeconds = 0.0;     ///< CPL + trace sampling
+    double phaseMemSeconds = 0.0;     ///< icnt + L2 + DRAM + fills
+
     bool timedOut = false;
     ExitStatus exitStatus = ExitStatus::Completed;
 

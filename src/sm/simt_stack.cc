@@ -13,20 +13,6 @@ SimtStack::reset(std::uint32_t start_pc, LaneMask active)
     entries_.push_back({kNoReconv, start_pc, active});
 }
 
-std::uint32_t
-SimtStack::pc() const
-{
-    sim_assert(!entries_.empty());
-    return entries_.back().pc;
-}
-
-LaneMask
-SimtStack::activeMask() const
-{
-    sim_assert(!entries_.empty());
-    return entries_.back().mask;
-}
-
 void
 SimtStack::popReconverged()
 {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/serialize.hh"
+#include "common/sim_assert.hh"
 #include "common/types.hh"
 
 namespace cawa
@@ -36,8 +37,20 @@ class SimtStack
     /** Reinitialize for a fresh warp at @p start_pc. */
     void reset(std::uint32_t start_pc, LaneMask active);
 
-    std::uint32_t pc() const;
-    LaneMask activeMask() const;
+    // pc()/activeMask() are read on every scheduler consideration and
+    // every executed instruction; defined here so they inline.
+    std::uint32_t pc() const
+    {
+        sim_assert(!entries_.empty());
+        return entries_.back().pc;
+    }
+
+    LaneMask activeMask() const
+    {
+        sim_assert(!entries_.empty());
+        return entries_.back().mask;
+    }
+
     int depth() const { return static_cast<int>(entries_.size()); }
 
     /**

@@ -1,6 +1,7 @@
 #include "sm/sm_core.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -57,6 +58,7 @@ SmCore::SmCore(const GpuConfig &cfg, int sm_id, MemoryImage &global,
     warps_.reserve(cfg.maxWarpsPerSm);
     for (int i = 0; i < cfg.maxWarpsPerSm; ++i)
         warps_.emplace_back(cfg.warpSize);
+    hot_.init(cfg.maxWarpsPerSm);
     for (int i = 0; i < cfg.numSchedulersPerSm; ++i)
         schedulers_.push_back(
             createScheduler(cfg.scheduler, cfg.maxWarpsPerSm));
@@ -87,29 +89,6 @@ WarpScheduler &
 SmCore::schedulerOf(WarpSlot slot)
 {
     return *schedulers_[slot % cfg_.numSchedulersPerSm];
-}
-
-std::uint64_t
-SmCore::allocToken()
-{
-    std::uint32_t idx;
-    if (tokenFreeList_.empty()) {
-        idx = static_cast<std::uint32_t>(tokenPool_.size());
-        tokenPool_.emplace_back();
-    } else {
-        idx = tokenFreeList_.back();
-        tokenFreeList_.pop_back();
-    }
-    liveTokens_++;
-    return idx + 1;
-}
-
-void
-SmCore::freeToken(std::uint64_t id)
-{
-    tokenFreeList_.push_back(static_cast<std::uint32_t>(id - 1));
-    liveTokens_--;
-    sim_assert(liveTokens_ >= 0);
 }
 
 bool
@@ -169,6 +148,8 @@ SmCore::acceptBlock(BlockId id, Cycle now)
         }
         warps_[slot].activate(&kernel_.program, id, assigned,
                               active_threads, now, dispatchSeq_++);
+        hot_.resetSlot(slot, now);
+        refreshSlot(slot);
         slotBlock_[slot] = block_idx;
         block.slots.push_back(slot);
         cpl_->reset(slot, now, id);
@@ -202,11 +183,10 @@ SmCore::drainL1(Cycle now)
         tok.remaining--;
         sim_assert(tok.remaining >= 0);
         if (tok.remaining == 0) {
-            Warp &warp = warps_[tok.slot];
-            warp.scoreboard.pendingRegs &= ~tok.dstRegMask;
-            warp.scoreboard.pendingMemRegs &= ~tok.dstRegMask;
-            warp.outstandingLoads--;
-            sim_assert(warp.outstandingLoads >= 0);
+            hot_.pendingRegs[tok.slot] &= ~tok.dstRegMask;
+            hot_.pendingMemRegs[tok.slot] &= ~tok.dstRegMask;
+            hot_.outstandingLoads[tok.slot]--;
+            sim_assert(hot_.outstandingLoads[tok.slot] >= 0);
             freeToken(c.token);
         }
     }
@@ -218,9 +198,8 @@ SmCore::drainWritebacks(Cycle now)
     while (!wbQueue_.empty() && wbQueue_.top().ready <= now) {
         const WbEvent ev = wbQueue_.top();
         wbQueue_.pop();
-        Warp &warp = warps_[ev.slot];
-        warp.scoreboard.pendingRegs &= ~ev.regMask;
-        warp.scoreboard.pendingPreds &= ~ev.predMask;
+        hot_.pendingRegs[ev.slot] &= ~ev.regMask;
+        hot_.pendingPreds[ev.slot] &= ~ev.predMask;
     }
 }
 
@@ -257,33 +236,23 @@ SmCore::refreshSchedArrays()
         return;
     schedDirty_ = false;
     for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
-        const Warp &warp = warps_[slot];
-        if (warp.state() == WarpState::Inactive) {
+        if (hot_.state[slot] == WarpState::Inactive) {
             priority_[slot] = 0;
             continue;
         }
-        age_[slot] = warp.dispatchAge();
+        age_[slot] = warps_[slot].dispatchAge();
         priority_[slot] = oracle_ ? oraclePriority_[slot]
                                   : cpl_->priority(slot);
     }
 }
 
-bool
-SmCore::isReady(WarpSlot slot) const
+void
+SmCore::refreshSlot(WarpSlot slot)
 {
     const Warp &warp = warps_[slot];
-    if (warp.state() != WarpState::Running)
-        return false;
-    const Instruction &inst = warp.nextInstruction();
-    if (!warp.scoreboard.canIssue(inst))
-        return false;
-    if (inst.isGlobal() &&
-        static_cast<int>(ldstQueue_.size()) >= cfg_.ldstQueueSize)
-        return false;
-    if (inst.op == Opcode::Exit &&
-        (!warp.scoreboard.clean() || warp.outstandingLoads > 0))
-        return false;
-    return true;
+    hot_.state[slot] = warp.state();
+    hot_.nextInst[slot] = warp.state() == WarpState::Running
+        ? &warp.nextInstruction() : nullptr;
 }
 
 void
@@ -342,8 +311,8 @@ SmCore::issue(WarpSlot slot, Cycle now)
                            cpl_->priority(slot));
     }
 
-    warp.timings.instructions++;
-    warp.lastIssueCycle = now;
+    hot_.timings[slot].instructions++;
+    hot_.lastIssueCycle[slot] = now;
     issued_++;
     issuedThisCycle_[slot] = true;
     schedDirty_ = true;
@@ -354,22 +323,22 @@ SmCore::issue(WarpSlot slot, Cycle now)
     switch (inst.funcUnit()) {
       case FuncUnit::Alu:
         if (reg_mask || pred_mask) {
-            warp.scoreboard.pendingRegs |= reg_mask;
-            warp.scoreboard.pendingPreds |= pred_mask;
+            hot_.pendingRegs[slot] |= reg_mask;
+            hot_.pendingPreds[slot] |= pred_mask;
             wbQueue_.push(
                 {now + cfg_.aluLatency, slot, reg_mask, pred_mask});
         }
         break;
 
       case FuncUnit::Sfu:
-        warp.scoreboard.pendingRegs |= reg_mask;
+        hot_.pendingRegs[slot] |= reg_mask;
         wbQueue_.push({now + cfg_.sfuLatency, slot, reg_mask, 0});
         break;
 
       case FuncUnit::Mem:
         if (inst.isGlobal()) {
-            const std::vector<Addr> lines =
-                coalescer_.coalesce(res.laneAddrs);
+            coalescer_.coalesce(*res.laneAddrs, lineScratch_);
+            const std::vector<Addr> &lines = lineScratch_;
             std::uint64_t token = 0;
             if (inst.isLoad()) {
                 token = allocToken();
@@ -379,9 +348,9 @@ SmCore::issue(WarpSlot slot, Cycle now)
                 tok.dstRegMask = reg_mask;
                 tok.remaining = static_cast<int>(lines.size());
                 tok.stallNotified = false;
-                warp.scoreboard.pendingRegs |= reg_mask;
-                warp.scoreboard.pendingMemRegs |= reg_mask;
-                warp.outstandingLoads++;
+                hot_.pendingRegs[slot] |= reg_mask;
+                hot_.pendingMemRegs[slot] |= reg_mask;
+                hot_.outstandingLoads[slot]++;
             }
             for (Addr line : lines) {
                 Transaction tx;
@@ -394,7 +363,7 @@ SmCore::issue(WarpSlot slot, Cycle now)
             }
         } else if (inst.isLoad()) {
             // Shared-memory load: fixed latency writeback.
-            warp.scoreboard.pendingRegs |= reg_mask;
+            hot_.pendingRegs[slot] |= reg_mask;
             wbQueue_.push(
                 {now + cfg_.sharedMemLatency, slot, reg_mask, 0});
         }
@@ -419,6 +388,12 @@ SmCore::issue(WarpSlot slot, Cycle now)
         }
         break;
     }
+
+    // The warp's PC (and possibly state) moved in executeNext, and a
+    // barrier arrival / exit above may have moved it further: bring
+    // the hot mirrors back in sync. Slots touched indirectly (barrier
+    // release, block retire) were refreshed inside those helpers.
+    refreshSlot(slot);
 }
 
 void
@@ -429,6 +404,7 @@ SmCore::releaseBarrier(BlockState &block, Cycle now)
         Warp &w = warps_[s];
         if (w.state() == WarpState::AtBarrier) {
             w.setState(WarpState::Running);
+            refreshSlot(s);
             cpl_->releaseBarrier(s, now);
             released++;
         }
@@ -441,9 +417,8 @@ SmCore::releaseBarrier(BlockState &block, Cycle now)
 void
 SmCore::finishWarp(WarpSlot slot, Cycle now)
 {
-    Warp &warp = warps_[slot];
     BlockState &block = blockOf(slot);
-    warp.timings.endCycle = now;
+    hot_.timings[slot].endCycle = now;
     cpl_->deactivate(slot);
     schedulerOf(slot).notifyDeactivated(slot);
     block.runningWarps--;
@@ -467,21 +442,22 @@ SmCore::retireBlock(BlockState &block, Cycle now)
     rec.cplSamples = block.samples;
     for (std::size_t i = 0; i < block.slots.size(); ++i) {
         const WarpSlot slot = block.slots[i];
-        Warp &warp = warps_[slot];
+        const WarpTimings &t = hot_.timings[slot];
         WarpRecord wr;
         wr.warpInBlock = static_cast<int>(i);
-        wr.startCycle = warp.timings.startCycle;
-        wr.endCycle = warp.timings.endCycle;
-        wr.instructions = warp.timings.instructions;
-        wr.memStallCycles = warp.timings.memStallCycles;
-        wr.aluStallCycles = warp.timings.aluStallCycles;
-        wr.structStallCycles = warp.timings.structStallCycles;
-        wr.schedWaitCycles = warp.timings.schedWaitCycles;
-        wr.barrierCycles = warp.timings.barrierCycles;
-        wr.finishedWaitCycles = warp.timings.finishedWaitCycles;
+        wr.startCycle = t.startCycle;
+        wr.endCycle = t.endCycle;
+        wr.instructions = t.instructions;
+        wr.memStallCycles = t.memStallCycles;
+        wr.aluStallCycles = t.aluStallCycles;
+        wr.structStallCycles = t.structStallCycles;
+        wr.schedWaitCycles = t.schedWaitCycles;
+        wr.barrierCycles = t.barrierCycles;
+        wr.finishedWaitCycles = t.finishedWaitCycles;
         wr.slowSamples = block.slowSamples[i];
         rec.warps.push_back(wr);
-        warp.deactivate();
+        warps_[slot].deactivate();
+        refreshSlot(slot);
         slotBlock_[slot] = -1;
     }
     CAWA_TRACE_EVENT(traceSink_, now, TraceEventKind::BlockRetire,
@@ -496,17 +472,17 @@ SmCore::retireBlock(BlockState &block, Cycle now)
 }
 
 StallReason
-SmCore::classifyStall(const Warp &warp) const
+SmCore::classifyStall(WarpSlot slot) const
 {
-    switch (warp.state()) {
+    switch (hot_.state[slot]) {
       case WarpState::Finished:
         return StallReason::FinishedWait;
       case WarpState::AtBarrier:
         return StallReason::Barrier;
       default: {
-        const Instruction &inst = warp.nextInstruction();
-        if (!warp.scoreboard.canIssue(inst)) {
-            return warp.scoreboard.blockedByMemory(inst)
+        const Instruction &inst = *hot_.nextInst[slot];
+        if (!hot_.canIssue(slot, inst)) {
+            return hot_.blockedByMemory(slot, inst)
                 ? StallReason::Mem : StallReason::Alu;
         }
         if (inst.isGlobal() &&
@@ -515,7 +491,7 @@ SmCore::classifyStall(const Warp &warp) const
             return StallReason::Struct;
         }
         if (inst.op == Opcode::Exit &&
-            (!warp.scoreboard.clean() || warp.outstandingLoads > 0))
+            (!hot_.clean(slot) || hot_.outstandingLoads[slot] > 0))
             return StallReason::Mem;
         return StallReason::SchedWait;
       }
@@ -523,28 +499,28 @@ SmCore::classifyStall(const Warp &warp) const
 }
 
 void
-SmCore::chargeStall(Warp &warp, std::uint64_t amount, Cycle at,
-                    WarpSlot slot)
+SmCore::chargeStall(WarpSlot slot, std::uint64_t amount, Cycle at)
 {
-    const StallReason reason = classifyStall(warp);
+    const StallReason reason = classifyStall(slot);
+    WarpTimings &t = hot_.timings[slot];
     switch (reason) {
       case StallReason::Mem:
-        warp.timings.memStallCycles += amount;
+        t.memStallCycles += amount;
         break;
       case StallReason::Alu:
-        warp.timings.aluStallCycles += amount;
+        t.aluStallCycles += amount;
         break;
       case StallReason::Struct:
-        warp.timings.structStallCycles += amount;
+        t.structStallCycles += amount;
         break;
       case StallReason::SchedWait:
-        warp.timings.schedWaitCycles += amount;
+        t.schedWaitCycles += amount;
         break;
       case StallReason::Barrier:
-        warp.timings.barrierCycles += amount;
+        t.barrierCycles += amount;
         break;
       case StallReason::FinishedWait:
-        warp.timings.finishedWaitCycles += amount;
+        t.finishedWaitCycles += amount;
         break;
     }
     // One event covers the whole span (ts = first stalled cycle), so
@@ -559,11 +535,10 @@ void
 SmCore::accountStalls(Cycle now)
 {
     for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
-        Warp &warp = warps_[slot];
-        if (warp.state() == WarpState::Inactive ||
+        if (hot_.state[slot] == WarpState::Inactive ||
             issuedThisCycle_[slot])
             continue;
-        chargeStall(warp, 1, now, slot);
+        chargeStall(slot, 1, now);
     }
 }
 
@@ -573,10 +548,9 @@ SmCore::accountIdleSpan(Cycle start, Cycle span)
     // Over a span with no SM events no warp issues, so every active
     // warp's classification holds for each skipped cycle.
     for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
-        Warp &warp = warps_[slot];
-        if (warp.state() == WarpState::Inactive)
+        if (hot_.state[slot] == WarpState::Inactive)
             continue;
-        chargeStall(warp, span, start, slot);
+        chargeStall(slot, span, start);
     }
 }
 
@@ -595,8 +569,10 @@ SmCore::catchUpStalls(Cycle now)
 void
 SmCore::sampleCpl(Cycle now)
 {
+    // now is on a sampling boundary iff it equals its own round-up.
     if (cfg_.cplSampleInterval == 0 ||
-        now % cfg_.cplSampleInterval != 0)
+        now != cachedBoundary(now, cfg_.cplSampleInterval,
+                              cplBoundaryCache_))
         return;
     for (auto &block : blocks_) {
         if (!block.valid)
@@ -632,7 +608,8 @@ void
 SmCore::sampleTrace(Cycle now)
 {
     if (cfg_.traceBlockId < 0 ||
-        now % cfg_.traceSampleInterval != 0)
+        now != cachedBoundary(now, cfg_.traceSampleInterval,
+                              traceBoundaryCache_))
         return;
     for (const auto &block : blocks_) {
         if (!block.valid ||
@@ -652,6 +629,12 @@ SmCore::tick(Cycle now)
     // Keep assertion messages anchored: any sim_assert firing below
     // reports this cycle/SM (cheap: two thread-local stores).
     setSimAssertContext(now, smId_);
+    if (cfg_.profilePhases) {
+        // The timed twin lives in its own function so the common
+        // path carries only this one predictable branch.
+        tickProfiled(now);
+        return;
+    }
     catchUpStalls(now);
     std::fill(issuedThisCycle_.begin(), issuedThisCycle_.end(), false);
     drainL1(now);
@@ -666,17 +649,53 @@ SmCore::tick(Cycle now)
     cachedNextEvent_ = computeNextEventCycle(now + 1);
 }
 
-namespace
+void
+SmCore::tickProfiled(Cycle now)
 {
-
-/** Smallest multiple of @p interval that is >= @p now. */
-Cycle
-nextBoundary(Cycle now, Cycle interval)
-{
-    return (now + interval - 1) / interval * interval;
+    // Same sequence as tick(), with a steady_clock read between
+    // sections. Timing is observational: the simulated state after
+    // this function is identical to tick()'s.
+    using SteadyClock = std::chrono::steady_clock;
+    const auto sec = [](SteadyClock::duration d) {
+        return std::chrono::duration<double>(d).count();
+    };
+    const auto t0 = SteadyClock::now();
+    catchUpStalls(now);
+    std::fill(issuedThisCycle_.begin(), issuedThisCycle_.end(), false);
+    const auto t1 = SteadyClock::now();
+    drainL1(now);
+    drainWritebacks(now);
+    serviceLdstQueue(now);
+    const auto t2 = SteadyClock::now();
+    refreshSchedArrays();
+    schedule(now);
+    const auto t3 = SteadyClock::now();
+    accountStalls(now);
+    const auto t4 = SteadyClock::now();
+    sampleCpl(now);
+    sampleTrace(now);
+    const auto t5 = SteadyClock::now();
+    phaseSeconds_.account += sec(t1 - t0) + sec(t4 - t3);
+    phaseSeconds_.l1 += sec(t2 - t1);
+    phaseSeconds_.sched += sec(t3 - t2);
+    phaseSeconds_.cpl += sec(t5 - t4);
+    lastTicked_ = now;
+    cachedNextEvent_ = computeNextEventCycle(now + 1);
 }
 
-} // namespace
+Cycle
+SmCore::cachedBoundary(Cycle now, Cycle interval, Cycle &cache) const
+{
+    // Smallest multiple of interval >= now, recomputed (one division)
+    // only when now leaves the cached boundary's window
+    // (cache - interval, cache]. Ticks advance monotonically, so in
+    // steady state this is two compares per call instead of a 64-bit
+    // divide; the window check keeps it correct for any call order
+    // (including the stale cache=0 after a checkpoint load).
+    if (now > cache || now + interval <= cache)
+        cache = (now + interval - 1) / interval * interval;
+    return cache;
+}
 
 Cycle
 SmCore::computeNextEventCycle(Cycle now) const
@@ -700,10 +719,13 @@ SmCore::computeNextEventCycle(Cycle now) const
         // frozen, so a skip may not cross a boundary.
         if (cfg_.cplSampleInterval > 0)
             next = std::min(next,
-                            nextBoundary(now, cfg_.cplSampleInterval));
+                            cachedBoundary(now, cfg_.cplSampleInterval,
+                                           cplBoundaryCache_));
         if (cfg_.traceBlockId >= 0 && cfg_.traceSampleInterval > 0)
             next = std::min(next,
-                            nextBoundary(now, cfg_.traceSampleInterval));
+                            cachedBoundary(now,
+                                           cfg_.traceSampleInterval,
+                                           traceBoundaryCache_));
     }
     return next;
 }
@@ -713,7 +735,7 @@ SmCore::busy() const
 {
     if (residentBlocks_ > 0)
         return true;
-    return !l1_->idle() || liveTokens_ > 0 || !ldstQueue_.empty();
+    return !l1_->idle() || tokenPool_.live() > 0 || !ldstQueue_.empty();
 }
 
 std::vector<BlockRecord>
@@ -738,8 +760,7 @@ SmCore::stuckSummary() const
 {
     StuckSummary s;
     for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
-        const Warp &warp = warps_[slot];
-        switch (warp.state()) {
+        switch (hot_.state[slot]) {
           case WarpState::Running:
             s.activeWarps++;
             break;
@@ -753,13 +774,13 @@ SmCore::stuckSummary() const
           default:
             break;
         }
-        if (warp.state() != WarpState::Inactive &&
-            warp.outstandingLoads > 0)
+        if (hot_.state[slot] != WarpState::Inactive &&
+            hot_.outstandingLoads[slot] > 0)
             s.withOutstandingLoads++;
     }
     s.l1Mshrs = l1_->pendingMshrs();
     s.ldstQueued = ldstQueue_.size();
-    s.liveTokens = liveTokens_;
+    s.liveTokens = tokenPool_.live();
     return s;
 }
 
@@ -798,7 +819,7 @@ SmCore::appendDeadlockDump(std::string &out, Cycle now) const
 {
     std::ostringstream oss;
     oss << "sm " << smId_ << ": residentBlocks=" << residentBlocks_
-        << " liveTokens=" << liveTokens_
+        << " liveTokens=" << tokenPool_.live()
         << " wbQueue=" << wbQueue_.size()
         << " ldstQueue=" << ldstQueue_.size()
         << " l1.mshrs=" << l1_->pendingMshrs()
@@ -818,10 +839,10 @@ SmCore::appendDeadlockDump(std::string &out, Cycle now) const
                 << "): " << warpStateName(warp.state())
                 << " pc=" << warp.stack().pc()
                 << " criticality=" << cpl_->criticality(slot)
-                << " outstandingLoads=" << warp.outstandingLoads
+                << " outstandingLoads=" << hot_.outstandingLoads[slot]
                 << std::hex << " pendingRegs=0x"
-                << warp.scoreboard.pendingRegs << " pendingMemRegs=0x"
-                << warp.scoreboard.pendingMemRegs << std::dec << "\n";
+                << hot_.pendingRegs[slot] << " pendingMemRegs=0x"
+                << hot_.pendingMemRegs[slot] << std::dec << "\n";
         }
     }
     if (!pickHistory_.empty()) {
@@ -857,18 +878,33 @@ SmCore::audit(Cycle now, int level) const
 
     // --- Level 1: cheap conservation checks ---
 
+    // Hot-state mirrors: hot_.state / hot_.nextInst are derived caches
+    // of the warp objects and must never drift from them.
+    for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
+        const Warp &warp = warps_[slot];
+        if (hot_.state[slot] != warp.state())
+            auditFail(now, slot, "hot state mirror out of sync with "
+                                 "warp state");
+        const Instruction *expect = warp.state() == WarpState::Running
+            ? &warp.nextInstruction() : nullptr;
+        if (hot_.nextInst[slot] != expect)
+            auditFail(now, slot, "hot next-instruction cache out of "
+                                 "sync with SIMT stack PC");
+    }
+
     // Token pool: the live counter must equal allocated-minus-freed.
     const int pool_live = static_cast<int>(tokenPool_.size()) -
-                          static_cast<int>(tokenFreeList_.size());
-    if (liveTokens_ != pool_live)
+                          static_cast<int>(tokenPool_.freeList().size());
+    if (tokenPool_.live() != pool_live)
         auditFail(now, -1,
                   "token pool conservation: liveTokens=" +
-                      std::to_string(liveTokens_) + " but pool holds " +
-                      std::to_string(pool_live) + " unfreed entries");
+                      std::to_string(tokenPool_.live()) +
+                      " but pool holds " + std::to_string(pool_live) +
+                      " unfreed entries");
 
     // Mark which pool entries are live (free-list complement).
     std::vector<bool> tokenLive(tokenPool_.size(), true);
-    for (std::uint32_t idx : tokenFreeList_) {
+    for (std::uint32_t idx : tokenPool_.freeList()) {
         if (idx >= tokenPool_.size() || !tokenLive[idx])
             auditFail(now, -1,
                       "token free list corrupt: index " +
@@ -941,7 +977,7 @@ SmCore::audit(Cycle now, int level) const
     for (std::size_t i = 0; i < tokenPool_.size(); ++i) {
         if (!tokenLive[i])
             continue;
-        const Token &tok = tokenPool_[i];
+        const Token &tok = tokenPool_.at(static_cast<std::uint32_t>(i));
         if (tok.slot < 0 || tok.slot >= cfg_.maxWarpsPerSm)
             auditFail(now, -1,
                       "live token " + std::to_string(i + 1) +
@@ -950,13 +986,12 @@ SmCore::audit(Cycle now, int level) const
         tokensPerSlot[tok.slot]++;
     }
     for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
-        const Warp &warp = warps_[slot];
-        const int expect =
-            warp.state() == WarpState::Inactive ? 0 : tokensPerSlot[slot];
-        if (warp.outstandingLoads != expect)
+        const int expect = hot_.state[slot] == WarpState::Inactive
+            ? 0 : tokensPerSlot[slot];
+        if (hot_.outstandingLoads[slot] != expect)
             auditFail(now, slot,
                       "outstandingLoads=" +
-                          std::to_string(warp.outstandingLoads) +
+                          std::to_string(hot_.outstandingLoads[slot]) +
                           " but " + std::to_string(tokensPerSlot[slot]) +
                           " live tokens name this slot");
     }
@@ -986,15 +1021,16 @@ SmCore::audit(Cycle now, int level) const
     };
     for (std::uint64_t id : referenced)
         countRef(id);
-    for (const Transaction &tx : ldstQueue_)
-        countRef(tx.token);
+    for (std::size_t i = 0; i < ldstQueue_.size(); ++i)
+        countRef(ldstQueue_[i].token);
     for (std::size_t i = 0; i < tokenPool_.size(); ++i) {
         if (!tokenLive[i])
             continue;
-        if (refCount[i] != tokenPool_[i].remaining)
-            auditFail(now, tokenPool_[i].slot,
+        const Token &tok = tokenPool_.at(static_cast<std::uint32_t>(i));
+        if (refCount[i] != tok.remaining)
+            auditFail(now, tok.slot,
                       "token " + std::to_string(i + 1) + " expects " +
-                          std::to_string(tokenPool_[i].remaining) +
+                          std::to_string(tok.remaining) +
                           " more completions but only " +
                           std::to_string(refCount[i]) +
                           " pending references exist (lost completion)");
@@ -1016,28 +1052,27 @@ SmCore::audit(Cycle now, int level) const
     for (std::size_t i = 0; i < tokenPool_.size(); ++i) {
         if (!tokenLive[i])
             continue;
-        owedRegs[tokenPool_[i].slot] |= tokenPool_[i].dstRegMask;
-        owedMemRegs[tokenPool_[i].slot] |= tokenPool_[i].dstRegMask;
+        const Token &tok = tokenPool_.at(static_cast<std::uint32_t>(i));
+        owedRegs[tok.slot] |= tok.dstRegMask;
+        owedMemRegs[tok.slot] |= tok.dstRegMask;
     }
     for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
-        const Warp &warp = warps_[slot];
-        if (warp.state() == WarpState::Inactive)
+        if (hot_.state[slot] == WarpState::Inactive)
             continue;
-        const Scoreboard &sb = warp.scoreboard;
-        if (sb.pendingRegs != owedRegs[slot] ||
-            sb.pendingMemRegs != owedMemRegs[slot] ||
-            sb.pendingPreds != owedPreds[slot])
+        if (hot_.pendingRegs[slot] != owedRegs[slot] ||
+            hot_.pendingMemRegs[slot] != owedMemRegs[slot] ||
+            hot_.pendingPreds[slot] != owedPreds[slot])
             auditFail(now, slot,
                       "scoreboard out of sync with in-flight "
                       "writebacks: pendingRegs=" +
-                          std::to_string(sb.pendingRegs) + "/owed " +
-                          std::to_string(owedRegs[slot]) +
+                          std::to_string(hot_.pendingRegs[slot]) +
+                          "/owed " + std::to_string(owedRegs[slot]) +
                           ", pendingMemRegs=" +
-                          std::to_string(sb.pendingMemRegs) + "/owed " +
-                          std::to_string(owedMemRegs[slot]) +
+                          std::to_string(hot_.pendingMemRegs[slot]) +
+                          "/owed " + std::to_string(owedMemRegs[slot]) +
                           ", pendingPreds=" +
-                          std::to_string(sb.pendingPreds) + "/owed " +
-                          std::to_string(owedPreds[slot]));
+                          std::to_string(hot_.pendingPreds[slot]) +
+                          "/owed " + std::to_string(owedPreds[slot]));
     }
 
     // Lazy stall accounting: for every block-bound warp the charged
@@ -1046,8 +1081,7 @@ SmCore::audit(Cycle now, int level) const
     for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
         if (slotBlock_[slot] < 0)
             continue;
-        const Warp &warp = warps_[slot];
-        const WarpTimings &t = warp.timings;
+        const WarpTimings &t = hot_.timings[slot];
         if (lastTicked_ < t.startCycle)
             continue; // activated this very cycle, nothing charged yet
         const std::uint64_t charged =
@@ -1086,8 +1120,8 @@ void
 SmCore::save(OutArchive &ar) const
 {
     ar.putU32(static_cast<std::uint32_t>(warps_.size()));
-    for (const Warp &warp : warps_)
-        warp.save(ar);
+    for (std::size_t i = 0; i < warps_.size(); ++i)
+        warps_[i].save(ar, hot_, static_cast<int>(i));
 
     for (int block_index : slotBlock_)
         ar.putU32(static_cast<std::uint32_t>(block_index));
@@ -1137,24 +1171,20 @@ SmCore::save(OutArchive &ar) const
     }
 
     ar.putU32(static_cast<std::uint32_t>(ldstQueue_.size()));
-    for (const Transaction &t : ldstQueue_) {
-        saveAccessInfo(ar, t.info);
-        ar.putU64(t.token);
+    for (std::size_t i = 0; i < ldstQueue_.size(); ++i) {
+        saveAccessInfo(ar, ldstQueue_[i].info);
+        ar.putU64(ldstQueue_[i].token);
     }
 
     // The token pool must round-trip exactly (indices are live ids
     // and the free-list order decides future id assignment).
-    ar.putU32(static_cast<std::uint32_t>(tokenPool_.size()));
-    for (const Token &t : tokenPool_) {
-        ar.putU32(static_cast<std::uint32_t>(t.slot));
-        ar.putU32(t.dstRegMask);
-        ar.putU32(static_cast<std::uint32_t>(t.remaining));
-        ar.putBool(t.stallNotified);
-    }
-    ar.putU32(static_cast<std::uint32_t>(tokenFreeList_.size()));
-    for (std::uint32_t idx : tokenFreeList_)
-        ar.putU32(idx);
-    ar.putU32(static_cast<std::uint32_t>(liveTokens_));
+    tokenPool_.save(ar, [](OutArchive &a, const Token &t) {
+        a.putU32(static_cast<std::uint32_t>(t.slot));
+        a.putU32(t.dstRegMask);
+        a.putU32(static_cast<std::uint32_t>(t.remaining));
+        a.putBool(t.stallNotified);
+    });
+    ar.putU32(static_cast<std::uint32_t>(tokenPool_.live()));
 
     ar.putU64(dispatchSeq_);
     ar.putI64(barrierArrivalSeq_);
@@ -1222,8 +1252,11 @@ SmCore::load(InArchive &ar)
                            "': warp slot count mismatch (file " +
                            std::to_string(num_warps) + ", config " +
                            std::to_string(warps_.size()) + ")");
-    for (Warp &warp : warps_)
-        warp.load(ar, &kernel_.program);
+    for (std::size_t i = 0; i < warps_.size(); ++i)
+        warps_[i].load(ar, &kernel_.program, hot_,
+                       static_cast<int>(i));
+    for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot)
+        refreshSlot(slot);
 
     for (int &block_index : slotBlock_)
         block_index = static_cast<int>(ar.getU32());
@@ -1287,21 +1320,16 @@ SmCore::load(InArchive &ar)
         ldstQueue_.push_back(t);
     }
 
-    tokenPool_.clear();
-    const std::uint32_t num_tokens = ar.getU32();
-    for (std::uint32_t i = 0; i < num_tokens; ++i) {
-        Token t;
-        t.slot = static_cast<WarpSlot>(ar.getU32());
-        t.dstRegMask = ar.getU32();
-        t.remaining = static_cast<int>(ar.getU32());
-        t.stallNotified = ar.getBool();
-        tokenPool_.push_back(t);
-    }
-    tokenFreeList_.clear();
-    const std::uint32_t num_free = ar.getU32();
-    for (std::uint32_t i = 0; i < num_free; ++i)
-        tokenFreeList_.push_back(ar.getU32());
-    liveTokens_ = static_cast<int>(ar.getU32());
+    tokenPool_.load(ar, [](InArchive &a, Token &t) {
+        t.slot = static_cast<WarpSlot>(a.getU32());
+        t.dstRegMask = a.getU32();
+        t.remaining = static_cast<int>(a.getU32());
+        t.stallNotified = a.getBool();
+    });
+    // The live count is derivable from the pool; the archived copy
+    // stays for format compatibility and as a consistency check.
+    const int archived_live = static_cast<int>(ar.getU32());
+    sim_assert(archived_live == tokenPool_.live());
 
     dispatchSeq_ = ar.getU64();
     barrierArrivalSeq_ = ar.getI64();

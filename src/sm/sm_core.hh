@@ -18,13 +18,13 @@
 #define CAWA_SM_SM_CORE_HH
 
 #include <algorithm>
-#include <deque>
 #include <memory>
 #include <queue>
 #include <string>
 #include <vector>
 
 #include "cawa/criticality.hh"
+#include "common/arena.hh"
 #include "isa/kernel.hh"
 #include "mem/coalescer.hh"
 #include "mem/l1d_cache.hh"
@@ -33,6 +33,7 @@
 #include "sm/barrier.hh"
 #include "sm/records.hh"
 #include "sm/warp.hh"
+#include "sm/warp_soa.hh"
 
 namespace cawa
 {
@@ -137,6 +138,23 @@ class SmCore
     {
         return schedIssues_;
     }
+
+    /**
+     * Wall-clock seconds spent in each section of this SM's tick,
+     * accumulated only while GpuConfig::profilePhases is set (all
+     * zero otherwise). Pure observer for the bench's hot-path
+     * breakdown; never serialized and absent from every report/
+     * checkpoint format.
+     */
+    struct PhaseSeconds
+    {
+        double l1 = 0.0;      ///< L1 drain + writebacks + LD/ST unit
+        double sched = 0.0;   ///< ready-set build + pick + issue
+        double account = 0.0; ///< stall classification and charging
+        double cpl = 0.0;     ///< CPL + trace sampling
+    };
+
+    const PhaseSeconds &phaseSeconds() const { return phaseSeconds_; }
 
     /**
      * Attach (or detach, nullptr) the structured-event trace sink;
@@ -252,23 +270,54 @@ class SmCore
         bool operator>(const WbEvent &o) const { return ready > o.ready; }
     };
 
+    /** tick() body with per-section timers (profilePhases only). */
+    void tickProfiled(Cycle now);
     void drainL1(Cycle now);
     void drainWritebacks(Cycle now);
     void serviceLdstQueue(Cycle now);
     void refreshSchedArrays();
     void schedule(Cycle now);
-    bool isReady(WarpSlot slot) const;
+
+    /**
+     * Whether @p slot can issue this cycle: running, no scoreboard
+     * hazard, LD/ST queue space for a global access, and (for Exit)
+     * no results or loads still in flight. Defined here so the
+     * per-cycle ready scans (48 slots per SM per tick) inline it.
+     */
+    bool isReady(WarpSlot slot) const
+    {
+        if (hot_.state[slot] != WarpState::Running)
+            return false;
+        const Instruction &inst = *hot_.nextInst[slot];
+        if (!hot_.canIssue(slot, inst))
+            return false;
+        if (inst.isGlobal() &&
+            static_cast<int>(ldstQueue_.size()) >= cfg_.ldstQueueSize)
+            return false;
+        if (inst.op == Opcode::Exit &&
+            (!hot_.clean(slot) || hot_.outstandingLoads[slot] > 0))
+            return false;
+        return true;
+    }
+
     void issue(WarpSlot slot, Cycle now);
     void finishWarp(WarpSlot slot, Cycle now);
     void retireBlock(BlockState &block, Cycle now);
     void releaseBarrier(BlockState &block, Cycle now);
-    StallReason classifyStall(const Warp &warp) const;
-    void chargeStall(Warp &warp, std::uint64_t amount, Cycle at,
-                     WarpSlot slot);
+    /**
+     * Re-derive hot_.state / hot_.nextInst for @p slot from the warp.
+     * Must run after every state or PC transition: block accept,
+     * instruction issue, barrier release, block retire, checkpoint
+     * load. Idempotent.
+     */
+    void refreshSlot(WarpSlot slot);
+    StallReason classifyStall(WarpSlot slot) const;
+    void chargeStall(WarpSlot slot, std::uint64_t amount, Cycle at);
     void accountStalls(Cycle now);
     void accountIdleSpan(Cycle start, Cycle span);
     void catchUpStalls(Cycle now);
     Cycle computeNextEventCycle(Cycle now) const;
+    Cycle cachedBoundary(Cycle now, Cycle interval, Cycle &cache) const;
     [[noreturn]] void auditFail(Cycle now, int warp,
                                 const std::string &msg) const;
     void sampleCpl(Cycle now);
@@ -284,6 +333,7 @@ class SmCore
     const OracleTable *oracle_;
 
     std::vector<Warp> warps_;
+    WarpHotState hot_; ///< slot-indexed hot companion of warps_
     std::vector<int> slotBlock_;       ///< slot -> block-state index
     std::vector<BlockState> blocks_;
     std::vector<std::unique_ptr<WarpScheduler>> schedulers_;
@@ -299,18 +349,22 @@ class SmCore
 
     std::priority_queue<WbEvent, std::vector<WbEvent>,
                         std::greater<WbEvent>> wbQueue_;
-    std::deque<Transaction> ldstQueue_;
+    RingQueue<Transaction> ldstQueue_;
 
-    // Outstanding-load tokens live in a flat pool indexed by
-    // (token id - 1); freed indices are recycled through a free list.
-    // Token ids are opaque handles to the L1/MSHR layer, so recycling
-    // does not affect any observable ordering.
-    std::uint64_t allocToken();
-    Token &tokenAt(std::uint64_t id) { return tokenPool_[id - 1]; }
-    void freeToken(std::uint64_t id);
-    std::vector<Token> tokenPool_;
-    std::vector<std::uint32_t> tokenFreeList_;
-    int liveTokens_ = 0;
+    // Outstanding-load tokens live in a slab pool indexed by
+    // (token id - 1); freed indices are recycled LIFO. Token ids are
+    // opaque handles to the L1/MSHR layer, so recycling does not
+    // affect any observable ordering.
+    std::uint64_t allocToken() { return tokenPool_.alloc() + 1; }
+    Token &tokenAt(std::uint64_t id)
+    {
+        return tokenPool_.at(static_cast<std::uint32_t>(id - 1));
+    }
+    void freeToken(std::uint64_t id)
+    {
+        tokenPool_.free(static_cast<std::uint32_t>(id - 1));
+    }
+    SlabPool<Token> tokenPool_;
 
     std::uint64_t dispatchSeq_ = 0;
 
@@ -368,9 +422,20 @@ class SmCore
     /** See nextEventCycle(); 0 forces the first tick. */
     Cycle cachedNextEvent_ = 0;
 
+    /**
+     * Derived round-up caches for the CPL/trace sampling boundaries
+     * (see cachedBoundary()); deliberately not serialized -- the
+     * stale value 0 self-corrects on first use.
+     */
+    mutable Cycle cplBoundaryCache_ = 0;
+    mutable Cycle traceBoundaryCache_ = 0;
+
+    PhaseSeconds phaseSeconds_; ///< see phaseSeconds()
+
     std::vector<BlockRecord> retired_;
     std::vector<TraceSample> trace_;
     std::vector<L1DCache::Completion> completionScratch_;
+    std::vector<Addr> lineScratch_;     ///< coalescer output, reused
     std::vector<WarpSlot> readyScratch_;
     std::vector<std::int64_t> critScratch_;
     std::vector<std::int64_t> critSorted_;

@@ -1,6 +1,7 @@
 #include "sm/warp.hh"
 
 #include "common/sim_assert.hh"
+#include "sm/warp_soa.hh"
 
 namespace cawa
 {
@@ -30,11 +31,8 @@ Warp::activate(const Program *program, BlockId block, int warp_in_block,
         lane_regs.fill(0);
     for (auto &lane_preds : preds_)
         lane_preds.fill(false);
-    scoreboard.clear();
-    timings = WarpTimings{};
-    timings.startCycle = now;
-    lastIssueCycle = now;
-    outstandingLoads = 0;
+    // The companion scoreboard/timing fields are reset by the SM via
+    // WarpHotState::resetSlot().
 }
 
 void
@@ -84,6 +82,8 @@ Warp::executeNext(ExecContext &ctx)
     const LaneMask active = stack_.activeMask();
     res.inst = &inst;
     res.pc = pc;
+    laneAddrScratch_.clear();
+    res.laneAddrs = &laneAddrScratch_;
 
     auto for_each_lane = [&](auto &&fn) {
         for (int lane = 0; lane < warpSize_; ++lane)
@@ -135,7 +135,7 @@ Warp::executeNext(ExecContext &ctx)
             const Addr addr = regs_[lane][inst.src0] +
                 static_cast<RegValue>(inst.imm);
             regs_[lane][inst.dst] = ctx.global->read32(addr);
-            res.laneAddrs.push_back(addr);
+            laneAddrScratch_.push_back(addr);
         });
         stack_.advance(pc + 1);
         break;
@@ -147,7 +147,7 @@ Warp::executeNext(ExecContext &ctx)
                 static_cast<RegValue>(inst.imm);
             ctx.global->write32(addr, static_cast<std::uint32_t>(
                 regs_[lane][inst.src1]));
-            res.laneAddrs.push_back(addr);
+            laneAddrScratch_.push_back(addr);
         });
         stack_.advance(pc + 1);
         break;
@@ -222,7 +222,7 @@ Warp::executeNext(ExecContext &ctx)
 }
 
 void
-Warp::save(OutArchive &ar) const
+Warp::save(OutArchive &ar, const WarpHotState &hot, int slot) const
 {
     ar.putU8(static_cast<std::uint8_t>(state_));
     ar.putU32(blockId_);
@@ -231,22 +231,7 @@ Warp::save(OutArchive &ar) const
     ar.putU64(dispatchAge_);
     stack_.save(ar);
 
-    ar.putU32(scoreboard.pendingRegs);
-    ar.putU32(scoreboard.pendingMemRegs);
-    ar.putU8(scoreboard.pendingPreds);
-
-    ar.putU64(timings.startCycle);
-    ar.putU64(timings.endCycle);
-    ar.putU64(timings.instructions);
-    ar.putU64(timings.memStallCycles);
-    ar.putU64(timings.aluStallCycles);
-    ar.putU64(timings.structStallCycles);
-    ar.putU64(timings.schedWaitCycles);
-    ar.putU64(timings.barrierCycles);
-    ar.putU64(timings.finishedWaitCycles);
-
-    ar.putU64(lastIssueCycle);
-    ar.putU32(static_cast<std::uint32_t>(outstandingLoads));
+    hot.saveSlot(ar, slot);
 
     if (state_ == WarpState::Inactive)
         return;
@@ -259,7 +244,8 @@ Warp::save(OutArchive &ar) const
 }
 
 void
-Warp::load(InArchive &ar, const Program *program)
+Warp::load(InArchive &ar, const Program *program, WarpHotState &hot,
+           int slot)
 {
     state_ = static_cast<WarpState>(ar.getU8());
     blockId_ = ar.getU32();
@@ -268,22 +254,7 @@ Warp::load(InArchive &ar, const Program *program)
     dispatchAge_ = ar.getU64();
     stack_.load(ar);
 
-    scoreboard.pendingRegs = ar.getU32();
-    scoreboard.pendingMemRegs = ar.getU32();
-    scoreboard.pendingPreds = ar.getU8();
-
-    timings.startCycle = ar.getU64();
-    timings.endCycle = ar.getU64();
-    timings.instructions = ar.getU64();
-    timings.memStallCycles = ar.getU64();
-    timings.aluStallCycles = ar.getU64();
-    timings.structStallCycles = ar.getU64();
-    timings.schedWaitCycles = ar.getU64();
-    timings.barrierCycles = ar.getU64();
-    timings.finishedWaitCycles = ar.getU64();
-
-    lastIssueCycle = ar.getU64();
-    outstandingLoads = static_cast<int>(ar.getU32());
+    hot.loadSlot(ar, slot);
 
     if (state_ == WarpState::Inactive) {
         program_ = nullptr;

@@ -1,8 +1,9 @@
 /**
  * @file
  * One warp slot: architectural state (per-lane registers and
- * predicates, SIMT stack), the functional executor, the scoreboard
- * and the per-assignment statistics record.
+ * predicates, SIMT stack) and the functional executor. The
+ * scheduling-hot companion fields (scoreboard masks, stall timings)
+ * live in the SM-owned WarpHotState (sm/warp_soa.hh).
  */
 
 #ifndef CAWA_SM_WARP_HH
@@ -14,11 +15,12 @@
 
 #include "isa/kernel.hh"
 #include "mem/mem_port.hh"
-#include "sm/scoreboard.hh"
 #include "sm/simt_stack.hh"
 
 namespace cawa
 {
+
+struct WarpHotState;
 
 enum class WarpState : std::uint8_t
 {
@@ -61,8 +63,13 @@ struct ExecResult
 {
     const Instruction *inst = nullptr;
     std::uint32_t pc = 0;
-    /** Per-active-lane byte addresses for global memory ops. */
-    std::vector<Addr> laneAddrs;
+    /**
+     * Per-active-lane byte addresses for global memory ops. Points
+     * into a scratch buffer owned by the executing Warp, valid until
+     * its next executeNext() call -- the hot path hands it straight
+     * to the coalescer without copying.
+     */
+    const std::vector<Addr> *laneAddrs = nullptr;
     // Branch outcome (op == Bra).
     bool isBranch = false;
     bool branchTaken = false;   ///< any lane took the branch
@@ -107,20 +114,19 @@ class Warp
     void setReg(int lane, Reg r, RegValue v) { regs_[lane][r] = v; }
     bool pred(int lane, PredReg p) const { return preds_[lane][p]; }
 
-    Scoreboard scoreboard;
-    WarpTimings timings;
-    Cycle lastIssueCycle = 0;
-    int outstandingLoads = 0;
-
     /**
-     * Checkpoint the full architectural and accounting state.
-     * Inactive slots skip the register/predicate payload (activate()
-     * re-zeroes them); any non-inactive slot (including Finished,
-     * which keeps its program until block retirement) is rebound to
-     * @p program on load.
+     * Checkpoint the full architectural and accounting state. The
+     * warp's scoreboard/timing fields live in the SM-owned
+     * WarpHotState (see sm/warp_soa.hh) but serialize interleaved
+     * here, slot by slot, to keep the cawa-ckpt-v1 byte order that
+     * predates the split. Inactive slots skip the register/predicate
+     * payload (activate() re-zeroes them); any non-inactive slot
+     * (including Finished, which keeps its program until block
+     * retirement) is rebound to @p program on load.
      */
-    void save(OutArchive &ar) const;
-    void load(InArchive &ar, const Program *program);
+    void save(OutArchive &ar, const WarpHotState &hot, int slot) const;
+    void load(InArchive &ar, const Program *program, WarpHotState &hot,
+              int slot);
 
   private:
     RegValue specialValue(SpecialReg sreg, int lane,
@@ -136,6 +142,7 @@ class Warp
     SimtStack stack_;
     std::vector<std::array<RegValue, kNumRegs>> regs_;
     std::vector<std::array<bool, kNumPredRegs>> preds_;
+    std::vector<Addr> laneAddrScratch_; ///< see ExecResult::laneAddrs
 };
 
 } // namespace cawa

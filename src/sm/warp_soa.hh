@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Structure-of-arrays repacking of the per-warp state the SM touches
+ * every cycle.
+ *
+ * A Warp object is dominated by its architectural payload (per-lane
+ * registers and predicates, ~16 KB), so an array of Warps puts each
+ * warp's scheduling-relevant fields a page apart: the per-cycle ready
+ * scan, stall classification and scoreboard updates all walked
+ * pointer-sized islands in a sea of cold register state. WarpHotState
+ * pulls those fields into slot-indexed parallel arrays owned by the
+ * SM, so the pick loops and the stall-accounting sweep stream through
+ * a few contiguous cache lines instead.
+ *
+ * Two members are derived mirrors, not owners:
+ *
+ *  - state[slot] mirrors Warp::state(); SmCore refreshes it at every
+ *    transition site (activate, post-execute, barrier release, block
+ *    retire, checkpoint load).
+ *  - nextInst[slot] caches &program->at(pc) for Running warps -- the
+ *    decode the ready scan needs -- and is refreshed at the same
+ *    sites, since the PC only moves inside executeNext()/activate().
+ *
+ * The owned fields (scoreboard masks, stall timings, issue
+ * bookkeeping) serialize through saveSlot()/loadSlot() in exactly the
+ * byte order Warp::save() used when it owned them, keeping the
+ * cawa-ckpt-v1 format unchanged.
+ */
+
+#ifndef CAWA_SM_WARP_SOA_HH
+#define CAWA_SM_WARP_SOA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "isa/instruction.hh"
+#include "sm/warp.hh"
+
+namespace cawa
+{
+
+struct WarpHotState
+{
+    // --- Scoreboard pending sets (owned; SoA) ---
+    std::vector<std::uint32_t> pendingRegs;
+    std::vector<std::uint32_t> pendingMemRegs; ///< subset owed to loads
+    std::vector<std::uint8_t> pendingPreds;
+
+    // --- Issue/stall bookkeeping (owned) ---
+    std::vector<int> outstandingLoads;
+    std::vector<Cycle> lastIssueCycle;
+    std::vector<WarpTimings> timings;
+
+    // --- Derived mirrors (see file comment; never serialized) ---
+    std::vector<WarpState> state;
+    std::vector<const Instruction *> nextInst;
+
+    void init(int slots)
+    {
+        const std::size_t n = static_cast<std::size_t>(slots);
+        pendingRegs.assign(n, 0);
+        pendingMemRegs.assign(n, 0);
+        pendingPreds.assign(n, 0);
+        outstandingLoads.assign(n, 0);
+        lastIssueCycle.assign(n, 0);
+        timings.assign(n, WarpTimings{});
+        state.assign(n, WarpState::Inactive);
+        nextInst.assign(n, nullptr);
+    }
+
+    /** What Warp::activate() used to do for these fields. */
+    void resetSlot(int slot, Cycle now)
+    {
+        pendingRegs[slot] = 0;
+        pendingMemRegs[slot] = 0;
+        pendingPreds[slot] = 0;
+        outstandingLoads[slot] = 0;
+        lastIssueCycle[slot] = now;
+        timings[slot] = WarpTimings{};
+        timings[slot].startCycle = now;
+    }
+
+    bool canIssue(int slot, const Instruction &inst) const
+    {
+        return ((inst.readRegs | inst.writeRegs) &
+                pendingRegs[slot]) == 0 &&
+               ((inst.readPreds | inst.writePreds) &
+                pendingPreds[slot]) == 0;
+    }
+
+    /** Whether the block on @p inst is due to an outstanding load. */
+    bool blockedByMemory(int slot, const Instruction &inst) const
+    {
+        return ((inst.readRegs | inst.writeRegs) &
+                pendingMemRegs[slot]) != 0;
+    }
+
+    bool clean(int slot) const
+    {
+        return pendingRegs[slot] == 0 && pendingPreds[slot] == 0;
+    }
+
+    /** Serialize one slot's owned fields (Warp::save's byte order). */
+    void saveSlot(OutArchive &ar, int slot) const
+    {
+        ar.putU32(pendingRegs[slot]);
+        ar.putU32(pendingMemRegs[slot]);
+        ar.putU8(pendingPreds[slot]);
+
+        const WarpTimings &t = timings[slot];
+        ar.putU64(t.startCycle);
+        ar.putU64(t.endCycle);
+        ar.putU64(t.instructions);
+        ar.putU64(t.memStallCycles);
+        ar.putU64(t.aluStallCycles);
+        ar.putU64(t.structStallCycles);
+        ar.putU64(t.schedWaitCycles);
+        ar.putU64(t.barrierCycles);
+        ar.putU64(t.finishedWaitCycles);
+
+        ar.putU64(lastIssueCycle[slot]);
+        ar.putU32(static_cast<std::uint32_t>(outstandingLoads[slot]));
+    }
+
+    void loadSlot(InArchive &ar, int slot)
+    {
+        pendingRegs[slot] = ar.getU32();
+        pendingMemRegs[slot] = ar.getU32();
+        pendingPreds[slot] = ar.getU8();
+
+        WarpTimings &t = timings[slot];
+        t.startCycle = ar.getU64();
+        t.endCycle = ar.getU64();
+        t.instructions = ar.getU64();
+        t.memStallCycles = ar.getU64();
+        t.aluStallCycles = ar.getU64();
+        t.structStallCycles = ar.getU64();
+        t.schedWaitCycles = ar.getU64();
+        t.barrierCycles = ar.getU64();
+        t.finishedWaitCycles = ar.getU64();
+
+        lastIssueCycle[slot] = ar.getU64();
+        outstandingLoads[slot] = static_cast<int>(ar.getU32());
+    }
+};
+
+} // namespace cawa
+
+#endif // CAWA_SM_WARP_SOA_HH

@@ -10,6 +10,7 @@
 
 #include "isa/program_builder.hh"
 #include "sm/barrier.hh"
+#include "sm/scoreboard.hh"
 #include "sm/warp.hh"
 
 namespace cawa
@@ -86,7 +87,7 @@ TEST(Warp, GlobalLoadStoreRoundTrip)
     for (int i = 0; i < 5; ++i) {
         const ExecResult r = f.warp.executeNext(c);
         if (r.inst->isGlobal())
-            EXPECT_EQ(r.laneAddrs.size(), 32u);
+            EXPECT_EQ(r.laneAddrs->size(), 32u);
     }
     for (int lane = 0; lane < 32; ++lane)
         EXPECT_EQ(f.mem.read32(0x2000 + 4ull * lane),
@@ -155,7 +156,7 @@ TEST(Warp, PartialWarpOnlyActiveLanesExecute)
     do {
         r = f.warp.executeNext(c);
         if (r.inst->isGlobal())
-            EXPECT_EQ(r.laneAddrs.size(), 10u);
+            EXPECT_EQ(r.laneAddrs->size(), 10u);
     } while (!r.exited);
     EXPECT_EQ(f.mem.read32(0x3000 + 4 * 9), 7u);
     EXPECT_EQ(f.mem.read32(0x3000 + 4 * 10), 0u);
