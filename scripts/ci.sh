@@ -2,9 +2,12 @@
 # CI entry point. Default mode configures + builds the default
 # (RelWithDebInfo) and check (Debug + sanitizers + deepest audits)
 # presets, runs the tier-1 test suite on the default build, re-runs
-# the checkpoint-labelled suites under the check preset (every restore
-# audited at CAWA_CHECK=2, sim_assert failures throw), and finishes
-# with the checkpoint-corruption fuzzer.
+# the checkpoint- and isolation-labelled suites under the check preset
+# (every restore audited at CAWA_CHECK=2, sim_assert failures throw,
+# worker forks exercised under ASan), runs the checkpoint-corruption
+# and worker-crash fuzzers, and finishes with a negative-path sweep: a
+# fault-injected SIGKILL of an isolated worker must still end with
+# exit 0 and every job journaled ok.
 #
 # Usage: scripts/ci.sh [-j N] [--format-only | --perf-only | --tsan-only]
 #   -j N           parallel build/test jobs (default: nproc)
@@ -173,14 +176,49 @@ run ctest --preset default -j "$jobs"
 # Snapshot/restore suites under sanitizers + deep audits.
 run ctest --preset check -L checkpoint -j "$jobs"
 
-# Checkpoint corruption fuzz: every flipped bit must be rejected.
-# Capture the status explicitly so a set -e shell without pipefail
-# can still report which stage failed.
+# Process-isolation suites (supervisor, subprocess/frame protocol) on
+# the default build, then again under the sanitized check preset: the
+# fork/exec, signal and classification paths must be ASan-clean.
+run ctest --preset default -L isolation -j "$jobs"
+run ctest --preset check -L isolation -j "$jobs"
+
+# Checkpoint-corruption + worker-crash fuzz: every flipped bit must be
+# rejected, and a SIGKILL'd worker must never lose or duplicate a
+# journal entry. Capture the status explicitly so a set -e shell
+# without pipefail can still report which stage failed.
 fuzz_rc=0
-run ./build/src/tools/cawa_fuzz --seeds 10 --ckpt-seeds 5 || fuzz_rc=$?
+run ./build/src/tools/cawa_fuzz --seeds 10 --ckpt-seeds 5 \
+    --crash-seeds 3 || fuzz_rc=$?
 if [ "$fuzz_rc" -ne 0 ]; then
     echo "ci: cawa_fuzz failed with status $fuzz_rc" >&2
     exit "$fuzz_rc"
 fi
+
+# Negative path end-to-end: a sweep whose isolated worker is
+# SIGKILL'd mid-run must respawn the worker, resume from its
+# checkpoint, exit 0, and journal every job ok.
+iso_journal=build/ci_isolation_journal.jsonl
+iso_ckpts=build/ci_isolation_ckpts
+rm -rf "$iso_journal" "$iso_ckpts"
+mkdir -p "$iso_ckpts"
+iso_rc=0
+run ./build/src/tools/cawa_sweep \
+    --workloads bfs --schedulers gcaws --policies cacp --scale 0.1 \
+    --isolate --fault-kill-nth 0 --fault-cycle 6000 \
+    --checkpoint-dir "$iso_ckpts" --checkpoint-interval 2000 \
+    --journal "$iso_journal" --compact --no-blocks --no-trace \
+    >/dev/null || iso_rc=$?
+if [ "$iso_rc" -ne 0 ]; then
+    echo "ci: fault-injected isolated sweep exited $iso_rc" \
+         "(want 0)" >&2
+    exit 1
+fi
+if [ "$(wc -l < "$iso_journal")" -ne 1 ] ||
+   grep -qv '"status":"ok"' "$iso_journal"; then
+    echo "ci: isolated sweep journal not fully ok:" >&2
+    cat "$iso_journal" >&2
+    exit 1
+fi
+rm -rf "$iso_journal" "$iso_ckpts"
 
 echo "ci: all green" >&2

@@ -16,6 +16,7 @@ simErrorKindName(SimErrorKind kind)
       case SimErrorKind::Checkpoint: return "checkpoint";
       case SimErrorKind::Walltime: return "walltime";
       case SimErrorKind::Cancelled: return "cancelled";
+      case SimErrorKind::Journal: return "journal";
     }
     return "?";
 }

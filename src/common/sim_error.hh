@@ -32,6 +32,7 @@ enum class SimErrorKind
     Checkpoint, ///< corrupt/truncated/mismatched checkpoint file
     Walltime,   ///< job exceeded its wall-clock budget
     Cancelled,  ///< job aborted by a cooperative cancel request
+    Journal,    ///< sweep journal unusable (lock conflict, I/O failure)
 };
 
 const char *simErrorKindName(SimErrorKind kind);

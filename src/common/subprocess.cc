@@ -1,0 +1,349 @@
+#include "common/subprocess.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/sim_error.hh"
+
+namespace cawa
+{
+
+bool
+processIsolationAvailable()
+{
+#if defined(_WIN32)
+    return false;
+#else
+    return true;
+#endif
+}
+
+bool
+memoryLimitSupported()
+{
+#if defined(__SANITIZE_ADDRESS__)
+    return false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+    return false;
+#else
+    return true;
+#endif
+#else
+    return true;
+#endif
+}
+
+void
+applyChildLimits(const ChildLimits &limits)
+{
+    if (limits.memoryBytes > 0 && memoryLimitSupported()) {
+        struct rlimit rl;
+        rl.rlim_cur = limits.memoryBytes;
+        rl.rlim_max = limits.memoryBytes;
+        setrlimit(RLIMIT_AS, &rl);
+    }
+    if (limits.cpuSeconds > 0) {
+        struct rlimit rl;
+        rl.rlim_cur = limits.cpuSeconds;
+        // Leave one second of hard-limit headroom so the SIGXCPU the
+        // soft limit delivers can be reported before SIGKILL lands.
+        rl.rlim_max = limits.cpuSeconds + 1;
+        setrlimit(RLIMIT_CPU, &rl);
+    }
+}
+
+void
+ChildProcess::closePipes()
+{
+    if (toChild >= 0) {
+        close(toChild);
+        toChild = -1;
+    }
+    if (fromChild >= 0) {
+        close(fromChild);
+        fromChild = -1;
+    }
+}
+
+namespace
+{
+
+struct PipePair
+{
+    int readEnd = -1;
+    int writeEnd = -1;
+};
+
+PipePair
+makePipe()
+{
+    int fds[2];
+    if (pipe(fds) != 0)
+        throw SimError(SimErrorKind::Config,
+                       std::string("cannot create worker pipe: ") +
+                           std::strerror(errno));
+    return PipePair{fds[0], fds[1]};
+}
+
+/**
+ * Child-side reset run between fork and the body/exec: default
+ * signal dispositions (the parent's SIGINT/SIGTERM handlers must not
+ * leak into workers) and an unblocked signal mask.
+ */
+void
+resetChildSignals()
+{
+    for (int signo : {SIGINT, SIGTERM, SIGHUP, SIGPIPE, SIGCHLD})
+        std::signal(signo, SIG_DFL);
+    sigset_t none;
+    sigemptyset(&none);
+    sigprocmask(SIG_SETMASK, &none, nullptr);
+}
+
+} // namespace
+
+ChildProcess
+forkWorker(const std::function<int(int inFd, int outFd)> &body,
+           const ChildLimits &limits)
+{
+    PipePair toChild = makePipe();
+    PipePair fromChild = makePipe();
+    const pid_t pid = fork();
+    if (pid < 0) {
+        const int err = errno;
+        close(toChild.readEnd);
+        close(toChild.writeEnd);
+        close(fromChild.readEnd);
+        close(fromChild.writeEnd);
+        throw SimError(SimErrorKind::Config,
+                       std::string("cannot fork worker: ") +
+                           std::strerror(err));
+    }
+    if (pid == 0) {
+        // Child: keep only this worker's pipe ends.
+        close(toChild.writeEnd);
+        close(fromChild.readEnd);
+        resetChildSignals();
+        applyChildLimits(limits);
+        int rc = 125;
+        try {
+            rc = body(toChild.readEnd, fromChild.writeEnd);
+        } catch (...) {
+            rc = 125;
+        }
+        // _exit: never run the parent's atexit handlers or flush its
+        // inherited stdio buffers a second time.
+        _exit(rc);
+    }
+    close(toChild.readEnd);
+    close(fromChild.writeEnd);
+    ChildProcess child;
+    child.pid = pid;
+    child.toChild = toChild.writeEnd;
+    child.fromChild = fromChild.readEnd;
+    return child;
+}
+
+ChildProcess
+spawnWorker(const std::vector<std::string> &argv,
+            const ChildLimits &limits)
+{
+    if (argv.empty())
+        throw SimError(SimErrorKind::Config,
+                       "spawnWorker: empty argv");
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &arg : argv)
+        cargv.push_back(const_cast<char *>(arg.c_str()));
+    cargv.push_back(nullptr);
+
+    return forkWorker(
+        [&](int inFd, int outFd) {
+            dup2(inFd, STDIN_FILENO);
+            dup2(outFd, STDOUT_FILENO);
+            if (inFd != STDIN_FILENO)
+                close(inFd);
+            if (outFd != STDOUT_FILENO)
+                close(outFd);
+            execv(cargv[0], cargv.data());
+            // Conventional "command not runnable" status.
+            return 127;
+        },
+        limits);
+}
+
+std::string
+WaitStatus::describe() const
+{
+    if (signaled) {
+        std::string name;
+        if (const char *desc = strsignal(termSignal))
+            name = std::string(" (") + desc + ")";
+        return "signal " + std::to_string(termSignal) + name;
+    }
+    return "exit code " + std::to_string(exitCode);
+}
+
+namespace
+{
+
+WaitStatus
+decodeWait(int raw)
+{
+    WaitStatus st;
+    if (WIFEXITED(raw)) {
+        st.exited = true;
+        st.exitCode = WEXITSTATUS(raw);
+    } else if (WIFSIGNALED(raw)) {
+        st.signaled = true;
+        st.termSignal = WTERMSIG(raw);
+    }
+    return st;
+}
+
+} // namespace
+
+std::optional<WaitStatus>
+pollChild(pid_t pid)
+{
+    int raw = 0;
+    const pid_t got = waitpid(pid, &raw, WNOHANG);
+    if (got == pid)
+        return decodeWait(raw);
+    return std::nullopt;
+}
+
+WaitStatus
+waitChild(pid_t pid)
+{
+    int raw = 0;
+    pid_t got;
+    do {
+        got = waitpid(pid, &raw, 0);
+    } while (got < 0 && errno == EINTR);
+    if (got != pid)
+        throw SimError(SimErrorKind::Config,
+                       "waitpid(" + std::to_string(pid) +
+                           ") failed: " + std::strerror(errno));
+    return decodeWait(raw);
+}
+
+void
+signalChild(pid_t pid, int signo)
+{
+    if (pid <= 0)
+        return;
+    if (kill(pid, signo) != 0 && errno != ESRCH) {
+        // Nothing actionable for the caller; the reap will tell the
+        // real story. Losing a redundant signal is harmless.
+    }
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    unsigned char header[4];
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(payload.size());
+    header[0] = static_cast<unsigned char>(size & 0xff);
+    header[1] = static_cast<unsigned char>((size >> 8) & 0xff);
+    header[2] = static_cast<unsigned char>((size >> 16) & 0xff);
+    header[3] = static_cast<unsigned char>((size >> 24) & 0xff);
+
+    auto writeAll = [fd](const char *data, std::size_t n) -> bool {
+        std::size_t done = 0;
+        while (done < n) {
+            const ssize_t wrote = write(fd, data + done, n - done);
+            if (wrote < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false; // EPIPE and friends: peer is gone
+            }
+            done += static_cast<std::size_t>(wrote);
+        }
+        return true;
+    };
+    return writeAll(reinterpret_cast<const char *>(header), 4) &&
+           writeAll(payload.data(), payload.size());
+}
+
+void
+FrameReader::feed(const char *data, std::size_t n)
+{
+    // Shift out consumed bytes occasionally so the buffer stays small
+    // across a long frame stream.
+    if (pos_ > 0 && pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    } else if (pos_ > 4096) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(data, n);
+}
+
+bool
+FrameReader::next(std::string &payload)
+{
+    if (corrupt_)
+        return false;
+    if (buf_.size() - pos_ < 4)
+        return false;
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(buf_.data() + pos_);
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+    if (size > maxFrame_) {
+        corrupt_ = true;
+        return false;
+    }
+    if (buf_.size() - pos_ - 4 < size)
+        return false;
+    payload.assign(buf_, pos_ + 4, size);
+    pos_ += 4 + size;
+    return true;
+}
+
+int
+readAvailable(int fd, FrameReader &reader)
+{
+    char chunk[16384];
+    int total = 0;
+    for (;;) {
+        const ssize_t got = read(fd, chunk, sizeof(chunk));
+        if (got > 0) {
+            reader.feed(chunk, static_cast<std::size_t>(got));
+            total += static_cast<int>(got);
+            if (got < static_cast<ssize_t>(sizeof(chunk)))
+                return total;
+            continue;
+        }
+        if (got == 0)
+            return total > 0 ? total : 0;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return total > 0 ? total : -1;
+        return 0; // treat hard read errors as EOF: the worker is gone
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace cawa

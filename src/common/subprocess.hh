@@ -1,0 +1,158 @@
+/**
+ * @file
+ * POSIX subprocess helpers for the sweep supervisor: spawn a worker
+ * child (fork-only or fork+exec) with its stdin/stdout wired to
+ * pipes, apply per-child resource limits, signal/reap it, and frame
+ * messages over the pipe as length-prefixed payloads.
+ *
+ * The framing is deliberately trivial -- a 4-byte little-endian
+ * payload length followed by the payload bytes -- so a reader can
+ * always tell a torn tail (killed writer) from a complete frame, and
+ * a stream of JSON documents never needs in-band escaping. This wire
+ * format is shared by the supervisor's worker protocol and is the
+ * intended seed of the cawad job protocol.
+ */
+
+#ifndef CAWA_COMMON_SUBPROCESS_HH
+#define CAWA_COMMON_SUBPROCESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace cawa
+{
+
+/** True when fork/exec worker isolation is usable on this platform. */
+bool processIsolationAvailable();
+
+/**
+ * Per-child resource caps, applied via setrlimit() in the child
+ * before any job code runs. Zero fields are left unlimited.
+ *
+ * The address-space cap is skipped under AddressSanitizer: ASan
+ * reserves terabytes of shadow address space up front, so RLIMIT_AS
+ * would kill every instrumented child at startup.
+ */
+struct ChildLimits
+{
+    std::uint64_t memoryBytes = 0; ///< RLIMIT_AS (hard malloc ceiling)
+    std::uint64_t cpuSeconds = 0;  ///< RLIMIT_CPU (SIGXCPU then SIGKILL)
+};
+
+/** Apply @p limits to the calling process (child side). */
+void applyChildLimits(const ChildLimits &limits);
+
+/** True when the build is ASan-instrumented (RLIMIT_AS unusable). */
+bool memoryLimitSupported();
+
+/**
+ * A spawned worker as the parent sees it. Both pipe ends belong to
+ * the caller and must be closed with closePipes() (or individually)
+ * when the worker is gone.
+ */
+struct ChildProcess
+{
+    pid_t pid = -1;
+    int toChild = -1;   ///< write end of the child's stdin
+    int fromChild = -1; ///< read end of the child's stdout
+
+    void closePipes();
+};
+
+/**
+ * Fork a worker that runs @p body in the child and then _exit()s with
+ * its return value. The body receives the child-side pipe fds (read
+ * end of the job pipe, write end of the frame pipe); stderr is
+ * inherited. @p limits are applied before the body runs, and default
+ * signal dispositions are restored so the child does not inherit the
+ * parent's handlers. Throws SimError on fork failure.
+ */
+ChildProcess forkWorker(const std::function<int(int inFd, int outFd)> &body,
+                        const ChildLimits &limits = {});
+
+/**
+ * Fork and exec @p argv (argv[0] is the binary path) with stdin and
+ * stdout wired to fresh pipes and stderr inherited. @p limits are
+ * applied in the child before exec. Throws SimError when the fork or
+ * the pipes fail; an exec failure surfaces as the child exiting 127.
+ */
+ChildProcess spawnWorker(const std::vector<std::string> &argv,
+                         const ChildLimits &limits = {});
+
+/** Decoded waitpid() status. */
+struct WaitStatus
+{
+    bool exited = false;   ///< normal _exit/return
+    int exitCode = 0;
+    bool signaled = false; ///< killed by a signal
+    int termSignal = 0;
+
+    /** "exit code 3" / "signal 9 (SIGKILL)". */
+    std::string describe() const;
+};
+
+/** Non-blocking reap: nullopt while the child is still running. */
+std::optional<WaitStatus> pollChild(pid_t pid);
+
+/** Blocking reap. */
+WaitStatus waitChild(pid_t pid);
+
+/** kill() wrapper; ESRCH (already gone) is not an error. */
+void signalChild(pid_t pid, int signo);
+
+/**
+ * Length-prefixed frame writer: 4-byte LE payload size + payload.
+ * Handles partial writes and EINTR; returns false once the pipe is
+ * gone (EPIPE -- the reader died), which callers treat as a dead
+ * peer, not an error to propagate.
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * Incremental frame decoder for the parent side. feed() raw bytes as
+ * they arrive; next() yields complete payloads in order. A frame
+ * whose declared size exceeds the cap marks the stream corrupt
+ * (protocol violation or garbage on the pipe) and next() stops
+ * yielding.
+ */
+class FrameReader
+{
+  public:
+    /** @param maxFrameBytes largest acceptable payload (default 64 MB) */
+    explicit FrameReader(std::size_t maxFrameBytes = 64u << 20)
+        : maxFrame_(maxFrameBytes)
+    {
+    }
+
+    void feed(const char *data, std::size_t n);
+    bool next(std::string &payload);
+
+    bool corrupt() const { return corrupt_; }
+    /** Bytes buffered but not yet consumed (torn tail after EOF). */
+    std::size_t pendingBytes() const { return buf_.size() - pos_; }
+
+  private:
+    std::string buf_;
+    std::size_t pos_ = 0;
+    std::size_t maxFrame_;
+    bool corrupt_ = false;
+};
+
+/**
+ * Drain whatever is currently readable from @p fd into @p reader.
+ * Returns the byte count read (> 0), 0 on EOF, or -1 when the read
+ * would block (EAGAIN on a non-blocking fd).
+ */
+int readAvailable(int fd, FrameReader &reader);
+
+/** Set O_NONBLOCK on @p fd. */
+void setNonBlocking(int fd);
+
+} // namespace cawa
+
+#endif // CAWA_COMMON_SUBPROCESS_HH

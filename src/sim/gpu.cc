@@ -34,23 +34,6 @@ checkLevelFromEnv(int fallback)
 }
 
 /**
- * CAWA_SIM_THREADS=N overrides GpuConfig::simThreads. Purely a speed
- * knob: reports are byte-identical at any value (test_parallel_sm).
- */
-int
-simThreadsFromEnv(int fallback)
-{
-    const char *v = std::getenv("CAWA_SIM_THREADS");
-    if (!v || !*v)
-        return fallback;
-    char *end = nullptr;
-    const long parsed = std::strtol(v, &end, 10);
-    if (end && *end == '\0' && parsed >= 1 && parsed <= 256)
-        return static_cast<int>(parsed);
-    return fallback;
-}
-
-/**
  * Cycles per stepUntil() chunk when run() must poll for wall-clock
  * overrun, cancellation or a checkpoint boundary. Large enough that
  * the steady_clock read is free relative to the simulated work.
@@ -374,6 +357,14 @@ void
 Gpu::checkInterrupts()
 {
     sim_assert(machine_);
+    // Process-level fault injection: only an isolated worker installs
+    // a handler, so these knobs can never kill an in-process sweep.
+    // The handler raises a signal, stalls heartbeats or _exit()s --
+    // it does not return control when it fires.
+    if (cfg_.faults.anyWorkerFault() && workerFaultHandler() &&
+        machine_->now >=
+            static_cast<Cycle>(cfg_.faults.workerFaultCycle))
+        workerFaultHandler()(cfg_.faults);
     if (cfg_.cancelFlag &&
         cfg_.cancelFlag->load(std::memory_order_relaxed)) {
         std::string msg =
@@ -407,9 +398,15 @@ void
 Gpu::runToCompletion()
 {
     sim_assert(machine_);
+    // An armed worker fault (with a handler installed, i.e. inside an
+    // isolated worker) must fire at its exact cycle even when the job
+    // would otherwise finish inside one uninterrupted chunk.
+    const bool worker_fault =
+        cfg_.faults.anyWorkerFault() && workerFaultHandler() != nullptr;
     const bool interruptible = cfg_.checkpointInterval > 0 ||
                                cfg_.wallClockLimitSec > 0.0 ||
-                               cfg_.cancelFlag != nullptr;
+                               cfg_.cancelFlag != nullptr ||
+                               worker_fault;
     if (!interruptible) {
         stepUntil(kNoCycle);
         return;
@@ -421,8 +418,12 @@ Gpu::runToCompletion()
         // Checked at entry too, so a pre-set cancel flag or an
         // already-blown wall clock never starts a chunk.
         checkInterrupts();
-        const Cycle stop =
-            std::min(nextCkpt, machine_->now + kInterruptStride);
+        Cycle stop = std::min(nextCkpt, machine_->now + kInterruptStride);
+        if (worker_fault &&
+            machine_->now <
+                static_cast<Cycle>(cfg_.faults.workerFaultCycle))
+            stop = std::min(
+                stop, static_cast<Cycle>(cfg_.faults.workerFaultCycle));
         if (stepUntil(stop))
             return;
         if (machine_->now >= nextCkpt) {
@@ -638,6 +639,12 @@ Gpu::saveCheckpoint(const std::string &path)
     const std::int64_t corrupt = cfg_.faults.corruptCheckpointByte;
     cfg_.faults.corruptCheckpointByte = -1;
     writeCheckpointFile(path, w.finish(), corrupt);
+
+    // Progress observer (the isolated sweep worker streams a
+    // `checkpoint-written` frame from here); runs only after the
+    // atomic rename has landed, so the reported path is usable.
+    if (cfg_.checkpointWrittenHook)
+        cfg_.checkpointWrittenHook(path, m.now);
 }
 
 void

@@ -1,11 +1,49 @@
 #include "sim/gpu_config.hh"
 
+#include <cerrno>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/sim_error.hh"
 
 namespace cawa
 {
+
+namespace
+{
+
+WorkerFaultHandler g_workerFaultHandler = nullptr;
+
+} // namespace
+
+void
+setWorkerFaultHandler(WorkerFaultHandler handler)
+{
+    g_workerFaultHandler = handler;
+}
+
+WorkerFaultHandler
+workerFaultHandler()
+{
+    return g_workerFaultHandler;
+}
+
+int
+simThreadsFromEnv(int fallback)
+{
+    const char *v = std::getenv("CAWA_SIM_THREADS");
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE || parsed < 1 ||
+        parsed > 256)
+        throw SimError(SimErrorKind::Config,
+                       std::string("CAWA_SIM_THREADS='") + v +
+                           "': want an integer in [1, 256]");
+    return static_cast<int>(parsed);
+}
 
 std::string
 cachePolicyKindName(CachePolicyKind kind)
@@ -139,6 +177,19 @@ GpuConfig::validate() const
     if (simThreads < 1 || simThreads > 256)
         bad("simThreads=" + num(simThreads) +
             ": the parallel-SM worker count must be in [1, 256]");
+    if (faults.workerKillSignal < 0 || faults.workerKillSignal > 64)
+        bad("faults.workerKillSignal=" + num(faults.workerKillSignal) +
+            ": must be a signal number in [0, 64] (0 disables)");
+    if (faults.workerExitCode > 255)
+        bad("faults.workerExitCode=" + num(faults.workerExitCode) +
+            ": exit codes are 8-bit, want [-1, 255] (-1 disables)");
+    if (faults.workerFaultCycle < 0)
+        bad("faults.workerFaultCycle=" + num(faults.workerFaultCycle) +
+            ": the fault cycle must be >= 0");
+    if (faults.anyWorkerFault() && faults.workerFaultAttempts < 1)
+        bad("faults.workerFaultAttempts=" +
+            num(faults.workerFaultAttempts) +
+            ": an armed worker fault must cover at least one attempt");
     return problems;
 }
 

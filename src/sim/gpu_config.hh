@@ -9,6 +9,7 @@
 #define CAWA_SIM_GPU_CONFIG_HH
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -55,11 +56,74 @@ struct FaultInjection
      */
     bool reverseSmDrainOrder = false;
 
+    // ---- process-level supervision faults (sim/supervisor) ----
+    //
+    // These knobs make every supervision path deterministically
+    // testable: once the run reaches workerFaultCycle, the armed
+    // action fires *in the worker process*. They are inert unless a
+    // worker fault handler is installed (setWorkerFaultHandler --
+    // only the isolated worker entry does that), so an in-process
+    // sweep with a knob accidentally armed simulates normally. None
+    // of them can change simulated results before the fault cycle,
+    // and like every fault knob they are excluded from the
+    // checkpoint config signature, so a retried worker can resume
+    // the dead worker's checkpoint after the supervisor disarms
+    // them.
+
+    /** raise() this signal (e.g. SIGKILL) at the fault cycle; 0 off. */
+    int workerKillSignal = 0;
+    /**
+     * At the fault cycle, stop sending heartbeats and spin forever:
+     * the worker looks alive to the kernel but dead to the
+     * supervisor, which must classify it "hung" and escalate
+     * SIGTERM -> SIGKILL (the spin ignores SIGTERM by design).
+     */
+    bool workerStallHeartbeat = false;
+    /** _exit() with this code at the fault cycle; -1 off. */
+    int workerExitCode = -1;
+    /** Simulated cycle at which the armed worker fault fires. */
+    std::int64_t workerFaultCycle = 0;
+    /**
+     * The fault stays armed for this many worker attempts; the
+     * supervisor disarms the knobs on later respawns so a retried
+     * job can complete (the default makes every injected fault a
+     * one-shot).
+     */
+    int workerFaultAttempts = 1;
+
     bool any() const
     {
         return dropBarrierArrival >= 0 || dropLoadCompletion >= 0;
     }
+
+    bool anyWorkerFault() const
+    {
+        return workerKillSignal > 0 || workerStallHeartbeat ||
+               workerExitCode >= 0;
+    }
 };
+
+/**
+ * Process-level worker fault dispatch: the isolated worker entry
+ * installs a handler (supervisor.cc) and the Gpu run loop invokes it
+ * once the armed fault cycle is reached. Without a handler the
+ * worker fault knobs are inert, so in-process runs can never be
+ * killed by a stray knob. Not thread-local: a worker process runs
+ * exactly one job.
+ */
+using WorkerFaultHandler = void (*)(const FaultInjection &faults);
+void setWorkerFaultHandler(WorkerFaultHandler handler);
+WorkerFaultHandler workerFaultHandler();
+
+/**
+ * CAWA_SIM_THREADS=N overrides GpuConfig::simThreads (purely a speed
+ * knob; reports are byte-identical at any value). An unset or empty
+ * variable returns @p fallback; anything malformed or outside
+ * [1, 256] raises SimError (kind Config) naming the variable and the
+ * accepted range -- an out-of-range request is a user error, not
+ * something to silently clamp or ignore.
+ */
+int simThreadsFromEnv(int fallback);
 
 struct GpuConfig
 {
@@ -198,6 +262,17 @@ struct GpuConfig
      */
     Cycle checkpointInterval = 0;
     std::string checkpointPath;
+
+    /**
+     * Observer invoked after every successful checkpoint write
+     * (periodic, wall-clock-expiry and cancellation checkpoints
+     * alike) with the file path and the snapshot cycle. The isolated
+     * sweep worker uses it to stream `checkpoint-written` progress
+     * frames to its supervisor. Pure observer: excluded from the
+     * checkpoint config signature and never serialized.
+     */
+    std::function<void(const std::string &path, Cycle cycle)>
+        checkpointWrittenHook;
 
     /**
      * Per-job wall-clock budget in seconds (0 = off). When exceeded,

@@ -1,10 +1,18 @@
 #include "sim/journal.hh"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/sim_error.hh"
 #include "sim/report_json.hh"
 
 namespace cawa
@@ -143,6 +151,173 @@ filterResumeJobs(const std::vector<SweepJob> &jobs,
             remaining.push_back(job);
     }
     return remaining;
+}
+
+std::vector<JournalEntry>
+compactEntries(const std::vector<JournalEntry> &entries)
+{
+    // Order by *last* appearance so the compacted journal reads like
+    // the history it replaces: a retried-late job sorts late.
+    std::unordered_map<std::string, std::size_t> lastIndex;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        lastIndex[entries[i].job] = i;
+    std::vector<JournalEntry> out;
+    out.reserve(lastIndex.size());
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        if (lastIndex.at(entries[i].job) == i)
+            out.push_back(entries[i]);
+    return out;
+}
+
+std::size_t
+attachResumeCheckpoints(std::vector<SweepJob> &jobs,
+                        const std::string &checkpointDir)
+{
+    std::size_t attached = 0;
+    for (SweepJob &job : jobs) {
+        std::string ckpt = job.cfg.checkpointPath;
+        if (ckpt.empty() && !checkpointDir.empty())
+            ckpt = checkpointDir + "/" + job.name + ".ckpt";
+        if (ckpt.empty() || access(ckpt.c_str(), R_OK) != 0)
+            continue;
+        job.resumeFromCheckpoint = ckpt;
+        ++attached;
+    }
+    return attached;
+}
+
+namespace
+{
+
+[[noreturn]] void
+journalFail(const std::string &path, const std::string &what)
+{
+    throw SimError(SimErrorKind::Journal,
+                   path + ": " + what +
+                       (errno ? std::string(": ") + std::strerror(errno)
+                              : std::string()));
+}
+
+int
+openLocked(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND,
+                          0644);
+    if (fd < 0)
+        journalFail(path, "cannot open journal");
+    if (flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        ::close(fd);
+        errno = 0;
+        journalFail(path,
+                    "journal is locked by another cawa_sweep -- two "
+                    "writers on one journal would interleave appends; "
+                    "wait for the other run or use a different "
+                    "--journal file");
+    }
+    return fd;
+}
+
+void
+writeAllOrFail(int fd, const std::string &path, const char *data,
+               std::size_t n)
+{
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t wrote = ::write(fd, data + done, n - done);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            journalFail(path, "journal write failed");
+        }
+        done += static_cast<std::size_t>(wrote);
+    }
+}
+
+} // namespace
+
+JournalWriter::~JournalWriter()
+{
+    if (fd_ >= 0)
+        ::close(fd_); // releases the flock
+}
+
+void
+JournalWriter::open(const std::string &path)
+{
+    close();
+    fd_ = openLocked(path);
+    path_ = path;
+
+    // A crash mid-append can leave the file without a trailing
+    // newline; terminate that torn line so new records don't merge
+    // into it (the reader skips it with a warning either way).
+    struct stat st;
+    if (fstat(fd_, &st) == 0 && st.st_size > 0) {
+        char last = '\n';
+        if (pread(fd_, &last, 1, st.st_size - 1) == 1 && last != '\n')
+            writeAllOrFail(fd_, path_, "\n", 1);
+    }
+}
+
+void
+JournalWriter::append(const JournalEntry &entry)
+{
+    if (fd_ < 0)
+        return;
+    const std::string line = journalLine(entry) + "\n";
+    writeAllOrFail(fd_, path_, line.data(), line.size());
+    // One fsync per finished job: an entry the caller saw reported is
+    // on disk even if the sweep dies on the next cycle.
+    fsync(fd_);
+}
+
+void
+JournalWriter::rewrite(const std::vector<JournalEntry> &entries)
+{
+    if (fd_ < 0)
+        return;
+    const std::string tmp = path_ + ".tmp";
+    const int tmpFd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (tmpFd < 0)
+        journalFail(tmp, "cannot open journal rewrite temp");
+    std::string body;
+    for (const JournalEntry &entry : entries) {
+        body += journalLine(entry);
+        body += '\n';
+    }
+    try {
+        writeAllOrFail(tmpFd, tmp, body.data(), body.size());
+    } catch (...) {
+        ::close(tmpFd);
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    // fsync *before* rename: the new content must be durable before
+    // it takes the journal's name, or a crash could leave an empty
+    // renamed file where the old journal used to be.
+    fsync(tmpFd);
+    ::close(tmpFd);
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        journalFail(path_, "journal rewrite rename failed");
+    }
+    // The lock lives on the old (now unlinked) inode; move it to the
+    // file the path names again.
+    const int newFd = openLocked(path_);
+    ::close(fd_);
+    fd_ = newFd;
+}
+
+void
+JournalWriter::close()
+{
+    if (fd_ < 0)
+        return;
+    fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+    path_.clear();
 }
 
 } // namespace cawa

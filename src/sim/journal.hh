@@ -31,7 +31,8 @@ struct JournalEntry
 
 /**
  * Status string a result journals as: "ok", a first-class failure
- * reason ("walltime", "cancelled"), "error" (the job threw),
+ * reason ("walltime", "cancelled", and -- from the process-isolated
+ * supervisor -- "crashed", "oom", "hung"), "error" (the job threw),
  * "verify-failed", or the non-completed exit status name ("timeout",
  * "deadlock", "invariant").
  */
@@ -61,6 +62,65 @@ std::vector<JournalEntry> readJournal(const std::string &path);
 std::vector<SweepJob> filterResumeJobs(
     const std::vector<SweepJob> &jobs,
     const std::vector<JournalEntry> &journal);
+
+/**
+ * Collapse @p entries to one entry per job, the latest winning, in
+ * the order each job last appeared. This is the rewrite --resume
+ * performs so a journal does not grow one line per retry forever.
+ */
+std::vector<JournalEntry> compactEntries(
+    const std::vector<JournalEntry> &entries);
+
+/**
+ * Attach existing checkpoint files to re-run jobs: for every job
+ * whose cfg.checkpointPath (or, when unset, @p checkpointDir/
+ * <name>.ckpt) exists and is readable, set resumeFromCheckpoint so
+ * the run continues cycle-exactly instead of from cycle 0. Returns
+ * how many jobs were attached. An unusable file is still safe: the
+ * job falls back to a from-scratch run inside runSweepJob.
+ */
+std::size_t attachResumeCheckpoints(std::vector<SweepJob> &jobs,
+                                    const std::string &checkpointDir);
+
+/**
+ * Owning journal appender with single-writer enforcement and
+ * crash-safe durability:
+ *
+ *  - open() takes an advisory exclusive flock() on the file and
+ *    fails fast (SimError, kind Journal) when another process holds
+ *    it, so two cawa_sweep invocations pointed at one --journal can
+ *    never interleave their appends;
+ *  - a torn final line left by a crashed writer is terminated with a
+ *    newline on open, so new records never merge into it;
+ *  - append() writes line + newline and fsync()s, so an entry that
+ *    was reported is on disk even if the process dies next cycle;
+ *  - rewrite() replaces the whole journal via write-to-temp, fsync,
+ *    atomic rename (then re-acquires the lock on the new file): a
+ *    crash mid-rewrite leaves the old journal intact.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter();
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Open (creating if needed), lock and repair @p path. */
+    void open(const std::string &path);
+    bool isOpen() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+    void append(const JournalEntry &entry);
+    void rewrite(const std::vector<JournalEntry> &entries);
+
+    /** fsync + unlock + close; open() may be called again. */
+    void close();
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+};
 
 } // namespace cawa
 

@@ -1,0 +1,675 @@
+#include "sim/supervisor.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/rng.hh"
+#include "common/sim_error.hh"
+#include "sim/report_json.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t)
+{
+    return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::uint64_t
+mixSeed(std::uint64_t seed, const std::string &name, int attempt)
+{
+    // FNV-1a over (seed, name, attempt): cheap, stable across runs
+    // and platforms, which is all the jitter needs.
+    std::uint64_t h = 1469598103934665603ULL ^ seed;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    };
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    mix(static_cast<std::uint64_t>(attempt));
+    return h;
+}
+
+} // namespace
+
+double
+backoffDelaySec(const SupervisorOptions &opt, const std::string &jobName,
+                int attempt)
+{
+    const int step = std::max(1, attempt);
+    double delay = opt.backoffBaseSec *
+                   std::pow(2.0, static_cast<double>(step - 1));
+    delay = std::min(delay, opt.backoffCapSec);
+    Rng rng(mixSeed(opt.backoffSeed, jobName, step));
+    const double jitter = 0.75 + 0.5 * rng.nextDouble();
+    return delay * jitter;
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/// Set by the worker's SIGTERM/SIGINT handler; wired into the job's
+/// cancelFlag so a supervised kill produces a final checkpoint and a
+/// clean "cancelled" result instead of a corpse.
+std::atomic<bool> g_workerCancel{false};
+
+/// Armed by the stall fault: the heartbeat thread stops sending.
+std::atomic<bool> g_heartbeatStalled{false};
+
+extern "C" void
+workerShutdownSignal(int)
+{
+    g_workerCancel.store(true, std::memory_order_relaxed);
+}
+
+/**
+ * Fault dispatch invoked by Gpu::checkInterrupts() once the armed
+ * fault cycle is reached. Runs on the simulation thread inside the
+ * worker process only (the supervisor never installs a handler in
+ * the parent).
+ */
+void
+fireWorkerFault(const FaultInjection &faults)
+{
+    if (faults.workerKillSignal > 0) {
+        // A catchable signal must behave like a real crash, not like
+        // the graceful-shutdown path.
+        std::signal(faults.workerKillSignal, SIG_DFL);
+        raise(faults.workerKillSignal);
+    }
+    if (faults.workerExitCode >= 0)
+        _exit(faults.workerExitCode);
+    if (faults.workerStallHeartbeat) {
+        // Look alive to the kernel, dead to the supervisor: stop the
+        // heartbeats and ignore every catchable signal, so only the
+        // supervisor's SIGTERM -> SIGKILL escalation can end us.
+        g_heartbeatStalled.store(true, std::memory_order_relaxed);
+        for (;;)
+            pause();
+    }
+}
+
+/** Serialized frame writes: heartbeat thread vs simulation thread. */
+struct FrameSink
+{
+    int fd;
+    std::mutex mutex;
+
+    bool send(const std::string &payload)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return writeFrame(fd, payload);
+    }
+};
+
+} // namespace
+
+std::string
+resultFrameJson(const SweepResult &result, int attempt)
+{
+    JsonWriteOptions full;
+    full.includeBlocks = true;
+    full.includeTrace = true;
+    full.includeDerived = true;
+    full.pretty = false;
+
+    std::string out = "{\"type\":\"result\"";
+    out += ",\"attempt\":" + std::to_string(attempt);
+    out += ",\"verified\":";
+    out += result.verified ? "true" : "false";
+    out += ",\"attempts\":" + std::to_string(result.attempts);
+    out += ",\"resumed\":";
+    out += result.resumed ? "true" : "false";
+    out += ",\"error\":" + jsonQuote(result.error);
+    out += ",\"failureReason\":" + jsonQuote(result.failureReason);
+    // The full-fidelity compact document: toJson() is deterministic
+    // and reportFromJson() is lossless, so the parent can re-serialize
+    // byte-identically to an in-process run.
+    out += ",\"report\":" + toJson(result.report, full);
+    out += "}";
+    return out;
+}
+
+SweepResult
+resultFromFrame(const std::string &payload)
+{
+    const JsonValue doc = parseJson(payload);
+    if (!doc.has("type") || doc.at("type").asString() != "result")
+        throw std::runtime_error(
+            "worker frame is not a result frame");
+    SweepResult r;
+    r.verified = doc.at("verified").asBool();
+    r.attempts = static_cast<int>(doc.at("attempts").asI64());
+    r.resumed = doc.at("resumed").asBool();
+    r.error = doc.at("error").asString();
+    r.failureReason = doc.at("failureReason").asString();
+    r.report = reportFromJson(doc.at("report"));
+    return r;
+}
+
+int
+runSweepWorker(const SweepJob &job, int jobMaxAttempts, int outFd,
+               double heartbeatIntervalSec, int attempt)
+{
+    g_workerCancel.store(false, std::memory_order_relaxed);
+    g_heartbeatStalled.store(false, std::memory_order_relaxed);
+    std::signal(SIGTERM, workerShutdownSignal);
+    std::signal(SIGINT, workerShutdownSignal);
+    // The parent closing its read end must not kill us mid-write; the
+    // failed write is detected and reported via the exit code.
+    std::signal(SIGPIPE, SIG_IGN);
+    setWorkerFaultHandler(&fireWorkerFault);
+
+    FrameSink sink{outFd, {}};
+
+    // Heartbeat thread: liveness on a timer, independent of how long
+    // one simulation chunk takes. cv-based so shutdown is prompt.
+    std::mutex hbMutex;
+    std::condition_variable hbCv;
+    bool hbStop = false;
+    std::thread heartbeat([&] {
+        const auto interval = std::chrono::duration<double>(
+            std::max(0.01, heartbeatIntervalSec));
+        std::uint64_t seq = 0;
+        std::unique_lock<std::mutex> lock(hbMutex);
+        while (!hbCv.wait_for(lock, interval, [&] { return hbStop; })) {
+            if (g_heartbeatStalled.load(std::memory_order_relaxed))
+                continue;
+            lock.unlock();
+            sink.send("{\"type\":\"heartbeat\",\"seq\":" +
+                      std::to_string(seq++) + "}");
+            lock.lock();
+        }
+    });
+    auto stopHeartbeat = [&] {
+        {
+            std::lock_guard<std::mutex> lock(hbMutex);
+            hbStop = true;
+        }
+        hbCv.notify_all();
+        heartbeat.join();
+    };
+
+    SweepJob mine = job;
+    mine.cfg.cancelFlag = &g_workerCancel;
+    mine.cfg.checkpointWrittenHook = [&sink](const std::string &path,
+                                             Cycle cycle) {
+        sink.send("{\"type\":\"checkpoint-written\",\"path\":" +
+                  jsonQuote(path) +
+                  ",\"cycle\":" + std::to_string(cycle) + "}");
+    };
+
+    SweepResult result;
+    try {
+        result = runSweepJob(mine, jobMaxAttempts);
+    } catch (const std::exception &e) {
+        // runSweepJob captures job errors itself; this guards the
+        // harness around it.
+        result.error = e.what();
+        result.attempts = std::max(result.attempts, 1);
+    }
+
+    // Under the RLIMIT_AS cap an allocation failure surfaces as
+    // std::bad_alloc, which runSweepJob records as an ordinary error;
+    // promote it to the first-class "oom" status the supervisor
+    // retries at process level.
+    if (result.failureReason.empty() &&
+        result.error.find("bad_alloc") != std::string::npos)
+        result.failureReason = "oom";
+
+    stopHeartbeat();
+    const bool sent = sink.send(resultFrameJson(result, attempt));
+    return sent ? 0 : 3;
+}
+
+// ---------------------------------------------------------------------
+// Parent side
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+enum class SlotState { Pending, Running, Backoff, Done };
+
+struct Slot
+{
+    SweepJob job;
+    SlotState state = SlotState::Pending;
+    int attempt = 0; ///< worker executions so far
+    SweepResult result;
+
+    // Active worker.
+    pid_t pid = -1;
+    int fromFd = -1;
+    FrameReader reader;
+    bool gotResult = false;
+    SweepResult pending;
+    std::string frameError;
+    Clock::time_point started;
+    Clock::time_point lastBeat;
+    bool termSent = false;
+    Clock::time_point termAt;
+    std::string killReason; ///< "hung"/"walltime" when the parent kills
+
+    // Progress carried across attempts.
+    std::string lastCheckpoint;
+
+    // Backoff gate.
+    Clock::time_point readyAt;
+};
+
+bool
+fileReadable(const std::string &path)
+{
+    return !path.empty() && access(path.c_str(), R_OK) == 0;
+}
+
+} // namespace
+
+SweepSupervisor::SweepSupervisor(SupervisorOptions opt)
+    : opt_(std::move(opt))
+{
+    if (opt_.heartbeatIntervalSec <= 0.0)
+        opt_.heartbeatIntervalSec = 0.25;
+    if (opt_.heartbeatMissLimit < 1)
+        opt_.heartbeatMissLimit = 1;
+    if (opt_.maxAttemptsPerJob < 1)
+        opt_.maxAttemptsPerJob = 1;
+    if (opt_.jobMaxAttempts < 1)
+        opt_.jobMaxAttempts = 1;
+}
+
+std::vector<SweepResult>
+SweepSupervisor::run(std::vector<SweepJob> jobs,
+                     const SweepEngine::JobDone &on_done)
+{
+    if (!processIsolationAvailable())
+        throw SimError(SimErrorKind::Config,
+                       "process isolation is not available on this "
+                       "platform; run the in-process sweep path");
+
+    std::vector<Slot> slots(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        slots[i].job = std::move(jobs[i]);
+
+    int maxWorkers = opt_.workers;
+    if (maxWorkers <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        maxWorkers = static_cast<int>(std::max(1u, hw));
+    }
+    maxWorkers = std::max(
+        1, std::min<int>(maxWorkers,
+                         static_cast<int>(std::max<std::size_t>(
+                             1, slots.size()))));
+
+    const double hungAfterSec =
+        opt_.heartbeatIntervalSec * opt_.heartbeatMissLimit;
+
+    auto emit = [&](std::size_t index, int attempt,
+                    const std::string &event, const std::string &detail,
+                    double delaySec) {
+        if (opt_.onEvent)
+            opt_.onEvent(index, attempt, event, detail, delaySec);
+    };
+
+    int running = 0;
+    std::size_t done = 0;
+    int retriesUsed = 0;
+    bool cancelled = false;
+
+    auto finalize = [&](std::size_t i, SweepResult r) {
+        Slot &s = slots[i];
+        s.result = std::move(r);
+        s.state = SlotState::Done;
+        ++done;
+        emit(i, s.attempt, "result",
+             s.result.ok() ? "completed"
+                           : (s.result.failureReason.empty()
+                                  ? "error"
+                                  : s.result.failureReason),
+             0.0);
+        if (on_done)
+            on_done(i, s.result);
+    };
+
+    auto spawn = [&](std::size_t i) {
+        Slot &s = slots[i];
+        ++s.attempt;
+
+        // Disarm one-shot fault knobs on later attempts so a retried
+        // job can complete.
+        FaultInjection &f = s.job.cfg.faults;
+        if (f.anyWorkerFault() && s.attempt > f.workerFaultAttempts) {
+            f.workerKillSignal = 0;
+            f.workerStallHeartbeat = false;
+            f.workerExitCode = -1;
+        }
+
+        // Resume from the dead worker's progress when there is any.
+        if (fileReadable(s.lastCheckpoint))
+            s.job.resumeFromCheckpoint = s.lastCheckpoint;
+        else if (s.attempt > 1 && fileReadable(s.job.cfg.checkpointPath))
+            s.job.resumeFromCheckpoint = s.job.cfg.checkpointPath;
+
+        ChildProcess child;
+        if (!opt_.workerArgv0.empty()) {
+            if (!opt_.jobSpec)
+                throw SimError(SimErrorKind::Config,
+                               "SupervisorOptions.workerArgv0 set "
+                               "without a jobSpec serializer");
+            child = spawnWorker({opt_.workerArgv0, "--worker"},
+                                opt_.limits);
+            const std::string spec = opt_.jobSpec(i, s.job, s.attempt);
+            writeFrame(child.toChild, spec);
+        } else {
+            const SweepJob job = s.job;
+            const int jobAttempts = opt_.jobMaxAttempts;
+            const double hb = opt_.heartbeatIntervalSec;
+            const int attempt = s.attempt;
+            child = forkWorker(
+                [&job, jobAttempts, hb, attempt](int inFd, int outFd) {
+                    close(inFd);
+                    return runSweepWorker(job, jobAttempts, outFd, hb,
+                                          attempt);
+                },
+                opt_.limits);
+        }
+        if (child.toChild >= 0)
+            close(child.toChild);
+        setNonBlocking(child.fromChild);
+
+        s.pid = child.pid;
+        s.fromFd = child.fromChild;
+        s.reader = FrameReader();
+        s.gotResult = false;
+        s.frameError.clear();
+        s.started = s.lastBeat = Clock::now();
+        s.termSent = false;
+        s.killReason.clear();
+        s.state = SlotState::Running;
+        ++running;
+        emit(i, s.attempt, "spawn", s.job.name, 0.0);
+    };
+
+    auto drainFrames = [&](std::size_t i) {
+        Slot &s = slots[i];
+        if (s.fromFd < 0)
+            return;
+        for (;;) {
+            const int got = readAvailable(s.fromFd, s.reader);
+            std::string payload;
+            while (s.reader.next(payload)) {
+                s.lastBeat = Clock::now();
+                try {
+                    const JsonValue frame = parseJson(payload);
+                    const std::string type =
+                        frame.has("type") ? frame.at("type").asString()
+                                          : std::string();
+                    if (type == "result") {
+                        s.pending = resultFromFrame(payload);
+                        s.gotResult = true;
+                    } else if (type == "checkpoint-written") {
+                        s.lastCheckpoint = frame.at("path").asString();
+                        emit(i, s.attempt, "checkpoint",
+                             s.lastCheckpoint, 0.0);
+                    }
+                    // heartbeats only refresh lastBeat, done above
+                } catch (const std::exception &e) {
+                    s.frameError = e.what();
+                }
+            }
+            if (got == 0) { // EOF: worker closed its end
+                close(s.fromFd);
+                s.fromFd = -1;
+                return;
+            }
+            if (got < 0)
+                return; // would block
+        }
+    };
+
+    auto killWorker = [&](std::size_t i, const std::string &reason) {
+        Slot &s = slots[i];
+        if (s.killReason.empty())
+            s.killReason = reason;
+        if (!s.termSent) {
+            signalChild(s.pid, SIGTERM);
+            s.termSent = true;
+            s.termAt = Clock::now();
+        }
+    };
+
+    auto classifyExit = [&](Slot &s,
+                            const WaitStatus &st) -> SweepResult {
+        // A worker that raced its own success against the parent's
+        // kill decision still wins: real results are never discarded.
+        if (s.gotResult && s.pending.ok()) {
+            SweepResult r = s.pending;
+            r.attempts += s.attempt - 1;
+            return r;
+        }
+        if (!s.killReason.empty()) {
+            SweepResult r;
+            r.attempts = s.attempt;
+            r.failureReason = s.killReason;
+            r.error = s.killReason == "hung"
+                          ? "worker missed " +
+                                std::to_string(opt_.heartbeatMissLimit) +
+                                " heartbeats and was killed (" +
+                                st.describe() + ")"
+                          : "worker exceeded the " +
+                                std::to_string(opt_.workerDeadlineSec) +
+                                "s wall-clock deadline (" +
+                                st.describe() + ")";
+            return r;
+        }
+        if (s.gotResult) {
+            SweepResult r = s.pending;
+            r.attempts += s.attempt - 1;
+            return r;
+        }
+        SweepResult r;
+        r.attempts = s.attempt;
+        if (st.signaled && st.termSignal == SIGXCPU) {
+            r.failureReason = "walltime";
+            r.error = "worker hit its RLIMIT_CPU cap (" +
+                      st.describe() + ")";
+        } else {
+            r.failureReason = "crashed";
+            r.error =
+                "worker died without reporting a result (" +
+                st.describe() +
+                (s.frameError.empty() ? std::string()
+                                      : "; last frame error: " +
+                                            s.frameError) +
+                ")";
+        }
+        return r;
+    };
+
+    auto retryable = [&](const SweepResult &r) {
+        return r.failureReason == "crashed" ||
+               r.failureReason == "oom" || r.failureReason == "hung";
+    };
+
+    auto reap = [&](std::size_t i, const WaitStatus &st) {
+        Slot &s = slots[i];
+        drainFrames(i); // pull buffered frames (often the result)
+        if (s.fromFd >= 0) {
+            close(s.fromFd);
+            s.fromFd = -1;
+        }
+        s.pid = -1;
+        --running;
+
+        SweepResult r = classifyExit(s, st);
+        const bool wantRetry =
+            !cancelled && !r.ok() && retryable(r) &&
+            s.attempt < opt_.maxAttemptsPerJob &&
+            (opt_.retryBudget < 0 || retriesUsed < opt_.retryBudget);
+        if (!r.ok() && !r.failureReason.empty())
+            emit(i, s.attempt, r.failureReason, r.error, 0.0);
+        if (wantRetry) {
+            ++retriesUsed;
+            const double delay =
+                backoffDelaySec(opt_, s.job.name, s.attempt);
+            s.readyAt = Clock::now() +
+                        std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(delay));
+            s.state = SlotState::Backoff;
+            emit(i, s.attempt, "retry", r.failureReason, delay);
+            return;
+        }
+        finalize(i, std::move(r));
+    };
+
+    while (done < slots.size()) {
+        const bool cancelNow =
+            opt_.cancelFlag &&
+            opt_.cancelFlag->load(std::memory_order_relaxed);
+        if (cancelNow && !cancelled) {
+            cancelled = true;
+            for (std::size_t i = 0; i < slots.size(); ++i) {
+                Slot &s = slots[i];
+                if (s.state == SlotState::Running) {
+                    // Plain SIGTERM, no killReason: the worker's own
+                    // graceful "cancelled" result is the right answer.
+                    if (!s.termSent) {
+                        signalChild(s.pid, SIGTERM);
+                        s.termSent = true;
+                        s.termAt = Clock::now();
+                    }
+                } else if (s.state == SlotState::Pending ||
+                           s.state == SlotState::Backoff) {
+                    SweepResult r;
+                    r.attempts = s.attempt;
+                    r.failureReason = "cancelled";
+                    r.error = "sweep cancelled before the job ran";
+                    finalize(i, std::move(r));
+                }
+            }
+        }
+
+        // Launch whatever fits.
+        if (!cancelled) {
+            const auto now = Clock::now();
+            for (std::size_t i = 0;
+                 i < slots.size() && running < maxWorkers; ++i) {
+                Slot &s = slots[i];
+                if (s.state == SlotState::Pending ||
+                    (s.state == SlotState::Backoff && now >= s.readyAt))
+                    spawn(i);
+            }
+        }
+
+        // Wait for worker traffic (bounded so timers stay fresh).
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fdSlot;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].state == SlotState::Running &&
+                slots[i].fromFd >= 0) {
+                fds.push_back(pollfd{slots[i].fromFd, POLLIN, 0});
+                fdSlot.push_back(i);
+            }
+        }
+        if (!fds.empty()) {
+            const int rc = poll(fds.data(),
+                                static_cast<nfds_t>(fds.size()), 20);
+            if (rc > 0) {
+                for (std::size_t k = 0; k < fds.size(); ++k)
+                    if (fds[k].revents & (POLLIN | POLLHUP | POLLERR))
+                        drainFrames(fdSlot[k]);
+            }
+        } else if (done < slots.size()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+
+        // Reap exits, enforce liveness and deadlines.
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            Slot &s = slots[i];
+            if (s.state != SlotState::Running)
+                continue;
+            if (const auto st = pollChild(s.pid)) {
+                reap(i, *st);
+                continue;
+            }
+            if (s.termSent &&
+                secondsSince(s.termAt) > opt_.gracePeriodSec) {
+                signalChild(s.pid, SIGKILL);
+                continue;
+            }
+            if (s.termSent)
+                continue;
+            if (!s.gotResult && secondsSince(s.lastBeat) > hungAfterSec)
+                killWorker(i, "hung");
+            else if (!s.gotResult && opt_.workerDeadlineSec > 0.0 &&
+                     secondsSince(s.started) > opt_.workerDeadlineSec)
+                killWorker(i, "walltime");
+        }
+    }
+
+    std::vector<SweepResult> results;
+    results.reserve(slots.size());
+    for (Slot &s : slots)
+        results.push_back(std::move(s.result));
+    return results;
+}
+
+} // namespace cawa

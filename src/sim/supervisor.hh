@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Process-isolated sweep supervisor: executes each sweep job in a
+ * forked worker subprocess instead of a thread-pool task, so a real
+ * SIGSEGV, OOM kill or runaway job inside one worker can never take
+ * down the sweep or any in-flight result.
+ *
+ * Protocol: the parent ships the job to the worker (fork mode passes
+ * it by inheritance; exec mode writes one length-prefixed JSON spec
+ * frame to the worker's stdin) and reads back a stream of
+ * length-prefixed JSON frames on the worker's stdout:
+ *
+ *   {"type":"heartbeat","seq":N}             liveness, sent on a timer
+ *   {"type":"checkpoint-written",
+ *    "path":"...","cycle":N}                 progress, per snapshot
+ *   {"type":"result", ...}                   terminal, one per worker
+ *
+ * The supervisor enforces per-worker setrlimit caps (memory, CPU)
+ * and a wall-clock deadline, declares a worker dead on missed
+ * heartbeats, escalates SIGTERM -> SIGKILL, and retries failed
+ * workers with capped exponential backoff and deterministic jitter
+ * (seeded RNG, so a given sweep always produces the same retry
+ * schedule) against a per-sweep retry budget. Workers resume from
+ * their job's checkpoint when one exists, so a retry after SIGKILL
+ * mid-job does not restart from cycle 0.
+ *
+ * Failure classification (SweepResult::failureReason and the journal
+ * status): "crashed" (fatal signal or unexplained exit), "oom"
+ * (allocation failure under the memory cap), "hung" (missed
+ * heartbeats), "walltime" (deadline or CPU cap), "cancelled"
+ * (cooperative shutdown). Only crashed/oom/hung are retried --
+ * walltime and cancelled would burn the same budget again, and
+ * result-level outcomes (timeout, deadlock, verify-failed) are
+ * deterministic.
+ *
+ * Results come back in submission order with byte-identical reports
+ * to an in-process run: the worker serializes its SimReport as a
+ * full-fidelity cawa-simreport-v3 document whose round-trip is exact
+ * (tests/test_supervisor.cc proves identity across kills, retries
+ * and checkpoint-resumed workers).
+ *
+ * This wire protocol is deliberately the seed of the cawad job
+ * protocol (ROADMAP: simulation-as-a-service).
+ */
+
+#ifndef CAWA_SIM_SUPERVISOR_HH
+#define CAWA_SIM_SUPERVISOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/subprocess.hh"
+#include "sim/sweep.hh"
+
+namespace cawa
+{
+
+struct SupervisorOptions
+{
+    /** Concurrent worker subprocesses; <= 0 means one per job slot
+     *  up to hardware concurrency. */
+    int workers = 0;
+
+    /** Worker heartbeat cadence (seconds, real time). */
+    double heartbeatIntervalSec = 0.25;
+    /**
+     * A worker silent for heartbeatMissLimit consecutive intervals
+     * is declared hung and killed. Any frame counts as liveness.
+     */
+    int heartbeatMissLimit = 20;
+    /** SIGTERM -> SIGKILL escalation delay (seconds). */
+    double gracePeriodSec = 2.0;
+    /** Per-attempt wall-clock deadline (seconds); 0 disables. */
+    double workerDeadlineSec = 0.0;
+
+    /** Worker executions allowed per job (first run + retries). */
+    int maxAttemptsPerJob = 3;
+    /**
+     * Sweep-wide cap on process-level retries (respawns after a
+     * crash/oom/hang), shared by all jobs; -1 = unlimited. Once
+     * exhausted, further process failures are final.
+     */
+    int retryBudget = -1;
+
+    /** Exponential backoff: base * 2^(attempt-1), capped. */
+    double backoffBaseSec = 0.05;
+    double backoffCapSec = 5.0;
+    /**
+     * Seed for the deterministic backoff jitter. A given (seed, job
+     * name, attempt) always yields the same delay, so retry
+     * schedules are reproducible run to run.
+     */
+    std::uint64_t backoffSeed = 1;
+
+    /** setrlimit caps applied in each worker. */
+    ChildLimits limits;
+
+    /** In-worker runSweepJob attempts (the sweep --retries knob). */
+    int jobMaxAttempts = 1;
+
+    /**
+     * Cooperative shutdown: when set, running workers get SIGTERM
+     * (each writes a final checkpoint and reports "cancelled") and
+     * unstarted jobs are finalized as cancelled without spawning.
+     */
+    const std::atomic<bool> *cancelFlag = nullptr;
+
+    /**
+     * Exec mode: when workerArgv0 is non-empty the supervisor
+     * fork/execs `workerArgv0 --worker` per job and ships
+     * jobSpec(index, job, attempt) as one frame on the worker's
+     * stdin. When empty (the default) the worker is a plain fork
+     * that inherits the SweepJob closures -- the mode unit tests
+     * use, and the fallback when the spec is not serializable.
+     */
+    std::string workerArgv0;
+    std::function<std::string(std::size_t index, const SweepJob &job,
+                              int attempt)>
+        jobSpec;
+
+    /**
+     * Observer for supervision events ("spawn", "crashed", "oom",
+     * "hung", "walltime", "retry", "result"), used by tests and
+     * verbose logging. detail carries the classification message;
+     * delaySec is the scheduled backoff for "retry" events.
+     */
+    std::function<void(std::size_t index, int attempt,
+                       const std::string &event,
+                       const std::string &detail, double delaySec)>
+        onEvent;
+};
+
+/**
+ * Deterministic backoff delay for @p attempt of @p jobName (attempt
+ * counts executions so far, >= 1): min(cap, base * 2^(attempt-1))
+ * scaled by a jitter factor in [0.75, 1.25) drawn from an RNG seeded
+ * with (backoffSeed, jobName, attempt).
+ */
+double backoffDelaySec(const SupervisorOptions &opt,
+                       const std::string &jobName, int attempt);
+
+class SweepSupervisor
+{
+  public:
+    explicit SweepSupervisor(SupervisorOptions opt);
+
+    /**
+     * Run every job in an isolated worker subprocess and return
+     * results indexed like @p jobs (submission order). @p on_done
+     * fires in completion order as jobs finalize, exactly once per
+     * job -- a killed worker that will be retried is not "done".
+     * Jobs are taken by value: the supervisor rewrites
+     * resumeFromCheckpoint and disarms worker-fault knobs between
+     * attempts.
+     */
+    std::vector<SweepResult> run(std::vector<SweepJob> jobs,
+                                 const SweepEngine::JobDone &on_done =
+                                     nullptr);
+
+    const SupervisorOptions &options() const { return opt_; }
+
+  private:
+    SupervisorOptions opt_;
+};
+
+/**
+ * Worker-side entry: run @p job in the calling (child) process,
+ * streaming heartbeat / checkpoint-written / result frames to
+ * @p outFd. Installs the SIGTERM/SIGINT graceful-shutdown handler
+ * (final checkpoint + "cancelled" result) and the worker fault
+ * handler that makes the faults.worker* knobs fire. @p attempt is
+ * the 1-based process attempt, echoed in the result frame. Returns
+ * the worker exit code (0 once the result frame is written).
+ *
+ * Used by the fork-mode child directly and by the hidden
+ * `cawa_sweep --worker` exec entrypoint.
+ */
+int runSweepWorker(const SweepJob &job, int jobMaxAttempts, int outFd,
+                   double heartbeatIntervalSec, int attempt);
+
+/** Serialize @p result as the worker protocol's result frame. */
+std::string resultFrameJson(const SweepResult &result, int attempt);
+
+/**
+ * Parse a result frame back into a SweepResult; throws
+ * std::runtime_error (with context) on malformed frames.
+ */
+SweepResult resultFromFrame(const std::string &payload);
+
+} // namespace cawa
+
+#endif // CAWA_SIM_SUPERVISOR_HH

@@ -15,16 +15,22 @@
  *  - checkpoints written mid-run must restore cleanly, while any
  *    single-bit corruption (injected through
  *    faults.corruptCheckpointByte) or truncation must be rejected
- *    with a SimError of kind Checkpoint -- never silently restored.
+ *    with a SimError of kind Checkpoint -- never silently restored;
+ *  - a sweep whose isolated worker is SIGKILL'd mid-run (through
+ *    faults.workerKillSignal) must still finish every job, and its
+ *    journal must come out whole: every line parseable, exactly one
+ *    entry per job, nothing lost, nothing double-counted.
  *
  * Examples:
  *   cawa_fuzz --seeds 50
  *   cawa_fuzz --seeds 200 --start 1000 --check 2 --verbose
  *   cawa_fuzz --seeds 0 --ckpt-seeds 20
+ *   cawa_fuzz --seeds 0 --ckpt-seeds 0 --crash-seeds 10
  *
  * Exit status 0 when every seed behaves, 1 otherwise.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,7 +46,10 @@
 #include "isa/program_builder.hh"
 #include "sim/gpu.hh"
 #include "sim/gpu_config.hh"
+#include "sim/journal.hh"
 #include "sim/report.hh"
+#include "sim/report_json.hh"
+#include "sim/supervisor.hh"
 #include "sim/sweep.hh"
 
 using namespace cawa;
@@ -290,6 +299,133 @@ runCheckpointSeed(std::uint64_t seed, bool verbose)
     return anomalies;
 }
 
+/**
+ * Worker-crash robustness phase for one seed: a four-job sweep runs
+ * under the process-isolated supervisor with a journal attached, and
+ * one seed-chosen victim job is SIGKILL'd at a seed-chosen cycle.
+ * The sweep must still end with every job ok, and the journal must be
+ * exactly consistent: every raw line parseable (a killed worker can
+ * never tear the parent's appends), one entry per job, and a resume
+ * plan with nothing left to do. Returns the number of anomalies.
+ */
+int
+runCrashSeed(std::uint64_t seed, bool verbose)
+{
+    namespace fs = std::filesystem;
+
+    Rng rng(seed ^ 0xc2b2ae3d27d4eb4full);
+
+    int anomalies = 0;
+    auto anomaly = [&](const char *what, const std::string &detail) {
+        ++anomalies;
+        std::fprintf(stderr,
+                     "cawa_fuzz: crash seed %llu %s [ANOMALY]%s%s\n",
+                     static_cast<unsigned long long>(seed), what,
+                     detail.empty() ? "" : ": ", detail.c_str());
+    };
+
+    // Four clean cases (sim faults disarmed; this phase only injects
+    // worker-process faults). The cases must outlive the sweep: the
+    // jobs' build closures hand out kernels referencing them.
+    std::vector<FuzzCase> cases;
+    cases.reserve(4);
+    std::vector<SweepJob> jobs;
+    for (int i = 0; i < 4; ++i) {
+        cases.push_back(
+            buildCase(seed * 16 + static_cast<std::uint64_t>(i),
+                      /*check_level=*/0));
+        FuzzCase &fc = cases.back();
+        fc.cfg.faults = FaultInjection{};
+        SweepJob job;
+        job.name = fc.kernel.name + "_c" + std::to_string(i);
+        job.cfg = fc.cfg;
+        job.build = [&fc](MemoryImage &) { return fc.kernel; };
+        jobs.push_back(std::move(job));
+    }
+    const std::size_t victim = rng.nextBounded(4);
+    jobs[victim].cfg.faults.workerKillSignal = SIGKILL;
+    jobs[victim].cfg.faults.workerFaultCycle =
+        1 + rng.nextBounded(500);
+
+    const std::string journal_path =
+        (fs::temp_directory_path() /
+         ("cawa_fuzz_crash_" + std::to_string(::getpid()) + "_" +
+          std::to_string(seed) + ".jsonl"))
+            .string();
+    std::remove(journal_path.c_str());
+
+    SupervisorOptions opt;
+    opt.workers = 2;
+    opt.heartbeatIntervalSec = 0.05;
+    opt.gracePeriodSec = 0.5;
+    opt.maxAttemptsPerJob = 3;
+    opt.backoffBaseSec = 0.005;
+    opt.backoffCapSec = 0.02;
+    opt.backoffSeed = seed;
+
+    JournalWriter writer;
+    writer.open(journal_path);
+    SweepSupervisor supervisor(opt);
+    const auto results = supervisor.run(
+        jobs, [&](std::size_t index, const SweepResult &res) {
+            writer.append(makeJournalEntry(jobs[index].name, res));
+        });
+    writer.close();
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok())
+            anomaly("job failed under worker crash",
+                    jobs[i].name + ": " + results[i].error);
+    }
+
+    // Every raw journal line must parse: the dying worker shares no
+    // fd with the journal, so its death can never tear an append.
+    std::size_t raw_lines = 0;
+    {
+        std::ifstream in(journal_path);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            ++raw_lines;
+            try {
+                parseJson(line);
+            } catch (const std::exception &e) {
+                anomaly("journal line unreadable",
+                        line + " (" + e.what() + ")");
+            }
+        }
+    }
+
+    const auto entries = readJournal(journal_path);
+    if (entries.size() != jobs.size() || raw_lines != jobs.size()) {
+        anomaly("journal entry count off",
+                std::to_string(raw_lines) + " lines, " +
+                    std::to_string(entries.size()) + " entries for " +
+                    std::to_string(jobs.size()) + " jobs");
+    }
+    for (const SweepJob &job : jobs) {
+        int count = 0;
+        for (const JournalEntry &entry : entries)
+            count += entry.job == job.name;
+        if (count != 1)
+            anomaly("job journaled wrong number of times",
+                    job.name + " x" + std::to_string(count));
+    }
+    if (!filterResumeJobs(jobs, entries).empty())
+        anomaly("resume plan not empty after a completed sweep", "");
+
+    std::remove(journal_path.c_str());
+    if (verbose && anomalies == 0) {
+        std::fprintf(
+            stderr,
+            "cawa_fuzz: crash seed %llu ok (victim %s attempts %d)\n",
+            static_cast<unsigned long long>(seed),
+            jobs[victim].name.c_str(), results[victim].attempts);
+    }
+    return anomalies;
+}
+
 [[noreturn]] void
 usage(int status)
 {
@@ -299,6 +435,8 @@ usage(int status)
                  " (default 20)\n"
                  "  --ckpt-seeds N  number of checkpoint-corruption"
                  " seeds (default 5)\n"
+                 "  --crash-seeds N number of worker-crash journal"
+                 " seeds (default 3)\n"
                  "  --start S       first seed (default 1)\n"
                  "  --check L       invariant audit level 0/1/2"
                  " (default 2)\n"
@@ -314,6 +452,7 @@ main(int argc, char **argv)
 {
     std::uint64_t seeds = 20;
     std::uint64_t ckpt_seeds = 5;
+    std::uint64_t crash_seeds = 3;
     std::uint64_t start = 1;
     int check_level = 2;
     bool verbose = false;
@@ -331,6 +470,8 @@ main(int argc, char **argv)
             seeds = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--ckpt-seeds") {
             ckpt_seeds = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--crash-seeds") {
+            crash_seeds = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--start") {
             start = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--check") {
@@ -399,11 +540,16 @@ main(int argc, char **argv)
          ++seed)
         anomalies += runCheckpointSeed(seed, verbose);
 
+    for (std::uint64_t seed = start; seed < start + crash_seeds;
+         ++seed)
+        anomalies += runCrashSeed(seed, verbose);
+
     std::fprintf(stderr,
                  "cawa_fuzz: %llu fault seeds, %llu ckpt seeds, "
-                 "%d anomal%s\n",
+                 "%llu crash seeds, %d anomal%s\n",
                  static_cast<unsigned long long>(seeds),
                  static_cast<unsigned long long>(ckpt_seeds),
+                 static_cast<unsigned long long>(crash_seeds),
                  anomalies, anomalies == 1 ? "y" : "ies");
     return anomalies ? 1 : 0;
 }

@@ -1,11 +1,20 @@
 /**
  * @file
- * cawa_sweep: run a workload x scheduler x cache-policy matrix on the
- * parallel sweep engine and emit one JSON document per job
- * (schema "cawa-simreport-v3") for plotting and regression baselines.
- * A job that crashes does not take the sweep down: its failure is
- * emitted as a first-class "cawa-sweepfailure-v1" document and every
- * other job still runs.
+ * cawa_sweep: run a workload x scheduler x cache-policy matrix and
+ * emit one JSON document per job (schema "cawa-simreport-v3") for
+ * plotting and regression baselines. A job that crashes does not take
+ * the sweep down: its failure is emitted as a first-class
+ * "cawa-sweepfailure-v1" document and every other job still runs.
+ *
+ * By default (where fork() exists) every job runs in a sandboxed
+ * worker subprocess under the sweep supervisor (sim/supervisor.hh):
+ * the worker streams heartbeat / checkpoint-written / result frames
+ * back over a pipe, the parent enforces resource caps and liveness,
+ * and a worker that crashes, OOMs or hangs is killed, journaled under
+ * that status and respawned with capped exponential backoff --
+ * resuming from its last checkpoint when one exists. --no-isolate
+ * (or a platform without fork) falls back to the in-process thread
+ * pool, which behaves exactly as before.
  *
  * Examples:
  *   cawa_sweep --workloads sens --schedulers rr,gto,gcaws \
@@ -14,9 +23,11 @@
  *   cawa_sweep --out sweep/ --journal sweep/runs.jsonl   # then, after
  *   cawa_sweep --out sweep/ --journal sweep/runs.jsonl --resume
  *
- * With --journal, one JSON line is appended per finished job; with
- * --resume, jobs already journaled as "ok" are skipped so a killed or
- * partially-failed sweep re-runs only the failed/missing jobs. With
+ * With --journal, one JSON line is appended (and fsync()ed) per
+ * finished job; the journal is flock()ed so a second cawa_sweep on
+ * the same file fails fast instead of interleaving appends. With
+ * --resume, jobs already journaled as "ok" are skipped and the
+ * journal is compacted (later entry per job wins). With
  * --checkpoint-dir, running jobs snapshot their full machine state
  * periodically (and on SIGINT/SIGTERM or --job-timeout expiry), and
  * --resume continues each re-run job cycle-exactly from its snapshot
@@ -29,6 +40,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -39,12 +51,17 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include <unistd.h>
 
+#include "common/sim_error.hh"
+#include "common/subprocess.hh"
+#include "common/table.hh"
 #include "sim/journal.hh"
 #include "sim/report_json.hh"
+#include "sim/supervisor.hh"
 #include "sim/sweep.hh"
 #include "workloads/registry.hh"
 #include "workloads/sweep_jobs.hh"
@@ -59,7 +76,8 @@ namespace
  * every running job polls (each writes a final checkpoint when
  * configured, then stops), started jobs drain, the journal and the
  * partial report are flushed, and cawa_sweep exits 130. A second
- * signal hard-exits immediately.
+ * signal hard-exits immediately. Under --isolate the supervisor
+ * forwards the shutdown to every worker as SIGTERM.
  */
 std::atomic<bool> g_cancel{false};
 std::atomic<int> g_signalCount{0};
@@ -92,7 +110,15 @@ struct Options
     std::uint64_t checkpointInterval = 1'000'000; ///< cycles
     double jobTimeout = 0.0; ///< per-job wall-clock budget (seconds)
     bool resume = false;
-    int retries = 0; ///< extra attempts for jobs that throw
+    int retries = 0; ///< extra in-worker attempts for jobs that throw
+    bool isolate = true; ///< sandboxed worker subprocess per job
+    int maxRespawns = 2; ///< process respawns after a crash/oom/hang
+    int retryBudget = -1; ///< sweep-wide respawn cap (-1 = unlimited)
+    std::uint64_t workerMemMb = 0; ///< RLIMIT_AS per worker (MB)
+    std::uint64_t workerCpuSec = 0; ///< RLIMIT_CPU per worker
+    std::vector<std::size_t> faultKillNth;  ///< test-only
+    std::vector<std::size_t> faultStallNth; ///< test-only
+    std::uint64_t faultCycle = 20'000;      ///< test-only
     bool listOnly = false;
     bool compact = false;
     bool includeBlocks = true;
@@ -111,23 +137,44 @@ usage(int status)
         "  --policies LIST    lru,srrip,ship,cacp (default: cacp)\n"
         "  --scale S          problem scale (default 0.5)\n"
         "  --seed N           workload input seed (default 1)\n"
-        "  --threads N        worker threads (default:\n"
+        "  --threads N        concurrent jobs, in [1, 256] (default:\n"
         "                     CAWA_BENCH_THREADS, else all cores)\n"
         "  --out DIR          write DIR/<job>.json instead of stdout\n"
-        "  --journal FILE     append one JSON line per finished job\n"
+        "  --journal FILE     append one JSON line per finished job;\n"
+        "                     the file is locked against a second\n"
+        "                     concurrent cawa_sweep\n"
         "  --checkpoint-dir D write DIR/<job>.ckpt snapshots while\n"
         "                     jobs run; with --resume, restore them\n"
         "  --checkpoint-interval N\n"
         "                     cycles between snapshots (default 1e6)\n"
-        "  --job-timeout SEC  per-job wall-clock budget; an exceeded\n"
-        "                     job checkpoints (when configured) and\n"
-        "                     fails with reason 'walltime'\n"
+        "  --job-timeout SEC  per-job wall-clock budget in (0, 86400];\n"
+        "                     an exceeded job checkpoints (when\n"
+        "                     configured) and fails with 'walltime'\n"
         "  --resume           skip jobs journaled as ok (needs\n"
-        "                     --journal); with --checkpoint-dir,\n"
-        "                     re-run jobs continue from their latest\n"
-        "                     valid checkpoint\n"
+        "                     --journal) and compact the journal; with\n"
+        "                     --checkpoint-dir, re-run jobs continue\n"
+        "                     from their latest valid checkpoint\n"
         "  --retries N        re-run a job that throws up to N extra\n"
-        "                     times (default 0)\n"
+        "                     times in-worker, N in [0, 100]\n"
+        "                     (default 0)\n"
+        "  --isolate          run each job in a sandboxed worker\n"
+        "                     subprocess (default where supported)\n"
+        "  --no-isolate       force the in-process thread pool\n"
+        "  --max-respawns N   worker respawns per job after a\n"
+        "                     crash/oom/hang, N in [0, 100]\n"
+        "                     (default 2; isolate mode only)\n"
+        "  --retry-budget N   sweep-wide respawn cap, N in [-1, 10000]\n"
+        "                     (-1 = unlimited, the default)\n"
+        "  --worker-mem-mb N  per-worker address-space cap in MB\n"
+        "                     (0 = off; skipped under ASan)\n"
+        "  --worker-cpu-sec N per-worker CPU-seconds cap (0 = off)\n"
+        "  --fault-kill-nth L test-only: SIGKILL the listed jobs'\n"
+        "                     workers mid-run (comma list of indices)\n"
+        "  --fault-stall-nth L\n"
+        "                     test-only: stall the listed jobs'\n"
+        "                     heartbeats mid-run\n"
+        "  --fault-cycle N    test-only: simulated cycle the injected\n"
+        "                     faults fire at (default 20000)\n"
         "  --compact          single-line JSON (stdout default)\n"
         "  --no-blocks        omit per-block/per-warp records\n"
         "  --no-trace         omit the criticality trace\n"
@@ -187,10 +234,61 @@ parsePositiveDouble(const std::string &text, const char *what)
     return v;
 }
 
+/**
+ * Strict integer option parsing: anything non-numeric, with trailing
+ * junk, or outside [lo, hi] is rejected with the accepted range named
+ * -- never silently truncated or clamped (an out-of-range request is
+ * a user error the user should hear about).
+ */
+long
+parseIntInRange(const std::string &text, const char *what, long lo,
+                long hi)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "cawa_sweep: bad %s '%s': want an integer in "
+                     "[%ld, %ld]\n",
+                     what, text.c_str(), lo, hi);
+        std::exit(2);
+    }
+    return v;
+}
+
+double
+parseDoubleInRange(const std::string &text, const char *what,
+                   double lo, double hi)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || !(v > lo) || v > hi) {
+        std::fprintf(stderr,
+                     "cawa_sweep: bad %s '%s': want a number in "
+                     "(%g, %g]\n",
+                     what, text.c_str(), lo, hi);
+        std::exit(2);
+    }
+    return v;
+}
+
+std::vector<std::size_t>
+parseIndexList(const std::string &text, const char *what)
+{
+    std::vector<std::size_t> out;
+    for (const std::string &item : splitList(text))
+        out.push_back(static_cast<std::size_t>(
+            parseIntInRange(item, what, 0, 1'000'000)));
+    return out;
+}
+
 Options
 parseArgs(int argc, char **argv)
 {
     Options opt;
+    opt.isolate = processIsolationAvailable();
     auto next = [&](int &i) -> std::string {
         if (i + 1 >= argc) {
             std::fprintf(stderr, "cawa_sweep: %s needs a value\n",
@@ -223,7 +321,7 @@ parseArgs(int argc, char **argv)
             opt.seed = std::strtoull(next(i).c_str(), nullptr, 10);
         } else if (arg == "--threads") {
             opt.threads = static_cast<int>(
-                parsePositiveDouble(next(i), "thread count"));
+                parseIntInRange(next(i), "--threads", 1, 256));
         } else if (arg == "--out") {
             opt.outDir = next(i);
         } else if (arg == "--journal") {
@@ -234,13 +332,47 @@ parseArgs(int argc, char **argv)
             opt.checkpointInterval = static_cast<std::uint64_t>(
                 parsePositiveDouble(next(i), "checkpoint interval"));
         } else if (arg == "--job-timeout") {
-            opt.jobTimeout =
-                parsePositiveDouble(next(i), "job timeout");
+            opt.jobTimeout = parseDoubleInRange(
+                next(i), "--job-timeout", 0.0, 86400.0);
         } else if (arg == "--resume") {
             opt.resume = true;
         } else if (arg == "--retries") {
             opt.retries = static_cast<int>(
-                parsePositiveDouble(next(i), "retry count"));
+                parseIntInRange(next(i), "--retries", 0, 100));
+        } else if (arg == "--isolate") {
+            if (!processIsolationAvailable()) {
+                std::fprintf(stderr,
+                             "cawa_sweep: --isolate is not supported "
+                             "on this platform\n");
+                std::exit(2);
+            }
+            opt.isolate = true;
+        } else if (arg == "--no-isolate") {
+            opt.isolate = false;
+        } else if (arg == "--max-respawns") {
+            opt.maxRespawns = static_cast<int>(
+                parseIntInRange(next(i), "--max-respawns", 0, 100));
+        } else if (arg == "--retry-budget") {
+            opt.retryBudget = static_cast<int>(
+                parseIntInRange(next(i), "--retry-budget", -1, 10000));
+        } else if (arg == "--worker-mem-mb") {
+            opt.workerMemMb = static_cast<std::uint64_t>(
+                parseIntInRange(next(i), "--worker-mem-mb", 0,
+                                1'048'576));
+        } else if (arg == "--worker-cpu-sec") {
+            opt.workerCpuSec = static_cast<std::uint64_t>(
+                parseIntInRange(next(i), "--worker-cpu-sec", 0,
+                                86'400));
+        } else if (arg == "--fault-kill-nth") {
+            opt.faultKillNth =
+                parseIndexList(next(i), "--fault-kill-nth index");
+        } else if (arg == "--fault-stall-nth") {
+            opt.faultStallNth =
+                parseIndexList(next(i), "--fault-stall-nth index");
+        } else if (arg == "--fault-cycle") {
+            opt.faultCycle = static_cast<std::uint64_t>(
+                parseIntInRange(next(i), "--fault-cycle", 1,
+                                1'000'000'000));
         } else if (arg == "--compact") {
             opt.compact = true;
         } else if (arg == "--no-blocks") {
@@ -266,6 +398,13 @@ parseArgs(int argc, char **argv)
                      "cawa_sweep: --resume needs --journal FILE\n");
         std::exit(2);
     }
+    if ((!opt.faultKillNth.empty() || !opt.faultStallNth.empty()) &&
+        !opt.isolate) {
+        std::fprintf(stderr,
+                     "cawa_sweep: worker fault injection needs "
+                     "--isolate\n");
+        std::exit(2);
+    }
     const auto known = allWorkloadNames();
     for (const auto &name : opt.workloads) {
         if (std::find(known.begin(), known.end(), name) == known.end()) {
@@ -277,12 +416,173 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** Resolved path of this binary, for re-exec'ing worker children. */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+/**
+ * Serialize one job as the `--worker` spec frame. Everything a worker
+ * needs to rebuild the job deterministically travels in-band: the
+ * workload spec, the config knobs the sweep set, the checkpoint
+ * wiring (including the supervisor's per-attempt resume path) and the
+ * armed fault-injection knobs.
+ */
+std::string
+workerSpecJson(const WorkloadJobSpec &spec, const SweepJob &job,
+               int jobAttempts, int attempt, double heartbeatSec)
+{
+    std::string out = "{\"workload\":";
+    appendJsonString(out, spec.workload);
+    out += ",\"scheduler\":";
+    appendJsonString(out, schedulerKindName(job.cfg.scheduler));
+    out += ",\"policy\":";
+    appendJsonString(out, cachePolicyKindName(job.cfg.l1Policy));
+    out += ",\"seed\":" + std::to_string(spec.params.seed);
+    out += ",\"scale\":" + std::to_string(spec.params.scale);
+    out += ",\"jobTimeout\":" + std::to_string(job.cfg.wallClockLimitSec);
+    out += ",\"checkpointPath\":";
+    appendJsonString(out, job.cfg.checkpointPath);
+    out += ",\"checkpointInterval\":" +
+           std::to_string(job.cfg.checkpointInterval);
+    out += ",\"resume\":";
+    appendJsonString(out, job.resumeFromCheckpoint);
+    out += ",\"faultKillSignal\":" +
+           std::to_string(job.cfg.faults.workerKillSignal);
+    out += ",\"faultStall\":";
+    out += job.cfg.faults.workerStallHeartbeat ? "true" : "false";
+    out += ",\"faultExitCode\":" +
+           std::to_string(job.cfg.faults.workerExitCode);
+    out += ",\"faultCycle\":" +
+           std::to_string(job.cfg.faults.workerFaultCycle);
+    out += ",\"jobAttempts\":" + std::to_string(jobAttempts);
+    out += ",\"attempt\":" + std::to_string(attempt);
+    out += ",\"heartbeatSec\":" + std::to_string(heartbeatSec);
+    out += "}";
+    return out;
+}
+
+/**
+ * Hidden `cawa_sweep --worker` entrypoint: read one spec frame from
+ * stdin, rebuild the job, run it under runSweepWorker() streaming
+ * frames to stdout. Never prints to stdout itself -- the fd carries
+ * the frame protocol.
+ */
+int
+runWorkerMode()
+{
+    FrameReader reader;
+    std::string payload;
+    char buf[4096];
+    while (!reader.next(payload)) {
+        if (reader.corrupt()) {
+            std::fprintf(stderr,
+                         "cawa_sweep --worker: corrupt spec frame\n");
+            return 2;
+        }
+        const ssize_t got = read(STDIN_FILENO, buf, sizeof(buf));
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0) {
+            std::fprintf(stderr,
+                         "cawa_sweep --worker: no job spec on stdin "
+                         "(this entrypoint is internal to the sweep "
+                         "supervisor)\n");
+            return 2;
+        }
+        reader.feed(buf, static_cast<std::size_t>(got));
+    }
+
+    try {
+        const JsonValue spec = parseJson(payload);
+        WorkloadJobSpec ws;
+        ws.workload = spec.at("workload").asString();
+        ws.cfg = GpuConfig::fermiGtx480();
+        ws.cfg.scheduler =
+            parseScheduler(spec.at("scheduler").asString());
+        ws.cfg.l1Policy = parsePolicy(spec.at("policy").asString());
+        ws.params.seed = spec.at("seed").asU64();
+        ws.params.scale = spec.at("scale").asDouble();
+
+        SweepJob job = makeWorkloadJob(ws);
+        job.cfg.wallClockLimitSec = spec.at("jobTimeout").asDouble();
+        job.cfg.checkpointPath = spec.at("checkpointPath").asString();
+        job.cfg.checkpointInterval =
+            spec.at("checkpointInterval").asU64();
+        job.resumeFromCheckpoint = spec.at("resume").asString();
+        job.cfg.faults.workerKillSignal =
+            static_cast<int>(spec.at("faultKillSignal").asI64());
+        job.cfg.faults.workerStallHeartbeat =
+            spec.at("faultStall").asBool();
+        job.cfg.faults.workerExitCode =
+            static_cast<int>(spec.at("faultExitCode").asI64());
+        job.cfg.faults.workerFaultCycle = spec.at("faultCycle").asI64();
+
+        const int jobAttempts =
+            static_cast<int>(spec.at("jobAttempts").asI64());
+        const int attempt =
+            static_cast<int>(spec.at("attempt").asI64());
+        const double heartbeatSec = spec.at("heartbeatSec").asDouble();
+        return runSweepWorker(job, jobAttempts, STDOUT_FILENO,
+                              heartbeatSec, attempt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cawa_sweep --worker: bad job spec: %s\n",
+                     e.what());
+        return 2;
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "--worker") == 0)
+        return runWorkerMode();
+
     const Options opt = parseArgs(argc, argv);
+
+    // Reject a malformed CAWA_SIM_THREADS up front, before any job
+    // bakes it into a per-job error.
+    try {
+        simThreadsFromEnv(1);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "cawa_sweep: %s\n", e.what());
+        return 2;
+    }
 
     std::vector<WorkloadJobSpec> specs;
     for (const auto &workload : opt.workloads) {
@@ -306,12 +606,33 @@ main(int argc, char **argv)
         return 0;
     }
 
+    std::unordered_map<std::string, WorkloadJobSpec> specByName;
+    for (const auto &spec : specs)
+        specByName.emplace(workloadJobName(spec), spec);
+
     std::vector<SweepJob> jobs = makeWorkloadJobs(specs);
 
+    // The journal: locked, fsync-per-append, compacted on --resume.
+    JournalWriter journal;
+    std::vector<JournalEntry> journaled;
+    if (!opt.journalPath.empty()) {
+        try {
+            if (opt.resume)
+                journaled = readJournal(opt.journalPath);
+            journal.open(opt.journalPath);
+            if (opt.resume && !journaled.empty()) {
+                journaled = compactEntries(journaled);
+                journal.rewrite(journaled);
+            }
+        } catch (const SimError &e) {
+            std::fprintf(stderr, "cawa_sweep: %s\n", e.what());
+            return 2;
+        }
+    }
+
     if (opt.resume) {
-        const auto journal = readJournal(opt.journalPath);
         const std::size_t total = jobs.size();
-        jobs = filterResumeJobs(jobs, journal);
+        jobs = filterResumeJobs(jobs, journaled);
         std::fprintf(stderr,
                      "cawa_sweep: resume: %zu of %zu jobs already ok\n",
                      total - jobs.size(), total);
@@ -320,7 +641,6 @@ main(int argc, char **argv)
     // Checkpointing, per-job wall-clock budget and graceful shutdown.
     if (!opt.checkpointDir.empty())
         std::filesystem::create_directories(opt.checkpointDir);
-    std::size_t resumable = 0;
     for (SweepJob &job : jobs) {
         job.cfg.cancelFlag = &g_cancel;
         job.cfg.wallClockLimitSec = opt.jobTimeout;
@@ -331,63 +651,104 @@ main(int argc, char **argv)
             (job.name + ".ckpt");
         job.cfg.checkpointPath = ckpt.string();
         job.cfg.checkpointInterval = opt.checkpointInterval;
-        // On resume, continue each re-run job from its snapshot; an
-        // unusable file falls back to a from-scratch run inside
-        // runSweepJob.
-        if (opt.resume && std::filesystem::exists(ckpt)) {
-            job.resumeFromCheckpoint = ckpt.string();
-            ++resumable;
-        }
     }
-    if (resumable)
-        std::fprintf(stderr,
-                     "cawa_sweep: resume: %zu job%s continuing from "
-                     "checkpoints\n",
-                     resumable, resumable == 1 ? "" : "s");
+    // On resume, continue each re-run job from its snapshot; an
+    // unusable file falls back to a from-scratch run inside
+    // runSweepJob.
+    if (opt.resume && !opt.checkpointDir.empty()) {
+        const std::size_t resumable =
+            attachResumeCheckpoints(jobs, opt.checkpointDir);
+        if (resumable)
+            std::fprintf(stderr,
+                         "cawa_sweep: resume: %zu job%s continuing "
+                         "from checkpoints\n",
+                         resumable, resumable == 1 ? "" : "s");
+    }
+
+    // Test-only worker fault injection (supervised workers only).
+    for (const std::size_t idx : opt.faultKillNth)
+        if (idx < jobs.size()) {
+            jobs[idx].cfg.faults.workerKillSignal = SIGKILL;
+            jobs[idx].cfg.faults.workerFaultCycle =
+                static_cast<std::int64_t>(opt.faultCycle);
+        }
+    for (const std::size_t idx : opt.faultStallNth)
+        if (idx < jobs.size()) {
+            jobs[idx].cfg.faults.workerStallHeartbeat = true;
+            jobs[idx].cfg.faults.workerFaultCycle =
+                static_cast<std::int64_t>(opt.faultCycle);
+        }
+
     std::signal(SIGINT, handleShutdownSignal);
     std::signal(SIGTERM, handleShutdownSignal);
 
     int threads = opt.threads;
     if (threads <= 0)
         threads = sweepThreadsFromEnv();
-    SweepEngine engine(threads);
-    std::fprintf(stderr, "cawa_sweep: %zu jobs on %d threads\n",
-                 jobs.size(), engine.threads());
 
-    // Journal as jobs finish (append + flush per line) so a killed
-    // sweep leaves a usable record for --resume.
-    std::ofstream journal_out;
-    if (!opt.journalPath.empty()) {
-        // A crash mid-append can leave the file without a trailing
-        // newline; terminate that torn line first so new records
-        // don't merge into it.
-        bool needs_newline = false;
-        if (std::ifstream prev(opt.journalPath,
-                               std::ios::binary | std::ios::ate);
-            prev && prev.tellg() > 0) {
-            prev.seekg(-1, std::ios::end);
-            needs_newline = prev.get() != '\n';
-        }
-        journal_out.open(opt.journalPath, std::ios::app);
-        if (!journal_out) {
-            std::fprintf(stderr, "cawa_sweep: cannot open journal %s\n",
-                         opt.journalPath.c_str());
-            return 2;
-        }
-        if (needs_newline)
-            journal_out << "\n";
-    }
     SweepEngine::JobDone on_done;
-    if (journal_out.is_open()) {
+    if (journal.isOpen()) {
         on_done = [&](std::size_t index, const SweepResult &res) {
-            journal_out << journalLine(makeJournalEntry(
-                               jobs[index].name, res))
-                        << "\n";
-            journal_out.flush();
+            journal.append(makeJournalEntry(jobs[index].name, res));
         };
     }
 
-    const auto results = engine.run(jobs, on_done, opt.retries + 1);
+    std::vector<SweepResult> results;
+    if (opt.isolate && processIsolationAvailable()) {
+        SupervisorOptions sup;
+        sup.workers = threads;
+        sup.jobMaxAttempts = opt.retries + 1;
+        sup.maxAttemptsPerJob = opt.maxRespawns + 1;
+        sup.retryBudget = opt.retryBudget;
+        sup.cancelFlag = &g_cancel;
+        sup.limits.memoryBytes = opt.workerMemMb << 20;
+        sup.limits.cpuSeconds = opt.workerCpuSec;
+        // Backstop over the worker's own graceful walltime handling:
+        // only a worker that fails to enforce its in-process budget
+        // (wedged in a syscall, spinning) gets killed by the parent.
+        if (opt.jobTimeout > 0.0)
+            sup.workerDeadlineSec = opt.jobTimeout * 2.0 + 10.0;
+        sup.workerArgv0 = selfExePath(argv[0]);
+        const int jobAttempts = sup.jobMaxAttempts;
+        const double heartbeatSec = sup.heartbeatIntervalSec;
+        sup.jobSpec = [&specByName, jobAttempts,
+                       heartbeatSec](std::size_t, const SweepJob &job,
+                                     int attempt) {
+            return workerSpecJson(specByName.at(job.name), job,
+                                  jobAttempts, attempt, heartbeatSec);
+        };
+        sup.onEvent = [](std::size_t index, int attempt,
+                         const std::string &event,
+                         const std::string &detail, double delaySec) {
+            if (event == "retry")
+                std::fprintf(stderr,
+                             "cawa_sweep: job %zu attempt %d %s; "
+                             "respawning in %.2fs\n",
+                             index, attempt, detail.c_str(), delaySec);
+            else if (event == "crashed" || event == "oom" ||
+                     event == "hung" || event == "walltime")
+                std::fprintf(stderr, "cawa_sweep: job %zu attempt %d "
+                             "%s: %s\n",
+                             index, attempt, event.c_str(),
+                             detail.c_str());
+        };
+        SweepSupervisor supervisor(std::move(sup));
+        if (threads > 0)
+            std::fprintf(stderr,
+                         "cawa_sweep: %zu jobs on up to %d isolated "
+                         "workers\n",
+                         jobs.size(), threads);
+        else
+            std::fprintf(stderr,
+                         "cawa_sweep: %zu jobs on isolated workers\n",
+                         jobs.size());
+        results = supervisor.run(jobs, on_done);
+    } else {
+        SweepEngine engine(threads);
+        std::fprintf(stderr, "cawa_sweep: %zu jobs on %d threads\n",
+                     jobs.size(), engine.threads());
+        results = engine.run(jobs, on_done, opt.retries + 1);
+    }
 
     JsonWriteOptions json_opt;
     json_opt.includeBlocks = opt.includeBlocks;
@@ -416,9 +777,16 @@ main(int argc, char **argv)
     };
 
     int failures = 0;
+    Table summary({"job", "status", "attempts", "detail"});
     for (std::size_t i = 0; i < results.size(); ++i) {
         const SweepResult &res = results[i];
         const std::string &name = jobs[i].name;
+        const JournalEntry entry = makeJournalEntry(name, res);
+        summary.row()
+            .cell(name)
+            .cell(entry.status)
+            .cell(std::max(entry.attempts, 1))
+            .cell(entry.error);
         if (!res.error.empty()) {
             if (res.failureReason == "cancelled")
                 std::fprintf(stderr, "cawa_sweep: %s CANCELLED: %s\n",
@@ -455,6 +823,8 @@ main(int argc, char **argv)
         if (!emitDoc(name, toJson(res.report, json_opt)))
             ++failures;
     }
+    if (summary.numRows() > 0)
+        summary.print(std::cerr, "sweep summary");
     // Conventional fatal-signal exit status; the journal and
     // checkpoints written above make a later --resume pick up where
     // this run stopped.

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * POSIX subprocess helper tests: fork/reap round trips, frame
+ * protocol framing (including torn tails and oversized frames),
+ * signal delivery and the setrlimit memory cap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/subprocess.hh"
+
+namespace cawa
+{
+namespace
+{
+
+/** Blocking frame read from a child's pipe for test use. */
+bool
+readFrameBlocking(int fd, FrameReader &reader, std::string &payload)
+{
+    char buf[4096];
+    while (!reader.next(payload)) {
+        if (reader.corrupt())
+            return false;
+        const ssize_t got = read(fd, buf, sizeof(buf));
+        if (got <= 0)
+            return false;
+        reader.feed(buf, static_cast<std::size_t>(got));
+    }
+    return true;
+}
+
+TEST(Subprocess, ForkWorkerFramesAndExitCodeRoundTrip)
+{
+    ASSERT_TRUE(processIsolationAvailable());
+    ChildProcess child = forkWorker([](int, int outFd) {
+        writeFrame(outFd, "first frame");
+        writeFrame(outFd, std::string(100'000, 'x')); // multi-read
+        return 7;
+    });
+    FrameReader reader;
+    std::string payload;
+    ASSERT_TRUE(readFrameBlocking(child.fromChild, reader, payload));
+    EXPECT_EQ(payload, "first frame");
+    ASSERT_TRUE(readFrameBlocking(child.fromChild, reader, payload));
+    EXPECT_EQ(payload, std::string(100'000, 'x'));
+
+    const WaitStatus st = waitChild(child.pid);
+    EXPECT_TRUE(st.exited);
+    EXPECT_EQ(st.exitCode, 7);
+    EXPECT_EQ(st.describe(), "exit code 7");
+    child.closePipes();
+}
+
+TEST(Subprocess, ParentToChildPipeCarriesFrames)
+{
+    ChildProcess child = forkWorker([](int inFd, int outFd) {
+        FrameReader reader;
+        std::string payload;
+        if (!readFrameBlocking(inFd, reader, payload))
+            return 1;
+        writeFrame(outFd, "echo:" + payload);
+        return 0;
+    });
+    ASSERT_TRUE(writeFrame(child.toChild, "job spec"));
+    close(child.toChild);
+    child.toChild = -1;
+
+    FrameReader reader;
+    std::string payload;
+    ASSERT_TRUE(readFrameBlocking(child.fromChild, reader, payload));
+    EXPECT_EQ(payload, "echo:job spec");
+    EXPECT_EQ(waitChild(child.pid).exitCode, 0);
+    child.closePipes();
+}
+
+TEST(Subprocess, SignaledChildDecodesAsSignal)
+{
+    ChildProcess child = forkWorker([](int, int) {
+        for (;;)
+            pause();
+        return 0;
+    });
+    EXPECT_FALSE(pollChild(child.pid).has_value());
+    signalChild(child.pid, SIGKILL);
+    const WaitStatus st = waitChild(child.pid);
+    EXPECT_TRUE(st.signaled);
+    EXPECT_EQ(st.termSignal, SIGKILL);
+    EXPECT_NE(st.describe().find("signal 9"), std::string::npos)
+        << st.describe();
+    child.closePipes();
+}
+
+TEST(Subprocess, ThrowingBodyExits125)
+{
+    ChildProcess child = forkWorker(
+        [](int, int) -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(waitChild(child.pid).exitCode, 125);
+    child.closePipes();
+}
+
+TEST(Subprocess, MemoryLimitKillsOverAllocatingChild)
+{
+    if (!memoryLimitSupported())
+        GTEST_SKIP() << "RLIMIT_AS unusable under this sanitizer";
+    ChildLimits limits;
+    limits.memoryBytes = 64ull << 20;
+    ChildProcess child = forkWorker(
+        [](int, int) -> int {
+            try {
+                // Far over the cap; touch every page so the pages are
+                // really committed. The volatile access keeps the
+                // optimizer from eliding the unused new/delete pair
+                // (in which case the cap would never be hit).
+                const std::size_t want = 512ull << 20;
+                char *p = new char[want];
+                for (std::size_t i = 0; i < want; i += 4096)
+                    p[i] = 1;
+                const volatile char sink = p[want - 1];
+                delete[] p;
+                return sink == 1 ? 0 : 2;
+            } catch (const std::bad_alloc &) {
+                return 42;
+            }
+        },
+        limits);
+    const WaitStatus st = waitChild(child.pid);
+    // Either the allocation throws (42) or the kernel kills the
+    // child; what must NOT happen is a clean over-cap success.
+    EXPECT_TRUE((st.exited && st.exitCode == 42) || st.signaled)
+        << st.describe();
+    child.closePipes();
+}
+
+TEST(FrameReader, TornTailNeverYieldsAndIsCountable)
+{
+    // A frame cut at any byte: no payload comes out, and the reader
+    // reports the pending (torn) byte count.
+    const std::string payload = "torn tail victim";
+    std::string wire;
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        wire += static_cast<char>((size >> (8 * i)) & 0xff);
+    wire += payload;
+
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+        FrameReader reader;
+        reader.feed(wire.data(), cut);
+        std::string out;
+        EXPECT_FALSE(reader.next(out)) << "cut at " << cut;
+        EXPECT_EQ(reader.pendingBytes(), cut);
+        // Completing the stream yields exactly the one frame.
+        reader.feed(wire.data() + cut, wire.size() - cut);
+        ASSERT_TRUE(reader.next(out));
+        EXPECT_EQ(out, payload);
+        EXPECT_FALSE(reader.next(out));
+    }
+}
+
+TEST(FrameReader, OversizedFrameMarksStreamCorrupt)
+{
+    FrameReader reader(/*maxFrameBytes=*/16);
+    const std::uint32_t size = 17;
+    std::string wire;
+    for (int i = 0; i < 4; ++i)
+        wire += static_cast<char>((size >> (8 * i)) & 0xff);
+    wire += std::string(17, 'y');
+    reader.feed(wire.data(), wire.size());
+    std::string out;
+    EXPECT_FALSE(reader.next(out));
+    EXPECT_TRUE(reader.corrupt());
+}
+
+TEST(FrameReader, BackToBackFramesInOneFeed)
+{
+    std::string wire;
+    auto addFrame = [&wire](const std::string &payload) {
+        const std::uint32_t size =
+            static_cast<std::uint32_t>(payload.size());
+        for (int i = 0; i < 4; ++i)
+            wire += static_cast<char>((size >> (8 * i)) & 0xff);
+        wire += payload;
+    };
+    addFrame("a");
+    addFrame(""); // empty payloads are legal
+    addFrame("ccc");
+
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    std::string out;
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out, "a");
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out, "");
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out, "ccc");
+    EXPECT_FALSE(reader.next(out));
+    EXPECT_EQ(reader.pendingBytes(), 0u);
+}
+
+TEST(Subprocess, WriteFrameToDeadReaderReportsFailure)
+{
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    close(fds[0]); // reader gone
+    // SIGPIPE would kill the test process before writeFrame can
+    // report; the supervisor/worker both ignore it the same way.
+    signal(SIGPIPE, SIG_IGN);
+    EXPECT_FALSE(writeFrame(fds[1], "nobody listening"));
+    close(fds[1]);
+    signal(SIGPIPE, SIG_DFL);
+}
+
+} // namespace
+} // namespace cawa

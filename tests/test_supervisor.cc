@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Sweep supervisor tests: process-isolated workers must produce
+ * byte-identical reports to the in-process engine even when workers
+ * are SIGKILL'd mid-run; heartbeat-stalled workers are classified
+ * "hung", killed via SIGTERM -> SIGKILL escalation and retried on
+ * the deterministic backoff schedule; exit-code/oom failures are
+ * classified and journaled first-class; the retry budget bounds
+ * respawns; checkpoints carry progress across worker deaths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "isa/program_builder.hh"
+#include "sim/journal.hh"
+#include "sim/report_json.hh"
+#include "sim/supervisor.hh"
+#include "sim/sweep.hh"
+
+namespace cawa
+{
+namespace
+{
+
+Program
+trivialProgram()
+{
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.shlImm(2, 1, 2);
+    b.movImm(3, 7);
+    b.stGlobal(2, 3, 0x1000);
+    b.exit();
+    return b.build();
+}
+
+SweepJob
+goodJob(const std::string &name, int gridDim = 2, int blockDim = 64)
+{
+    SweepJob job;
+    job.name = name;
+    job.cfg = GpuConfig::fermiGtx480();
+    job.cfg.numSms = 1;
+    job.build = [gridDim, blockDim](MemoryImage &) {
+        KernelInfo k;
+        k.name = "t";
+        k.program = trivialProgram();
+        k.gridDim = gridDim;
+        k.blockDim = blockDim;
+        return k;
+    };
+    return job;
+}
+
+std::string
+tempPath(const char *file)
+{
+    return ::testing::TempDir() + file;
+}
+
+/** Compact full-fidelity serialization used for byte comparison. */
+std::string
+reportBytes(const SimReport &report)
+{
+    JsonWriteOptions opt;
+    opt.pretty = false;
+    return toJson(report, opt);
+}
+
+/** Fast supervision timings so fault tests finish in seconds. */
+SupervisorOptions
+fastOptions(int workers = 2)
+{
+    SupervisorOptions opt;
+    opt.workers = workers;
+    opt.heartbeatIntervalSec = 0.05;
+    opt.heartbeatMissLimit = 20;
+    opt.gracePeriodSec = 0.3;
+    opt.backoffBaseSec = 0.01;
+    opt.backoffCapSec = 0.05;
+    return opt;
+}
+
+TEST(Backoff, DeterministicJitteredAndCapped)
+{
+    SupervisorOptions opt;
+    opt.backoffBaseSec = 0.1;
+    opt.backoffCapSec = 1.0;
+    opt.backoffSeed = 42;
+
+    // Same (seed, job, attempt) -> same delay, run to run.
+    const double d1 = backoffDelaySec(opt, "job-a", 1);
+    EXPECT_DOUBLE_EQ(d1, backoffDelaySec(opt, "job-a", 1));
+
+    // Jitter stays within [0.75, 1.25) of the exponential base, and
+    // the cap bounds late attempts.
+    for (int attempt = 1; attempt <= 10; ++attempt) {
+        const double base = std::min(
+            opt.backoffCapSec,
+            opt.backoffBaseSec * std::pow(2.0, attempt - 1));
+        const double d = backoffDelaySec(opt, "job-a", attempt);
+        EXPECT_GE(d, 0.75 * base);
+        EXPECT_LT(d, 1.25 * base);
+    }
+
+    // Different jobs and seeds draw different jitter.
+    EXPECT_NE(backoffDelaySec(opt, "job-a", 1),
+              backoffDelaySec(opt, "job-b", 1));
+    SupervisorOptions other = opt;
+    other.backoffSeed = 43;
+    EXPECT_NE(backoffDelaySec(opt, "job-a", 1),
+              backoffDelaySec(other, "job-a", 1));
+}
+
+TEST(ResultFrame, RoundTripsLosslessly)
+{
+    SweepResult r = runSweepJob(goodJob("frame-job"));
+    ASSERT_TRUE(r.ok());
+    r.attempts = 2;
+    r.resumed = true;
+
+    const SweepResult back = resultFromFrame(resultFrameJson(r, 1));
+    EXPECT_EQ(back.verified, r.verified);
+    EXPECT_EQ(back.attempts, r.attempts);
+    EXPECT_EQ(back.resumed, r.resumed);
+    EXPECT_EQ(back.error, r.error);
+    EXPECT_EQ(back.failureReason, r.failureReason);
+    EXPECT_EQ(reportBytes(back.report), reportBytes(r.report));
+}
+
+TEST(ResultFrame, MalformedFrameThrows)
+{
+    EXPECT_THROW(resultFromFrame("{\"type\":\"heartbeat\",\"seq\":0}"),
+                 std::runtime_error);
+    EXPECT_THROW(resultFromFrame("not json"), std::runtime_error);
+}
+
+// The acceptance matrix: 12 jobs, 3 of them SIGKILL'd mid-run, must
+// merge to byte-identical reports vs an unfaulted in-process sweep,
+// in submission order, with exactly one completion per job.
+TEST(Supervisor, KilledWorkersMergeByteIdenticalToInProcessRun)
+{
+    std::vector<SweepJob> jobs;
+    for (int i = 0; i < 12; ++i)
+        jobs.push_back(goodJob("job" + std::to_string(i),
+                               /*gridDim=*/2 + (i % 3),
+                               /*blockDim=*/32 * (1 + i % 2)));
+
+    // Unfaulted in-process baseline.
+    const SweepEngine engine(4);
+    const auto baseline = engine.run(jobs);
+    ASSERT_EQ(baseline.size(), jobs.size());
+    for (const auto &r : baseline)
+        ASSERT_TRUE(r.ok());
+
+    // Same matrix with workers 2, 5 and 9 killed by SIGKILL at an
+    // early simulated cycle (one-shot: the respawn is disarmed).
+    for (const int victim : {2, 5, 9}) {
+        jobs[victim].cfg.faults.workerKillSignal = SIGKILL;
+        jobs[victim].cfg.faults.workerFaultCycle = 1;
+    }
+
+    SupervisorOptions opt = fastOptions(4);
+    opt.maxAttemptsPerJob = 3;
+    SweepSupervisor supervisor(opt);
+
+    std::mutex doneMutex;
+    std::vector<int> completions(jobs.size(), 0);
+    const auto results = supervisor.run(
+        jobs, [&](std::size_t index, const SweepResult &res) {
+            std::lock_guard<std::mutex> lock(doneMutex);
+            ASSERT_LT(index, completions.size());
+            completions[index]++;
+            EXPECT_TRUE(res.ok()) << jobs[index].name;
+        });
+
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(completions[i], 1) << "job " << i;
+        ASSERT_TRUE(results[i].ok())
+            << jobs[i].name << ": " << results[i].error;
+        EXPECT_EQ(reportBytes(results[i].report),
+                  reportBytes(baseline[i].report))
+            << jobs[i].name;
+    }
+    // The killed jobs consumed a respawn; the healthy ones did not.
+    EXPECT_GE(results[2].attempts, 2);
+    EXPECT_GE(results[5].attempts, 2);
+    EXPECT_GE(results[9].attempts, 2);
+    EXPECT_EQ(results[0].attempts, 1);
+}
+
+// A worker that stops heartbeating (but stays alive, ignoring
+// SIGTERM) must be declared hung, killed via escalation, and retried
+// on exactly the deterministic backoff schedule.
+TEST(Supervisor, StalledHeartbeatClassifiedHungAndRetried)
+{
+    std::vector<SweepJob> jobs = {goodJob("stall-job")};
+    jobs[0].cfg.faults.workerStallHeartbeat = true;
+    jobs[0].cfg.faults.workerFaultCycle = 1;
+
+    SupervisorOptions opt = fastOptions(1);
+    opt.heartbeatMissLimit = 4; // hung after 0.2s of silence
+    opt.maxAttemptsPerJob = 2;
+
+    std::mutex eventsMutex;
+    std::vector<std::string> events;
+    double retryDelay = -1.0;
+    opt.onEvent = [&](std::size_t, int, const std::string &event,
+                      const std::string &, double delaySec) {
+        std::lock_guard<std::mutex> lock(eventsMutex);
+        events.push_back(event);
+        if (event == "retry")
+            retryDelay = delaySec;
+    };
+
+    SweepSupervisor supervisor(opt);
+    const auto results = supervisor.run(jobs);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok()) << results[0].error;
+    EXPECT_EQ(results[0].attempts, 2);
+
+    int hung = 0, retry = 0;
+    for (const auto &event : events) {
+        hung += event == "hung";
+        retry += event == "retry";
+    }
+    EXPECT_EQ(hung, 1);
+    EXPECT_EQ(retry, 1);
+    // The scheduled delay is exactly the deterministic backoff value.
+    EXPECT_DOUBLE_EQ(retryDelay,
+                     backoffDelaySec(opt, "stall-job", 1));
+}
+
+TEST(Supervisor, ExitCodeDeathClassifiedCrashedAndBounded)
+{
+    std::vector<SweepJob> jobs = {goodJob("exit-job")};
+    jobs[0].cfg.faults.workerExitCode = 9;
+    jobs[0].cfg.faults.workerFaultCycle = 1;
+    jobs[0].cfg.faults.workerFaultAttempts = 99; // never disarmed
+
+    SupervisorOptions opt = fastOptions(1);
+    opt.maxAttemptsPerJob = 2;
+    SweepSupervisor supervisor(opt);
+    const auto results = supervisor.run(jobs);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_EQ(results[0].failureReason, "crashed");
+    EXPECT_EQ(results[0].attempts, 2);
+    EXPECT_NE(results[0].error.find("exit code 9"), std::string::npos)
+        << results[0].error;
+    // The journal records the first-class status.
+    EXPECT_EQ(makeJournalEntry("exit-job", results[0]).status,
+              "crashed");
+}
+
+TEST(Supervisor, RetryBudgetBoundsRespawnsAcrossTheSweep)
+{
+    std::vector<SweepJob> jobs = {goodJob("budget-job")};
+    jobs[0].cfg.faults.workerKillSignal = SIGKILL;
+    jobs[0].cfg.faults.workerFaultCycle = 1;
+    jobs[0].cfg.faults.workerFaultAttempts = 99; // crash every attempt
+
+    SupervisorOptions opt = fastOptions(1);
+    opt.maxAttemptsPerJob = 5;
+    opt.retryBudget = 1; // only one respawn allowed sweep-wide
+    SweepSupervisor supervisor(opt);
+    const auto results = supervisor.run(jobs);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_EQ(results[0].failureReason, "crashed");
+    EXPECT_EQ(results[0].attempts, 2); // initial + the budgeted retry
+}
+
+TEST(Supervisor, BadAllocClassifiedOomAndRetried)
+{
+    SweepJob job = goodJob("oom-job");
+    job.build = [](MemoryImage &) -> KernelInfo {
+        throw std::bad_alloc();
+    };
+    SupervisorOptions opt = fastOptions(1);
+    opt.maxAttemptsPerJob = 2;
+    SweepSupervisor supervisor(opt);
+    const auto results = supervisor.run({job});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_EQ(results[0].failureReason, "oom");
+    EXPECT_EQ(results[0].attempts, 2); // oom is process-retryable
+    EXPECT_EQ(makeJournalEntry("oom-job", results[0]).status, "oom");
+}
+
+TEST(Supervisor, PreCancelledSweepFinalizesEverythingCancelled)
+{
+    const std::vector<SweepJob> jobs = {goodJob("c0"), goodJob("c1")};
+    std::atomic<bool> cancel{true};
+    SupervisorOptions opt = fastOptions(2);
+    opt.cancelFlag = &cancel;
+    SweepSupervisor supervisor(opt);
+    const auto results = supervisor.run(jobs);
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.ok());
+        EXPECT_EQ(r.failureReason, "cancelled");
+    }
+}
+
+// A killed worker's checkpoint carries its progress to the respawn:
+// the retry resumes instead of restarting, and the merged report is
+// still byte-identical to an uninterrupted run.
+TEST(Supervisor, CheckpointCarriesProgressAcrossWorkerDeath)
+{
+    // Enough blocks on one SM to run well past the kill cycle.
+    SweepJob job = goodJob("ckpt-job", /*gridDim=*/64, /*blockDim=*/64);
+    const std::string ckpt = tempPath("supervisor_ckpt.ckpt");
+    std::remove(ckpt.c_str());
+    job.cfg.checkpointPath = ckpt;
+    job.cfg.checkpointInterval = 50;
+
+    // Baseline proves the job actually crosses the fault cycle.
+    const SweepResult baseline = runSweepJob(job);
+    ASSERT_TRUE(baseline.ok());
+    ASSERT_GT(baseline.report.cycles, 200u);
+
+    job.cfg.faults.workerKillSignal = SIGKILL;
+    job.cfg.faults.workerFaultCycle = 200;
+
+    SupervisorOptions opt = fastOptions(1);
+    opt.maxAttemptsPerJob = 2;
+    std::mutex eventsMutex;
+    bool sawCheckpointFrame = false;
+    opt.onEvent = [&](std::size_t, int, const std::string &event,
+                      const std::string &, double) {
+        std::lock_guard<std::mutex> lock(eventsMutex);
+        sawCheckpointFrame |= event == "checkpoint";
+    };
+    SweepSupervisor supervisor(opt);
+    const auto results = supervisor.run({job});
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok()) << results[0].error;
+    EXPECT_EQ(results[0].attempts, 2);
+    EXPECT_TRUE(results[0].resumed)
+        << "the respawn should restore the dead worker's checkpoint";
+    EXPECT_TRUE(sawCheckpointFrame)
+        << "the worker should stream checkpoint-written frames";
+    EXPECT_EQ(reportBytes(results[0].report),
+              reportBytes(baseline.report));
+    std::remove(ckpt.c_str());
+}
+
+} // namespace
+} // namespace cawa

@@ -10,12 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 #include <string>
 
+#include "common/sim_error.hh"
 #include "isa/program_builder.hh"
 #include "sim/journal.hh"
+#include "sim/report_json.hh"
 #include "sim/sweep.hh"
 
 namespace cawa
@@ -311,6 +314,230 @@ TEST(Resume, EndToEndThroughJournalFile)
     const auto remaining = filterResumeJobs(jobs, readJournal(path));
     ASSERT_EQ(remaining.size(), 1u);
     EXPECT_EQ(remaining[0].name, "b");
+}
+
+// Satellite of the process-isolation PR: a crash can leave BOTH a
+// torn final journal line and a valid checkpoint for the job that was
+// mid-run. --resume must plan the job exactly once (no double-count
+// from the damaged line) and continue it from the checkpoint rather
+// than from cycle 0.
+TEST(Resume, TornFinalLinePlusCheckpointPrefersCheckpoint)
+{
+    const std::string ckpt = tempPath("resume_pref.ckpt");
+    std::remove(ckpt.c_str());
+
+    // A clean pass produces the checkpoint the "crashed" run would
+    // have left behind, plus the reference report.
+    SweepJob job = goodJob("c");
+    job.cfg.checkpointPath = ckpt;
+    job.cfg.checkpointInterval = 20;
+    const SweepResult reference = runSweepJob(job);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_EQ(access(ckpt.c_str(), R_OK), 0)
+        << "the run should have left a periodic checkpoint";
+
+    // The journal the crash left: "a" finished, the entry for "c" was
+    // torn mid-append.
+    const std::string path = tempPath("journal_pref.jsonl");
+    {
+        std::ofstream out(path);
+        out << R"({"job":"a","status":"ok","attempts":1})" << "\n";
+        out << R"({"job":"c","status":"o)"; // torn, no newline
+    }
+
+    std::vector<SweepJob> jobs = {goodJob("a"), job};
+    auto remaining = filterResumeJobs(jobs, readJournal(path));
+    ASSERT_EQ(remaining.size(), 1u); // exactly once, never twice
+    EXPECT_EQ(remaining[0].name, "c");
+
+    EXPECT_EQ(attachResumeCheckpoints(remaining, ""), 1u);
+    EXPECT_EQ(remaining[0].resumeFromCheckpoint, ckpt);
+
+    const SweepResult resumed = runSweepJob(remaining[0]);
+    ASSERT_TRUE(resumed.ok()) << resumed.error;
+    EXPECT_TRUE(resumed.resumed)
+        << "the job should continue from the checkpoint";
+    JsonWriteOptions compact;
+    compact.pretty = false;
+    EXPECT_EQ(toJson(resumed.report, compact),
+              toJson(reference.report, compact));
+    std::remove(ckpt.c_str());
+}
+
+TEST(Journal, CompactEntriesLaterWinsOrderedByLastAppearance)
+{
+    JournalEntry a_bad;
+    a_bad.job = "a";
+    a_bad.status = "crashed";
+    JournalEntry b_ok;
+    b_ok.job = "b";
+    b_ok.status = "ok";
+    JournalEntry a_ok;
+    a_ok.job = "a";
+    a_ok.status = "ok";
+    a_ok.attempts = 2;
+
+    const auto compact = compactEntries({a_bad, b_ok, a_ok});
+    ASSERT_EQ(compact.size(), 2u);
+    // "a" last appeared after "b", so it sorts after it.
+    EXPECT_EQ(compact[0].job, "b");
+    EXPECT_EQ(compact[1].job, "a");
+    EXPECT_EQ(compact[1].status, "ok");
+    EXPECT_EQ(compact[1].attempts, 2);
+}
+
+TEST(Journal, AttachResumeCheckpointsUsesPathThenDirectory)
+{
+    const std::string explicitCkpt = tempPath("attach_explicit.ckpt");
+    const std::string dir = ::testing::TempDir();
+    const std::string derived = dir + "/derived.ckpt";
+    { std::ofstream(explicitCkpt) << "x"; }
+    { std::ofstream(derived) << "x"; }
+
+    std::vector<SweepJob> jobs = {goodJob("explicit"),
+                                  goodJob("derived"),
+                                  goodJob("absent")};
+    jobs[0].cfg.checkpointPath = explicitCkpt;
+
+    EXPECT_EQ(attachResumeCheckpoints(jobs, dir), 2u);
+    EXPECT_EQ(jobs[0].resumeFromCheckpoint, explicitCkpt);
+    EXPECT_EQ(jobs[1].resumeFromCheckpoint, derived);
+    EXPECT_TRUE(jobs[2].resumeFromCheckpoint.empty());
+    std::remove(explicitCkpt.c_str());
+    std::remove(derived.c_str());
+}
+
+TEST(JournalWriter, SecondWriterFailsFastFirstKeepsTheLock)
+{
+    const std::string path = tempPath("journal_lock.jsonl");
+    std::remove(path.c_str());
+
+    JournalWriter first;
+    first.open(path);
+    ASSERT_TRUE(first.isOpen());
+
+    JournalWriter second;
+    try {
+        second.open(path);
+        FAIL() << "second writer must not acquire the journal";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Journal);
+        EXPECT_NE(std::string(e.what()).find("locked"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_FALSE(second.isOpen());
+
+    // Releasing the lock hands the journal over cleanly.
+    first.close();
+    second.open(path);
+    EXPECT_TRUE(second.isOpen());
+    second.close();
+}
+
+TEST(JournalWriter, OpenRepairsTornTailSoAppendsNeverMerge)
+{
+    const std::string path = tempPath("journal_repair.jsonl");
+    {
+        std::ofstream out(path);
+        out << R"({"job":"a","status":"ok","attempts":1})" << "\n";
+        out << R"({"job":"b","status":)"; // crash mid-append
+    }
+    JournalWriter writer;
+    writer.open(path);
+    JournalEntry c;
+    c.job = "c";
+    c.status = "ok";
+    writer.append(c);
+    writer.close();
+
+    // The torn line is skipped (with a warning); the new append is a
+    // line of its own, not glued onto the damage.
+    const auto entries = readJournal(path);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].job, "a");
+    EXPECT_EQ(entries[1].job, "c");
+}
+
+TEST(JournalWriter, RewriteCompactsAndStaysAppendable)
+{
+    const std::string path = tempPath("journal_rewrite.jsonl");
+    std::remove(path.c_str());
+
+    JournalWriter writer;
+    writer.open(path);
+    JournalEntry a_bad;
+    a_bad.job = "a";
+    a_bad.status = "crashed";
+    JournalEntry a_ok;
+    a_ok.job = "a";
+    a_ok.status = "ok";
+    a_ok.attempts = 2;
+    JournalEntry b_ok;
+    b_ok.job = "b";
+    b_ok.status = "ok";
+    writer.append(a_bad);
+    writer.append(a_ok);
+    writer.append(b_ok);
+
+    writer.rewrite(compactEntries(readJournal(path)));
+    auto entries = readJournal(path);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].job, "a");
+    EXPECT_EQ(entries[0].attempts, 2);
+    EXPECT_EQ(entries[1].job, "b");
+
+    // The re-acquired lock still guards the renamed file, and appends
+    // keep working on the new inode.
+    JournalWriter other;
+    EXPECT_THROW(other.open(path), SimError);
+    JournalEntry c;
+    c.job = "c";
+    c.status = "ok";
+    writer.append(c);
+    writer.close();
+    entries = readJournal(path);
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[2].job, "c");
+}
+
+// Satellite: CAWA_SIM_THREADS is validated strictly -- garbage or
+// out-of-range values raise a named SimError instead of being
+// silently clamped to something the user did not ask for.
+TEST(Config, SimThreadsEnvStrictlyValidated)
+{
+    const char *save = std::getenv("CAWA_SIM_THREADS");
+    const std::string saved = save ? save : "";
+
+    unsetenv("CAWA_SIM_THREADS");
+    EXPECT_EQ(simThreadsFromEnv(3), 3); // unset: fallback
+
+    setenv("CAWA_SIM_THREADS", "8", 1);
+    EXPECT_EQ(simThreadsFromEnv(3), 8);
+
+    for (const char *bad : {"banana", "0", "257", "-2", "4x", ""}) {
+        setenv("CAWA_SIM_THREADS", bad, 1);
+        if (*bad == '\0') {
+            // Empty reads as unset, not as an error.
+            EXPECT_EQ(simThreadsFromEnv(5), 5);
+            continue;
+        }
+        try {
+            simThreadsFromEnv(3);
+            FAIL() << "CAWA_SIM_THREADS='" << bad
+                   << "' should be rejected";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.kind(), SimErrorKind::Config);
+            EXPECT_NE(std::string(e.what()).find("[1, 256]"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+
+    if (save)
+        setenv("CAWA_SIM_THREADS", saved.c_str(), 1);
+    else
+        unsetenv("CAWA_SIM_THREADS");
 }
 
 } // namespace
