@@ -4,10 +4,12 @@
 # presets, runs the tier-1 test suite on the default build, re-runs
 # the checkpoint- and isolation-labelled suites under the check preset
 # (every restore audited at CAWA_CHECK=2, sim_assert failures throw,
-# worker forks exercised under ASan), runs the checkpoint-corruption
-# and worker-crash fuzzers, and finishes with a negative-path sweep: a
-# fault-injected SIGKILL of an isolated worker must still end with
-# exit 0 and every job journaled ok.
+# worker forks exercised under ASan), runs the distributed-labelled
+# shard-coordinator suite on both presets, runs the
+# checkpoint-corruption, worker-crash and sharded-sweep chaos fuzzers,
+# and finishes with a negative-path sweep: a fault-injected SIGKILL of
+# an isolated worker must still end with exit 0 and every job
+# journaled ok.
 #
 # Usage: scripts/ci.sh [-j N] [--format-only | --perf-only | --tsan-only]
 #   -j N           parallel build/test jobs (default: nproc)
@@ -136,7 +138,8 @@ perf_gate() {
 tsan_check() {
     run cmake --preset tsan
     run cmake --build --preset tsan -j "$jobs" \
-        --target test_parallel_sm test_sweep_determinism test_arena
+        --target test_parallel_sm test_sweep_determinism test_arena \
+        test_coordinator
     # halt_on_error: the first race fails the job instead of scrolling
     # past; second_deadlock_stack aids lock-order reports.
     run env TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
@@ -146,6 +149,12 @@ tsan_check() {
     run env TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
         ctest --preset tsan -R '^(SlabPool|PooledMap|RingQueue)\.' \
         -j "$jobs"
+    # The shard coordinator's fork-mode runners each start a control +
+    # heartbeat thread next to the job loop; the whole chaos matrix
+    # must be race-free too. die_after_fork=0 lets the single-threaded
+    # runner children start those threads after fork.
+    run env TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 die_after_fork=0" \
+        ctest --preset tsan -L distributed -j "$jobs"
 }
 
 case "$mode" in
@@ -182,15 +191,34 @@ run ctest --preset check -L checkpoint -j "$jobs"
 run ctest --preset default -L isolation -j "$jobs"
 run ctest --preset check -L isolation -j "$jobs"
 
-# Checkpoint-corruption + worker-crash fuzz: every flipped bit must be
-# rejected, and a SIGKILL'd worker must never lose or duplicate a
-# journal entry. Capture the status explicitly so a set -e shell
-# without pipefail can still report which stage failed.
+# Distributed sharded-sweep suites (coordinator, work stealing,
+# epoch fencing, deterministic merge): plain, then ASan-clean.
+run ctest --preset default -L distributed -j "$jobs"
+run ctest --preset check -L distributed -j "$jobs"
+
+# Checkpoint-corruption + worker-crash + sharded-sweep chaos fuzz:
+# every flipped bit must be rejected, a SIGKILL'd worker must never
+# lose or duplicate a journal entry, and a chaos-ridden sharded sweep
+# must merge byte-identical to the in-process oracle. Capture the
+# status explicitly so a set -e shell without pipefail can still
+# report which stage failed.
 fuzz_rc=0
 run ./build/src/tools/cawa_fuzz --seeds 10 --ckpt-seeds 5 \
-    --crash-seeds 3 || fuzz_rc=$?
+    --crash-seeds 3 --shard-chaos 3 || fuzz_rc=$?
 if [ "$fuzz_rc" -ne 0 ]; then
     echo "ci: cawa_fuzz failed with status $fuzz_rc" >&2
+    exit "$fuzz_rc"
+fi
+
+# The same shard chaos seeds again under ASan: the coordinator's
+# steal/fence/respawn bookkeeping and the runner threads must be
+# sanitizer-clean end to end.
+fuzz_rc=0
+run ./build-check/src/tools/cawa_fuzz --seeds 0 --ckpt-seeds 0 \
+    --crash-seeds 0 --shard-chaos 3 || fuzz_rc=$?
+if [ "$fuzz_rc" -ne 0 ]; then
+    echo "ci: cawa_fuzz --shard-chaos (check preset) failed with" \
+         "status $fuzz_rc" >&2
     exit "$fuzz_rc"
 fi
 

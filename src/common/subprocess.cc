@@ -246,6 +246,80 @@ signalChild(pid_t pid, int signo)
     }
 }
 
+namespace
+{
+
+/**
+ * MSG_NOSIGNAL for pipes: blocks SIGPIPE in the calling thread for
+ * the guard's lifetime and, if a write inside raised one (it would be
+ * pending, not delivered), consumes it with sigtimedwait() before
+ * restoring the previous mask. A SIGPIPE that was already pending
+ * before the guard is left untouched.
+ */
+class SigpipeGuard
+{
+  public:
+    SigpipeGuard()
+    {
+        sigset_t pipeOnly;
+        sigemptyset(&pipeOnly);
+        sigaddset(&pipeOnly, SIGPIPE);
+        sigset_t pending;
+        sigemptyset(&pending);
+        sigpending(&pending);
+        preexisting_ = sigismember(&pending, SIGPIPE) == 1;
+        if (pthread_sigmask(SIG_BLOCK, &pipeOnly, &old_) == 0)
+            engaged_ = sigismember(&old_, SIGPIPE) == 0;
+    }
+
+    ~SigpipeGuard()
+    {
+        if (!engaged_)
+            return;
+        if (!preexisting_) {
+            sigset_t pending;
+            sigemptyset(&pending);
+            sigpending(&pending);
+            if (sigismember(&pending, SIGPIPE) == 1) {
+                sigset_t pipeOnly;
+                sigemptyset(&pipeOnly);
+                sigaddset(&pipeOnly, SIGPIPE);
+                const struct timespec zero = {0, 0};
+                while (sigtimedwait(&pipeOnly, nullptr, &zero) < 0 &&
+                       errno == EINTR) {
+                }
+            }
+        }
+        pthread_sigmask(SIG_SETMASK, &old_, nullptr);
+    }
+
+    SigpipeGuard(const SigpipeGuard &) = delete;
+    SigpipeGuard &operator=(const SigpipeGuard &) = delete;
+
+  private:
+    sigset_t old_{};
+    bool engaged_ = false;     ///< SIGPIPE was unblocked before us
+    bool preexisting_ = false; ///< a SIGPIPE was pending before us
+};
+
+bool
+writeAllRetry(int fd, const char *data, std::size_t n)
+{
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t wrote = write(fd, data + done, n - done);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false; // EPIPE and friends: peer is gone
+        }
+        done += static_cast<std::size_t>(wrote);
+    }
+    return true;
+}
+
+} // namespace
+
 bool
 writeFrame(int fd, const std::string &payload)
 {
@@ -257,21 +331,46 @@ writeFrame(int fd, const std::string &payload)
     header[2] = static_cast<unsigned char>((size >> 16) & 0xff);
     header[3] = static_cast<unsigned char>((size >> 24) & 0xff);
 
-    auto writeAll = [fd](const char *data, std::size_t n) -> bool {
+    SigpipeGuard guard;
+    return writeAllRetry(fd, reinterpret_cast<const char *>(header),
+                         4) &&
+           writeAllRetry(fd, payload.data(), payload.size());
+}
+
+bool
+readFrameBlocking(int fd, std::string &payload,
+                  std::size_t maxFrameBytes)
+{
+    // Reads exactly the frame's bytes and not one more, so the caller
+    // can hand the fd to another reader (the shard runner's control
+    // thread) without losing buffered frames.
+    auto readExactly = [fd](char *data, std::size_t n) -> bool {
         std::size_t done = 0;
         while (done < n) {
-            const ssize_t wrote = write(fd, data + done, n - done);
-            if (wrote < 0) {
+            const ssize_t got = read(fd, data + done, n - done);
+            if (got < 0) {
                 if (errno == EINTR)
                     continue;
-                return false; // EPIPE and friends: peer is gone
+                return false;
             }
-            done += static_cast<std::size_t>(wrote);
+            if (got == 0)
+                return false; // EOF mid-frame: torn tail
+            done += static_cast<std::size_t>(got);
         }
         return true;
     };
-    return writeAll(reinterpret_cast<const char *>(header), 4) &&
-           writeAll(payload.data(), payload.size());
+    unsigned char header[4];
+    if (!readExactly(reinterpret_cast<char *>(header), 4))
+        return false;
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(header[0]) |
+        (static_cast<std::uint32_t>(header[1]) << 8) |
+        (static_cast<std::uint32_t>(header[2]) << 16) |
+        (static_cast<std::uint32_t>(header[3]) << 24);
+    if (size > maxFrameBytes)
+        return false; // oversized: protocol violation or garbage
+    payload.resize(size);
+    return size == 0 || readExactly(payload.data(), size);
 }
 
 void

@@ -110,8 +110,23 @@ void signalChild(pid_t pid, int signo);
  * Handles partial writes and EINTR; returns false once the pipe is
  * gone (EPIPE -- the reader died), which callers treat as a dead
  * peer, not an error to propagate.
+ *
+ * MSG_NOSIGNAL-equivalent: SIGPIPE is blocked around the write and
+ * any SIGPIPE the write itself raised is consumed before the mask is
+ * restored, so a peer dying mid-frame surfaces only as the false
+ * return -- never as a fatal signal -- even when the caller left
+ * SIGPIPE at SIG_DFL.
  */
 bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * Blocking read of exactly one frame from @p fd (EINTR retried).
+ * Returns false on EOF, a torn tail or an oversized/corrupt frame.
+ * For the worker side of the protocol, where the spec/control pipe
+ * is the only input and blocking is the desired behaviour.
+ */
+bool readFrameBlocking(int fd, std::string &payload,
+                       std::size_t maxFrameBytes = 64u << 20);
 
 /**
  * Incremental frame decoder for the parent side. feed() raw bytes as

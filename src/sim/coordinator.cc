@@ -1,0 +1,1238 @@
+#include "sim/coordinator.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/sim_error.hh"
+#include "sim/report_json.hh"
+
+namespace cawa
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t)
+{
+    return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+Clock::time_point
+after(double seconds)
+{
+    return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(seconds));
+}
+
+bool
+fileReadable(const std::string &path)
+{
+    return !path.empty() && access(path.c_str(), R_OK) == 0;
+}
+
+/**
+ * The job-result frame is resultFrameJson() with index/epoch routing
+ * fields spliced in, so the result payload round-trips through the
+ * exact same serializer the per-job supervisor proved byte-exact.
+ */
+std::string
+jobResultFrame(std::size_t index, int epoch, const SweepResult &result)
+{
+    static const char kResultHead[] = "{\"type\":\"result\"";
+    const std::string base = resultFrameJson(result, 1);
+    return "{\"type\":\"job-result\",\"index\":" +
+           std::to_string(index) +
+           ",\"epoch\":" + std::to_string(epoch) +
+           base.substr(sizeof(kResultHead) - 1);
+}
+
+} // namespace
+
+std::vector<std::vector<std::size_t>>
+shardSplit(std::size_t numJobs, int shards)
+{
+    const int n = std::max(1, shards);
+    std::vector<std::vector<std::size_t>> split(
+        static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < numJobs; ++i)
+        split[i % static_cast<std::size_t>(n)].push_back(i);
+    return split;
+}
+
+// ---------------------------------------------------------------------
+// Runner side
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/// Set by the runner's SIGTERM/SIGINT handler and by a shutdown
+/// control frame; wired into each job's cancelFlag.
+std::atomic<bool> g_runnerCancel{false};
+
+extern "C" void
+runnerShutdownSignal(int)
+{
+    g_runnerCancel.store(true, std::memory_order_relaxed);
+}
+
+/** Serialized frame writes: control/heartbeat thread vs job thread. */
+struct RunnerSink
+{
+    int fd;
+    std::mutex mutex;
+
+    bool send(const std::string &payload)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return writeFrame(fd, payload);
+    }
+};
+
+/** Queue + control state shared between the two runner threads. */
+struct RunnerState
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<ShardAssignment> queue;
+    std::unordered_set<std::size_t> revoked;
+    bool shutdown = false;
+};
+
+/** Sleep in 10 ms slices so cancel/shutdown stay prompt. Returns
+ *  false when the sleep was interrupted. */
+bool
+chaosSleep(double seconds, RunnerState &state)
+{
+    const auto until = after(seconds);
+    while (Clock::now() < until) {
+        if (g_runnerCancel.load(std::memory_order_relaxed))
+            return false;
+        {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            if (state.shutdown)
+                return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return true;
+}
+
+} // namespace
+
+int
+runShardRunner(const std::vector<SweepJob> &matrix,
+               const std::vector<ShardAssignment> &initial, int inFd,
+               int outFd, const ShardRunnerOptions &opt,
+               const ShardRunnerChaos &chaos)
+{
+    g_runnerCancel.store(false, std::memory_order_relaxed);
+    std::signal(SIGTERM, runnerShutdownSignal);
+    std::signal(SIGINT, runnerShutdownSignal);
+    // writeFrame() is SIGPIPE-safe on its own, but job code may write
+    // elsewhere; a dead coordinator must surface as failed writes.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    RunnerSink sink{outFd, {}};
+    RunnerState state;
+    for (const ShardAssignment &a : initial)
+        state.queue.push_back(a);
+
+    // Monotone progress counter the coordinator rates shards by:
+    // completed jobs in the high half, the in-flight job's latest
+    // checkpoint cycle (saturated) in the low half.
+    std::atomic<std::uint64_t> progress{0};
+    std::uint64_t completed = 0;
+
+    // Shard journal: best-effort. The coordinator's master journal is
+    // authoritative; this one only feeds the multi-journal merge.
+    JournalWriter journal;
+    if (!opt.journalPath.empty()) {
+        try {
+            journal.open(opt.journalPath);
+        } catch (const std::exception &) {
+            // Locked or unwritable: run without a shard journal.
+        }
+    }
+
+    // Control + heartbeat thread: liveness on a timer plus
+    // assign/revoke/shutdown frames from the coordinator.
+    std::atomic<bool> ctrlStop{false};
+    std::thread ctrl([&] {
+        if (inFd >= 0)
+            setNonBlocking(inFd);
+        FrameReader reader;
+        bool inOpen = inFd >= 0;
+        const auto interval = std::chrono::duration<double>(
+            std::max(0.01, opt.heartbeatIntervalSec));
+        auto nextBeat = Clock::now();
+        std::uint64_t seq = 0;
+        while (!ctrlStop.load(std::memory_order_relaxed)) {
+            if (inOpen) {
+                pollfd pfd{inFd, POLLIN, 0};
+                poll(&pfd, 1, 10);
+                if (pfd.revents & (POLLIN | POLLHUP | POLLERR)) {
+                    const int got = readAvailable(inFd, reader);
+                    std::string payload;
+                    while (reader.next(payload)) {
+                        try {
+                            const JsonValue frame = parseJson(payload);
+                            const std::string type =
+                                frame.has("type")
+                                    ? frame.at("type").asString()
+                                    : std::string();
+                            std::lock_guard<std::mutex> lock(
+                                state.mutex);
+                            if (type == "assign") {
+                                for (const JsonValue &j :
+                                     frame.at("jobs").items()) {
+                                    ShardAssignment a;
+                                    a.index = static_cast<std::size_t>(
+                                        j.at("index").asI64());
+                                    a.epoch = static_cast<int>(
+                                        j.at("epoch").asI64());
+                                    if (j.has("resume"))
+                                        a.resume =
+                                            j.at("resume").asString();
+                                    state.revoked.erase(a.index);
+                                    state.queue.push_back(a);
+                                }
+                            } else if (type == "revoke") {
+                                for (const JsonValue &j :
+                                     frame.at("jobs").items()) {
+                                    const auto idx =
+                                        static_cast<std::size_t>(
+                                            j.asI64());
+                                    state.revoked.insert(idx);
+                                    state.queue.erase(
+                                        std::remove_if(
+                                            state.queue.begin(),
+                                            state.queue.end(),
+                                            [idx](
+                                                const ShardAssignment
+                                                    &a) {
+                                                return a.index == idx;
+                                            }),
+                                        state.queue.end());
+                                }
+                            } else if (type == "shutdown") {
+                                state.shutdown = true;
+                                g_runnerCancel.store(
+                                    true, std::memory_order_relaxed);
+                            }
+                        } catch (const std::exception &) {
+                            // Garbage on the control pipe is the
+                            // coordinator's bug; ignore the frame.
+                        }
+                    }
+                    state.cv.notify_all();
+                    if (got == 0) { // EOF: coordinator is gone
+                        inOpen = false;
+                        std::lock_guard<std::mutex> lock(state.mutex);
+                        state.shutdown = true;
+                        g_runnerCancel.store(
+                            true, std::memory_order_relaxed);
+                        state.cv.notify_all();
+                    }
+                }
+            } else {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+            const auto now = Clock::now();
+            if (now >= nextBeat) {
+                std::size_t depth;
+                {
+                    std::lock_guard<std::mutex> lock(state.mutex);
+                    depth = state.queue.size();
+                }
+                sink.send(
+                    "{\"type\":\"heartbeat\",\"seq\":" +
+                    std::to_string(seq++) + ",\"progress\":" +
+                    std::to_string(
+                        progress.load(std::memory_order_relaxed)) +
+                    ",\"queue\":" + std::to_string(depth) + "}");
+                nextBeat =
+                    now + std::chrono::duration_cast<Clock::duration>(
+                              interval);
+            }
+        }
+    });
+    auto stopCtrl = [&] {
+        ctrlStop.store(true, std::memory_order_relaxed);
+        state.cv.notify_all();
+        ctrl.join();
+    };
+
+    bool stalled = false;
+    for (;;) {
+        // Chaos: stall between jobs with the queue intact (and the
+        // heartbeat thread alive), so the coordinator's stall rule --
+        // not the hang detector -- is what fires.
+        if (chaos.stallAfterResults >= 0 && !stalled &&
+            completed ==
+                static_cast<std::uint64_t>(chaos.stallAfterResults)) {
+            stalled = true;
+            chaosSleep(chaos.stallSec, state);
+        }
+
+        ShardAssignment a;
+        {
+            std::unique_lock<std::mutex> lock(state.mutex);
+            while (state.queue.empty() && !state.shutdown &&
+                   !g_runnerCancel.load(std::memory_order_relaxed))
+                state.cv.wait_for(lock,
+                                  std::chrono::milliseconds(50));
+            if (state.shutdown ||
+                g_runnerCancel.load(std::memory_order_relaxed))
+                break;
+            a = state.queue.front();
+            state.queue.pop_front();
+            if (state.revoked.count(a.index)) {
+                state.revoked.erase(a.index);
+                continue;
+            }
+        }
+
+        if (chaos.slowPerJobSec > 0.0 &&
+            !chaosSleep(chaos.slowPerJobSec, state))
+            break;
+
+        sink.send("{\"type\":\"job-start\",\"index\":" +
+                  std::to_string(a.index) +
+                  ",\"epoch\":" + std::to_string(a.epoch) + "}");
+
+        SweepJob job = matrix[a.index];
+        if (fileReadable(a.resume))
+            job.resumeFromCheckpoint = a.resume;
+        job.cfg.cancelFlag = &g_runnerCancel;
+        const std::size_t index = a.index;
+        const int epoch = a.epoch;
+        const std::uint64_t base = completed << 32;
+        job.cfg.checkpointWrittenHook = [&, index,
+                                         epoch](const std::string &path,
+                                                Cycle cycle) {
+            const std::uint64_t low =
+                std::min<std::uint64_t>(cycle, 0xffffffffull);
+            progress.store(base | low, std::memory_order_relaxed);
+            sink.send("{\"type\":\"checkpoint-written\",\"index\":" +
+                      std::to_string(index) +
+                      ",\"epoch\":" + std::to_string(epoch) +
+                      ",\"path\":" + frameJsonQuote(path) +
+                      ",\"cycle\":" + std::to_string(cycle) + "}");
+        };
+
+        SweepResult result;
+        try {
+            result = runSweepJob(job, opt.jobMaxAttempts);
+        } catch (const std::exception &e) {
+            result.error = e.what();
+            result.attempts = std::max(result.attempts, 1);
+        }
+        // As in runSweepWorker: a bad_alloc under the RLIMIT_AS cap
+        // is the first-class "oom", not an ordinary error.
+        if (result.failureReason.empty() &&
+            result.error.find("bad_alloc") != std::string::npos)
+            result.failureReason = "oom";
+
+        // Chaos: hold this result (the zombie scenario). A shutdown
+        // frame releases the hold so the stale frame is still sent
+        // and the coordinator can prove it fenced it.
+        if (chaos.holdAfterResults >= 0 &&
+            completed ==
+                static_cast<std::uint64_t>(chaos.holdAfterResults))
+            chaosSleep(chaos.holdResultSec, state);
+
+        sink.send(jobResultFrame(a.index, a.epoch, result));
+        if (journal.isOpen()) {
+            try {
+                JournalEntry entry =
+                    makeJournalEntry(matrix[a.index].name, result);
+                entry.epoch = a.epoch;
+                entry.shard = opt.shard;
+                journal.append(entry);
+            } catch (const std::exception &) {
+                // Best-effort: keep running without the journal.
+            }
+        }
+
+        ++completed;
+        progress.store(completed << 32, std::memory_order_relaxed);
+
+        if (chaos.exitAfterResults >= 0 &&
+            completed ==
+                static_cast<std::uint64_t>(chaos.exitAfterResults)) {
+            // Simulated crash: no shutdown handshake, no reaped
+            // heartbeat thread -- just die with work on the queue.
+            _exit(chaos.exitCode);
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            if (state.queue.empty())
+                sink.send("{\"type\":\"shard-idle\"}");
+        }
+    }
+
+    stopCtrl();
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+enum class ShardState { Unspawned, Running, Backoff, Dead };
+
+struct JobState
+{
+    SweepJob job;
+    int epoch = 1;
+    int owner = -1;
+    bool started = false;   ///< under the current epoch
+    bool finalized = false;
+    int priorAttempts = 0;  ///< executions lost to steals/deaths
+    std::string lastCheckpoint;
+    SweepResult result;
+};
+
+struct ShardSlot
+{
+    ShardState state = ShardState::Unspawned;
+    std::vector<std::size_t> assigned; ///< owned, unfinalized indices
+
+    pid_t pid = -1;
+    int fromFd = -1;
+    int toFd = -1;
+    FrameReader reader;
+    int spawnCount = 0;
+    bool zombie = false; ///< stall-stolen: alive, ignored, fenced
+
+    Clock::time_point startedAt, lastBeat, lastAdvance, readyAt,
+        termAt;
+    bool termSent = false;
+    std::string killReason;
+    std::string frameError;
+    std::uint64_t lastProgress = 0;
+    std::deque<std::pair<Clock::time_point, std::uint64_t>> samples;
+    int finalizedCount = 0; ///< results finalized from this slot
+    Clock::time_point lastSteal;
+};
+
+} // namespace
+
+ShardCoordinator::ShardCoordinator(CoordinatorOptions opt)
+    : opt_(std::move(opt))
+{
+    if (opt_.shards < 1)
+        opt_.shards = 1;
+    if (opt_.heartbeatIntervalSec <= 0.0)
+        opt_.heartbeatIntervalSec = 0.25;
+    if (opt_.heartbeatMissLimit < 1)
+        opt_.heartbeatMissLimit = 1;
+    if (opt_.maxRespawnsPerShard < 0)
+        opt_.maxRespawnsPerShard = 0;
+    if (opt_.jobMaxAttempts < 1)
+        opt_.jobMaxAttempts = 1;
+}
+
+std::vector<SweepResult>
+ShardCoordinator::run(std::vector<SweepJob> jobs,
+                      const SweepEngine::JobDone &on_done)
+{
+    if (!processIsolationAvailable())
+        throw SimError(SimErrorKind::Config,
+                       "process isolation is not available on this "
+                       "platform; run the in-process sweep path");
+    stats_ = CoordinatorStats();
+
+    const std::size_t numJobs = jobs.size();
+    std::vector<JobState> js(numJobs);
+    for (std::size_t i = 0; i < numJobs; ++i)
+        js[i].job = std::move(jobs[i]);
+
+    const int numShards = std::max(
+        1, std::min<int>(opt_.shards, static_cast<int>(std::max<
+                                          std::size_t>(1, numJobs))));
+    std::vector<ShardSlot> slots(
+        static_cast<std::size_t>(numShards));
+    {
+        const auto split = shardSplit(numJobs, numShards);
+        for (int k = 0; k < numShards; ++k) {
+            slots[k].assigned = split[k];
+            for (const std::size_t i : split[k])
+                js[i].owner = k;
+        }
+    }
+
+    const double hungAfterSec =
+        opt_.heartbeatIntervalSec * opt_.heartbeatMissLimit;
+
+    auto emit = [&](int shard, const std::string &event,
+                    const std::string &detail) {
+        if (opt_.onEvent)
+            opt_.onEvent(shard, event, detail);
+    };
+
+    std::size_t done = 0;
+    int retriesUsed = 0;
+    bool cancelled = false;
+    std::vector<bool> chaosFired(opt_.chaos.size(), false);
+    std::vector<std::pair<Clock::time_point, pid_t>> pendingConts;
+
+    auto resumePathFor = [&](std::size_t i) -> std::string {
+        if (fileReadable(js[i].lastCheckpoint))
+            return js[i].lastCheckpoint;
+        if (fileReadable(js[i].job.cfg.checkpointPath))
+            return js[i].job.cfg.checkpointPath;
+        if (!opt_.checkpointDir.empty()) {
+            const std::string conventional =
+                opt_.checkpointDir + "/" + js[i].job.name + ".ckpt";
+            if (fileReadable(conventional))
+                return conventional;
+        }
+        return {};
+    };
+
+    auto assignmentsFor =
+        [&](const std::vector<std::size_t> &indices) {
+            std::vector<ShardAssignment> out;
+            out.reserve(indices.size());
+            for (const std::size_t i : indices) {
+                ShardAssignment a;
+                a.index = i;
+                a.epoch = js[i].epoch;
+                a.resume = resumePathFor(i);
+                out.push_back(std::move(a));
+            }
+            return out;
+        };
+
+    auto fireChaos = [&](int k) {
+        ShardSlot &s = slots[k];
+        if (s.state != ShardState::Running || s.pid < 0)
+            return;
+        for (std::size_t c = 0; c < opt_.chaos.size(); ++c) {
+            const CoordinatorChaosAction &action = opt_.chaos[c];
+            if (chaosFired[c] || action.shard != k ||
+                s.finalizedCount < action.afterResults)
+                continue;
+            chaosFired[c] = true;
+            if (action.kind == CoordinatorChaosAction::Kind::Kill) {
+                signalChild(s.pid, action.signo);
+                emit(k, "chaos-kill",
+                     "signal " + std::to_string(action.signo));
+            } else {
+                signalChild(s.pid, SIGSTOP);
+                emit(k, "chaos-stop", "");
+                if (action.contAfterSec >= 0.0)
+                    pendingConts.emplace_back(
+                        after(action.contAfterSec), s.pid);
+            }
+        }
+    };
+
+    auto spawnShard = [&](int k) {
+        ShardSlot &s = slots[k];
+        if (s.assigned.empty()) {
+            s.state = ShardState::Dead;
+            return;
+        }
+        ++s.spawnCount;
+        const std::vector<ShardAssignment> initial =
+            assignmentsFor(s.assigned);
+
+        ChildProcess child;
+        if (!opt_.workerArgv0.empty()) {
+            if (!opt_.shardSpec)
+                throw SimError(SimErrorKind::Config,
+                               "CoordinatorOptions.workerArgv0 set "
+                               "without a shardSpec serializer");
+            child = spawnWorker({opt_.workerArgv0, "--shard-worker"},
+                                opt_.limits);
+            writeFrame(child.toChild, opt_.shardSpec(k, initial));
+        } else {
+            ShardRunnerOptions ropt;
+            ropt.heartbeatIntervalSec = opt_.heartbeatIntervalSec;
+            ropt.jobMaxAttempts = opt_.jobMaxAttempts;
+            ropt.shard = k;
+            if (!opt_.journalBasePath.empty())
+                ropt.journalPath =
+                    shardJournalPath(opt_.journalBasePath, k);
+            ShardRunnerChaos chaos;
+            if (opt_.runnerChaos)
+                chaos = opt_.runnerChaos(k, s.spawnCount);
+            // The matrix closures are inherited by the fork; only
+            // this shard's assignment list is passed explicitly.
+            std::vector<SweepJob> matrix;
+            matrix.reserve(numJobs);
+            for (const JobState &j : js)
+                matrix.push_back(j.job);
+            child = forkWorker(
+                [&matrix, &initial, ropt, chaos](int inFd, int outFd) {
+                    return runShardRunner(matrix, initial, inFd,
+                                          outFd, ropt, chaos);
+                },
+                opt_.limits);
+        }
+        setNonBlocking(child.fromChild);
+
+        s.pid = child.pid;
+        s.fromFd = child.fromChild;
+        s.toFd = child.toChild;
+        s.reader = FrameReader();
+        s.zombie = false;
+        s.startedAt = s.lastBeat = s.lastAdvance = Clock::now();
+        s.termSent = false;
+        s.killReason.clear();
+        s.frameError.clear();
+        s.lastProgress = 0;
+        s.samples.clear();
+        s.state = ShardState::Running;
+        emit(k, "spawn",
+             std::to_string(s.assigned.size()) + " jobs, attempt " +
+                 std::to_string(s.spawnCount));
+        fireChaos(k);
+    };
+
+    auto finalize = [&](std::size_t i, SweepResult r) {
+        JobState &j = js[i];
+        j.result = std::move(r);
+        j.result.attempts += j.priorAttempts;
+        j.finalized = true;
+        ++done;
+        const int owner = j.owner;
+        if (owner >= 0) {
+            auto &owned = slots[owner].assigned;
+            owned.erase(std::remove(owned.begin(), owned.end(), i),
+                        owned.end());
+            ++slots[owner].finalizedCount;
+        }
+        if (opt_.journal) {
+            JournalEntry entry =
+                makeJournalEntry(j.job.name, j.result);
+            entry.epoch = j.epoch;
+            entry.shard = owner;
+            opt_.journal->append(entry);
+        }
+        emit(owner, "result",
+             j.job.name + ": " +
+                 (j.result.ok() ? std::string("completed")
+                                : (j.result.failureReason.empty()
+                                       ? std::string("error")
+                                       : j.result.failureReason)));
+        if (on_done)
+            on_done(i, j.result);
+        if (owner >= 0)
+            fireChaos(owner);
+    };
+
+    /** Move @p indices (bumping epochs) onto @p recipients, sending
+     *  assign frames to the ones that are already running. */
+    auto reassign = [&](const std::vector<std::size_t> &indices,
+                        const std::vector<int> &recipients) {
+        std::size_t r = 0;
+        std::vector<std::vector<std::size_t>> perRecipient(
+            recipients.size());
+        for (const std::size_t i : indices) {
+            JobState &j = js[i];
+            ++j.epoch;
+            if (j.started)
+                ++j.priorAttempts;
+            j.started = false;
+            const int to = recipients[r % recipients.size()];
+            perRecipient[r % recipients.size()].push_back(i);
+            j.owner = to;
+            ++r;
+            ++stats_.stolenJobs;
+        }
+        for (std::size_t k = 0; k < recipients.size(); ++k) {
+            if (perRecipient[k].empty())
+                continue;
+            ShardSlot &slot = slots[recipients[k]];
+            for (const std::size_t i : perRecipient[k])
+                slot.assigned.push_back(i);
+            if (slot.state == ShardState::Running &&
+                slot.toFd >= 0) {
+                std::string frame = "{\"type\":\"assign\",\"jobs\":[";
+                bool first = true;
+                for (const ShardAssignment &a :
+                     assignmentsFor(perRecipient[k])) {
+                    if (!first)
+                        frame += ',';
+                    first = false;
+                    frame += "{\"index\":" + std::to_string(a.index) +
+                             ",\"epoch\":" + std::to_string(a.epoch) +
+                             ",\"resume\":" +
+                             frameJsonQuote(a.resume) + "}";
+                }
+                frame += "]}";
+                writeFrame(slot.toFd, frame);
+            }
+            // Backoff/unspawned recipients pick the jobs up from
+            // their assigned list at (re)spawn time.
+        }
+    };
+
+    auto liveRecipients = [&](int except) {
+        std::vector<int> out;
+        for (int k = 0; k < numShards; ++k) {
+            if (k == except || slots[k].zombie)
+                continue;
+            if (slots[k].state == ShardState::Running)
+                out.push_back(k);
+        }
+        // Prefer idle and lightly loaded recipients.
+        std::stable_sort(out.begin(), out.end(), [&](int a, int b) {
+            return slots[a].assigned.size() <
+                   slots[b].assigned.size();
+        });
+        return out;
+    };
+
+    auto respawnRecipients = [&](int except) {
+        std::vector<int> out = liveRecipients(except);
+        for (int k = 0; k < numShards; ++k)
+            if (k != except && !slots[k].zombie &&
+                slots[k].state == ShardState::Backoff)
+                out.push_back(k);
+        return out;
+    };
+
+    auto handleFrame = [&](int k, const std::string &payload) {
+        ShardSlot &s = slots[k];
+        s.lastBeat = Clock::now();
+        try {
+            const JsonValue frame = parseJson(payload);
+            const std::string type = frame.has("type")
+                                         ? frame.at("type").asString()
+                                         : std::string();
+            if (type == "heartbeat") {
+                const std::uint64_t p =
+                    frame.has("progress")
+                        ? frame.at("progress").asU64()
+                        : 0;
+                if (p > s.lastProgress) {
+                    s.lastProgress = p;
+                    s.lastAdvance = s.lastBeat;
+                }
+                s.samples.emplace_back(s.lastBeat, s.lastProgress);
+                while (s.samples.size() > 1 &&
+                       std::chrono::duration<double>(
+                           s.lastBeat - s.samples.front().first)
+                               .count() > opt_.rateWindowSec)
+                    s.samples.pop_front();
+            } else if (type == "job-start") {
+                const auto i = static_cast<std::size_t>(
+                    frame.at("index").asI64());
+                const int epoch =
+                    static_cast<int>(frame.at("epoch").asI64());
+                if (i < numJobs && !js[i].finalized &&
+                    js[i].epoch == epoch && js[i].owner == k) {
+                    js[i].started = true;
+                    s.lastAdvance = s.lastBeat;
+                }
+            } else if (type == "checkpoint-written") {
+                const auto i = static_cast<std::size_t>(
+                    frame.at("index").asI64());
+                const int epoch =
+                    static_cast<int>(frame.at("epoch").asI64());
+                if (i < numJobs && !js[i].finalized &&
+                    js[i].epoch == epoch && js[i].owner == k) {
+                    js[i].lastCheckpoint =
+                        frame.at("path").asString();
+                    s.lastAdvance = s.lastBeat;
+                }
+            } else if (type == "job-result") {
+                const auto i = static_cast<std::size_t>(
+                    frame.at("index").asI64());
+                const int epoch =
+                    static_cast<int>(frame.at("epoch").asI64());
+                if (i < numJobs && !js[i].finalized &&
+                    js[i].epoch == epoch) {
+                    s.lastAdvance = s.lastBeat;
+                    finalize(i, resultFromFrameFields(frame));
+                } else {
+                    // The fencing token at work: a stale epoch (or
+                    // an already-finalized job) is a zombie's late
+                    // result. Discard, never double-count.
+                    ++stats_.fenced;
+                    emit(k, "fenced",
+                         i < numJobs ? js[i].job.name
+                                     : std::to_string(i));
+                }
+            }
+            // shard-idle: informational only
+        } catch (const std::exception &e) {
+            s.frameError = e.what();
+        }
+    };
+
+    auto drainFrames = [&](int k) {
+        ShardSlot &s = slots[k];
+        if (s.fromFd < 0)
+            return;
+        for (;;) {
+            const int got = readAvailable(s.fromFd, s.reader);
+            std::string payload;
+            while (s.reader.next(payload))
+                handleFrame(k, payload);
+            if (got == 0) { // EOF
+                close(s.fromFd);
+                s.fromFd = -1;
+                return;
+            }
+            if (got < 0)
+                return; // would block
+        }
+    };
+
+    auto classifyShardExit = [&](ShardSlot &s, const WaitStatus &st) {
+        if (!s.killReason.empty())
+            return std::make_pair(
+                s.killReason,
+                s.killReason == "hung"
+                    ? "shard missed " +
+                          std::to_string(opt_.heartbeatMissLimit) +
+                          " heartbeats and was killed (" +
+                          st.describe() + ")"
+                    : "shard killed (" + st.describe() + ")");
+        if (st.signaled && st.termSignal == SIGXCPU)
+            return std::make_pair(
+                std::string("walltime"),
+                "shard hit its RLIMIT_CPU cap (" + st.describe() +
+                    ")");
+        return std::make_pair(
+            std::string("crashed"),
+            "shard died with unfinished jobs (" + st.describe() +
+                (s.frameError.empty()
+                     ? std::string()
+                     : "; last frame error: " + s.frameError) +
+                ")");
+    };
+
+    auto reapShard = [&](int k, const WaitStatus &st) {
+        ShardSlot &s = slots[k];
+        drainFrames(k); // pull buffered frames (often results)
+        if (s.fromFd >= 0) {
+            close(s.fromFd);
+            s.fromFd = -1;
+        }
+        if (s.toFd >= 0) {
+            close(s.toFd);
+            s.toFd = -1;
+        }
+        s.pid = -1;
+        if (s.assigned.empty() || cancelled || s.zombie) {
+            s.state = ShardState::Dead;
+            return;
+        }
+
+        const auto [reason, detail] = classifyShardExit(s, st);
+        emit(k, reason, detail);
+        const bool retryable =
+            reason == "crashed" || reason == "oom" ||
+            reason == "hung";
+        if (retryable && s.spawnCount - 1 < opt_.maxRespawnsPerShard &&
+            (opt_.retryBudget < 0 || retriesUsed < opt_.retryBudget)) {
+            ++retriesUsed;
+            ++stats_.respawns;
+            // Bump epochs: nothing the dead incarnation may have left
+            // in flight can ever be accepted.
+            for (const std::size_t i : s.assigned) {
+                ++js[i].epoch;
+                if (js[i].started)
+                    ++js[i].priorAttempts;
+                js[i].started = false;
+            }
+            const double delay = backoffDelaySec(
+                opt_.backoff, "shard" + std::to_string(k),
+                s.spawnCount);
+            s.readyAt = after(delay);
+            s.state = ShardState::Backoff;
+            emit(k, "respawn",
+                 reason + ", backoff " + std::to_string(delay) + "s");
+            return;
+        }
+
+        // Past the respawn cap (or non-retryable): re-shard this
+        // slot's jobs onto whoever is left.
+        s.state = ShardState::Dead;
+        const std::vector<std::size_t> orphans = s.assigned;
+        s.assigned.clear();
+        const std::vector<int> recipients = respawnRecipients(k);
+        if (!recipients.empty()) {
+            emit(k, "reshard",
+                 std::to_string(orphans.size()) + " jobs");
+            reassign(orphans, recipients);
+            return;
+        }
+        // No healthy runner remains: these failures are final.
+        for (const std::size_t i : orphans) {
+            SweepResult r;
+            r.attempts = js[i].started ? 1 : 0;
+            r.failureReason = reason;
+            r.error = detail;
+            js[i].owner = k;
+            finalize(i, std::move(r));
+        }
+    };
+
+    auto killShard = [&](int k, const std::string &reason) {
+        ShardSlot &s = slots[k];
+        if (s.killReason.empty())
+            s.killReason = reason;
+        if (!s.termSent) {
+            signalChild(s.pid, SIGTERM);
+            s.termSent = true;
+            s.termAt = Clock::now();
+        }
+    };
+
+    auto checkSteals = [&] {
+        const auto now = Clock::now();
+
+        // Stall rule: progress frozen with live peers to take over.
+        if (opt_.stealStallSec > 0.0) {
+            for (int k = 0; k < numShards; ++k) {
+                ShardSlot &s = slots[k];
+                if (s.state != ShardState::Running || s.zombie ||
+                    s.termSent || s.assigned.empty())
+                    continue;
+                if (secondsSince(s.lastAdvance) <=
+                    opt_.stealStallSec)
+                    continue;
+                const std::vector<int> recipients =
+                    liveRecipients(k);
+                if (recipients.empty())
+                    continue;
+                ++stats_.stallSteals;
+                emit(k, "steal-stall",
+                     std::to_string(s.assigned.size()) + " jobs");
+                const std::vector<std::size_t> victims = s.assigned;
+                s.assigned.clear();
+                // The victim stays alive: its late results for the
+                // stolen (epoch-bumped) jobs must be fenced, not
+                // blocked by a kill. Revoke what it has not started
+                // so it stops early when it can.
+                s.zombie = true;
+                if (s.toFd >= 0) {
+                    std::string frame =
+                        "{\"type\":\"revoke\",\"jobs\":[";
+                    for (std::size_t v = 0; v < victims.size(); ++v) {
+                        if (v)
+                            frame += ',';
+                        frame += std::to_string(victims[v]);
+                    }
+                    frame += "]}";
+                    writeFrame(s.toFd, frame);
+                }
+                reassign(victims, recipients);
+                s.lastSteal = now;
+            }
+        }
+
+        // Rate rule: a measurable straggler loses its unstarted jobs.
+        if (opt_.stealFraction > 0.0 && opt_.rateWindowSec > 0.0) {
+            std::vector<std::pair<int, double>> rates;
+            for (int k = 0; k < numShards; ++k) {
+                ShardSlot &s = slots[k];
+                if (s.state != ShardState::Running || s.zombie ||
+                    s.termSent || s.assigned.empty())
+                    continue;
+                if (s.samples.size() < 2 ||
+                    secondsSince(s.startedAt) <= opt_.rateWindowSec ||
+                    secondsSince(s.lastSteal) <= opt_.rateWindowSec)
+                    continue;
+                const double span =
+                    std::chrono::duration<double>(
+                        s.samples.back().first -
+                        s.samples.front().first)
+                        .count();
+                if (span < opt_.rateWindowSec * 0.5)
+                    continue;
+                const double rate =
+                    static_cast<double>(s.samples.back().second -
+                                        s.samples.front().second) /
+                    span;
+                rates.emplace_back(k, rate);
+            }
+            if (rates.size() >= 2) {
+                std::vector<double> sorted;
+                for (const auto &[k, rate] : rates)
+                    sorted.push_back(rate);
+                std::sort(sorted.begin(), sorted.end());
+                const double median = sorted[sorted.size() / 2];
+                if (median > 0.0) {
+                    for (const auto &[k, rate] : rates) {
+                        if (rate >= opt_.stealFraction * median)
+                            continue;
+                        ShardSlot &s = slots[k];
+                        std::vector<std::size_t> unstarted;
+                        for (const std::size_t i : s.assigned)
+                            if (!js[i].started)
+                                unstarted.push_back(i);
+                        if (unstarted.empty())
+                            continue;
+                        const std::vector<int> recipients =
+                            liveRecipients(k);
+                        if (recipients.empty())
+                            continue;
+                        ++stats_.rateSteals;
+                        emit(k, "steal-rate",
+                             std::to_string(unstarted.size()) +
+                                 " jobs");
+                        for (const std::size_t i : unstarted)
+                            s.assigned.erase(
+                                std::remove(s.assigned.begin(),
+                                            s.assigned.end(), i),
+                                s.assigned.end());
+                        if (s.toFd >= 0) {
+                            std::string frame =
+                                "{\"type\":\"revoke\",\"jobs\":[";
+                            for (std::size_t v = 0;
+                                 v < unstarted.size(); ++v) {
+                                if (v)
+                                    frame += ',';
+                                frame +=
+                                    std::to_string(unstarted[v]);
+                            }
+                            frame += "]}";
+                            writeFrame(s.toFd, frame);
+                        }
+                        reassign(unstarted, recipients);
+                        s.lastSteal = now;
+                    }
+                }
+            }
+        }
+    };
+
+    // Initial spawns.
+    for (int k = 0; k < numShards; ++k)
+        spawnShard(k);
+
+    while (done < numJobs) {
+        const bool cancelNow =
+            opt_.cancelFlag &&
+            opt_.cancelFlag->load(std::memory_order_relaxed);
+        if (cancelNow && !cancelled) {
+            cancelled = true;
+            for (int k = 0; k < numShards; ++k) {
+                ShardSlot &s = slots[k];
+                if (s.state == ShardState::Running) {
+                    if (s.toFd >= 0)
+                        writeFrame(s.toFd, "{\"type\":\"shutdown\"}");
+                    if (!s.termSent) {
+                        signalChild(s.pid, SIGTERM);
+                        s.termSent = true;
+                        s.termAt = Clock::now();
+                    }
+                }
+            }
+            for (std::size_t i = 0; i < numJobs; ++i) {
+                if (js[i].finalized)
+                    continue;
+                SweepResult r;
+                r.failureReason = "cancelled";
+                r.error = "sweep cancelled";
+                finalize(i, std::move(r));
+            }
+            emit(-1, "cancelled", "");
+            break;
+        }
+
+        // Respawn slots whose backoff expired.
+        const auto now = Clock::now();
+        for (int k = 0; k < numShards; ++k)
+            if (slots[k].state == ShardState::Backoff &&
+                now >= slots[k].readyAt)
+                spawnShard(k);
+
+        // Deferred SIGCONTs from Stop chaos actions.
+        for (auto it = pendingConts.begin();
+             it != pendingConts.end();) {
+            if (Clock::now() >= it->first) {
+                signalChild(it->second, SIGCONT);
+                it = pendingConts.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        // Wait for shard traffic (bounded so timers stay fresh).
+        std::vector<pollfd> fds;
+        std::vector<int> fdSlot;
+        for (int k = 0; k < numShards; ++k) {
+            if (slots[k].state == ShardState::Running &&
+                slots[k].fromFd >= 0) {
+                fds.push_back(pollfd{slots[k].fromFd, POLLIN, 0});
+                fdSlot.push_back(k);
+            }
+        }
+        if (!fds.empty()) {
+            const int rc = poll(fds.data(),
+                                static_cast<nfds_t>(fds.size()), 20);
+            if (rc > 0) {
+                for (std::size_t f = 0; f < fds.size(); ++f)
+                    if (fds[f].revents &
+                        (POLLIN | POLLHUP | POLLERR))
+                        drainFrames(fdSlot[f]);
+            }
+        } else {
+            // No readable pipe left. A slot can still be alive (its
+            // pipe drained to EOF but the exit not yet reaped) or in
+            // backoff; only when neither holds is the sweep wedged
+            // (every runner dead, nothing respawning) and the reap
+            // path has already finalized all orphans.
+            bool anyPending = false;
+            for (int k = 0; k < numShards; ++k)
+                anyPending |=
+                    slots[k].state == ShardState::Backoff ||
+                    (slots[k].state == ShardState::Running &&
+                     slots[k].pid >= 0);
+            if (!anyPending && done < numJobs)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+
+        // Reap exits, enforce liveness, escalate kills.
+        for (int k = 0; k < numShards; ++k) {
+            ShardSlot &s = slots[k];
+            if (s.state != ShardState::Running || s.pid < 0)
+                continue;
+            if (const auto st = pollChild(s.pid)) {
+                reapShard(k, *st);
+                continue;
+            }
+            if (s.termSent &&
+                secondsSince(s.termAt) > opt_.gracePeriodSec) {
+                signalChild(s.pid, SIGKILL);
+                continue;
+            }
+            if (s.termSent || s.zombie)
+                continue;
+            if (secondsSince(s.lastBeat) > hungAfterSec)
+                killShard(k, "hung");
+        }
+
+        if (!cancelled)
+            checkSteals();
+    }
+
+    // Shutdown: ask every live runner to stop, then drain until EOF
+    // so late (stale-epoch) results are observed -- and fenced --
+    // rather than lost in a closed pipe.
+    for (int k = 0; k < numShards; ++k) {
+        ShardSlot &s = slots[k];
+        if (s.state != ShardState::Running)
+            continue;
+        if (s.toFd >= 0) {
+            writeFrame(s.toFd, "{\"type\":\"shutdown\"}");
+            close(s.toFd);
+            s.toFd = -1;
+        }
+    }
+    auto termDeadline = after(std::max(0.2, opt_.gracePeriodSec));
+    bool escalatedTerm = false;
+    auto killDeadline = termDeadline;
+    for (;;) {
+        bool anyAlive = false;
+        std::vector<pollfd> fds;
+        std::vector<int> fdSlot;
+        for (int k = 0; k < numShards; ++k) {
+            ShardSlot &s = slots[k];
+            if (s.state != ShardState::Running)
+                continue;
+            if (s.pid >= 0) {
+                if (const auto st = pollChild(s.pid)) {
+                    drainFrames(k);
+                    if (s.fromFd >= 0) {
+                        close(s.fromFd);
+                        s.fromFd = -1;
+                    }
+                    s.pid = -1;
+                    s.state = ShardState::Dead;
+                    continue;
+                }
+                anyAlive = true;
+            }
+            if (s.fromFd >= 0) {
+                fds.push_back(pollfd{s.fromFd, POLLIN, 0});
+                fdSlot.push_back(k);
+            }
+        }
+        if (!anyAlive)
+            break;
+        if (!fds.empty()) {
+            const int rc = poll(fds.data(),
+                                static_cast<nfds_t>(fds.size()), 20);
+            if (rc > 0)
+                for (std::size_t f = 0; f < fds.size(); ++f)
+                    if (fds[f].revents &
+                        (POLLIN | POLLHUP | POLLERR))
+                        drainFrames(fdSlot[f]);
+        } else {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        const auto tnow = Clock::now();
+        if (!escalatedTerm && tnow > termDeadline) {
+            escalatedTerm = true;
+            killDeadline = after(std::max(0.2, opt_.gracePeriodSec));
+            for (int k = 0; k < numShards; ++k)
+                if (slots[k].state == ShardState::Running &&
+                    slots[k].pid >= 0)
+                    signalChild(slots[k].pid, SIGTERM);
+        } else if (escalatedTerm && tnow > killDeadline) {
+            for (int k = 0; k < numShards; ++k)
+                if (slots[k].state == ShardState::Running &&
+                    slots[k].pid >= 0)
+                    signalChild(slots[k].pid, SIGKILL);
+        }
+    }
+    // Final reap of anything still registered (defensive).
+    for (int k = 0; k < numShards; ++k) {
+        ShardSlot &s = slots[k];
+        if (s.pid >= 0) {
+            signalChild(s.pid, SIGKILL);
+            waitChild(s.pid);
+            s.pid = -1;
+        }
+        if (s.fromFd >= 0) {
+            close(s.fromFd);
+            s.fromFd = -1;
+        }
+        if (s.toFd >= 0) {
+            close(s.toFd);
+            s.toFd = -1;
+        }
+    }
+
+    std::vector<SweepResult> results;
+    results.reserve(numJobs);
+    for (JobState &j : js)
+        results.push_back(std::move(j.result));
+    return results;
+}
+
+} // namespace cawa

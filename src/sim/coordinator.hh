@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Sharded sweep coordinator: splits a job matrix into shards, runs
+ * each shard in a supervised runner subprocess, and survives any
+ * single-component failure -- a crashed, hung, OOM-killed or
+ * straggling shard -- without losing, duplicating or delaying a
+ * result. This is the PR 8 supervision toolkit lifted one level up
+ * (per-shard heartbeats, failure classification, deterministic
+ * backoff, retry budget) plus checkpoint-based work stealing with
+ * ownership-epoch fencing.
+ *
+ * Shard protocol (length-prefixed JSON frames, common/subprocess):
+ *
+ *   runner -> coordinator
+ *     {"type":"heartbeat","seq":N,"progress":P,"queue":Q}
+ *     {"type":"job-start","index":I,"epoch":E}
+ *     {"type":"checkpoint-written","index":I,"epoch":E,
+ *      "path":"...","cycle":C}
+ *     {"type":"job-result","index":I,"epoch":E, ...result fields}
+ *     {"type":"shard-idle"}
+ *   coordinator -> runner (stdin)
+ *     {"type":"shard-spec", ...}        exec mode only, first frame
+ *     {"type":"assign","jobs":[{"index":I,"epoch":E,"resume":"..."}]}
+ *     {"type":"revoke","jobs":[I, ...]}
+ *     {"type":"shutdown"}
+ *
+ * Ownership epochs: every job carries an epoch (starting at 1) naming
+ * which assignment of the job is current. Stealing or re-sharding a
+ * job bumps its epoch, so a zombie runner that later reports the old
+ * assignment is detected by the stale epoch and its result is fenced
+ * out (discarded, counted in stats), never double-counted. The same
+ * epoch is recorded in journal entries, where compactEntries() gives
+ * the highest epoch the win.
+ *
+ * Work stealing: a shard whose progress counter has not advanced for
+ * stealStallSec while another runner is alive loses all its
+ * unfinalized jobs (including the in-flight one -- the victim is left
+ * running and fenced, not killed); a shard whose progress *rate*
+ * falls below stealFraction of the median rate loses its unstarted
+ * jobs. Stolen jobs resume from their latest checkpoint-written
+ * frame, so work done on the straggler is not repeated; an unusable
+ * checkpoint degrades to a from-scratch run with byte-identical
+ * results.
+ */
+
+#ifndef CAWA_SIM_COORDINATOR_HH
+#define CAWA_SIM_COORDINATOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/subprocess.hh"
+#include "sim/journal.hh"
+#include "sim/supervisor.hh"
+#include "sim/sweep.hh"
+
+namespace cawa
+{
+
+/** One job handed to a shard runner: which matrix entry, under which
+ *  ownership epoch, and the checkpoint to resume from (may be ""). */
+struct ShardAssignment
+{
+    std::size_t index = 0;
+    int epoch = 1;
+    std::string resume;
+};
+
+/** Deterministic initial split: job i goes to shard i % shards. */
+std::vector<std::vector<std::size_t>> shardSplit(std::size_t numJobs,
+                                                 int shards);
+
+/** Runner-side knobs, shipped in the shard-spec frame in exec mode. */
+struct ShardRunnerOptions
+{
+    double heartbeatIntervalSec = 0.25;
+    int jobMaxAttempts = 1; ///< in-runner runSweepJob attempts per job
+    int shard = -1;         ///< slot id, echoed into journal entries
+    /** Shard journal path ("" = no runner-side journaling). Append
+     *  failures are swallowed: the coordinator's master journal is
+     *  authoritative; the shard journal is merge input. */
+    std::string journalPath;
+};
+
+/**
+ * Runner-side chaos for tests and cawa_fuzz --shard-chaos. All hooks
+ * keep the heartbeat thread alive, so they exercise the straggler /
+ * steal / fencing paths rather than the hang detector.
+ */
+struct ShardRunnerChaos
+{
+    /** After N results, stall this long before the next job. */
+    int stallAfterResults = -1;
+    double stallSec = 0.0;
+    /** Hold the (N+1)-th result this long before sending it (the
+     *  zombie scenario: the job gets stolen mid-hold and the held
+     *  result arrives with a stale epoch). A shutdown frame releases
+     *  the hold early so the fenced frame is still observed. */
+    int holdAfterResults = -1;
+    double holdResultSec = 0.0;
+    /** _exit(exitCode) right after sending N results (a mid-sweep
+     *  crash with work left on the queue). */
+    int exitAfterResults = -1;
+    int exitCode = 11;
+    /** Sleep before every job: a slow-but-alive shard. */
+    double slowPerJobSec = 0.0;
+};
+
+/**
+ * Worker-side entry: process assignments against @p matrix, streaming
+ * shard-protocol frames to @p outFd and obeying assign/revoke/
+ * shutdown control frames on @p inFd. SIGTERM/SIGINT cancel the
+ * in-flight job cooperatively. Returns the runner exit code.
+ *
+ * Used by the fork-mode child directly and by the hidden
+ * `cawa_sweep --shard-worker` exec entrypoint.
+ */
+int runShardRunner(const std::vector<SweepJob> &matrix,
+                   const std::vector<ShardAssignment> &initial,
+                   int inFd, int outFd, const ShardRunnerOptions &opt,
+                   const ShardRunnerChaos &chaos = {});
+
+/**
+ * Coordinator-side chaos action for tests and the chaos fuzzer:
+ * deliver a signal to a shard once the coordinator has finalized
+ * @p afterResults results from it (0 = at spawn). Kill feeds the
+ * crash/respawn path; Stop starves the heartbeat and feeds the
+ * hung -> SIGTERM -> SIGKILL escalation (SIGCONT after contAfterSec
+ * when >= 0).
+ */
+struct CoordinatorChaosAction
+{
+    enum class Kind { Kill, Stop };
+    int shard = 0;
+    int afterResults = 0;
+    Kind kind = Kind::Kill;
+    int signo = 9; ///< SIGKILL; any fatal signal works for Kill
+    double contAfterSec = -1.0;
+};
+
+struct CoordinatorOptions
+{
+    /** Shard runner processes; clamped to [1, jobs]. */
+    int shards = 2;
+
+    /** Runner heartbeat cadence (seconds, real time). */
+    double heartbeatIntervalSec = 0.25;
+    /** A runner silent for this many consecutive intervals is
+     *  declared hung and killed. Any frame counts as liveness. */
+    int heartbeatMissLimit = 20;
+    /** SIGTERM -> SIGKILL escalation delay (seconds). */
+    double gracePeriodSec = 2.0;
+
+    /** Respawns allowed per shard slot after a crash/oom/hang; past
+     *  the cap the slot's jobs are re-sharded onto healthy runners
+     *  (or finalized as failed when none remain). */
+    int maxRespawnsPerShard = 2;
+    /** Sweep-wide respawn cap shared by all shards; -1 = unlimited. */
+    int retryBudget = -1;
+
+    /** Deterministic backoff between respawns of one slot. */
+    BackoffPolicy backoff;
+
+    /** In-runner runSweepJob attempts (the sweep --retries knob). */
+    int jobMaxAttempts = 1;
+
+    /**
+     * Straggler policy. A shard stalls when its progress counter has
+     * not advanced for stealStallSec (heartbeats alone are not
+     * progress); all its unfinalized jobs are stolen. A shard whose
+     * progress rate over rateWindowSec falls below stealFraction of
+     * the median rate (two or more measurable shards) loses its
+     * unstarted jobs. <= 0 disables the respective rule.
+     */
+    double stealStallSec = 1.0;
+    double stealFraction = 0.25;
+    double rateWindowSec = 1.0;
+
+    /** setrlimit caps applied in each runner. */
+    ChildLimits limits;
+
+    /** Cooperative shutdown: running shards get shutdown + SIGTERM,
+     *  unfinalized jobs are finalized as cancelled. */
+    const std::atomic<bool> *cancelFlag = nullptr;
+
+    /**
+     * Master journal (already open, owned by the caller). One entry
+     * per finalized job, carrying the winning epoch and shard.
+     * Nullptr = no journaling.
+     */
+    JournalWriter *journal = nullptr;
+    /** Shard journal base path: runner k appends to
+     *  shardJournalPath(journalBasePath, k). "" = none. */
+    std::string journalBasePath;
+
+    /** Conventional checkpoint directory (<dir>/<name>.ckpt) used as
+     *  the resume fallback when no checkpoint-written frame has been
+     *  seen for a stolen job. */
+    std::string checkpointDir;
+
+    /**
+     * Exec mode: when workerArgv0 is non-empty the coordinator
+     * fork/execs `workerArgv0 --shard-worker` per shard and ships
+     * shardSpec(slot, initial) as the first frame on the runner's
+     * stdin. When empty (the default) the runner is a plain fork that
+     * inherits the job closures.
+     */
+    std::string workerArgv0;
+    std::function<std::string(int slot,
+                              const std::vector<ShardAssignment> &)>
+        shardSpec;
+
+    /** Fork-mode chaos hook: per-(slot, spawn) runner chaos. */
+    std::function<ShardRunnerChaos(int slot, int spawn)> runnerChaos;
+    /** Coordinator-side chaos schedule (signals at result counts). */
+    std::vector<CoordinatorChaosAction> chaos;
+
+    /**
+     * Observer for coordination events: "spawn", "crashed", "oom",
+     * "hung", "walltime", "respawn", "steal-stall", "steal-rate",
+     * "reshard", "fenced", "result", "cancelled". shard is the slot
+     * (or the victim for steals), detail the classification or job.
+     */
+    std::function<void(int shard, const std::string &event,
+                       const std::string &detail)>
+        onEvent;
+};
+
+/** Counters a finished run() leaves behind for tests and summaries. */
+struct CoordinatorStats
+{
+    int respawns = 0;    ///< shard processes respawned after failure
+    int stallSteals = 0; ///< steal events from the stall rule
+    int rateSteals = 0;  ///< steal events from the rate rule
+    int stolenJobs = 0;  ///< job reassignments from steals/re-shards
+    int fenced = 0;      ///< stale-epoch frames discarded
+};
+
+/**
+ * Runs a sweep matrix across shard runner subprocesses and returns
+ * results in submission order, byte-identical to an in-process
+ * SweepEngine run of the same matrix (tests/test_coordinator.cc
+ * proves identity under SIGKILL, stall-steal and zombie chaos).
+ */
+class ShardCoordinator
+{
+  public:
+    explicit ShardCoordinator(CoordinatorOptions opt);
+
+    /**
+     * Run every job and return results indexed like @p jobs.
+     * @p on_done fires as jobs finalize, exactly once per job -- a
+     * result fenced by a stale epoch is never surfaced.
+     */
+    std::vector<SweepResult> run(std::vector<SweepJob> jobs,
+                                 const SweepEngine::JobDone &on_done =
+                                     nullptr);
+
+    const CoordinatorOptions &options() const { return opt_; }
+    /** Counters from the most recent run(). */
+    const CoordinatorStats &stats() const { return stats_; }
+
+  private:
+    CoordinatorOptions opt_;
+    CoordinatorStats stats_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SIM_COORDINATOR_HH

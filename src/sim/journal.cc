@@ -97,6 +97,17 @@ journalLine(const JournalEntry &entry)
         out += ",\"error\":";
         appendJsonString(out, entry.error);
     }
+    // Sharded-sweep fields are elided for unsharded entries so the
+    // journal format stays byte-identical for the single-process
+    // supervisor path.
+    if (entry.epoch != 0) {
+        out += ",\"epoch\":";
+        out += std::to_string(entry.epoch);
+    }
+    if (entry.shard >= 0) {
+        out += ",\"shard\":";
+        out += std::to_string(entry.shard);
+    }
     out += "}";
     return out;
 }
@@ -122,6 +133,10 @@ readJournal(const std::string &path)
             entry.attempts = static_cast<int>(v.at("attempts").asI64());
             if (v.has("error"))
                 entry.error = v.at("error").asString();
+            if (v.has("epoch"))
+                entry.epoch = static_cast<int>(v.at("epoch").asI64());
+            if (v.has("shard"))
+                entry.shard = static_cast<int>(v.at("shard").asI64());
             entries.push_back(std::move(entry));
         } catch (const std::exception &e) {
             // A torn append (crash mid-write) or hand damage: keep
@@ -156,29 +171,97 @@ filterResumeJobs(const std::vector<SweepJob> &jobs,
 std::vector<JournalEntry>
 compactEntries(const std::vector<JournalEntry> &entries)
 {
-    // Order by *last* appearance so the compacted journal reads like
-    // the history it replaces: a retried-late job sorts late.
-    std::unordered_map<std::string, std::size_t> lastIndex;
-    for (std::size_t i = 0; i < entries.size(); ++i)
-        lastIndex[entries[i].job] = i;
+    // Winner per job: highest ownership epoch; equal epochs fall back
+    // to the later position (the plain latest-wins of an unsharded
+    // journal, where every epoch is 0). Winners are emitted in the
+    // order of their winning entry so the compacted journal reads
+    // like the history it replaces: a retried-late job sorts late.
+    std::unordered_map<std::string, std::size_t> winner;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto it = winner.find(entries[i].job);
+        if (it == winner.end() ||
+            entries[i].epoch >= entries[it->second].epoch)
+            winner[entries[i].job] = i;
+    }
     std::vector<JournalEntry> out;
-    out.reserve(lastIndex.size());
+    out.reserve(winner.size());
     for (std::size_t i = 0; i < entries.size(); ++i)
-        if (lastIndex.at(entries[i].job) == i)
+        if (winner.at(entries[i].job) == i)
             out.push_back(entries[i]);
     return out;
+}
+
+std::vector<JournalEntry>
+mergeJournals(const std::vector<std::vector<JournalEntry>> &journals,
+              const std::vector<std::string> *submissionOrder)
+{
+    std::vector<JournalEntry> all;
+    for (const std::vector<JournalEntry> &journal : journals)
+        all.insert(all.end(), journal.begin(), journal.end());
+    std::vector<JournalEntry> merged = compactEntries(all);
+    if (!submissionOrder)
+        return merged;
+    // Deterministic submission-order report: known jobs in matrix
+    // order, stragglers (jobs journaled but no longer in the matrix)
+    // after them in merge order.
+    std::unordered_map<std::string, std::size_t> rank;
+    rank.reserve(submissionOrder->size());
+    for (std::size_t i = 0; i < submissionOrder->size(); ++i)
+        rank.emplace((*submissionOrder)[i], i);
+    std::vector<JournalEntry> out;
+    out.reserve(merged.size());
+    std::vector<const JournalEntry *> known(submissionOrder->size(),
+                                            nullptr);
+    std::vector<const JournalEntry *> unknown;
+    for (const JournalEntry &entry : merged) {
+        const auto it = rank.find(entry.job);
+        if (it != rank.end() && !known[it->second])
+            known[it->second] = &entry;
+        else if (it == rank.end())
+            unknown.push_back(&entry);
+    }
+    for (const JournalEntry *entry : known)
+        if (entry)
+            out.push_back(*entry);
+    for (const JournalEntry *entry : unknown)
+        out.push_back(*entry);
+    return out;
+}
+
+std::string
+shardJournalPath(const std::string &masterPath, int slot)
+{
+    return masterPath + ".shard" + std::to_string(slot);
 }
 
 std::size_t
 attachResumeCheckpoints(std::vector<SweepJob> &jobs,
                         const std::string &checkpointDir)
 {
+    static const std::unordered_map<std::string, std::string> none;
+    return attachResumeCheckpoints(jobs, checkpointDir, none);
+}
+
+std::size_t
+attachResumeCheckpoints(
+    std::vector<SweepJob> &jobs, const std::string &checkpointDir,
+    const std::unordered_map<std::string, std::string> &preferred)
+{
     std::size_t attached = 0;
     for (SweepJob &job : jobs) {
-        std::string ckpt = job.cfg.checkpointPath;
-        if (ckpt.empty() && !checkpointDir.empty())
-            ckpt = checkpointDir + "/" + job.name + ".ckpt";
-        if (ckpt.empty() || access(ckpt.c_str(), R_OK) != 0)
+        std::string ckpt;
+        const auto it = preferred.find(job.name);
+        if (it != preferred.end() &&
+            access(it->second.c_str(), R_OK) == 0)
+            ckpt = it->second;
+        if (ckpt.empty()) {
+            ckpt = job.cfg.checkpointPath;
+            if (ckpt.empty() && !checkpointDir.empty())
+                ckpt = checkpointDir + "/" + job.name + ".ckpt";
+            if (!ckpt.empty() && access(ckpt.c_str(), R_OK) != 0)
+                ckpt.clear();
+        }
+        if (ckpt.empty())
             continue;
         job.resumeFromCheckpoint = ckpt;
         ++attached;

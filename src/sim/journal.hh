@@ -11,6 +11,7 @@
 #define CAWA_SIM_JOURNAL_HH
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/sweep.hh"
@@ -25,6 +26,16 @@ struct JournalEntry
     std::string status; ///< "ok" or a failure class (see entryStatus)
     std::string error;  ///< first line of the error, when one was set
     int attempts = 1;
+
+    /**
+     * Ownership-epoch fencing token for sharded sweeps: the epoch the
+     * writing shard owned the job under. When a job is stolen its
+     * epoch is bumped, so a zombie runner's late entry carries a
+     * stale (lower) epoch and loses every merge. 0 = unsharded entry
+     * (legacy journals), which any fenced entry outranks.
+     */
+    int epoch = 0;
+    int shard = -1; ///< writing shard slot, -1 when unsharded
 
     bool ok() const { return status == "ok"; }
 };
@@ -64,12 +75,32 @@ std::vector<SweepJob> filterResumeJobs(
     const std::vector<JournalEntry> &journal);
 
 /**
- * Collapse @p entries to one entry per job, the latest winning, in
- * the order each job last appeared. This is the rewrite --resume
- * performs so a journal does not grow one line per retry forever.
+ * Collapse @p entries to one entry per job: the highest ownership
+ * epoch wins, ties broken by the later position, so a zombie shard's
+ * stale append can never shadow the entry of the shard that stole
+ * the job. Winners are ordered by last appearance, so the compacted
+ * journal reads like the history it replaces (with all-zero epochs
+ * this is exactly the pre-sharding latest-wins behaviour). This is
+ * the rewrite --resume performs so a journal does not grow one line
+ * per retry forever.
  */
 std::vector<JournalEntry> compactEntries(
     const std::vector<JournalEntry> &entries);
+
+/**
+ * Merge several journals (master first, then per-shard journals in
+ * slot order) into one compacted, fence-aware entry list. When
+ * @p submissionOrder is non-null the winners are re-ordered to match
+ * it (jobs missing from the list keep their merge order, after the
+ * known ones), so the merged journal is deterministic in submission
+ * order no matter which shard finished first.
+ */
+std::vector<JournalEntry> mergeJournals(
+    const std::vector<std::vector<JournalEntry>> &journals,
+    const std::vector<std::string> *submissionOrder = nullptr);
+
+/** Path of shard @p slot's journal: "<masterPath>.shard<slot>". */
+std::string shardJournalPath(const std::string &masterPath, int slot);
 
 /**
  * Attach existing checkpoint files to re-run jobs: for every job
@@ -81,6 +112,17 @@ std::vector<JournalEntry> compactEntries(
  */
 std::size_t attachResumeCheckpoints(std::vector<SweepJob> &jobs,
                                     const std::string &checkpointDir);
+
+/**
+ * As above, but @p preferred (job name -> checkpoint path, e.g. the
+ * latest checkpoint-written frames a coordinator observed) overrides
+ * the conventional <dir>/<name>.ckpt location when the preferred
+ * file is readable. Used when stolen jobs are re-sharded onto a
+ * healthy runner mid-sweep.
+ */
+std::size_t attachResumeCheckpoints(
+    std::vector<SweepJob> &jobs, const std::string &checkpointDir,
+    const std::unordered_map<std::string, std::string> &preferred);
 
 /**
  * Owning journal appender with single-writer enforcement and

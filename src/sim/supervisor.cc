@@ -33,8 +33,30 @@ secondsSince(Clock::time_point t)
     return std::chrono::duration<double>(Clock::now() - t).count();
 }
 
+std::uint64_t
+mixSeed(std::uint64_t seed, const std::string &name, int attempt)
+{
+    // FNV-1a over (seed, name, attempt): cheap, stable across runs
+    // and platforms, which is all the jitter needs.
+    std::uint64_t h = 1469598103934665603ULL ^ seed;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    };
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    mix(static_cast<std::uint64_t>(attempt));
+    return h;
+}
+
+} // namespace
+
 std::string
-jsonQuote(const std::string &s)
+frameJsonQuote(const std::string &s)
 {
     std::string out;
     out.reserve(s.size() + 2);
@@ -62,39 +84,27 @@ jsonQuote(const std::string &s)
     return out;
 }
 
-std::uint64_t
-mixSeed(std::uint64_t seed, const std::string &name, int attempt)
+double
+backoffDelaySec(const BackoffPolicy &policy, const std::string &name,
+                int attempt)
 {
-    // FNV-1a over (seed, name, attempt): cheap, stable across runs
-    // and platforms, which is all the jitter needs.
-    std::uint64_t h = 1469598103934665603ULL ^ seed;
-    auto mix = [&h](std::uint64_t v) {
-        for (int i = 0; i < 8; ++i) {
-            h ^= (v >> (8 * i)) & 0xff;
-            h *= 1099511628211ULL;
-        }
-    };
-    for (const char c : name) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ULL;
-    }
-    mix(static_cast<std::uint64_t>(attempt));
-    return h;
+    const int step = std::max(1, attempt);
+    double delay = policy.baseSec *
+                   std::pow(2.0, static_cast<double>(step - 1));
+    delay = std::min(delay, policy.capSec);
+    Rng rng(mixSeed(policy.seed, name, step));
+    const double jitter = 0.75 + 0.5 * rng.nextDouble();
+    return delay * jitter;
 }
-
-} // namespace
 
 double
 backoffDelaySec(const SupervisorOptions &opt, const std::string &jobName,
                 int attempt)
 {
-    const int step = std::max(1, attempt);
-    double delay = opt.backoffBaseSec *
-                   std::pow(2.0, static_cast<double>(step - 1));
-    delay = std::min(delay, opt.backoffCapSec);
-    Rng rng(mixSeed(opt.backoffSeed, jobName, step));
-    const double jitter = 0.75 + 0.5 * rng.nextDouble();
-    return delay * jitter;
+    return backoffDelaySec(BackoffPolicy{opt.backoffBaseSec,
+                                         opt.backoffCapSec,
+                                         opt.backoffSeed},
+                           jobName, attempt);
 }
 
 // ---------------------------------------------------------------------
@@ -176,8 +186,8 @@ resultFrameJson(const SweepResult &result, int attempt)
     out += ",\"attempts\":" + std::to_string(result.attempts);
     out += ",\"resumed\":";
     out += result.resumed ? "true" : "false";
-    out += ",\"error\":" + jsonQuote(result.error);
-    out += ",\"failureReason\":" + jsonQuote(result.failureReason);
+    out += ",\"error\":" + frameJsonQuote(result.error);
+    out += ",\"failureReason\":" + frameJsonQuote(result.failureReason);
     // The full-fidelity compact document: toJson() is deterministic
     // and reportFromJson() is lossless, so the parent can re-serialize
     // byte-identically to an in-process run.
@@ -187,12 +197,8 @@ resultFrameJson(const SweepResult &result, int attempt)
 }
 
 SweepResult
-resultFromFrame(const std::string &payload)
+resultFromFrameFields(const JsonValue &doc)
 {
-    const JsonValue doc = parseJson(payload);
-    if (!doc.has("type") || doc.at("type").asString() != "result")
-        throw std::runtime_error(
-            "worker frame is not a result frame");
     SweepResult r;
     r.verified = doc.at("verified").asBool();
     r.attempts = static_cast<int>(doc.at("attempts").asI64());
@@ -201,6 +207,16 @@ resultFromFrame(const std::string &payload)
     r.failureReason = doc.at("failureReason").asString();
     r.report = reportFromJson(doc.at("report"));
     return r;
+}
+
+SweepResult
+resultFromFrame(const std::string &payload)
+{
+    const JsonValue doc = parseJson(payload);
+    if (!doc.has("type") || doc.at("type").asString() != "result")
+        throw std::runtime_error(
+            "worker frame is not a result frame");
+    return resultFromFrameFields(doc);
 }
 
 int
@@ -251,7 +267,7 @@ runSweepWorker(const SweepJob &job, int jobMaxAttempts, int outFd,
     mine.cfg.checkpointWrittenHook = [&sink](const std::string &path,
                                              Cycle cycle) {
         sink.send("{\"type\":\"checkpoint-written\",\"path\":" +
-                  jsonQuote(path) +
+                  frameJsonQuote(path) +
                   ",\"cycle\":" + std::to_string(cycle) + "}");
     };
 

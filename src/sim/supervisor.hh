@@ -58,6 +58,33 @@
 namespace cawa
 {
 
+class JsonValue;
+
+/**
+ * Capped-exponential backoff with deterministic jitter, shared by the
+ * per-job supervisor and the shard coordinator: a given (seed, name,
+ * attempt) always yields the same delay, so retry schedules are
+ * reproducible run to run.
+ */
+struct BackoffPolicy
+{
+    double baseSec = 0.05;
+    double capSec = 5.0;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Deterministic backoff delay for @p attempt of @p name (attempt
+ * counts executions so far, >= 1): min(cap, base * 2^(attempt-1))
+ * scaled by a jitter factor in [0.75, 1.25) drawn from an RNG seeded
+ * with (seed, name, attempt).
+ */
+double backoffDelaySec(const BackoffPolicy &policy,
+                       const std::string &name, int attempt);
+
+/** JSON string literal (quotes + escapes) for frame serializers. */
+std::string frameJsonQuote(const std::string &s);
+
 struct SupervisorOptions
 {
     /** Concurrent worker subprocesses; <= 0 means one per job slot
@@ -134,10 +161,8 @@ struct SupervisorOptions
 };
 
 /**
- * Deterministic backoff delay for @p attempt of @p jobName (attempt
- * counts executions so far, >= 1): min(cap, base * 2^(attempt-1))
- * scaled by a jitter factor in [0.75, 1.25) drawn from an RNG seeded
- * with (backoffSeed, jobName, attempt).
+ * Convenience overload drawing the policy fields from
+ * SupervisorOptions (backoffBaseSec/backoffCapSec/backoffSeed).
  */
 double backoffDelaySec(const SupervisorOptions &opt,
                        const std::string &jobName, int attempt);
@@ -189,6 +214,13 @@ std::string resultFrameJson(const SweepResult &result, int attempt);
  * std::runtime_error (with context) on malformed frames.
  */
 SweepResult resultFromFrame(const std::string &payload);
+
+/**
+ * Extract the SweepResult fields from an already-parsed frame that
+ * carries the resultFrameJson() field set (the coordinator's
+ * job-result frames embed them next to index/epoch routing fields).
+ */
+SweepResult resultFromFrameFields(const JsonValue &doc);
 
 } // namespace cawa
 

@@ -19,13 +19,20 @@
  *  - a sweep whose isolated worker is SIGKILL'd mid-run (through
  *    faults.workerKillSignal) must still finish every job, and its
  *    journal must come out whole: every line parseable, exactly one
- *    entry per job, nothing lost, nothing double-counted.
+ *    entry per job, nothing lost, nothing double-counted;
+ *  - a sharded sweep under coordinator chaos (a SIGKILL'd shard
+ *    runner, a zombie shard sitting on a finished result until its
+ *    jobs are stolen) must produce per-job reports byte-identical to
+ *    an unfaulted in-process run, a master journal with exactly one
+ *    ok entry per job, and shard journals that merge to the same set
+ *    with every stale-epoch zombie entry fenced out.
  *
  * Examples:
  *   cawa_fuzz --seeds 50
  *   cawa_fuzz --seeds 200 --start 1000 --check 2 --verbose
  *   cawa_fuzz --seeds 0 --ckpt-seeds 20
  *   cawa_fuzz --seeds 0 --ckpt-seeds 0 --crash-seeds 10
+ *   cawa_fuzz --seeds 0 --ckpt-seeds 0 --crash-seeds 0 --shard-chaos 3
  *
  * Exit status 0 when every seed behaves, 1 otherwise.
  */
@@ -44,6 +51,7 @@
 #include "common/sim_assert.hh"
 #include "common/sim_error.hh"
 #include "isa/program_builder.hh"
+#include "sim/coordinator.hh"
 #include "sim/gpu.hh"
 #include "sim/gpu_config.hh"
 #include "sim/journal.hh"
@@ -426,6 +434,227 @@ runCrashSeed(std::uint64_t seed, bool verbose)
     return anomalies;
 }
 
+/**
+ * Sharded-sweep chaos phase for one seed: 8-12 clean fuzz jobs run
+ * first through the in-process SweepEngine (the oracle), then across
+ * three fork-mode shard runners under seed-chosen chaos -- always a
+ * SIGKILL'd shard, and on half the seeds also a zombie shard that
+ * sits on a finished result until the stall rule steals its jobs, so
+ * the held result later arrives under a stale epoch and must be
+ * fenced. Whatever the chaos did, the coordinator must deliver:
+ *
+ *  - every job ok, with a report byte-identical to the oracle's;
+ *  - a master journal with exactly one ok entry per job;
+ *  - shard journals that merge (fence-aware, submission order) to the
+ *    same one-entry-per-job set;
+ *  - an empty resume plan.
+ *
+ * Returns the number of anomalies found (0 when the seed behaves).
+ */
+int
+runShardChaosSeed(std::uint64_t seed, bool verbose)
+{
+    namespace fs = std::filesystem;
+
+    Rng rng(seed ^ 0xa0761d6478bd642full);
+    constexpr int kShards = 3;
+
+    int anomalies = 0;
+    auto anomaly = [&](const char *what, const std::string &detail) {
+        ++anomalies;
+        std::fprintf(stderr,
+                     "cawa_fuzz: shard seed %llu %s [ANOMALY]%s%s\n",
+                     static_cast<unsigned long long>(seed), what,
+                     detail.empty() ? "" : ": ", detail.c_str());
+    };
+
+    const std::string base =
+        (fs::temp_directory_path() /
+         ("cawa_fuzz_shard_" + std::to_string(::getpid()) + "_" +
+          std::to_string(seed)))
+            .string();
+
+    // Clean cases only: this phase injects process-level chaos, not
+    // sim faults. Checkpoints are armed so a respawned or thieving
+    // shard resumes mid-run instead of recomputing -- byte-identity
+    // of the final report proves the resume path, too. The cases must
+    // outlive the sweep (job closures reference them), and the vector
+    // must never reallocate once closures are handed out.
+    const int num_jobs = 8 + static_cast<int>(rng.nextBounded(5));
+    std::vector<FuzzCase> cases;
+    cases.reserve(static_cast<std::size_t>(num_jobs));
+    std::vector<SweepJob> jobs;
+    std::vector<std::string> ckpts;
+    for (int i = 0; i < num_jobs; ++i) {
+        cases.push_back(
+            buildCase(seed * 32 + static_cast<std::uint64_t>(i),
+                      /*check_level=*/0));
+        FuzzCase &fc = cases.back();
+        fc.cfg.faults = FaultInjection{};
+        SweepJob job;
+        job.name = fc.kernel.name + "_d" + std::to_string(i);
+        job.cfg = fc.cfg;
+        job.cfg.checkpointPath = base + "_" + std::to_string(i) +
+                                 ".ckpt";
+        job.cfg.checkpointInterval = 100;
+        ckpts.push_back(job.cfg.checkpointPath);
+        std::remove(job.cfg.checkpointPath.c_str());
+        job.build = [&fc](MemoryImage &) { return fc.kernel; };
+        jobs.push_back(std::move(job));
+    }
+
+    // The oracle: the same matrix, in process, no faults.
+    const SweepEngine engine(kShards);
+    const auto baseline = engine.run(jobs);
+    JsonWriteOptions jopt;
+    jopt.pretty = false;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        if (!baseline[i].ok())
+            anomaly("oracle job failed",
+                    jobs[i].name + ": " + baseline[i].error);
+    }
+    // Oracle checkpoints must not leak into the chaos run's resumes.
+    for (const std::string &ckpt : ckpts)
+        std::remove(ckpt.c_str());
+    if (anomalies)
+        return anomalies;
+
+    CoordinatorOptions opt;
+    opt.shards = kShards;
+    opt.heartbeatIntervalSec = 0.04;
+    opt.heartbeatMissLimit = 50;
+    opt.gracePeriodSec = 0.5;
+    opt.maxRespawnsPerShard = 2;
+    opt.backoff.baseSec = 0.005;
+    opt.backoff.capSec = 0.02;
+    opt.backoff.seed = seed;
+    opt.stealStallSec = 0.4;
+    opt.stealFraction = 0.0; // the stall rule is the one under test
+    opt.jobMaxAttempts = 1;
+
+    // Always one SIGKILL'd shard (crash -> backoff -> respawn ->
+    // checkpoint resume)...
+    CoordinatorChaosAction kill;
+    kill.shard = static_cast<int>(rng.nextBounded(kShards));
+    kill.afterResults = static_cast<int>(rng.nextBounded(3));
+    kill.kind = CoordinatorChaosAction::Kind::Kill;
+    kill.signo = SIGKILL;
+    opt.chaos.push_back(kill);
+    // ...and on half the seeds a zombie on a *different* shard: it
+    // finishes a job but holds the result, its progress freezes, the
+    // stall rule steals its jobs, and the held result must arrive
+    // later with a stale epoch and be fenced, never double-counted.
+    const bool want_zombie = rng.nextBounded(2) != 0;
+    const int hold_victim =
+        (kill.shard + 1 +
+         static_cast<int>(rng.nextBounded(kShards - 1))) %
+        kShards;
+    const int hold_after = static_cast<int>(rng.nextBounded(2));
+    if (want_zombie) {
+        opt.runnerChaos = [=](int slot, int) {
+            ShardRunnerChaos chaos;
+            if (slot == hold_victim) {
+                chaos.holdAfterResults = hold_after;
+                chaos.holdResultSec = 60.0;
+            }
+            return chaos;
+        };
+    }
+
+    const std::string journal_path = base + ".jsonl";
+    std::remove(journal_path.c_str());
+    for (int k = 0; k < kShards; ++k)
+        std::remove(shardJournalPath(journal_path, k).c_str());
+    JournalWriter writer;
+    writer.open(journal_path);
+    opt.journal = &writer;
+    opt.journalBasePath = journal_path;
+
+    ShardCoordinator coordinator(opt);
+    const auto results = coordinator.run(jobs);
+    writer.close();
+
+    // 1. Every job ok, every report byte-identical to the oracle's.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i >= results.size() || !results[i].ok()) {
+            anomaly("job failed under shard chaos",
+                    jobs[i].name + ": " +
+                        (i < results.size() ? results[i].error
+                                            : "missing result"));
+        } else if (toJson(results[i].report, jopt) !=
+                   toJson(baseline[i].report, jopt)) {
+            anomaly("report diverged from in-process oracle",
+                    jobs[i].name);
+        }
+    }
+
+    // 2. The master journal holds exactly one ok entry per job.
+    const auto master = readJournal(journal_path);
+    if (master.size() != jobs.size())
+        anomaly("master journal entry count off",
+                std::to_string(master.size()) + " entries for " +
+                    std::to_string(jobs.size()) + " jobs");
+    for (const SweepJob &job : jobs) {
+        int count = 0;
+        bool all_ok = true;
+        for (const JournalEntry &entry : master) {
+            if (entry.job != job.name)
+                continue;
+            ++count;
+            all_ok = all_ok && entry.ok();
+        }
+        if (count != 1 || !all_ok)
+            anomaly("master journal entry wrong",
+                    job.name + " x" + std::to_string(count));
+    }
+    if (!filterResumeJobs(jobs, master).empty())
+        anomaly("resume plan not empty after a completed sweep", "");
+
+    // 3. Master + shard journals merge (fence-aware) to the same set,
+    //    in submission order, with no zombie entry surviving.
+    std::vector<std::vector<JournalEntry>> journals;
+    journals.push_back(master);
+    for (int k = 0; k < kShards; ++k)
+        journals.push_back(
+            readJournal(shardJournalPath(journal_path, k)));
+    std::vector<std::string> order;
+    for (const SweepJob &job : jobs)
+        order.push_back(job.name);
+    const auto merged = mergeJournals(journals, &order);
+    if (merged.size() != jobs.size()) {
+        anomaly("merged journals entry count off",
+                std::to_string(merged.size()) + " entries for " +
+                    std::to_string(jobs.size()) + " jobs");
+    } else {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (merged[i].job != jobs[i].name || !merged[i].ok())
+                anomaly("merged journal out of order or not ok",
+                        merged[i].job + " at slot " +
+                            std::to_string(i));
+        }
+    }
+
+    std::remove(journal_path.c_str());
+    for (int k = 0; k < kShards; ++k)
+        std::remove(shardJournalPath(journal_path, k).c_str());
+    for (const std::string &ckpt : ckpts)
+        std::remove(ckpt.c_str());
+
+    if (verbose && anomalies == 0) {
+        const CoordinatorStats &st = coordinator.stats();
+        std::fprintf(stderr,
+                     "cawa_fuzz: shard seed %llu ok (%d jobs, kill "
+                     "s%d%s, %d respawns, %d steals, %d stolen, %d "
+                     "fenced)\n",
+                     static_cast<unsigned long long>(seed), num_jobs,
+                     kill.shard,
+                     want_zombie ? ", zombie hold" : "",
+                     st.respawns, st.stallSteals + st.rateSteals,
+                     st.stolenJobs, st.fenced);
+    }
+    return anomalies;
+}
+
 [[noreturn]] void
 usage(int status)
 {
@@ -437,6 +666,8 @@ usage(int status)
                  " seeds (default 5)\n"
                  "  --crash-seeds N number of worker-crash journal"
                  " seeds (default 3)\n"
+                 "  --shard-chaos N number of sharded-sweep chaos"
+                 " seeds (default 2)\n"
                  "  --start S       first seed (default 1)\n"
                  "  --check L       invariant audit level 0/1/2"
                  " (default 2)\n"
@@ -453,6 +684,7 @@ main(int argc, char **argv)
     std::uint64_t seeds = 20;
     std::uint64_t ckpt_seeds = 5;
     std::uint64_t crash_seeds = 3;
+    std::uint64_t shard_chaos = 2;
     std::uint64_t start = 1;
     int check_level = 2;
     bool verbose = false;
@@ -472,6 +704,8 @@ main(int argc, char **argv)
             ckpt_seeds = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--crash-seeds") {
             crash_seeds = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--shard-chaos") {
+            shard_chaos = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--start") {
             start = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--check") {
@@ -544,12 +778,22 @@ main(int argc, char **argv)
          ++seed)
         anomalies += runCrashSeed(seed, verbose);
 
+    if (shard_chaos > 0 && !processIsolationAvailable()) {
+        std::fprintf(stderr, "cawa_fuzz: shard chaos skipped "
+                             "(process isolation unavailable)\n");
+        shard_chaos = 0;
+    }
+    for (std::uint64_t seed = start; seed < start + shard_chaos;
+         ++seed)
+        anomalies += runShardChaosSeed(seed, verbose);
+
     std::fprintf(stderr,
                  "cawa_fuzz: %llu fault seeds, %llu ckpt seeds, "
-                 "%llu crash seeds, %d anomal%s\n",
+                 "%llu crash seeds, %llu shard seeds, %d anomal%s\n",
                  static_cast<unsigned long long>(seeds),
                  static_cast<unsigned long long>(ckpt_seeds),
                  static_cast<unsigned long long>(crash_seeds),
+                 static_cast<unsigned long long>(shard_chaos),
                  anomalies, anomalies == 1 ? "y" : "ies");
     return anomalies ? 1 : 0;
 }

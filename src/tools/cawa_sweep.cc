@@ -59,6 +59,7 @@
 #include "common/sim_error.hh"
 #include "common/subprocess.hh"
 #include "common/table.hh"
+#include "sim/coordinator.hh"
 #include "sim/journal.hh"
 #include "sim/report_json.hh"
 #include "sim/supervisor.hh"
@@ -112,8 +113,13 @@ struct Options
     bool resume = false;
     int retries = 0; ///< extra in-worker attempts for jobs that throw
     bool isolate = true; ///< sandboxed worker subprocess per job
+    int shards = 0; ///< >0: distribute over N shard-runner processes
     int maxRespawns = 2; ///< process respawns after a crash/oom/hang
     int retryBudget = -1; ///< sweep-wide respawn cap (-1 = unlimited)
+    long heartbeatMs = 250;  ///< worker/shard heartbeat interval
+    int heartbeatMisses = 20; ///< missed beats before "hung"
+    double stealStallSec = 10.0; ///< shard stall-steal trigger, 0=off
+    double stealFraction = 0.25; ///< rate-steal fraction, 0=off
     std::uint64_t workerMemMb = 0; ///< RLIMIT_AS per worker (MB)
     std::uint64_t workerCpuSec = 0; ///< RLIMIT_CPU per worker
     std::vector<std::size_t> faultKillNth;  ///< test-only
@@ -160,6 +166,26 @@ usage(int status)
         "  --isolate          run each job in a sandboxed worker\n"
         "                     subprocess (default where supported)\n"
         "  --no-isolate       force the in-process thread pool\n"
+        "  --shards N         distribute the sweep over N supervised\n"
+        "                     shard-runner processes with checkpoint-\n"
+        "                     based work stealing, N in [1, 256]\n"
+        "                     (isolate mode; default: one worker per\n"
+        "                     job instead)\n"
+        "  --heartbeat-ms N   worker/shard heartbeat interval in\n"
+        "                     milliseconds, N in [10, 600000]\n"
+        "                     (default 250)\n"
+        "  --heartbeat-misses N\n"
+        "                     consecutive silent intervals before a\n"
+        "                     worker is declared hung and killed,\n"
+        "                     N in [1, 10000] (default 20)\n"
+        "  --steal-stall-sec SEC\n"
+        "                     steal a shard's jobs once its progress\n"
+        "                     has stalled SEC seconds, in (0, 3600],\n"
+        "                     or 0 = off (default 10; sharded mode)\n"
+        "  --steal-fraction F steal unstarted jobs from a shard whose\n"
+        "                     progress rate falls below F x the median\n"
+        "                     rate, F in (0, 1], or 0 = off\n"
+        "                     (default 0.25; sharded mode)\n"
         "  --max-respawns N   worker respawns per job after a\n"
         "                     crash/oom/hang, N in [0, 100]\n"
         "                     (default 2; isolate mode only)\n"
@@ -349,6 +375,28 @@ parseArgs(int argc, char **argv)
             opt.isolate = true;
         } else if (arg == "--no-isolate") {
             opt.isolate = false;
+        } else if (arg == "--shards") {
+            opt.shards = static_cast<int>(
+                parseIntInRange(next(i), "--shards", 1, 256));
+        } else if (arg == "--heartbeat-ms") {
+            opt.heartbeatMs =
+                parseIntInRange(next(i), "--heartbeat-ms", 10,
+                                600'000);
+        } else if (arg == "--heartbeat-misses") {
+            opt.heartbeatMisses = static_cast<int>(parseIntInRange(
+                next(i), "--heartbeat-misses", 1, 10'000));
+        } else if (arg == "--steal-stall-sec") {
+            const std::string v = next(i);
+            opt.stealStallSec =
+                v == "0" ? 0.0
+                         : parseDoubleInRange(v, "--steal-stall-sec",
+                                              0.0, 3600.0);
+        } else if (arg == "--steal-fraction") {
+            const std::string v = next(i);
+            opt.stealFraction =
+                v == "0" ? 0.0
+                         : parseDoubleInRange(v, "--steal-fraction",
+                                              0.0, 1.0);
         } else if (arg == "--max-respawns") {
             opt.maxRespawns = static_cast<int>(
                 parseIntInRange(next(i), "--max-respawns", 0, 100));
@@ -403,6 +451,20 @@ parseArgs(int argc, char **argv)
         std::fprintf(stderr,
                      "cawa_sweep: worker fault injection needs "
                      "--isolate\n");
+        std::exit(2);
+    }
+    if (opt.shards > 0 && !opt.isolate) {
+        std::fprintf(stderr,
+                     "cawa_sweep: --shards needs process isolation "
+                     "(drop --no-isolate)\n");
+        std::exit(2);
+    }
+    if (opt.shards > 0 &&
+        (!opt.faultKillNth.empty() || !opt.faultStallNth.empty())) {
+        std::fprintf(stderr,
+                     "cawa_sweep: per-worker fault injection is not "
+                     "available with --shards (use cawa_fuzz "
+                     "--shard-chaos for sharded chaos)\n");
         std::exit(2);
     }
     const auto known = allWorkloadNames();
@@ -565,6 +627,138 @@ runWorkerMode()
     }
 }
 
+/**
+ * Serialize one shard runner's spec frame: the FULL job matrix (the
+ * runner must be able to honour assign frames for any stolen job, not
+ * just its initial shard) plus the initial assignment and the runner
+ * knobs. The coordinator ships this as the first frame on the
+ * runner's stdin; assign/revoke/shutdown control frames follow on the
+ * same fd.
+ */
+std::string
+shardSpecJson(const std::vector<SweepJob> &jobs,
+              const std::unordered_map<std::string, WorkloadJobSpec>
+                  &specByName,
+              int slot, const std::vector<ShardAssignment> &initial,
+              double heartbeatSec, int jobAttempts,
+              const std::string &journalBasePath)
+{
+    std::string out =
+        "{\"type\":\"shard-spec\",\"shard\":" + std::to_string(slot);
+    out += ",\"heartbeatSec\":" + std::to_string(heartbeatSec);
+    out += ",\"jobAttempts\":" + std::to_string(jobAttempts);
+    out += ",\"journalPath\":";
+    appendJsonString(out,
+                     journalBasePath.empty()
+                         ? std::string()
+                         : shardJournalPath(journalBasePath, slot));
+    out += ",\"matrix\":[";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SweepJob &job = jobs[i];
+        const WorkloadJobSpec &spec = specByName.at(job.name);
+        if (i)
+            out += ',';
+        out += "{\"workload\":";
+        appendJsonString(out, spec.workload);
+        out += ",\"scheduler\":";
+        appendJsonString(out, schedulerKindName(job.cfg.scheduler));
+        out += ",\"policy\":";
+        appendJsonString(out, cachePolicyKindName(job.cfg.l1Policy));
+        out += ",\"seed\":" + std::to_string(spec.params.seed);
+        out += ",\"scale\":" + std::to_string(spec.params.scale);
+        out += ",\"jobTimeout\":" +
+               std::to_string(job.cfg.wallClockLimitSec);
+        out += ",\"checkpointPath\":";
+        appendJsonString(out, job.cfg.checkpointPath);
+        out += ",\"checkpointInterval\":" +
+               std::to_string(job.cfg.checkpointInterval);
+        out += "}";
+    }
+    out += "],\"assigned\":[";
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+        if (i)
+            out += ',';
+        out += "{\"index\":" + std::to_string(initial[i].index);
+        out += ",\"epoch\":" + std::to_string(initial[i].epoch);
+        out += ",\"resume\":";
+        appendJsonString(out, initial[i].resume);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+/**
+ * Hidden `cawa_sweep --shard-worker` entrypoint: read exactly one
+ * shard-spec frame from stdin (readFrameBlocking never over-reads, so
+ * control frames queued behind the spec stay on the fd for the
+ * runner's control thread), rebuild the matrix, and hand stdin/stdout
+ * to runShardRunner().
+ */
+int
+runShardWorkerMode()
+{
+    std::string payload;
+    if (!readFrameBlocking(STDIN_FILENO, payload)) {
+        std::fprintf(stderr,
+                     "cawa_sweep --shard-worker: no shard spec on "
+                     "stdin (this entrypoint is internal to the "
+                     "sweep coordinator)\n");
+        return 2;
+    }
+    try {
+        const JsonValue spec = parseJson(payload);
+        if (!spec.has("type") ||
+            spec.at("type").asString() != "shard-spec")
+            throw std::runtime_error("expected a shard-spec frame");
+
+        std::vector<SweepJob> matrix;
+        for (const JsonValue &j : spec.at("matrix").items()) {
+            WorkloadJobSpec ws;
+            ws.workload = j.at("workload").asString();
+            ws.cfg = GpuConfig::fermiGtx480();
+            ws.cfg.scheduler =
+                parseScheduler(j.at("scheduler").asString());
+            ws.cfg.l1Policy = parsePolicy(j.at("policy").asString());
+            ws.params.seed = j.at("seed").asU64();
+            ws.params.scale = j.at("scale").asDouble();
+            SweepJob job = makeWorkloadJob(ws);
+            job.cfg.wallClockLimitSec = j.at("jobTimeout").asDouble();
+            job.cfg.checkpointPath =
+                j.at("checkpointPath").asString();
+            job.cfg.checkpointInterval =
+                j.at("checkpointInterval").asU64();
+            matrix.push_back(std::move(job));
+        }
+        std::vector<ShardAssignment> initial;
+        for (const JsonValue &j : spec.at("assigned").items()) {
+            ShardAssignment a;
+            a.index =
+                static_cast<std::size_t>(j.at("index").asI64());
+            a.epoch = static_cast<int>(j.at("epoch").asI64());
+            a.resume = j.at("resume").asString();
+            if (a.index >= matrix.size())
+                throw std::runtime_error(
+                    "assignment index out of range");
+            initial.push_back(std::move(a));
+        }
+
+        ShardRunnerOptions ropt;
+        ropt.heartbeatIntervalSec = spec.at("heartbeatSec").asDouble();
+        ropt.jobMaxAttempts =
+            static_cast<int>(spec.at("jobAttempts").asI64());
+        ropt.shard = static_cast<int>(spec.at("shard").asI64());
+        ropt.journalPath = spec.at("journalPath").asString();
+        return runShardRunner(matrix, initial, STDIN_FILENO,
+                              STDOUT_FILENO, ropt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "cawa_sweep --shard-worker: bad shard spec: %s\n",
+                     e.what());
+        return 2;
+    }
+}
+
 } // namespace
 
 int
@@ -572,6 +766,8 @@ main(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "--worker") == 0)
         return runWorkerMode();
+    if (argc > 1 && std::strcmp(argv[1], "--shard-worker") == 0)
+        return runShardWorkerMode();
 
     const Options opt = parseArgs(argc, argv);
 
@@ -613,17 +809,39 @@ main(int argc, char **argv)
     std::vector<SweepJob> jobs = makeWorkloadJobs(specs);
 
     // The journal: locked, fsync-per-append, compacted on --resume.
+    // A killed sharded sweep leaves per-shard journals next to the
+    // master; --resume merges them all (the ownership epoch fences
+    // any zombie shard's stale entries) into one deterministic,
+    // submission-ordered master before planning the re-run.
     JournalWriter journal;
     std::vector<JournalEntry> journaled;
     if (!opt.journalPath.empty()) {
         try {
-            if (opt.resume)
-                journaled = readJournal(opt.journalPath);
-            journal.open(opt.journalPath);
-            if (opt.resume && !journaled.empty()) {
-                journaled = compactEntries(journaled);
-                journal.rewrite(journaled);
+            std::vector<std::string> shardFiles;
+            if (opt.resume) {
+                std::vector<std::vector<JournalEntry>> journals;
+                journals.push_back(readJournal(opt.journalPath));
+                for (int k = 0; k < 1024; ++k) {
+                    const std::string p =
+                        shardJournalPath(opt.journalPath, k);
+                    if (!std::filesystem::exists(p))
+                        break;
+                    journals.push_back(readJournal(p));
+                    shardFiles.push_back(p);
+                }
+                std::vector<std::string> order;
+                order.reserve(specs.size());
+                for (const auto &spec : specs)
+                    order.push_back(workloadJobName(spec));
+                journaled = mergeJournals(journals, &order);
             }
+            journal.open(opt.journalPath);
+            if (opt.resume && !journaled.empty())
+                journal.rewrite(journaled);
+            // The shard journals are folded in; remove them so a
+            // later resume cannot double-merge stale copies.
+            for (const std::string &p : shardFiles)
+                std::remove(p.c_str());
         } catch (const SimError &e) {
             std::fprintf(stderr, "cawa_sweep: %s\n", e.what());
             return 2;
@@ -686,17 +904,79 @@ main(int argc, char **argv)
     if (threads <= 0)
         threads = sweepThreadsFromEnv();
 
+    const bool sharded =
+        opt.shards > 0 && opt.isolate && processIsolationAvailable();
+
+    // In sharded mode the coordinator owns journaling (its entries
+    // carry the winning epoch and shard); everywhere else the sweep
+    // appends from the completion callback.
     SweepEngine::JobDone on_done;
-    if (journal.isOpen()) {
+    if (journal.isOpen() && !sharded) {
         on_done = [&](std::size_t index, const SweepResult &res) {
             journal.append(makeJournalEntry(jobs[index].name, res));
         };
     }
 
     std::vector<SweepResult> results;
-    if (opt.isolate && processIsolationAvailable()) {
+    if (sharded) {
+        CoordinatorOptions co;
+        co.shards = opt.shards;
+        co.heartbeatIntervalSec =
+            static_cast<double>(opt.heartbeatMs) / 1000.0;
+        co.heartbeatMissLimit = opt.heartbeatMisses;
+        co.maxRespawnsPerShard = opt.maxRespawns;
+        co.retryBudget = opt.retryBudget;
+        co.jobMaxAttempts = opt.retries + 1;
+        co.stealStallSec = opt.stealStallSec;
+        co.stealFraction = opt.stealFraction;
+        co.limits.memoryBytes = opt.workerMemMb << 20;
+        co.limits.cpuSeconds = opt.workerCpuSec;
+        co.cancelFlag = &g_cancel;
+        co.journal = journal.isOpen() ? &journal : nullptr;
+        co.journalBasePath = opt.journalPath;
+        co.checkpointDir = opt.checkpointDir;
+        co.workerArgv0 = selfExePath(argv[0]);
+        const double heartbeatSec = co.heartbeatIntervalSec;
+        const int jobAttempts = co.jobMaxAttempts;
+        co.shardSpec = [&jobs, &specByName, heartbeatSec, jobAttempts,
+                        &opt](int slot,
+                              const std::vector<ShardAssignment>
+                                  &initial) {
+            return shardSpecJson(jobs, specByName, slot, initial,
+                                 heartbeatSec, jobAttempts,
+                                 opt.journalPath);
+        };
+        co.onEvent = [](int shard, const std::string &event,
+                        const std::string &detail) {
+            if (event == "crashed" || event == "oom" ||
+                event == "hung" || event == "walltime" ||
+                event == "respawn" || event == "reshard" ||
+                event == "steal-stall" || event == "steal-rate" ||
+                event == "fenced")
+                std::fprintf(stderr, "cawa_sweep: shard %d %s: %s\n",
+                             shard, event.c_str(), detail.c_str());
+        };
+        ShardCoordinator coordinator(std::move(co));
+        std::fprintf(stderr,
+                     "cawa_sweep: %zu jobs on %d shard runners\n",
+                     jobs.size(), opt.shards);
+        results = coordinator.run(jobs, on_done);
+        const CoordinatorStats &stats = coordinator.stats();
+        if (stats.respawns || stats.stallSteals || stats.rateSteals ||
+            stats.fenced)
+            std::fprintf(stderr,
+                         "cawa_sweep: shard recovery: %d respawns, "
+                         "%d stall-steals, %d rate-steals, %d jobs "
+                         "reassigned, %d stale results fenced\n",
+                         stats.respawns, stats.stallSteals,
+                         stats.rateSteals, stats.stolenJobs,
+                         stats.fenced);
+    } else if (opt.isolate && processIsolationAvailable()) {
         SupervisorOptions sup;
         sup.workers = threads;
+        sup.heartbeatIntervalSec =
+            static_cast<double>(opt.heartbeatMs) / 1000.0;
+        sup.heartbeatMissLimit = opt.heartbeatMisses;
         sup.jobMaxAttempts = opt.retries + 1;
         sup.maxAttemptsPerJob = opt.maxRespawns + 1;
         sup.retryBudget = opt.retryBudget;

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Shard coordinator tests: the acceptance matrix runs 36 jobs across
+ * 4 shard runners under seeded chaos -- a SIGKILL'd shard, a stalled
+ * shard whose work is stolen, and a zombie whose late result must be
+ * fenced by the ownership epoch -- and still produces results and a
+ * journal byte-identical (one entry per job, no losses, no
+ * duplicates) to an unfaulted in-process sweep, for several seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/program_builder.hh"
+#include "sim/coordinator.hh"
+#include "sim/journal.hh"
+#include "sim/report_json.hh"
+#include "sim/sweep.hh"
+
+namespace cawa
+{
+namespace
+{
+
+Program
+trivialProgram()
+{
+    ProgramBuilder b;
+    b.s2r(1, SpecialReg::GlobalTid);
+    b.shlImm(2, 1, 2);
+    b.movImm(3, 7);
+    b.stGlobal(2, 3, 0x1000);
+    b.exit();
+    return b.build();
+}
+
+SweepJob
+matrixJob(const std::string &name, int gridDim, int blockDim)
+{
+    SweepJob job;
+    job.name = name;
+    job.cfg = GpuConfig::fermiGtx480();
+    job.cfg.numSms = 1;
+    job.build = [gridDim, blockDim](MemoryImage &) {
+        KernelInfo k;
+        k.name = "t";
+        k.program = trivialProgram();
+        k.gridDim = gridDim;
+        k.blockDim = blockDim;
+        return k;
+    };
+    return job;
+}
+
+std::string
+tempPath(const std::string &file)
+{
+    return ::testing::TempDir() + file;
+}
+
+std::string
+reportBytes(const SimReport &report)
+{
+    JsonWriteOptions opt;
+    opt.pretty = false;
+    return toJson(report, opt);
+}
+
+/** Fast coordination timings so chaos tests finish in seconds. */
+CoordinatorOptions
+fastOptions(int shards)
+{
+    CoordinatorOptions opt;
+    opt.shards = shards;
+    opt.heartbeatIntervalSec = 0.04;
+    opt.heartbeatMissLimit = 50; // 2s of silence == hung
+    opt.gracePeriodSec = 0.5;
+    opt.backoff.baseSec = 0.01;
+    opt.backoff.capSec = 0.05;
+    opt.stealStallSec = 0.5;
+    opt.stealFraction = 0.0; // chaos tests drive the stall rule only
+    return opt;
+}
+
+TEST(ShardSplit, DeterministicRoundRobin)
+{
+    const auto split = shardSplit(7, 3);
+    ASSERT_EQ(split.size(), 3u);
+    EXPECT_EQ(split[0], (std::vector<std::size_t>{0, 3, 6}));
+    EXPECT_EQ(split[1], (std::vector<std::size_t>{1, 4}));
+    EXPECT_EQ(split[2], (std::vector<std::size_t>{2, 5}));
+
+    // Degenerate shapes: never zero shards, never a lost job.
+    EXPECT_EQ(shardSplit(2, 0).size(), 1u);
+    EXPECT_EQ(shardSplit(2, 0)[0].size(), 2u);
+    EXPECT_EQ(shardSplit(0, 4).size(), 4u);
+}
+
+// The acceptance matrix: 36 jobs on 4 shard runners, three chaos
+// seeds, each with a SIGKILL'd shard (respawn + checkpoint resume), a
+// shard that stalls mid-sweep while holding a finished result (the
+// stall-steal path), and the held result arriving later under a stale
+// epoch (the fencing path). Results and the master journal must match
+// an unfaulted in-process run exactly.
+TEST(Coordinator, ChaosMatrixMergesByteIdenticalToInProcessRun)
+{
+    for (const unsigned seed : {1u, 2u, 3u}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+
+        std::vector<SweepJob> jobs;
+        std::vector<std::string> ckpts;
+        for (int i = 0; i < 36; ++i) {
+            SweepJob job = matrixJob(
+                "job" + std::to_string(i), /*gridDim=*/2 + (i % 3),
+                /*blockDim=*/32 * (1 + i % 2));
+            const std::string ckpt =
+                tempPath("coord_s" + std::to_string(seed) + "_" +
+                         std::to_string(i) + ".ckpt");
+            std::remove(ckpt.c_str());
+            job.cfg.checkpointPath = ckpt;
+            job.cfg.checkpointInterval = 50;
+            ckpts.push_back(ckpt);
+            jobs.push_back(std::move(job));
+        }
+
+        // Unfaulted in-process baseline.
+        const SweepEngine engine(4);
+        const auto baseline = engine.run(jobs);
+        ASSERT_EQ(baseline.size(), jobs.size());
+        for (const auto &r : baseline)
+            ASSERT_TRUE(r.ok()) << r.error;
+        // Leftover baseline checkpoints must not leak into the
+        // coordinator's resume decisions.
+        for (const std::string &ckpt : ckpts)
+            std::remove(ckpt.c_str());
+
+        const int killVictim = static_cast<int>(seed % 4);
+        const int holdVictim = static_cast<int>((seed + 1) % 4);
+
+        CoordinatorOptions opt = fastOptions(4);
+        opt.maxRespawnsPerShard = 2;
+        // SIGKILL the kill victim once it has delivered a
+        // seed-dependent number of results.
+        CoordinatorChaosAction kill;
+        kill.shard = killVictim;
+        kill.afterResults = static_cast<int>(seed % 3);
+        kill.kind = CoordinatorChaosAction::Kind::Kill;
+        kill.signo = SIGKILL;
+        opt.chaos.push_back(kill);
+        // The hold victim finishes one more job but sits on the
+        // result: its progress freezes, the stall rule steals all its
+        // unfinalized jobs, and the held result must arrive later
+        // under the old epoch and be fenced.
+        opt.runnerChaos = [&](int slot, int) {
+            ShardRunnerChaos chaos;
+            if (slot == holdVictim) {
+                chaos.holdAfterResults = static_cast<int>(seed % 2);
+                chaos.holdResultSec = 60.0;
+            }
+            return chaos;
+        };
+
+        const std::string journalPath = tempPath(
+            "coord_s" + std::to_string(seed) + ".journal.jsonl");
+        std::remove(journalPath.c_str());
+        for (int k = 0; k < 4; ++k)
+            std::remove(shardJournalPath(journalPath, k).c_str());
+        JournalWriter journal;
+        journal.open(journalPath);
+        opt.journal = &journal;
+        opt.journalBasePath = journalPath;
+
+        std::mutex doneMutex;
+        std::vector<int> completions(jobs.size(), 0);
+        ShardCoordinator coordinator(opt);
+        const auto results = coordinator.run(
+            jobs, [&](std::size_t index, const SweepResult &res) {
+                std::lock_guard<std::mutex> lock(doneMutex);
+                ASSERT_LT(index, completions.size());
+                completions[index]++;
+                EXPECT_TRUE(res.ok()) << jobs[index].name;
+            });
+        journal.close();
+
+        // Byte-identity in submission order, exactly one completion
+        // per job.
+        ASSERT_EQ(results.size(), jobs.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EXPECT_EQ(completions[i], 1) << "job " << i;
+            ASSERT_TRUE(results[i].ok())
+                << jobs[i].name << ": " << results[i].error;
+            EXPECT_EQ(reportBytes(results[i].report),
+                      reportBytes(baseline[i].report))
+                << jobs[i].name;
+        }
+
+        // Every chaos path actually fired.
+        const CoordinatorStats &stats = coordinator.stats();
+        EXPECT_GE(stats.respawns, 1) << "SIGKILL should respawn";
+        EXPECT_GE(stats.stallSteals, 1)
+            << "the held shard should be stall-stolen";
+        EXPECT_GE(stats.stolenJobs, 1);
+        EXPECT_GE(stats.fenced, 1)
+            << "the zombie's held result should be fenced";
+
+        // The master journal has exactly one ok entry per job -- no
+        // lost entries, no duplicates, fenced results never recorded.
+        const auto master = readJournal(journalPath);
+        ASSERT_EQ(master.size(), jobs.size());
+        std::set<std::string> seen;
+        for (const auto &entry : master) {
+            EXPECT_EQ(entry.status, "ok") << entry.job;
+            EXPECT_TRUE(seen.insert(entry.job).second)
+                << "duplicate journal entry for " << entry.job;
+        }
+
+        // Merging the master with every shard journal fences the
+        // zombie's stale-epoch entry and reproduces the submission
+        // order exactly.
+        std::vector<std::vector<JournalEntry>> journals;
+        journals.push_back(master);
+        for (int k = 0; k < 4; ++k) {
+            const std::string path = shardJournalPath(journalPath, k);
+            std::vector<JournalEntry> entries;
+            try {
+                entries = readJournal(path);
+            } catch (const std::exception &) {
+                // A shard that never journaled is fine.
+            }
+            journals.push_back(std::move(entries));
+        }
+        std::vector<std::string> order;
+        for (const auto &job : jobs)
+            order.push_back(job.name);
+        const auto merged = mergeJournals(journals, &order);
+        ASSERT_EQ(merged.size(), jobs.size());
+        for (std::size_t i = 0; i < merged.size(); ++i) {
+            EXPECT_EQ(merged[i].job, order[i]);
+            EXPECT_EQ(merged[i].status, "ok") << merged[i].job;
+        }
+
+        std::remove(journalPath.c_str());
+        for (int k = 0; k < 4; ++k)
+            std::remove(shardJournalPath(journalPath, k).c_str());
+        for (const std::string &ckpt : ckpts)
+            std::remove(ckpt.c_str());
+    }
+}
+
+// A shard that keeps crashing past its respawn cap loses its jobs to
+// the surviving runner, and the sweep still completes exactly.
+TEST(Coordinator, RespawnCapExhaustedReshardsOntoHealthyRunner)
+{
+    std::vector<SweepJob> jobs;
+    for (int i = 0; i < 8; ++i)
+        jobs.push_back(matrixJob("re" + std::to_string(i),
+                                 2 + (i % 2), 32));
+    const SweepEngine engine(2);
+    const auto baseline = engine.run(jobs);
+
+    CoordinatorOptions opt = fastOptions(2);
+    opt.maxRespawnsPerShard = 1;
+    opt.stealStallSec = 0.0; // isolate the respawn/re-shard path
+    opt.runnerChaos = [](int slot, int) {
+        ShardRunnerChaos chaos;
+        if (slot == 0) {
+            chaos.exitAfterResults = 1; // die after every result
+            chaos.exitCode = 7;
+        }
+        return chaos;
+    };
+    ShardCoordinator coordinator(opt);
+    const auto results = coordinator.run(jobs);
+
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].ok())
+            << jobs[i].name << ": " << results[i].error;
+        EXPECT_EQ(reportBytes(results[i].report),
+                  reportBytes(baseline[i].report));
+    }
+    EXPECT_EQ(coordinator.stats().respawns, 1);
+    EXPECT_GE(coordinator.stats().stolenJobs, 2);
+}
+
+// SIGSTOP starves the heartbeat: the shard is classified hung, killed
+// through the SIGTERM -> SIGKILL escalation, and respawned.
+TEST(Coordinator, StoppedShardClassifiedHungAndRespawned)
+{
+    std::vector<SweepJob> jobs;
+    for (int i = 0; i < 6; ++i)
+        jobs.push_back(matrixJob("hg" + std::to_string(i), 2, 32));
+    const SweepEngine engine(2);
+    const auto baseline = engine.run(jobs);
+
+    CoordinatorOptions opt = fastOptions(2);
+    opt.heartbeatMissLimit = 6; // hung after 0.24s of silence
+    opt.gracePeriodSec = 0.3;
+    opt.stealStallSec = 0.0; // force the hang path, not a steal
+    // Keep shard 0 busy (but heartbeating) so the SIGSTOP lands with
+    // jobs still on its queue.
+    opt.runnerChaos = [](int slot, int) {
+        ShardRunnerChaos chaos;
+        if (slot == 0)
+            chaos.slowPerJobSec = 0.15;
+        return chaos;
+    };
+    CoordinatorChaosAction stop;
+    stop.shard = 0;
+    stop.afterResults = 1;
+    stop.kind = CoordinatorChaosAction::Kind::Stop;
+    opt.chaos.push_back(stop);
+
+    std::mutex eventsMutex;
+    std::vector<std::string> events;
+    opt.onEvent = [&](int, const std::string &event,
+                      const std::string &) {
+        std::lock_guard<std::mutex> lock(eventsMutex);
+        events.push_back(event);
+    };
+    ShardCoordinator coordinator(opt);
+    const auto results = coordinator.run(jobs);
+
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].ok())
+            << jobs[i].name << ": " << results[i].error;
+        EXPECT_EQ(reportBytes(results[i].report),
+                  reportBytes(baseline[i].report));
+    }
+    EXPECT_GE(coordinator.stats().respawns, 1);
+    int hung = 0;
+    for (const auto &event : events)
+        hung += event == "hung";
+    EXPECT_GE(hung, 1);
+}
+
+// No healthy runner left and the cap exhausted: the orphaned jobs are
+// finalized with the shard's failure classification, not dropped.
+TEST(Coordinator, NoSurvivorFinalizesOrphansAsFailed)
+{
+    std::vector<SweepJob> jobs = {matrixJob("o0", 2, 32),
+                                  matrixJob("o1", 2, 32),
+                                  matrixJob("o2", 2, 32)};
+    CoordinatorOptions opt = fastOptions(1);
+    opt.maxRespawnsPerShard = 0;
+    opt.stealStallSec = 0.0;
+    opt.runnerChaos = [](int, int) {
+        ShardRunnerChaos chaos;
+        chaos.exitAfterResults = 1;
+        chaos.exitCode = 9;
+        return chaos;
+    };
+    ShardCoordinator coordinator(opt);
+    const auto results = coordinator.run(jobs);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok()) << results[0].error;
+    for (std::size_t i = 1; i < 3; ++i) {
+        EXPECT_FALSE(results[i].ok());
+        EXPECT_EQ(results[i].failureReason, "crashed");
+    }
+}
+
+TEST(Coordinator, PreCancelledSweepFinalizesEverythingCancelled)
+{
+    std::vector<SweepJob> jobs = {matrixJob("c0", 2, 32),
+                                  matrixJob("c1", 2, 32)};
+    std::atomic<bool> cancel{true};
+    CoordinatorOptions opt = fastOptions(2);
+    opt.cancelFlag = &cancel;
+    ShardCoordinator coordinator(opt);
+    const auto results = coordinator.run(jobs);
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.ok());
+        EXPECT_EQ(r.failureReason, "cancelled");
+    }
+}
+
+} // namespace
+} // namespace cawa

@@ -205,17 +205,78 @@ TEST(FrameReader, BackToBackFramesInOneFeed)
     EXPECT_EQ(reader.pendingBytes(), 0u);
 }
 
+// writeFrame() must be MSG_NOSIGNAL-equivalent: a worker dying with
+// the coordinator mid-frame surfaces as a false return the caller can
+// classify, not as a SIGPIPE that kills the writing process -- even
+// when the process keeps the default SIGPIPE disposition.
 TEST(Subprocess, WriteFrameToDeadReaderReportsFailure)
 {
     int fds[2];
     ASSERT_EQ(pipe(fds), 0);
-    close(fds[0]); // reader gone
-    // SIGPIPE would kill the test process before writeFrame can
-    // report; the supervisor/worker both ignore it the same way.
-    signal(SIGPIPE, SIG_IGN);
+    close(fds[0]);             // reader gone
+    signal(SIGPIPE, SIG_DFL);  // deliberately NOT ignored
     EXPECT_FALSE(writeFrame(fds[1], "nobody listening"));
+    // A handler installed by the caller must not have a stray
+    // SIGPIPE delivered to it after the call either.
+    EXPECT_FALSE(writeFrame(fds[1], std::string(1 << 20, 'y')));
     close(fds[1]);
+}
+
+// A caller-installed SIGPIPE disposition survives writeFrame().
+TEST(Subprocess, WriteFrameRestoresCallerSigpipeDisposition)
+{
+    signal(SIGPIPE, SIG_IGN);
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    close(fds[0]);
+    EXPECT_FALSE(writeFrame(fds[1], "x"));
+    close(fds[1]);
+    // Still ignored: raising SIGPIPE now must not kill the process.
+    raise(SIGPIPE);
     signal(SIGPIPE, SIG_DFL);
+    SUCCEED();
+}
+
+// The exported blocking reader consumes exactly one frame: bytes
+// queued behind it (the shard runner's control frames behind the
+// spec frame) stay on the fd for the next reader.
+TEST(Subprocess, ReadFrameBlockingDoesNotOverRead)
+{
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    ASSERT_TRUE(writeFrame(fds[1], "spec frame"));
+    ASSERT_TRUE(writeFrame(fds[1], "control frame"));
+    std::string payload;
+    ASSERT_TRUE(cawa::readFrameBlocking(fds[0], payload));
+    EXPECT_EQ(payload, "spec frame");
+    ASSERT_TRUE(cawa::readFrameBlocking(fds[0], payload));
+    EXPECT_EQ(payload, "control frame");
+    close(fds[1]);
+    // EOF mid-protocol reads as failure, not a hang or a torn frame.
+    EXPECT_FALSE(cawa::readFrameBlocking(fds[0], payload));
+    close(fds[0]);
+}
+
+TEST(Subprocess, ReadFrameBlockingRejectsOversizedAndTornFrames)
+{
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    // Oversized: a 32-byte claimed length against a 16-byte cap.
+    const unsigned char big[4] = {32, 0, 0, 0};
+    ASSERT_EQ(write(fds[1], big, 4), 4);
+    std::string payload;
+    EXPECT_FALSE(cawa::readFrameBlocking(fds[0], payload, 16));
+    close(fds[0]);
+    close(fds[1]);
+
+    ASSERT_EQ(pipe(fds), 0);
+    // Torn: header promises 8 bytes, the writer dies after 3.
+    const unsigned char torn[4] = {8, 0, 0, 0};
+    ASSERT_EQ(write(fds[1], torn, 4), 4);
+    ASSERT_EQ(write(fds[1], "abc", 3), 3);
+    close(fds[1]);
+    EXPECT_FALSE(cawa::readFrameBlocking(fds[0], payload));
+    close(fds[0]);
 }
 
 } // namespace

@@ -14,6 +14,8 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/sim_error.hh"
 #include "isa/program_builder.hh"
@@ -384,6 +386,146 @@ TEST(Journal, CompactEntriesLaterWinsOrderedByLastAppearance)
     EXPECT_EQ(compact[1].job, "a");
     EXPECT_EQ(compact[1].status, "ok");
     EXPECT_EQ(compact[1].attempts, 2);
+}
+
+// Unsharded entries serialize byte-identically to the pre-sharding
+// format (no epoch/shard keys); sharded entries round-trip both.
+TEST(Journal, EpochAndShardRoundTripAndStayElidedWhenUnsharded)
+{
+    JournalEntry legacy;
+    legacy.job = "plain";
+    legacy.status = "ok";
+    const std::string line = journalLine(legacy);
+    EXPECT_EQ(line.find("epoch"), std::string::npos) << line;
+    EXPECT_EQ(line.find("shard"), std::string::npos) << line;
+
+    JournalEntry sharded;
+    sharded.job = "sharded";
+    sharded.status = "ok";
+    sharded.epoch = 3;
+    sharded.shard = 2;
+
+    const std::string path = tempPath("journal_epoch.jsonl");
+    std::remove(path.c_str());
+    {
+        std::ofstream out(path);
+        out << line << "\n" << journalLine(sharded) << "\n";
+    }
+    const auto entries = readJournal(path);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].epoch, 0);
+    EXPECT_EQ(entries[0].shard, -1);
+    EXPECT_EQ(entries[1].epoch, 3);
+    EXPECT_EQ(entries[1].shard, 2);
+    std::remove(path.c_str());
+}
+
+// The fencing rule: a zombie shard's stale-epoch append can land
+// AFTER the thief's entry and still must lose the compaction.
+TEST(Journal, CompactEntriesHighestEpochWinsOverLaterStaleAppend)
+{
+    JournalEntry thief;
+    thief.job = "stolen";
+    thief.status = "ok";
+    thief.epoch = 2;
+    thief.shard = 1;
+    JournalEntry zombie;
+    zombie.job = "stolen";
+    zombie.status = "crashed";
+    zombie.epoch = 1;
+    zombie.shard = 0;
+
+    const auto compact = compactEntries({thief, zombie});
+    ASSERT_EQ(compact.size(), 1u);
+    EXPECT_EQ(compact[0].status, "ok");
+    EXPECT_EQ(compact[0].epoch, 2);
+    EXPECT_EQ(compact[0].shard, 1);
+
+    // Equal epochs keep the legacy later-wins behaviour.
+    zombie.epoch = 2;
+    const auto tie = compactEntries({thief, zombie});
+    ASSERT_EQ(tie.size(), 1u);
+    EXPECT_EQ(tie[0].status, "crashed");
+}
+
+TEST(Journal, MergeJournalsFencesZombiesAndFollowsSubmissionOrder)
+{
+    // Master saw jobs a (epoch 1, shard 0) and b (epoch 2: stolen
+    // from shard 0, finished on shard 1).
+    JournalEntry masterA;
+    masterA.job = "a";
+    masterA.status = "ok";
+    masterA.epoch = 1;
+    masterA.shard = 0;
+    JournalEntry masterB;
+    masterB.job = "b";
+    masterB.status = "ok";
+    masterB.epoch = 2;
+    masterB.shard = 1;
+
+    // Shard 0's journal holds the zombie's stale entry for b plus an
+    // entry for a job the master never finalized (c).
+    JournalEntry zombieB;
+    zombieB.job = "b";
+    zombieB.status = "ok";
+    zombieB.epoch = 1;
+    zombieB.shard = 0;
+    zombieB.attempts = 9; // distinguishable from the winner
+    JournalEntry orphanC;
+    orphanC.job = "c";
+    orphanC.status = "crashed";
+    orphanC.epoch = 1;
+    orphanC.shard = 0;
+
+    JournalEntry thiefB = masterB;
+    thiefB.attempts = 1;
+
+    const std::vector<std::string> order = {"b", "a"};
+    const auto merged = mergeJournals(
+        {{masterA, masterB}, {zombieB, orphanC}, {thiefB}}, &order);
+    ASSERT_EQ(merged.size(), 3u);
+    // Submission order first (b before a), unknown jobs after.
+    EXPECT_EQ(merged[0].job, "b");
+    EXPECT_EQ(merged[0].epoch, 2);
+    EXPECT_NE(merged[0].attempts, 9) << "zombie entry must be fenced";
+    EXPECT_EQ(merged[1].job, "a");
+    EXPECT_EQ(merged[2].job, "c");
+    EXPECT_EQ(merged[2].status, "crashed");
+
+    // Without an order hint the merge is still one entry per job.
+    EXPECT_EQ(mergeJournals({{masterA, masterB}, {zombieB, orphanC}})
+                  .size(),
+              3u);
+}
+
+TEST(Journal, ShardJournalPathAppendsSlotSuffix)
+{
+    EXPECT_EQ(shardJournalPath("/tmp/sweep.jsonl", 3),
+              "/tmp/sweep.jsonl.shard3");
+}
+
+// The coordinator-observed checkpoint (the latest checkpoint-written
+// frame) outranks the conventional <dir>/<name>.ckpt location.
+TEST(Journal, AttachResumeCheckpointsPrefersObservedPath)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string conventional = dir + "/pref.ckpt";
+    const std::string observed = tempPath("pref_observed.ckpt");
+    { std::ofstream(conventional) << "x"; }
+    { std::ofstream(observed) << "x"; }
+
+    std::vector<SweepJob> jobs = {goodJob("pref"), goodJob("gone")};
+    const std::unordered_map<std::string, std::string> preferred = {
+        {"pref", observed},
+        {"gone", tempPath("does_not_exist.ckpt")},
+    };
+    EXPECT_EQ(attachResumeCheckpoints(jobs, dir, preferred), 1u);
+    EXPECT_EQ(jobs[0].resumeFromCheckpoint, observed);
+    // An unreadable preferred path falls back to the conventional
+    // location -- which does not exist for "gone" either.
+    EXPECT_TRUE(jobs[1].resumeFromCheckpoint.empty());
+    std::remove(conventional.c_str());
+    std::remove(observed.c_str());
 }
 
 TEST(Journal, AttachResumeCheckpointsUsesPathThenDirectory)
