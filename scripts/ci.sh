@@ -11,7 +11,9 @@
 # an isolated worker must still end with exit 0 and every job
 # journaled ok.
 #
-# Usage: scripts/ci.sh [-j N] [--format-only | --perf-only | --tsan-only]
+# Usage: scripts/ci.sh [-j N]
+#                      [--format-only | --perf-only | --tsan-only |
+#                       --service-only]
 #   -j N           parallel build/test jobs (default: nproc)
 #   --format-only  run only the clang-format diff check and exit.
 #                  Checks only lines changed relative to
@@ -25,6 +27,12 @@
 #                  the parallel-labelled suites under it: the
 #                  parallel-SM fork-join must be data-race-free, not
 #                  just byte-deterministic.
+#   --service-only build the default and check presets, run the
+#                  service-labelled suites (cawad daemon, queue,
+#                  cache, protocol) on both, and finish each with the
+#                  end-to-end scripts/service_smoke.sh run -- a
+#                  daemon round trip whose cached replay must be
+#                  byte-identical to a direct cawa_sweep --out.
 #   -h, --help     this text
 #
 # POSIX sh: pipefail is enabled only where the shell supports it, and
@@ -37,7 +45,7 @@ fi
 cd "$(dirname "$0")/.."
 
 usage() {
-    sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
+    sed -n '2,36p' "$0" | sed 's/^# \{0,1\}//'
 }
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -66,6 +74,10 @@ while [ $# -gt 0 ]; do
         ;;
       --tsan-only)
         mode=tsan
+        shift
+        ;;
+      --service-only)
+        mode=service
         shift
         ;;
       -h|--help)
@@ -134,6 +146,31 @@ perf_gate() {
         bench/baselines/BENCH_sim_speed.json "$report"
 }
 
+# --- service tier: cawad daemon suites + end-to-end smoke ------------
+service_check() {
+    # Plain build first, then the sanitized check preset: the daemon's
+    # event loop, fork/exec worker handling and the client codecs must
+    # be ASan-clean, and the smoke round trip (fresh run, cached
+    # replay, direct cawa_sweep comparison -- all byte-identical) must
+    # hold under both.
+    for preset in default check; do
+        run cmake --preset "$preset"
+        run cmake --build --preset "$preset" -j "$jobs" \
+            --target cawad cawa_submit cawa_sweep test_service
+        run ctest --preset "$preset" -L service -j "$jobs"
+        run sh scripts/service_smoke.sh \
+            "$(preset_build_dir "$preset")"
+    done
+}
+
+preset_build_dir() {
+    case "$1" in
+      default) echo build ;;
+      check)   echo build-check ;;
+      *)       echo "build-$1" ;;
+    esac
+}
+
 # --- TSan: the parallel-SM fork-join under -fsanitize=thread ---------
 tsan_check() {
     run cmake --preset tsan
@@ -170,6 +207,10 @@ case "$mode" in
     tsan_check
     exit $?
     ;;
+  service)
+    service_check
+    exit $?
+    ;;
 esac
 
 run cmake --preset default
@@ -195,6 +236,13 @@ run ctest --preset check -L isolation -j "$jobs"
 # epoch fencing, deterministic merge): plain, then ASan-clean.
 run ctest --preset default -L distributed -j "$jobs"
 run ctest --preset check -L distributed -j "$jobs"
+
+# Simulation-service suites (cawad daemon end-to-end, persistent
+# queue, result cache, protocol): plain, then ASan-clean. The
+# dedicated service CI job additionally runs the shell-level smoke
+# round trip (scripts/ci.sh --service-only).
+run ctest --preset default -L service -j "$jobs"
+run ctest --preset check -L service -j "$jobs"
 
 # Checkpoint-corruption + worker-crash + sharded-sweep chaos fuzz:
 # every flipped bit must be rejected, a SIGKILL'd worker must never

@@ -1,0 +1,112 @@
+#!/bin/sh
+# End-to-end smoke test for the simulation service: start cawad on a
+# temporary socket, submit the same job twice through cawa_submit,
+# and require the second submission to be a cache hit whose report is
+# byte-identical both to the first run's and to a direct
+# `cawa_sweep --out` of the same job. Finishes with a status query
+# and a graceful SIGTERM shutdown.
+#
+# Usage: scripts/service_smoke.sh [BUILD_DIR]
+#   BUILD_DIR  CMake build tree holding src/tools (default: build)
+#
+# Every command's output is appended to BUILD_DIR/service_smoke.log so
+# a CI failure can be diagnosed from the uploaded artifact.
+set -eu
+
+cd "$(dirname "$0")/.."
+build=${1:-build}
+tools=$build/src/tools
+log=$build/service_smoke.log
+
+if [ ! -x "$tools/cawad" ] || [ ! -x "$tools/cawa_submit" ] ||
+   [ ! -x "$tools/cawa_sweep" ]; then
+    echo "service_smoke: missing binaries under $tools" \
+         "(build the cawad, cawa_submit and cawa_sweep targets)" >&2
+    exit 2
+fi
+
+mkdir -p "$build"
+: > "$log"
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/cawa_service_smoke.XXXXXX")
+daemon_pid=
+
+say() {
+    echo "service_smoke: $*" >&2
+    echo "service_smoke: $*" >> "$log"
+}
+
+fail() {
+    say "FAIL: $*"
+    exit 1
+}
+
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -TERM "$daemon_pid" 2>/dev/null || true
+        wait "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+sock=$tmp/cawad.sock
+job=bfs.gcaws.cacp.seed1.scale0.05
+
+say "starting cawad on $sock"
+"$tools/cawad" --socket "$sock" --state-dir "$tmp/state" \
+    --checkpoint-interval 20000 >> "$log" 2>&1 &
+daemon_pid=$!
+
+up=
+for _ in $(seq 1 100); do
+    if "$tools/cawa_submit" --socket "$sock" --status \
+        >> "$log" 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$up" ] || fail "cawad never answered a status query"
+
+submit() {
+    out_dir=$1
+    "$tools/cawa_submit" --socket "$sock" --workload bfs \
+        --scale 0.05 --out "$out_dir" 2>> "$log"
+}
+
+say "first submission (must run fresh)"
+first=$(submit "$tmp/first") || fail "first submission failed"
+echo "$first" >> "$log"
+[ "$first" = "cached=false" ] || fail "first submission was '$first'"
+
+say "second identical submission (must hit the cache)"
+second=$(submit "$tmp/second") || fail "second submission failed"
+echo "$second" >> "$log"
+[ "$second" = "cached=true" ] || fail "second submission was '$second'"
+
+say "direct cawa_sweep run of the same job"
+"$tools/cawa_sweep" --workloads bfs --schedulers gcaws \
+    --policies cacp --scale 0.05 --no-isolate \
+    --out "$tmp/direct" >> "$log" 2>&1 ||
+    fail "direct cawa_sweep run failed"
+
+cmp "$tmp/first/$job.json" "$tmp/second/$job.json" >> "$log" 2>&1 ||
+    fail "cached report differs from the fresh daemon report"
+cmp "$tmp/first/$job.json" "$tmp/direct/$job.json" >> "$log" 2>&1 ||
+    fail "daemon report differs from a direct cawa_sweep --out run"
+say "reports are byte-identical (fresh == cached == direct)"
+
+status=$("$tools/cawa_submit" --socket "$sock" --status \
+    2>> "$log") || fail "status query failed"
+echo "$status" >> "$log"
+case "$status" in
+  *'"type":"status-reply"'*'"entries":1'*) ;;
+  *) fail "unexpected status reply: $status" ;;
+esac
+
+say "stopping cawad"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || fail "cawad exited non-zero on SIGTERM"
+daemon_pid=
+
+say "all green"

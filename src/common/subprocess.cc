@@ -6,6 +6,8 @@
 
 #include <fcntl.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -413,28 +415,59 @@ FrameReader::next(std::string &payload)
     return true;
 }
 
-int
-readAvailable(int fd, FrameReader &reader)
+DrainStatus
+drainAvailable(int fd, FrameReader &reader, std::size_t *bytesRead)
 {
     char chunk[16384];
-    int total = 0;
+    std::size_t total = 0;
+    if (bytesRead)
+        *bytesRead = 0;
     for (;;) {
         const ssize_t got = read(fd, chunk, sizeof(chunk));
         if (got > 0) {
             reader.feed(chunk, static_cast<std::size_t>(got));
-            total += static_cast<int>(got);
+            total += static_cast<std::size_t>(got);
+            if (bytesRead)
+                *bytesRead = total;
+            // A short read means the fd is drained for now; on a
+            // socket the next read would block (or, on a blocking
+            // fd, hang), so stop here instead of probing again.
             if (got < static_cast<ssize_t>(sizeof(chunk)))
-                return total;
+                return DrainStatus::Data;
             continue;
         }
         if (got == 0)
-            return total > 0 ? total : 0;
+            return total > 0 ? DrainStatus::Data : DrainStatus::Eof;
         if (errno == EINTR)
             continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK)
-            return total > 0 ? total : -1;
-        return 0; // treat hard read errors as EOF: the worker is gone
+            return total > 0 ? DrainStatus::Data
+                             : DrainStatus::WouldBlock;
+        if (errno == ECONNRESET || errno == ENOTCONN ||
+            errno == ETIMEDOUT)
+            return DrainStatus::Reset;
+        // Remaining hard errors (EBADF, EIO, ...): nothing more will
+        // ever arrive; report the stream over.
+        return total > 0 ? DrainStatus::Data : DrainStatus::Eof;
     }
+}
+
+int
+readAvailable(int fd, FrameReader &reader)
+{
+    std::size_t bytes = 0;
+    switch (drainAvailable(fd, reader, &bytes)) {
+      case DrainStatus::Data:
+        return static_cast<int>(bytes);
+      case DrainStatus::WouldBlock:
+        return -1;
+      case DrainStatus::Eof:
+      case DrainStatus::Reset:
+        // Pipe semantics: a reset peer reads as EOF -- for the worker
+        // supervisors a dead worker is a dead worker either way.
+        return 0;
+    }
+    return 0;
 }
 
 void
@@ -443,6 +476,121 @@ setNonBlocking(int fd)
     const int flags = fcntl(fd, F_GETFL, 0);
     if (flags >= 0)
         fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// ---------------------------------------------------------------------
+// Unix-domain socket transport
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+void
+setCloseOnExec(int fd)
+{
+    const int flags = fcntl(fd, F_GETFD, 0);
+    if (flags >= 0)
+        fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+void
+fillUnixAddr(const std::string &path, struct sockaddr_un &addr)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        throw SimError(SimErrorKind::Config,
+                       "unix socket path '" + path +
+                           "' is empty or longer than " +
+                           std::to_string(sizeof(addr.sun_path) - 1) +
+                           " bytes");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+}
+
+} // namespace
+
+int
+listenUnixSocket(const std::string &path, int backlog)
+{
+    struct sockaddr_un addr;
+    fillUnixAddr(path, addr);
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw SimError(SimErrorKind::Config,
+                       std::string("cannot create unix socket: ") +
+                           std::strerror(errno));
+    setCloseOnExec(fd);
+    // A stale socket file from a dead server would make bind() fail
+    // with EADDRINUSE even though nobody is listening; remove it.
+    unlink(path.c_str());
+    if (bind(fd, reinterpret_cast<const struct sockaddr *>(&addr),
+             sizeof(addr)) != 0) {
+        const int err = errno;
+        close(fd);
+        throw SimError(SimErrorKind::Config,
+                       "cannot bind unix socket '" + path +
+                           "': " + std::strerror(err));
+    }
+    if (listen(fd, backlog) != 0) {
+        const int err = errno;
+        close(fd);
+        unlink(path.c_str());
+        throw SimError(SimErrorKind::Config,
+                       "cannot listen on unix socket '" + path +
+                           "': " + std::strerror(err));
+    }
+    return fd;
+}
+
+int
+connectUnixSocket(const std::string &path)
+{
+    struct sockaddr_un addr;
+    fillUnixAddr(path, addr);
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw SimError(SimErrorKind::Config,
+                       std::string("cannot create unix socket: ") +
+                           std::strerror(errno));
+    setCloseOnExec(fd);
+    int rc;
+    do {
+        rc = connect(fd,
+                     reinterpret_cast<const struct sockaddr *>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        const int err = errno;
+        close(fd);
+        throw SimError(SimErrorKind::Config,
+                       "cannot connect to unix socket '" + path +
+                           "': " + std::strerror(err));
+    }
+    return fd;
+}
+
+int
+acceptConnection(int listenFd)
+{
+    for (;;) {
+        const int fd = accept(listenFd, nullptr, nullptr);
+        if (fd >= 0) {
+            setCloseOnExec(fd);
+            return fd;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED)
+            return -1;
+        if (errno == EBADF || errno == EINVAL)
+            throw SimError(SimErrorKind::Config,
+                           std::string("accept on a dead listener: ") +
+                               std::strerror(errno));
+        // EMFILE/ENFILE and other transient resource failures: report
+        // "none pending" and let the caller's next loop retry.
+        return -1;
+    }
 }
 
 } // namespace cawa

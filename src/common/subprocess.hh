@@ -159,14 +159,74 @@ class FrameReader
 };
 
 /**
+ * Outcome of one drainAvailable() call. Pipes only ever produce the
+ * first three; sockets add Reset, which pipe-era callers used to see
+ * folded into Eof and which the service layer must distinguish (a
+ * client that vanished with unread data is not a client that closed
+ * cleanly).
+ */
+enum class DrainStatus
+{
+    Data,       ///< >= 1 byte was fed into the reader
+    Eof,        ///< orderly end of stream (peer closed its end)
+    WouldBlock, ///< nothing readable right now (non-blocking fd)
+    Reset,      ///< connection reset by peer (ECONNRESET and kin)
+};
+
+/**
+ * Drain whatever is currently readable from @p fd into @p reader and
+ * report how the drain ended. Never busy-loops on a non-blocking fd:
+ * EAGAIN returns immediately (as Data when bytes arrived first,
+ * WouldBlock otherwise). EINTR is retried. Socket-correct: a read
+ * that fails with ECONNRESET/ENOTCONN/ETIMEDOUT reports Reset so the
+ * caller can tell a torn connection from an orderly close; any bytes
+ * read before the failure are already in the reader.
+ * @p bytesRead, when non-null, receives the byte count fed this call.
+ */
+DrainStatus drainAvailable(int fd, FrameReader &reader,
+                           std::size_t *bytesRead = nullptr);
+
+/**
  * Drain whatever is currently readable from @p fd into @p reader.
  * Returns the byte count read (> 0), 0 on EOF, or -1 when the read
- * would block (EAGAIN on a non-blocking fd).
+ * would block (EAGAIN on a non-blocking fd). Legacy pipe-semantics
+ * wrapper over drainAvailable(): a connection reset is folded into
+ * the EOF return, which is what the worker-pipe supervisors want (a
+ * dead worker is a dead worker either way).
  */
 int readAvailable(int fd, FrameReader &reader);
 
 /** Set O_NONBLOCK on @p fd. */
 void setNonBlocking(int fd);
+
+// ---------------------------------------------------------------------
+// Unix-domain socket transport for the frame protocol (cawad).
+// ---------------------------------------------------------------------
+
+/**
+ * Create, bind and listen on a Unix-domain stream socket at @p path.
+ * A stale socket file left by a dead server is unlinked first. The fd
+ * is close-on-exec so worker children never inherit the listener.
+ * Throws SimError (kind Config) on failure, including a @p path too
+ * long for sockaddr_un.
+ */
+int listenUnixSocket(const std::string &path, int backlog = 16);
+
+/**
+ * Connect a stream socket to the Unix-domain listener at @p path.
+ * The fd is close-on-exec and blocking (callers that poll it should
+ * setNonBlocking() it). Throws SimError (kind Config) when the
+ * socket cannot be created or the connection is refused.
+ */
+int connectUnixSocket(const std::string &path);
+
+/**
+ * Accept one pending connection on @p listenFd (close-on-exec).
+ * Returns -1 when no connection is pending (non-blocking listener)
+ * or on a transient per-connection failure; throws SimError only for
+ * listener-fatal errors (EBADF/EINVAL).
+ */
+int acceptConnection(int listenFd);
 
 } // namespace cawa
 

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <string>
+
+#include <unistd.h>
 
 #include "common/sim_error.hh"
 
@@ -123,7 +126,12 @@ writeCheckpointFile(const std::string &path,
         bytes[at] ^= std::uint8_t{1} << (corrupt_byte % 8);
     }
 
-    const std::string tmp = path + ".tmp";
+    // The temp name carries the writer's pid: two processes
+    // checkpointing the same path (an orphaned worker from a crashed
+    // cawad racing the restarted daemon's replacement worker) must
+    // each rename their own temp file, never steal the other's.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         badFile("cannot open '" + tmp + "' for writing");

@@ -519,58 +519,7 @@ Gpu::run(const KernelInfo &kernel)
 std::uint32_t
 Gpu::configSignature() const
 {
-    OutArchive a;
-    a.putU32(static_cast<std::uint32_t>(cfg_.numSms));
-    a.putU32(static_cast<std::uint32_t>(cfg_.maxWarpsPerSm));
-    a.putU32(static_cast<std::uint32_t>(cfg_.maxBlocksPerSm));
-    a.putU32(static_cast<std::uint32_t>(cfg_.numSchedulersPerSm));
-    a.putU32(static_cast<std::uint32_t>(cfg_.warpSize));
-    a.putU32(static_cast<std::uint32_t>(cfg_.regFileSize));
-    a.putU32(static_cast<std::uint32_t>(cfg_.sharedMemBytes));
-    a.putU64(cfg_.aluLatency);
-    a.putU64(cfg_.sfuLatency);
-    a.putU64(cfg_.sharedMemLatency);
-    a.putU32(static_cast<std::uint32_t>(cfg_.l1d.sets));
-    a.putU32(static_cast<std::uint32_t>(cfg_.l1d.ways));
-    a.putU32(static_cast<std::uint32_t>(cfg_.l1d.lineBytes));
-    a.putU64(cfg_.l1d.hitLatency);
-    a.putU32(static_cast<std::uint32_t>(cfg_.l1d.numMshrs));
-    a.putU32(static_cast<std::uint32_t>(cfg_.l1d.mshrTargets));
-    a.putU32(static_cast<std::uint32_t>(cfg_.l1PortsPerCycle));
-    a.putU32(static_cast<std::uint32_t>(cfg_.ldstQueueSize));
-    a.putU32(static_cast<std::uint32_t>(cfg_.l2.banks));
-    a.putU32(static_cast<std::uint32_t>(cfg_.l2.setsPerBank));
-    a.putU32(static_cast<std::uint32_t>(cfg_.l2.ways));
-    a.putU32(static_cast<std::uint32_t>(cfg_.l2.lineBytes));
-    a.putU64(cfg_.l2.latency);
-    a.putU32(static_cast<std::uint32_t>(cfg_.l2.mshrsPerBank));
-    a.putU64(cfg_.icntLatency);
-    a.putU32(static_cast<std::uint32_t>(cfg_.icntWidth));
-    a.putU64(cfg_.dramLatency);
-    a.putU32(static_cast<std::uint32_t>(cfg_.dramServiceInterval));
-    a.putU8(static_cast<std::uint8_t>(cfg_.scheduler));
-    a.putU8(static_cast<std::uint8_t>(cfg_.l1Policy));
-    a.putU32(static_cast<std::uint32_t>(cfg_.cacp.criticalWays));
-    a.putU32(static_cast<std::uint32_t>(cfg_.cacp.tableEntries));
-    a.putU32(static_cast<std::uint32_t>(cfg_.cacp.ccbpThreshold));
-    a.putU32(static_cast<std::uint32_t>(cfg_.cacp.ccbpInitial));
-    a.putU32(static_cast<std::uint32_t>(cfg_.cacp.regionShift));
-    a.putBool(cfg_.cacp.dynamicPartition);
-    a.putU64(cfg_.cacp.adaptEpochFills);
-    a.putU32(static_cast<std::uint32_t>(cfg_.cacp.minWays));
-    a.putDouble(cfg_.criticalFraction);
-    a.putU32(static_cast<std::uint32_t>(cfg_.cplQuantShift));
-    a.putBool(cfg_.cplUseInstTerm);
-    a.putBool(cfg_.cplUseStallTerm);
-    a.putU64(cfg_.cplSampleInterval);
-    a.putI64(cfg_.traceBlockId);
-    a.putU64(cfg_.traceSampleInterval);
-    a.putU64(cfg_.maxCycles);
-    a.putU64(cfg_.watchdogInterval);
-    // An oracle table changes scheduler behavior even under the same
-    // GpuConfig; whether one is attached is part of the signature.
-    a.putBool(oracle_ != nullptr);
-    return crc32(a.data(), a.size());
+    return cawa::configSignature(cfg_, oracle_ != nullptr);
 }
 
 void

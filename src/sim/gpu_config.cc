@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/serialize.hh"
 #include "common/sim_error.hh"
 
 namespace cawa
@@ -43,6 +44,63 @@ simThreadsFromEnv(int fallback)
                        std::string("CAWA_SIM_THREADS='") + v +
                            "': want an integer in [1, 256]");
     return static_cast<int>(parsed);
+}
+
+std::uint32_t
+configSignature(const GpuConfig &cfg, bool withOracle)
+{
+    OutArchive a;
+    a.putU32(static_cast<std::uint32_t>(cfg.numSms));
+    a.putU32(static_cast<std::uint32_t>(cfg.maxWarpsPerSm));
+    a.putU32(static_cast<std::uint32_t>(cfg.maxBlocksPerSm));
+    a.putU32(static_cast<std::uint32_t>(cfg.numSchedulersPerSm));
+    a.putU32(static_cast<std::uint32_t>(cfg.warpSize));
+    a.putU32(static_cast<std::uint32_t>(cfg.regFileSize));
+    a.putU32(static_cast<std::uint32_t>(cfg.sharedMemBytes));
+    a.putU64(cfg.aluLatency);
+    a.putU64(cfg.sfuLatency);
+    a.putU64(cfg.sharedMemLatency);
+    a.putU32(static_cast<std::uint32_t>(cfg.l1d.sets));
+    a.putU32(static_cast<std::uint32_t>(cfg.l1d.ways));
+    a.putU32(static_cast<std::uint32_t>(cfg.l1d.lineBytes));
+    a.putU64(cfg.l1d.hitLatency);
+    a.putU32(static_cast<std::uint32_t>(cfg.l1d.numMshrs));
+    a.putU32(static_cast<std::uint32_t>(cfg.l1d.mshrTargets));
+    a.putU32(static_cast<std::uint32_t>(cfg.l1PortsPerCycle));
+    a.putU32(static_cast<std::uint32_t>(cfg.ldstQueueSize));
+    a.putU32(static_cast<std::uint32_t>(cfg.l2.banks));
+    a.putU32(static_cast<std::uint32_t>(cfg.l2.setsPerBank));
+    a.putU32(static_cast<std::uint32_t>(cfg.l2.ways));
+    a.putU32(static_cast<std::uint32_t>(cfg.l2.lineBytes));
+    a.putU64(cfg.l2.latency);
+    a.putU32(static_cast<std::uint32_t>(cfg.l2.mshrsPerBank));
+    a.putU64(cfg.icntLatency);
+    a.putU32(static_cast<std::uint32_t>(cfg.icntWidth));
+    a.putU64(cfg.dramLatency);
+    a.putU32(static_cast<std::uint32_t>(cfg.dramServiceInterval));
+    a.putU8(static_cast<std::uint8_t>(cfg.scheduler));
+    a.putU8(static_cast<std::uint8_t>(cfg.l1Policy));
+    a.putU32(static_cast<std::uint32_t>(cfg.cacp.criticalWays));
+    a.putU32(static_cast<std::uint32_t>(cfg.cacp.tableEntries));
+    a.putU32(static_cast<std::uint32_t>(cfg.cacp.ccbpThreshold));
+    a.putU32(static_cast<std::uint32_t>(cfg.cacp.ccbpInitial));
+    a.putU32(static_cast<std::uint32_t>(cfg.cacp.regionShift));
+    a.putBool(cfg.cacp.dynamicPartition);
+    a.putU64(cfg.cacp.adaptEpochFills);
+    a.putU32(static_cast<std::uint32_t>(cfg.cacp.minWays));
+    a.putDouble(cfg.criticalFraction);
+    a.putU32(static_cast<std::uint32_t>(cfg.cplQuantShift));
+    a.putBool(cfg.cplUseInstTerm);
+    a.putBool(cfg.cplUseStallTerm);
+    a.putU64(cfg.cplSampleInterval);
+    a.putI64(cfg.traceBlockId);
+    a.putU64(cfg.traceSampleInterval);
+    a.putU64(cfg.maxCycles);
+    a.putU64(cfg.watchdogInterval);
+    // An oracle table changes scheduler behavior even under the same
+    // GpuConfig; whether one is attached is part of the signature.
+    a.putBool(withOracle);
+    return crc32(a.data(), a.size());
 }
 
 std::string

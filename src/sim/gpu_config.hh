@@ -9,6 +9,7 @@
 #define CAWA_SIM_GPU_CONFIG_HH
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -307,6 +308,20 @@ struct GpuConfig
     /** Throw SimError (kind Config) listing every validate() issue. */
     void validateOrThrow() const;
 };
+
+/**
+ * CRC-32 over every *semantic* knob of @p cfg -- the fields that can
+ * change simulated results. Purely observational knobs (fastForward,
+ * simThreads, trace, checkLevel/auditInterval, profilePhases,
+ * checkpoint wiring, wallClockLimitSec, cancelFlag, fault hooks) are
+ * deliberately excluded: two configs that differ only there produce
+ * byte-identical reports, so they must share one checkpoint identity
+ * and one service-cache entry. @p withOracle folds in whether a CAWS
+ * oracle table will be attached (an oracle changes scheduler behavior
+ * even under the same GpuConfig). Gpu::configSignature() and the
+ * cawad result cache both key off this value.
+ */
+std::uint32_t configSignature(const GpuConfig &cfg, bool withOracle);
 
 } // namespace cawa
 

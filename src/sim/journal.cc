@@ -284,7 +284,11 @@ journalFail(const std::string &path, const std::string &what)
 int
 openLocked(const std::string &path)
 {
-    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND,
+    // O_CLOEXEC: exec'd worker children must never inherit the
+    // journal fd -- an orphaned worker outliving a crashed daemon
+    // would keep the flock and wedge every restart until it exited.
+    const int fd = ::open(path.c_str(),
+                          O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC,
                           0644);
     if (fd < 0)
         journalFail(path, "cannot open journal");
@@ -345,12 +349,18 @@ JournalWriter::open(const std::string &path)
 void
 JournalWriter::append(const JournalEntry &entry)
 {
+    appendLine(journalLine(entry));
+}
+
+void
+JournalWriter::appendLine(const std::string &line)
+{
     if (fd_ < 0)
         return;
-    const std::string line = journalLine(entry) + "\n";
-    writeAllOrFail(fd_, path_, line.data(), line.size());
-    // One fsync per finished job: an entry the caller saw reported is
-    // on disk even if the sweep dies on the next cycle.
+    const std::string rec = line + "\n";
+    writeAllOrFail(fd_, path_, rec.data(), rec.size());
+    // One fsync per record: an entry the caller saw reported is on
+    // disk even if the process dies on the next cycle.
     fsync(fd_);
 }
 

@@ -154,6 +154,15 @@ class JournalWriter
     const std::string &path() const { return path_; }
 
     void append(const JournalEntry &entry);
+
+    /**
+     * Append one raw JSONL record (no trailing newline in @p line)
+     * with the same durability as append(): write + fsync. Lets other
+     * journal-shaped logs -- the cawad job queue -- reuse the locked
+     * single-writer machinery without being JournalEntry-shaped.
+     */
+    void appendLine(const std::string &line);
+
     void rewrite(const std::vector<JournalEntry> &entries);
 
     /** fsync + unlock + close; open() may be called again. */

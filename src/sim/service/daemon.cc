@@ -1,0 +1,781 @@
+#include "sim/service/daemon.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/sim_error.hh"
+#include "sim/gpu_config.hh"
+#include "sim/journal.hh"
+#include "sim/report_json.hh"
+#include "sim/service/job_queue.hh"
+#include "sim/service/protocol.hh"
+#include "sim/service/result_cache.hh"
+#include "workloads/sweep_jobs.hh"
+
+namespace fs = std::filesystem;
+
+namespace cawa
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t)
+{
+    return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+Clock::time_point
+after(double sec)
+{
+    return Clock::now() +
+           std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(sec));
+}
+
+bool
+fileReadable(const std::string &path)
+{
+    return !path.empty() && access(path.c_str(), R_OK) == 0;
+}
+
+/** One connected client: buffered, non-blocking in both directions. */
+struct ClientConn
+{
+    int fd = -1;
+    FrameReader reader;
+    std::string outBuf;   ///< framed bytes not yet written
+    std::size_t outPos = 0;
+    bool dead = false;
+};
+
+/** One claimed job: a running worker or a backoff slot awaiting
+ *  respawn. Holds a worker slot either way, so the client quota and
+ *  the worker cap count it until it finishes. */
+struct ActiveJob
+{
+    std::uint64_t id = 0;
+    std::string name;
+    std::string client;
+    std::string cacheKey;
+    WorkloadJobSpec spec;
+    SweepJob job;
+    int attempt = 0;
+    bool running = false;  ///< false: waiting out a backoff delay
+    bool finished = false; ///< reaped for good, erase after the scan
+    Clock::time_point readyAt;
+
+    pid_t pid = -1;
+    int fromFd = -1;
+    FrameReader reader;
+    bool gotResult = false;
+    std::string rawResult; ///< verbatim result frame payload
+    SweepResult pendingResult;
+    std::string frameError;
+    Clock::time_point started;
+    Clock::time_point lastBeat;
+    Clock::time_point termAt;
+    bool termSent = false;
+    std::string killReason;
+    std::string lastCheckpoint;
+    bool cancelRequested = false;
+};
+
+} // namespace
+
+SimDaemon::SimDaemon(DaemonOptions opt) : opt_(std::move(opt))
+{
+    if (opt_.workers < 1)
+        opt_.workers = 1;
+    if (opt_.heartbeatIntervalSec <= 0.0)
+        opt_.heartbeatIntervalSec = 0.25;
+    if (opt_.heartbeatMissLimit < 1)
+        opt_.heartbeatMissLimit = 1;
+    if (opt_.maxAttemptsPerJob < 1)
+        opt_.maxAttemptsPerJob = 1;
+    if (opt_.jobMaxAttempts < 1)
+        opt_.jobMaxAttempts = 1;
+}
+
+int
+SimDaemon::run()
+{
+    if (opt_.socketPath.empty() || opt_.stateDir.empty())
+        throw SimError(SimErrorKind::Config,
+                       "cawad needs a socket path and a state "
+                       "directory");
+    if (opt_.workerArgv0.empty())
+        throw SimError(SimErrorKind::Config,
+                       "cawad needs workerArgv0 (the --worker "
+                       "binary)");
+    // Raw client-socket writes can hit a vanished peer; that must be
+    // an EPIPE errno, never a fatal signal.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::error_code ec;
+    fs::create_directories(opt_.stateDir, ec);
+    const std::string ckptDir =
+        (fs::path(opt_.stateDir) / "ckpt").string();
+    fs::create_directories(ckptDir, ec);
+
+    ResultCache cache((fs::path(opt_.stateDir) / "cache").string());
+    ServiceJobQueue queue;
+    queue.open((fs::path(opt_.stateDir) / "queue.jsonl").string());
+
+    auto emit = [&](const std::string &event,
+                    const std::string &detail) {
+        if (opt_.onEvent)
+            opt_.onEvent(event, detail);
+    };
+
+    // Restart replay. A job whose result is already cached finished
+    // before its done record hit the journal (the one crash window):
+    // retire it from the cache instead of recomputing. Everything
+    // else re-runs, from its checkpoint when one survived.
+    {
+        std::vector<std::uint64_t> cached;
+        for (const QueuedJob &job : queue.pending())
+            if (cache.contains(job.cacheKey))
+                cached.push_back(job.id);
+        for (const std::uint64_t id : cached) {
+            emit("replay-cached", std::to_string(id));
+            queue.markDone(id, "ok");
+        }
+        if (!queue.pending().empty())
+            emit("replay",
+                 std::to_string(queue.pending().size()) +
+                     " pending jobs resume");
+    }
+
+    const int listenFd = listenUnixSocket(opt_.socketPath);
+    setNonBlocking(listenFd);
+    emit("listening", opt_.socketPath);
+
+    std::map<int, ClientConn> clients; ///< conn id -> connection
+    int nextConnId = 1;
+    std::unordered_map<std::uint64_t, std::vector<int>> waiters;
+    std::vector<ActiveJob> actives;
+    const double hungAfterSec =
+        opt_.heartbeatIntervalSec * opt_.heartbeatMissLimit;
+    const double deadlineSec =
+        opt_.jobTimeoutSec > 0.0 ? opt_.jobTimeoutSec * 2.0 + 10.0
+                                 : 0.0;
+    bool stopping = false;
+
+    auto queueFrame = [&](int connId, const std::string &payload) {
+        const auto it = clients.find(connId);
+        if (it == clients.end() || it->second.dead)
+            return;
+        char hdr[4];
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(payload.size());
+        hdr[0] = static_cast<char>(n & 0xff);
+        hdr[1] = static_cast<char>((n >> 8) & 0xff);
+        hdr[2] = static_cast<char>((n >> 16) & 0xff);
+        hdr[3] = static_cast<char>((n >> 24) & 0xff);
+        it->second.outBuf.append(hdr, 4);
+        it->second.outBuf.append(payload);
+    };
+
+    auto notifyWaiters = [&](std::uint64_t id,
+                             const std::string &payload) {
+        const auto it = waiters.find(id);
+        if (it == waiters.end())
+            return;
+        for (const int connId : it->second)
+            queueFrame(connId, payload);
+    };
+
+    auto flushClient = [&](ClientConn &conn) {
+        while (conn.outPos < conn.outBuf.size()) {
+            const ssize_t n =
+                ::write(conn.fd, conn.outBuf.data() + conn.outPos,
+                        conn.outBuf.size() - conn.outPos);
+            if (n > 0) {
+                conn.outPos += static_cast<std::size_t>(n);
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                return; // poll raises POLLOUT when writable again
+            conn.dead = true;
+            return;
+        }
+        conn.outBuf.clear();
+        conn.outPos = 0;
+    };
+
+    auto findActive = [&](std::uint64_t id) -> ActiveJob * {
+        for (ActiveJob &a : actives)
+            if (a.id == id && !a.finished)
+                return &a;
+        return nullptr;
+    };
+
+    auto spawnActive = [&](ActiveJob &a) {
+        ++a.attempt;
+        // Resume from the most recent on-disk progress: the frame
+        // the last worker announced, else the conventional path a
+        // previous daemon life left behind.
+        if (fileReadable(a.lastCheckpoint))
+            a.job.resumeFromCheckpoint = a.lastCheckpoint;
+        else if (fileReadable(a.job.cfg.checkpointPath))
+            a.job.resumeFromCheckpoint = a.job.cfg.checkpointPath;
+
+        ChildProcess child =
+            spawnWorker({opt_.workerArgv0, "--worker"}, opt_.limits);
+        writeFrame(child.toChild,
+                   workerSpecJson(a.spec, a.job, opt_.jobMaxAttempts,
+                                  a.attempt,
+                                  opt_.heartbeatIntervalSec));
+        close(child.toChild);
+        setNonBlocking(child.fromChild);
+
+        a.pid = child.pid;
+        a.fromFd = child.fromChild;
+        a.reader = FrameReader();
+        a.gotResult = false;
+        a.rawResult.clear();
+        a.frameError.clear();
+        a.started = a.lastBeat = Clock::now();
+        a.termSent = false;
+        a.killReason.clear();
+        a.running = true;
+        emit("spawn", a.name);
+        notifyWaiters(a.id, progressFrameJson(a.id, "spawn", a.name,
+                                              a.attempt));
+    };
+
+    auto startJob = [&](const QueuedJob &q) {
+        ActiveJob a;
+        a.id = q.id;
+        a.name = q.name;
+        a.client = q.client;
+        a.cacheKey = q.cacheKey;
+        a.spec = q.spec;
+        a.job = makeWorkloadJob(q.spec);
+        a.job.cfg.wallClockLimitSec = opt_.jobTimeoutSec;
+        a.job.cfg.checkpointPath =
+            (fs::path(ckptDir) /
+             ("job" + std::to_string(q.id) + ".ckpt"))
+                .string();
+        a.job.cfg.checkpointInterval = opt_.checkpointInterval;
+        actives.push_back(std::move(a));
+        spawnActive(actives.back());
+    };
+
+    // Finish for good: journal first (durable before announced),
+    // then announce to every waiter, then drop the bookkeeping.
+    auto finishActive = [&](ActiveJob &a, const std::string &status,
+                            bool journalDone,
+                            const std::string &resultPayload) {
+        if (journalDone)
+            queue.markDone(a.id, status);
+        if (!a.job.cfg.checkpointPath.empty())
+            ::unlink(a.job.cfg.checkpointPath.c_str());
+        notifyWaiters(a.id,
+                      resultEnvelopeJson(a.id, a.name, false,
+                                         resultPayload));
+        waiters.erase(a.id);
+        a.finished = true;
+        emit("result", a.name + " " + status);
+    };
+
+    auto drainWorker = [&](ActiveJob &a) {
+        if (a.fromFd < 0)
+            return;
+        for (;;) {
+            const int got = readAvailable(a.fromFd, a.reader);
+            std::string payload;
+            while (a.reader.next(payload)) {
+                a.lastBeat = Clock::now();
+                try {
+                    const JsonValue frame = parseJson(payload);
+                    const std::string type =
+                        frame.has("type")
+                            ? frame.at("type").asString()
+                            : std::string();
+                    if (type == "result") {
+                        a.pendingResult = resultFromFrame(payload);
+                        a.rawResult = payload;
+                        a.gotResult = true;
+                    } else if (type == "checkpoint-written") {
+                        a.lastCheckpoint =
+                            frame.at("path").asString();
+                        notifyWaiters(
+                            a.id,
+                            progressFrameJson(a.id, "checkpoint",
+                                              a.lastCheckpoint,
+                                              a.attempt));
+                    }
+                    // heartbeats only refresh lastBeat, done above
+                } catch (const std::exception &e) {
+                    a.frameError = e.what();
+                }
+            }
+            if (got == 0) {
+                close(a.fromFd);
+                a.fromFd = -1;
+                return;
+            }
+            if (got < 0)
+                return; // would block
+        }
+    };
+
+    auto killWorker = [&](ActiveJob &a, const std::string &reason) {
+        if (a.killReason.empty())
+            a.killReason = reason;
+        if (!a.termSent) {
+            signalChild(a.pid, SIGTERM);
+            a.termSent = true;
+            a.termAt = Clock::now();
+        }
+    };
+
+    auto classifyExit = [&](ActiveJob &a,
+                            const WaitStatus &st) -> SweepResult {
+        // A worker that raced its own success against a kill still
+        // wins: real results are never discarded.
+        if (a.gotResult && a.pendingResult.ok()) {
+            SweepResult r = a.pendingResult;
+            r.attempts += a.attempt - 1;
+            return r;
+        }
+        if (!a.killReason.empty()) {
+            SweepResult r;
+            r.attempts = a.attempt;
+            r.failureReason = a.killReason;
+            r.error = a.killReason == "hung"
+                          ? "worker missed " +
+                                std::to_string(
+                                    opt_.heartbeatMissLimit) +
+                                " heartbeats and was killed (" +
+                                st.describe() + ")"
+                          : "worker exceeded its wall-clock "
+                            "deadline (" +
+                                st.describe() + ")";
+            return r;
+        }
+        if (a.gotResult) {
+            SweepResult r = a.pendingResult;
+            r.attempts += a.attempt - 1;
+            return r;
+        }
+        SweepResult r;
+        r.attempts = a.attempt;
+        if (st.signaled && st.termSignal == SIGXCPU) {
+            r.failureReason = "walltime";
+            r.error = "worker hit its RLIMIT_CPU cap (" +
+                      st.describe() + ")";
+        } else {
+            r.failureReason = "crashed";
+            r.error = "worker died without reporting a result (" +
+                      st.describe() +
+                      (a.frameError.empty()
+                           ? std::string()
+                           : "; last frame error: " + a.frameError) +
+                      ")";
+        }
+        return r;
+    };
+
+    auto reapActive = [&](ActiveJob &a, const WaitStatus &st) {
+        drainWorker(a); // pull buffered frames (often the result)
+        if (a.fromFd >= 0) {
+            close(a.fromFd);
+            a.fromFd = -1;
+        }
+        a.pid = -1;
+
+        SweepResult r = classifyExit(a, st);
+
+        if (r.ok()) {
+            // Durability order: cache entry, then done record, then
+            // the announcement. A crash between the first two is the
+            // replay-cached window the restart path closes.
+            cache.store(a.cacheKey, a.rawResult);
+            finishActive(a, "ok", !a.cancelRequested, a.rawResult);
+            return;
+        }
+
+        if (a.cancelRequested) {
+            // Already journaled as cancelled when requested; just
+            // tell the waiters how the worker went down.
+            finishActive(a, "cancelled", false,
+                         a.gotResult
+                             ? a.rawResult
+                             : resultFrameJson(r, a.attempt));
+            return;
+        }
+
+        if (stopping) {
+            // Shutdown: the job stays pending in the journal for the
+            // next daemon; waiters get a cancelled result so no
+            // client hangs on a daemon that is going away.
+            finishActive(a, "deferred", false,
+                         a.gotResult
+                             ? a.rawResult
+                             : resultFrameJson(r, a.attempt));
+            return;
+        }
+
+        const bool retryable = r.failureReason == "crashed" ||
+                               r.failureReason == "oom" ||
+                               r.failureReason == "hung";
+        if (retryable && a.attempt < opt_.maxAttemptsPerJob) {
+            const double delay =
+                backoffDelaySec(opt_.backoff, a.name, a.attempt);
+            a.running = false;
+            a.readyAt = after(delay);
+            emit("retry", a.name + " " + r.failureReason);
+            notifyWaiters(a.id,
+                          progressFrameJson(a.id, "retry",
+                                            r.failureReason,
+                                            a.attempt));
+            return;
+        }
+
+        finishActive(a, r.failureReason.empty() ? "error"
+                                                : r.failureReason,
+                     true,
+                     a.gotResult ? a.rawResult
+                                 : resultFrameJson(r, a.attempt));
+    };
+
+    auto statusReplyJson = [&]() {
+        std::size_t running = 0, backoff = 0;
+        for (const ActiveJob &a : actives) {
+            if (a.finished)
+                continue;
+            (a.running ? running : backoff) += 1;
+        }
+        std::string out = "{\"type\":\"status-reply\",\"workers\":" +
+                          std::to_string(opt_.workers);
+        out += ",\"pending\":" +
+               std::to_string(queue.pending().size());
+        out += ",\"running\":" + std::to_string(running);
+        out += ",\"backoff\":" + std::to_string(backoff);
+        out += ",\"jobs\":[";
+        bool first = true;
+        for (const QueuedJob &q : queue.pending()) {
+            if (!first)
+                out += ',';
+            first = false;
+            const ActiveJob *a = findActive(q.id);
+            out += "{\"job\":" + std::to_string(q.id);
+            out += ",\"name\":" + frameJsonQuote(q.name);
+            out += ",\"client\":" + frameJsonQuote(q.client);
+            out += ",\"priority\":" + std::to_string(q.priority);
+            out += ",\"state\":\"";
+            out += !a ? "queued" : (a->running ? "running" : "backoff");
+            out += "\",\"attempt\":" +
+                   std::to_string(a ? a->attempt : 0);
+            out += "}";
+        }
+        out += "],\"cache\":{\"entries\":" +
+               std::to_string(cache.entries());
+        out += ",\"hits\":" + std::to_string(cache.hits());
+        out += ",\"misses\":" + std::to_string(cache.misses());
+        out += "}}";
+        return out;
+    };
+
+    auto handleClientFrame = [&](int connId,
+                                 const std::string &payload) {
+        try {
+            const JsonValue doc = parseJson(payload);
+            const std::string type = doc.at("type").asString();
+            if (type == "submit") {
+                if (stopping) {
+                    queueFrame(connId,
+                               errorFrameJson(
+                                   "daemon is shutting down"));
+                    return;
+                }
+                const ServiceSubmit sub = submitFromJson(doc);
+                const std::string name = workloadJobName(sub.spec);
+                const std::uint32_t sig = configSignature(
+                    sub.spec.cfg, sub.spec.cfg.scheduler ==
+                                      SchedulerKind::CawsOracle);
+                const std::string key = serviceCacheKey(name, sig);
+
+                std::string rawResult;
+                if (cache.lookup(key, rawResult)) {
+                    // Served from cache: the stored frame replays
+                    // byte-identically, marked cached:true.
+                    queueFrame(connId,
+                               queuedFrameJson(0, name, 0, false));
+                    queueFrame(connId,
+                               resultEnvelopeJson(0, name, true,
+                                                  rawResult));
+                    emit("cache-hit", name);
+                    return;
+                }
+                for (const QueuedJob &q : queue.pending()) {
+                    if (q.cacheKey == key) {
+                        // Identical submission in flight: attach to
+                        // it instead of computing twice.
+                        waiters[q.id].push_back(connId);
+                        queueFrame(connId,
+                                   queuedFrameJson(q.id, q.name, 0,
+                                                   true));
+                        emit("coalesced", name);
+                        return;
+                    }
+                }
+                const std::uint64_t id =
+                    queue.submit(name, sub.client, sub.priority, key,
+                                 sub.spec);
+                waiters[id].push_back(connId);
+                queueFrame(connId,
+                           queuedFrameJson(id, name,
+                                           queue.pending().size(),
+                                           false));
+                emit("submit", name);
+            } else if (type == "status") {
+                queueFrame(connId, statusReplyJson());
+            } else if (type == "cancel") {
+                const std::uint64_t id = doc.at("job").asU64();
+                if (ActiveJob *a = findActive(id)) {
+                    if (!a->cancelRequested) {
+                        queue.markCancelled(id);
+                        a->cancelRequested = true;
+                        if (a->running) {
+                            killWorker(*a, "");
+                        } else {
+                            SweepResult r;
+                            r.attempts = a->attempt;
+                            r.failureReason = "cancelled";
+                            r.error = "cancelled while backing off";
+                            finishActive(*a, "cancelled", false,
+                                         resultFrameJson(
+                                             r, a->attempt));
+                        }
+                    }
+                    queueFrame(connId,
+                               "{\"type\":\"cancelled\",\"job\":" +
+                                   std::to_string(id) +
+                                   ",\"state\":\"running\"}");
+                } else if (const QueuedJob *q = queue.find(id)) {
+                    const std::string name = q->name;
+                    queue.markCancelled(id);
+                    SweepResult r;
+                    r.failureReason = "cancelled";
+                    r.error = "cancelled before the job ran";
+                    notifyWaiters(id,
+                                  resultEnvelopeJson(
+                                      id, name, false,
+                                      resultFrameJson(r, 0)));
+                    waiters.erase(id);
+                    queueFrame(connId,
+                               "{\"type\":\"cancelled\",\"job\":" +
+                                   std::to_string(id) +
+                                   ",\"state\":\"queued\"}");
+                    emit("cancel", name);
+                } else {
+                    queueFrame(connId,
+                               errorFrameJson(
+                                   "unknown job " +
+                                   std::to_string(id)));
+                }
+            } else {
+                queueFrame(connId,
+                           errorFrameJson("unknown frame type '" +
+                                          type + "'"));
+            }
+        } catch (const std::exception &e) {
+            queueFrame(connId, errorFrameJson(e.what()));
+        }
+    };
+
+    // -----------------------------------------------------------------
+    // Event loop.
+    // -----------------------------------------------------------------
+    for (;;) {
+        const bool stopNow =
+            opt_.stopFlag &&
+            opt_.stopFlag->load(std::memory_order_relaxed);
+        if (stopNow && !stopping) {
+            stopping = true;
+            emit("stopping", "");
+            for (ActiveJob &a : actives) {
+                if (a.finished)
+                    continue;
+                if (a.running) {
+                    // Plain SIGTERM: the worker checkpoints and the
+                    // job stays pending for the next daemon.
+                    if (!a.termSent) {
+                        signalChild(a.pid, SIGTERM);
+                        a.termSent = true;
+                        a.termAt = Clock::now();
+                    }
+                } else {
+                    // Backoff slot: nothing to kill; the journal
+                    // still holds the job as pending.
+                    notifyWaiters(
+                        a.id,
+                        progressFrameJson(a.id, "deferred",
+                                          "daemon shutting down",
+                                          a.attempt));
+                    waiters.erase(a.id);
+                    a.finished = true;
+                }
+            }
+        }
+
+        actives.erase(std::remove_if(actives.begin(), actives.end(),
+                                     [](const ActiveJob &a) {
+                                         return a.finished;
+                                     }),
+                      actives.end());
+
+        if (stopping && actives.empty())
+            break;
+
+        // Launch whatever fits: overdue backoff respawns first (they
+        // already hold a slot), then fresh picks under the quota.
+        if (!stopping) {
+            for (ActiveJob &a : actives)
+                if (!a.running && Clock::now() >= a.readyAt)
+                    spawnActive(a);
+            while (static_cast<int>(actives.size()) < opt_.workers) {
+                std::unordered_map<std::string, int> perClient;
+                std::unordered_set<std::uint64_t> busy;
+                for (const ActiveJob &a : actives) {
+                    ++perClient[a.client];
+                    busy.insert(a.id);
+                }
+                const QueuedJob *q =
+                    pickNextJob(queue.pending(), perClient,
+                                opt_.clientQuota, busy);
+                if (!q)
+                    break;
+                startJob(*q);
+            }
+        }
+
+        // One poll covers the listener, every client (write interest
+        // only while output is buffered) and every worker pipe;
+        // bounded so liveness timers and the stop flag stay fresh.
+        std::vector<pollfd> fds;
+        fds.push_back(pollfd{listenFd, POLLIN, 0});
+        std::vector<int> clientIds;
+        for (auto &entry : clients) {
+            ClientConn &conn = entry.second;
+            short events = POLLIN;
+            if (conn.outPos < conn.outBuf.size())
+                events |= POLLOUT;
+            fds.push_back(pollfd{conn.fd, events, 0});
+            clientIds.push_back(entry.first);
+        }
+        for (const ActiveJob &a : actives)
+            if (a.running && a.fromFd >= 0)
+                fds.push_back(pollfd{a.fromFd, POLLIN, 0});
+        poll(fds.data(), static_cast<nfds_t>(fds.size()), 20);
+
+        // Accept whoever queued up (refused while stopping).
+        for (;;) {
+            const int fd = acceptConnection(listenFd);
+            if (fd < 0)
+                break;
+            if (stopping) {
+                close(fd);
+                continue;
+            }
+            setNonBlocking(fd);
+            ClientConn conn;
+            conn.fd = fd;
+            clients.emplace(nextConnId++, std::move(conn));
+        }
+
+        // Client traffic: drain, dispatch complete frames, flush
+        // buffered replies.
+        for (auto &entry : clients) {
+            const int connId = entry.first;
+            ClientConn &conn = entry.second;
+            if (conn.dead)
+                continue;
+            const DrainStatus ds =
+                drainAvailable(conn.fd, conn.reader);
+            std::string payload;
+            while (conn.reader.next(payload))
+                handleClientFrame(connId, payload);
+            if (conn.reader.corrupt()) {
+                queueFrame(connId,
+                           errorFrameJson("corrupt frame stream"));
+                flushClient(conn);
+                conn.dead = true;
+            } else if (ds == DrainStatus::Eof ||
+                       ds == DrainStatus::Reset) {
+                // A client that vanished mid-job is fine: the job
+                // runs to the cache either way.
+                conn.dead = true;
+            } else {
+                flushClient(conn);
+            }
+        }
+        for (auto it = clients.begin(); it != clients.end();) {
+            if (!it->second.dead) {
+                ++it;
+                continue;
+            }
+            close(it->second.fd);
+            for (auto &w : waiters)
+                w.second.erase(std::remove(w.second.begin(),
+                                           w.second.end(), it->first),
+                               w.second.end());
+            it = clients.erase(it);
+        }
+
+        // Worker traffic, exits, liveness and deadlines.
+        for (ActiveJob &a : actives) {
+            if (!a.running || a.finished)
+                continue;
+            if (a.fromFd >= 0)
+                drainWorker(a);
+            if (const auto st = pollChild(a.pid)) {
+                reapActive(a, *st);
+                continue;
+            }
+            if (a.termSent &&
+                secondsSince(a.termAt) > opt_.gracePeriodSec) {
+                signalChild(a.pid, SIGKILL);
+                continue;
+            }
+            if (a.termSent)
+                continue;
+            if (!a.gotResult &&
+                secondsSince(a.lastBeat) > hungAfterSec)
+                killWorker(a, "hung");
+            else if (!a.gotResult && deadlineSec > 0.0 &&
+                     secondsSince(a.started) > deadlineSec)
+                killWorker(a, "walltime");
+        }
+    }
+
+    for (auto &entry : clients) {
+        flushClient(entry.second);
+        close(entry.second.fd);
+    }
+    close(listenFd);
+    ::unlink(opt_.socketPath.c_str());
+    emit("stopped", "");
+    return 0;
+}
+
+} // namespace cawa

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * cawad: the simulation-as-a-service daemon. A single-threaded
+ * poll() event loop serves any number of concurrent clients over a
+ * Unix-domain stream socket, speaking the frame vocabulary of
+ * sim/service/protocol.hh, and executes jobs in sandboxed worker
+ * subprocesses exactly like the sweep supervisor: exec'd
+ * `<argv0> --worker` children that stream heartbeat /
+ * checkpoint-written / result frames back over a pipe, with
+ * setrlimit caps, missed-heartbeat hang detection, SIGTERM ->
+ * SIGKILL escalation and capped deterministic-jitter backoff
+ * retries for crashed/oom/hung workers.
+ *
+ * Durability: every submit/done/cancel is an fsync'ed line in the
+ * queue journal (sim/service/job_queue.hh) and every successful
+ * result is an atomically-written entry in the result cache
+ * (sim/service/result_cache.hh), both under the daemon's state
+ * directory. Kill the daemon at any instant and a restart replays
+ * the journal: finished jobs are served from the cache (never
+ * recomputed, never lost) and in-flight jobs re-run from their last
+ * on-disk checkpoint (never duplicated -- their done record was
+ * never written).
+ *
+ * Fairness: at most `clientQuota` jobs per client name run (or hold
+ * a backoff slot) at once; among eligible jobs the highest priority
+ * wins, FIFO within a priority. Identical submissions coalesce: a
+ * submit whose cache key matches an in-flight job attaches to that
+ * job instead of enqueueing a duplicate, and one whose key is
+ * already cached is answered immediately with the byte-identical
+ * cached result frame and "cached":true.
+ */
+
+#ifndef CAWA_SIM_SERVICE_DAEMON_HH
+#define CAWA_SIM_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/subprocess.hh"
+#include "sim/supervisor.hh"
+
+namespace cawa
+{
+
+struct DaemonOptions
+{
+    /** Unix-domain socket path clients connect to. */
+    std::string socketPath;
+    /**
+     * State directory: queue.jsonl (persistent queue), cache/
+     * (result cache), ckpt/ (per-job checkpoints). Created when
+     * missing.
+     */
+    std::string stateDir;
+
+    /** Concurrent worker subprocesses. */
+    int workers = 1;
+    /** Running/backoff jobs one client name may hold; <= 0 = off. */
+    int clientQuota = 2;
+
+    /** Worker liveness knobs (sweep supervisor semantics). */
+    double heartbeatIntervalSec = 0.25;
+    int heartbeatMissLimit = 20;
+    double gracePeriodSec = 2.0;
+
+    /** Worker executions per job (first run + crash/oom/hung
+     *  respawns). */
+    int maxAttemptsPerJob = 3;
+    /** In-worker runSweepJob attempts (the --retries knob). */
+    int jobMaxAttempts = 1;
+    BackoffPolicy backoff;
+
+    /** setrlimit caps applied in each worker. */
+    ChildLimits limits;
+
+    /** Per-job wall-clock budget shipped to workers; 0 = off. */
+    double jobTimeoutSec = 0.0;
+    /** Cycles between worker checkpoints (restart granularity). */
+    std::uint64_t checkpointInterval = 200'000;
+
+    /**
+     * Binary exec'd as `workerArgv0 --worker` per job; normally the
+     * daemon's own /proc/self/exe. Must speak the worker-spec frame
+     * protocol (workloads/sweep_jobs.hh runWorkerModeFromFds).
+     */
+    std::string workerArgv0;
+
+    /**
+     * Graceful shutdown: when set, stop accepting work, SIGTERM
+     * running workers (each checkpoints and reports cancelled --
+     * their jobs stay pending in the journal for the next daemon),
+     * flush clients and return from run().
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
+
+    /** Observer for daemon events, used by logging and tests. */
+    std::function<void(const std::string &event,
+                       const std::string &detail)>
+        onEvent;
+};
+
+class SimDaemon
+{
+  public:
+    explicit SimDaemon(DaemonOptions opt);
+
+    /**
+     * Bind the socket, replay the queue journal and serve until the
+     * stop flag is raised. Returns 0 on a clean shutdown. Throws
+     * SimError when the socket or state directory are unusable or a
+     * second daemon holds the queue lock.
+     */
+    int run();
+
+    const DaemonOptions &options() const { return opt_; }
+
+  private:
+    DaemonOptions opt_;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SIM_SERVICE_DAEMON_HH

@@ -1,0 +1,153 @@
+#include "sim/service/job_queue.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "sim/service/protocol.hh"
+#include "sim/supervisor.hh"
+
+namespace cawa
+{
+
+const QueuedJob *
+pickNextJob(const std::vector<QueuedJob> &pending,
+            const std::unordered_map<std::string, int> &runningPerClient,
+            int clientQuota,
+            const std::unordered_set<std::uint64_t> &busy)
+{
+    const QueuedJob *best = nullptr;
+    for (const QueuedJob &job : pending) {
+        if (busy.count(job.id))
+            continue;
+        if (clientQuota > 0) {
+            const auto it = runningPerClient.find(job.client);
+            if (it != runningPerClient.end() &&
+                it->second >= clientQuota)
+                continue;
+        }
+        if (!best || job.priority > best->priority ||
+            (job.priority == best->priority && job.id < best->id))
+            best = &job;
+    }
+    return best;
+}
+
+const QueuedJob *
+ServiceJobQueue::find(std::uint64_t id) const
+{
+    for (const QueuedJob &job : pending_)
+        if (job.id == id)
+            return &job;
+    return nullptr;
+}
+
+void
+ServiceJobQueue::open(const std::string &path)
+{
+    // Lock + torn-tail repair first, then replay: the flock makes a
+    // second daemon on the same state directory fail fast instead of
+    // double-running the queue.
+    journal_.open(path);
+    pending_.clear();
+    nextId_ = 1;
+
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        try {
+            const JsonValue doc = parseJson(line);
+            const std::string op = doc.at("op").asString();
+            const std::uint64_t id = doc.at("job").asU64();
+            nextId_ = std::max(nextId_, id + 1);
+            if (op == "submit") {
+                QueuedJob job;
+                job.id = id;
+                job.name = doc.at("name").asString();
+                job.client = doc.at("client").asString();
+                job.priority =
+                    static_cast<int>(doc.at("priority").asI64());
+                job.cacheKey = doc.at("cacheKey").asString();
+                job.spec = workloadSpecFromJson(doc.at("spec"));
+                retire(id); // a replayed duplicate id: last wins
+                pending_.push_back(std::move(job));
+            } else if (op == "done" || op == "cancel") {
+                retire(id);
+            } else {
+                throw std::runtime_error("unknown op '" + op + "'");
+            }
+        } catch (const std::exception &e) {
+            // Same stance as the sweep journal reader: a damaged
+            // line loses that line, never the queue.
+            std::fprintf(stderr,
+                         "cawad: skipping bad queue journal line %zu "
+                         "in %s: %s\n",
+                         lineno, path.c_str(), e.what());
+        }
+    }
+}
+
+std::uint64_t
+ServiceJobQueue::submit(const std::string &name,
+                        const std::string &client, int priority,
+                        const std::string &cacheKey,
+                        const WorkloadJobSpec &spec)
+{
+    QueuedJob job;
+    job.id = nextId_++;
+    job.name = name;
+    job.client = client;
+    job.priority = priority;
+    job.cacheKey = cacheKey;
+    job.spec = spec;
+
+    std::string line = "{\"op\":\"submit\",\"job\":";
+    line += std::to_string(job.id);
+    line += ",\"name\":";
+    line += frameJsonQuote(name);
+    line += ",\"client\":";
+    line += frameJsonQuote(client);
+    line += ",\"priority\":" + std::to_string(priority);
+    line += ",\"cacheKey\":";
+    line += frameJsonQuote(cacheKey);
+    line += ",\"spec\":";
+    line += serviceSpecJson(spec);
+    line += "}";
+    journal_.appendLine(line);
+
+    pending_.push_back(std::move(job));
+    return pending_.back().id;
+}
+
+void
+ServiceJobQueue::markDone(std::uint64_t id, const std::string &status)
+{
+    journal_.appendLine("{\"op\":\"done\",\"job\":" +
+                        std::to_string(id) + ",\"status\":" +
+                        frameJsonQuote(status) + "}");
+    retire(id);
+}
+
+void
+ServiceJobQueue::markCancelled(std::uint64_t id)
+{
+    journal_.appendLine("{\"op\":\"cancel\",\"job\":" +
+                        std::to_string(id) + "}");
+    retire(id);
+}
+
+void
+ServiceJobQueue::retire(std::uint64_t id)
+{
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [id](const QueuedJob &job) {
+                                      return job.id == id;
+                                  }),
+                   pending_.end());
+}
+
+} // namespace cawa

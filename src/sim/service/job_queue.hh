@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Persistent priority job queue for cawad, layered on the sweep
+ * journal's locked, fsync-per-append JSONL machinery (JournalWriter).
+ * Every queue transition is one appended line:
+ *
+ *   {"op":"submit","job":N,"name":"...","client":"...",
+ *    "priority":P,"cacheKey":"...","spec":{...}}
+ *   {"op":"done","job":N,"status":"ok"}
+ *   {"op":"cancel","job":N}
+ *
+ * so a daemon killed at any instant replays the intact prefix on
+ * restart and resumes with exactly the jobs that were submitted but
+ * not finished: nothing lost (a submit is durable before it is
+ * acknowledged) and nothing duplicated (a done is durable before the
+ * result is announced, and a completed job's result lives in the
+ * result cache keyed by the journaled cacheKey).
+ *
+ * The scheduling policy -- priority first, then per-client fairness
+ * under a running-jobs quota, then FIFO -- is a pure function
+ * (pickNextJob) over the pending list, so tests exercise it without
+ * a daemon.
+ */
+
+#ifndef CAWA_SIM_SERVICE_JOB_QUEUE_HH
+#define CAWA_SIM_SERVICE_JOB_QUEUE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/journal.hh"
+#include "workloads/sweep_jobs.hh"
+
+namespace cawa
+{
+
+/** One submitted-but-unfinished job. */
+struct QueuedJob
+{
+    std::uint64_t id = 0;
+    std::string name;     ///< workloadJobName() of the spec
+    std::string client;   ///< fairness bucket
+    int priority = 0;     ///< higher runs first
+    std::string cacheKey; ///< serviceCacheKey() of (name, signature)
+    WorkloadJobSpec spec;
+};
+
+/**
+ * Pick the next pending job to spawn: skip ids in @p busy (already
+ * running or backing off) and clients at their @p clientQuota of
+ * running jobs (quota <= 0 means unlimited); among the rest the
+ * highest priority wins, ties broken by lowest id (submission
+ * order). Returns nullptr when nothing is eligible.
+ */
+const QueuedJob *pickNextJob(
+    const std::vector<QueuedJob> &pending,
+    const std::unordered_map<std::string, int> &runningPerClient,
+    int clientQuota, const std::unordered_set<std::uint64_t> &busy);
+
+class ServiceJobQueue
+{
+  public:
+    /**
+     * Open (lock, repair, replay) the queue journal at @p path.
+     * Unparseable lines are skipped with a stderr warning, exactly
+     * like the sweep journal reader. Throws SimError (kind Journal)
+     * when another daemon holds the lock.
+     */
+    void open(const std::string &path);
+    bool isOpen() const { return journal_.isOpen(); }
+
+    /** Submitted-but-unfinished jobs, in submission order. */
+    const std::vector<QueuedJob> &pending() const { return pending_; }
+
+    const QueuedJob *find(std::uint64_t id) const;
+
+    /**
+     * Durably record one submission and return its job id. The
+     * append hits disk before this returns, so an acknowledged
+     * submit survives any later crash.
+     */
+    std::uint64_t submit(const std::string &name,
+                         const std::string &client, int priority,
+                         const std::string &cacheKey,
+                         const WorkloadJobSpec &spec);
+
+    /** Durably retire @p id as finished under @p status. */
+    void markDone(std::uint64_t id, const std::string &status);
+
+    /** Durably retire @p id as cancelled by a client. */
+    void markCancelled(std::uint64_t id);
+
+  private:
+    void retire(std::uint64_t id);
+
+    JournalWriter journal_;
+    std::vector<QueuedJob> pending_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SIM_SERVICE_JOB_QUEUE_HH

@@ -1,0 +1,118 @@
+#include "sim/service/protocol.hh"
+
+#include "common/sim_error.hh"
+#include "sim/supervisor.hh"
+#include "workloads/registry.hh"
+
+namespace cawa
+{
+
+ServiceSubmit
+submitFromJson(const JsonValue &doc)
+{
+    if (!doc.has("spec"))
+        throw SimError(SimErrorKind::Config,
+                       "submit frame has no \"spec\" object");
+    ServiceSubmit sub;
+    sub.spec = workloadSpecFromJson(doc.at("spec"));
+    if (doc.has("priority")) {
+        const std::int64_t p = doc.at("priority").asI64();
+        if (p < -100 || p > 100)
+            throw SimError(SimErrorKind::Config,
+                           "priority out of range [-100, 100]");
+        sub.priority = static_cast<int>(p);
+    }
+    if (doc.has("client"))
+        sub.client = doc.at("client").asString();
+    if (sub.client.empty())
+        sub.client = "anon";
+    return sub;
+}
+
+std::string
+serviceSpecJson(const WorkloadJobSpec &spec)
+{
+    std::string out = "{\"workload\":";
+    out += frameJsonQuote(spec.workload);
+    out += ",\"scheduler\":";
+    out += frameJsonQuote(schedulerKindName(spec.cfg.scheduler));
+    out += ",\"policy\":";
+    out += frameJsonQuote(cachePolicyKindName(spec.cfg.l1Policy));
+    out += ",\"seed\":" + std::to_string(spec.params.seed);
+    out += ",\"scale\":" + std::to_string(spec.params.scale);
+    out += "}";
+    return out;
+}
+
+std::string
+serviceCacheKey(const std::string &kernelId, std::uint32_t sig)
+{
+    std::string key;
+    key.reserve(kernelId.size() + 9);
+    for (const char c : kernelId) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        key += ok ? c : '_';
+    }
+    char hex[16];
+    std::snprintf(hex, sizeof(hex), "-%08x", sig);
+    key += hex;
+    return key;
+}
+
+std::string
+queuedFrameJson(std::uint64_t job, const std::string &name,
+                std::size_t position, bool coalesced)
+{
+    std::string out = "{\"type\":\"queued\",\"job\":";
+    out += std::to_string(job);
+    out += ",\"name\":";
+    out += frameJsonQuote(name);
+    out += ",\"position\":" + std::to_string(position);
+    out += ",\"coalesced\":";
+    out += coalesced ? "true" : "false";
+    out += "}";
+    return out;
+}
+
+std::string
+progressFrameJson(std::uint64_t job, const std::string &event,
+                  const std::string &detail, int attempt)
+{
+    std::string out = "{\"type\":\"progress\",\"job\":";
+    out += std::to_string(job);
+    out += ",\"event\":";
+    out += frameJsonQuote(event);
+    out += ",\"detail\":";
+    out += frameJsonQuote(detail);
+    out += ",\"attempt\":" + std::to_string(attempt);
+    out += "}";
+    return out;
+}
+
+std::string
+resultEnvelopeJson(std::uint64_t job, const std::string &name,
+                   bool cached, const std::string &rawResultFrame)
+{
+    std::string out = "{\"type\":\"result\",\"job\":";
+    out += std::to_string(job);
+    out += ",\"name\":";
+    out += frameJsonQuote(name);
+    out += ",\"cached\":";
+    out += cached ? "true" : "false";
+    out += ",\"result\":";
+    out += rawResultFrame;
+    out += "}";
+    return out;
+}
+
+std::string
+errorFrameJson(const std::string &message)
+{
+    return "{\"type\":\"error\",\"message\":" +
+           frameJsonQuote(message) + "}";
+}
+
+} // namespace cawa

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Wire protocol of the cawad simulation service: the client/daemon
+ * frame vocabulary layered on the common length-prefixed framing
+ * (common/subprocess.hh), plus the result-cache key derivation.
+ *
+ * Client -> daemon frames:
+ *
+ *   {"type":"submit","spec":{workload,scheduler,policy,seed,scale},
+ *    "priority":P,"client":"name"}       enqueue one job
+ *   {"type":"status"}                    queue + cache snapshot
+ *   {"type":"cancel","job":N}            cancel a queued/running job
+ *
+ * Daemon -> client frames:
+ *
+ *   {"type":"queued","job":N,"name":"...","position":K,
+ *    "coalesced":B}                      submit accepted
+ *   {"type":"progress","job":N,"event":"...","detail":"...",
+ *    "attempt":A}                        spawn/checkpoint/retry/...
+ *   {"type":"result","job":N,"name":"...","cached":B,
+ *    "result":{...}}                     terminal, one per submit
+ *   {"type":"status-reply", ...}         reply to status
+ *   {"type":"error","message":"..."}     malformed request
+ *
+ * The embedded "result" object is the worker protocol's result frame
+ * (sim/supervisor.hh resultFrameJson) spliced in verbatim -- never
+ * re-serialized -- so a cached replay is byte-identical to the fresh
+ * run that populated the cache.
+ */
+
+#ifndef CAWA_SIM_SERVICE_PROTOCOL_HH
+#define CAWA_SIM_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/report_json.hh"
+#include "workloads/sweep_jobs.hh"
+
+namespace cawa
+{
+
+/** Decoded submit frame. */
+struct ServiceSubmit
+{
+    WorkloadJobSpec spec;
+    int priority = 0;        ///< higher runs first
+    std::string client;      ///< fairness-quota bucket, "" = "anon"
+};
+
+/**
+ * Parse a submit frame (already JSON-parsed). Throws SimError (kind
+ * Config) on a malformed spec, unknown workload/scheduler/policy, or
+ * an out-of-range priority (accepted range [-100, 100]).
+ */
+ServiceSubmit submitFromJson(const JsonValue &doc);
+
+/**
+ * Canonical JSON of the portable job spec core -- the exact field
+ * set workloadSpecFromJson() accepts. Used for submit frames and the
+ * queue journal, so a replayed spec parses with the same code path
+ * as a fresh one.
+ */
+std::string serviceSpecJson(const WorkloadJobSpec &spec);
+
+/**
+ * Result-cache key for (kernel id, config signature): the kernel id
+ * sanitized to [A-Za-z0-9._-] (anything else becomes '_') plus the
+ * signature as 8 hex digits, e.g. "bfs.gcaws.cacp.seed1.scale0.05-
+ * 1a2b3c4d". The kernel id is workloadJobName(), which carries the
+ * workload/scheduler/policy/seed/scale identity; the signature
+ * (sim/gpu_config.hh configSignature) covers every semantic config
+ * knob and nothing observational, so two submissions differing only
+ * in trace/thread-count knobs share an entry.
+ */
+std::string serviceCacheKey(const std::string &kernelId,
+                            std::uint32_t sig);
+
+std::string queuedFrameJson(std::uint64_t job, const std::string &name,
+                            std::size_t position, bool coalesced);
+std::string progressFrameJson(std::uint64_t job,
+                              const std::string &event,
+                              const std::string &detail, int attempt);
+/** @p rawResultFrame is spliced in verbatim (must be a JSON object). */
+std::string resultEnvelopeJson(std::uint64_t job,
+                               const std::string &name, bool cached,
+                               const std::string &rawResultFrame);
+std::string errorFrameJson(const std::string &message);
+
+} // namespace cawa
+
+#endif // CAWA_SIM_SERVICE_PROTOCOL_HH

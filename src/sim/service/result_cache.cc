@@ -1,0 +1,116 @@
+#include "sim/service/result_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/sim_error.hh"
+
+namespace fs = std::filesystem;
+
+namespace cawa
+{
+
+namespace
+{
+
+[[noreturn]] void
+cacheFail(const std::string &path, const char *what)
+{
+    throw SimError(SimErrorKind::Journal,
+                   std::string(what) + ": " + path);
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        cacheFail(dir_, "cannot create result cache directory");
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return (fs::path(dir_) / (key + ".result")).string();
+}
+
+bool
+ResultCache::lookup(const std::string &key, std::string &rawResultFrame)
+{
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in) {
+        ++misses_;
+        return false;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+        ++misses_;
+        return false;
+    }
+    rawResultFrame = body.str();
+    ++hits_;
+    return true;
+}
+
+bool
+ResultCache::contains(const std::string &key) const
+{
+    std::error_code ec;
+    return fs::exists(entryPath(key), ec);
+}
+
+void
+ResultCache::store(const std::string &key,
+                   const std::string &rawResultFrame)
+{
+    const std::string path = entryPath(key);
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        cacheFail(tmp, "cannot open result cache temp");
+    std::size_t off = 0;
+    while (off < rawResultFrame.size()) {
+        const ssize_t n = ::write(fd, rawResultFrame.data() + off,
+                                  rawResultFrame.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            cacheFail(tmp, "result cache write failed");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    // Durable before visible: fsync the bytes, then give them the
+    // entry's name. A crash mid-store leaves only the temp file,
+    // which no lookup ever reads.
+    ::fsync(fd);
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        cacheFail(path, "result cache rename failed");
+    }
+}
+
+std::size_t
+ResultCache::entries() const
+{
+    std::size_t n = 0;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir_, ec))
+        if (e.path().extension() == ".result")
+            ++n;
+    return n;
+}
+
+} // namespace cawa

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * cawad result cache: one file per (kernel id, configSignature) key
+ * under the daemon's state directory, holding the worker protocol's
+ * raw result frame verbatim. Because the frame is stored and replayed
+ * as bytes -- never re-parsed and re-serialized -- a cache hit is
+ * byte-identical to the fresh run that populated the entry, and the
+ * report a client regenerates from it is byte-identical to a direct
+ * cawa_sweep --out document (the v3 round-trip is exact).
+ *
+ * Only successful results are cached: failures (crash, walltime,
+ * verify-failed) are legitimate re-run candidates, not answers.
+ * Stores are crash-safe (write temp + fsync + rename), so a daemon
+ * killed mid-store can never leave a torn entry that a later lookup
+ * would serve.
+ */
+
+#ifndef CAWA_SIM_SERVICE_RESULT_CACHE_HH
+#define CAWA_SIM_SERVICE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cawa
+{
+
+class ResultCache
+{
+  public:
+    /** Bind to @p dir, creating it (and parents) when missing. */
+    explicit ResultCache(std::string dir);
+
+    /**
+     * Load the entry for @p key into @p rawResultFrame. Returns true
+     * on a hit; bumps the hit/miss counters either way.
+     */
+    bool lookup(const std::string &key, std::string &rawResultFrame);
+
+    /** Hit test without touching the counters (restart replay). */
+    bool contains(const std::string &key) const;
+
+    /**
+     * Store @p rawResultFrame under @p key, atomically replacing any
+     * previous entry. Throws SimError (kind Journal) on I/O failure
+     * -- losing a cache write silently would turn later "cached"
+     * replies into lies.
+     */
+    void store(const std::string &key,
+               const std::string &rawResultFrame);
+
+    /** Entries currently on disk (counted at call time). */
+    std::size_t entries() const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string entryPath(const std::string &key) const;
+
+    std::string dir_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace cawa
+
+#endif // CAWA_SIM_SERVICE_RESULT_CACHE_HH

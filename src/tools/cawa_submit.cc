@@ -1,0 +1,346 @@
+/**
+ * @file
+ * cawa_submit: client CLI for the cawad simulation service. Submits
+ * one job over the daemon's Unix-domain socket, awaits the result
+ * (streaming progress frames as JSONL with --progress), and writes
+ * the cawa-simreport-v3 document with --out -- byte-identical to
+ * what a direct `cawa_sweep --out` run of the same job produces,
+ * whether the daemon computed the result fresh or served it from
+ * its cache.
+ *
+ * Examples:
+ *   cawa_submit --socket /tmp/cawad.sock --workload bfs \
+ *               --scheduler gcaws --policy cacp --scale 0.05 \
+ *               --out results/
+ *   cawa_submit --socket /tmp/cawad.sock --status
+ *   cawa_submit --socket /tmp/cawad.sock --cancel 3
+ *
+ * stdout carries machine-readable output only: progress JSONL (with
+ * --progress), one `cached=true|false` line per awaited result, and
+ * the raw status/cancel reply JSON. Diagnostics go to stderr. Exit
+ * status: 0 on a successful result, 1 when the job failed or the
+ * daemon reported an error, 2 for usage errors.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/sim_error.hh"
+#include "common/subprocess.hh"
+#include "sim/report_json.hh"
+#include "sim/service/protocol.hh"
+#include "sim/supervisor.hh"
+#include "workloads/registry.hh"
+#include "workloads/sweep_jobs.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int status)
+{
+    std::fprintf(
+        status ? stderr : stdout,
+        "usage: cawa_submit --socket PATH [options]\n"
+        "  --socket PATH      cawad Unix-domain socket\n"
+        "  --workload NAME    Table 2 workload name (default bfs)\n"
+        "  --scheduler S      rr|gto|2lvl|caws|gcaws (default gcaws)\n"
+        "  --policy P         lru|srrip|ship|cacp (default cacp)\n"
+        "  --seed N           workload input seed (default 1)\n"
+        "  --scale S          problem scale (default 0.5)\n"
+        "  --priority N       queue priority in [-100, 100], higher\n"
+        "                     runs first (default 0)\n"
+        "  --client NAME      fairness-quota bucket (default anon)\n"
+        "  --out DIR          write DIR/<job>.json (pretty v3 doc,\n"
+        "                     byte-identical to cawa_sweep --out)\n"
+        "  --progress         stream progress frames to stdout as\n"
+        "                     JSONL while waiting\n"
+        "  --status           print the daemon's queue/cache status\n"
+        "                     and exit\n"
+        "  --cancel JOB       cancel job id JOB and exit\n"
+        "  --help             this text\n");
+    std::exit(status);
+}
+
+long
+parseIntInRange(const std::string &text, const char *what, long lo,
+                long hi)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "cawa_submit: bad %s '%s': want an integer in "
+                     "[%ld, %ld]\n",
+                     what, text.c_str(), lo, hi);
+        std::exit(2);
+    }
+    return v;
+}
+
+double
+parsePositiveDouble(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || !(v > 0.0)) {
+        std::fprintf(stderr, "cawa_submit: bad %s '%s'\n", what,
+                     text.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+struct Options
+{
+    std::string socketPath;
+    WorkloadJobSpec spec;
+    int priority = 0;
+    std::string client = "anon";
+    std::string outDir;
+    bool progress = false;
+    bool statusOnly = false;
+    std::uint64_t cancelJob = 0;
+    bool cancelOnly = false;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    opt.spec.workload = "bfs";
+    opt.spec.cfg = GpuConfig::fermiGtx480();
+    opt.spec.cfg.scheduler = SchedulerKind::Gcaws;
+    opt.spec.cfg.l1Policy = CachePolicyKind::Cacp;
+    opt.spec.params.seed = 1;
+    opt.spec.params.scale = 0.5;
+
+    auto next = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "cawa_submit: %s needs a value\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            opt.socketPath = next(i);
+        } else if (arg == "--workload") {
+            opt.spec.workload = next(i);
+        } else if (arg == "--scheduler") {
+            try {
+                opt.spec.cfg.scheduler =
+                    schedulerKindFromName(next(i));
+            } catch (const SimError &e) {
+                std::fprintf(stderr, "cawa_submit: %s\n",
+                             e.detail().c_str());
+                std::exit(2);
+            }
+        } else if (arg == "--policy") {
+            try {
+                opt.spec.cfg.l1Policy =
+                    cachePolicyKindFromName(next(i));
+            } catch (const SimError &e) {
+                std::fprintf(stderr, "cawa_submit: %s\n",
+                             e.detail().c_str());
+                std::exit(2);
+            }
+        } else if (arg == "--seed") {
+            opt.spec.params.seed = static_cast<std::uint64_t>(
+                parseIntInRange(next(i), "--seed", 0,
+                                1'000'000'000));
+        } else if (arg == "--scale") {
+            opt.spec.params.scale =
+                parsePositiveDouble(next(i), "scale");
+        } else if (arg == "--priority") {
+            opt.priority = static_cast<int>(
+                parseIntInRange(next(i), "--priority", -100, 100));
+        } else if (arg == "--client") {
+            opt.client = next(i);
+        } else if (arg == "--out") {
+            opt.outDir = next(i);
+        } else if (arg == "--progress") {
+            opt.progress = true;
+        } else if (arg == "--status") {
+            opt.statusOnly = true;
+        } else if (arg == "--cancel") {
+            opt.cancelJob = static_cast<std::uint64_t>(
+                parseIntInRange(next(i), "--cancel", 1,
+                                1'000'000'000));
+            opt.cancelOnly = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "cawa_submit: unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (opt.socketPath.empty()) {
+        std::fprintf(stderr, "cawa_submit: --socket is required\n");
+        usage(2);
+    }
+    const auto known = allWorkloadNames();
+    bool found = false;
+    for (const auto &name : known)
+        found = found || name == opt.spec.workload;
+    if (!found) {
+        std::fprintf(stderr, "cawa_submit: unknown workload '%s'\n",
+                     opt.spec.workload.c_str());
+        std::exit(2);
+    }
+    return opt;
+}
+
+/** One blocking request/reply exchange (status, cancel). */
+int
+oneShot(const Options &opt, const std::string &request)
+{
+    const int fd = connectUnixSocket(opt.socketPath);
+    if (!writeFrame(fd, request)) {
+        std::fprintf(stderr, "cawa_submit: daemon closed the "
+                             "connection\n");
+        close(fd);
+        return 1;
+    }
+    std::string reply;
+    if (!readFrameBlocking(fd, reply)) {
+        std::fprintf(stderr, "cawa_submit: no reply from daemon\n");
+        close(fd);
+        return 1;
+    }
+    close(fd);
+    std::printf("%s\n", reply.c_str());
+    try {
+        const JsonValue doc = parseJson(reply);
+        if (doc.at("type").asString() == "error")
+            return 1;
+    } catch (const std::exception &) {
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    try {
+        if (opt.statusOnly)
+            return oneShot(opt, "{\"type\":\"status\"}");
+        if (opt.cancelOnly)
+            return oneShot(opt, "{\"type\":\"cancel\",\"job\":" +
+                                    std::to_string(opt.cancelJob) +
+                                    "}");
+
+        std::string submit = "{\"type\":\"submit\",\"spec\":";
+        submit += serviceSpecJson(opt.spec);
+        submit += ",\"priority\":" + std::to_string(opt.priority);
+        submit += ",\"client\":" + frameJsonQuote(opt.client);
+        submit += "}";
+
+        const int fd = connectUnixSocket(opt.socketPath);
+        if (!writeFrame(fd, submit)) {
+            std::fprintf(stderr, "cawa_submit: daemon closed the "
+                                 "connection\n");
+            close(fd);
+            return 1;
+        }
+
+        // Await frames until the terminal result envelope.
+        std::string payload;
+        while (readFrameBlocking(fd, payload)) {
+            const JsonValue doc = parseJson(payload);
+            const std::string type = doc.at("type").asString();
+            if (type == "queued") {
+                std::fprintf(stderr,
+                             "cawa_submit: queued as job %llu (%s)%s\n",
+                             static_cast<unsigned long long>(
+                                 doc.at("job").asU64()),
+                             doc.at("name").asString().c_str(),
+                             doc.at("coalesced").asBool()
+                                 ? " [coalesced]"
+                                 : "");
+                continue;
+            }
+            if (type == "progress") {
+                if (opt.progress) {
+                    std::printf("%s\n", payload.c_str());
+                    std::fflush(stdout);
+                }
+                continue;
+            }
+            if (type == "error") {
+                std::fprintf(stderr, "cawa_submit: daemon error: %s\n",
+                             doc.at("message").asString().c_str());
+                close(fd);
+                return 1;
+            }
+            if (type != "result")
+                continue;
+
+            close(fd);
+            const bool cached = doc.at("cached").asBool();
+            const std::string name = doc.at("name").asString();
+            const SweepResult res =
+                resultFromFrameFields(doc.at("result"));
+            std::printf("cached=%s\n", cached ? "true" : "false");
+
+            if (!res.ok()) {
+                std::fprintf(
+                    stderr, "cawa_submit: %s FAILED: %s\n",
+                    name.c_str(),
+                    res.error.empty()
+                        ? (res.verified ? "did not complete"
+                                        : "failed verification")
+                        : res.error.c_str());
+                return 1;
+            }
+            if (!opt.outDir.empty()) {
+                // Exactly the cawa_sweep --out emit path: pretty v3
+                // document plus trailing newline, so the files are
+                // byte-comparable.
+                std::filesystem::create_directories(opt.outDir);
+                const std::filesystem::path path =
+                    std::filesystem::path(opt.outDir) /
+                    (name + ".json");
+                JsonWriteOptions json_opt;
+                std::ofstream out(path);
+                out << toJson(res.report, json_opt) << "\n";
+                if (!out) {
+                    std::fprintf(stderr,
+                                 "cawa_submit: cannot write %s\n",
+                                 path.c_str());
+                    return 1;
+                }
+                std::fprintf(stderr, "cawa_submit: wrote %s\n",
+                             path.c_str());
+            }
+            return 0;
+        }
+        std::fprintf(stderr,
+                     "cawa_submit: connection closed before a "
+                     "result arrived\n");
+        close(fd);
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cawa_submit: %s\n", e.what());
+        return 1;
+    }
+}

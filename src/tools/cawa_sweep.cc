@@ -224,27 +224,23 @@ splitList(const std::string &text)
 SchedulerKind
 parseScheduler(const std::string &name)
 {
-    for (SchedulerKind kind :
-         {SchedulerKind::Lrr, SchedulerKind::Gto, SchedulerKind::TwoLevel,
-          SchedulerKind::CawsOracle, SchedulerKind::Gcaws})
-        if (name == schedulerKindName(kind))
-            return kind;
-    std::fprintf(stderr, "cawa_sweep: unknown scheduler '%s'\n",
-                 name.c_str());
-    std::exit(2);
+    try {
+        return schedulerKindFromName(name);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "cawa_sweep: %s\n", e.detail().c_str());
+        std::exit(2);
+    }
 }
 
 CachePolicyKind
 parsePolicy(const std::string &name)
 {
-    for (CachePolicyKind kind :
-         {CachePolicyKind::Lru, CachePolicyKind::Srrip,
-          CachePolicyKind::Ship, CachePolicyKind::Cacp})
-        if (name == cachePolicyKindName(kind))
-            return kind;
-    std::fprintf(stderr, "cawa_sweep: unknown cache policy '%s'\n",
-                 name.c_str());
-    std::exit(2);
+    try {
+        return cachePolicyKindFromName(name);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "cawa_sweep: %s\n", e.detail().c_str());
+        std::exit(2);
+    }
 }
 
 double
@@ -478,29 +474,11 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
+/** frameJsonQuote() in statement form, for the serializers below. */
 void
 appendJsonString(std::string &out, const std::string &s)
 {
-    out += '"';
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
+    out += frameJsonQuote(s);
 }
 
 /** Resolved path of this binary, for re-exec'ing worker children. */
@@ -516,116 +494,9 @@ selfExePath(const char *argv0)
     return argv0;
 }
 
-/**
- * Serialize one job as the `--worker` spec frame. Everything a worker
- * needs to rebuild the job deterministically travels in-band: the
- * workload spec, the config knobs the sweep set, the checkpoint
- * wiring (including the supervisor's per-attempt resume path) and the
- * armed fault-injection knobs.
- */
-std::string
-workerSpecJson(const WorkloadJobSpec &spec, const SweepJob &job,
-               int jobAttempts, int attempt, double heartbeatSec)
-{
-    std::string out = "{\"workload\":";
-    appendJsonString(out, spec.workload);
-    out += ",\"scheduler\":";
-    appendJsonString(out, schedulerKindName(job.cfg.scheduler));
-    out += ",\"policy\":";
-    appendJsonString(out, cachePolicyKindName(job.cfg.l1Policy));
-    out += ",\"seed\":" + std::to_string(spec.params.seed);
-    out += ",\"scale\":" + std::to_string(spec.params.scale);
-    out += ",\"jobTimeout\":" + std::to_string(job.cfg.wallClockLimitSec);
-    out += ",\"checkpointPath\":";
-    appendJsonString(out, job.cfg.checkpointPath);
-    out += ",\"checkpointInterval\":" +
-           std::to_string(job.cfg.checkpointInterval);
-    out += ",\"resume\":";
-    appendJsonString(out, job.resumeFromCheckpoint);
-    out += ",\"faultKillSignal\":" +
-           std::to_string(job.cfg.faults.workerKillSignal);
-    out += ",\"faultStall\":";
-    out += job.cfg.faults.workerStallHeartbeat ? "true" : "false";
-    out += ",\"faultExitCode\":" +
-           std::to_string(job.cfg.faults.workerExitCode);
-    out += ",\"faultCycle\":" +
-           std::to_string(job.cfg.faults.workerFaultCycle);
-    out += ",\"jobAttempts\":" + std::to_string(jobAttempts);
-    out += ",\"attempt\":" + std::to_string(attempt);
-    out += ",\"heartbeatSec\":" + std::to_string(heartbeatSec);
-    out += "}";
-    return out;
-}
-
-/**
- * Hidden `cawa_sweep --worker` entrypoint: read one spec frame from
- * stdin, rebuild the job, run it under runSweepWorker() streaming
- * frames to stdout. Never prints to stdout itself -- the fd carries
- * the frame protocol.
- */
-int
-runWorkerMode()
-{
-    FrameReader reader;
-    std::string payload;
-    char buf[4096];
-    while (!reader.next(payload)) {
-        if (reader.corrupt()) {
-            std::fprintf(stderr,
-                         "cawa_sweep --worker: corrupt spec frame\n");
-            return 2;
-        }
-        const ssize_t got = read(STDIN_FILENO, buf, sizeof(buf));
-        if (got < 0 && errno == EINTR)
-            continue;
-        if (got <= 0) {
-            std::fprintf(stderr,
-                         "cawa_sweep --worker: no job spec on stdin "
-                         "(this entrypoint is internal to the sweep "
-                         "supervisor)\n");
-            return 2;
-        }
-        reader.feed(buf, static_cast<std::size_t>(got));
-    }
-
-    try {
-        const JsonValue spec = parseJson(payload);
-        WorkloadJobSpec ws;
-        ws.workload = spec.at("workload").asString();
-        ws.cfg = GpuConfig::fermiGtx480();
-        ws.cfg.scheduler =
-            parseScheduler(spec.at("scheduler").asString());
-        ws.cfg.l1Policy = parsePolicy(spec.at("policy").asString());
-        ws.params.seed = spec.at("seed").asU64();
-        ws.params.scale = spec.at("scale").asDouble();
-
-        SweepJob job = makeWorkloadJob(ws);
-        job.cfg.wallClockLimitSec = spec.at("jobTimeout").asDouble();
-        job.cfg.checkpointPath = spec.at("checkpointPath").asString();
-        job.cfg.checkpointInterval =
-            spec.at("checkpointInterval").asU64();
-        job.resumeFromCheckpoint = spec.at("resume").asString();
-        job.cfg.faults.workerKillSignal =
-            static_cast<int>(spec.at("faultKillSignal").asI64());
-        job.cfg.faults.workerStallHeartbeat =
-            spec.at("faultStall").asBool();
-        job.cfg.faults.workerExitCode =
-            static_cast<int>(spec.at("faultExitCode").asI64());
-        job.cfg.faults.workerFaultCycle = spec.at("faultCycle").asI64();
-
-        const int jobAttempts =
-            static_cast<int>(spec.at("jobAttempts").asI64());
-        const int attempt =
-            static_cast<int>(spec.at("attempt").asI64());
-        const double heartbeatSec = spec.at("heartbeatSec").asDouble();
-        return runSweepWorker(job, jobAttempts, STDOUT_FILENO,
-                              heartbeatSec, attempt);
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "cawa_sweep --worker: bad job spec: %s\n",
-                     e.what());
-        return 2;
-    }
-}
+// Worker-spec serialization and the hidden --worker entrypoint live
+// in workloads/sweep_jobs (workerSpecJson / runWorkerModeFromFds),
+// shared verbatim with the cawad daemon's worker children.
 
 /**
  * Serialize one shard runner's spec frame: the FULL job matrix (the
@@ -714,15 +585,7 @@ runShardWorkerMode()
 
         std::vector<SweepJob> matrix;
         for (const JsonValue &j : spec.at("matrix").items()) {
-            WorkloadJobSpec ws;
-            ws.workload = j.at("workload").asString();
-            ws.cfg = GpuConfig::fermiGtx480();
-            ws.cfg.scheduler =
-                parseScheduler(j.at("scheduler").asString());
-            ws.cfg.l1Policy = parsePolicy(j.at("policy").asString());
-            ws.params.seed = j.at("seed").asU64();
-            ws.params.scale = j.at("scale").asDouble();
-            SweepJob job = makeWorkloadJob(ws);
+            SweepJob job = makeWorkloadJob(workloadSpecFromJson(j));
             job.cfg.wallClockLimitSec = j.at("jobTimeout").asDouble();
             job.cfg.checkpointPath =
                 j.at("checkpointPath").asString();
@@ -765,7 +628,8 @@ int
 main(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "--worker") == 0)
-        return runWorkerMode();
+        return runWorkerModeFromFds(STDIN_FILENO, STDOUT_FILENO,
+                                    "cawa_sweep --worker");
     if (argc > 1 && std::strcmp(argv[1], "--shard-worker") == 0)
         return runShardWorkerMode();
 

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * cawad: the simulation-as-a-service daemon frontend. Serves the
+ * frame protocol of sim/service/protocol.hh on a Unix-domain socket,
+ * executing submitted jobs in sandboxed worker subprocesses (the
+ * hidden `cawad --worker` entrypoint, identical to
+ * `cawa_sweep --worker`) with a persistent journaled queue and an
+ * on-disk result cache under --state-dir.
+ *
+ * Examples:
+ *   cawad --socket /tmp/cawad.sock --state-dir /var/tmp/cawad &
+ *   cawa_submit --socket /tmp/cawad.sock --workload bfs --out out/
+ *
+ * SIGTERM/SIGINT shut down gracefully: running workers checkpoint
+ * and their jobs stay pending in the journal, so the next cawad on
+ * the same state directory resumes them; finished results are
+ * already durable in the cache. A second signal hard-exits.
+ */
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/sim_error.hh"
+#include "sim/service/daemon.hh"
+#include "workloads/sweep_jobs.hh"
+
+using namespace cawa;
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_signalCount{0};
+
+extern "C" void
+handleShutdownSignal(int)
+{
+    if (g_signalCount.fetch_add(1, std::memory_order_relaxed) >= 1)
+        _exit(130);
+    g_stop.store(true, std::memory_order_relaxed);
+    const char msg[] = "\ncawad: shutting down -- running workers are "
+                       "checkpointing; signal again to hard-exit\n";
+    const ssize_t ignored = write(2, msg, sizeof(msg) - 1);
+    (void)ignored;
+}
+
+[[noreturn]] void
+usage(int status)
+{
+    std::fprintf(
+        status ? stderr : stdout,
+        "usage: cawad --socket PATH --state-dir DIR [options]\n"
+        "  --socket PATH      Unix-domain socket to serve on\n"
+        "  --state-dir DIR    queue journal, result cache and\n"
+        "                     checkpoints live here; a restart on the\n"
+        "                     same directory resumes the queue\n"
+        "  --workers N        concurrent worker subprocesses,\n"
+        "                     N in [1, 256] (default 1)\n"
+        "  --client-quota N   running jobs one client may hold,\n"
+        "                     N in [0, 256], 0 = unlimited\n"
+        "                     (default 2)\n"
+        "  --job-timeout SEC  per-job wall-clock budget in\n"
+        "                     (0, 86400]; 0 = off (default 0)\n"
+        "  --checkpoint-interval N\n"
+        "                     cycles between worker snapshots\n"
+        "                     (default 200000)\n"
+        "  --heartbeat-ms N   worker heartbeat interval in\n"
+        "                     milliseconds, N in [10, 600000]\n"
+        "                     (default 250)\n"
+        "  --heartbeat-misses N\n"
+        "                     silent intervals before a worker is\n"
+        "                     declared hung, N in [1, 10000]\n"
+        "                     (default 20)\n"
+        "  --max-respawns N   worker respawns per job after a\n"
+        "                     crash/oom/hang, N in [0, 100]\n"
+        "                     (default 2)\n"
+        "  --retries N        extra in-worker attempts for jobs that\n"
+        "                     throw, N in [0, 100] (default 0)\n"
+        "  --worker-mem-mb N  per-worker address-space cap in MB\n"
+        "                     (0 = off; skipped under ASan)\n"
+        "  --worker-cpu-sec N per-worker CPU-seconds cap (0 = off)\n"
+        "  --quiet            suppress per-event logging\n"
+        "  --help             this text\n");
+    std::exit(status);
+}
+
+long
+parseIntInRange(const std::string &text, const char *what, long lo,
+                long hi)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "cawad: bad %s '%s': want an integer in "
+                     "[%ld, %ld]\n",
+                     what, text.c_str(), lo, hi);
+        std::exit(2);
+    }
+    return v;
+}
+
+double
+parseDoubleInRange(const std::string &text, const char *what,
+                   double lo, double hi)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || !(v > lo) || v > hi) {
+        std::fprintf(stderr,
+                     "cawad: bad %s '%s': want a number in "
+                     "(%g, %g]\n",
+                     what, text.c_str(), lo, hi);
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Resolved path of this binary, for re-exec'ing worker children. */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--worker") == 0)
+        return runWorkerModeFromFds(STDIN_FILENO, STDOUT_FILENO,
+                                    "cawad --worker");
+
+    DaemonOptions opt;
+    opt.workerArgv0 = selfExePath(argv[0]);
+    opt.stopFlag = &g_stop;
+    bool quiet = false;
+
+    auto next = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "cawad: %s needs a value\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            opt.socketPath = next(i);
+        } else if (arg == "--state-dir") {
+            opt.stateDir = next(i);
+        } else if (arg == "--workers") {
+            opt.workers = static_cast<int>(
+                parseIntInRange(next(i), "--workers", 1, 256));
+        } else if (arg == "--client-quota") {
+            opt.clientQuota = static_cast<int>(
+                parseIntInRange(next(i), "--client-quota", 0, 256));
+        } else if (arg == "--job-timeout") {
+            const std::string v = next(i);
+            opt.jobTimeoutSec =
+                v == "0" ? 0.0
+                         : parseDoubleInRange(v, "--job-timeout", 0.0,
+                                              86400.0);
+        } else if (arg == "--checkpoint-interval") {
+            opt.checkpointInterval = static_cast<std::uint64_t>(
+                parseIntInRange(next(i), "--checkpoint-interval", 1,
+                                1'000'000'000));
+        } else if (arg == "--heartbeat-ms") {
+            opt.heartbeatIntervalSec =
+                static_cast<double>(parseIntInRange(
+                    next(i), "--heartbeat-ms", 10, 600'000)) /
+                1000.0;
+        } else if (arg == "--heartbeat-misses") {
+            opt.heartbeatMissLimit = static_cast<int>(parseIntInRange(
+                next(i), "--heartbeat-misses", 1, 10'000));
+        } else if (arg == "--max-respawns") {
+            opt.maxAttemptsPerJob =
+                1 + static_cast<int>(parseIntInRange(
+                        next(i), "--max-respawns", 0, 100));
+        } else if (arg == "--retries") {
+            opt.jobMaxAttempts =
+                1 + static_cast<int>(parseIntInRange(
+                        next(i), "--retries", 0, 100));
+        } else if (arg == "--worker-mem-mb") {
+            opt.limits.memoryBytes =
+                static_cast<std::uint64_t>(parseIntInRange(
+                    next(i), "--worker-mem-mb", 0, 1'048'576))
+                << 20;
+        } else if (arg == "--worker-cpu-sec") {
+            opt.limits.cpuSeconds = static_cast<std::uint64_t>(
+                parseIntInRange(next(i), "--worker-cpu-sec", 0,
+                                86'400));
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "cawad: unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (opt.socketPath.empty() || opt.stateDir.empty()) {
+        std::fprintf(stderr,
+                     "cawad: --socket and --state-dir are required\n");
+        usage(2);
+    }
+    if (!processIsolationAvailable()) {
+        std::fprintf(stderr,
+                     "cawad: process isolation is not available on "
+                     "this platform\n");
+        return 2;
+    }
+    if (!quiet)
+        opt.onEvent = [](const std::string &event,
+                         const std::string &detail) {
+            std::fprintf(stderr, "cawad: %s%s%s\n", event.c_str(),
+                         detail.empty() ? "" : " ",
+                         detail.c_str());
+        };
+
+    std::signal(SIGINT, handleShutdownSignal);
+    std::signal(SIGTERM, handleShutdownSignal);
+
+    try {
+        SimDaemon daemon(std::move(opt));
+        return daemon.run();
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "cawad: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,8 +1,13 @@
 #include "workloads/sweep_jobs.hh"
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <sstream>
 
+#include "common/sim_error.hh"
+#include "common/subprocess.hh"
+#include "sim/supervisor.hh"
 #include "workloads/registry.hh"
 
 namespace cawa
@@ -58,6 +63,132 @@ makeWorkloadJobs(const std::vector<WorkloadJobSpec> &specs)
     for (const auto &spec : specs)
         jobs.push_back(makeWorkloadJob(spec));
     return jobs;
+}
+
+SchedulerKind
+schedulerKindFromName(const std::string &name)
+{
+    for (SchedulerKind kind :
+         {SchedulerKind::Lrr, SchedulerKind::Gto, SchedulerKind::TwoLevel,
+          SchedulerKind::CawsOracle, SchedulerKind::Gcaws})
+        if (name == schedulerKindName(kind))
+            return kind;
+    throw SimError(SimErrorKind::Config,
+                   "unknown scheduler '" + name + "'");
+}
+
+CachePolicyKind
+cachePolicyKindFromName(const std::string &name)
+{
+    for (CachePolicyKind kind :
+         {CachePolicyKind::Lru, CachePolicyKind::Srrip,
+          CachePolicyKind::Ship, CachePolicyKind::Cacp})
+        if (name == cachePolicyKindName(kind))
+            return kind;
+    throw SimError(SimErrorKind::Config,
+                   "unknown cache policy '" + name + "'");
+}
+
+WorkloadJobSpec
+workloadSpecFromJson(const JsonValue &doc)
+{
+    WorkloadJobSpec spec;
+    spec.workload = doc.at("workload").asString();
+    const auto known = allWorkloadNames();
+    if (std::find(known.begin(), known.end(), spec.workload) ==
+        known.end())
+        throw SimError(SimErrorKind::Config,
+                       "unknown workload '" + spec.workload + "'");
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.cfg.scheduler =
+        schedulerKindFromName(doc.at("scheduler").asString());
+    spec.cfg.l1Policy =
+        cachePolicyKindFromName(doc.at("policy").asString());
+    spec.params.seed = doc.at("seed").asU64();
+    spec.params.scale = doc.at("scale").asDouble();
+    if (!(spec.params.scale > 0.0))
+        throw SimError(SimErrorKind::Config,
+                       "workload scale must be > 0");
+    return spec;
+}
+
+std::string
+workerSpecJson(const WorkloadJobSpec &spec, const SweepJob &job,
+               int jobAttempts, int attempt, double heartbeatSec)
+{
+    std::string out = "{\"workload\":";
+    out += frameJsonQuote(spec.workload);
+    out += ",\"scheduler\":";
+    out += frameJsonQuote(schedulerKindName(job.cfg.scheduler));
+    out += ",\"policy\":";
+    out += frameJsonQuote(cachePolicyKindName(job.cfg.l1Policy));
+    out += ",\"seed\":" + std::to_string(spec.params.seed);
+    out += ",\"scale\":" + std::to_string(spec.params.scale);
+    out += ",\"jobTimeout\":" + std::to_string(job.cfg.wallClockLimitSec);
+    out += ",\"checkpointPath\":";
+    out += frameJsonQuote(job.cfg.checkpointPath);
+    out += ",\"checkpointInterval\":" +
+           std::to_string(job.cfg.checkpointInterval);
+    out += ",\"resume\":";
+    out += frameJsonQuote(job.resumeFromCheckpoint);
+    out += ",\"faultKillSignal\":" +
+           std::to_string(job.cfg.faults.workerKillSignal);
+    out += ",\"faultStall\":";
+    out += job.cfg.faults.workerStallHeartbeat ? "true" : "false";
+    out += ",\"faultExitCode\":" +
+           std::to_string(job.cfg.faults.workerExitCode);
+    out += ",\"faultCycle\":" +
+           std::to_string(job.cfg.faults.workerFaultCycle);
+    out += ",\"jobAttempts\":" + std::to_string(jobAttempts);
+    out += ",\"attempt\":" + std::to_string(attempt);
+    out += ",\"heartbeatSec\":" + std::to_string(heartbeatSec);
+    out += "}";
+    return out;
+}
+
+WorkerSpec
+workerSpecFromJson(const JsonValue &doc)
+{
+    WorkerSpec ws;
+    ws.job = makeWorkloadJob(workloadSpecFromJson(doc));
+    ws.job.cfg.wallClockLimitSec = doc.at("jobTimeout").asDouble();
+    ws.job.cfg.checkpointPath = doc.at("checkpointPath").asString();
+    ws.job.cfg.checkpointInterval =
+        doc.at("checkpointInterval").asU64();
+    ws.job.resumeFromCheckpoint = doc.at("resume").asString();
+    ws.job.cfg.faults.workerKillSignal =
+        static_cast<int>(doc.at("faultKillSignal").asI64());
+    ws.job.cfg.faults.workerStallHeartbeat =
+        doc.at("faultStall").asBool();
+    ws.job.cfg.faults.workerExitCode =
+        static_cast<int>(doc.at("faultExitCode").asI64());
+    ws.job.cfg.faults.workerFaultCycle = doc.at("faultCycle").asI64();
+    ws.jobAttempts = static_cast<int>(doc.at("jobAttempts").asI64());
+    ws.attempt = static_cast<int>(doc.at("attempt").asI64());
+    ws.heartbeatSec = doc.at("heartbeatSec").asDouble();
+    return ws;
+}
+
+int
+runWorkerModeFromFds(int inFd, int outFd, const char *toolName)
+{
+    std::string payload;
+    if (!readFrameBlocking(inFd, payload)) {
+        std::fprintf(stderr,
+                     "%s: no job spec on the input fd (this "
+                     "entrypoint is internal to the supervisor)\n",
+                     toolName);
+        return 2;
+    }
+    try {
+        const WorkerSpec ws = workerSpecFromJson(parseJson(payload));
+        return runSweepWorker(ws.job, ws.jobAttempts, outFd,
+                              ws.heartbeatSec, ws.attempt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: bad job spec: %s\n", toolName,
+                     e.what());
+        return 2;
+    }
 }
 
 } // namespace cawa

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/report_json.hh"
 #include "sim/sweep.hh"
 #include "workloads/workload.hh"
 
@@ -39,6 +40,63 @@ SweepJob makeWorkloadJob(const WorkloadJobSpec &spec);
 
 std::vector<SweepJob>
 makeWorkloadJobs(const std::vector<WorkloadJobSpec> &specs);
+
+// ---------------------------------------------------------------------
+// Worker-spec wire format, shared by every entrypoint that ships a
+// job across a process boundary: the cawa_sweep --worker pipe, the
+// shard-runner matrix, and cawad submit frames.
+// ---------------------------------------------------------------------
+
+/**
+ * Inverse of schedulerKindName(). Throws SimError (kind Config) for
+ * an unknown name; CLI frontends catch and exit 2.
+ */
+SchedulerKind schedulerKindFromName(const std::string &name);
+
+/** Inverse of cachePolicyKindName(); throws SimError for unknowns. */
+CachePolicyKind cachePolicyKindFromName(const std::string &name);
+
+/**
+ * Parse the portable core of a job spec -- workload, scheduler,
+ * policy, seed, scale -- on top of the fixed fermiGtx480() baseline.
+ * Validates the workload name against the registry (SimError, kind
+ * Config, on an unknown one) so a bad spec fails at the protocol
+ * edge instead of deep inside a worker.
+ */
+WorkloadJobSpec workloadSpecFromJson(const JsonValue &doc);
+
+/**
+ * Serialize one job as the `--worker` spec frame. Everything a worker
+ * needs to rebuild the job deterministically travels in-band: the
+ * workload spec, the config knobs the sweep set, the checkpoint
+ * wiring (including the supervisor's per-attempt resume path) and the
+ * armed fault-injection knobs.
+ */
+std::string workerSpecJson(const WorkloadJobSpec &spec,
+                           const SweepJob &job, int jobAttempts,
+                           int attempt, double heartbeatSec);
+
+/** Decoded workerSpecJson() frame. */
+struct WorkerSpec
+{
+    SweepJob job;
+    int jobAttempts = 1;
+    int attempt = 1;
+    double heartbeatSec = 0.25;
+};
+
+/** Inverse of workerSpecJson(); throws on a malformed document. */
+WorkerSpec workerSpecFromJson(const JsonValue &doc);
+
+/**
+ * Body of the hidden worker entrypoint (`cawa_sweep --worker`,
+ * `cawad --worker`): read one spec frame from @p inFd, rebuild the
+ * job, and run it under runSweepWorker() streaming heartbeat /
+ * checkpoint-written / result frames to @p outFd. Returns the
+ * process exit status; diagnostics go to stderr prefixed with
+ * @p toolName, never to @p outFd (that fd carries the protocol).
+ */
+int runWorkerModeFromFds(int inFd, int outFd, const char *toolName);
 
 } // namespace cawa
 

@@ -1,0 +1,645 @@
+/**
+ * @file
+ * Simulation-service tests: the cache-key contract (observational
+ * knobs share an entry, semantic knobs miss), the on-disk result
+ * cache, the persistent job queue and its scheduling policy, the
+ * frame protocol codecs, and end-to-end daemon runs that exec the
+ * real cawad binary -- concurrent clients, cache-hit byte identity,
+ * kill-mid-job restart recovery, cancellation and status.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/sim_error.hh"
+#include "common/subprocess.hh"
+#include "sim/gpu_config.hh"
+#include "sim/service/job_queue.hh"
+#include "sim/service/protocol.hh"
+#include "sim/service/result_cache.hh"
+#include "sim/supervisor.hh"
+#include "workloads/sweep_jobs.hh"
+
+namespace cawa
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+WorkloadJobSpec
+bfsSpec(std::uint64_t seed = 1, double scale = 0.05)
+{
+    WorkloadJobSpec spec;
+    spec.workload = "bfs";
+    spec.cfg = GpuConfig::fermiGtx480();
+    spec.cfg.scheduler = SchedulerKind::Gcaws;
+    spec.cfg.l1Policy = CachePolicyKind::Cacp;
+    spec.params.seed = seed;
+    spec.params.scale = scale;
+    return spec;
+}
+
+std::string
+cacheKeyOf(const WorkloadJobSpec &spec)
+{
+    return serviceCacheKey(workloadJobName(spec),
+                           configSignature(spec.cfg, false));
+}
+
+// ---------------------------------------------------------------------
+// Cache-key contract. The configSignature() exclusion list is the
+// oracle: knobs documented as observational must not change the
+// service cache key (two such submissions share one entry), knobs
+// that change simulated results must (they miss).
+// ---------------------------------------------------------------------
+
+TEST(ServiceCacheKey, ObservationalKnobsShareOneEntry)
+{
+    const WorkloadJobSpec base = bfsSpec();
+    WorkloadJobSpec obs = bfsSpec();
+    obs.cfg.simThreads = 4;
+    obs.cfg.trace.enabled = true;
+    obs.cfg.trace.bufferCapacity = 1024;
+    obs.cfg.checkLevel = 2;
+    obs.cfg.auditInterval = 99;
+    obs.cfg.profilePhases = true;
+    obs.cfg.fastForward = !base.cfg.fastForward;
+    obs.cfg.wallClockLimitSec = 5.0;
+    EXPECT_EQ(cacheKeyOf(base), cacheKeyOf(obs))
+        << "an observational knob leaked into the cache key";
+}
+
+TEST(ServiceCacheKey, SemanticKnobsMiss)
+{
+    const WorkloadJobSpec base = bfsSpec();
+
+    WorkloadJobSpec geometry = bfsSpec();
+    geometry.cfg.l1d.ways = 8;
+    EXPECT_NE(cacheKeyOf(base), cacheKeyOf(geometry));
+
+    // Scheduler and policy also rename the kernel id, but the
+    // signature alone must already differ: the id is advisory, the
+    // signature is the integrity check.
+    WorkloadJobSpec sched = bfsSpec();
+    sched.cfg.scheduler = SchedulerKind::Lrr;
+    EXPECT_NE(configSignature(base.cfg, false),
+              configSignature(sched.cfg, false));
+
+    WorkloadJobSpec policy = bfsSpec();
+    policy.cfg.l1Policy = CachePolicyKind::Lru;
+    EXPECT_NE(configSignature(base.cfg, false),
+              configSignature(policy.cfg, false));
+
+    // Seed and scale live in the kernel id, not the config.
+    EXPECT_NE(cacheKeyOf(base), cacheKeyOf(bfsSpec(2)));
+    EXPECT_NE(cacheKeyOf(base), cacheKeyOf(bfsSpec(1, 0.1)));
+
+    // An attached oracle changes scheduling under the same config.
+    EXPECT_NE(configSignature(base.cfg, false),
+              configSignature(base.cfg, true));
+}
+
+TEST(ServiceCacheKey, KernelIdIsSanitizedForTheFilesystem)
+{
+    EXPECT_EQ(serviceCacheKey("a b/c..D", 0x1a2b3c4d),
+              "a_b_c..D-1a2b3c4d");
+    EXPECT_EQ(serviceCacheKey("bfs.gcaws", 0x5),
+              "bfs.gcaws-00000005");
+}
+
+// ---------------------------------------------------------------------
+// Result cache.
+// ---------------------------------------------------------------------
+
+TEST(ResultCacheTest, StoreLookupRoundTripIsByteExact)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/cawa_cache_rt";
+    fs::remove_all(dir);
+    ResultCache cache(dir);
+    EXPECT_EQ(cache.entries(), 0u);
+
+    const std::string raw =
+        "{\"type\":\"result\",\"report\":{\"x\":1}}";
+    std::string out;
+    EXPECT_FALSE(cache.lookup("k1", out));
+    EXPECT_EQ(cache.misses(), 1u);
+
+    cache.store("k1", raw);
+    ASSERT_TRUE(cache.lookup("k1", out));
+    EXPECT_EQ(out, raw); // bytes, not JSON-equivalence
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.entries(), 1u);
+
+    // contains() is for restart replay: no counter side effects.
+    EXPECT_TRUE(cache.contains("k1"));
+    EXPECT_FALSE(cache.contains("k2"));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    // store() atomically replaces.
+    cache.store("k1", raw + "v2");
+    ASSERT_TRUE(cache.lookup("k1", out));
+    EXPECT_EQ(out, raw + "v2");
+    EXPECT_EQ(cache.entries(), 1u);
+    fs::remove_all(dir);
+}
+
+TEST(ResultCacheTest, EntriesSurviveReopen)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/cawa_cache_reopen";
+    fs::remove_all(dir);
+    {
+        ResultCache cache(dir);
+        cache.store("persisted", "payload bytes");
+    }
+    ResultCache cache(dir);
+    std::string out;
+    ASSERT_TRUE(cache.lookup("persisted", out));
+    EXPECT_EQ(out, "payload bytes");
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Scheduling policy: pickNextJob is a pure function.
+// ---------------------------------------------------------------------
+
+QueuedJob
+qj(std::uint64_t id, const std::string &client, int priority)
+{
+    QueuedJob j;
+    j.id = id;
+    j.client = client;
+    j.priority = priority;
+    j.name = "job" + std::to_string(id);
+    return j;
+}
+
+TEST(PickNextJob, PriorityThenFifoWithQuotaAndBusySkips)
+{
+    const std::vector<QueuedJob> pending = {
+        qj(1, "alice", 0), qj(2, "bob", 5), qj(3, "bob", 5),
+        qj(4, "carol", -1)};
+    std::unordered_map<std::string, int> running;
+    std::unordered_set<std::uint64_t> busy;
+
+    // Highest priority wins; ties go to the lowest id.
+    ASSERT_NE(pickNextJob(pending, running, 2, busy), nullptr);
+    EXPECT_EQ(pickNextJob(pending, running, 2, busy)->id, 2u);
+
+    // Busy ids are invisible.
+    busy.insert(2);
+    EXPECT_EQ(pickNextJob(pending, running, 2, busy)->id, 3u);
+
+    // A client at quota is skipped even with top priority...
+    running["bob"] = 2;
+    EXPECT_EQ(pickNextJob(pending, running, 2, busy)->id, 1u);
+    // ...and quota <= 0 means unlimited.
+    EXPECT_EQ(pickNextJob(pending, running, 0, busy)->id, 3u);
+
+    // Nothing eligible -> nullptr, never a busy or over-quota pick.
+    busy.insert(1);
+    busy.insert(3);
+    busy.insert(4);
+    EXPECT_EQ(pickNextJob(pending, running, 2, busy), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Persistent queue: journal replay.
+// ---------------------------------------------------------------------
+
+TEST(ServiceQueue, ReplayResumesExactlyTheUnfinishedJobs)
+{
+    const std::string path =
+        ::testing::TempDir() + "/cawa_queue_replay.jsonl";
+    fs::remove(path);
+
+    std::uint64_t keep = 0;
+    {
+        ServiceJobQueue queue;
+        queue.open(path);
+        const std::uint64_t a = queue.submit(
+            "a", "alice", 0, cacheKeyOf(bfsSpec(1)), bfsSpec(1));
+        keep = queue.submit("b", "bob", 3, cacheKeyOf(bfsSpec(2)),
+                            bfsSpec(2));
+        const std::uint64_t c = queue.submit(
+            "c", "carol", 0, cacheKeyOf(bfsSpec(3)), bfsSpec(3));
+        EXPECT_EQ(queue.pending().size(), 3u);
+        queue.markDone(a, "ok");
+        queue.markCancelled(c);
+        EXPECT_EQ(queue.pending().size(), 1u);
+    } // lock released
+
+    ServiceJobQueue queue;
+    queue.open(path);
+    ASSERT_EQ(queue.pending().size(), 1u);
+    const QueuedJob &job = queue.pending().front();
+    EXPECT_EQ(job.id, keep);
+    EXPECT_EQ(job.name, "b");
+    EXPECT_EQ(job.client, "bob");
+    EXPECT_EQ(job.priority, 3);
+    EXPECT_EQ(job.cacheKey, cacheKeyOf(bfsSpec(2)));
+    EXPECT_EQ(workloadJobName(job.spec), workloadJobName(bfsSpec(2)));
+
+    // Ids keep counting past everything ever journaled: a finished
+    // job's id is never reissued, so cache/journal cross-references
+    // stay unambiguous across restarts.
+    EXPECT_GT(queue.submit("d", "dave", 0, "k", bfsSpec(4)), 3u);
+    fs::remove(path);
+}
+
+TEST(ServiceQueue, ReplayToleratesGarbageLines)
+{
+    const std::string path =
+        ::testing::TempDir() + "/cawa_queue_garbage.jsonl";
+    fs::remove(path);
+    {
+        ServiceJobQueue queue;
+        queue.open(path);
+        queue.submit("a", "alice", 0, "key-a", bfsSpec(1));
+    }
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "this is not json\n";
+        out << "{\"op\":\"unknown-op\",\"job\":1}\n";
+    }
+    ServiceJobQueue queue;
+    queue.open(path);
+    ASSERT_EQ(queue.pending().size(), 1u);
+    EXPECT_EQ(queue.pending().front().name, "a");
+    fs::remove(path);
+}
+
+TEST(ServiceQueue, SecondOpenOnLockedJournalThrows)
+{
+    const std::string path =
+        ::testing::TempDir() + "/cawa_queue_locked.jsonl";
+    fs::remove(path);
+    ServiceJobQueue first;
+    first.open(path);
+    ServiceJobQueue second;
+    EXPECT_THROW(second.open(path), SimError);
+    fs::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// Protocol codecs.
+// ---------------------------------------------------------------------
+
+TEST(ServiceProtocol, SubmitSpecRoundTrips)
+{
+    const WorkloadJobSpec spec = bfsSpec(7, 0.25);
+    const std::string frame = "{\"type\":\"submit\",\"spec\":" +
+                              serviceSpecJson(spec) +
+                              ",\"priority\":9,\"client\":\"ci\"}";
+    const ServiceSubmit sub = submitFromJson(parseJson(frame));
+    EXPECT_EQ(sub.priority, 9);
+    EXPECT_EQ(sub.client, "ci");
+    EXPECT_EQ(workloadJobName(sub.spec), workloadJobName(spec));
+    EXPECT_EQ(configSignature(sub.spec.cfg, false),
+              configSignature(spec.cfg, false));
+}
+
+TEST(ServiceProtocol, MalformedSubmitsThrow)
+{
+    auto parse = [](const std::string &text) {
+        return submitFromJson(parseJson(text));
+    };
+    EXPECT_THROW(parse("{\"type\":\"submit\"}"), SimError);
+    EXPECT_THROW(
+        parse("{\"type\":\"submit\",\"spec\":{\"workload\":\"nope\","
+              "\"scheduler\":\"rr\",\"policy\":\"lru\",\"seed\":1,"
+              "\"scale\":0.5}}"),
+        SimError);
+    EXPECT_THROW(parse("{\"type\":\"submit\",\"spec\":" +
+                       serviceSpecJson(bfsSpec()) +
+                       ",\"priority\":101}"),
+                 SimError);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the real cawad binary over a real socket.
+// ---------------------------------------------------------------------
+
+class DaemonE2E : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = ::testing::TempDir() + "/cawad_" + info->name();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        sock_ = dir_ + "/d.sock";
+        state_ = dir_ + "/state";
+    }
+
+    void TearDown() override
+    {
+        stopDaemon();
+        fs::remove_all(dir_);
+    }
+
+    void startDaemon(std::vector<std::string> extra = {})
+    {
+        std::vector<std::string> args = {
+            CAWA_CAWAD_BIN, "--socket", sock_, "--state-dir", state_,
+            "--quiet", "--checkpoint-interval", "20000"};
+        for (auto &arg : extra)
+            args.push_back(std::move(arg));
+        std::vector<char *> argv;
+        for (auto &arg : args)
+            argv.push_back(arg.data());
+        argv.push_back(nullptr);
+
+        daemonPid_ = fork();
+        ASSERT_GE(daemonPid_, 0);
+        if (daemonPid_ == 0) {
+            execv(argv[0], argv.data());
+            _exit(127);
+        }
+        // Ready when the socket accepts a connection.
+        for (int i = 0; i < 200; ++i) {
+            try {
+                close(connectUnixSocket(sock_));
+                return;
+            } catch (const SimError &) {
+                usleep(25'000);
+            }
+        }
+        FAIL() << "cawad never came up on " << sock_;
+    }
+
+    void stopDaemon(int sig = SIGTERM)
+    {
+        if (daemonPid_ <= 0)
+            return;
+        kill(daemonPid_, sig);
+        int status = 0;
+        waitpid(daemonPid_, &status, 0);
+        daemonPid_ = -1;
+    }
+
+    /** SIGKILL without the graceful-drain path, for crash tests. */
+    void killDaemonHard()
+    {
+        ASSERT_GT(daemonPid_, 0);
+        kill(daemonPid_, SIGKILL);
+        int status = 0;
+        waitpid(daemonPid_, &status, 0);
+        daemonPid_ = -1;
+    }
+
+    std::string submitFrame(const WorkloadJobSpec &spec,
+                            int priority = 0,
+                            const std::string &client = "anon")
+    {
+        return "{\"type\":\"submit\",\"spec\":" +
+               serviceSpecJson(spec) +
+               ",\"priority\":" + std::to_string(priority) +
+               ",\"client\":" + frameJsonQuote(client) + "}";
+    }
+
+    /** Read frames on @p fd until the terminal result envelope. */
+    JsonValue awaitResult(int fd)
+    {
+        std::string payload;
+        while (readFrameBlocking(fd, payload)) {
+            const JsonValue doc = parseJson(payload);
+            const std::string type = doc.at("type").asString();
+            if (type == "result")
+                return doc;
+            if (type == "error")
+                ADD_FAILURE()
+                    << "daemon error: " << payload;
+        }
+        ADD_FAILURE() << "connection closed before a result";
+        return parseJson("{}");
+    }
+
+    std::string journalText() const
+    {
+        std::ifstream in(state_ + "/queue.jsonl");
+        std::ostringstream text;
+        text << in.rdbuf();
+        return text.str();
+    }
+
+    static std::size_t countOccurrences(const std::string &haystack,
+                                        const std::string &needle)
+    {
+        std::size_t count = 0;
+        for (std::size_t at = haystack.find(needle);
+             at != std::string::npos;
+             at = haystack.find(needle, at + 1))
+            ++count;
+        return count;
+    }
+
+    pid_t daemonPid_ = -1;
+    std::string dir_, sock_, state_;
+};
+
+TEST_F(DaemonE2E, FourConcurrentClientsAndByteIdenticalCacheHit)
+{
+    startDaemon({"--workers", "2"});
+
+    // Four clients with open connections and jobs in flight at once.
+    const int kClients = 4;
+    int fds[kClients];
+    for (int i = 0; i < kClients; ++i) {
+        fds[i] = connectUnixSocket(sock_);
+        const WorkloadJobSpec spec = bfsSpec(1 + i);
+        ASSERT_TRUE(writeFrame(
+            fds[i], submitFrame(spec, 0, "c" + std::to_string(i))));
+    }
+    for (int i = 0; i < kClients; ++i) {
+        const JsonValue doc = awaitResult(fds[i]);
+        EXPECT_FALSE(doc.at("cached").asBool());
+        EXPECT_EQ(doc.at("name").asString(),
+                  workloadJobName(bfsSpec(1 + i)));
+        const SweepResult res =
+            resultFromFrameFields(doc.at("result"));
+        EXPECT_TRUE(res.ok()) << res.error;
+        close(fds[i]);
+    }
+
+    // A repeat submission is served from the cache -- and because the
+    // daemon replays the stored frame verbatim, the embedded result
+    // document is byte-identical to the fresh run's.
+    const int fresh = connectUnixSocket(sock_);
+    ASSERT_TRUE(writeFrame(fresh, submitFrame(bfsSpec(1))));
+    std::string payload, freshResult;
+    while (readFrameBlocking(fresh, payload)) {
+        const JsonValue doc = parseJson(payload);
+        if (doc.at("type").asString() != "result")
+            continue;
+        EXPECT_TRUE(doc.at("cached").asBool());
+        freshResult = payload;
+        break;
+    }
+    close(fresh);
+    ASSERT_FALSE(freshResult.empty());
+
+    const int again = connectUnixSocket(sock_);
+    ASSERT_TRUE(writeFrame(again, submitFrame(bfsSpec(1))));
+    while (readFrameBlocking(again, payload)) {
+        if (parseJson(payload).at("type").asString() != "result")
+            continue;
+        // Two cached replays are bytes-equal except the job id field
+        // (0 for every cache hit), i.e. fully equal.
+        EXPECT_EQ(payload, freshResult);
+        break;
+    }
+    close(again);
+}
+
+TEST_F(DaemonE2E, ObservationalResubmitIsACacheHit)
+{
+    startDaemon();
+    const int first = connectUnixSocket(sock_);
+    ASSERT_TRUE(writeFrame(first, submitFrame(bfsSpec())));
+    EXPECT_FALSE(awaitResult(first).at("cached").asBool());
+    close(first);
+
+    // The canonical submit spec carries no observational knobs, so
+    // any two submissions of the same (workload, scheduler, policy,
+    // seed, scale) tuple must hit -- this is the client-visible face
+    // of the ServiceCacheKey contract.
+    const int second = connectUnixSocket(sock_);
+    ASSERT_TRUE(writeFrame(second, submitFrame(bfsSpec())));
+    EXPECT_TRUE(awaitResult(second).at("cached").asBool());
+    close(second);
+}
+
+TEST_F(DaemonE2E, KillMidJobThenRestartResumesWithoutDuplication)
+{
+    startDaemon();
+    const WorkloadJobSpec spec = bfsSpec(1, 1.0); // ~0.5 s of work
+    const int fd = connectUnixSocket(sock_);
+    ASSERT_TRUE(writeFrame(fd, submitFrame(spec)));
+
+    // Wait for the worker to be running (the spawn progress frame),
+    // then SIGKILL the daemon mid-job.
+    std::string payload;
+    bool sawSpawn = false;
+    while (!sawSpawn && readFrameBlocking(fd, payload)) {
+        const JsonValue doc = parseJson(payload);
+        sawSpawn = doc.at("type").asString() == "progress" &&
+                   doc.at("event").asString() == "spawn";
+    }
+    ASSERT_TRUE(sawSpawn);
+    killDaemonHard();
+    close(fd);
+
+    // The journal has the submit but no done: the job is pending.
+    EXPECT_EQ(countOccurrences(journalText(), "\"op\":\"submit\""),
+              1u);
+    EXPECT_EQ(countOccurrences(journalText(), "\"op\":\"done\""), 0u);
+
+    // A restart on the same state dir replays the queue and runs the
+    // job to completion; a resubmission coalesces onto the resumed
+    // job or hits the cache -- either way the result arrives and the
+    // job completed exactly once.
+    startDaemon();
+    const int retry = connectUnixSocket(sock_);
+    ASSERT_TRUE(writeFrame(retry, submitFrame(spec)));
+    const JsonValue doc = awaitResult(retry);
+    const SweepResult res = resultFromFrameFields(doc.at("result"));
+    EXPECT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(doc.at("name").asString(), workloadJobName(spec));
+    close(retry);
+
+    const std::string journal = journalText();
+    EXPECT_EQ(countOccurrences(journal, "\"op\":\"submit\""), 1u)
+        << journal;
+    EXPECT_EQ(countOccurrences(journal,
+                               "\"op\":\"done\",\"job\":1,"
+                               "\"status\":\"ok\""),
+              1u)
+        << journal;
+}
+
+TEST_F(DaemonE2E, CancelPendingJobNotifiesItsWaiter)
+{
+    startDaemon({"--workers", "1"});
+    // Occupy the one worker...
+    const int runner = connectUnixSocket(sock_);
+    ASSERT_TRUE(writeFrame(runner, submitFrame(bfsSpec(1, 1.0))));
+    // ...so the second job stays pending.
+    const int waiter = connectUnixSocket(sock_);
+    ASSERT_TRUE(writeFrame(waiter, submitFrame(bfsSpec(2, 1.0))));
+    std::string payload;
+    std::uint64_t pendingId = 0;
+    while (readFrameBlocking(waiter, payload)) {
+        const JsonValue doc = parseJson(payload);
+        if (doc.at("type").asString() == "queued") {
+            pendingId = doc.at("job").asU64();
+            break;
+        }
+    }
+    ASSERT_GT(pendingId, 0u);
+
+    const int canceller = connectUnixSocket(sock_);
+    ASSERT_TRUE(writeFrame(canceller,
+                           "{\"type\":\"cancel\",\"job\":" +
+                               std::to_string(pendingId) + "}"));
+    ASSERT_TRUE(readFrameBlocking(canceller, payload));
+    const JsonValue reply = parseJson(payload);
+    EXPECT_EQ(reply.at("type").asString(), "cancelled");
+    EXPECT_EQ(reply.at("state").asString(), "queued");
+    close(canceller);
+
+    // The waiter gets a terminal (failed) result, not silence.
+    const JsonValue doc = awaitResult(waiter);
+    const SweepResult res = resultFromFrameFields(doc.at("result"));
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.failureReason, "cancelled");
+    close(waiter);
+
+    // The first job is unaffected.
+    EXPECT_TRUE(
+        resultFromFrameFields(awaitResult(runner).at("result")).ok());
+    close(runner);
+}
+
+TEST_F(DaemonE2E, StatusAndErrorFrames)
+{
+    startDaemon();
+    const int status = connectUnixSocket(sock_);
+    ASSERT_TRUE(writeFrame(status, "{\"type\":\"status\"}"));
+    std::string payload;
+    ASSERT_TRUE(readFrameBlocking(status, payload));
+    const JsonValue doc = parseJson(payload);
+    EXPECT_EQ(doc.at("type").asString(), "status-reply");
+    EXPECT_EQ(doc.at("workers").asU64(), 1u);
+    close(status);
+
+    const int bad = connectUnixSocket(sock_);
+    ASSERT_TRUE(writeFrame(bad, "this is not json"));
+    ASSERT_TRUE(readFrameBlocking(bad, payload));
+    EXPECT_EQ(parseJson(payload).at("type").asString(), "error");
+    close(bad);
+
+    const int unknown = connectUnixSocket(sock_);
+    ASSERT_TRUE(writeFrame(unknown, "{\"type\":\"bogus\"}"));
+    ASSERT_TRUE(readFrameBlocking(unknown, payload));
+    EXPECT_EQ(parseJson(payload).at("type").asString(), "error");
+    close(unknown);
+}
+
+} // namespace
+} // namespace cawa

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <string>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/subprocess.hh"
@@ -277,6 +278,179 @@ TEST(Subprocess, ReadFrameBlockingRejectsOversizedAndTornFrames)
     close(fds[1]);
     EXPECT_FALSE(cawa::readFrameBlocking(fds[0], payload));
     close(fds[0]);
+}
+
+// ---------------------------------------------------------------------
+// Socket semantics: drainAvailable() and the DrainStatus vocabulary.
+// These run over AF_UNIX socketpairs because that is exactly the
+// transport cawad serves -- pipes cannot produce Reset or the
+// partial-read interleavings a stream socket can.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Nonblocking AF_UNIX stream socketpair for drain tests. */
+void
+makeSocketPair(int fds[2])
+{
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    setNonBlocking(fds[0]);
+}
+
+} // namespace
+
+TEST(DrainAvailable, EmptyNonBlockingSocketReportsWouldBlock)
+{
+    int fds[2];
+    makeSocketPair(fds);
+    FrameReader reader;
+    std::size_t bytes = 99;
+    EXPECT_EQ(drainAvailable(fds[0], reader, &bytes),
+              DrainStatus::WouldBlock);
+    EXPECT_EQ(bytes, 0u);
+    EXPECT_EQ(reader.pendingBytes(), 0u);
+    close(fds[0]);
+    close(fds[1]);
+}
+
+TEST(DrainAvailable, PartialFrameAssemblesAcrossDrains)
+{
+    // The frame arrives in three fragments with a drain after each:
+    // no fragment ever yields a premature payload, no drain ever
+    // busy-loops, and the final fragment completes the frame.
+    const std::string payload(300, 'p');
+    std::string wire;
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        wire += static_cast<char>((size >> (8 * i)) & 0xff);
+    wire += payload;
+
+    int fds[2];
+    makeSocketPair(fds);
+    FrameReader reader;
+    std::string out;
+    const std::size_t cuts[2] = {2, 150}; // mid-header, mid-payload
+    std::size_t sent = 0;
+    for (const std::size_t cut : cuts) {
+        ASSERT_EQ(write(fds[1], wire.data() + sent, cut - sent),
+                  static_cast<ssize_t>(cut - sent));
+        sent = cut;
+        EXPECT_EQ(drainAvailable(fds[0], reader),
+                  DrainStatus::Data);
+        EXPECT_FALSE(reader.next(out)) << "yielded at byte " << cut;
+    }
+    ASSERT_EQ(write(fds[1], wire.data() + sent, wire.size() - sent),
+              static_cast<ssize_t>(wire.size() - sent));
+    std::size_t bytes = 0;
+    EXPECT_EQ(drainAvailable(fds[0], reader, &bytes),
+              DrainStatus::Data);
+    EXPECT_EQ(bytes, wire.size() - sent);
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out, payload);
+    close(fds[0]);
+    close(fds[1]);
+}
+
+TEST(DrainAvailable, OrderlyCloseReportsEofAfterData)
+{
+    int fds[2];
+    makeSocketPair(fds);
+    ASSERT_TRUE(writeFrame(fds[1], "last words"));
+    close(fds[1]); // orderly shutdown with nothing unread on the peer
+    FrameReader reader;
+    // Queued bytes drain first; only a later drain reports Eof.
+    EXPECT_EQ(drainAvailable(fds[0], reader), DrainStatus::Data);
+    std::string out;
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out, "last words");
+    EXPECT_EQ(drainAvailable(fds[0], reader), DrainStatus::Eof);
+    close(fds[0]);
+}
+
+TEST(DrainAvailable, PeerClosingWithUnreadDataReportsReset)
+{
+    // Linux AF_UNIX semantics: closing a stream socket that still has
+    // unread data in its receive queue raises ECONNRESET on the peer.
+    // That is the "client vanished mid-conversation" case the daemon
+    // must distinguish from a clean goodbye.
+    int fds[2];
+    makeSocketPair(fds);
+    ASSERT_TRUE(writeFrame(fds[0], "never read by the peer"));
+    close(fds[1]); // dies with data pending -> RST to fds[0]
+    FrameReader reader;
+    EXPECT_EQ(drainAvailable(fds[0], reader), DrainStatus::Reset);
+
+    // The legacy pipe-semantics wrapper folds Reset into EOF (0).
+    int pair2[2];
+    makeSocketPair(pair2);
+    ASSERT_TRUE(writeFrame(pair2[0], "unread"));
+    close(pair2[1]);
+    FrameReader reader2;
+    EXPECT_EQ(readAvailable(pair2[0], reader2), 0);
+    close(fds[0]);
+    close(pair2[0]);
+}
+
+TEST(DrainAvailable, OversizedFrameOnSocketMarksCorruptNotCrash)
+{
+    int fds[2];
+    makeSocketPair(fds);
+    const std::uint32_t size = 64;
+    std::string wire;
+    for (int i = 0; i < 4; ++i)
+        wire += static_cast<char>((size >> (8 * i)) & 0xff);
+    wire += std::string(64, 'z');
+    ASSERT_EQ(write(fds[1], wire.data(), wire.size()),
+              static_cast<ssize_t>(wire.size()));
+    FrameReader reader(/*maxFrameBytes=*/16);
+    EXPECT_EQ(drainAvailable(fds[0], reader), DrainStatus::Data);
+    std::string out;
+    EXPECT_FALSE(reader.next(out));
+    EXPECT_TRUE(reader.corrupt());
+    close(fds[0]);
+    close(fds[1]);
+}
+
+TEST(UnixSocket, ListenConnectAcceptCarriesFrames)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/cawa_sock_test.sock";
+    const int listener = listenUnixSocket(path);
+    ASSERT_GE(listener, 0);
+    const int client = connectUnixSocket(path);
+    ASSERT_GE(client, 0);
+    const int server = acceptConnection(listener);
+    ASSERT_GE(server, 0);
+
+    ASSERT_TRUE(writeFrame(client, "hello daemon"));
+    std::string payload;
+    ASSERT_TRUE(cawa::readFrameBlocking(server, payload));
+    EXPECT_EQ(payload, "hello daemon");
+    ASSERT_TRUE(writeFrame(server, "hello client"));
+    ASSERT_TRUE(cawa::readFrameBlocking(client, payload));
+    EXPECT_EQ(payload, "hello client");
+
+    close(client);
+    close(server);
+    close(listener);
+    unlink(path.c_str());
+}
+
+TEST(UnixSocket, StaleSocketFileIsReplacedOnListen)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/cawa_stale_test.sock";
+    const int first = listenUnixSocket(path);
+    close(first); // dead server leaves the socket file behind
+    const int second = listenUnixSocket(path);
+    ASSERT_GE(second, 0);
+    const int client = connectUnixSocket(path);
+    EXPECT_GE(client, 0);
+    close(client);
+    close(second);
+    unlink(path.c_str());
 }
 
 } // namespace
